@@ -1,0 +1,95 @@
+//! The paper's dataset-characterisation coefficients (§VI-A2).
+//!
+//! * **R²_S (sparsity)** — how well values *suggested by complete
+//!   neighbors* (a kNN aggregate) match the truth. Low R²_S = neighbors do
+//!   not share values = severe sparsity (e.g. CA at 0.03).
+//! * **R²_H (heterogeneity)** — how well the *single global model* (GLR)
+//!   predicts the truth. Low R²_H = no one regression fits the data =
+//!   severe heterogeneity (e.g. SN at 0.05).
+//!
+//! Both are computed over the injected missing cells, exactly where the
+//! imputation methods are scored, so Tables V/VI can print them alongside
+//! the RMS errors.
+
+use crate::glr::Glr;
+use crate::knn::Knn;
+use iim_data::metrics::r_squared;
+use iim_data::{GroundTruth, ImputeError, Imputer, PerAttributeImputer, Relation};
+
+/// The pair `(R²_S, R²_H)` for an injected relation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DataProfile {
+    /// Sparsity coefficient (lower = sparser).
+    pub r2_sparsity: f64,
+    /// Heterogeneity coefficient (lower = more heterogeneous).
+    pub r2_heterogeneity: f64,
+}
+
+/// Computes the profile of `rel` (with injected missing cells) against the
+/// ground truth, using kNN with `k` neighbors for the sparsity probe and
+/// GLR for the heterogeneity probe.
+pub fn data_profile(
+    rel: &Relation,
+    truth: &GroundTruth,
+    k: usize,
+) -> Result<DataProfile, ImputeError> {
+    let knn = PerAttributeImputer::new(Knn::new(k)).impute(rel)?;
+    let glr = PerAttributeImputer::new(Glr::default()).impute(rel)?;
+    let truths: Vec<f64> = truth.iter().map(|c| c.truth).collect();
+    let knn_preds: Vec<f64> = truth
+        .iter()
+        .map(|c| knn.get(c.row as usize, c.col as usize).unwrap_or(0.0))
+        .collect();
+    let glr_preds: Vec<f64> = truth
+        .iter()
+        .map(|c| glr.get(c.row as usize, c.col as usize).unwrap_or(0.0))
+        .collect();
+    Ok(DataProfile {
+        r2_sparsity: r_squared(&knn_preds, &truths),
+        r2_heterogeneity: r_squared(&glr_preds, &truths),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iim_data::inject::inject_random;
+    use iim_data::{Relation, Schema};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Dense linear data: both probes should be near 1.
+    #[test]
+    fn clean_linear_data_scores_high_on_both() {
+        let rows: Vec<Vec<f64>> = (0..500)
+            .map(|i| {
+                let x = i as f64 * 0.01;
+                vec![x, 5.0 - 2.0 * x]
+            })
+            .collect();
+        let mut rel = Relation::from_rows(Schema::anonymous(2), &rows);
+        let truth = inject_random(&mut rel, 25, &mut StdRng::seed_from_u64(1));
+        let p = data_profile(&rel, &truth, 5).unwrap();
+        assert!(p.r2_sparsity > 0.95, "R2_S {}", p.r2_sparsity);
+        assert!(p.r2_heterogeneity > 0.95, "R2_H {}", p.r2_heterogeneity);
+    }
+
+    /// Piecewise data (two "streets"): neighbors still share values
+    /// (high R²_S) but no global line fits (low R²_H) — the ASF/SN shape.
+    #[test]
+    fn heterogeneous_data_scores_low_on_r2h() {
+        let rows: Vec<Vec<f64>> = (0..600)
+            .map(|i| {
+                let x = i as f64 * 0.01;
+                let y = if x < 3.0 { 10.0 - 3.0 * x } else { -20.0 + 7.0 * x };
+                vec![x, y]
+            })
+            .collect();
+        let mut rel = Relation::from_rows(Schema::anonymous(2), &rows);
+        let truth = inject_random(&mut rel, 30, &mut StdRng::seed_from_u64(2));
+        let p = data_profile(&rel, &truth, 5).unwrap();
+        assert!(p.r2_sparsity > 0.9, "R2_S {}", p.r2_sparsity);
+        assert!(p.r2_heterogeneity < 0.8, "R2_H {}", p.r2_heterogeneity);
+        assert!(p.r2_sparsity > p.r2_heterogeneity);
+    }
+}

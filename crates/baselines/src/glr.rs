@@ -1,0 +1,75 @@
+//! GLR [23], [24]: one global linear (ridge) regression from the complete
+//! attributes to the incomplete attribute, learned over all complete
+//! tuples (Formulas 3–4). The attribute-model method IIM subsumes at
+//! ℓ = n (Proposition 2).
+
+use iim_data::{AttrEstimator, AttrPredictor, AttrTask, ImputeError};
+use iim_linalg::{ridge_fit, RidgeModel};
+
+/// The GLR baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct Glr {
+    /// Ridge regularization (the paper cites OLS or Ridge [28]; the
+    /// workspace default matches IIM's numerical-guard α).
+    pub alpha: f64,
+}
+
+impl Default for Glr {
+    fn default() -> Self {
+        Self { alpha: 1e-6 }
+    }
+}
+
+struct GlrModel(RidgeModel);
+
+impl AttrPredictor for GlrModel {
+    fn predict(&self, x: &[f64]) -> f64 {
+        self.0.predict(x)
+    }
+}
+
+impl AttrEstimator for Glr {
+    fn name(&self) -> &str {
+        "GLR"
+    }
+
+    fn fit(&self, task: &AttrTask<'_>) -> Result<Box<dyn AttrPredictor>, ImputeError> {
+        if task.n_train() == 0 {
+            return Err(ImputeError::NoTrainingData { target: task.target });
+        }
+        let (xs, ys) = task.training_matrix();
+        let model = ridge_fit(xs.iter().map(|v| v.as_slice()), &ys, self.alpha)
+            .ok_or_else(|| ImputeError::Unsupported("non-finite design".into()))?;
+        Ok(Box::new(GlrModel(model)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iim_data::paper_fig1;
+
+    #[test]
+    fn recovers_exact_linear_relation() {
+        // y = 3 - 2x: GLR must be exact.
+        let rows: Vec<Vec<f64>> =
+            (0..20).map(|i| vec![i as f64, 3.0 - 2.0 * i as f64]).collect();
+        let rel = iim_data::Relation::from_rows(iim_data::Schema::anonymous(2), &rows);
+        let task = AttrTask::new(&rel, vec![0], 1);
+        let model = Glr::default().fit(&task).unwrap();
+        assert!((model.predict(&[7.5]) - (3.0 - 15.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fig1_global_regression_is_flat_and_wrong() {
+        // The two streets cancel: the global line is nearly flat around the
+        // mean 4.35, so its prediction at x = 5 is far from the truth 1.8
+        // (the paper's heterogeneity argument).
+        let (rel, _) = paper_fig1();
+        let task = AttrTask::new(&rel, vec![0], 1);
+        let model = Glr::default().fit(&task).unwrap();
+        let v = model.predict(&[5.0]);
+        assert!((v - 4.35).abs() < 0.3, "global prediction {v}");
+        assert!((v - 1.8).abs() > 2.0);
+    }
+}

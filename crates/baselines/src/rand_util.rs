@@ -1,0 +1,63 @@
+//! Small sampling helpers on top of `rand` (the workspace avoids a
+//! `rand_distr` dependency; see DESIGN.md).
+
+use rand::Rng;
+
+/// One standard normal deviate via Box–Muller.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Guard u1 away from 0 so ln() stays finite.
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// A χ²(df) deviate as a sum of squared standard normals.
+///
+/// `df` in this workspace is a residual degree-of-freedom (≤ n), so the
+/// O(df) construction is cheap and avoids a gamma sampler.
+pub fn chi_square<R: Rng + ?Sized>(rng: &mut R, df: usize) -> f64 {
+    assert!(df >= 1, "chi-square needs df >= 1");
+    (0..df)
+        .map(|_| {
+            let z = normal(rng);
+            z * z
+        })
+        .sum::<f64>()
+        .max(1e-12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| normal(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn chi_square_mean_is_df() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let df = 10;
+        let n = 5_000;
+        let mean =
+            (0..n).map(|_| chi_square(&mut rng, df)).sum::<f64>() / n as f64;
+        assert!((mean - df as f64).abs() < 0.5, "mean {mean}");
+    }
+
+    #[test]
+    fn chi_square_positive() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for df in [1, 2, 100] {
+            assert!(chi_square(&mut rng, df) > 0.0);
+        }
+    }
+}

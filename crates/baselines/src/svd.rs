@@ -1,0 +1,157 @@
+//! SVDimpute [38] (Troyanskaya et al.): iterative low-rank reconstruction.
+//! Missing cells are initialized with column means; the matrix is then
+//! repeatedly decomposed and the missing cells replaced by the rank-j
+//! reconstruction from the "k most significant eigengenes" until the
+//! imputations converge — the expectation-maximization formulation of the
+//! original microarray method.
+//!
+//! The paper marks SVD "-" on the two-attribute SN dataset ("cannot be
+//! implemented on only two attributes"); this implementation returns
+//! [`ImputeError::Unsupported`] for arity < 3 accordingly.
+
+use iim_data::stats::ColumnTransform;
+use iim_data::{ImputeError, Imputer, Relation};
+use iim_linalg::{thin_svd, Matrix};
+
+/// The SVD baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct SvdImpute {
+    /// Number of singular triplets kept. `None` uses ⌈20% of arity⌉, the
+    /// regime Troyanskaya et al. found robust.
+    pub rank: Option<usize>,
+    /// Iteration cap.
+    pub max_iter: usize,
+    /// Convergence tolerance on imputed-cell change (standardized units).
+    pub tol: f64,
+}
+
+impl Default for SvdImpute {
+    fn default() -> Self {
+        Self { rank: None, max_iter: 100, tol: 1e-5 }
+    }
+}
+
+impl SvdImpute {
+    /// SVDimpute keeping `rank` triplets.
+    pub fn with_rank(rank: usize) -> Self {
+        Self { rank: Some(rank.max(1)), ..Self::default() }
+    }
+}
+
+impl Imputer for SvdImpute {
+    fn name(&self) -> &str {
+        "SVD"
+    }
+
+    fn impute(&self, rel: &Relation) -> Result<Relation, ImputeError> {
+        let n = rel.n_rows();
+        let m = rel.arity();
+        if m < 3 {
+            return Err(ImputeError::Unsupported(
+                "SVDimpute needs at least 3 attributes".into(),
+            ));
+        }
+        if n < m {
+            return Err(ImputeError::Unsupported(
+                "SVDimpute needs at least as many tuples as attributes".into(),
+            ));
+        }
+        if rel.complete_rows().is_empty() {
+            return Err(ImputeError::NoTrainingData { target: 0 });
+        }
+        let rank = self.rank.unwrap_or_else(|| (m as f64 * 0.2).ceil() as usize).clamp(1, m);
+
+        let transform = ColumnTransform::standardize(rel);
+        let z = transform.apply(rel);
+        let mut work = Matrix::zeros(n, m);
+        for i in 0..n {
+            for j in 0..m {
+                work[(i, j)] = z.get(i, j).unwrap_or(0.0); // standardized col mean
+            }
+        }
+        let missing: Vec<(usize, usize)> = (0..n)
+            .flat_map(|i| (0..m).filter(move |&j| rel.is_missing(i, j)).map(move |j| (i, j)))
+            .collect();
+
+        for _ in 0..self.max_iter {
+            let svd = thin_svd(&work);
+            let rec = svd.reconstruct(rank);
+            let mut delta: f64 = 0.0;
+            for &(i, j) in &missing {
+                let v = rec[(i, j)];
+                delta = delta.max((work[(i, j)] - v).abs());
+                work[(i, j)] = v;
+            }
+            if delta < self.tol {
+                break;
+            }
+        }
+
+        let mut out = rel.clone();
+        for &(i, j) in &missing {
+            out.set(i, j, transform.inverse(j, work[(i, j)]));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iim_data::Schema;
+
+    /// A rank-2 data matrix: columns are linear combinations of two latent
+    /// factors, so a rank-2 reconstruction recovers missing cells almost
+    /// exactly.
+    fn low_rank_rel() -> Relation {
+        let mut rel = Relation::with_capacity(Schema::anonymous(4), 0);
+        for i in 0..60 {
+            let a = (i as f64 * 0.37).sin() * 3.0;
+            let b = (i as f64 * 0.11).cos() * 2.0;
+            rel.push_row(&[a + b, 2.0 * a - b, -a + 3.0 * b, 0.5 * a + 0.5 * b]);
+        }
+        rel
+    }
+
+    #[test]
+    fn recovers_low_rank_structure() {
+        let mut rel = low_rank_rel();
+        let truth = rel.value(10, 2);
+        rel.clear_cell(10, 2);
+        let out = SvdImpute::with_rank(2).impute(&rel).unwrap();
+        let v = out.get(10, 2).unwrap();
+        assert!((v - truth).abs() < 0.15, "got {v}, truth {truth}");
+    }
+
+    #[test]
+    fn rejects_two_attributes() {
+        let rel = Relation::from_rows(
+            Schema::anonymous(2),
+            &[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]],
+        );
+        assert!(matches!(
+            SvdImpute::default().impute(&rel),
+            Err(ImputeError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn fills_multiple_missing() {
+        let mut rel = low_rank_rel();
+        rel.clear_cell(5, 0);
+        rel.clear_cell(20, 3);
+        rel.clear_cell(40, 1);
+        let out = SvdImpute::default().impute(&rel).unwrap();
+        assert_eq!(out.missing_count(), 0);
+    }
+
+    #[test]
+    fn default_rank_is_twenty_percent() {
+        // 4 attributes → ceil(0.8) = 1 triplet; just assert it runs and
+        // produces finite output under the default.
+        let mut rel = low_rank_rel();
+        rel.clear_cell(0, 0);
+        let out = SvdImpute::default().impute(&rel).unwrap();
+        assert!(out.get(0, 0).unwrap().is_finite());
+    }
+}

@@ -1,0 +1,335 @@
+//! XGB [9]: gradient tree boosting, from scratch. A faithful small-scale
+//! reimplementation of the xgboost regression objective: squared loss
+//! (gradient `g = ŷ − y`, hessian `h = 1`), exact greedy splits maximizing
+//! `½ [G_L²/(H_L+λ) + G_R²/(H_R+λ) − G²/(H+λ)] − γ`, leaf weights
+//! `−G/(H+λ)`, shrinkage `η`, optional row subsampling, and a
+//! `min_child_weight` constraint.
+
+use iim_data::{AttrEstimator, AttrPredictor, AttrTask, ImputeError};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// The XGB baseline (xgboost-style hyper-parameters).
+#[derive(Debug, Clone, Copy)]
+pub struct Xgb {
+    /// Boosting rounds.
+    pub rounds: usize,
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Learning rate η.
+    pub eta: f64,
+    /// L2 leaf regularization λ.
+    pub lambda: f64,
+    /// Split penalty γ (minimum gain).
+    pub gamma: f64,
+    /// Minimum hessian sum per child (= minimum rows for squared loss).
+    pub min_child_weight: f64,
+    /// Row subsampling fraction per round.
+    pub subsample: f64,
+    /// RNG seed (subsampling).
+    pub seed: u64,
+}
+
+impl Default for Xgb {
+    fn default() -> Self {
+        Self {
+            rounds: 50,
+            max_depth: 4,
+            eta: 0.3,
+            lambda: 1.0,
+            gamma: 0.0,
+            min_child_weight: 1.0,
+            subsample: 1.0,
+            seed: 0,
+        }
+    }
+}
+
+impl Xgb {
+    /// Default hyper-parameters with the given seed.
+    pub fn new(seed: u64) -> Self {
+        Self { seed, ..Self::default() }
+    }
+}
+
+/// One node of a regression tree, flattened into an arena.
+#[derive(Debug, Clone, Copy)]
+enum Node {
+    Split { feature: u16, threshold: f64, left: u32, right: u32 },
+    Leaf(f64),
+}
+
+/// A fitted regression tree.
+#[derive(Debug, Clone)]
+struct Tree {
+    nodes: Vec<Node>,
+}
+
+impl Tree {
+    fn predict(&self, x: &[f64]) -> f64 {
+        let mut at = 0usize;
+        loop {
+            match self.nodes[at] {
+                Node::Leaf(w) => return w,
+                Node::Split { feature, threshold, left, right } => {
+                    at = if x[feature as usize] < threshold {
+                        left as usize
+                    } else {
+                        right as usize
+                    };
+                }
+            }
+        }
+    }
+}
+
+struct Builder<'a> {
+    xs: &'a [Vec<f64>],
+    grad: &'a [f64],
+    params: &'a Xgb,
+    nodes: Vec<Node>,
+}
+
+impl<'a> Builder<'a> {
+    /// Builds one tree over `rows` (hessian is identically 1 for squared
+    /// loss, so H sums are row counts).
+    fn build(&mut self, rows: &mut [u32], depth: usize) -> u32 {
+        let id = self.nodes.len() as u32;
+        self.nodes.push(Node::Leaf(0.0)); // placeholder
+        let g: f64 = rows.iter().map(|&r| self.grad[r as usize]).sum();
+        let h = rows.len() as f64;
+        let leaf = |g: f64, h: f64| -g / (h + self.params.lambda);
+
+        if depth >= self.params.max_depth || rows.len() < 2 {
+            self.nodes[id as usize] = Node::Leaf(leaf(g, h));
+            return id;
+        }
+
+        // Exact greedy split search.
+        let parent_score = g * g / (h + self.params.lambda);
+        let mut best: Option<(f64, usize, f64)> = None; // (gain, feature, threshold)
+        let n_features = self.xs[rows[0] as usize].len();
+        let mut order: Vec<u32> = rows.to_vec();
+        for feat in 0..n_features {
+            order.sort_by(|&a, &b| {
+                self.xs[a as usize][feat].total_cmp(&self.xs[b as usize][feat])
+            });
+            let mut gl = 0.0;
+            let mut hl = 0.0;
+            for w in 0..order.len() - 1 {
+                let r = order[w] as usize;
+                gl += self.grad[r];
+                hl += 1.0;
+                let here = self.xs[r][feat];
+                let next = self.xs[order[w + 1] as usize][feat];
+                if next <= here {
+                    continue; // no separating threshold between equal values
+                }
+                let hr = h - hl;
+                if hl < self.params.min_child_weight || hr < self.params.min_child_weight {
+                    continue;
+                }
+                let gr = g - gl;
+                let gain = 0.5
+                    * (gl * gl / (hl + self.params.lambda)
+                        + gr * gr / (hr + self.params.lambda)
+                        - parent_score)
+                    - self.params.gamma;
+                if gain > best.map_or(0.0, |(bg, _, _)| bg) {
+                    best = Some((gain, feat, 0.5 * (here + next)));
+                }
+            }
+        }
+
+        match best {
+            None => {
+                self.nodes[id as usize] = Node::Leaf(leaf(g, h));
+                id
+            }
+            Some((_, feature, threshold)) => {
+                let split_at =
+                    partition(rows, |r| self.xs[r as usize][feature] < threshold);
+                debug_assert!(split_at > 0 && split_at < rows.len());
+                // Recurse on disjoint halves; indices are rebuilt afterwards.
+                let (l_rows, r_rows) = rows.split_at_mut(split_at);
+                let left = self.build(l_rows, depth + 1);
+                let right = self.build(r_rows, depth + 1);
+                self.nodes[id as usize] = Node::Split {
+                    feature: feature as u16,
+                    threshold,
+                    left,
+                    right,
+                };
+                id
+            }
+        }
+    }
+}
+
+/// In-place stable-ish partition; returns the split index.
+fn partition<F: Fn(u32) -> bool>(rows: &mut [u32], pred: F) -> usize {
+    let mut split = 0usize;
+    for i in 0..rows.len() {
+        if pred(rows[i]) {
+            rows.swap(split, i);
+            split += 1;
+        }
+    }
+    split
+}
+
+/// A fitted boosted ensemble.
+pub struct XgbModel {
+    base: f64,
+    eta: f64,
+    trees: Vec<Tree>,
+}
+
+impl XgbModel {
+    /// Fits the ensemble on `(xs, ys)`.
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64], params: &Xgb) -> Self {
+        assert_eq!(xs.len(), ys.len());
+        assert!(!xs.is_empty());
+        let n = xs.len();
+        let base = ys.iter().sum::<f64>() / n as f64;
+        let mut preds = vec![base; n];
+        let mut trees = Vec::with_capacity(params.rounds);
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let mut all_rows: Vec<u32> = (0..n as u32).collect();
+        let sample_len = ((n as f64) * params.subsample.clamp(0.05, 1.0)).ceil() as usize;
+
+        for _ in 0..params.rounds {
+            let grad: Vec<f64> = preds.iter().zip(ys).map(|(p, y)| p - y).collect();
+            let mut rows: Vec<u32> = if sample_len < n {
+                all_rows.shuffle(&mut rng);
+                all_rows[..sample_len].to_vec()
+            } else {
+                all_rows.clone()
+            };
+            let mut builder = Builder { xs, grad: &grad, params, nodes: Vec::new() };
+            builder.build(&mut rows, 0);
+            let tree = Tree { nodes: builder.nodes };
+            for (p, x) in preds.iter_mut().zip(xs) {
+                *p += params.eta * tree.predict(x);
+            }
+            trees.push(tree);
+        }
+        Self { base, eta: params.eta, trees }
+    }
+
+    /// Predicts one feature vector.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        self.base + self.eta * self.trees.iter().map(|t| t.predict(x)).sum::<f64>()
+    }
+
+    /// Number of trees in the ensemble.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+impl AttrPredictor for XgbModel {
+    fn predict(&self, x: &[f64]) -> f64 {
+        XgbModel::predict(self, x)
+    }
+}
+
+impl AttrEstimator for Xgb {
+    fn name(&self) -> &str {
+        "XGB"
+    }
+
+    fn fit(&self, task: &AttrTask<'_>) -> Result<Box<dyn AttrPredictor>, ImputeError> {
+        if task.n_train() == 0 {
+            return Err(ImputeError::NoTrainingData { target: task.target });
+        }
+        let (xs, ys) = task.training_matrix();
+        Ok(Box::new(XgbModel::fit(&xs, &ys, self)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_xy(f: impl Fn(f64) -> f64, n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let xs: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 / n as f64 * 10.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| f(x[0])).collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn fits_step_function_exactly() {
+        let (xs, ys) = grid_xy(|x| if x < 5.0 { 1.0 } else { 9.0 }, 200);
+        let model = XgbModel::fit(&xs, &ys, &Xgb::default());
+        assert!((model.predict(&[2.0]) - 1.0).abs() < 0.05);
+        assert!((model.predict(&[8.0]) - 9.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn fits_smooth_nonlinearity() {
+        let (xs, ys) = grid_xy(|x| x * x, 400);
+        let params = Xgb { rounds: 120, max_depth: 5, ..Xgb::default() };
+        let model = XgbModel::fit(&xs, &ys, &params);
+        for q in [1.0, 4.3, 7.7] {
+            let v = model.predict(&[q]);
+            assert!((v - q * q).abs() < 2.0, "q={q}: {v}");
+        }
+    }
+
+    #[test]
+    fn multifeature_interaction() {
+        // y = x0 * (x1 > 0): requires depth ≥ 2 interactions.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..20 {
+            for j in [-1.0, 1.0] {
+                xs.push(vec![i as f64, j]);
+                ys.push(if j > 0.0 { i as f64 } else { 0.0 });
+            }
+        }
+        let model = XgbModel::fit(&xs, &ys, &Xgb { rounds: 80, ..Xgb::default() });
+        assert!((model.predict(&[10.0, 1.0]) - 10.0).abs() < 1.0);
+        assert!(model.predict(&[10.0, -1.0]).abs() < 1.0);
+    }
+
+    #[test]
+    fn gamma_prunes_to_stump() {
+        let (xs, ys) = grid_xy(|x| x, 50);
+        // Huge gamma: no split clears the bar, every tree is a single leaf,
+        // and with squared loss the model converges to the mean.
+        let params = Xgb { gamma: 1e12, rounds: 10, ..Xgb::default() };
+        let model = XgbModel::fit(&xs, &ys, &params);
+        let mean = ys.iter().sum::<f64>() / ys.len() as f64;
+        assert!((model.predict(&[0.0]) - mean).abs() < 0.6);
+        assert!((model.predict(&[9.9]) - mean).abs() < 0.6);
+    }
+
+    #[test]
+    fn subsample_is_seed_deterministic() {
+        let (xs, ys) = grid_xy(|x| x.sin(), 100);
+        let p1 = Xgb { subsample: 0.7, seed: 42, ..Xgb::default() };
+        let a = XgbModel::fit(&xs, &ys, &p1).predict(&[3.3]);
+        let b = XgbModel::fit(&xs, &ys, &p1).predict(&[3.3]);
+        assert_eq!(a, b);
+        let p2 = Xgb { subsample: 0.7, seed: 43, ..Xgb::default() };
+        let c = XgbModel::fit(&xs, &ys, &p2).predict(&[3.3]);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn constant_target_yields_constant_model() {
+        let (xs, _) = grid_xy(|_| 0.0, 30);
+        let ys = vec![7.0; 30];
+        let model = XgbModel::fit(&xs, &ys, &Xgb::default());
+        assert!((model.predict(&[5.0]) - 7.0).abs() < 1e-9);
+        assert_eq!(model.n_trees(), 50);
+    }
+
+    #[test]
+    fn single_row_training() {
+        let model = XgbModel::fit(&[vec![1.0]], &[3.0], &Xgb::default());
+        assert!((model.predict(&[1.0]) - 3.0).abs() < 1e-9);
+    }
+}

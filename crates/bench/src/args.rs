@@ -1,0 +1,41 @@
+//! Minimal flag parsing shared by the experiment binaries (no CLI crate —
+//! two optional flags do not justify a dependency).
+
+/// Parsed common flags.
+#[derive(Debug, Clone, Copy)]
+pub struct Args {
+    /// Master RNG seed (default 42, the workspace-wide experiment seed).
+    pub seed: u64,
+    /// Dataset-size override for scalable experiments.
+    pub n: Option<usize>,
+    /// Quick mode: shrink sweeps for smoke-testing (`--quick`).
+    pub quick: bool,
+}
+
+impl Args {
+    /// Parses `--seed <u64>`, `--n <usize>`, `--quick` from `std::env`.
+    pub fn parse() -> Self {
+        let mut out = Self { seed: 42, n: None, quick: false };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--seed" => {
+                    out.seed = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--seed needs a u64");
+                }
+                "--n" => {
+                    out.n = Some(
+                        it.next()
+                            .and_then(|v| v.parse().ok())
+                            .expect("--n needs a usize"),
+                    );
+                }
+                "--quick" => out.quick = true,
+                other => panic!("unknown flag {other}; supported: --seed --n --quick"),
+            }
+        }
+        out
+    }
+}

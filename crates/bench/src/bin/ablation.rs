@@ -1,0 +1,69 @@
+//! Ablation study on IIM's design choices (DESIGN.md §2): the candidate
+//! aggregation of Algorithm 2 S3 (mutual vote vs uniform vs
+//! inverse-distance) and the learning policy (adaptive vs the best and
+//! worst fixed ℓ), across the two headline regimes.
+//!
+//! Not a paper artifact — it isolates how much each design decision
+//! contributes to Table V's results.
+
+use iim_bench::{Args, PaperData, Table};
+use iim_core::{AdaptiveConfig, Iim, IimConfig, Learning, Weighting};
+use iim_data::inject::inject_attr;
+use iim_data::metrics::rmse;
+use iim_data::{FeatureSelection, Imputer, PerAttributeImputer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = Args::parse();
+    let mut table = Table::new(vec![
+        "dataset", "vote", "uniform", "inv-dist", "fixed l=1", "fixed l=50", "fixed l=max",
+    ]);
+    for data in [PaperData::Asf, PaperData::Ca] {
+        let clean = data.generate(if args.quick { Some(1000) } else { args.n }, args.seed);
+        let n = clean.n_rows();
+        let am = clean.arity() - 1;
+        let mut rel = clean;
+        let n_inc = if args.quick { 30 } else { (n / 20).max(50) };
+        let truth =
+            inject_attr(&mut rel, am, n_inc, &mut StdRng::seed_from_u64(args.seed));
+
+        let adaptive = |weighting: Weighting| IimConfig {
+            k: 10,
+            weighting,
+            learning: Learning::Adaptive(AdaptiveConfig {
+                step: 5,
+                ell_max: Some(n.min(1000)),
+                validation_k: Some(10),
+                ..AdaptiveConfig::default()
+            }),
+            ..IimConfig::default()
+        };
+        let fixed = |ell: usize| IimConfig {
+            k: 10,
+            learning: Learning::Fixed { ell },
+            ..IimConfig::default()
+        };
+        let score = |cfg: IimConfig| {
+            let imp = PerAttributeImputer::with_features(
+                Iim::new(cfg),
+                FeatureSelection::AllOthers,
+            );
+            Table::num(Some(rmse(&imp.impute(&rel).expect("impute"), &truth)))
+        };
+
+        table.push(vec![
+            data.name().to_string(),
+            score(adaptive(Weighting::MutualVote)),
+            score(adaptive(Weighting::Uniform)),
+            score(adaptive(Weighting::InverseDistance)),
+            score(fixed(1)),
+            score(fixed(50)),
+            score(fixed(n)),
+        ]);
+        eprintln!("[ablation] {} done", data.name());
+    }
+    table.print("Ablation: candidate weighting and learning policy (RMS error)");
+    let path = table.write_tsv("ablation").expect("tsv");
+    println!("wrote {}", path.display());
+}

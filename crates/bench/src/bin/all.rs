@@ -1,0 +1,27 @@
+//! Runs every table and figure binary in sequence (same flags), writing
+//! all TSVs to `bench_results/`. `--quick` shrinks each workload for a
+//! fast smoke pass.
+
+use std::process::Command;
+
+fn main() {
+    let flags: Vec<String> = std::env::args().skip(1).collect();
+    let exe_dir = std::env::current_exe()
+        .expect("current exe")
+        .parent()
+        .expect("bin dir")
+        .to_path_buf();
+    let bins = [
+        "profiles", "table5", "table6", "table7", "fig4", "fig5", "fig6", "fig7",
+        "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "ablation",
+    ];
+    for bin in bins {
+        println!("\n########## {bin} ##########");
+        let status = Command::new(exe_dir.join(bin))
+            .args(&flags)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to spawn {bin}: {e}"));
+        assert!(status.success(), "{bin} failed with {status}");
+    }
+    println!("\nall experiments complete; TSVs in bench_results/");
+}

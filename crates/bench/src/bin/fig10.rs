@@ -1,0 +1,16 @@
+//! **Figure 10**: RMS error and imputation time vs the number of
+//! imputation neighbors k (kNN, IIM, kNNE) over CA with 1k incomplete
+//! tuples.
+
+use iim_bench::{figures, Args, PaperData};
+
+fn main() {
+    let args = Args::parse();
+    figures::vary_k(
+        args,
+        PaperData::Ca,
+        1000,
+        &[1, 2, 3, 5, 10, 20, 50, 100],
+        "fig10",
+    );
+}

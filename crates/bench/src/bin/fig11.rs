@@ -1,0 +1,16 @@
+//! **Figure 11**: imputation RMS error of fixed-ℓ learning across an ℓ
+//! grid vs adaptive learning, over (a) ASF and (b) CA.
+//!
+//! The expected shape: a U-curve over fixed ℓ (overfitting at tiny ℓ,
+//! underfitting at huge ℓ) with the adaptive line at or below the U's
+//! bottom on both datasets — even though the best fixed ℓ differs between
+//! them, which is the argument for adapting it per tuple.
+
+use iim_bench::{figures, Args, PaperData};
+
+fn main() {
+    let args = Args::parse();
+    let ells: &[usize] = &[1, 10, 20, 50, 100, 200, 300, 500, 700, 1000];
+    figures::fixed_vs_adaptive(args, PaperData::Asf, ells, "fig11a");
+    figures::fixed_vs_adaptive(args, PaperData::Ca, ells, "fig11b");
+}

@@ -1,0 +1,29 @@
+//! **Figure 12**: scalability of adaptive learning — determination time of
+//! the straightforward recomputation vs the Proposition-3 incremental
+//! computation (stepping h = 50), over (a) SN and (b) CA.
+//!
+//! The harness sweeps ℓ to min(n, 1000) (the paper sweeps to n on its
+//! testbed); the incremental speedup — the figure's point — is preserved.
+
+use iim_bench::{figures, Args, PaperData};
+
+fn main() {
+    let args = Args::parse();
+    if args.quick {
+        figures::scalability(args, PaperData::Sn, &[2_000, 4_000], "fig12a");
+        figures::scalability(args, PaperData::Ca, &[2_000, 4_000], "fig12b");
+        return;
+    }
+    figures::scalability(
+        args,
+        PaperData::Sn,
+        &[10_000, 20_000, 30_000, 40_000, 50_000],
+        "fig12a",
+    );
+    figures::scalability(
+        args,
+        PaperData::Ca,
+        &[2_000, 4_000, 6_000, 8_000, 10_000, 12_000, 14_000, 16_000, 18_000, 20_000],
+        "fig12b",
+    );
+}

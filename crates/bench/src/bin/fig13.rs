@@ -1,0 +1,16 @@
+//! **Figure 13**: the stepping tradeoff over ASF — smaller h considers
+//! more candidate ℓ values (lower RMS error, higher determination time);
+//! the straightforward and incremental algorithms produce *identical*
+//! errors (asserted), with the incremental one much faster.
+
+use iim_bench::{figures, Args, PaperData};
+
+fn main() {
+    let args = Args::parse();
+    figures::stepping(
+        args,
+        PaperData::Asf,
+        &[1, 5, 10, 20, 60, 100, 200, 300, 500],
+        "fig13",
+    );
+}

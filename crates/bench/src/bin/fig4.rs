@@ -1,0 +1,9 @@
+//! **Figure 4**: RMS error and imputation time vs |F| over ASF with 100
+//! incomplete tuples. See [`iim_bench::figures::vary_f`].
+
+use iim_bench::{figures, Args, PaperData};
+
+fn main() {
+    let args = Args::parse();
+    figures::vary_f(args, PaperData::Asf, 100, &[2, 3, 4, 5], "fig4");
+}

@@ -1,0 +1,9 @@
+//! **Figure 5**: RMS error and imputation time vs |F| over CA with 1k
+//! incomplete tuples. See [`iim_bench::figures::vary_f`].
+
+use iim_bench::{figures, Args, PaperData};
+
+fn main() {
+    let args = Args::parse();
+    figures::vary_f(args, PaperData::Ca, 1000, &[5, 6, 7, 8], "fig5");
+}

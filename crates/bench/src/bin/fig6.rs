@@ -1,0 +1,15 @@
+//! **Figure 6**: RMS error and imputation time vs the number of complete
+//! tuples, over ASF with 100 incomplete tuples.
+
+use iim_bench::{figures, Args, PaperData};
+
+fn main() {
+    let args = Args::parse();
+    figures::vary_n(
+        args,
+        PaperData::Asf,
+        100,
+        &[150, 300, 450, 600, 750, 900, 1000, 1200, 1300, 1400],
+        "fig6",
+    );
+}

@@ -1,0 +1,15 @@
+//! **Figure 7**: RMS error and imputation time vs the number of complete
+//! tuples, over CA with 1k incomplete tuples.
+
+use iim_bench::{figures, Args, PaperData};
+
+fn main() {
+    let args = Args::parse();
+    figures::vary_n(
+        args,
+        PaperData::Ca,
+        1000,
+        &[2_000, 4_000, 6_000, 8_000, 10_000, 12_000, 14_000, 16_000, 18_000, 20_000],
+        "fig7",
+    );
+}

@@ -1,0 +1,9 @@
+//! **Figure 9**: RMS error and imputation time vs the number of imputation
+//! neighbors k (kNN, IIM, kNNE) over ASF with 100 incomplete tuples.
+
+use iim_bench::{figures, Args, PaperData};
+
+fn main() {
+    let args = Args::parse();
+    figures::vary_k(args, PaperData::Asf, 100, &[1, 2, 3, 5, 10, 20, 50, 100], "fig9");
+}

@@ -1,0 +1,27 @@
+//! Experiment harness regenerating every table and figure of the IIM
+//! paper's evaluation section.
+//!
+//! One binary per artifact (`table5`, `table6`, `table7`, `fig4` …
+//! `fig13`), each printing the paper's rows/series to stdout and writing a
+//! TSV to `bench_results/`. `--bin all` runs the lot. Run them in release:
+//!
+//! ```text
+//! cargo run -p iim-bench --release --bin table5
+//! cargo run -p iim-bench --release --bin all
+//! ```
+//!
+//! Sizes are the paper's except where noted in [`datasets`]: the harness
+//! scales the largest sweeps so a full `all` run finishes on a laptop.
+//! Every binary accepts `--seed <u64>` and (where meaningful) `--n <rows>`
+//! overrides.
+
+pub mod args;
+pub mod datasets;
+pub mod figures;
+pub mod harness;
+pub mod report;
+
+pub use args::Args;
+pub use datasets::PaperData;
+pub use harness::{method_lineup, run_lineup, MethodScore};
+pub use report::Table;

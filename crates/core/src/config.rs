@@ -1,0 +1,149 @@
+//! Configuration of the IIM pipeline.
+
+/// How the learning neighbors for individual models are chosen.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Learning {
+    /// One fixed ℓ for every tuple (Algorithm 1).
+    Fixed {
+        /// Number of learning neighbors, `1 ≤ ℓ ≤ n`.
+        ell: usize,
+    },
+    /// Per-tuple ℓ selected by validation (Algorithm 3).
+    Adaptive(AdaptiveConfig),
+}
+
+/// Parameters of the adaptive sweep (Algorithm 3 + §V-A2/§V-B).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdaptiveConfig {
+    /// Stepping `h ≥ 1`: candidate values ℓ ∈ {1, 1+h, 1+2h, …} (§V-A2,
+    /// Example 5). `h = 1` evaluates every ℓ.
+    pub step: usize,
+    /// Upper bound on swept ℓ. `None` sweeps to `n` like the paper;
+    /// the harness caps it to bound Figure 12 runtimes (reported whenever
+    /// used).
+    pub ell_max: Option<usize>,
+    /// `true` uses the Proposition-3 incremental Gram sweep; `false`
+    /// re-learns each candidate model from scratch (the paper's
+    /// "straightforward" comparator in Figures 12–13). Both produce
+    /// identical models.
+    pub incremental: bool,
+    /// Validation neighbor count for Algorithm 3 Line 4. `None` uses the
+    /// imputation `k` exactly as the paper writes it; a fixed value keeps
+    /// the per-tuple validation set usable when sweeping tiny imputation
+    /// k (Figures 9–10) — with `k = 1` the paper-literal rule validates
+    /// each candidate model on a single tuple and the arg-min over the ℓ
+    /// grid overfits badly.
+    pub validation_k: Option<usize>,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        Self { step: 1, ell_max: None, incremental: true, validation_k: None }
+    }
+}
+
+/// How the k imputation candidates are aggregated (Algorithm 2, S3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Weighting {
+    /// The paper's mutual-voting weights (Formulas 11–12): candidates close
+    /// to the other candidates weigh more, outliers are suppressed.
+    #[default]
+    MutualVote,
+    /// Uniform `1/|Tx|` weights — the setting under which IIM with ℓ = 1
+    /// degenerates to kNN (Proposition 1).
+    Uniform,
+    /// Weights proportional to the inverse distance between `tx` and the
+    /// suggesting neighbor on `F` (the classic weighted-kNN aggregation the
+    /// paper cites as an alternative in §II-A2); kept as an ablation.
+    InverseDistance,
+}
+
+/// Full IIM configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IimConfig {
+    /// Number of imputation neighbors `k` (Algorithm 2; also the validation
+    /// neighbor count in Algorithm 3 Line 4).
+    pub k: usize,
+    /// Ridge regularization `α` of Formula 5. The paper's worked examples
+    /// correspond to `α ≈ 0`; the default `1e-6` is a numerical guard, not
+    /// a tuning knob.
+    pub alpha: f64,
+    /// Learning-neighbor policy.
+    pub learning: Learning,
+    /// Candidate aggregation.
+    pub weighting: Weighting,
+    /// Worker threads for the (embarrassingly parallel) learning phases.
+    /// `0` means one per available core.
+    pub threads: usize,
+}
+
+impl Default for IimConfig {
+    fn default() -> Self {
+        Self {
+            k: 10,
+            alpha: 1e-6,
+            learning: Learning::Adaptive(AdaptiveConfig::default()),
+            weighting: Weighting::MutualVote,
+            threads: 0,
+        }
+    }
+}
+
+impl IimConfig {
+    /// Fixed-ℓ configuration with paper-default everything else.
+    pub fn fixed(ell: usize, k: usize) -> Self {
+        Self { k, learning: Learning::Fixed { ell }, ..Self::default() }
+    }
+
+    /// Adaptive configuration with stepping `h` and an optional sweep cap.
+    pub fn adaptive(step: usize, ell_max: Option<usize>, k: usize) -> Self {
+        Self {
+            k,
+            learning: Learning::Adaptive(AdaptiveConfig {
+                step,
+                ell_max,
+                ..AdaptiveConfig::default()
+            }),
+            ..Self::default()
+        }
+    }
+
+    /// Resolved worker-thread count.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_paper_faithful() {
+        let cfg = IimConfig::default();
+        assert_eq!(cfg.weighting, Weighting::MutualVote);
+        assert!(matches!(cfg.learning, Learning::Adaptive(ref a) if a.step == 1));
+        assert!(cfg.alpha <= 1e-6);
+        assert!(cfg.effective_threads() >= 1);
+    }
+
+    #[test]
+    fn constructors() {
+        let f = IimConfig::fixed(5, 3);
+        assert_eq!(f.learning, Learning::Fixed { ell: 5 });
+        assert_eq!(f.k, 3);
+        let a = IimConfig::adaptive(10, Some(200), 7);
+        match a.learning {
+            Learning::Adaptive(ref c) => {
+                assert_eq!(c.step, 10);
+                assert_eq!(c.ell_max, Some(200));
+                assert!(c.incremental);
+            }
+            _ => panic!("expected adaptive"),
+        }
+    }
+}

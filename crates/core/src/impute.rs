@@ -1,0 +1,219 @@
+//! The imputation phase (Algorithm 2): candidates from the individual
+//! models of the k imputation neighbors, combined by mutual voting.
+
+use crate::config::Weighting;
+use iim_linalg::RidgeModel;
+use iim_neighbors::brute::{FeatureMatrix, Neighbor};
+
+/// (S1) + (S2): finds `Tx = NN(tx, F, k)` among the training tuples and
+/// evaluates each neighbor's individual model at `tx[F]` (Formula 9).
+///
+/// Returns the neighbors (ascending by distance) paired with their
+/// candidate values `t_x^j[Am]`.
+pub fn impute_candidates(
+    fm: &FeatureMatrix,
+    models: &[RidgeModel],
+    query: &[f64],
+    k: usize,
+) -> Vec<(Neighbor, f64)> {
+    debug_assert_eq!(fm.len(), models.len());
+    let neighbors = fm.knn(query, k);
+    neighbors
+        .into_iter()
+        .map(|nb| {
+            let candidate = models[nb.pos as usize].predict(query);
+            (nb, candidate)
+        })
+        .collect()
+}
+
+/// (S3): aggregates the candidates into the final imputation
+/// `t'_x[Am] = Σ t_x^j[Am] · w_xj` (Formula 10).
+///
+/// Under [`Weighting::MutualVote`], each candidate's weight is the
+/// normalized inverse of its total distance to the other candidates
+/// (Formulas 11–12): candidates agreeing with each other dominate, outliers
+/// are suppressed (Figure 3). When all candidates coincide the formula's
+/// `0/0` limit is the common value, which is what is returned.
+///
+/// Returns `None` for an empty candidate set.
+pub fn combine_candidates(
+    candidates: &[(Neighbor, f64)],
+    weighting: Weighting,
+) -> Option<f64> {
+    if candidates.is_empty() {
+        return None;
+    }
+    if candidates.len() == 1 {
+        return Some(candidates[0].1);
+    }
+    match weighting {
+        Weighting::Uniform => {
+            let sum: f64 = candidates.iter().map(|(_, c)| c).sum();
+            Some(sum / candidates.len() as f64)
+        }
+        Weighting::MutualVote => Some(mutual_vote(candidates)),
+        Weighting::InverseDistance => Some(inverse_distance(candidates)),
+    }
+}
+
+fn mutual_vote(candidates: &[(Neighbor, f64)]) -> f64 {
+    let k = candidates.len();
+    // c_xi = Σ_j |c_i − c_j|  (Formula 11)
+    let mut cx = vec![0.0; k];
+    for i in 0..k {
+        let ci = candidates[i].1;
+        let mut sum = 0.0;
+        for (_, cj) in candidates {
+            sum += (ci - cj).abs();
+        }
+        cx[i] = sum;
+    }
+    // Degenerate case: c_xi = 0 means candidate i coincides with *every*
+    // other candidate, i.e. all candidates are equal — return that value
+    // (the limit of Formula 12 as the spread vanishes). Scale-aware guard.
+    let scale: f64 =
+        candidates.iter().map(|(_, c)| c.abs()).fold(0.0, f64::max).max(1.0);
+    let eps = 1e-12 * scale;
+    if let Some(i) = (0..k).find(|&i| cx[i] <= eps) {
+        return candidates[i].1;
+    }
+    // w_xi = c_xi⁻¹ / Σ_j c_xj⁻¹  (Formula 12)
+    let inv_sum: f64 = cx.iter().map(|c| 1.0 / c).sum();
+    candidates
+        .iter()
+        .zip(&cx)
+        .map(|((_, ci), cxi)| ci * (1.0 / cxi) / inv_sum)
+        .sum()
+}
+
+fn inverse_distance(candidates: &[(Neighbor, f64)]) -> f64 {
+    // Weighted-kNN-style aggregation on the F-space distances; a neighbor
+    // at distance zero takes the whole vote (first such wins ties, matching
+    // the ascending order of the candidate list).
+    let eps = 1e-12;
+    if let Some((_, c)) = candidates.iter().find(|(nb, _)| nb.dist <= eps) {
+        return *c;
+    }
+    let inv_sum: f64 = candidates.iter().map(|(nb, _)| 1.0 / nb.dist).sum();
+    candidates
+        .iter()
+        .map(|(nb, c)| c * (1.0 / nb.dist) / inv_sum)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::learn::learn_fixed;
+    use iim_data::paper_fig1;
+    use iim_neighbors::NeighborOrders;
+
+    fn nb(pos: u32, dist: f64) -> Neighbor {
+        Neighbor { pos, dist }
+    }
+
+    #[test]
+    fn paper_example_3_end_to_end() {
+        // k = 3, ℓ = 4: the paper reports candidates 1.19 (t5), 1.21 (t4),
+        // 1.19 (t6) and final imputation 1.194, using its rounded
+        // φ5 = (-4.36, 1.11). Exact least squares gives
+        // φ5 = φ6 = (-4.4623, 1.1190) → candidates 1.133 (t5, t6) and
+        // 1.228 (t4, from the exact φ4 = (5.5638, -0.8672)), with the same
+        // mutual-vote weights (0.4, 0.2, 0.4) → 1.152. We pin the exact
+        // values tightly, the paper's loosely.
+        let (rel, _) = paper_fig1();
+        let rows: Vec<u32> = (0..8).collect();
+        let fm = FeatureMatrix::gather(&rel, &[0], &rows);
+        let ys: Vec<f64> = (0..8).map(|i| rel.value(i, 1)).collect();
+        let orders = NeighborOrders::build(&fm, 8);
+        let models = learn_fixed(&fm, &ys, &orders, 4, 1e-9, 1);
+
+        let cands = impute_candidates(&fm, &models, &[5.0], 3);
+        assert_eq!(cands.len(), 3);
+        // Neighbors are t5 (index 4, dist 1.8), t4 (index 3, dist 2.1),
+        // t6 (index 5, dist 2.5).
+        let by_pos: std::collections::HashMap<u32, f64> =
+            cands.iter().map(|(nb, c)| (nb.pos, *c)).collect();
+        assert!((by_pos[&4] - 1.133).abs() < 0.005, "t5 candidate {}", by_pos[&4]);
+        assert!((by_pos[&3] - 1.228).abs() < 0.005, "t4 candidate {}", by_pos[&3]);
+        assert!((by_pos[&5] - 1.133).abs() < 0.005, "t6 candidate {}", by_pos[&5]);
+        for (_, c) in &cands {
+            assert!((c - 1.19).abs() < 0.1, "paper ballpark: {c}");
+        }
+
+        let imputed = combine_candidates(&cands, Weighting::MutualVote).unwrap();
+        assert!((imputed - 1.152).abs() < 0.005, "imputed {imputed}");
+        assert!((imputed - 1.194).abs() < 0.05, "paper ballpark: {imputed}");
+        // Much closer to the truth 1.8 than kNN's value mean (3.43).
+        assert!((imputed - 1.8).abs() < (3.43 - 1.8f64).abs());
+    }
+
+    #[test]
+    fn mutual_vote_weights_match_example_3() {
+        // Candidates 1.19, 1.21, 1.19 → c = (0.02, 0.04, 0.02), weights
+        // (0.4, 0.2, 0.4).
+        let cands = vec![
+            (nb(0, 1.8), 1.19),
+            (nb(1, 2.1), 1.21),
+            (nb(2, 2.5), 1.19),
+        ];
+        let v = combine_candidates(&cands, Weighting::MutualVote).unwrap();
+        let expect = 1.19 * 0.4 + 1.21 * 0.2 + 1.19 * 0.4;
+        assert!((v - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mutual_vote_suppresses_outlier() {
+        // Two agreeing candidates and one far outlier (Figure 3): with
+        // k = 3 the agreeing pair each get weight → 0.4 and the outlier
+        // → 0.2 (c_out ≈ 2·c_agree), i.e. strictly below uniform.
+        let cands = vec![(nb(0, 1.0), 2.0), (nb(1, 1.0), 2.1), (nb(2, 1.0), 50.0)];
+        let v = combine_candidates(&cands, Weighting::MutualVote).unwrap();
+        let uniform = combine_candidates(&cands, Weighting::Uniform).unwrap();
+        assert!((uniform - (2.0 + 2.1 + 50.0) / 3.0).abs() < 1e-12);
+        assert!(v < uniform, "mutual vote {v} must beat uniform {uniform}");
+        // Effective outlier weight (solve v = (1-w)·mean(2.0,2.1) + w·50).
+        let w = (v - 2.05) / (50.0 - 2.05);
+        assert!((w - 0.2).abs() < 0.01, "outlier weight {w}");
+    }
+
+    #[test]
+    fn identical_candidates_return_common_value() {
+        let cands = vec![(nb(0, 1.0), 7.5), (nb(1, 2.0), 7.5), (nb(2, 3.0), 7.5)];
+        for w in [Weighting::MutualVote, Weighting::Uniform, Weighting::InverseDistance] {
+            assert_eq!(combine_candidates(&cands, w), Some(7.5));
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(combine_candidates(&[], Weighting::MutualVote), None);
+        let single = vec![(nb(0, 0.5), 3.25)];
+        assert_eq!(combine_candidates(&single, Weighting::MutualVote), Some(3.25));
+    }
+
+    #[test]
+    fn inverse_distance_weighting() {
+        let cands = vec![(nb(0, 1.0), 0.0), (nb(1, 3.0), 4.0)];
+        // Weights 1/1 and 1/3 → (0*1 + 4*(1/3)) / (4/3) = 1.
+        let v = combine_candidates(&cands, Weighting::InverseDistance).unwrap();
+        assert!((v - 1.0).abs() < 1e-12);
+        // Zero-distance neighbor dominates entirely.
+        let exact = vec![(nb(0, 0.0), 9.0), (nb(1, 5.0), 1.0)];
+        assert_eq!(combine_candidates(&exact, Weighting::InverseDistance), Some(9.0));
+    }
+
+    #[test]
+    fn weights_sum_to_one_invariant() {
+        // Reconstruct weights from the aggregation by probing with shifted
+        // candidate sets: combine(c + t) == combine(c) + t for any constant
+        // t iff weights sum to 1.
+        let cands = vec![(nb(0, 1.0), 1.0), (nb(1, 2.0), 2.0), (nb(2, 3.0), 4.0)];
+        let base = combine_candidates(&cands, Weighting::MutualVote).unwrap();
+        let shifted: Vec<(Neighbor, f64)> =
+            cands.iter().map(|(n, c)| (*n, c + 10.0)).collect();
+        let moved = combine_candidates(&shifted, Weighting::MutualVote).unwrap();
+        assert!((moved - base - 10.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,230 @@
+//! The IIM front end: a two-phase model ([`IimModel`]) and the
+//! [`AttrEstimator`] adapter ([`Iim`]) that plugs IIM into the shared
+//! per-attribute driver next to every baseline.
+
+use crate::adaptive::adaptive_learn;
+use crate::config::{IimConfig, Learning, Weighting};
+use crate::impute::{combine_candidates, impute_candidates};
+use crate::learn::learn_fixed;
+use iim_data::{AttrEstimator, AttrPredictor, AttrTask, ImputeError};
+use iim_linalg::RidgeModel;
+use iim_neighbors::{brute::FeatureMatrix, NeighborOrders};
+
+/// A learned IIM model for one incomplete attribute: the offline phase's
+/// output (`Φ` plus the training tuples), ready to impute any number of
+/// queries online.
+pub struct IimModel {
+    fm: FeatureMatrix,
+    models: Vec<RidgeModel>,
+    chosen_ell: Vec<u32>,
+    k: usize,
+    weighting: Weighting,
+}
+
+impl IimModel {
+    /// Offline phase: learns the individual models of all training tuples
+    /// of `task` (Algorithm 1 for [`Learning::Fixed`], Algorithm 3 for
+    /// [`Learning::Adaptive`]).
+    pub fn learn(task: &AttrTask<'_>, cfg: &IimConfig) -> Result<Self, ImputeError> {
+        if task.n_train() == 0 {
+            return Err(ImputeError::NoTrainingData { target: task.target });
+        }
+        let fm = FeatureMatrix::gather(task.rel, &task.features, &task.train_rows);
+        let ys: Vec<f64> = task
+            .train_rows
+            .iter()
+            .map(|&r| task.target_value(r as usize))
+            .collect();
+        Ok(Self::learn_from_parts(fm, &ys, cfg))
+    }
+
+    /// [`IimModel::learn`] over pre-gathered parts (used by benches that
+    /// need to time the phases in isolation).
+    pub fn learn_from_parts(fm: FeatureMatrix, ys: &[f64], cfg: &IimConfig) -> Self {
+        let n = fm.len();
+        let threads = cfg.effective_threads();
+        let (models, chosen_ell) = match &cfg.learning {
+            Learning::Fixed { ell } => {
+                let ell = (*ell).clamp(1, n);
+                let orders = NeighborOrders::build(&fm, ell);
+                let models = learn_fixed(&fm, ys, &orders, ell, cfg.alpha, threads);
+                (models, vec![ell as u32; n])
+            }
+            Learning::Adaptive(acfg) => {
+                let vk_hint = acfg.validation_k.unwrap_or(cfg.k);
+                let depth = acfg
+                    .ell_max
+                    .map_or(n, |e| e.min(n))
+                    .max(vk_hint.min(n)); // orders must also serve validation kNN
+                let orders = NeighborOrders::build(&fm, depth.max(1));
+                let vk = acfg.validation_k.unwrap_or(cfg.k).max(1);
+                let out = adaptive_learn(&fm, ys, &orders, vk, acfg, cfg.alpha, threads);
+                (out.models, out.chosen_ell)
+            }
+        };
+        Self { fm, models, chosen_ell, k: cfg.k.max(1), weighting: cfg.weighting }
+    }
+
+    /// Online phase (Algorithm 2): imputes one query from its feature
+    /// vector (in the task's feature order).
+    pub fn impute(&self, query: &[f64]) -> f64 {
+        let cands = impute_candidates(&self.fm, &self.models, query, self.k);
+        combine_candidates(&cands, self.weighting)
+            .expect("training set is non-empty")
+    }
+
+    /// The per-tuple ℓ actually used (constant under fixed learning).
+    pub fn chosen_ell(&self) -> &[u32] {
+        &self.chosen_ell
+    }
+
+    /// The individual regression parameters Φ, indexed like the training
+    /// tuples.
+    pub fn models(&self) -> &[RidgeModel] {
+        &self.models
+    }
+
+    /// Number of training tuples.
+    pub fn n_train(&self) -> usize {
+        self.fm.len()
+    }
+
+    /// The gathered training features (crate-internal accessors for the
+    /// multiple-imputation view).
+    pub(crate) fn feature_matrix(&self) -> &FeatureMatrix {
+        &self.fm
+    }
+
+    pub(crate) fn k(&self) -> usize {
+        self.k
+    }
+
+    pub(crate) fn weighting(&self) -> Weighting {
+        self.weighting
+    }
+}
+
+impl AttrPredictor for IimModel {
+    fn predict(&self, x: &[f64]) -> f64 {
+        self.impute(x)
+    }
+}
+
+/// IIM as a pluggable per-attribute estimator.
+///
+/// ```
+/// use iim_core::{Iim, IimConfig};
+/// use iim_data::{Imputer, PerAttributeImputer};
+///
+/// let (mut rel, _) = iim_data::paper_fig1();
+/// rel.push_row_opt(&[Some(5.0), None]); // tx
+/// let iim = PerAttributeImputer::new(Iim::new(IimConfig { k: 3, ..Default::default() }));
+/// let filled = iim.impute(&rel).unwrap();
+/// assert!(filled.get(8, 1).is_some());
+/// ```
+pub struct Iim {
+    cfg: IimConfig,
+}
+
+impl Iim {
+    /// IIM with the given configuration.
+    pub fn new(cfg: IimConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// Paper-default IIM: adaptive learning, mutual-vote aggregation.
+    pub fn paper_default() -> Self {
+        Self::new(IimConfig::default())
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &IimConfig {
+        &self.cfg
+    }
+}
+
+impl AttrEstimator for Iim {
+    fn name(&self) -> &str {
+        "IIM"
+    }
+
+    fn fit(&self, task: &AttrTask<'_>) -> Result<Box<dyn AttrPredictor>, ImputeError> {
+        Ok(Box::new(IimModel::learn(task, &self.cfg)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iim_data::{paper_fig1, Imputer, PerAttributeImputer};
+
+    #[test]
+    fn fig1_fixed_ell_matches_example_3() {
+        let (rel, _) = paper_fig1();
+        let task = AttrTask::new(&rel, vec![0], 1);
+        let cfg = IimConfig::fixed(4, 3);
+        let model = IimModel::learn(&task, &cfg).unwrap();
+        let v = model.impute(&[5.0]);
+        // 1.152 exact; the paper's rounded models give 1.194 (see
+        // impute::tests::paper_example_3_end_to_end).
+        assert!((v - 1.152).abs() < 0.005, "imputed {v}");
+        assert!((v - 1.194).abs() < 0.05);
+        assert_eq!(model.chosen_ell(), &[4; 8]);
+        assert_eq!(model.n_train(), 8);
+    }
+
+    #[test]
+    fn fig1_adaptive_beats_knn_and_glr() {
+        let (rel, _) = paper_fig1();
+        let task = AttrTask::new(&rel, vec![0], 1);
+        let cfg = IimConfig { k: 3, ..IimConfig::default() };
+        let model = IimModel::learn(&task, &cfg).unwrap();
+        let iim_v = model.impute(&[5.0]);
+        let truth = 1.8;
+
+        // kNN (value mean of t4,t5,t6): (3.2 + 3.0 + 4.1)/3 = 3.43.
+        let knn_v: f64 = (3.2 + 3.0 + 4.1) / 3.0;
+        // GLR prediction at 5.0.
+        let ys: Vec<f64> = (0..8).map(|i| rel.value(i, 1)).collect();
+        let xs: Vec<Vec<f64>> = (0..8).map(|i| vec![rel.value(i, 0)]).collect();
+        let glr = iim_linalg::ridge_fit(xs.iter().map(|v| v.as_slice()), &ys, 1e-9).unwrap();
+        let glr_v = glr.predict(&[5.0]);
+
+        assert!((iim_v - truth).abs() < (knn_v - truth).abs(), "IIM {iim_v} vs kNN {knn_v}");
+        assert!((iim_v - truth).abs() < (glr_v - truth).abs(), "IIM {iim_v} vs GLR {glr_v}");
+    }
+
+    #[test]
+    fn driver_integration() {
+        let (mut rel, tx) = paper_fig1();
+        rel.push_row_opt(&tx);
+        let iim =
+            PerAttributeImputer::new(Iim::new(IimConfig { k: 3, ..Default::default() }));
+        assert_eq!(iim.name(), "IIM");
+        let filled = iim.impute(&rel).unwrap();
+        assert_eq!(filled.missing_count(), 0);
+        let v = filled.get(8, 1).unwrap();
+        assert!((v - 1.8).abs() < 0.7, "imputed {v}");
+    }
+
+    #[test]
+    fn empty_training_is_error() {
+        let mut rel = iim_data::Relation::with_capacity(iim_data::Schema::anonymous(2), 1);
+        rel.push_row_opt(&[Some(1.0), None]);
+        let task = AttrTask::new(&rel, vec![0], 1);
+        assert!(matches!(
+            IimModel::learn(&task, &IimConfig::default()),
+            Err(ImputeError::NoTrainingData { target: 1 })
+        ));
+    }
+
+    #[test]
+    fn k_clamps_to_training_size() {
+        let (rel, _) = paper_fig1();
+        let task = AttrTask::new(&rel, vec![0], 1);
+        let cfg = IimConfig { k: 100, ..IimConfig::default() };
+        let model = IimModel::learn(&task, &cfg).unwrap();
+        let v = model.impute(&[5.0]);
+        assert!(v.is_finite());
+    }
+}

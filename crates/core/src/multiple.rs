@@ -1,0 +1,195 @@
+//! Multiple imputation: the paper's §VII future-work direction
+//! ("answer queries directly over multiple imputation candidates suggested
+//! by different individual models, rather than determining exactly one
+//! imputation").
+//!
+//! Algorithm 2 already produces k candidate values with mutual-vote
+//! weights before collapsing them into one number; [`ImputationDistribution`]
+//! keeps that weighted candidate set alive so downstream consumers can do
+//! uncertainty-aware query answering: expectations, quantiles, intervals,
+//! or agreement checks.
+
+use crate::config::Weighting;
+use crate::imputer::IimModel;
+
+/// A weighted set of imputation candidates for one query — the output of
+/// Algorithm 2 *before* step S3 collapses it, with the S3 weights attached.
+#[derive(Debug, Clone)]
+pub struct ImputationDistribution {
+    /// `(candidate value, weight)`; weights are normalized to sum to 1 and
+    /// candidates are sorted ascending by value.
+    pub candidates: Vec<(f64, f64)>,
+}
+
+impl ImputationDistribution {
+    /// Builds from raw candidates and the configured weighting.
+    pub(crate) fn new(mut weighted: Vec<(f64, f64)>) -> Self {
+        let total: f64 = weighted.iter().map(|(_, w)| w).sum();
+        if total > 0.0 {
+            for (_, w) in &mut weighted {
+                *w /= total;
+            }
+        } else if !weighted.is_empty() {
+            let u = 1.0 / weighted.len() as f64;
+            for (_, w) in &mut weighted {
+                *w = u;
+            }
+        }
+        weighted.sort_by(|a, b| a.0.total_cmp(&b.0));
+        Self { candidates: weighted }
+    }
+
+    /// The point imputation: the weighted mean (equals
+    /// [`IimModel::impute`] under the same weighting).
+    pub fn mean(&self) -> f64 {
+        self.candidates.iter().map(|(v, w)| v * w).sum()
+    }
+
+    /// Weighted standard deviation of the candidates — the model-side
+    /// uncertainty of the imputation (0 when all models agree).
+    pub fn std(&self) -> f64 {
+        let mean = self.mean();
+        self.candidates
+            .iter()
+            .map(|(v, w)| w * (v - mean) * (v - mean))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Weighted `q`-quantile (`0 ≤ q ≤ 1`) of the candidate set, by
+    /// cumulative weight over the sorted candidates.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        debug_assert!(!self.candidates.is_empty());
+        let mut acc = 0.0;
+        for &(v, w) in &self.candidates {
+            acc += w;
+            if acc >= q - 1e-12 {
+                return v;
+            }
+        }
+        self.candidates.last().expect("non-empty").0
+    }
+
+    /// Central interval `[quantile((1-p)/2), quantile((1+p)/2)]` covering
+    /// probability `p` of the candidate mass.
+    pub fn interval(&self, p: f64) -> (f64, f64) {
+        assert!((0.0..=1.0).contains(&p));
+        let lo = (1.0 - p) / 2.0;
+        (self.quantile(lo), self.quantile(1.0 - lo))
+    }
+
+    /// Candidate agreement in `[0, 1]`: 1 when all candidates coincide,
+    /// decreasing with relative spread. Useful to flag imputations the
+    /// individual models disagree on (the heterogeneity signal of
+    /// Figure 3).
+    pub fn agreement(&self) -> f64 {
+        let mean = self.mean().abs().max(1e-12);
+        1.0 / (1.0 + self.std() / mean)
+    }
+}
+
+impl IimModel {
+    /// The full candidate distribution for a query (Algorithm 2 without
+    /// the final collapse), under the model's configured weighting.
+    pub fn impute_distribution(&self, query: &[f64]) -> ImputationDistribution {
+        let cands = crate::impute::impute_candidates(
+            self.feature_matrix(),
+            self.models(),
+            query,
+            self.k(),
+        );
+        let weighted = match self.weighting() {
+            Weighting::Uniform => {
+                cands.iter().map(|(_, c)| (*c, 1.0)).collect()
+            }
+            Weighting::InverseDistance => cands
+                .iter()
+                .map(|(nb, c)| (*c, 1.0 / nb.dist.max(1e-12)))
+                .collect(),
+            Weighting::MutualVote => {
+                // Formula 11–12 weights (unnormalized; new() normalizes).
+                let k = cands.len();
+                let mut out = Vec::with_capacity(k);
+                for i in 0..k {
+                    let ci = cands[i].1;
+                    let cxi: f64 =
+                        cands.iter().map(|(_, cj)| (ci - cj).abs()).sum();
+                    out.push((ci, if cxi > 1e-12 { 1.0 / cxi } else { f64::MAX / k as f64 }));
+                }
+                out
+            }
+        };
+        ImputationDistribution::new(weighted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::IimConfig;
+    use iim_data::{paper_fig1, AttrTask};
+
+    fn fig1_model(k: usize) -> IimModel {
+        let (rel, _) = paper_fig1();
+        let task = AttrTask::new(&rel, vec![0], 1);
+        let cfg = IimConfig {
+            k,
+            learning: crate::config::Learning::Fixed { ell: 4 },
+            ..Default::default()
+        };
+        IimModel::learn(&task, &cfg).unwrap()
+    }
+
+    #[test]
+    fn distribution_mean_matches_point_imputation() {
+        let model = fig1_model(3);
+        let dist = model.impute_distribution(&[5.0]);
+        assert!((dist.mean() - model.impute(&[5.0])).abs() < 1e-9);
+        assert_eq!(dist.candidates.len(), 3);
+        let wsum: f64 = dist.candidates.iter().map(|(_, w)| w).sum();
+        assert!((wsum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fig1_candidates_tight_interval() {
+        // Figure 1: candidates 1.133, 1.133, 1.228 — agreeing models give a
+        // narrow interval around 1.15 that excludes kNN's 3.43.
+        let model = fig1_model(3);
+        let dist = model.impute_distribution(&[5.0]);
+        let (lo, hi) = dist.interval(0.9);
+        assert!(lo >= 1.1 && hi <= 1.3, "interval [{lo},{hi}]");
+        assert!(dist.std() < 0.1);
+        assert!(dist.agreement() > 0.9);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded() {
+        let model = fig1_model(5);
+        let dist = model.impute_distribution(&[2.0]);
+        let lo = dist.candidates.first().unwrap().0;
+        let hi = dist.candidates.last().unwrap().0;
+        let mut prev = f64::NEG_INFINITY;
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0] {
+            let v = dist.quantile(q);
+            assert!(v >= prev - 1e-12, "quantiles must be monotone");
+            assert!(v >= lo && v <= hi);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn identical_candidates_have_full_agreement() {
+        let dist = ImputationDistribution::new(vec![(2.0, 1.0), (2.0, 3.0), (2.0, 1.0)]);
+        assert_eq!(dist.mean(), 2.0);
+        assert_eq!(dist.std(), 0.0);
+        assert_eq!(dist.agreement(), 1.0);
+        assert_eq!(dist.interval(0.95), (2.0, 2.0));
+    }
+
+    #[test]
+    fn zero_weights_fall_back_to_uniform() {
+        let dist = ImputationDistribution::new(vec![(1.0, 0.0), (3.0, 0.0)]);
+        assert!((dist.mean() - 2.0).abs() < 1e-12);
+    }
+}

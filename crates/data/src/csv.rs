@@ -1,0 +1,168 @@
+//! Minimal CSV round-tripping for [`Relation`]s.
+//!
+//! First line is the header (attribute names); missing cells serialize as
+//! the empty string and parse from empty, `?`, `NA`, or `NaN` (the markers
+//! used by the UCI / KEEL sources the paper draws on). No quoting — the
+//! relations are purely numerical.
+
+use crate::relation::{Relation, Schema};
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Errors from CSV parsing.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A data line had the wrong number of fields.
+    Arity { line: usize, got: usize, want: usize },
+    /// A field failed to parse as a number or missing marker.
+    Parse { line: usize, field: String },
+    /// The input had no header line.
+    Empty,
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "io error: {e}"),
+            CsvError::Arity { line, got, want } => {
+                write!(f, "line {line}: expected {want} fields, got {got}")
+            }
+            CsvError::Parse { line, field } => {
+                write!(f, "line {line}: cannot parse {field:?} as a number")
+            }
+            CsvError::Empty => write!(f, "empty input: missing header"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<io::Error> for CsvError {
+    fn from(e: io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+fn is_missing_marker(s: &str) -> bool {
+    s.is_empty() || s == "?" || s.eq_ignore_ascii_case("na") || s.eq_ignore_ascii_case("nan")
+}
+
+/// Reads a relation from CSV text.
+pub fn read<R: Read>(reader: R) -> Result<Relation, CsvError> {
+    let mut lines = BufReader::new(reader).lines();
+    let header = lines.next().ok_or(CsvError::Empty)??;
+    let names: Vec<String> = header.split(',').map(|s| s.trim().to_string()).collect();
+    let m = names.len();
+    let mut rel = Relation::with_capacity(Schema::new(names), 0);
+    let mut row: Vec<Option<f64>> = Vec::with_capacity(m);
+    for (idx, line) in lines.enumerate() {
+        let line = line?;
+        let lineno = idx + 2;
+        if line.trim().is_empty() {
+            continue;
+        }
+        row.clear();
+        for field in line.split(',') {
+            let field = field.trim();
+            if is_missing_marker(field) {
+                row.push(None);
+            } else {
+                let v: f64 = field
+                    .parse()
+                    .map_err(|_| CsvError::Parse { line: lineno, field: field.to_string() })?;
+                if !v.is_finite() {
+                    row.push(None);
+                } else {
+                    row.push(Some(v));
+                }
+            }
+        }
+        if row.len() != m {
+            return Err(CsvError::Arity { line: lineno, got: row.len(), want: m });
+        }
+        rel.push_row_opt(&row);
+    }
+    Ok(rel)
+}
+
+/// Reads a relation from a CSV file.
+pub fn read_path<P: AsRef<Path>>(path: P) -> Result<Relation, CsvError> {
+    read(std::fs::File::open(path)?)
+}
+
+/// Writes a relation as CSV (missing cells become empty fields).
+pub fn write<W: Write>(rel: &Relation, mut w: W) -> io::Result<()> {
+    writeln!(w, "{}", rel.schema().names().join(","))?;
+    let mut line = String::new();
+    for i in 0..rel.n_rows() {
+        line.clear();
+        for j in 0..rel.arity() {
+            if j > 0 {
+                line.push(',');
+            }
+            if let Some(v) = rel.get(i, j) {
+                line.push_str(&format!("{v}"));
+            }
+        }
+        writeln!(w, "{line}")?;
+    }
+    Ok(())
+}
+
+/// Writes a relation to a CSV file.
+pub fn write_path<P: AsRef<Path>>(rel: &Relation, path: P) -> io::Result<()> {
+    write(rel, std::fs::File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_with_missing() {
+        let mut rel = Relation::with_capacity(Schema::anonymous(3), 2);
+        rel.push_row(&[1.0, 2.5, -3.0]);
+        rel.push_row_opt(&[None, Some(0.125), None]);
+
+        let mut buf = Vec::new();
+        write(&rel, &mut buf).unwrap();
+        let back = read(&buf[..]).unwrap();
+        assert_eq!(back.n_rows(), 2);
+        assert_eq!(back.get(0, 2), Some(-3.0));
+        assert_eq!(back.get(1, 0), None);
+        assert_eq!(back.get(1, 1), Some(0.125));
+        assert_eq!(back.schema().name(2), "A3");
+    }
+
+    #[test]
+    fn parses_alternate_missing_markers() {
+        let text = "a,b\n1,?\nNA,2\nnan,3\n";
+        let rel = read(text.as_bytes()).unwrap();
+        assert_eq!(rel.get(0, 1), None);
+        assert_eq!(rel.get(1, 0), None);
+        assert_eq!(rel.get(2, 0), None);
+        assert_eq!(rel.get(2, 1), Some(3.0));
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let text = "a\n1\n\n2\n";
+        let rel = read(text.as_bytes()).unwrap();
+        assert_eq!(rel.n_rows(), 2);
+    }
+
+    #[test]
+    fn rejects_ragged_and_garbage() {
+        assert!(matches!(
+            read("a,b\n1\n".as_bytes()),
+            Err(CsvError::Arity { line: 2, got: 1, want: 2 })
+        ));
+        assert!(matches!(
+            read("a\nxyz\n".as_bytes()),
+            Err(CsvError::Parse { line: 2, .. })
+        ));
+        assert!(matches!(read("".as_bytes()), Err(CsvError::Empty)));
+    }
+}

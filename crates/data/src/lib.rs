@@ -1,0 +1,35 @@
+#![allow(clippy::needless_range_loop)] // index loops are the idiom in these dense numeric kernels
+
+//! Relational data substrate for the `iim` workspace.
+//!
+//! The IIM paper operates on a relation `r` of `n` tuples over `m` numerical
+//! attributes, with incomplete tuples `tx` missing a value on an attribute
+//! `Ax` (Section II). This crate provides that model plus everything the
+//! evaluation protocol (Section VI-A) needs:
+//!
+//! * [`Schema`] / [`Relation`] — row-major numerical relations where a
+//!   missing cell is a `NaN` sentinel behind a checked API.
+//! * [`csv`] — plain-text round-tripping (missing cells serialize empty).
+//! * [`stats`] — column statistics and z-score / min-max normalization.
+//! * [`inject`] — the paper's missing-value injection protocols: random
+//!   tuples with one missing attribute (§VI-B1), per-attribute (§VI-B2,
+//!   Table VI), and clustered incomplete tuples (§VI-B5, Figure 8).
+//! * [`metrics`] — RMS error (the paper's accuracy criterion), MAE, and the
+//!   coefficient of determination used by the R²_S / R²_H diagnostics.
+//! * [`task`] — the [`Imputer`](task::Imputer) trait shared by IIM and all
+//!   thirteen baselines, the per-attribute estimator protocol, and the
+//!   driver that applies a per-attribute method to every incomplete column.
+
+pub mod csv;
+pub mod inject;
+pub mod metrics;
+pub mod relation;
+pub mod stats;
+pub mod task;
+
+pub use inject::{GroundTruth, MissingCell};
+pub use relation::{paper_fig1, Relation, Schema};
+pub use task::{
+    AttrEstimator, AttrPredictor, AttrTask, FeatureSelection, ImputeError, Imputer,
+    PerAttributeImputer,
+};

@@ -1,0 +1,148 @@
+//! Imputation accuracy metrics.
+//!
+//! The paper scores imputations with RMS error (§VI-A2):
+//! `sqrt( Σ (tx[Ax] − t'x[Ax])² / |{(tx, Ax)}| )`, and characterises
+//! datasets with the coefficient of determination `R²` evaluated against
+//! the values suggested by complete neighbors (`R²_S`, sparsity) or by the
+//! single global model (`R²_H`, heterogeneity) — the lower, the more severe
+//! the respective issue.
+
+use crate::inject::GroundTruth;
+use crate::relation::Relation;
+
+/// Root-mean-square error over `(prediction, truth)` pairs.
+///
+/// Returns 0 for an empty slice (no cells to score).
+pub fn rmse_pairs(pairs: &[(f64, f64)]) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    let ss: f64 = pairs.iter().map(|(p, t)| (p - t) * (p - t)).sum();
+    (ss / pairs.len() as f64).sqrt()
+}
+
+/// Mean absolute error over `(prediction, truth)` pairs.
+pub fn mae_pairs(pairs: &[(f64, f64)]) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    pairs.iter().map(|(p, t)| (p - t).abs()).sum::<f64>() / pairs.len() as f64
+}
+
+/// RMS error of an imputed relation against the injected ground truth.
+///
+/// Cells the imputer left missing are scored as if imputed with 0 — an
+/// imputer that cannot produce a value must still pay for it, mirroring how
+/// the paper's tables report every method on every dataset.
+pub fn rmse(imputed: &Relation, truth: &GroundTruth) -> f64 {
+    let pairs: Vec<(f64, f64)> = truth
+        .iter()
+        .map(|c| {
+            let p = imputed.get(c.row as usize, c.col as usize).unwrap_or(0.0);
+            (p, c.truth)
+        })
+        .collect();
+    rmse_pairs(&pairs)
+}
+
+/// Mean absolute error of an imputed relation against the ground truth.
+pub fn mae(imputed: &Relation, truth: &GroundTruth) -> f64 {
+    let pairs: Vec<(f64, f64)> = truth
+        .iter()
+        .map(|c| {
+            let p = imputed.get(c.row as usize, c.col as usize).unwrap_or(0.0);
+            (p, c.truth)
+        })
+        .collect();
+    mae_pairs(&pairs)
+}
+
+/// Coefficient of determination
+/// `R² = 1 − Σ(tᵢ − pᵢ)² / Σ(tᵢ − t̄)²`.
+///
+/// `preds[i]` is the value "suggested" for truth `truths[i]` — by a kNN
+/// aggregate for `R²_S` or a global regression for `R²_H` (the paper's
+/// §VI-A2 definitions, with the conventional total-sum-of-squares
+/// denominator). A constant truth vector yields `R² = 0` when predictions
+/// are off and `1` when exact.
+pub fn r_squared(preds: &[f64], truths: &[f64]) -> f64 {
+    assert_eq!(preds.len(), truths.len());
+    if truths.is_empty() {
+        return 1.0;
+    }
+    let mean = truths.iter().sum::<f64>() / truths.len() as f64;
+    let ss_tot: f64 = truths.iter().map(|t| (t - mean) * (t - mean)).sum();
+    let ss_res: f64 = preds
+        .iter()
+        .zip(truths)
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum();
+    if ss_tot <= 0.0 {
+        return if ss_res <= 0.0 { 1.0 } else { 0.0 };
+    }
+    1.0 - ss_res / ss_tot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inject::MissingCell;
+    use crate::relation::{Relation, Schema};
+
+    #[test]
+    fn rmse_known_values() {
+        let pairs = [(1.0, 0.0), (0.0, 1.0)];
+        assert!((rmse_pairs(&pairs) - 1.0).abs() < 1e-12);
+        assert_eq!(rmse_pairs(&[]), 0.0);
+        let exact = [(2.0, 2.0), (3.0, 3.0)];
+        assert_eq!(rmse_pairs(&exact), 0.0);
+    }
+
+    #[test]
+    fn mae_known_values() {
+        let pairs = [(1.0, 0.0), (0.0, 3.0)];
+        assert!((mae_pairs(&pairs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relation_rmse_reads_cells() {
+        let rel = Relation::from_rows(
+            Schema::anonymous(2),
+            &[vec![1.0, 5.0], vec![2.0, 7.0]],
+        );
+        let truth = vec![
+            MissingCell { row: 0, col: 1, truth: 6.0 },
+            MissingCell { row: 1, col: 1, truth: 7.0 },
+        ];
+        // Errors: (5-6)=-1 and 0 → rmse = sqrt(1/2)
+        assert!((rmse(&rel, &truth) - (0.5f64).sqrt()).abs() < 1e-12);
+        assert!((mae(&rel, &truth) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unimputed_cells_scored_as_zero() {
+        let mut rel = Relation::with_capacity(Schema::anonymous(1), 1);
+        rel.push_row_opt(&[None]);
+        let truth = vec![MissingCell { row: 0, col: 0, truth: 3.0 }];
+        assert!((rmse(&rel, &truth) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_perfect_and_mean_baseline() {
+        let truths = [1.0, 2.0, 3.0, 4.0];
+        assert!((r_squared(&truths, &truths) - 1.0).abs() < 1e-12);
+        // Predicting the mean everywhere gives R² = 0.
+        let mean = [2.5; 4];
+        assert!(r_squared(&mean, &truths).abs() < 1e-12);
+        // Worse than the mean goes negative.
+        let bad = [4.0, 3.0, 2.0, 1.0];
+        assert!(r_squared(&bad, &truths) < 0.0);
+    }
+
+    #[test]
+    fn r2_constant_truth_edge() {
+        assert_eq!(r_squared(&[5.0, 5.0], &[5.0, 5.0]), 1.0);
+        assert_eq!(r_squared(&[4.0, 5.0], &[5.0, 5.0]), 0.0);
+        assert_eq!(r_squared(&[], &[]), 1.0);
+    }
+}

@@ -1,0 +1,397 @@
+//! Schemas and relations: the paper's `r` over `R = {A1, …, Am}`.
+
+use std::fmt;
+
+/// Attribute names of a relation; attribute `j` is addressed by its index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    names: Vec<String>,
+}
+
+impl Schema {
+    /// Schema with the given attribute names.
+    pub fn new<S: Into<String>>(names: Vec<S>) -> Self {
+        Self { names: names.into_iter().map(Into::into).collect() }
+    }
+
+    /// Anonymous schema `A1..Am` (the paper's default naming).
+    pub fn anonymous(m: usize) -> Self {
+        Self { names: (1..=m).map(|j| format!("A{j}")).collect() }
+    }
+
+    /// Number of attributes `m`.
+    pub fn arity(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Name of attribute `j`.
+    pub fn name(&self, j: usize) -> &str {
+        &self.names[j]
+    }
+
+    /// Index of the attribute with the given name, if present.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// All attribute names in order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+}
+
+/// A numerical relation with optional missing cells.
+///
+/// Storage is row-major `f64`; a missing cell is the `NaN` sentinel, only
+/// reachable through [`Relation::get`] / [`Relation::is_missing`] so callers
+/// never do arithmetic on it by accident. (The paper's `r` contains only
+/// complete tuples; here the same type also carries the incomplete tuples
+/// `tx`, distinguished by their missing cells.)
+#[derive(Clone)]
+pub struct Relation {
+    schema: Schema,
+    n: usize,
+    values: Vec<f64>,
+}
+
+impl PartialEq for Relation {
+    /// Bitwise value equality with missing (`NaN`) cells comparing equal —
+    /// two relations with the same missing pattern and the same present
+    /// values are the same relation.
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema
+            && self.n == other.n
+            && self
+                .values
+                .iter()
+                .zip(&other.values)
+                .all(|(a, b)| a.to_bits() == b.to_bits() || (a.is_nan() && b.is_nan()))
+    }
+}
+
+impl Relation {
+    /// Empty relation with capacity hints.
+    pub fn with_capacity(schema: Schema, rows: usize) -> Self {
+        let m = schema.arity();
+        Self { schema, n: 0, values: Vec::with_capacity(rows * m) }
+    }
+
+    /// Builds a relation from complete row data. Panics on ragged rows or
+    /// non-finite values (use [`Relation::push_row_opt`] for missing cells).
+    pub fn from_rows(schema: Schema, rows: &[Vec<f64>]) -> Self {
+        let mut rel = Self::with_capacity(schema, rows.len());
+        for row in rows {
+            rel.push_row(row);
+        }
+        rel
+    }
+
+    /// Appends a complete row. Panics on arity mismatch or non-finite input.
+    pub fn push_row(&mut self, row: &[f64]) {
+        assert_eq!(row.len(), self.schema.arity(), "row arity mismatch");
+        assert!(
+            row.iter().all(|v| v.is_finite()),
+            "complete rows must be finite; use push_row_opt for missing cells"
+        );
+        self.values.extend_from_slice(row);
+        self.n += 1;
+    }
+
+    /// Appends a row where `None` marks a missing cell.
+    pub fn push_row_opt(&mut self, row: &[Option<f64>]) {
+        assert_eq!(row.len(), self.schema.arity(), "row arity mismatch");
+        for v in row {
+            match v {
+                Some(x) => {
+                    assert!(x.is_finite(), "present cells must be finite");
+                    self.values.push(*x);
+                }
+                None => self.values.push(f64::NAN),
+            }
+        }
+        self.n += 1;
+    }
+
+    /// Number of tuples `n`.
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.n
+    }
+
+    /// Number of attributes `m`.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.schema.arity()
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Value of tuple `i` on attribute `j`, `None` when missing.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> Option<f64> {
+        let v = self.values[i * self.schema.arity() + j];
+        if v.is_nan() {
+            None
+        } else {
+            Some(v)
+        }
+    }
+
+    /// Value of a cell that the caller knows is present.
+    ///
+    /// Panics (debug) / returns garbage-free NaN (release) when missing —
+    /// use [`Relation::get`] if presence is uncertain.
+    #[inline]
+    pub fn value(&self, i: usize, j: usize) -> f64 {
+        let v = self.values[i * self.schema.arity() + j];
+        debug_assert!(!v.is_nan(), "cell ({i},{j}) is missing");
+        v
+    }
+
+    /// True when cell `(i, j)` is missing.
+    #[inline]
+    pub fn is_missing(&self, i: usize, j: usize) -> bool {
+        self.values[i * self.schema.arity() + j].is_nan()
+    }
+
+    /// Overwrites cell `(i, j)` with a finite value.
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        assert!(v.is_finite(), "cell values must be finite");
+        let m = self.schema.arity();
+        self.values[i * m + j] = v;
+    }
+
+    /// Marks cell `(i, j)` missing, returning the previous value if any.
+    pub fn clear_cell(&mut self, i: usize, j: usize) -> Option<f64> {
+        let m = self.schema.arity();
+        let old = self.values[i * m + j];
+        self.values[i * m + j] = f64::NAN;
+        if old.is_nan() {
+            None
+        } else {
+            Some(old)
+        }
+    }
+
+    /// Raw row slice (missing cells are NaN). Intended for hot loops that
+    /// have already checked completeness; most callers want
+    /// [`Relation::get`].
+    #[inline]
+    pub fn row_raw(&self, i: usize) -> &[f64] {
+        let m = self.schema.arity();
+        &self.values[i * m..(i + 1) * m]
+    }
+
+    /// True when tuple `i` has no missing cell.
+    pub fn row_complete(&self, i: usize) -> bool {
+        self.row_raw(i).iter().all(|v| !v.is_nan())
+    }
+
+    /// True when tuple `i` is complete on every attribute in `attrs`.
+    pub fn row_complete_on(&self, i: usize, attrs: &[usize]) -> bool {
+        let row = self.row_raw(i);
+        attrs.iter().all(|&j| !row[j].is_nan())
+    }
+
+    /// Indices of fully complete tuples.
+    pub fn complete_rows(&self) -> Vec<u32> {
+        (0..self.n).filter(|&i| self.row_complete(i)).map(|i| i as u32).collect()
+    }
+
+    /// Indices of tuples with at least one missing cell.
+    pub fn incomplete_rows(&self) -> Vec<u32> {
+        (0..self.n).filter(|&i| !self.row_complete(i)).map(|i| i as u32).collect()
+    }
+
+    /// Missing attribute indices of tuple `i`.
+    pub fn missing_attrs(&self, i: usize) -> Vec<usize> {
+        let row = self.row_raw(i);
+        (0..self.arity()).filter(|&j| row[j].is_nan()).collect()
+    }
+
+    /// Total number of missing cells.
+    pub fn missing_count(&self) -> usize {
+        self.values.iter().filter(|v| v.is_nan()).count()
+    }
+
+    /// Gathers the values of `attrs` from row `i` into `out`.
+    ///
+    /// Panics (debug) when any gathered cell is missing.
+    #[inline]
+    pub fn gather(&self, i: usize, attrs: &[usize], out: &mut Vec<f64>) {
+        out.clear();
+        let row = self.row_raw(i);
+        for &j in attrs {
+            debug_assert!(!row[j].is_nan(), "gathering missing cell ({i},{j})");
+            out.push(row[j]);
+        }
+    }
+
+    /// New relation keeping only the given rows (in the given order).
+    pub fn select_rows(&self, rows: &[u32]) -> Relation {
+        let m = self.arity();
+        let mut out = Relation::with_capacity(self.schema.clone(), rows.len());
+        for &r in rows {
+            out.values.extend_from_slice(self.row_raw(r as usize));
+            out.n += 1;
+        }
+        debug_assert_eq!(out.values.len(), rows.len() * m);
+        out
+    }
+
+    /// New relation keeping only the given columns (in the given order).
+    pub fn select_columns(&self, cols: &[usize]) -> Relation {
+        let names: Vec<String> =
+            cols.iter().map(|&j| self.schema.name(j).to_string()).collect();
+        let mut out = Relation::with_capacity(Schema::new(names), self.n);
+        for i in 0..self.n {
+            let row = self.row_raw(i);
+            for &j in cols {
+                out.values.push(row[j]);
+            }
+            out.n += 1;
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Relation {} rows x {} attrs ({:?}), {} missing cells",
+            self.n,
+            self.arity(),
+            self.schema.names(),
+            self.missing_count()
+        )?;
+        let show = self.n.min(8);
+        for i in 0..show {
+            write!(f, "  t{}: ", i + 1)?;
+            for j in 0..self.arity() {
+                match self.get(i, j) {
+                    Some(v) => write!(f, "{v:>9.3} ")?,
+                    None => write!(f, "{:>9} ", "-")?,
+                }
+            }
+            writeln!(f)?;
+        }
+        if self.n > show {
+            writeln!(f, "  … {} more rows", self.n - show)?;
+        }
+        Ok(())
+    }
+}
+
+/// The running example of the paper (Figure 1): tuples `t1..t8` on
+/// `(A1, A2)`, plus the incomplete `tx` with `tx[A1] = 5` and `tx[A2]`
+/// missing (ground truth 1.8). Returned as (complete `r`, `tx` row).
+///
+/// Exposed here because unit tests across the workspace pin the paper's
+/// worked examples (Examples 2–6) against this data.
+pub fn paper_fig1() -> (Relation, Vec<Option<f64>>) {
+    let rows = vec![
+        vec![0.0, 5.8],
+        vec![0.8, 4.6],
+        vec![1.9, 3.8],
+        vec![2.9, 3.2],
+        vec![6.8, 3.0],
+        vec![7.5, 4.1],
+        vec![8.2, 4.8],
+        vec![9.0, 5.5],
+    ];
+    let rel = Relation::from_rows(Schema::anonymous(2), &rows);
+    let tx = vec![Some(5.0), None];
+    (rel, tx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_basics() {
+        let s = Schema::anonymous(3);
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.name(0), "A1");
+        assert_eq!(s.index_of("A3"), Some(2));
+        assert_eq!(s.index_of("Z"), None);
+        let named = Schema::new(vec!["temp", "humidity"]);
+        assert_eq!(named.name(1), "humidity");
+    }
+
+    #[test]
+    fn push_and_get() {
+        let mut r = Relation::with_capacity(Schema::anonymous(2), 2);
+        r.push_row(&[1.0, 2.0]);
+        r.push_row_opt(&[Some(3.0), None]);
+        assert_eq!(r.n_rows(), 2);
+        assert_eq!(r.get(0, 1), Some(2.0));
+        assert_eq!(r.get(1, 1), None);
+        assert!(r.is_missing(1, 1));
+        assert!(!r.row_complete(1));
+        assert!(r.row_complete(0));
+        assert_eq!(r.missing_attrs(1), vec![1]);
+        assert_eq!(r.missing_count(), 1);
+        assert_eq!(r.complete_rows(), vec![0]);
+        assert_eq!(r.incomplete_rows(), vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn push_row_rejects_nan() {
+        let mut r = Relation::with_capacity(Schema::anonymous(1), 1);
+        r.push_row(&[f64::NAN]);
+    }
+
+    #[test]
+    fn set_and_clear() {
+        let mut r = Relation::from_rows(Schema::anonymous(2), &[vec![1.0, 2.0]]);
+        assert_eq!(r.clear_cell(0, 0), Some(1.0));
+        assert!(r.is_missing(0, 0));
+        assert_eq!(r.clear_cell(0, 0), None);
+        r.set(0, 0, 9.0);
+        assert_eq!(r.get(0, 0), Some(9.0));
+    }
+
+    #[test]
+    fn gather_and_subsets() {
+        let r = Relation::from_rows(
+            Schema::anonymous(3),
+            &[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]],
+        );
+        let mut buf = Vec::new();
+        r.gather(1, &[2, 0], &mut buf);
+        assert_eq!(buf, vec![6.0, 4.0]);
+
+        let rows = r.select_rows(&[1]);
+        assert_eq!(rows.n_rows(), 1);
+        assert_eq!(rows.get(0, 0), Some(4.0));
+
+        let cols = r.select_columns(&[2, 1]);
+        assert_eq!(cols.arity(), 2);
+        assert_eq!(cols.schema().name(0), "A3");
+        assert_eq!(cols.get(0, 0), Some(3.0));
+    }
+
+    #[test]
+    fn row_complete_on_subset() {
+        let mut r = Relation::with_capacity(Schema::anonymous(3), 1);
+        r.push_row_opt(&[Some(1.0), None, Some(3.0)]);
+        assert!(r.row_complete_on(0, &[0, 2]));
+        assert!(!r.row_complete_on(0, &[0, 1]));
+    }
+
+    #[test]
+    fn fig1_data_shape() {
+        let (r, tx) = paper_fig1();
+        assert_eq!(r.n_rows(), 8);
+        assert_eq!(r.arity(), 2);
+        assert_eq!(r.get(4, 0), Some(6.8)); // t5[A1]
+        assert_eq!(tx[0], Some(5.0));
+        assert_eq!(tx[1], None);
+    }
+}

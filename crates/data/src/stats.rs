@@ -1,0 +1,217 @@
+//! Column statistics and normalization.
+//!
+//! Distance-based methods (kNN, and therefore IIM's neighbor search) are
+//! scale-sensitive; the experiments normalize features before searching and
+//! report errors in the original units, so the transforms here are
+//! invertible and ignore missing cells.
+
+use crate::relation::Relation;
+
+/// Per-column summary over the *present* cells.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ColumnStats {
+    /// Present-cell count.
+    pub count: usize,
+    /// Arithmetic mean (0 when the column is entirely missing).
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Minimum present value (`+inf` when empty).
+    pub min: f64,
+    /// Maximum present value (`-inf` when empty).
+    pub max: f64,
+}
+
+/// Computes [`ColumnStats`] for column `j`.
+pub fn column_stats(rel: &Relation, j: usize) -> ColumnStats {
+    let mut count = 0usize;
+    let mut sum = 0.0;
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for i in 0..rel.n_rows() {
+        if let Some(v) = rel.get(i, j) {
+            count += 1;
+            sum += v;
+            min = min.min(v);
+            max = max.max(v);
+        }
+    }
+    let mean = if count > 0 { sum / count as f64 } else { 0.0 };
+    let mut var = 0.0;
+    if count > 0 {
+        for i in 0..rel.n_rows() {
+            if let Some(v) = rel.get(i, j) {
+                var += (v - mean) * (v - mean);
+            }
+        }
+        var /= count as f64;
+    }
+    ColumnStats { count, mean, std: var.sqrt(), min, max }
+}
+
+/// Stats for every column.
+pub fn all_stats(rel: &Relation) -> Vec<ColumnStats> {
+    (0..rel.arity()).map(|j| column_stats(rel, j)).collect()
+}
+
+/// An invertible per-column affine transform `x ↦ (x - shift) / scale`.
+#[derive(Debug, Clone)]
+pub struct ColumnTransform {
+    shifts: Vec<f64>,
+    scales: Vec<f64>,
+}
+
+impl ColumnTransform {
+    /// Z-score transform fit on the present cells of `rel`
+    /// (columns with zero variance get scale 1 so they pass through).
+    pub fn standardize(rel: &Relation) -> Self {
+        let stats = all_stats(rel);
+        let shifts = stats.iter().map(|s| s.mean).collect();
+        let scales = stats
+            .iter()
+            .map(|s| if s.std > 0.0 { s.std } else { 1.0 })
+            .collect();
+        Self { shifts, scales }
+    }
+
+    /// Min-max transform mapping each column's present range onto `[0, 1]`
+    /// (constant columns pass through).
+    pub fn min_max(rel: &Relation) -> Self {
+        let stats = all_stats(rel);
+        let shifts = stats.iter().map(|s| if s.count > 0 { s.min } else { 0.0 }).collect();
+        let scales = stats
+            .iter()
+            .map(|s| {
+                let range = s.max - s.min;
+                if s.count > 0 && range > 0.0 {
+                    range
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        Self { shifts, scales }
+    }
+
+    /// Identity transform for `m` columns.
+    pub fn identity(m: usize) -> Self {
+        Self { shifts: vec![0.0; m], scales: vec![1.0; m] }
+    }
+
+    /// Applies the transform, returning a new relation (missing stays
+    /// missing).
+    pub fn apply(&self, rel: &Relation) -> Relation {
+        let mut out = rel.clone();
+        for i in 0..rel.n_rows() {
+            for j in 0..rel.arity() {
+                if let Some(v) = rel.get(i, j) {
+                    out.set(i, j, (v - self.shifts[j]) / self.scales[j]);
+                }
+            }
+        }
+        out
+    }
+
+    /// Forward-transforms a single value of column `j`.
+    #[inline]
+    pub fn forward(&self, j: usize, v: f64) -> f64 {
+        (v - self.shifts[j]) / self.scales[j]
+    }
+
+    /// Inverse-transforms a single value of column `j`.
+    #[inline]
+    pub fn inverse(&self, j: usize, v: f64) -> f64 {
+        v * self.scales[j] + self.shifts[j]
+    }
+
+    /// Inverse-transforms a whole relation.
+    pub fn invert(&self, rel: &Relation) -> Relation {
+        let mut out = rel.clone();
+        for i in 0..rel.n_rows() {
+            for j in 0..rel.arity() {
+                if let Some(v) = rel.get(i, j) {
+                    out.set(i, j, self.inverse(j, v));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::Schema;
+
+    fn rel() -> Relation {
+        let mut r = Relation::with_capacity(Schema::anonymous(2), 4);
+        r.push_row(&[1.0, 10.0]);
+        r.push_row(&[3.0, 30.0]);
+        r.push_row_opt(&[Some(5.0), None]);
+        r.push_row(&[7.0, 20.0]);
+        r
+    }
+
+    #[test]
+    fn stats_ignore_missing() {
+        let s = column_stats(&rel(), 1);
+        assert_eq!(s.count, 3);
+        assert!((s.mean - 20.0).abs() < 1e-12);
+        assert_eq!(s.min, 10.0);
+        assert_eq!(s.max, 30.0);
+        let expected_std = ((100.0 + 0.0 + 100.0) / 3.0f64).sqrt();
+        assert!((s.std - expected_std).abs() < 1e-12);
+    }
+
+    #[test]
+    fn standardize_round_trip() {
+        let r = rel();
+        let t = ColumnTransform::standardize(&r);
+        let z = t.apply(&r);
+        // Column 0 mean ~ 0 after transform.
+        let s = column_stats(&z, 0);
+        assert!(s.mean.abs() < 1e-12);
+        assert!((s.std - 1.0).abs() < 1e-12);
+        // Missing cells survive.
+        assert!(z.is_missing(2, 1));
+        // Inverse returns the original.
+        let back = t.invert(&z);
+        for i in 0..r.n_rows() {
+            for j in 0..r.arity() {
+                match (r.get(i, j), back.get(i, j)) {
+                    (Some(a), Some(b)) => assert!((a - b).abs() < 1e-12),
+                    (None, None) => {}
+                    other => panic!("mismatch {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn min_max_maps_to_unit_interval() {
+        let r = rel();
+        let t = ColumnTransform::min_max(&r);
+        let u = t.apply(&r);
+        let s = column_stats(&u, 0);
+        assert!((s.min - 0.0).abs() < 1e-12);
+        assert!((s.max - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_column_passthrough() {
+        let r = Relation::from_rows(Schema::anonymous(1), &[vec![5.0], vec![5.0]]);
+        let t = ColumnTransform::standardize(&r);
+        let z = t.apply(&r);
+        assert_eq!(z.get(0, 0), Some(0.0));
+        let mm = ColumnTransform::min_max(&r).apply(&r);
+        assert_eq!(mm.get(0, 0), Some(0.0));
+    }
+
+    #[test]
+    fn scalar_forward_inverse() {
+        let r = rel();
+        let t = ColumnTransform::standardize(&r);
+        let v = 4.2;
+        assert!((t.inverse(0, t.forward(0, v)) - v).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,209 @@
+//! The core generator: piecewise ("segmented") linear response surfaces.
+//!
+//! The paper's motivating Figure 1 is exactly this shape — observations in
+//! two streets, each street its own line. A [`SegmentedSpec`] generalises
+//! it: tuples live on a latent 1-D position split into segments; every
+//! attribute is a segment-specific affine function of the position plus
+//! noise. One segment ⇒ a clean global regression (PHASE); many segments
+//! with contrasting slopes ⇒ heterogeneity (ASF); extra independent spread
+//! dimensions ⇒ sparsity (CA).
+
+use crate::sampling::{log_normal, normal};
+use iim_data::{Relation, Schema};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the segmented generator.
+#[derive(Debug, Clone)]
+pub struct SegmentedSpec {
+    /// Tuples to generate.
+    pub n: usize,
+    /// Attributes (all correlated through the latent position).
+    pub m: usize,
+    /// Number of latent segments ("streets"). 1 = homogeneous.
+    pub segments: usize,
+    /// Observation noise std, relative to each attribute's slope scale.
+    pub noise: f64,
+    /// Std of additional heavy-tailed per-tuple spread added to every
+    /// attribute (0 = none). Spread decorrelates neighbors without
+    /// touching the global regression much — the sparsity dial.
+    pub spread: f64,
+    /// Latent width of each segment (distance between segment starts is
+    /// `1.5 * width`, leaving gaps like Figure 1's streets).
+    pub width: f64,
+    /// Tight sample lumps per segment ("street blocks"); 0 samples
+    /// uniformly. With lumps, the `background_frac` of tuples that fall
+    /// between lumps have *distant* nearest neighbors — the paper's
+    /// sparsity in its pure form: a tuple whose neighbors share its local
+    /// linear model but not its values (Figure 1's `tx`). Value-averaging
+    /// methods pay `slope × gap`; model-based extrapolation does not.
+    pub lumps_per_segment: usize,
+    /// Fraction of tuples drawn uniformly between lumps (ignored without
+    /// lumps).
+    pub background_frac: f64,
+}
+
+impl Default for SegmentedSpec {
+    fn default() -> Self {
+        Self {
+            n: 1000,
+            m: 4,
+            segments: 2,
+            noise: 0.05,
+            spread: 0.0,
+            width: 10.0,
+            lumps_per_segment: 0,
+            background_frac: 0.2,
+        }
+    }
+}
+
+/// Generates a relation from the spec (deterministic per seed).
+pub fn segmented_linear(spec: &SegmentedSpec, seed: u64) -> Relation {
+    assert!(spec.n > 0 && spec.m >= 2 && spec.segments >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Per-segment, per-attribute affine coefficients with random slope
+    // signs. A single global linear predictor of one attribute from the
+    // others must satisfy 2 equations (slope + intercept) per segment with
+    // only m unknowns, so `segments > m/2` makes the piecewise structure
+    // unfittable by any one regression — the heterogeneity dial. The
+    // intercepts keep attribute ranges overlapping across segments so
+    // neighbors on F can come from the "wrong" street, as in Figure 1.
+    let mut slope = vec![0.0; spec.segments * spec.m];
+    let mut inter = vec![0.0; spec.segments * spec.m];
+    for s in 0..spec.segments {
+        for j in 0..spec.m {
+            let magnitude = rng.gen_range(0.5..2.5);
+            let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+            slope[s * spec.m + j] = sign * magnitude;
+            inter[s * spec.m + j] = rng.gen_range(-5.0..5.0)
+                - sign * magnitude * (s as f64 * 1.5 * spec.width);
+        }
+    }
+
+    // Per-segment lump centers (stratified so lumps never collapse onto
+    // each other).
+    let lump_centers: Vec<f64> = (0..spec.segments * spec.lumps_per_segment)
+        .map(|i| {
+            let within = i % spec.lumps_per_segment;
+            let stride = 1.0 / spec.lumps_per_segment as f64;
+            (within as f64 + rng.gen_range(0.2..0.8)) * stride
+        })
+        .collect();
+
+    let mut rel = Relation::with_capacity(Schema::anonymous(spec.m), spec.n);
+    let mut row = vec![0.0; spec.m];
+    for _ in 0..spec.n {
+        let s = rng.gen_range(0..spec.segments);
+        let x01 = if spec.lumps_per_segment == 0
+            || rng.gen_bool(spec.background_frac.clamp(0.0, 1.0))
+        {
+            rng.gen_range(0.0..1.0)
+        } else {
+            let lump = rng.gen_range(0..spec.lumps_per_segment);
+            let center = lump_centers[s * spec.lumps_per_segment + lump];
+            (center + 0.01 * normal(&mut rng)).clamp(0.0, 1.0)
+        };
+        let x = s as f64 * 1.5 * spec.width + x01 * spec.width;
+        let tuple_spread = if spec.spread > 0.0 {
+            spec.spread * (log_normal(&mut rng, 0.75) - 1.0)
+        } else {
+            0.0
+        };
+        for j in 0..spec.m {
+            let b = slope[s * spec.m + j];
+            let a = inter[s * spec.m + j];
+            let noise = spec.noise * b.abs() * spec.width * normal(&mut rng);
+            // Spread enters every attribute with a per-attribute sign so it
+            // moves tuples diagonally off the segment line.
+            let spread_term = tuple_spread * if j % 2 == 0 { 1.0 } else { -1.0 };
+            row[j] = a + b * x + noise + spread_term;
+        }
+        rel.push_row(&row);
+    }
+    rel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let spec = SegmentedSpec::default();
+        let a = segmented_linear(&spec, 3);
+        let b = segmented_linear(&spec, 3);
+        assert_eq!(a, b);
+        let c = segmented_linear(&spec, 4);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn shape_matches_spec() {
+        let spec = SegmentedSpec { n: 123, m: 7, ..Default::default() };
+        let rel = segmented_linear(&spec, 1);
+        assert_eq!(rel.n_rows(), 123);
+        assert_eq!(rel.arity(), 7);
+        assert_eq!(rel.missing_count(), 0);
+    }
+
+    #[test]
+    fn single_segment_is_globally_linear() {
+        // With one segment and almost no noise, attribute 1 must be an
+        // affine function of attribute 0 (R² of a fitted line ≈ 1).
+        let spec = SegmentedSpec {
+            n: 500,
+            m: 2,
+            segments: 1,
+            noise: 1e-4,
+            ..Default::default()
+        };
+        let rel = segmented_linear(&spec, 7);
+        let xs: Vec<f64> = (0..500).map(|i| rel.value(i, 0)).collect();
+        let ys: Vec<f64> = (0..500).map(|i| rel.value(i, 1)).collect();
+        let (sx, sy): (f64, f64) = (xs.iter().sum(), ys.iter().sum());
+        let n = 500.0;
+        let sxx: f64 = xs.iter().map(|x| x * x).sum();
+        let sxy: f64 = xs.iter().zip(&ys).map(|(x, y)| x * y).sum();
+        let beta = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+        let alpha = (sy - beta * sx) / n;
+        let ss_res: f64 = xs
+            .iter()
+            .zip(&ys)
+            .map(|(x, y)| (y - alpha - beta * x).powi(2))
+            .sum();
+        let mean_y = sy / n;
+        let ss_tot: f64 = ys.iter().map(|y| (y - mean_y).powi(2)).sum();
+        assert!(1.0 - ss_res / ss_tot > 0.999);
+    }
+
+    #[test]
+    fn multi_segment_breaks_global_linearity() {
+        let spec = SegmentedSpec {
+            n: 800,
+            m: 2,
+            segments: 3,
+            noise: 0.01,
+            ..Default::default()
+        };
+        let rel = segmented_linear(&spec, 11);
+        // Global line R² must drop well below 1 when slopes alternate.
+        let xs: Vec<f64> = (0..800).map(|i| rel.value(i, 0)).collect();
+        let ys: Vec<f64> = (0..800).map(|i| rel.value(i, 1)).collect();
+        let n = 800.0;
+        let (sx, sy): (f64, f64) = (xs.iter().sum(), ys.iter().sum());
+        let sxx: f64 = xs.iter().map(|x| x * x).sum();
+        let sxy: f64 = xs.iter().zip(&ys).map(|(x, y)| x * y).sum();
+        let beta = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+        let alpha = (sy - beta * sx) / n;
+        let ss_res: f64 = xs
+            .iter()
+            .zip(&ys)
+            .map(|(x, y)| (y - alpha - beta * x).powi(2))
+            .sum();
+        let mean_y = sy / n;
+        let ss_tot: f64 = ys.iter().map(|y| (y - mean_y).powi(2)).sum();
+        assert!(1.0 - ss_res / ss_tot < 0.9);
+    }
+}

@@ -1,0 +1,168 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//!
+//! The workspace only eigendecomposes small symmetric matrices (`m x m`
+//! Gram/covariance matrices where `m` is an attribute count), for which the
+//! Jacobi method is simple, robust, and accurate to machine precision.
+
+use crate::matrix::Matrix;
+
+/// Eigendecomposition `A = V diag(λ) Vᵀ` of a symmetric matrix.
+#[derive(Debug, Clone)]
+pub struct SymEigen {
+    /// Eigenvalues in descending order.
+    pub values: Vec<f64>,
+    /// Column `j` of `vectors` is the unit eigenvector for `values[j]`.
+    pub vectors: Matrix,
+}
+
+/// Cyclic Jacobi eigendecomposition of a symmetric matrix.
+///
+/// Sweeps Givens rotations over all off-diagonal entries until their total
+/// magnitude drops below `1e-12 * ||A||_F` or 100 sweeps elapse (in practice
+/// a handful of sweeps suffices for the sizes used here). Panics if `a` is
+/// not square; symmetry of the input is the caller's responsibility (only
+/// the upper triangle is trusted).
+pub fn eigen_sym(a: &Matrix) -> SymEigen {
+    assert_eq!(a.rows(), a.cols(), "eigen_sym requires a square matrix");
+    let n = a.rows();
+    let mut d = a.clone();
+    // Symmetrize defensively: downstream callers build A from products that
+    // are symmetric up to rounding.
+    for i in 0..n {
+        for j in 0..i {
+            let avg = 0.5 * (d[(i, j)] + d[(j, i)]);
+            d[(i, j)] = avg;
+            d[(j, i)] = avg;
+        }
+    }
+    let mut v = Matrix::identity(n);
+    let tol = 1e-12 * d.frobenius_norm().max(1.0);
+
+    for _sweep in 0..100 {
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in i + 1..n {
+                off += d[(i, j)].abs();
+            }
+        }
+        if off <= tol {
+            break;
+        }
+        for p in 0..n {
+            for q in p + 1..n {
+                let apq = d[(p, q)];
+                if apq.abs() <= tol / (n * n) as f64 {
+                    continue;
+                }
+                // Rotation angle zeroing d[(p,q)].
+                let theta = (d[(q, q)] - d[(p, p)]) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                // Apply the rotation: rows/cols p and q of D.
+                for k in 0..n {
+                    let dkp = d[(k, p)];
+                    let dkq = d[(k, q)];
+                    d[(k, p)] = c * dkp - s * dkq;
+                    d[(k, q)] = s * dkp + c * dkq;
+                }
+                for k in 0..n {
+                    let dpk = d[(p, k)];
+                    let dqk = d[(q, k)];
+                    d[(p, k)] = c * dpk - s * dqk;
+                    d[(q, k)] = s * dpk + c * dqk;
+                }
+                // Accumulate eigenvectors.
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    // Extract and sort descending by eigenvalue.
+    let mut order: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| d[(i, i)]).collect();
+    order.sort_by(|&a, &b| diag[b].partial_cmp(&diag[a]).expect("finite eigenvalues"));
+
+    let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (new_col, &old_col) in order.iter().enumerate() {
+        for row in 0..n {
+            vectors[(row, new_col)] = v[(row, old_col)];
+        }
+    }
+    SymEigen { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_matrix_is_fixed_point() {
+        let a = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 1.0]]);
+        let e = eigen_sym(&a);
+        assert!((e.values[0] - 3.0).abs() < 1e-12);
+        assert!((e.values[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let e = eigen_sym(&a);
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 1.0).abs() < 1e-10);
+        // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+        let v0 = (e.vectors[(0, 0)], e.vectors[(1, 0)]);
+        assert!((v0.0.abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-10);
+        assert!((v0.0 - v0.1).abs() < 1e-10);
+    }
+
+    #[test]
+    fn reconstruction_and_orthogonality() {
+        let b = Matrix::from_rows(&[
+            &[1.0, 2.0, 3.0, -1.0],
+            &[0.5, -1.0, 2.0, 0.0],
+            &[2.0, 0.0, 1.0, 4.0],
+        ]);
+        let a = b.gram(); // symmetric PSD 4x4
+        let e = eigen_sym(&a);
+
+        // V diag(λ) Vᵀ == A
+        let n = a.rows();
+        let mut lam = Matrix::zeros(n, n);
+        for i in 0..n {
+            lam[(i, i)] = e.values[i];
+        }
+        let rec = e.vectors.matmul(&lam).matmul(&e.vectors.transpose());
+        assert!(rec.max_abs_diff(&a) < 1e-8);
+
+        // Vᵀ V == I
+        let vtv = e.vectors.transpose().matmul(&e.vectors);
+        assert!(vtv.max_abs_diff(&Matrix::identity(n)) < 1e-10);
+
+        // Sorted descending.
+        for w in e.values.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn trace_preserved() {
+        let a = Matrix::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, -1.0], &[0.5, -1.0, 2.0]]);
+        let e = eigen_sym(&a);
+        let trace = 4.0 + 3.0 + 2.0;
+        let sum: f64 = e.values.iter().sum();
+        assert!((trace - sum).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,378 @@
+//! Row-major dense matrix.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense, row-major `f64` matrix.
+///
+/// Sized for the IIM workload: `m x m` Gram matrices and `l x m` design
+/// matrices where `m` is a relation's attribute count (small) and `l` a
+/// neighbor count. Storage is a single `Vec<f64>` so row slices are
+/// contiguous and cheap to hand to kernels.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// All-zeros matrix of shape `rows x cols`.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build from a row-major buffer. Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer length must match shape");
+        Self { rows, cols, data }
+    }
+
+    /// Build from nested row slices (convenient in tests).
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        Self { rows: r, cols: c, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable view of row `i` as a contiguous slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable view of row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// The backing row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable backing buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// Panics if the inner dimensions disagree. Uses the classic i-k-j loop
+    /// order so the innermost accesses stream along contiguous rows.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "inner dimensions must agree");
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                let rrow = rhs.row(k);
+                let orow = out.row_mut(i);
+                for j in 0..rhs.cols {
+                    orow[j] += a * rrow[j];
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product `self * v`.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(self.cols, v.len(), "vector length must equal cols");
+        let mut out = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            out[i] = dot(self.row(i), v);
+        }
+        out
+    }
+
+    /// Gram matrix `selfᵀ * self` (symmetric, `cols x cols`).
+    ///
+    /// Exploits symmetry: only the upper triangle is computed, then mirrored.
+    pub fn gram(&self) -> Matrix {
+        let m = self.cols;
+        let mut g = Matrix::zeros(m, m);
+        for r in 0..self.rows {
+            let row = self.row(r);
+            for i in 0..m {
+                let xi = row[i];
+                if xi == 0.0 {
+                    continue;
+                }
+                let grow = g.row_mut(i);
+                for j in i..m {
+                    grow[j] += xi * row[j];
+                }
+            }
+        }
+        for i in 0..m {
+            for j in 0..i {
+                g[(i, j)] = g[(j, i)];
+            }
+        }
+        g
+    }
+
+    /// `selfᵀ * y` for a response vector `y` with one entry per row.
+    pub fn xty(&self, y: &[f64]) -> Vec<f64> {
+        assert_eq!(self.rows, y.len(), "response length must equal rows");
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            let yr = y[r];
+            if yr == 0.0 {
+                continue;
+            }
+            let row = self.row(r);
+            for j in 0..self.cols {
+                out[j] += row[j] * yr;
+            }
+        }
+        out
+    }
+
+    /// Elementwise `self + rhs`.
+    pub fn add(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Elementwise `self - rhs`.
+    pub fn sub(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Scaled copy `self * s`.
+    pub fn scale(&self, s: f64) -> Matrix {
+        let data = self.data.iter().map(|a| a * s).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Adds `alpha` to every diagonal entry in place (ridge shift `+ αE`).
+    pub fn add_diag(&mut self, alpha: f64) {
+        let n = self.rows.min(self.cols);
+        for i in 0..n {
+            self[(i, i)] += alpha;
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|a| a * a).sum::<f64>().sqrt()
+    }
+
+    /// Largest absolute elementwise difference to `rhs`.
+    pub fn max_abs_diff(&self, rhs: &Matrix) -> f64 {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        self.data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// True when every entry is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|a| a.is_finite())
+    }
+}
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            write!(f, "  ")?;
+            for j in 0..self.cols {
+                write!(f, "{:>10.4} ", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-10
+    }
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = Matrix::zeros(2, 3);
+        assert_eq!(z.rows(), 2);
+        assert_eq!(z.cols(), 3);
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+
+        let i = Matrix::identity(3);
+        for r in 0..3 {
+            for c in 0..3 {
+                assert_eq!(i[(r, c)], if r == c { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn from_rows_round_trip() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(m[(0, 1)], 2.0);
+        assert_eq!(m[(1, 0)], 3.0);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn from_rows_rejects_ragged() {
+        let _ = Matrix::from_rows(&[&[1.0, 2.0], &[3.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn from_vec_rejects_bad_len() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let t = m.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t[(2, 1)], 6.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c[(0, 0)], 19.0);
+        assert_eq!(c[(0, 1)], 22.0);
+        assert_eq!(c[(1, 0)], 43.0);
+        assert_eq!(c[(1, 1)], 50.0);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Matrix::from_rows(&[&[1.5, -2.0, 0.25], &[0.0, 3.0, 9.0]]);
+        assert_eq!(a.matmul(&Matrix::identity(3)), a);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let v = vec![0.5, -1.0];
+        let got = a.matvec(&v);
+        assert!(approx(got[0], -1.5));
+        assert!(approx(got[1], -2.5));
+    }
+
+    #[test]
+    fn gram_equals_explicit_product() {
+        let x = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let g = x.gram();
+        let explicit = x.transpose().matmul(&x);
+        assert!(g.max_abs_diff(&explicit) < 1e-12);
+    }
+
+    #[test]
+    fn xty_matches_explicit() {
+        let x = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let y = vec![1.0, -1.0, 2.0];
+        let v = x.xty(&y);
+        assert!(approx(v[0], 1.0 - 3.0 + 10.0));
+        assert!(approx(v[1], 2.0 - 4.0 + 12.0));
+    }
+
+    #[test]
+    fn add_sub_scale_diag() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::identity(2);
+        assert_eq!(a.add(&b)[(0, 0)], 2.0);
+        assert_eq!(a.sub(&b)[(1, 1)], 3.0);
+        assert_eq!(a.scale(2.0)[(1, 0)], 6.0);
+        let mut c = a.clone();
+        c.add_diag(0.5);
+        assert_eq!(c[(0, 0)], 1.5);
+        assert_eq!(c[(0, 1)], 2.0);
+    }
+
+    #[test]
+    fn norms() {
+        let a = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 4.0]]);
+        assert!(approx(a.frobenius_norm(), 5.0));
+        assert!(a.is_finite());
+        let mut b = a.clone();
+        b[(0, 0)] = f64::NAN;
+        assert!(!b.is_finite());
+    }
+}

@@ -1,0 +1,296 @@
+//! Linear solvers: Cholesky for SPD systems, LU with partial pivoting for
+//! general square systems.
+//!
+//! Ridge systems `(XᵀX + αE) φ = Xᵀy` are symmetric positive definite for
+//! any `α > 0`, so Cholesky is the default path in the workspace; LU exists
+//! as the general fallback (and for explicit inverses in tests).
+
+use crate::matrix::Matrix;
+use crate::EPS;
+
+/// Lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
+///
+/// Returns `None` when `A` is not (numerically) positive definite.
+pub fn cholesky(a: &Matrix) -> Option<Matrix> {
+    assert_eq!(a.rows(), a.cols(), "cholesky requires a square matrix");
+    let n = a.rows();
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[(i, j)];
+            for k in 0..j {
+                sum -= l[(i, k)] * l[(j, k)];
+            }
+            if i == j {
+                if sum <= 0.0 || !sum.is_finite() {
+                    return None;
+                }
+                l[(i, i)] = sum.sqrt();
+            } else {
+                l[(i, j)] = sum / l[(j, j)];
+            }
+        }
+    }
+    Some(l)
+}
+
+/// Solves the SPD system `A x = b` via Cholesky.
+///
+/// Returns `None` when `A` is not positive definite (callers typically add a
+/// ridge shift and retry; see [`solve_spd_regularized`]).
+pub fn solve_spd(a: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
+    let l = cholesky(a)?;
+    Some(cholesky_solve(&l, b))
+}
+
+/// Solves `A x = b` given the precomputed Cholesky factor `L` of `A`.
+pub fn cholesky_solve(l: &Matrix, b: &[f64]) -> Vec<f64> {
+    let n = l.rows();
+    assert_eq!(b.len(), n);
+    // Forward substitution: L z = b.
+    let mut z = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[(i, k)] * z[k];
+        }
+        z[i] = sum / l[(i, i)];
+    }
+    // Back substitution: Lᵀ x = z.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = z[i];
+        for k in i + 1..n {
+            sum -= l[(k, i)] * x[k];
+        }
+        x[i] = sum / l[(i, i)];
+    }
+    x
+}
+
+/// Solves an SPD system that may be only semidefinite by escalating a
+/// diagonal shift until Cholesky succeeds.
+///
+/// The IIM learning phase hits rank-deficient Gram matrices whenever a tuple
+/// has fewer distinct neighbors than attributes (e.g. tiny ℓ); the paper's
+/// ridge term makes the system definite, but with the paper-faithful default
+/// `α = 1e-6` extreme data scales can still defeat it numerically. The shift
+/// sequence is `α, 10α, …` capped at `1e6` relative to the mean diagonal.
+pub fn solve_spd_regularized(a: &Matrix, b: &[f64], alpha0: f64) -> Option<Vec<f64>> {
+    let n = a.rows();
+    let mean_diag =
+        (0..n).map(|i| a[(i, i)].abs()).sum::<f64>().max(EPS) / n as f64;
+    let mut shift = alpha0.max(0.0);
+    for _ in 0..40 {
+        let mut shifted = a.clone();
+        if shift > 0.0 {
+            shifted.add_diag(shift);
+        }
+        if let Some(x) = solve_spd(&shifted, b) {
+            if x.iter().all(|v| v.is_finite()) {
+                return Some(x);
+            }
+        }
+        shift = if shift == 0.0 { EPS * mean_diag } else { shift * 10.0 };
+        if shift > 1e6 * mean_diag {
+            break;
+        }
+    }
+    None
+}
+
+/// LU factorization with partial pivoting: `P A = L U`.
+///
+/// `L` has an implicit unit diagonal; both factors are packed into one
+/// matrix. `perm[i]` records the source row of pivoted row `i`.
+pub struct LuFactors {
+    lu: Matrix,
+    perm: Vec<usize>,
+    /// Sign of the permutation, exposed for determinant computation.
+    sign: f64,
+}
+
+impl LuFactors {
+    /// Factorizes `a`. Returns `None` when a pivot collapses (singular).
+    pub fn new(a: &Matrix) -> Option<Self> {
+        assert_eq!(a.rows(), a.cols(), "LU requires a square matrix");
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        for col in 0..n {
+            // Pivot search.
+            let mut pivot_row = col;
+            let mut pivot_val = lu[(col, col)].abs();
+            for r in col + 1..n {
+                let v = lu[(r, col)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val < EPS || !pivot_val.is_finite() {
+                return None;
+            }
+            if pivot_row != col {
+                for j in 0..n {
+                    let tmp = lu[(col, j)];
+                    lu[(col, j)] = lu[(pivot_row, j)];
+                    lu[(pivot_row, j)] = tmp;
+                }
+                perm.swap(col, pivot_row);
+                sign = -sign;
+            }
+            // Eliminate below the pivot.
+            let inv = 1.0 / lu[(col, col)];
+            for r in col + 1..n {
+                let factor = lu[(r, col)] * inv;
+                lu[(r, col)] = factor;
+                if factor != 0.0 {
+                    for j in col + 1..n {
+                        let upper = lu[(col, j)];
+                        lu[(r, j)] -= factor * upper;
+                    }
+                }
+            }
+        }
+        Some(Self { lu, perm, sign })
+    }
+
+    /// Solves `A x = b`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.lu.rows();
+        assert_eq!(b.len(), n);
+        // Apply permutation, then forward substitution with unit-lower L.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for i in 1..n {
+            let mut sum = x[i];
+            for k in 0..i {
+                sum -= self.lu[(i, k)] * x[k];
+            }
+            x[i] = sum;
+        }
+        // Back substitution with U.
+        for i in (0..n).rev() {
+            let mut sum = x[i];
+            for k in i + 1..n {
+                sum -= self.lu[(i, k)] * x[k];
+            }
+            x[i] = sum / self.lu[(i, i)];
+        }
+        x
+    }
+
+    /// Explicit inverse of the factorized matrix (column-by-column solve).
+    pub fn inverse(&self) -> Matrix {
+        let n = self.lu.rows();
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for col in 0..n {
+            e[col] = 1.0;
+            let x = self.solve(&e);
+            for row in 0..n {
+                inv[(row, col)] = x[row];
+            }
+            e[col] = 0.0;
+        }
+        inv
+    }
+
+    /// Determinant of the factorized matrix.
+    pub fn det(&self) -> f64 {
+        let n = self.lu.rows();
+        let mut d = self.sign;
+        for i in 0..n {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        // A = Bᵀ B + I for a fixed B, guaranteed SPD.
+        let b = Matrix::from_rows(&[&[1.0, 2.0, 0.5], &[0.0, 1.0, -1.0], &[2.0, 0.0, 1.0]]);
+        let mut a = b.gram();
+        a.add_diag(1.0);
+        a
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let a = spd3();
+        let l = cholesky(&a).expect("SPD");
+        let rec = l.matmul(&l.transpose());
+        assert!(rec.max_abs_diff(&a) < 1e-10);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(cholesky(&a).is_none());
+    }
+
+    #[test]
+    fn solve_spd_matches_direct() {
+        let a = spd3();
+        let b = vec![1.0, -2.0, 3.0];
+        let x = solve_spd(&a, &b).expect("SPD");
+        let back = a.matvec(&x);
+        for (got, want) in back.iter().zip(&b) {
+            assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn regularized_handles_semidefinite() {
+        // Rank-1 Gram matrix: plain Cholesky fails, regularized succeeds.
+        let x = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let g = x.gram();
+        assert!(cholesky(&g).is_none());
+        let sol = solve_spd_regularized(&g, &[1.0, 2.0], 1e-6).expect("regularized");
+        assert!(sol.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn lu_solves_general_system() {
+        let a = Matrix::from_rows(&[&[0.0, 2.0, 1.0], &[1.0, -1.0, 0.0], &[3.0, 0.0, -2.0]]);
+        let lu = LuFactors::new(&a).expect("nonsingular");
+        let b = vec![3.0, 1.0, 2.0];
+        let x = lu.solve(&b);
+        let back = a.matvec(&x);
+        for (got, want) in back.iter().zip(&b) {
+            assert!((got - want).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn lu_detects_singularity() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(LuFactors::new(&a).is_none());
+    }
+
+    #[test]
+    fn lu_inverse_and_det() {
+        let a = Matrix::from_rows(&[&[4.0, 7.0], &[2.0, 6.0]]);
+        let lu = LuFactors::new(&a).expect("nonsingular");
+        assert!((lu.det() - 10.0).abs() < 1e-9);
+        let inv = lu.inverse();
+        let id = a.matmul(&inv);
+        assert!(id.max_abs_diff(&Matrix::identity(2)) < 1e-9);
+    }
+
+    #[test]
+    fn lu_pivoting_keeps_accuracy() {
+        // Requires row exchange on the first column.
+        let a = Matrix::from_rows(&[&[1e-14, 1.0], &[1.0, 1.0]]);
+        let lu = LuFactors::new(&a).expect("nonsingular");
+        let x = lu.solve(&[1.0, 2.0]);
+        let back = a.matvec(&x);
+        assert!((back[0] - 1.0).abs() < 1e-8);
+        assert!((back[1] - 2.0).abs() < 1e-8);
+    }
+}

@@ -1,0 +1,163 @@
+//! Thin singular value decomposition for tall matrices.
+//!
+//! The SVDimpute baseline [Troyanskaya et al., Bioinformatics 2001] needs the
+//! top singular triplets of an `n x m` data matrix with `n >= m` and small
+//! `m`. For that shape, the thin SVD follows directly from the symmetric
+//! eigendecomposition of the `m x m` matrix `AᵀA`:
+//! `A = U Σ Vᵀ` with `V` the eigenvectors of `AᵀA`, `σ_j = sqrt(λ_j)`, and
+//! `u_j = A v_j / σ_j`.
+
+use crate::eigen::eigen_sym;
+use crate::matrix::Matrix;
+use crate::EPS;
+
+/// Thin SVD `A = U Σ Vᵀ` of an `n x m` matrix (`n >= m`).
+#[derive(Debug, Clone)]
+pub struct ThinSvd {
+    /// `n x r` left singular vectors (columns), `r = rank kept`.
+    pub u: Matrix,
+    /// Singular values in descending order, length `r`.
+    pub sigma: Vec<f64>,
+    /// `m x r` right singular vectors (columns).
+    pub v: Matrix,
+}
+
+/// Computes the thin SVD of `a` (requires `rows >= cols`).
+///
+/// Singular values below `EPS * σ_max` are dropped, so the returned rank can
+/// be smaller than `cols` for rank-deficient inputs.
+pub fn thin_svd(a: &Matrix) -> ThinSvd {
+    assert!(
+        a.rows() >= a.cols(),
+        "thin_svd expects a tall matrix (rows >= cols); transpose first"
+    );
+    let m = a.cols();
+    let gram = a.gram();
+    let eig = eigen_sym(&gram);
+
+    // Keep numerically positive eigenvalues.
+    let sigma_all: Vec<f64> = eig.values.iter().map(|&l| l.max(0.0).sqrt()).collect();
+    let smax = sigma_all.first().copied().unwrap_or(0.0);
+    let rank = sigma_all.iter().take_while(|&&s| s > EPS * smax.max(1.0)).count();
+
+    let mut v = Matrix::zeros(m, rank);
+    for j in 0..rank {
+        for i in 0..m {
+            v[(i, j)] = eig.vectors[(i, j)];
+        }
+    }
+    let mut u = Matrix::zeros(a.rows(), rank);
+    // u_j = A v_j / sigma_j
+    for j in 0..rank {
+        let inv_s = 1.0 / sigma_all[j];
+        for row in 0..a.rows() {
+            let arow = a.row(row);
+            let mut sum = 0.0;
+            for i in 0..m {
+                sum += arow[i] * v[(i, j)];
+            }
+            u[(row, j)] = sum * inv_s;
+        }
+    }
+    ThinSvd { u, sigma: sigma_all[..rank].to_vec(), v }
+}
+
+impl ThinSvd {
+    /// Rank-`k` reconstruction `U_k Σ_k V_kᵀ` (k clamped to the kept rank).
+    pub fn reconstruct(&self, k: usize) -> Matrix {
+        let k = k.min(self.sigma.len());
+        let n = self.u.rows();
+        let m = self.v.rows();
+        let mut out = Matrix::zeros(n, m);
+        for j in 0..k {
+            let s = self.sigma[j];
+            for row in 0..n {
+                let us = self.u[(row, j)] * s;
+                if us == 0.0 {
+                    continue;
+                }
+                let orow = out.row_mut(row);
+                for col in 0..m {
+                    orow[col] += us * self.v[(col, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of singular triplets kept.
+    pub fn rank(&self) -> usize {
+        self.sigma.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reconstructs_full_rank() {
+        let a = Matrix::from_rows(&[
+            &[1.0, 2.0],
+            &[3.0, 4.0],
+            &[5.0, 6.0],
+            &[-1.0, 0.5],
+        ]);
+        let svd = thin_svd(&a);
+        assert_eq!(svd.rank(), 2);
+        let rec = svd.reconstruct(2);
+        assert!(rec.max_abs_diff(&a) < 1e-8);
+    }
+
+    #[test]
+    fn singular_values_sorted_and_match_norm() {
+        let a = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 4.0], &[0.0, 0.0]]);
+        let svd = thin_svd(&a);
+        assert!((svd.sigma[0] - 4.0).abs() < 1e-10);
+        assert!((svd.sigma[1] - 3.0).abs() < 1e-10);
+        // Frobenius norm equals sqrt of sum of squared singular values.
+        let fro = a.frobenius_norm();
+        let s2: f64 = svd.sigma.iter().map(|s| s * s).sum();
+        assert!((fro - s2.sqrt()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn drops_null_directions() {
+        // Second column is a multiple of the first: rank 1.
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]);
+        let svd = thin_svd(&a);
+        assert_eq!(svd.rank(), 1);
+        let rec = svd.reconstruct(1);
+        assert!(rec.max_abs_diff(&a) < 1e-8);
+    }
+
+    #[test]
+    fn orthonormal_factors() {
+        let a = Matrix::from_rows(&[
+            &[1.0, 0.5, -2.0],
+            &[2.0, 1.0, 0.0],
+            &[0.0, 3.0, 1.0],
+            &[1.0, 1.0, 1.0],
+            &[-1.0, 2.0, 0.5],
+        ]);
+        let svd = thin_svd(&a);
+        let utu = svd.u.transpose().matmul(&svd.u);
+        let vtv = svd.v.transpose().matmul(&svd.v);
+        assert!(utu.max_abs_diff(&Matrix::identity(svd.rank())) < 1e-8);
+        assert!(vtv.max_abs_diff(&Matrix::identity(svd.rank())) < 1e-8);
+    }
+
+    #[test]
+    fn truncated_reconstruction_is_best_effort() {
+        let a = Matrix::from_rows(&[
+            &[10.0, 0.0],
+            &[0.0, 0.1],
+            &[10.0, 0.0],
+        ]);
+        let svd = thin_svd(&a);
+        let r1 = svd.reconstruct(1);
+        // Dominant direction preserved, minor direction dropped.
+        assert!((r1[(0, 0)] - 10.0).abs() < 1e-6);
+        assert!(r1[(1, 1)].abs() < 0.1 + 1e-9);
+    }
+}

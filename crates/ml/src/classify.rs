@@ -1,0 +1,217 @@
+//! kNN classification (Weka's `ibk`), weighted F1, and stratified k-fold
+//! splitting — the Table VII classification pipeline ("we use 5-fold cross
+//! validation, where missing values exist both in training and testing
+//! sets").
+
+use iim_data::Relation;
+use iim_neighbors::brute::FeatureMatrix;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A fitted kNN (majority-vote) classifier.
+pub struct KnnClassifier {
+    fm: FeatureMatrix,
+    labels: Vec<u32>,
+    k: usize,
+}
+
+impl KnnClassifier {
+    /// Fits on the rows of `rel` listed in `train_rows` that are complete
+    /// on `features`; incomplete training rows are skipped (the classifier
+    /// cannot measure distances to them), which is how missing data hurts
+    /// the no-imputation baseline.
+    pub fn fit(
+        rel: &Relation,
+        features: &[usize],
+        labels: &[u32],
+        train_rows: &[u32],
+        k: usize,
+    ) -> Self {
+        let usable: Vec<u32> = train_rows
+            .iter()
+            .copied()
+            .filter(|&r| rel.row_complete_on(r as usize, features))
+            .collect();
+        assert!(!usable.is_empty(), "no usable training rows");
+        let fm = FeatureMatrix::gather(rel, features, &usable);
+        let labels = usable.iter().map(|&r| labels[r as usize]).collect();
+        Self { fm, labels, k: k.max(1) }
+    }
+
+    /// Majority vote among the k nearest training rows (ties break toward
+    /// the smaller class id, deterministically).
+    pub fn predict(&self, x: &[f64]) -> u32 {
+        let nn = self.fm.knn(x, self.k);
+        let mut votes: Vec<(u32, usize)> = Vec::with_capacity(self.k);
+        for n in &nn {
+            let label = self.labels[n.pos as usize];
+            match votes.iter_mut().find(|(l, _)| *l == label) {
+                Some((_, c)) => *c += 1,
+                None => votes.push((label, 1)),
+            }
+        }
+        votes.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        votes[0].0
+    }
+}
+
+/// Weighted-average F1 over classes (each class's F1 weighted by its true
+/// support), the convention behind single-number F1 reports like
+/// Table VII's.
+pub fn f1_weighted(pred: &[u32], truth: &[u32]) -> f64 {
+    assert_eq!(pred.len(), truth.len());
+    if truth.is_empty() {
+        return 1.0;
+    }
+    let classes: Vec<u32> = {
+        let mut c: Vec<u32> = truth.to_vec();
+        c.sort_unstable();
+        c.dedup();
+        c
+    };
+    let mut weighted = 0.0;
+    for &class in &classes {
+        let tp = pred
+            .iter()
+            .zip(truth)
+            .filter(|(p, t)| **p == class && **t == class)
+            .count() as f64;
+        let fp = pred
+            .iter()
+            .zip(truth)
+            .filter(|(p, t)| **p == class && **t != class)
+            .count() as f64;
+        let fnn = pred
+            .iter()
+            .zip(truth)
+            .filter(|(p, t)| **p != class && **t == class)
+            .count() as f64;
+        let support = (tp + fnn) / truth.len() as f64;
+        let precision = if tp + fp > 0.0 { tp / (tp + fp) } else { 0.0 };
+        let recall = if tp + fnn > 0.0 { tp / (tp + fnn) } else { 0.0 };
+        let f1 = if precision + recall > 0.0 {
+            2.0 * precision * recall / (precision + recall)
+        } else {
+            0.0
+        };
+        weighted += support * f1;
+    }
+    weighted
+}
+
+/// Stratified k-fold split: each fold receives a proportional share of
+/// every class. Returns `folds` row-index lists covering `0..labels.len()`.
+pub fn stratified_folds<R: Rng>(
+    labels: &[u32],
+    folds: usize,
+    rng: &mut R,
+) -> Vec<Vec<u32>> {
+    assert!(folds >= 2, "need at least 2 folds");
+    let mut by_class: Vec<(u32, Vec<u32>)> = Vec::new();
+    for (i, &l) in labels.iter().enumerate() {
+        match by_class.iter_mut().find(|(c, _)| *c == l) {
+            Some((_, v)) => v.push(i as u32),
+            None => by_class.push((l, vec![i as u32])),
+        }
+    }
+    let mut out = vec![Vec::new(); folds];
+    for (_, mut rows) in by_class {
+        rows.shuffle(rng);
+        for (i, r) in rows.into_iter().enumerate() {
+            out[i % folds].push(r);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iim_data::{Relation, Schema};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn labeled_blobs() -> (Relation, Vec<u32>) {
+        let mut rel = Relation::with_capacity(Schema::anonymous(2), 0);
+        let mut labels = Vec::new();
+        for i in 0..40 {
+            rel.push_row(&[i as f64 * 0.05, 0.0]);
+            labels.push(0);
+        }
+        for i in 0..40 {
+            rel.push_row(&[10.0 + i as f64 * 0.05, 5.0]);
+            labels.push(1);
+        }
+        (rel, labels)
+    }
+
+    #[test]
+    fn classifies_separable_data() {
+        let (rel, labels) = labeled_blobs();
+        let all: Vec<u32> = (0..80).collect();
+        let clf = KnnClassifier::fit(&rel, &[0, 1], &labels, &all, 3);
+        assert_eq!(clf.predict(&[0.5, 0.1]), 0);
+        assert_eq!(clf.predict(&[10.5, 4.9]), 1);
+    }
+
+    #[test]
+    fn skips_incomplete_training_rows() {
+        let (mut rel, labels) = labeled_blobs();
+        for i in 0..40 {
+            rel.clear_cell(i, 1); // wipe class 0's second feature
+        }
+        let all: Vec<u32> = (0..80).collect();
+        let clf = KnnClassifier::fit(&rel, &[0, 1], &labels, &all, 3);
+        // Only class-1 rows remain usable → everything classifies as 1.
+        assert_eq!(clf.predict(&[0.5, 0.1]), 1);
+    }
+
+    #[test]
+    fn f1_perfect_and_degenerate() {
+        assert_eq!(f1_weighted(&[0, 1, 0], &[0, 1, 0]), 1.0);
+        assert_eq!(f1_weighted(&[], &[]), 1.0);
+        // All-wrong binary predictions → F1 = 0.
+        assert_eq!(f1_weighted(&[1, 0], &[0, 1]), 0.0);
+        // Majority-class guessing on an 3:1 imbalance.
+        let pred = vec![0, 0, 0, 0];
+        let truth = vec![0, 0, 0, 1];
+        let f1 = f1_weighted(&pred, &truth);
+        // class 0: p=0.75, r=1 → f1 6/7, weight .75; class 1: f1 0.
+        assert!((f1 - 0.75 * (6.0 / 7.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stratified_folds_balance_classes() {
+        let labels: Vec<u32> =
+            (0..50).map(|i| if i < 40 { 0 } else { 1 }).collect();
+        let folds = stratified_folds(&labels, 5, &mut StdRng::seed_from_u64(4));
+        assert_eq!(folds.len(), 5);
+        let total: usize = folds.iter().map(|f| f.len()).sum();
+        assert_eq!(total, 50);
+        for fold in &folds {
+            let minority = fold.iter().filter(|&&r| labels[r as usize] == 1).count();
+            assert_eq!(minority, 2, "each fold gets 2 of the 10 minority rows");
+        }
+    }
+
+    #[test]
+    fn cross_validated_f1_high_on_separable() {
+        let (rel, labels) = labeled_blobs();
+        let mut rng = StdRng::seed_from_u64(1);
+        let folds = stratified_folds(&labels, 5, &mut rng);
+        let mut preds = vec![0u32; labels.len()];
+        for f in 0..5 {
+            let test = &folds[f];
+            let train: Vec<u32> = (0..5)
+                .filter(|&g| g != f)
+                .flat_map(|g| folds[g].iter().copied())
+                .collect();
+            let clf = KnnClassifier::fit(&rel, &[0, 1], &labels, &train, 3);
+            for &t in test {
+                let row = rel.row_raw(t as usize);
+                preds[t as usize] = clf.predict(row);
+            }
+        }
+        assert!(f1_weighted(&preds, &labels) > 0.99);
+    }
+}

@@ -1,0 +1,249 @@
+//! Lloyd's k-means with k-means++ seeding, plus the purity measure used in
+//! Table VII ("counts for each cluster the number of data points from the
+//! most common class").
+
+use iim_data::Relation;
+use rand::Rng;
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Cluster assignment per row.
+    pub labels: Vec<u32>,
+    /// Final centroids, `k x m` row-major.
+    pub centroids: Vec<Vec<f64>>,
+    /// Sum of squared distances to assigned centroids.
+    pub inertia: f64,
+    /// Iterations executed.
+    pub iterations: usize,
+}
+
+/// Runs k-means over the *complete* rows' full attribute vectors.
+///
+/// Rows with missing cells are assigned label `u32::MAX` (excluded from the
+/// objective) — the "discard incomplete tuples" column of Table VII scores
+/// exactly those runs.
+pub fn kmeans<R: Rng>(
+    rel: &Relation,
+    k: usize,
+    max_iter: usize,
+    rng: &mut R,
+) -> KMeansResult {
+    let rows: Vec<u32> = rel.complete_rows();
+    assert!(!rows.is_empty(), "k-means needs at least one complete row");
+    let k = k.clamp(1, rows.len());
+    let centroids = plus_plus_seeds(rel, &rows, k, rng);
+    lloyd(rel, &rows, centroids, max_iter)
+}
+
+/// Runs Lloyd iterations from *given* initial centroids.
+///
+/// Table VII compares clusterings of slightly different relations (one per
+/// imputation method); seeding each run independently would let k-means++
+/// initialization noise dwarf the imputation differences, so all variants
+/// start from the reference centroids of the original complete data.
+pub fn kmeans_with_init(
+    rel: &Relation,
+    centroids: Vec<Vec<f64>>,
+    max_iter: usize,
+) -> KMeansResult {
+    let rows: Vec<u32> = rel.complete_rows();
+    assert!(!rows.is_empty(), "k-means needs at least one complete row");
+    lloyd(rel, &rows, centroids, max_iter)
+}
+
+fn plus_plus_seeds<R: Rng>(
+    rel: &Relation,
+    rows: &[u32],
+    k: usize,
+    rng: &mut R,
+) -> Vec<Vec<f64>> {
+    // k-means++ seeding over the complete rows.
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    let first = rows[rng.gen_range(0..rows.len())];
+    centroids.push(rel.row_raw(first as usize).to_vec());
+    let mut d2 = vec![0.0f64; rows.len()];
+    while centroids.len() < k {
+        let mut total = 0.0;
+        for (slot, &r) in d2.iter_mut().zip(rows) {
+            let row = rel.row_raw(r as usize);
+            let best = centroids
+                .iter()
+                .map(|c| sq(row, c))
+                .fold(f64::INFINITY, f64::min);
+            *slot = best;
+            total += best;
+        }
+        let pick = if total <= 0.0 {
+            rows[rng.gen_range(0..rows.len())]
+        } else {
+            let mut target = rng.gen_range(0.0..total);
+            let mut chosen = rows[rows.len() - 1];
+            for (i, &r) in rows.iter().enumerate() {
+                target -= d2[i];
+                if target <= 0.0 {
+                    chosen = r;
+                    break;
+                }
+            }
+            chosen
+        };
+        centroids.push(rel.row_raw(pick as usize).to_vec());
+    }
+    centroids
+}
+
+fn lloyd(
+    rel: &Relation,
+    rows: &[u32],
+    mut centroids: Vec<Vec<f64>>,
+    max_iter: usize,
+) -> KMeansResult {
+    let k = centroids.len();
+    let m = rel.arity();
+    let mut assign = vec![0u32; rows.len()];
+    let mut iterations = 0;
+    for it in 0..max_iter {
+        iterations = it + 1;
+        let mut moved = false;
+        for (slot, &r) in assign.iter_mut().zip(rows) {
+            let row = rel.row_raw(r as usize);
+            let mut best = (f64::INFINITY, 0u32);
+            for (ci, c) in centroids.iter().enumerate() {
+                let d = sq(row, c);
+                if d < best.0 {
+                    best = (d, ci as u32);
+                }
+            }
+            if *slot != best.1 {
+                moved = true;
+                *slot = best.1;
+            }
+        }
+        if it > 0 && !moved {
+            break;
+        }
+        // Recompute centroids; empty clusters keep their position.
+        let mut sums = vec![vec![0.0; m]; k];
+        let mut counts = vec![0usize; k];
+        for (&a, &r) in assign.iter().zip(rows) {
+            counts[a as usize] += 1;
+            let row = rel.row_raw(r as usize);
+            for (s, v) in sums[a as usize].iter_mut().zip(row) {
+                *s += v;
+            }
+        }
+        for ((c, sum), &cnt) in centroids.iter_mut().zip(&sums).zip(&counts) {
+            if cnt > 0 {
+                for (slot, s) in c.iter_mut().zip(sum) {
+                    *slot = s / cnt as f64;
+                }
+            }
+        }
+    }
+
+    let mut labels = vec![u32::MAX; rel.n_rows()];
+    let mut inertia = 0.0;
+    for (&a, &r) in assign.iter().zip(rows) {
+        labels[r as usize] = a;
+        inertia += sq(rel.row_raw(r as usize), &centroids[a as usize]);
+    }
+    KMeansResult { labels, centroids, inertia, iterations }
+}
+
+fn sq(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Clustering purity of `labels` against `truth` (Table VII's measure):
+/// for each predicted cluster, count the points of its most common truth
+/// class; purity = matched / total. Rows labeled `u32::MAX` in *either*
+/// vector (discarded/incomplete) count toward the denominator but can
+/// never match — discarding tuples therefore lowers purity, as in the
+/// paper's first column.
+pub fn purity(labels: &[u32], truth: &[u32]) -> f64 {
+    assert_eq!(labels.len(), truth.len());
+    if labels.is_empty() {
+        return 1.0;
+    }
+    let k_pred = labels.iter().filter(|&&l| l != u32::MAX).max().map_or(0, |&m| m + 1);
+    let k_true = truth.iter().filter(|&&l| l != u32::MAX).max().map_or(0, |&m| m + 1);
+    let mut counts = vec![0usize; (k_pred * k_true) as usize];
+    for (&p, &t) in labels.iter().zip(truth) {
+        if p != u32::MAX && t != u32::MAX {
+            counts[(p * k_true + t) as usize] += 1;
+        }
+    }
+    let mut matched = 0usize;
+    for p in 0..k_pred {
+        let row = &counts[(p * k_true) as usize..((p + 1) * k_true) as usize];
+        matched += row.iter().copied().max().unwrap_or(0);
+    }
+    matched as f64 / labels.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iim_data::{Relation, Schema};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn three_blob_rel() -> (Relation, Vec<u32>) {
+        let mut rel = Relation::with_capacity(Schema::anonymous(2), 0);
+        let mut truth = Vec::new();
+        for (ci, center) in [(0.0, 0.0), (10.0, 0.0), (5.0, 12.0)].iter().enumerate() {
+            for i in 0..30 {
+                let dx = (i % 5) as f64 * 0.1;
+                let dy = (i / 5) as f64 * 0.1;
+                rel.push_row(&[center.0 + dx, center.1 + dy]);
+                truth.push(ci as u32);
+            }
+        }
+        (rel, truth)
+    }
+
+    #[test]
+    fn separable_blobs_get_pure_clusters() {
+        let (rel, truth) = three_blob_rel();
+        let mut rng = StdRng::seed_from_u64(5);
+        let res = kmeans(&rel, 3, 100, &mut rng);
+        assert!(purity(&res.labels, &truth) > 0.99);
+        assert!(res.inertia < 50.0);
+    }
+
+    #[test]
+    fn incomplete_rows_are_discarded() {
+        let (mut rel, truth) = three_blob_rel();
+        rel.clear_cell(0, 1);
+        rel.clear_cell(40, 0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let res = kmeans(&rel, 3, 100, &mut rng);
+        assert_eq!(res.labels[0], u32::MAX);
+        assert_eq!(res.labels[40], u32::MAX);
+        // Purity drops because discarded rows cannot match.
+        let p = purity(&res.labels, &truth);
+        assert!(p < 1.0 && p > 0.9);
+    }
+
+    #[test]
+    fn purity_degenerate_cases() {
+        assert_eq!(purity(&[], &[]), 1.0);
+        // All one cluster over two classes of equal size → 0.5.
+        let labels = vec![0, 0, 0, 0];
+        let truth = vec![0, 0, 1, 1];
+        assert!((purity(&labels, &truth) - 0.5).abs() < 1e-12);
+        // Perfect split with permuted ids is still pure.
+        let labels = vec![1, 1, 0, 0];
+        assert!((purity(&labels, &truth) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_clamped_and_deterministic_per_seed() {
+        let (rel, _) = three_blob_rel();
+        let a = kmeans(&rel, 500, 10, &mut StdRng::seed_from_u64(1));
+        let b = kmeans(&rel, 500, 10, &mut StdRng::seed_from_u64(1));
+        assert_eq!(a.labels, b.labels);
+        assert!(a.centroids.len() <= 90);
+    }
+}

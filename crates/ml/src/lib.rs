@@ -1,0 +1,13 @@
+//! Downstream-application substrate for the paper's Table VII.
+//!
+//! §VI-D evaluates how imputation quality propagates into applications:
+//! k-means clustering scored by *purity* against the clusters of the
+//! original complete data, and kNN classification (Weka's `ibk`) scored by
+//! F1 under 5-fold cross validation. The paper used Weka; this crate
+//! reimplements both algorithms so the whole pipeline stays in Rust.
+
+pub mod classify;
+pub mod kmeans;
+
+pub use classify::{f1_weighted, stratified_folds, KnnClassifier};
+pub use kmeans::{kmeans, kmeans_with_init, purity, KMeansResult};

@@ -1,0 +1,259 @@
+//! Exact brute-force kNN over a gathered feature matrix.
+
+use crate::dist::sq_dist_f;
+use iim_data::Relation;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One neighbor: a position plus its Formula-1 distance to the query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Index into the candidate set (a [`FeatureMatrix`] position, which
+    /// maps back to an original relation row via [`FeatureMatrix::row_id`]).
+    pub pos: u32,
+    /// Formula-1 distance.
+    pub dist: f64,
+}
+
+/// Candidate tuples gathered onto their feature subset: a dense
+/// `len x n_features` block plus the original row ids.
+///
+/// All neighbor search in the workspace runs against this shape so the
+/// gather (and its missing-cell checks) happens exactly once per task.
+#[derive(Debug, Clone)]
+pub struct FeatureMatrix {
+    f: usize,
+    row_ids: Vec<u32>,
+    data: Vec<f64>,
+}
+
+impl FeatureMatrix {
+    /// Gathers `attrs` from the given `rows` of `rel`.
+    ///
+    /// Panics (debug) if any gathered cell is missing — candidates must be
+    /// complete on the feature attributes.
+    pub fn gather(rel: &Relation, attrs: &[usize], rows: &[u32]) -> Self {
+        assert!(!attrs.is_empty(), "feature set must be non-empty");
+        let mut data = Vec::with_capacity(rows.len() * attrs.len());
+        for &r in rows {
+            let row = rel.row_raw(r as usize);
+            for &j in attrs {
+                debug_assert!(!row[j].is_nan(), "candidate row {r} missing attr {j}");
+                data.push(row[j]);
+            }
+        }
+        Self { f: attrs.len(), row_ids: rows.to_vec(), data }
+    }
+
+    /// Builds directly from a dense row-major block (used by generators and
+    /// tests).
+    pub fn from_dense(f: usize, row_ids: Vec<u32>, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), row_ids.len() * f);
+        Self { f, row_ids, data }
+    }
+
+    /// Number of candidate points.
+    pub fn len(&self) -> usize {
+        self.row_ids.len()
+    }
+
+    /// True when there are no candidates.
+    pub fn is_empty(&self) -> bool {
+        self.row_ids.is_empty()
+    }
+
+    /// Feature dimensionality `|F|`.
+    pub fn n_features(&self) -> usize {
+        self.f
+    }
+
+    /// Feature vector of candidate `pos`.
+    #[inline]
+    pub fn point(&self, pos: usize) -> &[f64] {
+        &self.data[pos * self.f..(pos + 1) * self.f]
+    }
+
+    /// Original relation row id of candidate `pos`.
+    #[inline]
+    pub fn row_id(&self, pos: usize) -> u32 {
+        self.row_ids[pos]
+    }
+
+    /// All original row ids.
+    pub fn row_ids(&self) -> &[u32] {
+        &self.row_ids
+    }
+
+    /// The k nearest candidates to `query` (a gathered feature vector),
+    /// ascending by `(distance, position)`.
+    ///
+    /// `k` larger than the candidate count returns everything. Ties break
+    /// deterministically on position so experiment runs are reproducible.
+    pub fn knn(&self, query: &[f64], k: usize) -> Vec<Neighbor> {
+        let mut out = Vec::new();
+        self.knn_into(query, k, &mut out);
+        out
+    }
+
+    /// [`FeatureMatrix::knn`] into a reusable buffer.
+    pub fn knn_into(&self, query: &[f64], k: usize, out: &mut Vec<Neighbor>) {
+        out.clear();
+        if k == 0 || self.is_empty() {
+            return;
+        }
+        let k = k.min(self.len());
+        // Max-heap of the best k so far keyed by (dist, pos) descending.
+        let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
+        for pos in 0..self.len() {
+            let d = sq_dist_f(query, self.point(pos));
+            if heap.len() < k {
+                heap.push(HeapEntry { sq: d, pos: pos as u32 });
+            } else {
+                let worst = heap.peek().expect("heap non-empty");
+                if (d, pos as u32) < (worst.sq, worst.pos) {
+                    heap.pop();
+                    heap.push(HeapEntry { sq: d, pos: pos as u32 });
+                }
+            }
+        }
+        out.extend(heap.into_iter().map(|e| Neighbor { pos: e.pos, dist: e.sq.sqrt() }));
+        out.sort_by(|a, b| (a.dist, a.pos).partial_cmp(&(b.dist, b.pos)).expect("finite"));
+    }
+}
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    sq: f64,
+    pos: u32,
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.sq.total_cmp(&other.sq).then(self.pos.cmp(&other.pos))
+    }
+}
+
+/// Convenience: k nearest rows of `rel` (restricted to `candidates`,
+/// measured on `attrs`) to the raw row `query_row`.
+pub fn knn(
+    rel: &Relation,
+    attrs: &[usize],
+    candidates: &[u32],
+    query_row: &[f64],
+    k: usize,
+) -> Vec<Neighbor> {
+    let fm = FeatureMatrix::gather(rel, attrs, candidates);
+    let q: Vec<f64> = attrs.iter().map(|&j| query_row[j]).collect();
+    let mut out = fm.knn(&q, k);
+    // Convert positions back to relation row ids for the ad-hoc API.
+    for n in &mut out {
+        n.pos = fm.row_id(n.pos as usize);
+    }
+    out
+}
+
+/// Reusable-buffer variant of [`knn`] against a prebuilt matrix.
+pub fn knn_into(fm: &FeatureMatrix, query: &[f64], k: usize, out: &mut Vec<Neighbor>) {
+    fm.knn_into(query, k, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iim_data::Schema;
+
+    fn line(n: usize) -> FeatureMatrix {
+        let data: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        FeatureMatrix::from_dense(1, (0..n as u32).collect(), data)
+    }
+
+    #[test]
+    fn nearest_on_a_line() {
+        let fm = line(10);
+        let nn = fm.knn(&[4.2], 3);
+        assert_eq!(nn.len(), 3);
+        assert_eq!(nn[0].pos, 4);
+        assert_eq!(nn[1].pos, 5);
+        assert_eq!(nn[2].pos, 3);
+        assert!((nn[0].dist - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_larger_than_candidates() {
+        let fm = line(3);
+        let nn = fm.knn(&[0.0], 10);
+        assert_eq!(nn.len(), 3);
+        // Ascending distances.
+        assert!(nn.windows(2).all(|w| w[0].dist <= w[1].dist));
+    }
+
+    #[test]
+    fn k_zero_and_empty() {
+        let fm = line(3);
+        assert!(fm.knn(&[0.0], 0).is_empty());
+        let empty = FeatureMatrix::from_dense(1, vec![], vec![]);
+        assert!(empty.knn(&[0.0], 2).is_empty());
+    }
+
+    #[test]
+    fn ties_break_on_position() {
+        // Points at ±1: equal distance from 0; lower position wins.
+        let fm = FeatureMatrix::from_dense(1, vec![7, 9], vec![1.0, -1.0]);
+        let nn = fm.knn(&[0.0], 1);
+        assert_eq!(nn[0].pos, 0);
+        assert_eq!(fm.row_id(nn[0].pos as usize), 7);
+    }
+
+    #[test]
+    fn paper_fig1_imputation_neighbors() {
+        // Example 1: NN(tx, {A1}, 3) = {t4, t5, t6} for tx[A1] = 5.
+        let (rel, _) = iim_data::paper_fig1();
+        let all: Vec<u32> = (0..8).collect();
+        let nn = knn(&rel, &[0], &all, &[5.0, f64::NAN], 3);
+        let mut ids: Vec<u32> = nn.iter().map(|n| n.pos).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![3, 4, 5]); // zero-based t4, t5, t6
+    }
+
+    #[test]
+    fn gather_respects_attr_order() {
+        let rel = Relation::from_rows(
+            Schema::anonymous(3),
+            &[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]],
+        );
+        let fm = FeatureMatrix::gather(&rel, &[2, 0], &[0, 1]);
+        assert_eq!(fm.point(0), &[3.0, 1.0]);
+        assert_eq!(fm.point(1), &[6.0, 4.0]);
+        assert_eq!(fm.n_features(), 2);
+        assert_eq!(fm.row_ids(), &[0, 1]);
+    }
+
+    #[test]
+    fn matches_full_sort_reference() {
+        // Cross-check heap selection against a naive full sort.
+        let pts: Vec<f64> = (0..50)
+            .map(|i| ((i * 37 % 50) as f64) * 0.73 - 10.0)
+            .collect();
+        let fm = FeatureMatrix::from_dense(1, (0..50).collect(), pts.clone());
+        let q = [1.234];
+        let got = fm.knn(&q, 7);
+        let mut reference: Vec<(f64, u32)> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| ((p - q[0]).abs(), i as u32))
+            .collect();
+        reference.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (g, r) in got.iter().zip(&reference) {
+            assert_eq!(g.pos, r.1);
+            assert!((g.dist - r.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Distances on complete attributes (Formula 1 of the paper):
+//! `d(x, i) = sqrt( Σ_{A ∈ F} (x[A] − tᵢ[A])² / |F| )`.
+
+/// Squared Formula-1 distance between two *gathered* feature vectors
+/// (values already restricted to `F`, in the same order).
+///
+/// The `1/|F|` normalization matters when experiments vary `|F|`
+/// (Figures 4–5): it keeps distances comparable across feature-set sizes.
+#[inline]
+pub fn sq_dist_f(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert!(!a.is_empty());
+    let mut s = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        let d = x - y;
+        s += d * d;
+    }
+    s / a.len() as f64
+}
+
+/// Formula-1 distance between two gathered feature vectors.
+#[inline]
+pub fn euclidean_f(a: &[f64], b: &[f64]) -> f64 {
+    sq_dist_f(a, b).sqrt()
+}
+
+/// Squared Formula-1 distance between two raw rows restricted to `attrs`.
+///
+/// Rows may be raw [`Relation`](iim_data::Relation) rows; the caller must
+/// ensure the attributes in `attrs` are present (non-NaN) in both rows.
+#[inline]
+pub fn sq_dist_on(a: &[f64], b: &[f64], attrs: &[usize]) -> f64 {
+    debug_assert!(!attrs.is_empty());
+    let mut s = 0.0;
+    for &j in attrs {
+        let d = a[j] - b[j];
+        debug_assert!(d.is_finite(), "distance over a missing cell");
+        s += d * d;
+    }
+    s / attrs.len() as f64
+}
+
+/// Formula-1 distance over all attributes of two complete raw rows.
+#[inline]
+pub fn euclidean_full(a: &[f64], b: &[f64]) -> f64 {
+    sq_dist_f(a, b).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalized_by_dimension() {
+        // Same per-coordinate gap, different dimension: Formula 1 keeps the
+        // distance constant.
+        let d1 = euclidean_f(&[0.0], &[2.0]);
+        let d2 = euclidean_f(&[0.0, 0.0], &[2.0, 2.0]);
+        assert!((d1 - 2.0).abs() < 1e-12);
+        assert!((d2 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subset_distance() {
+        let a = [1.0, f64::NAN, 3.0];
+        let b = [4.0, f64::NAN, 7.0];
+        // attrs {0,2}: sq = (9 + 16)/2
+        let d = sq_dist_on(&a, &b, &[0, 2]);
+        assert!((d - 12.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_distance_to_self() {
+        let a = [0.5, -1.0, 3.25];
+        assert_eq!(euclidean_full(&a, &a), 0.0);
+        assert_eq!(sq_dist_on(&a, &a, &[0, 1, 2]), 0.0);
+    }
+
+    #[test]
+    fn symmetry() {
+        let a = [1.0, 2.0];
+        let b = [-3.0, 0.5];
+        assert_eq!(euclidean_f(&a, &b), euclidean_f(&b, &a));
+    }
+}

@@ -1,0 +1,236 @@
+//! KD-tree kNN for the large-`n` experiments.
+//!
+//! The paper's complexity analysis assumes brute-force search ("advanced
+//! indexing and searching techniques could be applied, which is not the
+//! focus of this study"); the tree exists so the SN-scale workloads
+//! (100k tuples) stay tractable in the harness. Results are identical to
+//! [`brute`](crate::brute) — property-tested — because both use the same
+//! distance and the same deterministic tie-break.
+
+use crate::brute::{FeatureMatrix, Neighbor};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A balanced KD-tree over the points of a [`FeatureMatrix`].
+pub struct KdTree<'a> {
+    points: &'a FeatureMatrix,
+    /// Flattened tree: node `v` owns `idx[range]` with children around the
+    /// median; leaves hold up to `LEAF` points.
+    nodes: Vec<Node>,
+    idx: Vec<u32>,
+}
+
+const LEAF: usize = 16;
+
+struct Node {
+    /// Split dimension; `usize::MAX` marks a leaf.
+    dim: usize,
+    /// Split coordinate value.
+    split: f64,
+    /// `idx` range covered by this node.
+    start: u32,
+    end: u32,
+    /// Children indices in `nodes` (0 = none).
+    left: u32,
+    right: u32,
+}
+
+impl<'a> KdTree<'a> {
+    /// Builds a tree over all points of `points`.
+    pub fn build(points: &'a FeatureMatrix) -> Self {
+        let n = points.len();
+        let mut idx: Vec<u32> = (0..n as u32).collect();
+        let mut nodes = Vec::with_capacity(2 * (n / LEAF + 1));
+        // Root placeholder so child index 0 can mean "none".
+        nodes.push(Node { dim: usize::MAX, split: 0.0, start: 0, end: 0, left: 0, right: 0 });
+        if n > 0 {
+            Self::build_rec(points, &mut nodes, &mut idx, 0, n, 0);
+        }
+        Self { points, nodes, idx }
+    }
+
+    fn build_rec(
+        points: &FeatureMatrix,
+        nodes: &mut Vec<Node>,
+        idx: &mut [u32],
+        start: usize,
+        end: usize,
+        depth: usize,
+    ) -> u32 {
+        let node_id = nodes.len() as u32;
+        if end - start <= LEAF {
+            nodes.push(Node {
+                dim: usize::MAX,
+                split: 0.0,
+                start: start as u32,
+                end: end as u32,
+                left: 0,
+                right: 0,
+            });
+            return node_id;
+        }
+        // Split on the dimension with the largest spread at this depth
+        // window; cycling by depth is cheaper and nearly as good for the
+        // low dimensionalities here.
+        let dim = depth % points.n_features();
+        let mid = (start + end) / 2;
+        idx[start..end].select_nth_unstable_by(mid - start, |&a, &b| {
+            points.point(a as usize)[dim]
+                .total_cmp(&points.point(b as usize)[dim])
+                .then(a.cmp(&b))
+        });
+        let split = points.point(idx[mid] as usize)[dim];
+        nodes.push(Node {
+            dim,
+            split,
+            start: start as u32,
+            end: end as u32,
+            left: 0,
+            right: 0,
+        });
+        let left = Self::build_rec(points, nodes, idx, start, mid, depth + 1);
+        let right = Self::build_rec(points, nodes, idx, mid, end, depth + 1);
+        nodes[node_id as usize].left = left;
+        nodes[node_id as usize].right = right;
+        node_id
+    }
+
+    /// The k nearest points to `query`, ascending by `(distance, position)`
+    /// — bit-identical ordering to [`FeatureMatrix::knn`].
+    pub fn knn(&self, query: &[f64], k: usize) -> Vec<Neighbor> {
+        let mut out = Vec::new();
+        self.knn_into(query, k, &mut out);
+        out
+    }
+
+    /// [`KdTree::knn`] into a reusable buffer.
+    pub fn knn_into(&self, query: &[f64], k: usize, out: &mut Vec<Neighbor>) {
+        out.clear();
+        if k == 0 || self.points.is_empty() {
+            return;
+        }
+        let k = k.min(self.points.len());
+        let mut heap: BinaryHeap<Entry> = BinaryHeap::with_capacity(k + 1);
+        self.search(1, query, k, &mut heap);
+        out.extend(heap.into_iter().map(|e| Neighbor {
+            pos: e.pos,
+            dist: (e.sq / self.points.n_features() as f64).sqrt(),
+        }));
+        out.sort_by(|a, b| (a.dist, a.pos).partial_cmp(&(b.dist, b.pos)).expect("finite"));
+    }
+
+    fn search(&self, node_id: u32, query: &[f64], k: usize, heap: &mut BinaryHeap<Entry>) {
+        let node = &self.nodes[node_id as usize];
+        if node.dim == usize::MAX {
+            for &p in &self.idx[node.start as usize..node.end as usize] {
+                let pt = self.points.point(p as usize);
+                let mut sq = 0.0;
+                for (a, b) in query.iter().zip(pt) {
+                    let d = a - b;
+                    sq += d * d;
+                }
+                push_bounded(heap, k, Entry { sq, pos: p });
+            }
+            return;
+        }
+        let diff = query[node.dim] - node.split;
+        let (near, far) = if diff <= 0.0 {
+            (node.left, node.right)
+        } else {
+            (node.right, node.left)
+        };
+        self.search(near, query, k, heap);
+        // Prune the far side when the splitting plane is beyond the current
+        // worst distance (or the heap is not yet full).
+        let worst = heap.peek().map(|e| e.sq).unwrap_or(f64::INFINITY);
+        if heap.len() < k || diff * diff <= worst {
+            self.search(far, query, k, heap);
+        }
+    }
+}
+
+#[derive(PartialEq)]
+struct Entry {
+    /// *Unnormalized* squared distance (normalization is monotonic, applied
+    /// on output).
+    sq: f64,
+    pos: u32,
+}
+
+impl Eq for Entry {}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.sq.total_cmp(&other.sq).then(self.pos.cmp(&other.pos))
+    }
+}
+
+fn push_bounded(heap: &mut BinaryHeap<Entry>, k: usize, e: Entry) {
+    if heap.len() < k {
+        heap.push(e);
+    } else if let Some(worst) = heap.peek() {
+        if (e.sq, e.pos) < (worst.sq, worst.pos) {
+            heap.pop();
+            heap.push(e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_matrix(n: usize, f: usize, seed: u64) -> FeatureMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data: Vec<f64> = (0..n * f).map(|_| rng.gen_range(-10.0..10.0)).collect();
+        FeatureMatrix::from_dense(f, (0..n as u32).collect(), data)
+    }
+
+    #[test]
+    fn agrees_with_brute_force() {
+        for &(n, f) in &[(1usize, 1usize), (5, 2), (100, 1), (257, 3), (1000, 4)] {
+            let fm = random_matrix(n, f, n as u64 * 31 + f as u64);
+            let tree = KdTree::build(&fm);
+            let mut rng = StdRng::seed_from_u64(99);
+            for _ in 0..20 {
+                let q: Vec<f64> = (0..f).map(|_| rng.gen_range(-12.0..12.0)).collect();
+                let k = rng.gen_range(1..=n.min(12));
+                let a = fm.knn(&q, k);
+                let b = tree.knn(&q, k);
+                assert_eq!(a.len(), b.len(), "n={n} f={f} k={k}");
+                for (x, y) in a.iter().zip(&b) {
+                    assert_eq!(x.pos, y.pos, "n={n} f={f} k={k}");
+                    assert!((x.dist - y.dist).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_k_zero() {
+        let fm = FeatureMatrix::from_dense(2, vec![], vec![]);
+        let tree = KdTree::build(&fm);
+        assert!(tree.knn(&[0.0, 0.0], 3).is_empty());
+        let fm2 = random_matrix(10, 2, 1);
+        let tree2 = KdTree::build(&fm2);
+        assert!(tree2.knn(&[0.0, 0.0], 0).is_empty());
+    }
+
+    #[test]
+    fn exact_point_has_zero_distance() {
+        let fm = random_matrix(64, 3, 5);
+        let tree = KdTree::build(&fm);
+        let q: Vec<f64> = fm.point(17).to_vec();
+        let nn = tree.knn(&q, 1);
+        assert_eq!(nn[0].pos, 17);
+        assert_eq!(nn[0].dist, 0.0);
+    }
+}

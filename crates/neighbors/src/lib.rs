@@ -1,0 +1,27 @@
+//! Nearest-neighbor search substrate for the `iim` workspace.
+//!
+//! Everything neighbor-shaped in the paper goes through `NN(t, F, k)`: the
+//! kNN/kNNE/LOESS/ILLS baselines, IIM's learning neighbors (`ℓ`), IIM's
+//! imputation neighbors (`k`), and the adaptive sweep which needs *all*
+//! prefixes `NN(tᵢ, F, 1) ⊂ NN(tᵢ, F, 2) ⊂ …` at once.
+//!
+//! * [`dist`] — the paper's Formula 1 distance (Euclidean over the complete
+//!   attributes, normalized by `|F|`).
+//! * [`brute`] — exact top-k scans; the shape the paper's complexity
+//!   analysis assumes ("advanced indexing ... is not the focus of this
+//!   study").
+//! * [`kdtree`] — a KD-tree over a feature subset for the large-`n`
+//!   experiments (SN has 100k tuples).
+//! * [`orders`] — fully sorted per-tuple neighbor orders, precomputed once
+//!   and shared across the adaptive sweep (§V-A1 "precompute once the
+//!   nearest neighbors for all tuples").
+
+pub mod brute;
+pub mod dist;
+pub mod kdtree;
+pub mod orders;
+
+pub use brute::{knn, knn_into, Neighbor};
+pub use dist::{euclidean_f, euclidean_full};
+pub use kdtree::KdTree;
+pub use orders::NeighborOrders;

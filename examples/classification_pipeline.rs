@@ -1,0 +1,73 @@
+//! Impute-then-classify: the paper's Table VII application study.
+//!
+//! The MAM analog carries binary labels and *real* missing values (no
+//! ground truth to score imputation against) — the only way to compare
+//! imputers is downstream task quality. The pipeline runs a 5-fold
+//! cross-validated kNN classifier (Weka's `ibk` equivalent) on the data
+//! as-is, after Mean imputation, and after IIM, and reports weighted F1.
+//!
+//! Run with: `cargo run --release --example classification_pipeline`
+
+use iim::prelude::*;
+use iim_baselines::Mean;
+use iim_data::Relation;
+use iim_ml::{f1_weighted, stratified_folds, KnnClassifier};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn cross_validated_f1(rel: &Relation, labels: &[u32], seed: u64) -> f64 {
+    let m = rel.arity();
+    let features: Vec<usize> = (0..m).collect();
+    let stats = iim_data::stats::all_stats(rel);
+    let folds = stratified_folds(labels, 5, &mut StdRng::seed_from_u64(seed));
+    let mut preds = vec![0u32; labels.len()];
+    for f in 0..folds.len() {
+        let train: Vec<u32> = (0..folds.len())
+            .filter(|&g| g != f)
+            .flat_map(|g| folds[g].iter().copied())
+            .collect();
+        let clf = KnnClassifier::fit(rel, &features, labels, &train, 5);
+        let mut q = vec![0.0; m];
+        for &t in &folds[f] {
+            let row = rel.row_raw(t as usize);
+            for (j, slot) in q.iter_mut().enumerate() {
+                // Mean-substitute missing test features so the
+                // no-imputation baseline can still classify.
+                *slot = if row[j].is_nan() { stats[j].mean } else { row[j] };
+            }
+            preds[t as usize] = clf.predict(&q);
+        }
+    }
+    f1_weighted(&preds, labels)
+}
+
+fn main() {
+    let seed = 42;
+    let ds = iim::datagen::mam_like(1000, seed);
+    let rel = ds.relation;
+    let labels = ds.labels;
+    println!(
+        "MAM analog: {} tuples x {} attrs, {} naturally-missing cells, 2 classes\n",
+        rel.n_rows(),
+        rel.arity(),
+        rel.missing_count(),
+    );
+
+    let raw = cross_validated_f1(&rel, &labels, seed);
+    println!("F1 without imputation (mean-padded queries): {raw:.3}");
+
+    let mean_filled = PerAttributeImputer::new(Mean).impute(&rel).unwrap();
+    let mean_f1 = cross_validated_f1(&mean_filled, &labels, seed);
+    println!("F1 after Mean imputation:                    {mean_f1:.3}");
+
+    let iim_filled = PerAttributeImputer::new(Iim::new(IimConfig::default()))
+        .impute(&rel)
+        .unwrap();
+    let iim_f1 = cross_validated_f1(&iim_filled, &labels, seed);
+    println!("F1 after IIM imputation:                     {iim_f1:.3}");
+
+    println!(
+        "\nBetter imputation feeds the classifier better neighborhoods — \
+         the paper's Table VII in miniature."
+    );
+}

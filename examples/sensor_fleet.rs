@@ -1,0 +1,61 @@
+//! Sensor-fleet dropout: clustered missing values (the paper's Figure 8
+//! workload) on PHASE-like three-phase power readings.
+//!
+//! When a rack of co-located sensors goes dark together, an incomplete
+//! reading's nearest neighbors are *also* incomplete — the tuple-model
+//! methods (kNN) lose exactly the neighbors they rely on, while
+//! model-based methods keep working. The example sweeps the dropout
+//! cluster size and prints how each family degrades.
+//!
+//! Run with: `cargo run --release --example sensor_fleet`
+
+use iim::prelude::*;
+use iim_baselines::{Glr, Knn};
+use iim_data::inject::inject_clustered_attr;
+use iim_data::metrics::rmse;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let seed = 7;
+    let clean = iim::datagen::phase_like(4000, seed);
+    let target = clean.arity() - 1;
+    println!(
+        "PHASE analog: {} tuples x {} attrs; removing 80 values of {} in dropout clusters\n",
+        clean.n_rows(),
+        clean.arity(),
+        clean.schema().name(target),
+    );
+
+    println!(
+        "{:>12} {:>10} {:>10} {:>10}",
+        "cluster size", "IIM", "kNN", "GLR"
+    );
+    for cluster in [1usize, 2, 5, 10, 20] {
+        let mut rel = clean.clone();
+        let truth = inject_clustered_attr(
+            &mut rel,
+            80,
+            cluster,
+            target,
+            &mut StdRng::seed_from_u64(seed ^ cluster as u64),
+        );
+
+        let iim = PerAttributeImputer::new(Iim::new(IimConfig::default()))
+            .impute(&rel)
+            .unwrap();
+        let knn = PerAttributeImputer::new(Knn::new(10)).impute(&rel).unwrap();
+        let glr = PerAttributeImputer::new(Glr::default()).impute(&rel).unwrap();
+        println!(
+            "{:>12} {:>10.3} {:>10.3} {:>10.3}",
+            cluster,
+            rmse(&iim, &truth),
+            rmse(&knn, &truth),
+            rmse(&glr, &truth),
+        );
+    }
+    println!(
+        "\nkNN drifts upward as dropouts cluster (its neighbors vanish); \
+         IIM and GLR stay flat because they impute from models, not values."
+    );
+}

@@ -1,0 +1,79 @@
+//! # iim — Imputation via Individual Models
+//!
+//! A from-scratch Rust implementation of
+//! *Learning Individual Models for Imputation* (Zhang, Song, Sun, Wang;
+//! ICDE 2019), including the thirteen comparison baselines of the paper's
+//! Table II, the downstream clustering/classification applications of its
+//! Table VII, calibrated synthetic analogs of its nine evaluation
+//! datasets, and an experiment harness regenerating every table and
+//! figure of its evaluation section.
+//!
+//! ## The method in one paragraph
+//!
+//! Missing numerical values defeat the two classic imputation families in
+//! different ways: value-averaging over nearest neighbors (kNN) fails
+//! under **sparsity** (no neighbor holds a similar value), and regression
+//! with one shared model (GLR/LOESS) fails under **heterogeneity** (no one
+//! model fits all tuples). IIM learns a small ridge-regression model
+//! **per complete tuple** over that tuple's ℓ nearest neighbors
+//! (Algorithm 1), imputes an incomplete tuple by evaluating the individual
+//! models of its k nearest complete neighbors at the tuple's observed
+//! attributes (Algorithm 2), and combines the k candidate values with
+//! mutual-voting weights that suppress outlying suggestions. The number ℓ
+//! is chosen **per tuple** by validating candidate models against the
+//! complete tuples they would impute (Algorithm 3), with incremental
+//! Gram-matrix maintenance making the sweep constant-time per step
+//! (Proposition 3). kNN and GLR fall out as the ℓ = 1 and ℓ = n special
+//! cases (Propositions 1–2).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use iim::prelude::*;
+//!
+//! // The paper's Figure 1: two streets of check-ins, plus tx = (5.0, ?)
+//! // whose true A2 value is 1.8.
+//! let (mut relation, tx) = iim::data::paper_fig1();
+//! relation.push_row_opt(&tx);
+//!
+//! let imputer = PerAttributeImputer::new(Iim::new(IimConfig {
+//!     k: 3,
+//!     ..IimConfig::default()
+//! }));
+//! let filled = imputer.impute(&relation).unwrap();
+//! let value = filled.get(8, 1).unwrap();
+//! assert!((value - 1.8).abs() < 0.7); // kNN value-averaging is off by 1.6
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Module | Backing crate | Contents |
+//! |---|---|---|
+//! | [`core`] | `iim-core` | IIM itself: learning, imputation, adaptive ℓ, incremental computation |
+//! | [`data`] | `iim-data` | relations, missing-value injection, metrics, the [`Imputer`](data::Imputer) protocol |
+//! | [`baselines`] | `iim-baselines` | Mean, kNN, kNNE, IFC, GMM, SVD, ILLS, GLR, LOESS, BLR, ERACER, PMM, XGB |
+//! | [`neighbors`] | `iim-neighbors` | Formula-1 distances, brute/KD-tree kNN, neighbor orders |
+//! | [`linalg`] | `iim-linalg` | dense kernels: Cholesky/LU, Jacobi eigen, thin SVD, ridge, Gram accumulators |
+//! | [`ml`] | `iim-ml` | k-means + purity, kNN classifier + F1 (Table VII) |
+//! | [`datagen`] | `iim-datagen` | calibrated analogs of ASF, CCS, CCPP, SN, PHASE, CA, DA, MAM, HEP |
+//!
+//! Experiments: `cargo run -p iim-bench --release --bin all` regenerates
+//! every table and figure into `bench_results/`.
+
+pub use iim_baselines as baselines;
+pub use iim_core as core;
+pub use iim_data as data;
+pub use iim_datagen as datagen;
+pub use iim_linalg as linalg;
+pub use iim_ml as ml;
+pub use iim_neighbors as neighbors;
+
+/// The types most applications need.
+pub mod prelude {
+    pub use iim_baselines::all_baselines;
+    pub use iim_core::{AdaptiveConfig, Iim, IimConfig, IimModel, Learning, Weighting};
+    pub use iim_data::{
+        AttrTask, FeatureSelection, GroundTruth, ImputeError, Imputer, MissingCell,
+        PerAttributeImputer, Relation, Schema,
+    };
+}

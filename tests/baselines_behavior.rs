@@ -1,0 +1,167 @@
+//! Cross-method behavioral contracts: each baseline family must show its
+//! characteristic strength/failure on crafted data (the premise behind the
+//! paper's Table II taxonomy).
+
+use iim::prelude::*;
+use iim_baselines::{Blr, Eracer, Glr, Gmm, Ifc, Ills, Knn, Knne, Loess, Mean, Pmm, SvdImpute, Xgb};
+use iim_data::inject::inject_attr;
+use iim_data::metrics::rmse;
+use iim_data::Relation;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Exact global-linear data: every regression-capable method must beat
+/// Mean by a wide margin; kNN is good but not exact.
+#[test]
+fn regression_methods_nail_linear_data() {
+    let rows: Vec<Vec<f64>> = (0..400)
+        .map(|i| {
+            let a = (i as f64 * 0.13).sin() * 5.0;
+            let b = (i as f64 * 0.07).cos() * 3.0;
+            vec![a, b, 1.0 + 2.0 * a - 0.5 * b]
+        })
+        .collect();
+    let mut rel = Relation::from_rows(Schema::anonymous(3), &rows);
+    let truth = inject_attr(&mut rel, 2, 40, &mut StdRng::seed_from_u64(1));
+
+    let score = |m: &dyn Imputer| rmse(&m.impute(&rel).unwrap(), &truth);
+    let mean = score(&PerAttributeImputer::new(Mean));
+    for (name, err) in [
+        ("GLR", score(&PerAttributeImputer::new(Glr::default()))),
+        ("LOESS", score(&PerAttributeImputer::new(Loess::new(10)))),
+        ("ERACER", score(&Eracer::default())),
+        ("ILLS", score(&Ills::default())),
+        ("IIM", score(&PerAttributeImputer::new(Iim::new(IimConfig::default())))),
+    ] {
+        assert!(err < 0.05, "{name}: {err} should be ≈ 0 on exact linear data");
+        assert!(err < mean * 0.05, "{name} must crush Mean ({mean})");
+    }
+    // Value-aggregation methods are decent but not exact here.
+    let knn = score(&PerAttributeImputer::new(Knn::new(10)));
+    assert!(knn < mean, "kNN {knn} still beats Mean {mean}");
+}
+
+/// Cluster-structured data: the cluster-average methods (IFC, GMM) must
+/// beat the single global regression.
+#[test]
+fn cluster_methods_beat_global_regression_on_mixtures() {
+    let mut rows = Vec::new();
+    // Two blobs whose within-blob relation contradicts the across-blob
+    // trend (Simpson-style), defeating one global line.
+    for i in 0..150 {
+        let x = i as f64 * 0.01;
+        rows.push(vec![x, 5.0 - x]);
+    }
+    for i in 0..150 {
+        let x = 10.0 + i as f64 * 0.01;
+        rows.push(vec![x, 25.0 - x]);
+    }
+    let mut rel = Relation::from_rows(Schema::anonymous(2), &rows);
+    let truth = inject_attr(&mut rel, 1, 30, &mut StdRng::seed_from_u64(2));
+    let score = |m: &dyn Imputer| rmse(&m.impute(&rel).unwrap(), &truth);
+
+    let glr = score(&PerAttributeImputer::new(Glr::default()));
+    let gmm = score(&PerAttributeImputer::new(Gmm::new(2)));
+    let ifc = score(&Ifc::new(2));
+    assert!(gmm < glr, "GMM {gmm} vs GLR {glr}");
+    assert!(ifc < glr * 1.5, "IFC {ifc} vs GLR {glr}");
+}
+
+/// Low-rank data: SVDimpute must beat Mean substantially.
+#[test]
+fn svd_exploits_low_rank_structure() {
+    let mut rel = Relation::with_capacity(Schema::anonymous(5), 0);
+    for i in 0..200 {
+        let a = (i as f64 * 0.11).sin() * 4.0;
+        let b = (i as f64 * 0.05).cos() * 2.0;
+        rel.push_row(&[a + b, 2.0 * a - b, a - 2.0 * b, 0.3 * a + b, -a + 0.5 * b]);
+    }
+    let truth = inject_attr(&mut rel, 3, 25, &mut StdRng::seed_from_u64(3));
+    let svd = rmse(&SvdImpute::with_rank(2).impute(&rel).unwrap(), &truth);
+    let mean = rmse(
+        &PerAttributeImputer::new(Mean).impute(&rel).unwrap(),
+        &truth,
+    );
+    assert!(svd < mean * 0.2, "SVD {svd} vs Mean {mean}");
+}
+
+/// PMM only ever returns observed donor values.
+#[test]
+fn pmm_respects_the_donor_contract() {
+    let rows: Vec<Vec<f64>> =
+        (0..200).map(|i| vec![i as f64, (i as f64) * 3.0 + 1.0]).collect();
+    let observed: Vec<f64> = rows.iter().map(|r| r[1]).collect();
+    let mut rel = Relation::from_rows(Schema::anonymous(2), &rows);
+    let truth = inject_attr(&mut rel, 1, 30, &mut StdRng::seed_from_u64(4));
+    let out = PerAttributeImputer::new(Pmm::new(9)).impute(&rel).unwrap();
+    for c in &truth {
+        let v = out.get(c.row as usize, c.col as usize).unwrap();
+        assert!(
+            observed.iter().any(|&o| (o - v).abs() < 1e-9),
+            "PMM imputed a non-donor value {v}"
+        );
+    }
+}
+
+/// XGB handles non-linear interactions no linear method can.
+#[test]
+fn xgb_fits_interactions() {
+    let mut rel = Relation::with_capacity(Schema::anonymous(3), 0);
+    for i in 0..400 {
+        let a = (i % 20) as f64;
+        let b = if (i / 20) % 2 == 0 { -1.0 } else { 1.0 };
+        rel.push_row(&[a, b, if b > 0.0 { a } else { 20.0 - a }]);
+    }
+    let truth = inject_attr(&mut rel, 2, 40, &mut StdRng::seed_from_u64(5));
+    let xgb = rmse(
+        &PerAttributeImputer::new(Xgb::new(0)).impute(&rel).unwrap(),
+        &truth,
+    );
+    let glr = rmse(
+        &PerAttributeImputer::new(Glr::default()).impute(&rel).unwrap(),
+        &truth,
+    );
+    assert!(xgb < glr * 0.5, "XGB {xgb} vs GLR {glr} on interaction data");
+}
+
+/// Stochastic methods are reproducible per seed and vary across seeds.
+#[test]
+fn stochastic_methods_are_seeded() {
+    let mut rel = iim::datagen::ccs_like(300, 10);
+    let _ = inject_attr(&mut rel, 5, 20, &mut StdRng::seed_from_u64(6));
+    for build in [
+        |s: u64| Box::new(PerAttributeImputer::new(Blr::new(s))) as Box<dyn Imputer>,
+        |s: u64| Box::new(PerAttributeImputer::new(Pmm::new(s))) as Box<dyn Imputer>,
+    ] {
+        let a = build(1).impute(&rel).unwrap();
+        let b = build(1).impute(&rel).unwrap();
+        assert_eq!(a, b, "same seed must reproduce");
+        let c = build(2).impute(&rel).unwrap();
+        assert_ne!(a, c, "different seeds must differ");
+    }
+}
+
+/// kNNE's ensemble is at least competitive with plain kNN on data where a
+/// feature subset is corrupted.
+#[test]
+fn knne_is_robust_to_a_noisy_feature() {
+    let mut rel = Relation::with_capacity(Schema::anonymous(4), 0);
+    let mut noise_rng = StdRng::seed_from_u64(123);
+    for i in 0..300 {
+        let x = i as f64 * 0.05;
+        // Third attribute is pure noise with a huge scale.
+        let junk = 100.0 * iim::datagen::sampling::normal(&mut noise_rng);
+        rel.push_row(&[x, 2.0 * x, junk, 3.0 * x + 1.0]);
+    }
+    let truth = inject_attr(&mut rel, 3, 30, &mut StdRng::seed_from_u64(7));
+    let knn = rmse(
+        &PerAttributeImputer::new(Knn::new(5)).impute(&rel).unwrap(),
+        &truth,
+    );
+    let knne = rmse(
+        &PerAttributeImputer::new(Knne::new(5)).impute(&rel).unwrap(),
+        &truth,
+    );
+    // The drop-the-junk-feature ensemble member rescues kNNE.
+    assert!(knne < knn, "kNNE {knne} vs kNN {knn} under feature corruption");
+}

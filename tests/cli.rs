@@ -1,0 +1,116 @@
+//! End-to-end tests of the `iim` CLI binary (impute / profile / methods).
+
+use std::process::Command;
+
+fn iim_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_iim")
+}
+
+fn write_sample_csv(dir: &std::path::Path) -> std::path::PathBuf {
+    // Linear data y = 2x + 1 with two missing y cells.
+    let mut body = String::from("x,y\n");
+    for i in 0..60 {
+        let x = i as f64 * 0.5;
+        if i == 10 || i == 40 {
+            body.push_str(&format!("{x},\n"));
+        } else {
+            body.push_str(&format!("{x},{}\n", 2.0 * x + 1.0));
+        }
+    }
+    let path = dir.join("sample.csv");
+    std::fs::write(&path, body).unwrap();
+    path
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("iim-cli-test-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn impute_fills_missing_cells() {
+    let dir = temp_dir("impute");
+    let input = write_sample_csv(&dir);
+    let output = dir.join("filled.csv");
+    let status = Command::new(iim_bin())
+        .args([
+            "impute",
+            "--method",
+            "IIM",
+            "--k",
+            "5",
+            "--output",
+            output.to_str().unwrap(),
+            input.to_str().unwrap(),
+        ])
+        .status()
+        .unwrap();
+    assert!(status.success());
+
+    let filled = iim::data::csv::read_path(&output).unwrap();
+    assert_eq!(filled.missing_count(), 0);
+    // Row 10: x = 5.0 → y ≈ 11; the data is exactly linear so any sane
+    // method lands close.
+    let y = filled.get(10, 1).unwrap();
+    assert!((y - 11.0).abs() < 0.5, "imputed {y}");
+}
+
+#[test]
+fn impute_with_baseline_method_and_stdout() {
+    let dir = temp_dir("baseline");
+    let input = write_sample_csv(&dir);
+    let out = Command::new(iim_bin())
+        .args(["impute", "--method", "glr", input.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    let filled = iim::data::csv::read(text.as_bytes()).unwrap();
+    assert_eq!(filled.missing_count(), 0);
+    assert!((filled.get(10, 1).unwrap() - 11.0).abs() < 0.1);
+}
+
+#[test]
+fn unknown_method_is_a_usage_error() {
+    let dir = temp_dir("unknown");
+    let input = write_sample_csv(&dir);
+    let out = Command::new(iim_bin())
+        .args(["impute", "--method", "nope", input.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown method"));
+}
+
+#[test]
+fn methods_lists_table_ii() {
+    let out = Command::new(iim_bin()).arg("methods").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    for name in ["IIM", "kNN", "GLR", "XGB", "PMM"] {
+        assert!(text.contains(name), "missing {name} in:\n{text}");
+    }
+}
+
+#[test]
+fn profile_reports_per_attribute() {
+    let dir = temp_dir("profile");
+    let input = write_sample_csv(&dir);
+    let out = Command::new(iim_bin())
+        .args(["profile", input.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("R2_S"));
+    assert!(text.lines().count() >= 3, "one line per attribute:\n{text}");
+}
+
+#[test]
+fn help_and_missing_input() {
+    let out = Command::new(iim_bin()).arg("--help").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = Command::new(iim_bin()).args(["impute"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}

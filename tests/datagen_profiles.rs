@@ -1,0 +1,92 @@
+//! Calibration bands for the dataset analogs: the measured (R²_S, R²_H)
+//! of each generator must land in the regime of the paper's published
+//! coefficients (Table V), since those two properties drive the method
+//! rankings the repository reproduces.
+//!
+//! Sizes are reduced for test speed; the bands are correspondingly loose.
+//! The `profiles` experiment binary reports the full-size numbers.
+
+use iim::baselines::diagnostics::data_profile;
+use iim::prelude::*;
+use iim_data::inject::inject_attr;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn profile(mut rel: Relation, seed: u64) -> (f64, f64) {
+    let n = rel.n_rows();
+    let am = rel.arity() - 1;
+    let truth = inject_attr(
+        &mut rel,
+        am,
+        (n / 5).clamp(50, n / 2),
+        &mut StdRng::seed_from_u64(seed),
+    );
+    let p = data_profile(&rel, &truth, 10).unwrap();
+    (p.r2_sparsity, p.r2_heterogeneity)
+}
+
+#[test]
+fn asf_is_locally_recoverable_but_heterogeneous() {
+    // Paper: (0.85, 0.73).
+    let (s, h) = profile(iim::datagen::asf_like(1500, 42), 1);
+    assert!((0.75..=0.99).contains(&s), "R2_S {s}");
+    assert!((0.55..=0.85).contains(&h), "R2_H {h}");
+    assert!(s > h, "sparsity must be the lesser problem on ASF");
+}
+
+#[test]
+fn ca_is_extremely_sparse_but_homogeneous() {
+    // Paper: (0.03, 0.90) — the one dataset where GLR ≫ kNN.
+    let (s, h) = profile(iim::datagen::ca_like(8000, 42), 2);
+    assert!(s < 0.35, "R2_S {s} must collapse");
+    assert!(h > 0.8, "R2_H {h} must stay high");
+}
+
+#[test]
+fn sn_is_dense_but_nonlinear() {
+    // Paper: (0.79, 0.05) — the mirror image of CA.
+    let (s, h) = profile(iim::datagen::sn_like(8000, 42), 3);
+    assert!(s > 0.65, "R2_S {s}");
+    assert!(h < 0.25, "R2_H {h} must collapse");
+}
+
+#[test]
+fn phase_has_a_clear_global_regression() {
+    // Paper: (0.90, 0.91).
+    let (s, h) = profile(iim::datagen::phase_like(4000, 42), 4);
+    assert!(s > 0.8, "R2_S {s}");
+    assert!(h > 0.8, "R2_H {h}");
+}
+
+#[test]
+fn ccpp_is_nearly_clean() {
+    // Paper: (0.95, 0.93).
+    let (s, h) = profile(iim::datagen::ccpp_like(4000, 42), 5);
+    assert!(s > 0.85, "R2_S {s}");
+    assert!(h > 0.8, "R2_H {h}");
+}
+
+#[test]
+fn ccs_and_da_are_moderate() {
+    // Paper: CCS (0.63, 0.56), DA (0.65, 0.68).
+    let (s, h) = profile(iim::datagen::ccs_like(1000, 42), 6);
+    assert!((0.4..=0.85).contains(&s), "CCS R2_S {s}");
+    assert!((0.35..=0.8).contains(&h), "CCS R2_H {h}");
+    let (s, h) = profile(iim::datagen::da_like(3000, 42), 7);
+    assert!((0.4..=0.85).contains(&s), "DA R2_S {s}");
+    assert!((0.3..=0.8).contains(&h), "DA R2_H {h}");
+}
+
+#[test]
+fn labeled_datasets_support_classification() {
+    let mam = iim::datagen::mam_like(800, 42);
+    assert_eq!(mam.relation.n_rows(), 800);
+    assert!(mam.relation.missing_count() > 0);
+    let hep = iim::datagen::hep_like(200, 42);
+    assert_eq!(hep.relation.arity(), 19);
+    // Both classes present in both datasets.
+    for labels in [&mam.labels, &hep.labels] {
+        assert!(labels.contains(&0));
+        assert!(labels.contains(&1));
+    }
+}

@@ -1,0 +1,112 @@
+//! Propositions 1 and 2: kNN and GLR are special cases of IIM.
+//!
+//! * Proposition 1 — with ℓ = 1 learning neighbors and uniform candidate
+//!   weights, IIM's imputation equals the kNN imputation (Formula 2).
+//! * Proposition 2 — with ℓ = n, IIM equals the GLR imputation
+//!   (Formula 4).
+//!
+//! Both are property-tested over random relations and queries.
+
+use iim::prelude::*;
+use iim_baselines::{Glr, Knn};
+use iim_data::AttrEstimator;
+use proptest::prelude::*;
+
+/// A random complete relation: n rows, m attrs, values in a bounded box.
+fn arb_relation() -> impl Strategy<Value = Relation> {
+    (4usize..40, 2usize..5).prop_flat_map(|(n, m)| {
+        proptest::collection::vec(
+            proptest::collection::vec(-50.0..50.0f64, m),
+            n..=n,
+        )
+        .prop_map(move |rows| Relation::from_rows(Schema::anonymous(m), &rows))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn proposition_1_ell_one_uniform_equals_knn(
+        rel in arb_relation(),
+        k in 1usize..8,
+        qseed in 0u64..1000,
+    ) {
+        let m = rel.arity();
+        let task = AttrTask::new(&rel, (0..m - 1).collect(), m - 1);
+
+        let cfg = IimConfig {
+            k,
+            learning: Learning::Fixed { ell: 1 },
+            weighting: Weighting::Uniform,
+            ..Default::default()
+        };
+        let iim = IimModel::learn(&task, &cfg).unwrap();
+        let knn = Knn::new(k).fit(&task).unwrap();
+
+        // A query derived from the data range, deterministic per seed.
+        let q: Vec<f64> = (0..m - 1)
+            .map(|j| ((qseed as f64 * 0.37 + j as f64) % 10.0) * 7.0 - 35.0)
+            .collect();
+        let a = iim.impute(&q);
+        let b = knn.predict(&q);
+        prop_assert!((a - b).abs() < 1e-9, "IIM(l=1,uniform) {a} vs kNN {b}");
+    }
+
+    #[test]
+    fn proposition_2_ell_n_equals_glr(
+        rel in arb_relation(),
+        k in 1usize..8,
+        qseed in 0u64..1000,
+    ) {
+        let m = rel.arity();
+        let n = rel.n_rows();
+        let task = AttrTask::new(&rel, (0..m - 1).collect(), m - 1);
+
+        let cfg = IimConfig {
+            k,
+            learning: Learning::Fixed { ell: n },
+            // Any weighting: all candidates coincide, so the vote returns
+            // the common value (also exercised with MutualVote below).
+            weighting: Weighting::MutualVote,
+            alpha: 1e-6,
+            ..Default::default()
+        };
+        let iim = IimModel::learn(&task, &cfg).unwrap();
+        let glr = Glr { alpha: 1e-6 }.fit(&task).unwrap();
+
+        let q: Vec<f64> = (0..m - 1)
+            .map(|j| ((qseed as f64 * 0.73 + j as f64) % 10.0) * 5.0 - 25.0)
+            .collect();
+        let a = iim.impute(&q);
+        let b = glr.predict(&q);
+        // Same model up to the shared ridge guard; allow value-scaled slack.
+        let tol = 1e-6 * (1.0 + a.abs().max(b.abs()));
+        prop_assert!((a - b).abs() < tol, "IIM(l=n) {a} vs GLR {b}");
+    }
+}
+
+/// The propositions on the paper's own data, deterministic.
+#[test]
+fn propositions_on_fig1() {
+    let (rel, _) = iim::data::paper_fig1();
+    let task = AttrTask::new(&rel, vec![0], 1);
+
+    let knn_cfg = IimConfig {
+        k: 3,
+        learning: Learning::Fixed { ell: 1 },
+        weighting: Weighting::Uniform,
+        ..Default::default()
+    };
+    let iim1 = IimModel::learn(&task, &knn_cfg).unwrap();
+    assert!((iim1.impute(&[5.0]) - (3.2 + 3.0 + 4.1) / 3.0).abs() < 1e-12);
+
+    let glr_cfg = IimConfig {
+        k: 3,
+        learning: Learning::Fixed { ell: 8 },
+        ..Default::default()
+    };
+    let iimn = IimModel::learn(&task, &glr_cfg).unwrap();
+    let glr = Glr { alpha: 1e-6 }.fit(&task).unwrap();
+    assert!((iimn.impute(&[5.0]) - glr.predict(&[5.0])).abs() < 1e-8);
+}
