@@ -47,7 +47,9 @@ pub(crate) fn posterior_draw(
     rng: &mut StdRng,
 ) -> Result<PosteriorDraw, ImputeError> {
     if task.n_train() == 0 {
-        return Err(ImputeError::NoTrainingData { target: task.target });
+        return Err(ImputeError::NoTrainingData {
+            target: task.target,
+        });
     }
     let (xs, ys) = task.training_matrix();
     let n = xs.len();
@@ -106,7 +108,11 @@ pub(crate) fn posterior_draw(
             .map(|(b, wi)| b + sigma_star * wi)
             .collect(),
     };
-    Ok(PosteriorDraw { beta_star, beta_hat, sigma_star })
+    Ok(PosteriorDraw {
+        beta_star,
+        beta_hat,
+        sigma_star,
+    })
 }
 
 struct BlrModel {
@@ -129,7 +135,10 @@ impl AttrEstimator for Blr {
     fn fit(&self, task: &AttrTask<'_>) -> Result<Box<dyn AttrPredictor>, ImputeError> {
         let mut rng = StdRng::seed_from_u64(self.seed ^ task.target as u64);
         let draw = posterior_draw(task, self.alpha, &mut rng)?;
-        Ok(Box::new(BlrModel { draw, rng: RefCell::new(rng) }))
+        Ok(Box::new(BlrModel {
+            draw,
+            rng: RefCell::new(rng),
+        }))
     }
 }
 

@@ -81,12 +81,20 @@ mod tests {
         let rows: Vec<Vec<f64>> = (0..600)
             .map(|i| {
                 let x = i as f64 * 0.01;
-                let y = if x < 3.0 { 10.0 - 3.0 * x } else { -20.0 + 7.0 * x };
+                let y = if x < 3.0 {
+                    10.0 - 3.0 * x
+                } else {
+                    -20.0 + 7.0 * x
+                };
                 vec![x, y]
             })
             .collect();
         let mut rel = Relation::from_rows(Schema::anonymous(2), &rows);
-        let truth = inject_random(&mut rel, 30, &mut StdRng::seed_from_u64(2));
+        // Inject into y only: y is a continuous function of x, so x-neighbors
+        // share y values. The x attribute is NOT neighbor-recoverable (each
+        // y < 10 occurs on both branches), so random injection into x would
+        // probe ambiguity, not sparsity.
+        let truth = iim_data::inject::inject_attr(&mut rel, 1, 30, &mut StdRng::seed_from_u64(2));
         let p = data_profile(&rel, &truth, 5).unwrap();
         assert!(p.r2_sparsity > 0.9, "R2_S {}", p.r2_sparsity);
         assert!(p.r2_heterogeneity < 0.8, "R2_H {}", p.r2_heterogeneity);

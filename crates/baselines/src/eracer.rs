@@ -29,14 +29,22 @@ pub struct Eracer {
 
 impl Default for Eracer {
     fn default() -> Self {
-        Self { k: 5, iterations: 5, alpha: 1e-6, features: FeatureSelection::AllOthers }
+        Self {
+            k: 5,
+            iterations: 5,
+            alpha: 1e-6,
+            features: FeatureSelection::AllOthers,
+        }
     }
 }
 
 impl Eracer {
     /// ERACER with `k` relational neighbors.
     pub fn new(k: usize) -> Self {
-        Self { k: k.max(1), ..Self::default() }
+        Self {
+            k: k.max(1),
+            ..Self::default()
+        }
     }
 
     fn impute_target(
@@ -85,9 +93,8 @@ impl Eracer {
             xbuf.push(nb_mean);
             train_x.push(xbuf.clone());
         }
-        let model: RidgeModel =
-            ridge_fit(train_x.iter().map(|v| v.as_slice()), &ys, self.alpha)
-                .ok_or_else(|| ImputeError::Unsupported("non-finite design".into()))?;
+        let model: RidgeModel = ridge_fit(train_x.iter().map(|v| v.as_slice()), &ys, self.alpha)
+            .ok_or_else(|| ImputeError::Unsupported("non-finite design".into()))?;
 
         // Gibbs-style inference: neighbor-target means start from complete
         // tuples, then include the current estimates of fellow queries.
@@ -186,7 +193,10 @@ mod tests {
         rel.push_row_opt(&[Some(11.0), None]);
         let out = Eracer::new(5).impute(&rel).unwrap();
         let v = out.get(60, 1).unwrap();
-        assert!((v - 200.0).abs() < 20.0, "expected region consensus, got {v}");
+        assert!(
+            (v - 200.0).abs() < 20.0,
+            "expected region consensus, got {v}"
+        );
     }
 
     #[test]

@@ -35,7 +35,9 @@ impl AttrEstimator for Glr {
 
     fn fit(&self, task: &AttrTask<'_>) -> Result<Box<dyn AttrPredictor>, ImputeError> {
         if task.n_train() == 0 {
-            return Err(ImputeError::NoTrainingData { target: task.target });
+            return Err(ImputeError::NoTrainingData {
+                target: task.target,
+            });
         }
         let (xs, ys) = task.training_matrix();
         let model = ridge_fit(xs.iter().map(|v| v.as_slice()), &ys, self.alpha)
@@ -52,8 +54,9 @@ mod tests {
     #[test]
     fn recovers_exact_linear_relation() {
         // y = 3 - 2x: GLR must be exact.
-        let rows: Vec<Vec<f64>> =
-            (0..20).map(|i| vec![i as f64, 3.0 - 2.0 * i as f64]).collect();
+        let rows: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![i as f64, 3.0 - 2.0 * i as f64])
+            .collect();
         let rel = iim_data::Relation::from_rows(iim_data::Schema::anonymous(2), &rows);
         let task = AttrTask::new(&rel, vec![0], 1);
         let model = Glr::default().fit(&task).unwrap();

@@ -3,8 +3,9 @@
 //! mean `E[Am | F]` — per-cluster averages smoothed by membership, the
 //! "cluster average" tuple model of Table II.
 
-use iim_data::{AttrEstimator, AttrPredictor, AttrTask, ImputeError};
+use iim_data::{AttrEstimator, AttrPredictor, AttrTask, ImputeError, Relation, Schema};
 use iim_linalg::{LuFactors, Matrix};
+use iim_ml::kmeans_with_init;
 
 /// The GMM baseline.
 #[derive(Debug, Clone, Copy)]
@@ -19,14 +20,21 @@ pub struct Gmm {
 
 impl Default for Gmm {
     fn default() -> Self {
-        Self { components: 3, max_iter: 60, tol: 1e-6 }
+        Self {
+            components: 3,
+            max_iter: 60,
+            tol: 1e-6,
+        }
     }
 }
 
 impl Gmm {
     /// GMM with `c` components.
     pub fn new(c: usize) -> Self {
-        Self { components: c.max(1), ..Self::default() }
+        Self {
+            components: c.max(1),
+            ..Self::default()
+        }
     }
 }
 
@@ -97,7 +105,9 @@ impl AttrEstimator for Gmm {
 
     fn fit(&self, task: &AttrTask<'_>) -> Result<Box<dyn AttrPredictor>, ImputeError> {
         if task.n_train() == 0 {
-            return Err(ImputeError::NoTrainingData { target: task.target });
+            return Err(ImputeError::NoTrainingData {
+                target: task.target,
+            });
         }
         let (xs, ys) = task.training_matrix();
         let n = xs.len();
@@ -114,27 +124,57 @@ impl AttrEstimator for Gmm {
             data[(i, f)] = ys[i];
         }
 
-        // Init: spread means over the data (deterministic stride picks),
-        // shared covariance = global covariance + ridge.
-        let mut means = Matrix::zeros(c, d);
-        for k in 0..c {
-            let pick = k * n / c;
-            for j in 0..d {
-                means[(k, j)] = data[(pick, j)];
-            }
-        }
-        let mut weights = vec![1.0 / c as f64; c];
+        // Init: deterministic k-means on standardized joint coordinates
+        // (stride-pick seeds, a few Lloyd iterations), then per-cluster
+        // moments. Row-order independent up to the seed picks. Starting
+        // every component from the shared global covariance instead makes
+        // the responsibilities nearly uniform on well-separated clusters —
+        // EM then collapses all components onto the global regression and
+        // the mixture degenerates to GLR.
         let global_cov = covariance(&data);
-        let ridge = 1e-6
-            * (0..d).map(|j| global_cov[(j, j)]).sum::<f64>().max(1e-9)
-            / d as f64;
-        let mut covs: Vec<Matrix> = (0..c)
-            .map(|_| {
-                let mut g = global_cov.clone();
-                g.add_diag(ridge);
-                g
-            })
+        let ridge = 1e-6 * (0..d).map(|j| global_cov[(j, j)]).sum::<f64>().max(1e-9) / d as f64;
+        let inv_std: Vec<f64> = (0..d)
+            .map(|j| 1.0 / global_cov[(j, j)].sqrt().max(1e-12))
             .collect();
+        let assign = kmeans_assign(&data, c, &inv_std);
+        let mut means = Matrix::zeros(c, d);
+        let mut weights = vec![0.0; c];
+        let mut covs: Vec<Matrix> = Vec::with_capacity(c);
+        for k in 0..c {
+            let members: Vec<usize> = (0..n).filter(|&i| assign[i] == k).collect();
+            // Lloyd can empty a cluster; seed its mean from a stride pick
+            // and let EM's soft assignments repopulate it.
+            weights[k] = (members.len() as f64 / n as f64).max(1.0 / (2.0 * n as f64));
+            if members.is_empty() {
+                for j in 0..d {
+                    means[(k, j)] = data[(k * n / c, j)];
+                }
+            } else {
+                for &i in &members {
+                    for j in 0..d {
+                        means[(k, j)] += data[(i, j)];
+                    }
+                }
+                for j in 0..d {
+                    means[(k, j)] /= members.len() as f64;
+                }
+            }
+            // Clusters too small for a stable d-dimensional covariance fall
+            // back to the global one.
+            let mut cov = if members.len() > d {
+                let mut block = Matrix::zeros(members.len(), d);
+                for (r, &i) in members.iter().enumerate() {
+                    for j in 0..d {
+                        block[(r, j)] = data[(i, j)];
+                    }
+                }
+                covariance(&block)
+            } else {
+                global_cov.clone()
+            };
+            cov.add_diag(ridge.max(1e-9));
+            covs.push(cov);
+        }
 
         // EM.
         let mut resp = Matrix::zeros(n, c);
@@ -154,11 +194,9 @@ impl AttrEstimator for Gmm {
                 let row = data.row(i).to_vec();
                 let mut logs = vec![0.0; c];
                 for k in 0..c {
-                    let diff: Vec<f64> =
-                        row.iter().zip(means.row(k)).map(|(a, b)| a - b).collect();
+                    let diff: Vec<f64> = row.iter().zip(means.row(k)).map(|(a, b)| a - b).collect();
                     let solved = factored[k].0.solve(&diff);
-                    let mahal: f64 =
-                        diff.iter().zip(&solved).map(|(a, b)| a * b).sum();
+                    let mahal: f64 = diff.iter().zip(&solved).map(|(a, b)| a * b).sum();
                     logs[k] = weights[k].max(1e-300).ln()
                         - 0.5
                             * (mahal
@@ -238,8 +276,30 @@ impl AttrEstimator for Gmm {
             })
             .collect();
         let global_mean_y = ys.iter().sum::<f64>() / n as f64;
-        Ok(Box::new(GmmModel { comps, f, global_mean_y }))
+        Ok(Box::new(GmmModel {
+            comps,
+            f,
+            global_mean_y,
+        }))
     }
+}
+
+/// Hard k-means assignment on per-dimension standardized coordinates:
+/// seeds are the stride picks `data[k·n/c]`, followed by up to 20 Lloyd
+/// iterations (shared [`iim_ml::kmeans_with_init`] kernel). Deterministic,
+/// and independent of row order given the seeds.
+fn kmeans_assign(data: &Matrix, c: usize, inv_std: &[f64]) -> Vec<usize> {
+    let (n, d) = (data.rows(), data.cols());
+    let scaled: Vec<Vec<f64>> = (0..n)
+        .map(|i| (0..d).map(|j| data[(i, j)] * inv_std[j]).collect())
+        .collect();
+    let centroids: Vec<Vec<f64>> = (0..c).map(|k| scaled[k * n / c].clone()).collect();
+    let rel = Relation::from_rows(Schema::anonymous(d), &scaled);
+    kmeans_with_init(&rel, centroids, 20)
+        .labels
+        .into_iter()
+        .map(|l| l as usize)
+        .collect()
 }
 
 fn covariance(data: &Matrix) -> Matrix {
@@ -308,10 +368,31 @@ mod tests {
         assert!((vb - 37.0).abs() < 1.5, "cluster B: {vb}");
     }
 
+    /// Same two clusters but with rows interleaved A,B,A,B,… — the init
+    /// must not depend on rows arriving sorted by cluster.
+    #[test]
+    fn resolves_clusters_with_interleaved_rows() {
+        let mut rows = Vec::new();
+        for i in 0..60 {
+            let x = i as f64 * 0.05;
+            rows.push(vec![x, 10.0 + x]); // cluster A
+            let x = 20.0 + i as f64 * 0.05;
+            rows.push(vec![x, -5.0 + 2.0 * x]); // cluster B
+        }
+        let rel = Relation::from_rows(Schema::anonymous(2), &rows);
+        let task = AttrTask::new(&rel, vec![0], 1);
+        let model = Gmm::new(2).fit(&task).unwrap();
+        let va = model.predict(&[1.5]);
+        assert!((va - 11.5).abs() < 0.8, "cluster A: {va}");
+        let vb = model.predict(&[21.0]);
+        assert!((vb - 37.0).abs() < 1.5, "cluster B: {vb}");
+    }
+
     #[test]
     fn single_component_is_global_regression_like() {
-        let rows: Vec<Vec<f64>> =
-            (0..80).map(|i| vec![i as f64 * 0.1, 3.0 * i as f64 * 0.1 + 1.0]).collect();
+        let rows: Vec<Vec<f64>> = (0..80)
+            .map(|i| vec![i as f64 * 0.1, 3.0 * i as f64 * 0.1 + 1.0])
+            .collect();
         let rel = Relation::from_rows(Schema::anonymous(2), &rows);
         let task = AttrTask::new(&rel, vec![0], 1);
         let model = Gmm::new(1).fit(&task).unwrap();

@@ -25,14 +25,22 @@ pub struct Ifc {
 
 impl Default for Ifc {
     fn default() -> Self {
-        Self { clusters: 3, fuzzifier: 2.0, max_iter: 30, tol: 1e-4 }
+        Self {
+            clusters: 3,
+            fuzzifier: 2.0,
+            max_iter: 30,
+            tol: 1e-4,
+        }
     }
 }
 
 impl Ifc {
     /// IFC with `c` clusters.
     pub fn new(c: usize) -> Self {
-        Self { clusters: c.max(1), ..Self::default() }
+        Self {
+            clusters: c.max(1),
+            ..Self::default()
+        }
     }
 }
 
@@ -59,7 +67,11 @@ impl Imputer for Ifc {
             }
         }
         let missing: Vec<(usize, usize)> = (0..n)
-            .flat_map(|i| (0..m).filter(move |&j| rel.is_missing(i, j)).map(move |j| (i, j)))
+            .flat_map(|i| {
+                (0..m)
+                    .filter(move |&j| rel.is_missing(i, j))
+                    .map(move |j| (i, j))
+            })
             .collect();
 
         let c = self.clusters.min(n);
@@ -94,10 +106,7 @@ impl Imputer for Ifc {
                     continue;
                 }
                 for k in 0..c {
-                    let denom: f64 = dists
-                        .iter()
-                        .map(|&dl| (dists[k] / dl).powf(exponent))
-                        .sum();
+                    let denom: f64 = dists.iter().map(|&dl| (dists[k] / dl).powf(exponent)).sum();
                     memberships[i * c + k] = 1.0 / denom;
                 }
             }

@@ -26,14 +26,22 @@ pub struct Ills {
 
 impl Default for Ills {
     fn default() -> Self {
-        Self { k: 10, iterations: 3, alpha: 1e-6, features: FeatureSelection::AllOthers }
+        Self {
+            k: 10,
+            iterations: 3,
+            alpha: 1e-6,
+            features: FeatureSelection::AllOthers,
+        }
     }
 }
 
 impl Ills {
     /// ILLS with `k` local neighbors.
     pub fn new(k: usize) -> Self {
-        Self { k: k.max(2), ..Self::default() }
+        Self {
+            k: k.max(2),
+            ..Self::default()
+        }
     }
 }
 
@@ -152,7 +160,11 @@ mod tests {
         let mut rel = Relation::with_capacity(Schema::anonymous(2), 0);
         for i in 0..50 {
             let x = i as f64 * 0.1;
-            let y = if x < 2.5 { 1.0 + 2.0 * x } else { 20.0 - 4.0 * x };
+            let y = if x < 2.5 {
+                1.0 + 2.0 * x
+            } else {
+                20.0 - 4.0 * x
+            };
             rel.push_row(&[x, y]);
         }
         rel.push_row_opt(&[Some(1.05), None]); // truth 3.1
@@ -175,8 +187,18 @@ mod tests {
         }
         rel.push_row_opt(&[Some(10.0), None]);
         rel.push_row_opt(&[Some(10.1), None]);
-        let one = Ills { iterations: 1, ..Ills::new(5) }.impute(&rel).unwrap();
-        let many = Ills { iterations: 5, ..Ills::new(5) }.impute(&rel).unwrap();
+        let one = Ills {
+            iterations: 1,
+            ..Ills::new(5)
+        }
+        .impute(&rel)
+        .unwrap();
+        let many = Ills {
+            iterations: 5,
+            ..Ills::new(5)
+        }
+        .impute(&rel)
+        .unwrap();
         for row in [20usize, 21] {
             assert!(one.get(row, 1).unwrap().is_finite());
             assert!(many.get(row, 1).unwrap().is_finite());

@@ -64,7 +64,9 @@ impl AttrEstimator for Knn {
 
     fn fit(&self, task: &AttrTask<'_>) -> Result<Box<dyn AttrPredictor>, ImputeError> {
         if task.n_train() == 0 {
-            return Err(ImputeError::NoTrainingData { target: task.target });
+            return Err(ImputeError::NoTrainingData {
+                target: task.target,
+            });
         }
         let fm = FeatureMatrix::gather(task.rel, &task.features, &task.train_rows);
         let ys: Vec<f64> = task
@@ -72,7 +74,12 @@ impl AttrEstimator for Knn {
             .iter()
             .map(|&r| task.target_value(r as usize))
             .collect();
-        Ok(Box::new(KnnModel { fm, ys, k: self.k.max(1), weighted: self.weighted }))
+        Ok(Box::new(KnnModel {
+            fm,
+            ys,
+            k: self.k.max(1),
+            weighted: self.weighted,
+        }))
     }
 }
 

@@ -59,7 +59,9 @@ impl AttrEstimator for Knne {
 
     fn fit(&self, task: &AttrTask<'_>) -> Result<Box<dyn AttrPredictor>, ImputeError> {
         if task.n_train() == 0 {
-            return Err(ImputeError::NoTrainingData { target: task.target });
+            return Err(ImputeError::NoTrainingData {
+                target: task.target,
+            });
         }
         let f = task.features.len();
         let mut subsets: Vec<Vec<usize>> = vec![(0..f).collect()];
@@ -71,8 +73,7 @@ impl AttrEstimator for Knne {
         let members = subsets
             .into_iter()
             .map(|feat_idx| {
-                let attrs: Vec<usize> =
-                    feat_idx.iter().map(|&i| task.features[i]).collect();
+                let attrs: Vec<usize> = feat_idx.iter().map(|&i| task.features[i]).collect();
                 let fm = FeatureMatrix::gather(task.rel, &attrs, &task.train_rows);
                 Member { feat_idx, fm }
             })
@@ -82,7 +83,11 @@ impl AttrEstimator for Knne {
             .iter()
             .map(|&r| task.target_value(r as usize))
             .collect();
-        Ok(Box::new(KnneModel { members, ys, k: self.k.max(1) }))
+        Ok(Box::new(KnneModel {
+            members,
+            ys,
+            k: self.k.max(1),
+        }))
     }
 }
 

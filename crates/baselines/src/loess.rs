@@ -70,7 +70,9 @@ impl AttrEstimator for Loess {
 
     fn fit(&self, task: &AttrTask<'_>) -> Result<Box<dyn AttrPredictor>, ImputeError> {
         if task.n_train() == 0 {
-            return Err(ImputeError::NoTrainingData { target: task.target });
+            return Err(ImputeError::NoTrainingData {
+                target: task.target,
+            });
         }
         let fm = FeatureMatrix::gather(task.rel, &task.features, &task.train_rows);
         let ys: Vec<f64> = task
@@ -78,7 +80,12 @@ impl AttrEstimator for Loess {
             .iter()
             .map(|&r| task.target_value(r as usize))
             .collect();
-        Ok(Box::new(LoessModel { fm, ys, k: self.k.max(2), alpha: self.alpha }))
+        Ok(Box::new(LoessModel {
+            fm,
+            ys,
+            k: self.k.max(2),
+            alpha: self.alpha,
+        }))
     }
 }
 
@@ -120,8 +127,9 @@ mod tests {
 
     #[test]
     fn exact_on_locally_linear_data() {
-        let rows: Vec<Vec<f64>> =
-            (0..50).map(|i| vec![i as f64, 5.0 + 2.0 * i as f64]).collect();
+        let rows: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![i as f64, 5.0 + 2.0 * i as f64])
+            .collect();
         let rel = Relation::from_rows(Schema::anonymous(2), &rows);
         let task = AttrTask::new(&rel, vec![0], 1);
         let model = Loess::new(6).fit(&task).unwrap();

@@ -15,10 +15,15 @@ impl AttrEstimator for Mean {
 
     fn fit(&self, task: &AttrTask<'_>) -> Result<Box<dyn AttrPredictor>, ImputeError> {
         if task.n_train() == 0 {
-            return Err(ImputeError::NoTrainingData { target: task.target });
+            return Err(ImputeError::NoTrainingData {
+                target: task.target,
+            });
         }
-        let sum: f64 =
-            task.train_rows.iter().map(|&r| task.target_value(r as usize)).sum();
+        let sum: f64 = task
+            .train_rows
+            .iter()
+            .map(|&r| task.target_value(r as usize))
+            .sum();
         let mean = sum / task.n_train() as f64;
         Ok(Box::new(move |_: &[f64]| mean))
     }

@@ -29,7 +29,11 @@ pub struct Pmm {
 impl Pmm {
     /// PMM with `mice` defaults and the given seed.
     pub fn new(seed: u64) -> Self {
-        Self { donors: 5, alpha: 1e-6, seed }
+        Self {
+            donors: 5,
+            alpha: 1e-6,
+            seed,
+        }
     }
 }
 

@@ -48,8 +48,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let df = 10;
         let n = 5_000;
-        let mean =
-            (0..n).map(|_| chi_square(&mut rng, df)).sum::<f64>() / n as f64;
+        let mean = (0..n).map(|_| chi_square(&mut rng, df)).sum::<f64>() / n as f64;
         assert!((mean - df as f64).abs() < 0.5, "mean {mean}");
     }
 

@@ -1,9 +1,7 @@
 //! The full Table II lineup, built with one call so experiment binaries and
 //! integration tests always compare the same configurations.
 
-use crate::{
-    Blr, Eracer, Glr, Gmm, Ifc, Ills, Knn, Knne, Loess, Mean, Pmm, SvdImpute, Xgb,
-};
+use crate::{Blr, Eracer, Glr, Gmm, Ifc, Ills, Knn, Knne, Loess, Mean, Pmm, SvdImpute, Xgb};
 use iim_data::{FeatureSelection, Imputer, PerAttributeImputer};
 
 /// Builds every baseline of Table II with paper-faithful defaults.
@@ -16,24 +14,48 @@ use iim_data::{FeatureSelection, Imputer, PerAttributeImputer};
 /// Order matches Table V's columns (after IIM): kNN, kNNE, IFC, GMM, SVD,
 /// ILLS, GLR, LOESS, BLR, ERACER, PMM, XGB — with Mean prepended since
 /// Table VII reports it too.
-pub fn all_baselines(
-    k: usize,
-    seed: u64,
-    features: FeatureSelection,
-) -> Vec<Box<dyn Imputer>> {
+pub fn all_baselines(k: usize, seed: u64, features: FeatureSelection) -> Vec<Box<dyn Imputer>> {
     vec![
         Box::new(PerAttributeImputer::with_features(Mean, features.clone())),
-        Box::new(PerAttributeImputer::with_features(Knn::new(k), features.clone())),
-        Box::new(PerAttributeImputer::with_features(Knne::new(k), features.clone())),
+        Box::new(PerAttributeImputer::with_features(
+            Knn::new(k),
+            features.clone(),
+        )),
+        Box::new(PerAttributeImputer::with_features(
+            Knne::new(k),
+            features.clone(),
+        )),
         Box::new(Ifc::default()),
-        Box::new(PerAttributeImputer::with_features(Gmm::default(), features.clone())),
+        Box::new(PerAttributeImputer::with_features(
+            Gmm::default(),
+            features.clone(),
+        )),
         Box::new(SvdImpute::default()),
-        Box::new(Ills { k, features: features.clone(), ..Ills::default() }),
-        Box::new(PerAttributeImputer::with_features(Glr::default(), features.clone())),
-        Box::new(PerAttributeImputer::with_features(Loess::new(k), features.clone())),
-        Box::new(PerAttributeImputer::with_features(Blr::new(seed), features.clone())),
-        Box::new(Eracer { features: features.clone(), ..Eracer::default() }),
-        Box::new(PerAttributeImputer::with_features(Pmm::new(seed), features.clone())),
+        Box::new(Ills {
+            k,
+            features: features.clone(),
+            ..Ills::default()
+        }),
+        Box::new(PerAttributeImputer::with_features(
+            Glr::default(),
+            features.clone(),
+        )),
+        Box::new(PerAttributeImputer::with_features(
+            Loess::new(k),
+            features.clone(),
+        )),
+        Box::new(PerAttributeImputer::with_features(
+            Blr::new(seed),
+            features.clone(),
+        )),
+        Box::new(Eracer {
+            features: features.clone(),
+            ..Eracer::default()
+        }),
+        Box::new(PerAttributeImputer::with_features(
+            Pmm::new(seed),
+            features.clone(),
+        )),
         Box::new(PerAttributeImputer::with_features(Xgb::new(seed), features)),
     ]
 }
@@ -56,8 +78,8 @@ mod tests {
         assert_eq!(
             names,
             vec![
-                "Mean", "kNN", "kNNE", "IFC", "GMM", "SVD", "ILLS", "GLR", "LOESS",
-                "BLR", "ERACER", "PMM", "XGB"
+                "Mean", "kNN", "kNNE", "IFC", "GMM", "SVD", "ILLS", "GLR", "LOESS", "BLR",
+                "ERACER", "PMM", "XGB"
             ]
         );
     }

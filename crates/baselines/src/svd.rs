@@ -27,14 +27,21 @@ pub struct SvdImpute {
 
 impl Default for SvdImpute {
     fn default() -> Self {
-        Self { rank: None, max_iter: 100, tol: 1e-5 }
+        Self {
+            rank: None,
+            max_iter: 100,
+            tol: 1e-5,
+        }
     }
 }
 
 impl SvdImpute {
     /// SVDimpute keeping `rank` triplets.
     pub fn with_rank(rank: usize) -> Self {
-        Self { rank: Some(rank.max(1)), ..Self::default() }
+        Self {
+            rank: Some(rank.max(1)),
+            ..Self::default()
+        }
     }
 }
 
@@ -59,7 +66,10 @@ impl Imputer for SvdImpute {
         if rel.complete_rows().is_empty() {
             return Err(ImputeError::NoTrainingData { target: 0 });
         }
-        let rank = self.rank.unwrap_or_else(|| (m as f64 * 0.2).ceil() as usize).clamp(1, m);
+        let rank = self
+            .rank
+            .unwrap_or_else(|| (m as f64 * 0.2).ceil() as usize)
+            .clamp(1, m);
 
         let transform = ColumnTransform::standardize(rel);
         let z = transform.apply(rel);
@@ -70,7 +80,11 @@ impl Imputer for SvdImpute {
             }
         }
         let missing: Vec<(usize, usize)> = (0..n)
-            .flat_map(|i| (0..m).filter(move |&j| rel.is_missing(i, j)).map(move |j| (i, j)))
+            .flat_map(|i| {
+                (0..m)
+                    .filter(move |&j| rel.is_missing(i, j))
+                    .map(move |j| (i, j))
+            })
             .collect();
 
         for _ in 0..self.max_iter {

@@ -49,14 +49,22 @@ impl Default for Xgb {
 impl Xgb {
     /// Default hyper-parameters with the given seed.
     pub fn new(seed: u64) -> Self {
-        Self { seed, ..Self::default() }
+        Self {
+            seed,
+            ..Self::default()
+        }
     }
 }
 
 /// One node of a regression tree, flattened into an arena.
 #[derive(Debug, Clone, Copy)]
 enum Node {
-    Split { feature: u16, threshold: f64, left: u32, right: u32 },
+    Split {
+        feature: u16,
+        threshold: f64,
+        left: u32,
+        right: u32,
+    },
     Leaf(f64),
 }
 
@@ -72,7 +80,12 @@ impl Tree {
         loop {
             match self.nodes[at] {
                 Node::Leaf(w) => return w,
-                Node::Split { feature, threshold, left, right } => {
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
                     at = if x[feature as usize] < threshold {
                         left as usize
                     } else {
@@ -112,9 +125,7 @@ impl<'a> Builder<'a> {
         let n_features = self.xs[rows[0] as usize].len();
         let mut order: Vec<u32> = rows.to_vec();
         for feat in 0..n_features {
-            order.sort_by(|&a, &b| {
-                self.xs[a as usize][feat].total_cmp(&self.xs[b as usize][feat])
-            });
+            order.sort_by(|&a, &b| self.xs[a as usize][feat].total_cmp(&self.xs[b as usize][feat]));
             let mut gl = 0.0;
             let mut hl = 0.0;
             for w in 0..order.len() - 1 {
@@ -132,8 +143,7 @@ impl<'a> Builder<'a> {
                 }
                 let gr = g - gl;
                 let gain = 0.5
-                    * (gl * gl / (hl + self.params.lambda)
-                        + gr * gr / (hr + self.params.lambda)
+                    * (gl * gl / (hl + self.params.lambda) + gr * gr / (hr + self.params.lambda)
                         - parent_score)
                     - self.params.gamma;
                 if gain > best.map_or(0.0, |(bg, _, _)| bg) {
@@ -148,8 +158,7 @@ impl<'a> Builder<'a> {
                 id
             }
             Some((_, feature, threshold)) => {
-                let split_at =
-                    partition(rows, |r| self.xs[r as usize][feature] < threshold);
+                let split_at = partition(rows, |r| self.xs[r as usize][feature] < threshold);
                 debug_assert!(split_at > 0 && split_at < rows.len());
                 // Recurse on disjoint halves; indices are rebuilt afterwards.
                 let (l_rows, r_rows) = rows.split_at_mut(split_at);
@@ -207,15 +216,26 @@ impl XgbModel {
             } else {
                 all_rows.clone()
             };
-            let mut builder = Builder { xs, grad: &grad, params, nodes: Vec::new() };
+            let mut builder = Builder {
+                xs,
+                grad: &grad,
+                params,
+                nodes: Vec::new(),
+            };
             builder.build(&mut rows, 0);
-            let tree = Tree { nodes: builder.nodes };
+            let tree = Tree {
+                nodes: builder.nodes,
+            };
             for (p, x) in preds.iter_mut().zip(xs) {
                 *p += params.eta * tree.predict(x);
             }
             trees.push(tree);
         }
-        Self { base, eta: params.eta, trees }
+        Self {
+            base,
+            eta: params.eta,
+            trees,
+        }
     }
 
     /// Predicts one feature vector.
@@ -242,7 +262,9 @@ impl AttrEstimator for Xgb {
 
     fn fit(&self, task: &AttrTask<'_>) -> Result<Box<dyn AttrPredictor>, ImputeError> {
         if task.n_train() == 0 {
-            return Err(ImputeError::NoTrainingData { target: task.target });
+            return Err(ImputeError::NoTrainingData {
+                target: task.target,
+            });
         }
         let (xs, ys) = task.training_matrix();
         Ok(Box::new(XgbModel::fit(&xs, &ys, self)))
@@ -270,7 +292,11 @@ mod tests {
     #[test]
     fn fits_smooth_nonlinearity() {
         let (xs, ys) = grid_xy(|x| x * x, 400);
-        let params = Xgb { rounds: 120, max_depth: 5, ..Xgb::default() };
+        let params = Xgb {
+            rounds: 120,
+            max_depth: 5,
+            ..Xgb::default()
+        };
         let model = XgbModel::fit(&xs, &ys, &params);
         for q in [1.0, 4.3, 7.7] {
             let v = model.predict(&[q]);
@@ -289,7 +315,14 @@ mod tests {
                 ys.push(if j > 0.0 { i as f64 } else { 0.0 });
             }
         }
-        let model = XgbModel::fit(&xs, &ys, &Xgb { rounds: 80, ..Xgb::default() });
+        let model = XgbModel::fit(
+            &xs,
+            &ys,
+            &Xgb {
+                rounds: 80,
+                ..Xgb::default()
+            },
+        );
         assert!((model.predict(&[10.0, 1.0]) - 10.0).abs() < 1.0);
         assert!(model.predict(&[10.0, -1.0]).abs() < 1.0);
     }
@@ -299,7 +332,11 @@ mod tests {
         let (xs, ys) = grid_xy(|x| x, 50);
         // Huge gamma: no split clears the bar, every tree is a single leaf,
         // and with squared loss the model converges to the mean.
-        let params = Xgb { gamma: 1e12, rounds: 10, ..Xgb::default() };
+        let params = Xgb {
+            gamma: 1e12,
+            rounds: 10,
+            ..Xgb::default()
+        };
         let model = XgbModel::fit(&xs, &ys, &params);
         let mean = ys.iter().sum::<f64>() / ys.len() as f64;
         assert!((model.predict(&[0.0]) - mean).abs() < 0.6);
@@ -309,11 +346,19 @@ mod tests {
     #[test]
     fn subsample_is_seed_deterministic() {
         let (xs, ys) = grid_xy(|x| x.sin(), 100);
-        let p1 = Xgb { subsample: 0.7, seed: 42, ..Xgb::default() };
+        let p1 = Xgb {
+            subsample: 0.7,
+            seed: 42,
+            ..Xgb::default()
+        };
         let a = XgbModel::fit(&xs, &ys, &p1).predict(&[3.3]);
         let b = XgbModel::fit(&xs, &ys, &p1).predict(&[3.3]);
         assert_eq!(a, b);
-        let p2 = Xgb { subsample: 0.7, seed: 43, ..Xgb::default() };
+        let p2 = Xgb {
+            subsample: 0.7,
+            seed: 43,
+            ..Xgb::default()
+        };
         let c = XgbModel::fit(&xs, &ys, &p2).predict(&[3.3]);
         assert_ne!(a, c);
     }

@@ -18,8 +18,9 @@ use rand::{Rng, SeedableRng};
 
 fn random_rows(n: usize, m: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
     let mut rng = StdRng::seed_from_u64(seed);
-    let xs: Vec<Vec<f64>> =
-        (0..n).map(|_| (0..m).map(|_| rng.gen_range(-5.0..5.0)).collect()).collect();
+    let xs: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..m).map(|_| rng.gen_range(-5.0..5.0)).collect())
+        .collect();
     let ys: Vec<f64> = xs
         .iter()
         .map(|x| 1.0 + x.iter().sum::<f64>() + rng.gen_range(-0.1..0.1))
@@ -34,29 +35,24 @@ fn bench_gram(c: &mut Criterion) {
     for &ell in &[64usize, 256, 1024, 4096] {
         // Incremental: absorb h = 50 new rows into an accumulator that
         // already holds ell rows, then solve — cost must not grow with ell.
-        group.bench_with_input(
-            BenchmarkId::new("incremental_h50", ell),
-            &ell,
-            |b, &ell| {
-                let mut base = GramAccumulator::new(m);
-                for i in 0..ell {
-                    base.add_row(&xs[i], ys[i]);
+        group.bench_with_input(BenchmarkId::new("incremental_h50", ell), &ell, |b, &ell| {
+            let mut base = GramAccumulator::new(m);
+            for i in 0..ell {
+                base.add_row(&xs[i], ys[i]);
+            }
+            b.iter(|| {
+                let mut acc = base.clone();
+                for i in ell..ell + 50 {
+                    acc.add_row(&xs[i], ys[i]);
                 }
-                b.iter(|| {
-                    let mut acc = base.clone();
-                    for i in ell..ell + 50 {
-                        acc.add_row(&xs[i], ys[i]);
-                    }
-                    black_box(acc.solve(1e-6).unwrap());
-                });
-            },
-        );
+                black_box(acc.solve(1e-6).unwrap());
+            });
+        });
         // From scratch: refit the whole prefix — cost grows linearly.
         group.bench_with_input(BenchmarkId::new("scratch", ell), &ell, |b, &ell| {
             b.iter(|| {
                 black_box(
-                    ridge_fit(xs[..ell].iter().map(|v| v.as_slice()), &ys[..ell], 1e-6)
-                        .unwrap(),
+                    ridge_fit(xs[..ell].iter().map(|v| v.as_slice()), &ys[..ell], 1e-6).unwrap(),
                 );
             });
         });
@@ -111,7 +107,10 @@ fn bench_combine(c: &mut Criterion) {
     let cands: Vec<(Neighbor, f64)> = (0..10)
         .map(|i| {
             (
-                Neighbor { pos: i, dist: rng.gen_range(0.1..2.0) },
+                Neighbor {
+                    pos: i,
+                    dist: rng.gen_range(0.1..2.0),
+                },
                 rng.gen_range(0.0..10.0),
             )
         })

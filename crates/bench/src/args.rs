@@ -15,7 +15,11 @@ pub struct Args {
 impl Args {
     /// Parses `--seed <u64>`, `--n <usize>`, `--quick` from `std::env`.
     pub fn parse() -> Self {
-        let mut out = Self { seed: 42, n: None, quick: false };
+        let mut out = Self {
+            seed: 42,
+            n: None,
+            quick: false,
+        };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
             match flag.as_str() {

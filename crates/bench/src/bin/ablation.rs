@@ -17,7 +17,13 @@ use rand::SeedableRng;
 fn main() {
     let args = Args::parse();
     let mut table = Table::new(vec![
-        "dataset", "vote", "uniform", "inv-dist", "fixed l=1", "fixed l=50", "fixed l=max",
+        "dataset",
+        "vote",
+        "uniform",
+        "inv-dist",
+        "fixed l=1",
+        "fixed l=50",
+        "fixed l=max",
     ]);
     for data in [PaperData::Asf, PaperData::Ca] {
         let clean = data.generate(if args.quick { Some(1000) } else { args.n }, args.seed);
@@ -25,8 +31,7 @@ fn main() {
         let am = clean.arity() - 1;
         let mut rel = clean;
         let n_inc = if args.quick { 30 } else { (n / 20).max(50) };
-        let truth =
-            inject_attr(&mut rel, am, n_inc, &mut StdRng::seed_from_u64(args.seed));
+        let truth = inject_attr(&mut rel, am, n_inc, &mut StdRng::seed_from_u64(args.seed));
 
         let adaptive = |weighting: Weighting| IimConfig {
             k: 10,
@@ -45,10 +50,8 @@ fn main() {
             ..IimConfig::default()
         };
         let score = |cfg: IimConfig| {
-            let imp = PerAttributeImputer::with_features(
-                Iim::new(cfg),
-                FeatureSelection::AllOthers,
-            );
+            let imp =
+                PerAttributeImputer::with_features(Iim::new(cfg), FeatureSelection::AllOthers);
             Table::num(Some(rmse(&imp.impute(&rel).expect("impute"), &truth)))
         };
 

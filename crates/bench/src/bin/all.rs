@@ -12,8 +12,8 @@ fn main() {
         .expect("bin dir")
         .to_path_buf();
     let bins = [
-        "profiles", "table5", "table6", "table7", "fig4", "fig5", "fig6", "fig7",
-        "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "ablation",
+        "profiles", "table5", "table6", "table7", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+        "fig10", "fig11", "fig12", "fig13", "ablation",
     ];
     for bin in bins {
         println!("\n########## {bin} ##########");

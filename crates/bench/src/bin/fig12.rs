@@ -23,7 +23,9 @@ fn main() {
     figures::scalability(
         args,
         PaperData::Ca,
-        &[2_000, 4_000, 6_000, 8_000, 10_000, 12_000, 14_000, 16_000, 18_000, 20_000],
+        &[
+            2_000, 4_000, 6_000, 8_000, 10_000, 12_000, 14_000, 16_000, 18_000, 20_000,
+        ],
         "fig12b",
     );
 }

@@ -5,5 +5,11 @@ use iim_bench::{figures, Args, PaperData};
 
 fn main() {
     let args = Args::parse();
-    figures::vary_k(args, PaperData::Asf, 100, &[1, 2, 3, 5, 10, 20, 50, 100], "fig9");
+    figures::vary_k(
+        args,
+        PaperData::Asf,
+        100,
+        &[1, 2, 3, 5, 10, 20, 50, 100],
+        "fig9",
+    );
 }

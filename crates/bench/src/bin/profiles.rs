@@ -12,7 +12,13 @@ use rand::SeedableRng;
 fn main() {
     let args = Args::parse();
     let mut table = Table::new(vec![
-        "dataset", "n", "m", "R2_S(paper)", "R2_S(ours)", "R2_H(paper)", "R2_H(ours)",
+        "dataset",
+        "n",
+        "m",
+        "R2_S(paper)",
+        "R2_S(ours)",
+        "R2_H(paper)",
+        "R2_H(ours)",
     ]);
     for d in PaperData::ALL {
         let mut rel = d.generate(args.n, args.seed);
@@ -24,8 +30,12 @@ fn main() {
         // attribute Am (the last one) — §II: "we consider Am as the
         // incomplete attribute by default".
         let am = rel.arity() - 1;
-        let truth =
-            inject_attr(&mut rel, am, incomplete, &mut StdRng::seed_from_u64(args.seed));
+        let truth = inject_attr(
+            &mut rel,
+            am,
+            incomplete,
+            &mut StdRng::seed_from_u64(args.seed),
+        );
         let p = data_profile(&rel, &truth, 10).expect("profile");
         let (ps, ph) = d.paper_profile();
         table.push(vec![

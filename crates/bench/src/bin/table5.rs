@@ -17,13 +17,17 @@ use rand::SeedableRng;
 fn main() {
     let args = Args::parse();
     let mut table = Table::new(vec![
-        "Dataset", "R2_S", "R2_H", "IIM", "kNN", "kNNE", "IFC", "GMM", "SVD", "ILLS",
-        "GLR", "LOESS", "BLR", "ERACER", "PMM", "XGB", "Mean",
+        "Dataset", "R2_S", "R2_H", "IIM", "kNN", "kNNE", "IFC", "GMM", "SVD", "ILLS", "GLR",
+        "LOESS", "BLR", "ERACER", "PMM", "XGB", "Mean",
     ]);
     for d in PaperData::ALL {
         let clean = d.generate(args.n, args.seed);
         let n = clean.n_rows();
-        let n_incomplete = if args.quick { (n / 50).max(10) } else { (n / 20).max(20) };
+        let n_incomplete = if args.quick {
+            (n / 50).max(10)
+        } else {
+            (n / 20).max(20)
+        };
 
         // Profile on the default incomplete attribute Am (see `profiles`).
         let mut prof_rel = clean.clone();
@@ -37,22 +41,24 @@ fn main() {
             &mut StdRng::seed_from_u64(args.seed),
         );
         let profile =
-            iim_baselines::diagnostics::data_profile(&prof_rel, &prof_truth, 10)
-                .expect("profile");
+            iim_baselines::diagnostics::data_profile(&prof_rel, &prof_truth, 10).expect("profile");
 
         // The scored workload: the default incomplete attribute Am for
         // every incomplete tuple (the paper's Table V ASF row equals its
         // Table VI A2 row, i.e. one fixed attribute per dataset).
         let mut rel = clean;
-        let truth =
-            inject_attr(&mut rel, am, n_incomplete, &mut StdRng::seed_from_u64(args.seed));
+        let truth = inject_attr(
+            &mut rel,
+            am,
+            n_incomplete,
+            &mut StdRng::seed_from_u64(args.seed),
+        );
 
         let k = 10;
         let lineup = method_lineup(k, args.seed, n, FeatureSelection::AllOthers);
         let scores = run_lineup(&lineup, &rel, &truth);
-        let by_name = |name: &str| {
-            Table::num(scores.iter().find(|s| s.name == name).and_then(|s| s.rmse))
-        };
+        let by_name =
+            |name: &str| Table::num(scores.iter().find(|s| s.name == name).and_then(|s| s.rmse));
         table.push(vec![
             d.name().to_string(),
             Table::num(Some(profile.r2_sparsity)),

@@ -18,8 +18,8 @@ fn main() {
     let n_incomplete = if args.quick { 30 } else { 100 };
 
     let mut table = Table::new(vec![
-        "Ax", "R2_S", "R2_H", "IIM", "kNN", "kNNE", "IFC", "GMM", "SVD", "ILLS", "GLR",
-        "LOESS", "BLR", "ERACER", "PMM", "XGB",
+        "Ax", "R2_S", "R2_H", "IIM", "kNN", "kNNE", "IFC", "GMM", "SVD", "ILLS", "GLR", "LOESS",
+        "BLR", "ERACER", "PMM", "XGB",
     ]);
     for ax in 0..clean.arity() {
         let mut rel = clean.clone();
@@ -29,13 +29,11 @@ fn main() {
             n_incomplete,
             &mut StdRng::seed_from_u64(args.seed ^ ax as u64),
         );
-        let profile = iim_baselines::diagnostics::data_profile(&rel, &truth, 10)
-            .expect("profile");
+        let profile = iim_baselines::diagnostics::data_profile(&rel, &truth, 10).expect("profile");
         let lineup = method_lineup(10, args.seed, n, FeatureSelection::AllOthers);
         let scores = run_lineup(&lineup, &rel, &truth);
-        let by_name = |name: &str| {
-            Table::num(scores.iter().find(|s| s.name == name).and_then(|s| s.rmse))
-        };
+        let by_name =
+            |name: &str| Table::num(scores.iter().find(|s| s.name == name).and_then(|s| s.rmse));
         table.push(vec![
             format!("A{}", ax + 1),
             Table::num(Some(profile.r2_sparsity)),

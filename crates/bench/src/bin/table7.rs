@@ -22,26 +22,37 @@ use rand::SeedableRng;
 fn main() {
     let args = Args::parse();
     let mut table = Table::new(vec![
-        "Dataset", "Missing", "IIM", "Mean", "kNN", "kNNE", "IFC", "GMM", "SVD", "ILLS",
-        "GLR", "LOESS", "BLR", "ERACER", "PMM", "XGB",
+        "Dataset", "Missing", "IIM", "Mean", "kNN", "kNNE", "IFC", "GMM", "SVD", "ILLS", "GLR",
+        "LOESS", "BLR", "ERACER", "PMM", "XGB",
     ]);
 
     // --- Clustering rows ------------------------------------------------
     for (data, k_clusters) in [(PaperData::Asf, 5usize), (PaperData::Ca, 4usize)] {
         let clean = data.generate(args.n, args.seed);
         let n = clean.n_rows();
-        let n_incomplete = if args.quick { (n / 50).max(10) } else { (n / 20).max(20) };
+        let n_incomplete = if args.quick {
+            (n / 50).max(10)
+        } else {
+            (n / 20).max(20)
+        };
         // Ground-truth clusters from the original complete data; the same
         // reference centroids seed every subsequent run so purity compares
         // imputations, not k-means++ initialization luck.
-        let reference =
-            kmeans(&clean, k_clusters, 100, &mut StdRng::seed_from_u64(args.seed));
+        let reference = kmeans(
+            &clean,
+            k_clusters,
+            100,
+            &mut StdRng::seed_from_u64(args.seed),
+        );
         let truth_clusters = reference.labels;
         let init = reference.centroids;
 
         let mut rel = clean;
-        let _removed =
-            inject_random(&mut rel, n_incomplete, &mut StdRng::seed_from_u64(args.seed));
+        let _removed = inject_random(
+            &mut rel,
+            n_incomplete,
+            &mut StdRng::seed_from_u64(args.seed),
+        );
 
         let score = |r: &Relation| {
             let res = kmeans_with_init(r, init.clone(), 100);
@@ -62,13 +73,21 @@ fn main() {
 
     // --- Classification rows ---------------------------------------------
     for (name, ds) in [
-        ("MAM", mam_like(if args.quick { 300 } else { 1000 }, args.seed)),
+        (
+            "MAM",
+            mam_like(if args.quick { 300 } else { 1000 }, args.seed),
+        ),
         ("HEP", hep_like(200, args.seed)),
     ] {
-        let LabeledDataset { relation: rel, labels } = ds;
+        let LabeledDataset {
+            relation: rel,
+            labels,
+        } = ds;
         let n = rel.n_rows();
-        let mut row =
-            vec![name.to_string(), format!("{:.3}", classify_f1(&rel, &labels, args.seed))];
+        let mut row = vec![
+            name.to_string(),
+            format!("{:.3}", classify_f1(&rel, &labels, args.seed)),
+        ];
         for m in method_lineup(10, args.seed, n, FeatureSelection::AllOthers) {
             let cell = match m.impute(&rel) {
                 Ok(imputed) => format!("{:.3}", classify_f1(&imputed, &labels, args.seed)),
@@ -98,8 +117,7 @@ fn classify_f1(rel: &Relation, labels: &[u32], seed: u64) -> f64 {
     let mut total = 0.0;
     let repeats = 5u64;
     for rep in 0..repeats {
-        let folds =
-            stratified_folds(labels, 5, &mut StdRng::seed_from_u64(seed ^ (rep << 32)));
+        let folds = stratified_folds(labels, 5, &mut StdRng::seed_from_u64(seed ^ (rep << 32)));
         let mut preds = vec![0u32; labels.len()];
         for f in 0..folds.len() {
             let train: Vec<u32> = (0..folds.len())
@@ -111,7 +129,11 @@ fn classify_f1(rel: &Relation, labels: &[u32], seed: u64) -> f64 {
             for &t in &folds[f] {
                 let rowv = rel.row_raw(t as usize);
                 for (j, slot) in q.iter_mut().enumerate() {
-                    *slot = if rowv[j].is_nan() { stats[j].mean } else { rowv[j] };
+                    *slot = if rowv[j].is_nan() {
+                        stats[j].mean
+                    } else {
+                        rowv[j]
+                    };
                 }
                 preds[t as usize] = clf.predict(&q);
             }
@@ -125,8 +147,10 @@ fn classify_f1(rel: &Relation, labels: &[u32], seed: u64) -> f64 {
 /// the "Missing" column — this hook documents (and asserts) that order.
 fn reorder_fix(name: &str, cell: String, _table: &mut Table) -> String {
     debug_assert!(
-        ["IIM", "Mean", "kNN", "kNNE", "IFC", "GMM", "SVD", "ILLS", "GLR", "LOESS",
-         "BLR", "ERACER", "PMM", "XGB"]
+        [
+            "IIM", "Mean", "kNN", "kNNE", "IFC", "GMM", "SVD", "ILLS", "GLR", "LOESS", "BLR",
+            "ERACER", "PMM", "XGB"
+        ]
         .contains(&name),
         "unexpected method {name}"
     );

@@ -16,14 +16,22 @@ use std::time::Instant;
 pub fn vary_f(args: Args, data: PaperData, n_incomplete: usize, sizes: &[usize], tag: &str) {
     let clean = data.generate(args.n, args.seed);
     let n = clean.n_rows();
-    let n_incomplete = if args.quick { (n_incomplete / 4).max(5) } else { n_incomplete };
+    let n_incomplete = if args.quick {
+        (n_incomplete / 4).max(5)
+    } else {
+        n_incomplete
+    };
 
     // Paper protocol: the default incomplete attribute Am (Table V's ASF
     // row equals Table VI's A2 row, so the figures use one fixed Ax too).
     let am = clean.arity() - 1;
     let mut rel = clean;
-    let truth =
-        inject_attr(&mut rel, am, n_incomplete, &mut StdRng::seed_from_u64(args.seed));
+    let truth = inject_attr(
+        &mut rel,
+        am,
+        n_incomplete,
+        &mut StdRng::seed_from_u64(args.seed),
+    );
 
     let mut tables = SweepTables::default();
     for &f in sizes {
@@ -34,21 +42,32 @@ pub fn vary_f(args: Args, data: PaperData, n_incomplete: usize, sizes: &[usize],
     }
     tables.finish(
         tag,
-        &format!("RMS error vs |F| ({}, {n_incomplete} incomplete)", data.name()),
+        &format!(
+            "RMS error vs |F| ({}, {n_incomplete} incomplete)",
+            data.name()
+        ),
     );
 }
 
 /// Figures 6–7: RMS error and imputation time vs the number of complete
 /// tuples n = |r|.
 pub fn vary_n(args: Args, data: PaperData, n_incomplete: usize, sizes: &[usize], tag: &str) {
-    let n_incomplete = if args.quick { (n_incomplete / 4).max(5) } else { n_incomplete };
+    let n_incomplete = if args.quick {
+        (n_incomplete / 4).max(5)
+    } else {
+        n_incomplete
+    };
     let mut tables = SweepTables::default();
     for &n in sizes {
         // n complete tuples + the incomplete ones on top.
         let mut rel = data.generate(Some(n + n_incomplete), args.seed);
         let am = rel.arity() - 1;
-        let truth =
-            inject_attr(&mut rel, am, n_incomplete, &mut StdRng::seed_from_u64(args.seed));
+        let truth = inject_attr(
+            &mut rel,
+            am,
+            n_incomplete,
+            &mut StdRng::seed_from_u64(args.seed),
+        );
         let lineup = figure_lineup(10, args.seed, n, FeatureSelection::AllOthers);
         let scores = run_lineup(&lineup, &rel, &truth);
         tables.push(&n.to_string(), &scores, "n");
@@ -56,7 +75,10 @@ pub fn vary_n(args: Args, data: PaperData, n_incomplete: usize, sizes: &[usize],
     }
     tables.finish(
         tag,
-        &format!("RMS error vs #complete tuples ({}, {n_incomplete} incomplete)", data.name()),
+        &format!(
+            "RMS error vs #complete tuples ({}, {n_incomplete} incomplete)",
+            data.name()
+        ),
     );
 }
 
@@ -65,7 +87,11 @@ pub fn vary_n(args: Args, data: PaperData, n_incomplete: usize, sizes: &[usize],
 pub fn vary_cluster(args: Args, data: PaperData, n_incomplete: usize, sizes: &[usize], tag: &str) {
     let clean = data.generate(args.n, args.seed);
     let n = clean.n_rows();
-    let n_incomplete = if args.quick { (n_incomplete / 4).max(10) } else { n_incomplete };
+    let n_incomplete = if args.quick {
+        (n_incomplete / 4).max(10)
+    } else {
+        n_incomplete
+    };
 
     let am = clean.arity() - 1;
     let mut tables = SweepTables::default();
@@ -97,12 +123,20 @@ pub fn vary_cluster(args: Args, data: PaperData, n_incomplete: usize, sizes: &[u
 pub fn vary_k(args: Args, data: PaperData, n_incomplete: usize, ks: &[usize], tag: &str) {
     let clean = data.generate(args.n, args.seed);
     let n = clean.n_rows();
-    let n_incomplete = if args.quick { (n_incomplete / 4).max(5) } else { n_incomplete };
+    let n_incomplete = if args.quick {
+        (n_incomplete / 4).max(5)
+    } else {
+        n_incomplete
+    };
 
     let am = clean.arity() - 1;
     let mut rel = clean;
-    let truth =
-        inject_attr(&mut rel, am, n_incomplete, &mut StdRng::seed_from_u64(args.seed));
+    let truth = inject_attr(
+        &mut rel,
+        am,
+        n_incomplete,
+        &mut StdRng::seed_from_u64(args.seed),
+    );
 
     let mut tables = SweepTables::default();
     for &k in ks {
@@ -120,7 +154,13 @@ pub fn vary_k(args: Args, data: PaperData, n_incomplete: usize, ks: &[usize], ta
 fn method_subset_k(k: usize, _seed: u64, n_hint: usize) -> Vec<Box<dyn Imputer>> {
     vec![
         Box::new(PerAttributeImputer::new(iim_baselines::Knn::new(k))),
-        Box::new(iim_adaptive(k, None, None, n_hint, FeatureSelection::AllOthers)),
+        Box::new(iim_adaptive(
+            k,
+            None,
+            None,
+            n_hint,
+            FeatureSelection::AllOthers,
+        )),
         Box::new(PerAttributeImputer::new(iim_baselines::Knne::new(k))),
     ]
 }
@@ -130,12 +170,20 @@ fn method_subset_k(k: usize, _seed: u64, n_hint: usize) -> Vec<Box<dyn Imputer>>
 pub fn fixed_vs_adaptive(args: Args, data: PaperData, ells: &[usize], tag: &str) {
     let clean = data.generate(args.n, args.seed);
     let n = clean.n_rows();
-    let n_incomplete = if args.quick { 20 } else { (n / 20).clamp(50, 1000) };
+    let n_incomplete = if args.quick {
+        20
+    } else {
+        (n / 20).clamp(50, 1000)
+    };
     let am = clean.arity() - 1;
 
     let mut rel = clean;
-    let truth =
-        inject_attr(&mut rel, am, n_incomplete, &mut StdRng::seed_from_u64(args.seed));
+    let truth = inject_attr(
+        &mut rel,
+        am,
+        n_incomplete,
+        &mut StdRng::seed_from_u64(args.seed),
+    );
 
     let mut table = Table::new(vec!["l", "fixed_rmse", "adaptive_rmse"]);
     // Adaptive once (full grid up to the largest fixed ℓ, step scaled).
@@ -173,8 +221,7 @@ pub fn fixed_vs_adaptive(args: Args, data: PaperData, ells: &[usize], tag: &str)
 /// incremental, vs the number of complete tuples. Stepping h = 50, target
 /// `Am`, sweep capped at min(n, 1000) (reported in the output).
 pub fn scalability(args: Args, data: PaperData, sizes: &[usize], tag: &str) {
-    let mut table =
-        Table::new(vec!["n", "straightforward_s", "incremental_s", "speedup"]);
+    let mut table = Table::new(vec!["n", "straightforward_s", "incremental_s", "speedup"]);
     for &n in sizes {
         let rel = data.generate(Some(n), args.seed);
         let am = rel.arity() - 1;
@@ -191,7 +238,12 @@ pub fn scalability(args: Args, data: PaperData, sizes: &[usize], tag: &str) {
 
         let mut secs = [0.0f64; 2];
         for (slot, incremental) in secs.iter_mut().zip([false, true]) {
-            let cfg = AdaptiveConfig { step: 50, ell_max: Some(cap), incremental, ..AdaptiveConfig::default() };
+            let cfg = AdaptiveConfig {
+                step: 50,
+                ell_max: Some(cap),
+                incremental,
+                ..AdaptiveConfig::default()
+            };
             let t0 = Instant::now();
             let out = adaptive_learn(&fm, &ys, &orders, 10, &cfg, 1e-6, 0);
             *slot = t0.elapsed().as_secs_f64();
@@ -222,14 +274,26 @@ pub fn stepping(args: Args, data: PaperData, hs: &[usize], tag: &str) {
     let am = clean.arity() - 1;
 
     let mut rel = clean;
-    let truth =
-        inject_attr(&mut rel, am, n_incomplete, &mut StdRng::seed_from_u64(args.seed));
+    let truth = inject_attr(
+        &mut rel,
+        am,
+        n_incomplete,
+        &mut StdRng::seed_from_u64(args.seed),
+    );
     let features: Vec<usize> = (0..rel.arity()).filter(|&j| j != am).collect();
     let task = AttrTask::new(&rel, features.clone(), am);
-    let cap = if args.quick { task.n_train().min(300) } else { task.n_train() };
+    let cap = if args.quick {
+        task.n_train().min(300)
+    } else {
+        task.n_train()
+    };
 
     let mut table = Table::new(vec![
-        "h", "rmse", "straightforward_s", "incremental_s", "speedup",
+        "h",
+        "rmse",
+        "straightforward_s",
+        "incremental_s",
+        "speedup",
     ]);
     for &h in hs {
         let mut errs = [0.0f64; 2];

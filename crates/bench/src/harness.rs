@@ -65,8 +65,13 @@ pub fn method_lineup(
     n_hint: usize,
     features: FeatureSelection,
 ) -> Vec<Box<dyn Imputer>> {
-    let mut lineup: Vec<Box<dyn Imputer>> =
-        vec![Box::new(iim_adaptive(k, None, None, n_hint, features.clone()))];
+    let mut lineup: Vec<Box<dyn Imputer>> = vec![Box::new(iim_adaptive(
+        k,
+        None,
+        None,
+        n_hint,
+        features.clone(),
+    ))];
     lineup.extend(all_baselines(k, seed, features));
     lineup
 }
@@ -79,8 +84,9 @@ pub fn figure_lineup(
     n_hint: usize,
     features: FeatureSelection,
 ) -> Vec<Box<dyn Imputer>> {
-    const FIGURE_METHODS: [&str; 8] =
-        ["kNN", "IIM", "GLR", "LOESS", "IFC", "kNNE", "ERACER", "ILLS"];
+    const FIGURE_METHODS: [&str; 8] = [
+        "kNN", "IIM", "GLR", "LOESS", "IFC", "kNNE", "ERACER", "ILLS",
+    ];
     method_lineup(k, seed, n_hint, features)
         .into_iter()
         .filter(|m| FIGURE_METHODS.contains(&m.name()))
@@ -99,22 +105,20 @@ pub fn run_lineup(
 ) -> Vec<MethodScore> {
     methods
         .iter()
-        .map(|m| {
-            match m.impute_timed(rel) {
-                Ok((out, t)) => MethodScore {
-                    name: m.name().to_string(),
-                    rmse: Some(rmse(&out, truth)),
-                    offline_s: t.offline.as_secs_f64(),
-                    online_s: t.online.as_secs_f64(),
-                },
-                Err(iim_data::ImputeError::Unsupported(_)) => MethodScore {
-                    name: m.name().to_string(),
-                    rmse: None,
-                    offline_s: 0.0,
-                    online_s: 0.0,
-                },
-                Err(e) => panic!("{} failed: {e}", m.name()),
-            }
+        .map(|m| match m.impute_timed(rel) {
+            Ok((out, t)) => MethodScore {
+                name: m.name().to_string(),
+                rmse: Some(rmse(&out, truth)),
+                offline_s: t.offline.as_secs_f64(),
+                online_s: t.online.as_secs_f64(),
+            },
+            Err(iim_data::ImputeError::Unsupported(_)) => MethodScore {
+                name: m.name().to_string(),
+                rmse: None,
+                offline_s: 0.0,
+                online_s: 0.0,
+            },
+            Err(e) => panic!("{} failed: {e}", m.name()),
         })
         .collect()
 }
@@ -134,8 +138,18 @@ mod tests {
         let scores = run_lineup(&lineup, &rel, &truth);
         assert_eq!(scores[0].name, "IIM");
         let iim = scores[0].rmse.unwrap();
-        let knn = scores.iter().find(|s| s.name == "kNN").unwrap().rmse.unwrap();
-        let glr = scores.iter().find(|s| s.name == "GLR").unwrap().rmse.unwrap();
+        let knn = scores
+            .iter()
+            .find(|s| s.name == "kNN")
+            .unwrap()
+            .rmse
+            .unwrap();
+        let glr = scores
+            .iter()
+            .find(|s| s.name == "GLR")
+            .unwrap()
+            .rmse
+            .unwrap();
         assert!(iim.is_finite() && knn.is_finite() && glr.is_finite());
         // The headline claim on the headline dataset shape.
         assert!(iim <= knn * 1.05, "IIM {iim} vs kNN {knn}");

@@ -124,7 +124,11 @@ pub fn adaptive_learn_detailed(
             }
         }
         let (_, ell, model) = best.expect("sweep is non-empty");
-        PerTuple { model, ell: ell as u32, costs }
+        PerTuple {
+            model,
+            ell: ell as u32,
+            costs,
+        }
     });
 
     let mut models = Vec::with_capacity(n);
@@ -137,7 +141,14 @@ pub fn adaptive_learn_detailed(
             t.extend(c);
         }
     }
-    (AdaptiveOutcome { models, chosen_ell: chosen, swept }, table)
+    (
+        AdaptiveOutcome {
+            models,
+            chosen_ell: chosen,
+            swept,
+        },
+        table,
+    )
 }
 
 #[cfg(test)]
@@ -169,9 +180,13 @@ mod tests {
         // ℓ = 1 loses by an order of magnitude and the selection is
         // unaffected.
         let (fm, ys, orders) = setup();
-        let cfg = AdaptiveConfig { step: 1, ell_max: None, incremental: true, ..AdaptiveConfig::default() };
-        let (outcome, costs) =
-            adaptive_learn_detailed(&fm, &ys, &orders, 3, &cfg, 1e-9, 1, true);
+        let cfg = AdaptiveConfig {
+            step: 1,
+            ell_max: None,
+            incremental: true,
+            ..AdaptiveConfig::default()
+        };
+        let (outcome, costs) = adaptive_learn_detailed(&fm, &ys, &orders, 3, &cfg, 1e-9, 1, true);
         let costs = costs.expect("recorded");
         let t2 = &costs[8..16]; // tuple index 1, 8 sweep points
         let exact = [4.04, 3.785, 0.3124, 0.0919, 1.4723, 2.3559, 3.0334, 3.6487];
@@ -197,9 +212,13 @@ mod tests {
         // h = 3 considers ℓ ∈ {1, 4, 7}; t2 still selects ℓ = 4 with
         // φ₂ = (5.56, -0.87).
         let (fm, ys, orders) = setup();
-        let cfg = AdaptiveConfig { step: 3, ell_max: None, incremental: true, ..AdaptiveConfig::default() };
-        let (outcome, costs) =
-            adaptive_learn_detailed(&fm, &ys, &orders, 3, &cfg, 1e-9, 1, true);
+        let cfg = AdaptiveConfig {
+            step: 3,
+            ell_max: None,
+            incremental: true,
+            ..AdaptiveConfig::default()
+        };
+        let (outcome, costs) = adaptive_learn_detailed(&fm, &ys, &orders, 3, &cfg, 1e-9, 1, true);
         assert_eq!(outcome.swept, vec![1, 4, 7]);
         let t2 = &costs.unwrap()[3..6];
         assert!((t2[1] - 0.0919).abs() < 0.005, "cost[2][4] {}", t2[1]);
@@ -212,8 +231,18 @@ mod tests {
     fn incremental_and_straightforward_agree() {
         let (fm, ys, orders) = setup();
         for step in [1usize, 2, 3] {
-            let inc = AdaptiveConfig { step, ell_max: None, incremental: true, ..AdaptiveConfig::default() };
-            let scr = AdaptiveConfig { step, ell_max: None, incremental: false, ..AdaptiveConfig::default() };
+            let inc = AdaptiveConfig {
+                step,
+                ell_max: None,
+                incremental: true,
+                ..AdaptiveConfig::default()
+            };
+            let scr = AdaptiveConfig {
+                step,
+                ell_max: None,
+                incremental: false,
+                ..AdaptiveConfig::default()
+            };
             let a = adaptive_learn(&fm, &ys, &orders, 3, &inc, 1e-9, 1);
             let b = adaptive_learn(&fm, &ys, &orders, 3, &scr, 1e-9, 1);
             assert_eq!(a.chosen_ell, b.chosen_ell, "step {step}");
@@ -237,7 +266,12 @@ mod tests {
     #[test]
     fn ell_max_caps_sweep() {
         let (fm, ys, orders) = setup();
-        let cfg = AdaptiveConfig { step: 1, ell_max: Some(3), incremental: true, ..AdaptiveConfig::default() };
+        let cfg = AdaptiveConfig {
+            step: 1,
+            ell_max: Some(3),
+            incremental: true,
+            ..AdaptiveConfig::default()
+        };
         let out = adaptive_learn(&fm, &ys, &orders, 3, &cfg, 1e-9, 1);
         assert_eq!(out.swept, vec![1, 2, 3]);
         assert!(out.chosen_ell.iter().all(|&l| l <= 3));

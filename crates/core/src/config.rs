@@ -38,7 +38,12 @@ pub struct AdaptiveConfig {
 
 impl Default for AdaptiveConfig {
     fn default() -> Self {
-        Self { step: 1, ell_max: None, incremental: true, validation_k: None }
+        Self {
+            step: 1,
+            ell_max: None,
+            incremental: true,
+            validation_k: None,
+        }
     }
 }
 
@@ -92,7 +97,11 @@ impl Default for IimConfig {
 impl IimConfig {
     /// Fixed-ℓ configuration with paper-default everything else.
     pub fn fixed(ell: usize, k: usize) -> Self {
-        Self { k, learning: Learning::Fixed { ell }, ..Self::default() }
+        Self {
+            k,
+            learning: Learning::Fixed { ell },
+            ..Self::default()
+        }
     }
 
     /// Adaptive configuration with stepping `h` and an optional sweep cap.

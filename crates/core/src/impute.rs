@@ -37,10 +37,7 @@ pub fn impute_candidates(
 /// `0/0` limit is the common value, which is what is returned.
 ///
 /// Returns `None` for an empty candidate set.
-pub fn combine_candidates(
-    candidates: &[(Neighbor, f64)],
-    weighting: Weighting,
-) -> Option<f64> {
+pub fn combine_candidates(candidates: &[(Neighbor, f64)], weighting: Weighting) -> Option<f64> {
     if candidates.is_empty() {
         return None;
     }
@@ -72,8 +69,11 @@ fn mutual_vote(candidates: &[(Neighbor, f64)]) -> f64 {
     // Degenerate case: c_xi = 0 means candidate i coincides with *every*
     // other candidate, i.e. all candidates are equal — return that value
     // (the limit of Formula 12 as the spread vanishes). Scale-aware guard.
-    let scale: f64 =
-        candidates.iter().map(|(_, c)| c.abs()).fold(0.0, f64::max).max(1.0);
+    let scale: f64 = candidates
+        .iter()
+        .map(|(_, c)| c.abs())
+        .fold(0.0, f64::max)
+        .max(1.0);
     let eps = 1e-12 * scale;
     if let Some(i) = (0..k).find(|&i| cx[i] <= eps) {
         return candidates[i].1;
@@ -135,9 +135,21 @@ mod tests {
         // t6 (index 5, dist 2.5).
         let by_pos: std::collections::HashMap<u32, f64> =
             cands.iter().map(|(nb, c)| (nb.pos, *c)).collect();
-        assert!((by_pos[&4] - 1.133).abs() < 0.005, "t5 candidate {}", by_pos[&4]);
-        assert!((by_pos[&3] - 1.228).abs() < 0.005, "t4 candidate {}", by_pos[&3]);
-        assert!((by_pos[&5] - 1.133).abs() < 0.005, "t6 candidate {}", by_pos[&5]);
+        assert!(
+            (by_pos[&4] - 1.133).abs() < 0.005,
+            "t5 candidate {}",
+            by_pos[&4]
+        );
+        assert!(
+            (by_pos[&3] - 1.228).abs() < 0.005,
+            "t4 candidate {}",
+            by_pos[&3]
+        );
+        assert!(
+            (by_pos[&5] - 1.133).abs() < 0.005,
+            "t6 candidate {}",
+            by_pos[&5]
+        );
         for (_, c) in &cands {
             assert!((c - 1.19).abs() < 0.1, "paper ballpark: {c}");
         }
@@ -153,11 +165,7 @@ mod tests {
     fn mutual_vote_weights_match_example_3() {
         // Candidates 1.19, 1.21, 1.19 → c = (0.02, 0.04, 0.02), weights
         // (0.4, 0.2, 0.4).
-        let cands = vec![
-            (nb(0, 1.8), 1.19),
-            (nb(1, 2.1), 1.21),
-            (nb(2, 2.5), 1.19),
-        ];
+        let cands = vec![(nb(0, 1.8), 1.19), (nb(1, 2.1), 1.21), (nb(2, 2.5), 1.19)];
         let v = combine_candidates(&cands, Weighting::MutualVote).unwrap();
         let expect = 1.19 * 0.4 + 1.21 * 0.2 + 1.19 * 0.4;
         assert!((v - expect).abs() < 1e-12);
@@ -181,7 +189,11 @@ mod tests {
     #[test]
     fn identical_candidates_return_common_value() {
         let cands = vec![(nb(0, 1.0), 7.5), (nb(1, 2.0), 7.5), (nb(2, 3.0), 7.5)];
-        for w in [Weighting::MutualVote, Weighting::Uniform, Weighting::InverseDistance] {
+        for w in [
+            Weighting::MutualVote,
+            Weighting::Uniform,
+            Weighting::InverseDistance,
+        ] {
             assert_eq!(combine_candidates(&cands, w), Some(7.5));
         }
     }
@@ -190,7 +202,10 @@ mod tests {
     fn empty_and_singleton() {
         assert_eq!(combine_candidates(&[], Weighting::MutualVote), None);
         let single = vec![(nb(0, 0.5), 3.25)];
-        assert_eq!(combine_candidates(&single, Weighting::MutualVote), Some(3.25));
+        assert_eq!(
+            combine_candidates(&single, Weighting::MutualVote),
+            Some(3.25)
+        );
     }
 
     #[test]
@@ -201,7 +216,10 @@ mod tests {
         assert!((v - 1.0).abs() < 1e-12);
         // Zero-distance neighbor dominates entirely.
         let exact = vec![(nb(0, 0.0), 9.0), (nb(1, 5.0), 1.0)];
-        assert_eq!(combine_candidates(&exact, Weighting::InverseDistance), Some(9.0));
+        assert_eq!(
+            combine_candidates(&exact, Weighting::InverseDistance),
+            Some(9.0)
+        );
     }
 
     #[test]
@@ -211,8 +229,7 @@ mod tests {
         // t iff weights sum to 1.
         let cands = vec![(nb(0, 1.0), 1.0), (nb(1, 2.0), 2.0), (nb(2, 3.0), 4.0)];
         let base = combine_candidates(&cands, Weighting::MutualVote).unwrap();
-        let shifted: Vec<(Neighbor, f64)> =
-            cands.iter().map(|(n, c)| (*n, c + 10.0)).collect();
+        let shifted: Vec<(Neighbor, f64)> = cands.iter().map(|(n, c)| (*n, c + 10.0)).collect();
         let moved = combine_candidates(&shifted, Weighting::MutualVote).unwrap();
         assert!((moved - base - 10.0).abs() < 1e-9);
     }

@@ -27,7 +27,9 @@ impl IimModel {
     /// [`Learning::Adaptive`]).
     pub fn learn(task: &AttrTask<'_>, cfg: &IimConfig) -> Result<Self, ImputeError> {
         if task.n_train() == 0 {
-            return Err(ImputeError::NoTrainingData { target: task.target });
+            return Err(ImputeError::NoTrainingData {
+                target: task.target,
+            });
         }
         let fm = FeatureMatrix::gather(task.rel, &task.features, &task.train_rows);
         let ys: Vec<f64> = task
@@ -52,25 +54,27 @@ impl IimModel {
             }
             Learning::Adaptive(acfg) => {
                 let vk_hint = acfg.validation_k.unwrap_or(cfg.k);
-                let depth = acfg
-                    .ell_max
-                    .map_or(n, |e| e.min(n))
-                    .max(vk_hint.min(n)); // orders must also serve validation kNN
+                let depth = acfg.ell_max.map_or(n, |e| e.min(n)).max(vk_hint.min(n)); // orders must also serve validation kNN
                 let orders = NeighborOrders::build(&fm, depth.max(1));
                 let vk = acfg.validation_k.unwrap_or(cfg.k).max(1);
                 let out = adaptive_learn(&fm, ys, &orders, vk, acfg, cfg.alpha, threads);
                 (out.models, out.chosen_ell)
             }
         };
-        Self { fm, models, chosen_ell, k: cfg.k.max(1), weighting: cfg.weighting }
+        Self {
+            fm,
+            models,
+            chosen_ell,
+            k: cfg.k.max(1),
+            weighting: cfg.weighting,
+        }
     }
 
     /// Online phase (Algorithm 2): imputes one query from its feature
     /// vector (in the task's feature order).
     pub fn impute(&self, query: &[f64]) -> f64 {
         let cands = impute_candidates(&self.fm, &self.models, query, self.k);
-        combine_candidates(&cands, self.weighting)
-            .expect("training set is non-empty")
+        combine_candidates(&cands, self.weighting).expect("training set is non-empty")
     }
 
     /// The per-tuple ℓ actually used (constant under fixed learning).
@@ -177,7 +181,10 @@ mod tests {
     fn fig1_adaptive_beats_knn_and_glr() {
         let (rel, _) = paper_fig1();
         let task = AttrTask::new(&rel, vec![0], 1);
-        let cfg = IimConfig { k: 3, ..IimConfig::default() };
+        let cfg = IimConfig {
+            k: 3,
+            ..IimConfig::default()
+        };
         let model = IimModel::learn(&task, &cfg).unwrap();
         let iim_v = model.impute(&[5.0]);
         let truth = 1.8;
@@ -190,16 +197,24 @@ mod tests {
         let glr = iim_linalg::ridge_fit(xs.iter().map(|v| v.as_slice()), &ys, 1e-9).unwrap();
         let glr_v = glr.predict(&[5.0]);
 
-        assert!((iim_v - truth).abs() < (knn_v - truth).abs(), "IIM {iim_v} vs kNN {knn_v}");
-        assert!((iim_v - truth).abs() < (glr_v - truth).abs(), "IIM {iim_v} vs GLR {glr_v}");
+        assert!(
+            (iim_v - truth).abs() < (knn_v - truth).abs(),
+            "IIM {iim_v} vs kNN {knn_v}"
+        );
+        assert!(
+            (iim_v - truth).abs() < (glr_v - truth).abs(),
+            "IIM {iim_v} vs GLR {glr_v}"
+        );
     }
 
     #[test]
     fn driver_integration() {
         let (mut rel, tx) = paper_fig1();
         rel.push_row_opt(&tx);
-        let iim =
-            PerAttributeImputer::new(Iim::new(IimConfig { k: 3, ..Default::default() }));
+        let iim = PerAttributeImputer::new(Iim::new(IimConfig {
+            k: 3,
+            ..Default::default()
+        }));
         assert_eq!(iim.name(), "IIM");
         let filled = iim.impute(&rel).unwrap();
         assert_eq!(filled.missing_count(), 0);
@@ -222,7 +237,10 @@ mod tests {
     fn k_clamps_to_training_size() {
         let (rel, _) = paper_fig1();
         let task = AttrTask::new(&rel, vec![0], 1);
-        let cfg = IimConfig { k: 100, ..IimConfig::default() };
+        let cfg = IimConfig {
+            k: 100,
+            ..IimConfig::default()
+        };
         let model = IimModel::learn(&task, &cfg).unwrap();
         let v = model.impute(&[5.0]);
         assert!(v.is_finite());

@@ -43,13 +43,23 @@ impl<'a> ModelSweep<'a> {
         incremental: bool,
     ) -> Self {
         let acc = incremental.then(|| GramAccumulator::new(fm.n_features()));
-        Self { fm, ys, prefix, alpha, acc, absorbed: 0 }
+        Self {
+            fm,
+            ys,
+            prefix,
+            alpha,
+            acc,
+            absorbed: 0,
+        }
     }
 
     /// The model `φ⁽ℓ⁾`. Panics if called with decreasing ℓ in incremental
     /// mode or with `ell` beyond the prefix length.
     pub fn model_at(&mut self, ell: usize) -> RidgeModel {
-        assert!(ell >= 1 && ell <= self.prefix.len(), "ell {ell} out of range");
+        assert!(
+            ell >= 1 && ell <= self.prefix.len(),
+            "ell {ell} out of range"
+        );
         match &mut self.acc {
             Some(acc) => {
                 assert!(
@@ -116,10 +126,7 @@ mod tests {
                 let a = inc.model_at(ell);
                 let b = scratch.model_at(ell);
                 for (x, y) in a.phi.iter().zip(&b.phi) {
-                    assert!(
-                        (x - y).abs() < 1e-7,
-                        "tuple {tuple} ell {ell}: {x} vs {y}"
-                    );
+                    assert!((x - y).abs() < 1e-7, "tuple {tuple} ell {ell}: {x} vs {y}");
                 }
             }
         }
@@ -153,8 +160,7 @@ mod tests {
     fn ell_one_constant_in_both_modes() {
         let (fm, ys, orders) = setup();
         for incremental in [true, false] {
-            let mut sweep =
-                ModelSweep::new(&fm, &ys, orders.neighbors_of(2), 1e-9, incremental);
+            let mut sweep = ModelSweep::new(&fm, &ys, orders.neighbors_of(2), 1e-9, incremental);
             let m = sweep.model_at(1);
             assert_eq!(m.phi, vec![ys[2], 0.0]);
         }

@@ -34,7 +34,9 @@ pub fn learn_fixed(
         orders.depth(),
         ell
     );
-    par_map_indexed(n, threads, |i| learn_one(fm, ys, orders.neighbors_of(i), ell, alpha))
+    par_map_indexed(n, threads, |i| {
+        learn_one(fm, ys, orders.neighbors_of(i), ell, alpha)
+    })
 }
 
 /// Learns the individual model of one tuple from its sorted neighbor prefix.
@@ -53,7 +55,10 @@ pub fn learn_one(
         return RidgeModel::constant(ys[own], fm.n_features());
     }
     let rows = neighbor_prefix[..ell].iter().map(|&p| fm.point(p as usize));
-    let targets: Vec<f64> = neighbor_prefix[..ell].iter().map(|&p| ys[p as usize]).collect();
+    let targets: Vec<f64> = neighbor_prefix[..ell]
+        .iter()
+        .map(|&p| ys[p as usize])
+        .collect();
     ridge_fit(rows, &targets, alpha).expect("finite training data")
 }
 
@@ -80,7 +85,10 @@ where
                 scope.spawn(move || (start, (start..end).map(f).collect::<Vec<T>>()))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     });
     pieces.sort_by_key(|(start, _)| *start);
     let mut out = Vec::with_capacity(n);
@@ -147,12 +155,7 @@ mod tests {
                 assert!((a - b).abs() < 1e-9);
             }
         }
-        let global = iim_linalg::ridge_fit(
-            (0..8).map(|i| fm.point(i)),
-            &ys,
-            1e-9,
-        )
-        .unwrap();
+        let global = iim_linalg::ridge_fit((0..8).map(|i| fm.point(i)), &ys, 1e-9).unwrap();
         for (a, b) in phi[0].phi.iter().zip(&global.phi) {
             assert!((a - b).abs() < 1e-9);
         }

@@ -50,13 +50,13 @@ pub mod adaptive;
 pub mod config;
 pub mod impute;
 pub mod imputer;
-pub mod multiple;
 pub mod incremental;
 pub mod learn;
+pub mod multiple;
 
 pub use adaptive::{adaptive_learn, AdaptiveOutcome};
 pub use config::{AdaptiveConfig, IimConfig, Learning, Weighting};
 pub use impute::{combine_candidates, impute_candidates};
 pub use imputer::{Iim, IimModel};
-pub use multiple::ImputationDistribution;
 pub use learn::learn_fixed;
+pub use multiple::ImputationDistribution;

@@ -36,7 +36,9 @@ impl ImputationDistribution {
             }
         }
         weighted.sort_by(|a, b| a.0.total_cmp(&b.0));
-        Self { candidates: weighted }
+        Self {
+            candidates: weighted,
+        }
     }
 
     /// The point imputation: the weighted mean (equals
@@ -93,16 +95,10 @@ impl IimModel {
     /// The full candidate distribution for a query (Algorithm 2 without
     /// the final collapse), under the model's configured weighting.
     pub fn impute_distribution(&self, query: &[f64]) -> ImputationDistribution {
-        let cands = crate::impute::impute_candidates(
-            self.feature_matrix(),
-            self.models(),
-            query,
-            self.k(),
-        );
+        let cands =
+            crate::impute::impute_candidates(self.feature_matrix(), self.models(), query, self.k());
         let weighted = match self.weighting() {
-            Weighting::Uniform => {
-                cands.iter().map(|(_, c)| (*c, 1.0)).collect()
-            }
+            Weighting::Uniform => cands.iter().map(|(_, c)| (*c, 1.0)).collect(),
             Weighting::InverseDistance => cands
                 .iter()
                 .map(|(nb, c)| (*c, 1.0 / nb.dist.max(1e-12)))
@@ -113,9 +109,15 @@ impl IimModel {
                 let mut out = Vec::with_capacity(k);
                 for i in 0..k {
                     let ci = cands[i].1;
-                    let cxi: f64 =
-                        cands.iter().map(|(_, cj)| (ci - cj).abs()).sum();
-                    out.push((ci, if cxi > 1e-12 { 1.0 / cxi } else { f64::MAX / k as f64 }));
+                    let cxi: f64 = cands.iter().map(|(_, cj)| (ci - cj).abs()).sum();
+                    out.push((
+                        ci,
+                        if cxi > 1e-12 {
+                            1.0 / cxi
+                        } else {
+                            f64::MAX / k as f64
+                        },
+                    ));
                 }
                 out
             }

@@ -15,7 +15,11 @@ pub enum CsvError {
     /// Underlying I/O failure.
     Io(io::Error),
     /// A data line had the wrong number of fields.
-    Arity { line: usize, got: usize, want: usize },
+    Arity {
+        line: usize,
+        got: usize,
+        want: usize,
+    },
     /// A field failed to parse as a number or missing marker.
     Parse { line: usize, field: String },
     /// The input had no header line.
@@ -69,9 +73,10 @@ pub fn read<R: Read>(reader: R) -> Result<Relation, CsvError> {
             if is_missing_marker(field) {
                 row.push(None);
             } else {
-                let v: f64 = field
-                    .parse()
-                    .map_err(|_| CsvError::Parse { line: lineno, field: field.to_string() })?;
+                let v: f64 = field.parse().map_err(|_| CsvError::Parse {
+                    line: lineno,
+                    field: field.to_string(),
+                })?;
                 if !v.is_finite() {
                     row.push(None);
                 } else {
@@ -80,7 +85,11 @@ pub fn read<R: Read>(reader: R) -> Result<Relation, CsvError> {
             }
         }
         if row.len() != m {
-            return Err(CsvError::Arity { line: lineno, got: row.len(), want: m });
+            return Err(CsvError::Arity {
+                line: lineno,
+                got: row.len(),
+                want: m,
+            });
         }
         rel.push_row_opt(&row);
     }
@@ -157,7 +166,11 @@ mod tests {
     fn rejects_ragged_and_garbage() {
         assert!(matches!(
             read("a,b\n1\n".as_bytes()),
-            Err(CsvError::Arity { line: 2, got: 1, want: 2 })
+            Err(CsvError::Arity {
+                line: 2,
+                got: 1,
+                want: 2
+            })
         ));
         assert!(matches!(
             read("a\nxyz\n".as_bytes()),

@@ -37,11 +37,7 @@ pub type GroundTruth = Vec<MissingCell>;
 /// Mirrors §VI-B1: "randomly pick 5% tuples as tx with one missing value on
 /// a random attribute Ax". Panics if the relation has fewer complete tuples
 /// than requested.
-pub fn inject_random<R: Rng>(
-    rel: &mut Relation,
-    n_incomplete: usize,
-    rng: &mut R,
-) -> GroundTruth {
+pub fn inject_random<R: Rng>(rel: &mut Relation, n_incomplete: usize, rng: &mut R) -> GroundTruth {
     let mut candidates = rel.complete_rows();
     assert!(
         candidates.len() >= n_incomplete,
@@ -56,7 +52,11 @@ pub fn inject_random<R: Rng>(
         let v = rel
             .clear_cell(row as usize, col)
             .expect("candidate row was complete");
-        truth.push(MissingCell { row, col: col as u32, truth: v });
+        truth.push(MissingCell {
+            row,
+            col: col as u32,
+            truth: v,
+        });
     }
     truth
 }
@@ -81,7 +81,11 @@ pub fn inject_attr<R: Rng>(
         let v = rel
             .clear_cell(row as usize, col)
             .expect("candidate row was complete");
-        truth.push(MissingCell { row, col: col as u32, truth: v });
+        truth.push(MissingCell {
+            row,
+            col: col as u32,
+            truth: v,
+        });
     }
     truth
 }
@@ -160,7 +164,11 @@ fn inject_clustered_inner<R: Rng>(
             let v = rel
                 .clear_cell(row as usize, col)
                 .expect("ranked row was complete");
-            truth.push(MissingCell { row, col: col as u32, truth: v });
+            truth.push(MissingCell {
+                row,
+                col: col as u32,
+                truth: v,
+            });
         }
         remaining -= take;
     }
@@ -175,8 +183,9 @@ mod tests {
     use rand::SeedableRng;
 
     fn grid(n: usize) -> Relation {
-        let rows: Vec<Vec<f64>> =
-            (0..n).map(|i| vec![i as f64, 2.0 * i as f64, 100.0 - i as f64]).collect();
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![i as f64, 2.0 * i as f64, 100.0 - i as f64])
+            .collect();
         Relation::from_rows(Schema::anonymous(3), &rows)
     }
 

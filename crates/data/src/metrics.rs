@@ -106,13 +106,18 @@ mod tests {
 
     #[test]
     fn relation_rmse_reads_cells() {
-        let rel = Relation::from_rows(
-            Schema::anonymous(2),
-            &[vec![1.0, 5.0], vec![2.0, 7.0]],
-        );
+        let rel = Relation::from_rows(Schema::anonymous(2), &[vec![1.0, 5.0], vec![2.0, 7.0]]);
         let truth = vec![
-            MissingCell { row: 0, col: 1, truth: 6.0 },
-            MissingCell { row: 1, col: 1, truth: 7.0 },
+            MissingCell {
+                row: 0,
+                col: 1,
+                truth: 6.0,
+            },
+            MissingCell {
+                row: 1,
+                col: 1,
+                truth: 7.0,
+            },
         ];
         // Errors: (5-6)=-1 and 0 → rmse = sqrt(1/2)
         assert!((rmse(&rel, &truth) - (0.5f64).sqrt()).abs() < 1e-12);
@@ -123,7 +128,11 @@ mod tests {
     fn unimputed_cells_scored_as_zero() {
         let mut rel = Relation::with_capacity(Schema::anonymous(1), 1);
         rel.push_row_opt(&[None]);
-        let truth = vec![MissingCell { row: 0, col: 0, truth: 3.0 }];
+        let truth = vec![MissingCell {
+            row: 0,
+            col: 0,
+            truth: 3.0,
+        }];
         assert!((rmse(&rel, &truth) - 3.0).abs() < 1e-12);
     }
 

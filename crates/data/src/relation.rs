@@ -11,12 +11,16 @@ pub struct Schema {
 impl Schema {
     /// Schema with the given attribute names.
     pub fn new<S: Into<String>>(names: Vec<S>) -> Self {
-        Self { names: names.into_iter().map(Into::into).collect() }
+        Self {
+            names: names.into_iter().map(Into::into).collect(),
+        }
     }
 
     /// Anonymous schema `A1..Am` (the paper's default naming).
     pub fn anonymous(m: usize) -> Self {
-        Self { names: (1..=m).map(|j| format!("A{j}")).collect() }
+        Self {
+            names: (1..=m).map(|j| format!("A{j}")).collect(),
+        }
     }
 
     /// Number of attributes `m`.
@@ -73,7 +77,11 @@ impl Relation {
     /// Empty relation with capacity hints.
     pub fn with_capacity(schema: Schema, rows: usize) -> Self {
         let m = schema.arity();
-        Self { schema, n: 0, values: Vec::with_capacity(rows * m) }
+        Self {
+            schema,
+            n: 0,
+            values: Vec::with_capacity(rows * m),
+        }
     }
 
     /// Builds a relation from complete row data. Panics on ragged rows or
@@ -198,12 +206,18 @@ impl Relation {
 
     /// Indices of fully complete tuples.
     pub fn complete_rows(&self) -> Vec<u32> {
-        (0..self.n).filter(|&i| self.row_complete(i)).map(|i| i as u32).collect()
+        (0..self.n)
+            .filter(|&i| self.row_complete(i))
+            .map(|i| i as u32)
+            .collect()
     }
 
     /// Indices of tuples with at least one missing cell.
     pub fn incomplete_rows(&self) -> Vec<u32> {
-        (0..self.n).filter(|&i| !self.row_complete(i)).map(|i| i as u32).collect()
+        (0..self.n)
+            .filter(|&i| !self.row_complete(i))
+            .map(|i| i as u32)
+            .collect()
     }
 
     /// Missing attribute indices of tuple `i`.
@@ -244,8 +258,10 @@ impl Relation {
 
     /// New relation keeping only the given columns (in the given order).
     pub fn select_columns(&self, cols: &[usize]) -> Relation {
-        let names: Vec<String> =
-            cols.iter().map(|&j| self.schema.name(j).to_string()).collect();
+        let names: Vec<String> = cols
+            .iter()
+            .map(|&j| self.schema.name(j).to_string())
+            .collect();
         let mut out = Relation::with_capacity(Schema::new(names), self.n);
         for i in 0..self.n {
             let row = self.row_raw(i);

@@ -46,7 +46,13 @@ pub fn column_stats(rel: &Relation, j: usize) -> ColumnStats {
         }
         var /= count as f64;
     }
-    ColumnStats { count, mean, std: var.sqrt(), min, max }
+    ColumnStats {
+        count,
+        mean,
+        std: var.sqrt(),
+        min,
+        max,
+    }
 }
 
 /// Stats for every column.
@@ -78,7 +84,10 @@ impl ColumnTransform {
     /// (constant columns pass through).
     pub fn min_max(rel: &Relation) -> Self {
         let stats = all_stats(rel);
-        let shifts = stats.iter().map(|s| if s.count > 0 { s.min } else { 0.0 }).collect();
+        let shifts = stats
+            .iter()
+            .map(|s| if s.count > 0 { s.min } else { 0.0 })
+            .collect();
         let scales = stats
             .iter()
             .map(|s| {
@@ -95,7 +104,10 @@ impl ColumnTransform {
 
     /// Identity transform for `m` columns.
     pub fn identity(m: usize) -> Self {
-        Self { shifts: vec![0.0; m], scales: vec![1.0; m] }
+        Self {
+            shifts: vec![0.0; m],
+            scales: vec![1.0; m],
+        }
     }
 
     /// Applies the transform, returning a new relation (missing stays

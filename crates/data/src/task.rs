@@ -33,7 +33,10 @@ impl std::fmt::Display for ImputeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ImputeError::NoTrainingData { target } => {
-                write!(f, "no complete training tuples for attribute index {target}")
+                write!(
+                    f,
+                    "no complete training tuples for attribute index {target}"
+                )
             }
             ImputeError::Unsupported(why) => write!(f, "method not applicable: {why}"),
         }
@@ -69,7 +72,13 @@ pub trait Imputer {
     fn impute_timed(&self, rel: &Relation) -> Result<(Relation, PhaseTimings), ImputeError> {
         let start = Instant::now();
         let out = self.impute(rel)?;
-        Ok((out, PhaseTimings { offline: Duration::ZERO, online: start.elapsed() }))
+        Ok((
+            out,
+            PhaseTimings {
+                offline: Duration::ZERO,
+                online: start.elapsed(),
+            },
+        ))
     }
 }
 
@@ -91,9 +100,7 @@ impl FeatureSelection {
     pub fn resolve(&self, m: usize, target: usize) -> Vec<usize> {
         match self {
             FeatureSelection::AllOthers => (0..m).filter(|&j| j != target).collect(),
-            FeatureSelection::FirstK(k) => {
-                (0..m).filter(|&j| j != target).take(*k).collect()
-            }
+            FeatureSelection::FirstK(k) => (0..m).filter(|&j| j != target).take(*k).collect(),
             FeatureSelection::Fixed(attrs) => {
                 assert!(
                     !attrs.contains(&target),
@@ -127,7 +134,12 @@ impl<'a> AttrTask<'a> {
             .filter(|&i| rel.row_complete_on(i, &all))
             .map(|i| i as u32)
             .collect();
-        Self { rel, features, target, train_rows }
+        Self {
+            rel,
+            features,
+            target,
+            train_rows,
+        }
     }
 
     /// Number of training tuples `n = |r|`.
@@ -201,12 +213,18 @@ pub struct PerAttributeImputer<E> {
 impl<E: AttrEstimator> PerAttributeImputer<E> {
     /// Wraps `estimator` with the paper-default `F = R \ {Ax}`.
     pub fn new(estimator: E) -> Self {
-        Self { estimator, features: FeatureSelection::AllOthers }
+        Self {
+            estimator,
+            features: FeatureSelection::AllOthers,
+        }
     }
 
     /// Wraps with an explicit feature-selection policy.
     pub fn with_features(estimator: E, features: FeatureSelection) -> Self {
-        Self { estimator, features }
+        Self {
+            estimator,
+            features,
+        }
     }
 
     /// The wrapped estimator.
@@ -307,8 +325,11 @@ mod tests {
             "TestMean"
         }
         fn fit(&self, task: &AttrTask<'_>) -> Result<Box<dyn AttrPredictor>, ImputeError> {
-            let sum: f64 =
-                task.train_rows.iter().map(|&r| task.target_value(r as usize)).sum();
+            let sum: f64 = task
+                .train_rows
+                .iter()
+                .map(|&r| task.target_value(r as usize))
+                .sum();
             let mean = sum / task.n_train() as f64;
             Ok(Box::new(move |_x: &[f64]| mean))
         }
@@ -363,6 +384,7 @@ mod tests {
         assert_eq!(out.missing_count(), 0);
         assert_eq!(out.get(3, 1), Some(20.0)); // mean of 10,20,30
         assert_eq!(out.get(4, 2), Some(200.0)); // mean of 100,200,300
+
         // Present cells untouched.
         assert_eq!(out.get(0, 0), Some(1.0));
     }

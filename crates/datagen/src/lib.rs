@@ -22,9 +22,9 @@ pub mod paper;
 pub mod sampling;
 pub mod segmented;
 
-pub use paper::{
-    asf_like, ca_like, ccpp_like, ccs_like, da_like, hep_like, mam_like, phase_like,
-    sn_like, LabeledDataset,
-};
 pub use manifold::{latent_manifold, ManifoldSpec};
+pub use paper::{
+    asf_like, ca_like, ccpp_like, ccs_like, da_like, hep_like, mam_like, phase_like, sn_like,
+    LabeledDataset,
+};
 pub use segmented::{segmented_linear, SegmentedSpec};

@@ -167,8 +167,7 @@ pub fn latent_manifold(spec: &ManifoldSpec, seed: u64) -> Relation {
         for form in &mut forms {
             let vals: Vec<f64> = probes.iter().map(|z| form.eval_quad_raw(z)).collect();
             let mean = vals.iter().sum::<f64>() / vals.len() as f64;
-            let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
-                / vals.len() as f64;
+            let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64;
             form.quad_mean = mean;
             form.quad_std = var.sqrt().max(1e-9);
         }
@@ -225,7 +224,11 @@ mod tests {
 
     #[test]
     fn variance_is_scale_bounded() {
-        for s in [spec(1.0, 0.0, 0.0, 3), spec(0.0, 0.0, 1.0, 3), spec(0.3, 0.5, 0.2, 5)] {
+        for s in [
+            spec(1.0, 0.0, 0.0, 3),
+            spec(0.0, 0.0, 1.0, 3),
+            spec(0.3, 0.5, 0.2, 5),
+        ] {
             let rel = latent_manifold(&s, 11);
             for j in 0..rel.arity() {
                 let stats = iim_data::stats::column_stats(&rel, j);
@@ -255,7 +258,12 @@ mod tests {
         let var = stats.std * stats.std;
         assert!((0.5..40.0).contains(&var), "var {var}");
         // And roughly centered.
-        assert!(stats.mean.abs() < stats.std, "mean {} std {}", stats.mean, stats.std);
+        assert!(
+            stats.mean.abs() < stats.std,
+            "mean {} std {}",
+            stats.mean,
+            stats.std
+        );
     }
 
     #[test]
@@ -317,7 +325,10 @@ mod tests {
             let pred = mcoef[0] + mcoef[1] * x(i, 0) + mcoef[2] * x(i, 1);
             max_resid = max_resid.max((pred - y(i)).abs());
         }
-        assert!(max_resid > 0.3, "curve should defeat linearity: {max_resid}");
+        assert!(
+            max_resid > 0.3,
+            "curve should defeat linearity: {max_resid}"
+        );
     }
 
     /// 3x3 solve via Cramer's rule (test-local helper).

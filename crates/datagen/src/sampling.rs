@@ -49,6 +49,9 @@ mod tests {
         let mut sorted = xs.clone();
         sorted.sort_by(|a, b| a.total_cmp(b));
         let median = sorted[xs.len() / 2];
-        assert!(mean > median * 1.3, "heavy tail: mean {mean} vs median {median}");
+        assert!(
+            mean > median * 1.3,
+            "heavy tail: mean {mean} vs median {median}"
+        );
     }
 }

@@ -77,8 +77,8 @@ pub fn segmented_linear(spec: &SegmentedSpec, seed: u64) -> Relation {
             let magnitude = rng.gen_range(0.5..2.5);
             let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
             slope[s * spec.m + j] = sign * magnitude;
-            inter[s * spec.m + j] = rng.gen_range(-5.0..5.0)
-                - sign * magnitude * (s as f64 * 1.5 * spec.width);
+            inter[s * spec.m + j] =
+                rng.gen_range(-5.0..5.0) - sign * magnitude * (s as f64 * 1.5 * spec.width);
         }
     }
 
@@ -96,15 +96,14 @@ pub fn segmented_linear(spec: &SegmentedSpec, seed: u64) -> Relation {
     let mut row = vec![0.0; spec.m];
     for _ in 0..spec.n {
         let s = rng.gen_range(0..spec.segments);
-        let x01 = if spec.lumps_per_segment == 0
-            || rng.gen_bool(spec.background_frac.clamp(0.0, 1.0))
-        {
-            rng.gen_range(0.0..1.0)
-        } else {
-            let lump = rng.gen_range(0..spec.lumps_per_segment);
-            let center = lump_centers[s * spec.lumps_per_segment + lump];
-            (center + 0.01 * normal(&mut rng)).clamp(0.0, 1.0)
-        };
+        let x01 =
+            if spec.lumps_per_segment == 0 || rng.gen_bool(spec.background_frac.clamp(0.0, 1.0)) {
+                rng.gen_range(0.0..1.0)
+            } else {
+                let lump = rng.gen_range(0..spec.lumps_per_segment);
+                let center = lump_centers[s * spec.lumps_per_segment + lump];
+                (center + 0.01 * normal(&mut rng)).clamp(0.0, 1.0)
+            };
         let x = s as f64 * 1.5 * spec.width + x01 * spec.width;
         let tuple_spread = if spec.spread > 0.0 {
             spec.spread * (log_normal(&mut rng, 0.75) - 1.0)
@@ -141,7 +140,11 @@ mod tests {
 
     #[test]
     fn shape_matches_spec() {
-        let spec = SegmentedSpec { n: 123, m: 7, ..Default::default() };
+        let spec = SegmentedSpec {
+            n: 123,
+            m: 7,
+            ..Default::default()
+        };
         let rel = segmented_linear(&spec, 1);
         assert_eq!(rel.n_rows(), 123);
         assert_eq!(rel.arity(), 7);

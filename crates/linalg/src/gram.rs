@@ -28,7 +28,11 @@ impl GramAccumulator {
     /// Empty accumulator for models with `n_features` non-constant features.
     pub fn new(n_features: usize) -> Self {
         let m = n_features + 1;
-        Self { u: Matrix::zeros(m, m), v: vec![0.0; m], rows_absorbed: 0 }
+        Self {
+            u: Matrix::zeros(m, m),
+            v: vec![0.0; m],
+            rows_absorbed: 0,
+        }
     }
 
     /// Absorbs one observation `(x, y)`; `x` excludes the constant column.
@@ -94,8 +98,7 @@ mod tests {
         let xs: Vec<Vec<f64>> = (0..12)
             .map(|i| vec![i as f64 * 0.7, (i as f64).sin() * 2.0])
             .collect();
-        let ys: Vec<f64> =
-            xs.iter().map(|x| 1.5 - 0.8 * x[0] + 0.3 * x[1]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 1.5 - 0.8 * x[0] + 0.3 * x[1]).collect();
         (xs, ys)
     }
 
@@ -123,12 +126,8 @@ mod tests {
             acc.add_row(&xs[l], ys[l]);
             if l + 1 >= 2 {
                 let inc = acc.solve(1e-9).expect("solve");
-                let batch = ridge_fit(
-                    xs[..=l].iter().map(|v| v.as_slice()),
-                    &ys[..=l],
-                    1e-9,
-                )
-                .expect("fit");
+                let batch =
+                    ridge_fit(xs[..=l].iter().map(|v| v.as_slice()), &ys[..=l], 1e-9).expect("fit");
                 for (a, b) in inc.phi.iter().zip(&batch.phi) {
                     assert!((a - b).abs() < 1e-6, "prefix {l}: {a} vs {b}");
                 }

@@ -98,13 +98,7 @@ where
 /// [`GramAccumulator`](crate::gram::GramAccumulator), and downstream
 /// methods that need the raw Gram system (e.g. Bayesian posterior draws).
 #[inline]
-pub fn accumulate_augmented(
-    u: &mut Matrix,
-    v: &mut [f64],
-    x: &[f64],
-    y: f64,
-    w: f64,
-) {
+pub fn accumulate_augmented(u: &mut Matrix, v: &mut [f64], x: &[f64], y: f64, w: f64) {
     let m = x.len() + 1;
     debug_assert_eq!(u.rows(), m);
     // Row 0 / col 0 correspond to the constant regressor.
@@ -136,8 +130,7 @@ mod tests {
         // y = 2 + 3x, zero noise, alpha ~ 0.
         let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
         let ys: Vec<f64> = xs.iter().map(|x| 2.0 + 3.0 * x[0]).collect();
-        let model =
-            ridge_fit(xs.iter().map(|v| v.as_slice()), &ys, 1e-9).expect("fit");
+        let model = ridge_fit(xs.iter().map(|v| v.as_slice()), &ys, 1e-9).expect("fit");
         assert!((model.phi[0] - 2.0).abs() < 1e-5);
         assert!((model.phi[1] - 3.0).abs() < 1e-5);
         assert!((model.predict(&[4.0]) - 14.0).abs() < 1e-4);
@@ -149,10 +142,17 @@ mod tests {
         // φ1 = (5.56, -0.87)ᵀ for l = 4.
         let xs = [[0.0], [0.8], [1.9], [2.9]];
         let ys = [5.8, 4.6, 3.8, 3.2];
-        let model =
-            ridge_fit(xs.iter().map(|v| v.as_slice()), &ys, 1e-9).expect("fit");
-        assert!((model.phi[0] - 5.56).abs() < 0.01, "intercept {}", model.phi[0]);
-        assert!((model.phi[1] - (-0.87)).abs() < 0.01, "slope {}", model.phi[1]);
+        let model = ridge_fit(xs.iter().map(|v| v.as_slice()), &ys, 1e-9).expect("fit");
+        assert!(
+            (model.phi[0] - 5.56).abs() < 0.01,
+            "intercept {}",
+            model.phi[0]
+        );
+        assert!(
+            (model.phi[1] - (-0.87)).abs() < 0.01,
+            "slope {}",
+            model.phi[1]
+        );
     }
 
     #[test]
@@ -188,13 +188,8 @@ mod tests {
         let xs = [[0.0], [1.0], [10.0], [11.0]];
         let ys = [0.0, 1.0, 100.0, 90.0]; // second cluster is wild
         let w = [1.0, 1.0, 0.0, 0.0];
-        let model = ridge_fit_weighted(
-            xs.iter().map(|v| v.as_slice()),
-            &ys,
-            Some(&w),
-            1e-9,
-        )
-        .expect("fit");
+        let model =
+            ridge_fit_weighted(xs.iter().map(|v| v.as_slice()), &ys, Some(&w), 1e-9).expect("fit");
         assert!((model.phi[0]).abs() < 1e-6);
         assert!((model.phi[1] - 1.0).abs() < 1e-6);
     }

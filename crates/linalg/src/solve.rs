@@ -78,8 +78,7 @@ pub fn cholesky_solve(l: &Matrix, b: &[f64]) -> Vec<f64> {
 /// sequence is `α, 10α, …` capped at `1e6` relative to the mean diagonal.
 pub fn solve_spd_regularized(a: &Matrix, b: &[f64], alpha0: f64) -> Option<Vec<f64>> {
     let n = a.rows();
-    let mean_diag =
-        (0..n).map(|i| a[(i, i)].abs()).sum::<f64>().max(EPS) / n as f64;
+    let mean_diag = (0..n).map(|i| a[(i, i)].abs()).sum::<f64>().max(EPS) / n as f64;
     let mut shift = alpha0.max(0.0);
     for _ in 0..40 {
         let mut shifted = a.clone();
@@ -91,7 +90,11 @@ pub fn solve_spd_regularized(a: &Matrix, b: &[f64], alpha0: f64) -> Option<Vec<f
                 return Some(x);
             }
         }
-        shift = if shift == 0.0 { EPS * mean_diag } else { shift * 10.0 };
+        shift = if shift == 0.0 {
+            EPS * mean_diag
+        } else {
+            shift * 10.0
+        };
         if shift > 1e6 * mean_diag {
             break;
         }

@@ -38,7 +38,10 @@ pub fn thin_svd(a: &Matrix) -> ThinSvd {
     // Keep numerically positive eigenvalues.
     let sigma_all: Vec<f64> = eig.values.iter().map(|&l| l.max(0.0).sqrt()).collect();
     let smax = sigma_all.first().copied().unwrap_or(0.0);
-    let rank = sigma_all.iter().take_while(|&&s| s > EPS * smax.max(1.0)).count();
+    let rank = sigma_all
+        .iter()
+        .take_while(|&&s| s > EPS * smax.max(1.0))
+        .count();
 
     let mut v = Matrix::zeros(m, rank);
     for j in 0..rank {
@@ -59,7 +62,11 @@ pub fn thin_svd(a: &Matrix) -> ThinSvd {
             u[(row, j)] = sum * inv_s;
         }
     }
-    ThinSvd { u, sigma: sigma_all[..rank].to_vec(), v }
+    ThinSvd {
+        u,
+        sigma: sigma_all[..rank].to_vec(),
+        v,
+    }
 }
 
 impl ThinSvd {
@@ -97,12 +104,7 @@ mod tests {
 
     #[test]
     fn reconstructs_full_rank() {
-        let a = Matrix::from_rows(&[
-            &[1.0, 2.0],
-            &[3.0, 4.0],
-            &[5.0, 6.0],
-            &[-1.0, 0.5],
-        ]);
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0], &[-1.0, 0.5]]);
         let svd = thin_svd(&a);
         assert_eq!(svd.rank(), 2);
         let rec = svd.reconstruct(2);
@@ -149,11 +151,7 @@ mod tests {
 
     #[test]
     fn truncated_reconstruction_is_best_effort() {
-        let a = Matrix::from_rows(&[
-            &[10.0, 0.0],
-            &[0.0, 0.1],
-            &[10.0, 0.0],
-        ]);
+        let a = Matrix::from_rows(&[&[10.0, 0.0], &[0.0, 0.1], &[10.0, 0.0]]);
         let svd = thin_svd(&a);
         let r1 = svd.reconstruct(1);
         // Dominant direction preserved, minor direction dropped.

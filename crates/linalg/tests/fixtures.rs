@@ -1,0 +1,207 @@
+//! Hand-computed fixtures for the dense kernels: every expected value below
+//! is derived on paper (or by elementary closed forms), so these tests pin
+//! the kernels to ground truth rather than to their own output.
+
+use iim_linalg::{
+    cholesky, eigen_sym, ridge_fit, solve_spd, thin_svd, GramAccumulator, LuFactors, Matrix,
+};
+
+// ---------------------------------------------------------------- solve --
+
+/// A = [[4, 2], [2, 3]]: L = [[2, 0], [1, sqrt(2)]] by hand.
+#[test]
+fn cholesky_2x2_hand_factor() {
+    let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+    let l = cholesky(&a).expect("SPD");
+    assert!((l[(0, 0)] - 2.0).abs() < 1e-12);
+    assert!((l[(1, 0)] - 1.0).abs() < 1e-12);
+    assert!((l[(1, 1)] - 2f64.sqrt()).abs() < 1e-12);
+    assert!(l[(0, 1)].abs() < 1e-12, "upper triangle stays zero");
+}
+
+/// Same A: solving A x = [2, 5] gives x = [-1/2, 2] (Cramer by hand:
+/// det = 8, x0 = (2·3 − 2·5)/8 = −1/2, x1 = (4·5 − 2·2)/8 = 2).
+#[test]
+fn solve_spd_2x2_hand_solution() {
+    let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+    let x = solve_spd(&a, &[2.0, 5.0]).expect("SPD");
+    assert!((x[0] + 0.5).abs() < 1e-12, "x0 {}", x[0]);
+    assert!((x[1] - 2.0).abs() < 1e-12, "x1 {}", x[1]);
+}
+
+/// The 3x3 Hilbert-like system [[1, 1/2, 1/3], …] is ill-conditioned
+/// (cond ≈ 524): the solver must still reproduce a known exact solution.
+/// With b = A · [1, 1, 1]ᵀ computed in exact fractions, x = [1, 1, 1].
+#[test]
+fn solve_spd_hilbert3_ill_conditioned() {
+    let a = Matrix::from_rows(&[
+        &[1.0, 1.0 / 2.0, 1.0 / 3.0],
+        &[1.0 / 2.0, 1.0 / 3.0, 1.0 / 4.0],
+        &[1.0 / 3.0, 1.0 / 4.0, 1.0 / 5.0],
+    ]);
+    let b = [11.0 / 6.0, 13.0 / 12.0, 47.0 / 60.0];
+    let x = solve_spd(&a, &b).expect("Hilbert 3x3 is SPD");
+    for (i, xi) in x.iter().enumerate() {
+        assert!((xi - 1.0).abs() < 1e-9, "x[{i}] = {xi}");
+    }
+}
+
+/// LU on a singular matrix (row2 = 2·row1) must refuse, not return noise.
+#[test]
+fn lu_rejects_exactly_singular() {
+    let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0], &[1.0, 0.0, 1.0]]);
+    assert!(LuFactors::new(&a).is_none());
+}
+
+/// det([[2, 1], [1, 2]]) = 3; det flips sign under a row swap, which LU
+/// tracks through the permutation sign on [[0, 1], [1, 0]] (det = −1).
+#[test]
+fn lu_det_hand_values() {
+    let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+    assert!((LuFactors::new(&a).unwrap().det() - 3.0).abs() < 1e-12);
+    let p = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+    assert!((LuFactors::new(&p).unwrap().det() + 1.0).abs() < 1e-12);
+}
+
+// ---------------------------------------------------------------- eigen --
+
+/// [[2, 1], [1, 2]] has eigenvalues 3 and 1 with eigenvectors
+/// (1, 1)/√2 and (1, −1)/√2.
+#[test]
+fn eigen_2x2_hand_values() {
+    let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+    let e = eigen_sym(&a);
+    assert!((e.values[0] - 3.0).abs() < 1e-10);
+    assert!((e.values[1] - 1.0).abs() < 1e-10);
+    // First eigenvector ∝ (1, 1): components equal up to sign.
+    let (v00, v10) = (e.vectors[(0, 0)], e.vectors[(1, 0)]);
+    assert!((v00.abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-10);
+    assert!((v00 - v10).abs() < 1e-10, "({v00}, {v10}) not along (1,1)");
+}
+
+/// A diagonal matrix is its own eigendecomposition; values come back sorted
+/// descending regardless of input order.
+#[test]
+fn eigen_diagonal_sorted() {
+    let a = Matrix::from_rows(&[&[1.0, 0.0, 0.0], &[0.0, 5.0, 0.0], &[0.0, 0.0, 3.0]]);
+    let e = eigen_sym(&a);
+    assert!((e.values[0] - 5.0).abs() < 1e-12);
+    assert!((e.values[1] - 3.0).abs() < 1e-12);
+    assert!((e.values[2] - 1.0).abs() < 1e-12);
+}
+
+/// Rank-1 matrix vvᵀ for v = (3, 4): eigenvalues ‖v‖² = 25 and 0.
+#[test]
+fn eigen_rank_one_semidefinite() {
+    let a = Matrix::from_rows(&[&[9.0, 12.0], &[12.0, 16.0]]);
+    let e = eigen_sym(&a);
+    assert!((e.values[0] - 25.0).abs() < 1e-10);
+    assert!(e.values[1].abs() < 1e-10);
+    // A V = V diag(λ) must still hold.
+    let av = a.matmul(&e.vectors);
+    for j in 0..2 {
+        for i in 0..2 {
+            assert!((av[(i, j)] - e.values[j] * e.vectors[(i, j)]).abs() < 1e-9);
+        }
+    }
+}
+
+// ------------------------------------------------------------------ svd --
+
+/// diag(3, 2) stacked over a zero row: singular values 3, 2 exactly, and
+/// A = U Σ Vᵀ reconstructs.
+#[test]
+fn svd_diagonal_hand_values() {
+    let a = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 2.0], &[0.0, 0.0]]);
+    let s = thin_svd(&a);
+    assert_eq!(s.rank(), 2);
+    assert!((s.sigma[0] - 3.0).abs() < 1e-10);
+    assert!((s.sigma[1] - 2.0).abs() < 1e-10);
+    assert!(s.reconstruct(2).max_abs_diff(&a) < 1e-9);
+}
+
+/// Rank-1 outer product (1, 2, 2)ᵀ(1, 1): the only singular value is
+/// ‖(1,2,2)‖ · ‖(1,1)‖ = 3√2, and the rank-deficient direction is dropped.
+#[test]
+fn svd_rank_one_drops_null_direction() {
+    let a = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[2.0, 2.0]]);
+    let s = thin_svd(&a);
+    assert_eq!(s.rank(), 1, "exactly one nonzero singular value");
+    assert!(
+        (s.sigma[0] - 3.0 * 2f64.sqrt()).abs() < 1e-9,
+        "{}",
+        s.sigma[0]
+    );
+    assert!(s.reconstruct(1).max_abs_diff(&a) < 1e-9);
+}
+
+/// Truncating the 2-singular-value fixture to k = 1 gives the best rank-1
+/// approximation: error in Frobenius norm equals the dropped σ₂.
+#[test]
+fn svd_truncation_error_is_dropped_sigma() {
+    let a = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 2.0], &[0.0, 0.0]]);
+    let s = thin_svd(&a);
+    let err = s.reconstruct(1).sub(&a).frobenius_norm();
+    assert!((err - 2.0).abs() < 1e-9, "‖A − A₁‖_F = {err}");
+}
+
+// ---------------------------------------------------------------- ridge --
+
+/// Two points (0, 1), (1, 3) with α → 0: exact interpolation
+/// φ = (1, 2).
+#[test]
+fn ridge_two_points_interpolates() {
+    let xs = [[0.0], [1.0]];
+    let ys = [1.0, 3.0];
+    let m = ridge_fit(xs.iter().map(|v| v.as_slice()), &ys, 1e-12).expect("fit");
+    assert!((m.phi[0] - 1.0).abs() < 1e-5);
+    assert!((m.phi[1] - 2.0).abs() < 1e-5);
+}
+
+/// Symmetric x = (−1, 0, 1), y = (0, 1, 2): the intercept is ȳ = 1 and the
+/// slope Σxy/Σx² = 1 for any small α (centered data decouples the system).
+#[test]
+fn ridge_centered_closed_form() {
+    let xs = [[-1.0], [0.0], [1.0]];
+    let ys = [0.0, 1.0, 2.0];
+    let m = ridge_fit(xs.iter().map(|v| v.as_slice()), &ys, 1e-10).expect("fit");
+    assert!((m.phi[0] - 1.0).abs() < 1e-6, "intercept {}", m.phi[0]);
+    assert!((m.phi[1] - 1.0).abs() < 1e-6, "slope {}", m.phi[1]);
+}
+
+/// Duplicated feature (perfect collinearity) is singular for OLS; ridge
+/// must return finite coefficients that still predict well, splitting the
+/// weight between the two copies.
+#[test]
+fn ridge_collinear_features_stay_finite() {
+    let xs: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64, i as f64]).collect();
+    let ys: Vec<f64> = (0..8).map(|i| 4.0 * i as f64).collect();
+    let m = ridge_fit(xs.iter().map(|v| v.as_slice()), &ys, 1e-6).expect("fit");
+    assert!(m.is_finite());
+    assert!((m.predict(&[5.0, 5.0]) - 20.0).abs() < 1e-3);
+    // Symmetric problem ⇒ symmetric split of the total slope 4.
+    assert!((m.phi[1] - m.phi[2]).abs() < 1e-6);
+}
+
+/// The Gram accumulator must agree with the batch fit after adds, and
+/// `remove_row` must exactly undo an add (Proposition 3's bookkeeping).
+#[test]
+fn gram_accumulator_add_remove_roundtrip() {
+    let xs = [[0.0], [1.0], [2.0], [3.0]];
+    let ys = [1.0, 3.0, 5.0, 7.0]; // y = 1 + 2x
+    let mut acc = GramAccumulator::new(1);
+    for (x, &y) in xs.iter().zip(&ys) {
+        acc.add_row(x, y);
+    }
+    let full = acc.solve(1e-10).expect("solve");
+    assert!((full.phi[0] - 1.0).abs() < 1e-5);
+    assert!((full.phi[1] - 2.0).abs() < 1e-5);
+
+    // Remove the last row: must match the 3-point batch fit exactly.
+    acc.remove_row(&xs[3], ys[3]);
+    let reduced = acc.solve(1e-10).expect("solve");
+    let batch = ridge_fit(xs[..3].iter().map(|v| v.as_slice()), &ys[..3], 1e-10).expect("fit");
+    for (a, b) in reduced.phi.iter().zip(&batch.phi) {
+        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+}

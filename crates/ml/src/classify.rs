@@ -35,7 +35,11 @@ impl KnnClassifier {
         assert!(!usable.is_empty(), "no usable training rows");
         let fm = FeatureMatrix::gather(rel, features, &usable);
         let labels = usable.iter().map(|&r| labels[r as usize]).collect();
-        Self { fm, labels, k: k.max(1) }
+        Self {
+            fm,
+            labels,
+            k: k.max(1),
+        }
     }
 
     /// Majority vote among the k nearest training rows (ties break toward
@@ -101,11 +105,7 @@ pub fn f1_weighted(pred: &[u32], truth: &[u32]) -> f64 {
 
 /// Stratified k-fold split: each fold receives a proportional share of
 /// every class. Returns `folds` row-index lists covering `0..labels.len()`.
-pub fn stratified_folds<R: Rng>(
-    labels: &[u32],
-    folds: usize,
-    rng: &mut R,
-) -> Vec<Vec<u32>> {
+pub fn stratified_folds<R: Rng>(labels: &[u32], folds: usize, rng: &mut R) -> Vec<Vec<u32>> {
     assert!(folds >= 2, "need at least 2 folds");
     let mut by_class: Vec<(u32, Vec<u32>)> = Vec::new();
     for (i, &l) in labels.iter().enumerate() {
@@ -182,8 +182,7 @@ mod tests {
 
     #[test]
     fn stratified_folds_balance_classes() {
-        let labels: Vec<u32> =
-            (0..50).map(|i| if i < 40 { 0 } else { 1 }).collect();
+        let labels: Vec<u32> = (0..50).map(|i| if i < 40 { 0 } else { 1 }).collect();
         let folds = stratified_folds(&labels, 5, &mut StdRng::seed_from_u64(4));
         assert_eq!(folds.len(), 5);
         let total: usize = folds.iter().map(|f| f.len()).sum();

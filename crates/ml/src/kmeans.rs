@@ -23,12 +23,7 @@ pub struct KMeansResult {
 /// Rows with missing cells are assigned label `u32::MAX` (excluded from the
 /// objective) — the "discard incomplete tuples" column of Table VII scores
 /// exactly those runs.
-pub fn kmeans<R: Rng>(
-    rel: &Relation,
-    k: usize,
-    max_iter: usize,
-    rng: &mut R,
-) -> KMeansResult {
+pub fn kmeans<R: Rng>(rel: &Relation, k: usize, max_iter: usize, rng: &mut R) -> KMeansResult {
     let rows: Vec<u32> = rel.complete_rows();
     assert!(!rows.is_empty(), "k-means needs at least one complete row");
     let k = k.clamp(1, rows.len());
@@ -42,22 +37,13 @@ pub fn kmeans<R: Rng>(
 /// imputation method); seeding each run independently would let k-means++
 /// initialization noise dwarf the imputation differences, so all variants
 /// start from the reference centroids of the original complete data.
-pub fn kmeans_with_init(
-    rel: &Relation,
-    centroids: Vec<Vec<f64>>,
-    max_iter: usize,
-) -> KMeansResult {
+pub fn kmeans_with_init(rel: &Relation, centroids: Vec<Vec<f64>>, max_iter: usize) -> KMeansResult {
     let rows: Vec<u32> = rel.complete_rows();
     assert!(!rows.is_empty(), "k-means needs at least one complete row");
     lloyd(rel, &rows, centroids, max_iter)
 }
 
-fn plus_plus_seeds<R: Rng>(
-    rel: &Relation,
-    rows: &[u32],
-    k: usize,
-    rng: &mut R,
-) -> Vec<Vec<f64>> {
+fn plus_plus_seeds<R: Rng>(rel: &Relation, rows: &[u32], k: usize, rng: &mut R) -> Vec<Vec<f64>> {
     // k-means++ seeding over the complete rows.
     let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
     let first = rows[rng.gen_range(0..rows.len())];
@@ -148,7 +134,12 @@ fn lloyd(
         labels[r as usize] = a;
         inertia += sq(rel.row_raw(r as usize), &centroids[a as usize]);
     }
-    KMeansResult { labels, centroids, inertia, iterations }
+    KMeansResult {
+        labels,
+        centroids,
+        inertia,
+        iterations,
+    }
 }
 
 fn sq(a: &[f64], b: &[f64]) -> f64 {
@@ -166,8 +157,16 @@ pub fn purity(labels: &[u32], truth: &[u32]) -> f64 {
     if labels.is_empty() {
         return 1.0;
     }
-    let k_pred = labels.iter().filter(|&&l| l != u32::MAX).max().map_or(0, |&m| m + 1);
-    let k_true = truth.iter().filter(|&&l| l != u32::MAX).max().map_or(0, |&m| m + 1);
+    let k_pred = labels
+        .iter()
+        .filter(|&&l| l != u32::MAX)
+        .max()
+        .map_or(0, |&m| m + 1);
+    let k_true = truth
+        .iter()
+        .filter(|&&l| l != u32::MAX)
+        .max()
+        .map_or(0, |&m| m + 1);
     let mut counts = vec![0usize; (k_pred * k_true) as usize];
     for (&p, &t) in labels.iter().zip(truth) {
         if p != u32::MAX && t != u32::MAX {

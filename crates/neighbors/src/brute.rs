@@ -42,7 +42,11 @@ impl FeatureMatrix {
                 data.push(row[j]);
             }
         }
-        Self { f: attrs.len(), row_ids: rows.to_vec(), data }
+        Self {
+            f: attrs.len(),
+            row_ids: rows.to_vec(),
+            data,
+        }
     }
 
     /// Builds directly from a dense row-major block (used by generators and
@@ -107,17 +111,30 @@ impl FeatureMatrix {
         for pos in 0..self.len() {
             let d = sq_dist_f(query, self.point(pos));
             if heap.len() < k {
-                heap.push(HeapEntry { sq: d, pos: pos as u32 });
+                heap.push(HeapEntry {
+                    sq: d,
+                    pos: pos as u32,
+                });
             } else {
                 let worst = heap.peek().expect("heap non-empty");
                 if (d, pos as u32) < (worst.sq, worst.pos) {
                     heap.pop();
-                    heap.push(HeapEntry { sq: d, pos: pos as u32 });
+                    heap.push(HeapEntry {
+                        sq: d,
+                        pos: pos as u32,
+                    });
                 }
             }
         }
-        out.extend(heap.into_iter().map(|e| Neighbor { pos: e.pos, dist: e.sq.sqrt() }));
-        out.sort_by(|a, b| (a.dist, a.pos).partial_cmp(&(b.dist, b.pos)).expect("finite"));
+        out.extend(heap.into_iter().map(|e| Neighbor {
+            pos: e.pos,
+            dist: e.sq.sqrt(),
+        }));
+        out.sort_by(|a, b| {
+            (a.dist, a.pos)
+                .partial_cmp(&(b.dist, b.pos))
+                .expect("finite")
+        });
     }
 }
 

@@ -42,7 +42,14 @@ impl<'a> KdTree<'a> {
         let mut idx: Vec<u32> = (0..n as u32).collect();
         let mut nodes = Vec::with_capacity(2 * (n / LEAF + 1));
         // Root placeholder so child index 0 can mean "none".
-        nodes.push(Node { dim: usize::MAX, split: 0.0, start: 0, end: 0, left: 0, right: 0 });
+        nodes.push(Node {
+            dim: usize::MAX,
+            split: 0.0,
+            start: 0,
+            end: 0,
+            left: 0,
+            right: 0,
+        });
         if n > 0 {
             Self::build_rec(points, &mut nodes, &mut idx, 0, n, 0);
         }
@@ -116,7 +123,11 @@ impl<'a> KdTree<'a> {
             pos: e.pos,
             dist: (e.sq / self.points.n_features() as f64).sqrt(),
         }));
-        out.sort_by(|a, b| (a.dist, a.pos).partial_cmp(&(b.dist, b.pos)).expect("finite"));
+        out.sort_by(|a, b| {
+            (a.dist, a.pos)
+                .partial_cmp(&(b.dist, b.pos))
+                .expect("finite")
+        });
     }
 
     fn search(&self, node_id: u32, query: &[f64], k: usize, heap: &mut BinaryHeap<Entry>) {

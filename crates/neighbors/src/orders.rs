@@ -31,7 +31,11 @@ impl NeighborOrders {
         let n = fm.len();
         let depth = depth.min(n);
         if n == 0 || depth == 0 {
-            return Self { n, depth, order: Vec::new() };
+            return Self {
+                n,
+                depth,
+                order: Vec::new(),
+            };
         }
         let order = if fm.n_features() == 1 {
             Self::build_line(fm, depth)
@@ -60,9 +64,16 @@ impl NeighborOrders {
             slot[0] = me;
             let (mut lo, mut hi) = (rank, rank); // expanding window [lo, hi]
             for s in slot.iter_mut().skip(1) {
-                let left_d = if lo > 0 { (x - coord(by_x[lo - 1])).abs() } else { f64::INFINITY };
-                let right_d =
-                    if hi + 1 < n { (coord(by_x[hi + 1]) - x).abs() } else { f64::INFINITY };
+                let left_d = if lo > 0 {
+                    (x - coord(by_x[lo - 1])).abs()
+                } else {
+                    f64::INFINITY
+                };
+                let right_d = if hi + 1 < n {
+                    (coord(by_x[hi + 1]) - x).abs()
+                } else {
+                    f64::INFINITY
+                };
                 // Tie-break mirrors the brute path: smaller position wins.
                 let take_left = match left_d.partial_cmp(&right_d).expect("finite") {
                     std::cmp::Ordering::Less => true,
@@ -90,9 +101,7 @@ impl NeighborOrders {
         for i in 0..n {
             let q = fm.point(i);
             scratch.clear();
-            scratch.extend(
-                (0..n).map(|p| (sq_dist_f(q, fm.point(p)), p as u32)),
-            );
+            scratch.extend((0..n).map(|p| (sq_dist_f(q, fm.point(p)), p as u32)));
             if depth < n {
                 scratch.select_nth_unstable_by(depth - 1, |a, b| {
                     a.0.total_cmp(&b.0).then(a.1.cmp(&b.1))

@@ -39,7 +39,11 @@ fn main() {
     // (a) fixed-ℓ curve vs adaptive.
     println!("{:>8} {:>10}", "l", "RMSE");
     for ell in [1usize, 5, 20, 100, 500, 2000] {
-        let cfg = IimConfig { k: 10, learning: Learning::Fixed { ell }, ..Default::default() };
+        let cfg = IimConfig {
+            k: 10,
+            learning: Learning::Fixed { ell },
+            ..Default::default()
+        };
         let model = IimModel::learn(&task, &cfg).unwrap();
         println!("{ell:>8} {:>10.4}", eval(&model));
     }
@@ -56,7 +60,10 @@ fn main() {
     println!("{:>8} {:>10.4}   (per-tuple l*)", "adaptive", eval(&model));
 
     // (b) stepping h: straightforward vs incremental determination time.
-    println!("\n{:>6} {:>16} {:>14} {:>9}", "h", "straightforward", "incremental", "speedup");
+    println!(
+        "\n{:>6} {:>16} {:>14} {:>9}",
+        "h", "straightforward", "incremental", "speedup"
+    );
     for h in [100usize, 50, 20] {
         let mut secs = [0.0f64; 2];
         for (i, incremental) in [false, true].into_iter().enumerate() {

@@ -33,7 +33,11 @@ fn cross_validated_f1(rel: &Relation, labels: &[u32], seed: u64) -> f64 {
             for (j, slot) in q.iter_mut().enumerate() {
                 // Mean-substitute missing test features so the
                 // no-imputation baseline can still classify.
-                *slot = if row[j].is_nan() { stats[j].mean } else { row[j] };
+                *slot = if row[j].is_nan() {
+                    stats[j].mean
+                } else {
+                    row[j]
+                };
             }
             preds[t as usize] = clf.predict(&q);
         }

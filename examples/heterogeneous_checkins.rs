@@ -31,9 +31,9 @@ fn main() {
     // defaults (cap 1000, stepping 5) rather than the paper's full step-1
     // sweep to n, which costs more for slightly noisier selections.
     let iim_cfg = IimConfig::adaptive(5, Some(1000), 10);
-    let mut methods: Vec<Box<dyn Imputer>> = vec![Box::new(PerAttributeImputer::new(
-        Iim::new(iim_cfg.clone()),
-    ))];
+    let mut methods: Vec<Box<dyn Imputer>> = vec![Box::new(PerAttributeImputer::new(Iim::new(
+        iim_cfg.clone(),
+    )))];
     methods.extend(all_baselines(10, seed, FeatureSelection::AllOthers));
 
     println!("\n{:<8} {:>8}", "method", "RMSE");
@@ -49,12 +49,19 @@ fn main() {
         }
     }
     let iim = scores.iter().find(|(n, _)| n == "IIM").unwrap().1;
-    let best_other =
-        scores.iter().filter(|(n, _)| n != "IIM").map(|(_, e)| *e).fold(f64::INFINITY, f64::min);
+    let best_other = scores
+        .iter()
+        .filter(|(n, _)| n != "IIM")
+        .map(|(_, e)| *e)
+        .fold(f64::INFINITY, f64::min);
     println!("\nIIM {iim:.3} vs best baseline {best_other:.3}");
 
     // Why: the per-tuple learning-neighbor counts Algorithm 3 picked.
-    let task = AttrTask::new(&relation, FeatureSelection::AllOthers.resolve(6, target), target);
+    let task = AttrTask::new(
+        &relation,
+        FeatureSelection::AllOthers.resolve(6, target),
+        target,
+    );
     let model = IimModel::learn(&task, &iim_cfg).unwrap();
     let mut hist = [0usize; 6];
     for &l in model.chosen_ell() {
@@ -69,8 +76,13 @@ fn main() {
         hist[bucket] += 1;
     }
     println!("\nAdaptive l* histogram (n = {}):", model.n_train());
-    for (label, count) in ["1", "2-10", "11-50", "51-200", "201-600", ">600"].iter().zip(hist) {
+    for (label, count) in ["1", "2-10", "11-50", "51-200", "201-600", ">600"]
+        .iter()
+        .zip(hist)
+    {
         println!("  l in {label:>7}: {count:>5} {}", "#".repeat(count / 8));
     }
-    println!("\nHeterogeneous data → different tuples prefer different l: that is the paper's point.");
+    println!(
+        "\nHeterogeneous data → different tuples prefer different l: that is the paper's point."
+    );
 }

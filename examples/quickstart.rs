@@ -30,25 +30,37 @@ fn main() {
     let loess = Loess::new(3).fit(&task).unwrap().predict(&query);
 
     // IIM, the explicit two-phase API: offline learning, online imputation.
-    let cfg = IimConfig { k: 3, ..IimConfig::default() };
+    let cfg = IimConfig {
+        k: 3,
+        ..IimConfig::default()
+    };
     let model = IimModel::learn(&task, &cfg).unwrap();
     let iim = model.impute(&query);
 
     println!("truth      : {truth:.3}");
     println!("kNN   (k=3): {knn:.3}   |err| = {:.3}", (knn - truth).abs());
     println!("GLR        : {glr:.3}   |err| = {:.3}", (glr - truth).abs());
-    println!("LOESS (k=3): {loess:.3}   |err| = {:.3}", (loess - truth).abs());
+    println!(
+        "LOESS (k=3): {loess:.3}   |err| = {:.3}",
+        (loess - truth).abs()
+    );
     println!("IIM   (k=3): {iim:.3}   |err| = {:.3}", (iim - truth).abs());
 
     // The adaptive learner chose a per-tuple number of learning neighbors:
-    println!("\nper-tuple l* selected by Algorithm 3: {:?}", model.chosen_ell());
+    println!(
+        "\nper-tuple l* selected by Algorithm 3: {:?}",
+        model.chosen_ell()
+    );
 
     // The same thing through the whole-relation Imputer protocol:
     let (mut with_missing, tx) = iim::data::paper_fig1();
     with_missing.push_row_opt(&tx);
     let imputer = PerAttributeImputer::new(Iim::new(cfg));
     let filled = imputer.impute(&with_missing).unwrap();
-    println!("\nImputer protocol fills tx[A2] = {:.3}", filled.get(8, 1).unwrap());
+    println!(
+        "\nImputer protocol fills tx[A2] = {:.3}",
+        filled.get(8, 1).unwrap()
+    );
 
     assert!((iim - truth).abs() < (knn - truth).abs());
     assert!((iim - truth).abs() < (glr - truth).abs());

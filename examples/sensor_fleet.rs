@@ -45,7 +45,9 @@ fn main() {
             .impute(&rel)
             .unwrap();
         let knn = PerAttributeImputer::new(Knn::new(10)).impute(&rel).unwrap();
-        let glr = PerAttributeImputer::new(Glr::default()).impute(&rel).unwrap();
+        let glr = PerAttributeImputer::new(Glr::default())
+            .impute(&rel)
+            .unwrap();
         println!(
             "{:>12} {:>10.3} {:>10.3} {:>10.3}",
             cluster,

@@ -74,9 +74,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     .and_then(|v| v.parse().ok())
                     .ok_or("--seed needs a u64")?
             }
-            "--output" | "-o" => {
-                f.output = Some(it.next().ok_or("--output needs a path")?.clone())
-            }
+            "--output" | "-o" => f.output = Some(it.next().ok_or("--output needs a path")?.clone()),
             path if !path.starts_with('-') => f.input = Some(path.to_string()),
             other => return Err(format!("unknown flag {other:?}")),
         }
@@ -181,7 +179,10 @@ fn profile(args: &[String]) -> ExitCode {
     use iim_data::inject::inject_attr;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    println!("{:<12} {:>8} {:>8}   interpretation", "attribute", "R2_S", "R2_H");
+    println!(
+        "{:<12} {:>8} {:>8}   interpretation",
+        "attribute", "R2_S", "R2_H"
+    );
     for j in 0..rel.arity() {
         let complete: Vec<u32> = (0..rel.n_rows())
             .filter(|&i| rel.row_complete(i))

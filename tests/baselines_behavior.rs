@@ -3,7 +3,9 @@
 //! paper's Table II taxonomy).
 
 use iim::prelude::*;
-use iim_baselines::{Blr, Eracer, Glr, Gmm, Ifc, Ills, Knn, Knne, Loess, Mean, Pmm, SvdImpute, Xgb};
+use iim_baselines::{
+    Blr, Eracer, Glr, Gmm, Ifc, Ills, Knn, Knne, Loess, Mean, Pmm, SvdImpute, Xgb,
+};
 use iim_data::inject::inject_attr;
 use iim_data::metrics::rmse;
 use iim_data::Relation;
@@ -31,9 +33,15 @@ fn regression_methods_nail_linear_data() {
         ("LOESS", score(&PerAttributeImputer::new(Loess::new(10)))),
         ("ERACER", score(&Eracer::default())),
         ("ILLS", score(&Ills::default())),
-        ("IIM", score(&PerAttributeImputer::new(Iim::new(IimConfig::default())))),
+        (
+            "IIM",
+            score(&PerAttributeImputer::new(Iim::new(IimConfig::default()))),
+        ),
     ] {
-        assert!(err < 0.05, "{name}: {err} should be ≈ 0 on exact linear data");
+        assert!(
+            err < 0.05,
+            "{name}: {err} should be ≈ 0 on exact linear data"
+        );
         assert!(err < mean * 0.05, "{name} must crush Mean ({mean})");
     }
     // Value-aggregation methods are decent but not exact here.
@@ -88,8 +96,9 @@ fn svd_exploits_low_rank_structure() {
 /// PMM only ever returns observed donor values.
 #[test]
 fn pmm_respects_the_donor_contract() {
-    let rows: Vec<Vec<f64>> =
-        (0..200).map(|i| vec![i as f64, (i as f64) * 3.0 + 1.0]).collect();
+    let rows: Vec<Vec<f64>> = (0..200)
+        .map(|i| vec![i as f64, (i as f64) * 3.0 + 1.0])
+        .collect();
     let observed: Vec<f64> = rows.iter().map(|r| r[1]).collect();
     let mut rel = Relation::from_rows(Schema::anonymous(2), &rows);
     let truth = inject_attr(&mut rel, 1, 30, &mut StdRng::seed_from_u64(4));
@@ -118,10 +127,15 @@ fn xgb_fits_interactions() {
         &truth,
     );
     let glr = rmse(
-        &PerAttributeImputer::new(Glr::default()).impute(&rel).unwrap(),
+        &PerAttributeImputer::new(Glr::default())
+            .impute(&rel)
+            .unwrap(),
         &truth,
     );
-    assert!(xgb < glr * 0.5, "XGB {xgb} vs GLR {glr} on interaction data");
+    assert!(
+        xgb < glr * 0.5,
+        "XGB {xgb} vs GLR {glr} on interaction data"
+    );
 }
 
 /// Stochastic methods are reproducible per seed and vary across seeds.
@@ -163,5 +177,8 @@ fn knne_is_robust_to_a_noisy_feature() {
         &truth,
     );
     // The drop-the-junk-feature ensemble member rescues kNNE.
-    assert!(knne < knn, "kNNE {knne} vs kNN {knn} under feature corruption");
+    assert!(
+        knne < knn,
+        "kNNE {knne} vs kNN {knn} under feature corruption"
+    );
 }

@@ -88,7 +88,10 @@ fn glr_beats_knn_on_the_sparse_regime_and_iim_stays_close() {
     let iim = score(&PerAttributeImputer::new(Iim::new(IimConfig::default())));
     let knn = score(&PerAttributeImputer::new(iim_baselines::Knn::new(10)));
     let glr = score(&PerAttributeImputer::new(iim_baselines::Glr::default()));
-    assert!(glr < knn * 0.7, "GLR {glr} must clearly beat kNN {knn} on CA");
+    assert!(
+        glr < knn * 0.7,
+        "GLR {glr} must clearly beat kNN {knn} on CA"
+    );
     assert!(iim < knn, "IIM {iim} vs kNN {knn}");
     assert!(iim < glr * 1.3, "IIM {iim} must stay near GLR {glr}");
 }
@@ -103,8 +106,14 @@ fn knn_beats_glr_on_the_oscillating_regime() {
     let iim = score(&PerAttributeImputer::new(Iim::new(IimConfig::default())));
     let knn = score(&PerAttributeImputer::new(iim_baselines::Knn::new(10)));
     let glr = score(&PerAttributeImputer::new(iim_baselines::Glr::default()));
-    assert!(knn < glr * 0.7, "kNN {knn} must clearly beat GLR {glr} on SN");
-    assert!(iim < glr * 0.7, "IIM {iim} must track the kNN side, GLR {glr}");
+    assert!(
+        knn < glr * 0.7,
+        "kNN {knn} must clearly beat GLR {glr} on SN"
+    );
+    assert!(
+        iim < glr * 0.7,
+        "IIM {iim} must track the kNN side, GLR {glr}"
+    );
 }
 
 #[test]
@@ -121,11 +130,15 @@ fn clustered_missing_hurts_tuple_models_more() {
             &mut StdRng::seed_from_u64(13),
         );
         let knn = rmse(
-            &PerAttributeImputer::new(iim_baselines::Knn::new(10)).impute(&rel).unwrap(),
+            &PerAttributeImputer::new(iim_baselines::Knn::new(10))
+                .impute(&rel)
+                .unwrap(),
             &truth,
         );
         let glr = rmse(
-            &PerAttributeImputer::new(iim_baselines::Glr::default()).impute(&rel).unwrap(),
+            &PerAttributeImputer::new(iim_baselines::Glr::default())
+                .impute(&rel)
+                .unwrap(),
             &truth,
         );
         (knn, glr)

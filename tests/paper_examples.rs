@@ -34,7 +34,11 @@ fn example_1_neighbor_sets_and_method_disagreement() {
 fn example_2_individual_models() {
     let (rel, _) = fig1_task();
     let task = AttrTask::new(&rel, vec![0], 1);
-    let cfg = IimConfig { k: 3, learning: Learning::Fixed { ell: 4 }, ..Default::default() };
+    let cfg = IimConfig {
+        k: 3,
+        learning: Learning::Fixed { ell: 4 },
+        ..Default::default()
+    };
     let model = IimModel::learn(&task, &cfg).unwrap();
     let phi = model.models();
     // φ1 = (5.56, -0.87) — exact in the paper.
@@ -50,7 +54,11 @@ fn example_2_individual_models() {
 fn example_3_imputation_with_voting() {
     let (rel, _) = fig1_task();
     let task = AttrTask::new(&rel, vec![0], 1);
-    let cfg = IimConfig { k: 3, learning: Learning::Fixed { ell: 4 }, ..Default::default() };
+    let cfg = IimConfig {
+        k: 3,
+        learning: Learning::Fixed { ell: 4 },
+        ..Default::default()
+    };
     let model = IimModel::learn(&task, &cfg).unwrap();
     let imputed = model.impute(&[5.0]);
     // Exact 1.152; paper's rounded models give 1.194; truth 1.8. Either
@@ -92,7 +100,12 @@ fn example_5_stepping_keeps_the_selection() {
     let fm = FeatureMatrix::gather(&rel, &[0], &rows);
     let ys: Vec<f64> = (0..8).map(|i| rel.value(i, 1)).collect();
     let orders = NeighborOrders::build(&fm, 8);
-    let cfg = AdaptiveConfig { step: 3, ell_max: None, incremental: true, ..AdaptiveConfig::default() };
+    let cfg = AdaptiveConfig {
+        step: 3,
+        ell_max: None,
+        incremental: true,
+        ..AdaptiveConfig::default()
+    };
     let out = iim::core::adaptive_learn(&fm, &ys, &orders, 3, &cfg, 1e-9, 1);
     assert_eq!(out.swept, vec![1, 4, 7]);
     assert_eq!(out.chosen_ell[1], 4);
@@ -109,8 +122,18 @@ fn example_6_incremental_gram_updates() {
     let ys: Vec<f64> = (0..8).map(|i| rel.value(i, 1)).collect();
     let orders = NeighborOrders::build(&fm, 8);
     for step in [1usize, 2, 3] {
-        let inc = AdaptiveConfig { step, ell_max: None, incremental: true, ..AdaptiveConfig::default() };
-        let scr = AdaptiveConfig { step, ell_max: None, incremental: false, ..AdaptiveConfig::default() };
+        let inc = AdaptiveConfig {
+            step,
+            ell_max: None,
+            incremental: true,
+            ..AdaptiveConfig::default()
+        };
+        let scr = AdaptiveConfig {
+            step,
+            ell_max: None,
+            incremental: false,
+            ..AdaptiveConfig::default()
+        };
         let a = iim::core::adaptive_learn(&fm, &ys, &orders, 3, &inc, 1e-9, 1);
         let b = iim::core::adaptive_learn(&fm, &ys, &orders, 3, &scr, 1e-9, 1);
         assert_eq!(a.chosen_ell, b.chosen_ell);

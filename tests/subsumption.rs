@@ -15,11 +15,8 @@ use proptest::prelude::*;
 /// A random complete relation: n rows, m attrs, values in a bounded box.
 fn arb_relation() -> impl Strategy<Value = Relation> {
     (4usize..40, 2usize..5).prop_flat_map(|(n, m)| {
-        proptest::collection::vec(
-            proptest::collection::vec(-50.0..50.0f64, m),
-            n..=n,
-        )
-        .prop_map(move |rows| Relation::from_rows(Schema::anonymous(m), &rows))
+        proptest::collection::vec(proptest::collection::vec(-50.0..50.0f64, m), n..=n)
+            .prop_map(move |rows| Relation::from_rows(Schema::anonymous(m), &rows))
     })
 }
 

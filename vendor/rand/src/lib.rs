@@ -1,0 +1,168 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment for this workspace has no network access to a
+//! crates.io registry, so the subset of the `rand 0.8` API the workspace
+//! actually uses is reimplemented here: [`rngs::StdRng`] (xoshiro256++
+//! seeded via SplitMix64 — deterministic per seed, but *not* the same
+//! stream as upstream `StdRng`), the [`Rng`]/[`SeedableRng`] traits with
+//! `gen_range`/`gen_bool`, and [`seq::SliceRandom`] with
+//! `shuffle`/`choose`.
+//!
+//! Everything seeded in this workspace goes through `seed_from_u64`, so
+//! determinism holds as long as this implementation is used consistently.
+//! If the real `rand` crate is ever substituted back in, fixed-seed test
+//! expectations may shift (tolerance-based assertions are unaffected).
+
+#![forbid(unsafe_code)]
+
+pub mod rngs;
+pub mod seq;
+
+/// Core source of uniform `u64`s. Object-safe.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seeding protocol. Only `seed_from_u64` is used in this workspace.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Uniform f64 in [0, 1) with 53 bits of precision.
+fn unit_f64<G: RngCore + ?Sized>(g: &mut G) -> f64 {
+    (g.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} outside [0, 1]");
+        unit_f64(self) < p
+    }
+
+    /// Sample from the "standard" distribution of `T` (uniform over the
+    /// value range; `[0, 1)` for floats).
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::sample(self)
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Types samplable by [`Rng::gen`]; mirrors `Distribution<T> for Standard`.
+pub trait StandardSample {
+    fn sample<G: RngCore + ?Sized>(g: &mut G) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn sample<G: RngCore + ?Sized>(g: &mut G) -> f64 {
+        unit_f64(g)
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample<G: RngCore + ?Sized>(g: &mut G) -> f32 {
+        ((g.next_u64() >> 40) as f32) * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for u64 {
+    fn sample<G: RngCore + ?Sized>(g: &mut G) -> u64 {
+        g.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    fn sample<G: RngCore + ?Sized>(g: &mut G) -> u32 {
+        g.next_u32()
+    }
+}
+
+impl StandardSample for bool {
+    fn sample<G: RngCore + ?Sized>(g: &mut G) -> bool {
+        g.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges that can produce a uniform sample. Mirrors
+/// `rand::distributions::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    fn sample_single<G: RngCore + ?Sized>(self, g: &mut G) -> T;
+}
+
+/// Element types uniformly samplable from a range. A single generic
+/// `SampleRange` impl per range shape routes through this trait so type
+/// inference (and `{float}` fallback to `f64`) behaves like the real
+/// `rand` crate.
+pub trait SampleUniform: Sized {
+    /// Sample uniformly from `[lo, hi)` (`inclusive = false`) or
+    /// `[lo, hi]` (`inclusive = true`).
+    fn sample_between<G: RngCore + ?Sized>(lo: Self, hi: Self, inclusive: bool, g: &mut G) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<G: RngCore + ?Sized>(self, g: &mut G) -> T {
+        T::sample_between(self.start, self.end, false, g)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single<G: RngCore + ?Sized>(self, g: &mut G) -> T {
+        T::sample_between(*self.start(), *self.end(), true, g)
+    }
+}
+
+macro_rules! impl_int_sample_uniform {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<G: RngCore + ?Sized>(lo: $t, hi: $t, inclusive: bool, g: &mut G) -> $t {
+                let span = (hi as i128 - lo as i128) + if inclusive { 1 } else { 0 };
+                assert!(span > 0, "gen_range: empty range");
+                let r = (g.next_u64() as u128) % span as u128;
+                (lo as i128 + r as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_sample_uniform {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<G: RngCore + ?Sized>(lo: $t, hi: $t, inclusive: bool, g: &mut G) -> $t {
+                assert!(if inclusive { lo <= hi } else { lo < hi }, "gen_range: empty range");
+                let u = unit_f64(g) as $t;
+                let v = lo + (hi - lo) * u;
+                // Guard against round-up to the excluded endpoint: for
+                // large-magnitude ranges both v and `hi - (hi-lo)*EPS` can
+                // round to exactly hi, so step to the previous representable
+                // value instead.
+                if inclusive || v < hi {
+                    v
+                } else {
+                    <$t>::max(lo, hi.next_down())
+                }
+            }
+        }
+    )*};
+}
+
+impl_float_sample_uniform!(f32, f64);

@@ -1,0 +1,33 @@
+//! Sequence helpers: the subset of `rand::seq::SliceRandom` the workspace
+//! uses (`shuffle`, `choose`).
+
+use crate::RngCore;
+
+pub trait SliceRandom {
+    type Item;
+
+    /// Fisher–Yates shuffle, deterministic given the rng state.
+    fn shuffle<G: RngCore>(&mut self, rng: &mut G);
+
+    /// Uniformly random element, `None` on an empty slice.
+    fn choose<G: RngCore>(&self, rng: &mut G) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<G: RngCore>(&mut self, rng: &mut G) {
+        for i in (1..self.len()).rev() {
+            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<G: RngCore>(&self, rng: &mut G) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[(rng.next_u64() % self.len() as u64) as usize])
+        }
+    }
+}
