@@ -1,4 +1,4 @@
-//! BLR [29]: Bayesian linear regression, the `mice.norm` method. Draws the
+//! BLR \[29\]: Bayesian linear regression, the `mice.norm` method. Draws the
 //! regression parameters from their posterior and imputes with the drawn
 //! model plus Gaussian noise — proper multiple-imputation behaviour, which
 //! is also why its single-draw RMS error trails deterministic regression in
@@ -7,13 +7,17 @@
 //! The draw follows van Buuren's `norm.draw`:
 //! `σ*² = SSE / χ²(n − p)`, `β* ~ N(β̂, σ*² (XᵀX)⁻¹)`, `y* = (1,x)β* + ε`,
 //! `ε ~ N(0, σ*²)`.
+//!
+//! The per-query ε is keyed by the query's bit pattern (see
+//! [`query_rng`]) so a fitted model serves any
+//! query order reproducibly; the trade-off is that bit-identical query rows
+//! share one ε draw instead of receiving independent ones.
 
-use crate::rand_util::{chi_square, normal};
+use crate::rand_util::{chi_square, normal, query_rng};
 use iim_data::{AttrEstimator, AttrPredictor, AttrTask, ImputeError};
 use iim_linalg::{cholesky, Matrix, RidgeModel};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::cell::RefCell;
+use rand::{Rng, SeedableRng};
 
 /// The BLR baseline.
 #[derive(Debug, Clone, Copy)]
@@ -117,12 +121,21 @@ pub(crate) fn posterior_draw(
 
 struct BlrModel {
     draw: PosteriorDraw,
-    rng: RefCell<StdRng>,
+    /// Keys the per-query ε-noise: prediction is a pure function of the
+    /// fitted state and the query (the serving contract), not of a shared
+    /// mutable RNG stream.
+    noise_seed: u64,
+}
+
+impl BlrModel {
+    fn new(draw: PosteriorDraw, noise_seed: u64) -> Self {
+        Self { draw, noise_seed }
+    }
 }
 
 impl AttrPredictor for BlrModel {
     fn predict(&self, x: &[f64]) -> f64 {
-        let noise = normal(&mut *self.rng.borrow_mut()) * self.draw.sigma_star;
+        let noise = normal(&mut query_rng(self.noise_seed, x)) * self.draw.sigma_star;
         self.draw.beta_star.predict(x) + noise
     }
 }
@@ -135,10 +148,8 @@ impl AttrEstimator for Blr {
     fn fit(&self, task: &AttrTask<'_>) -> Result<Box<dyn AttrPredictor>, ImputeError> {
         let mut rng = StdRng::seed_from_u64(self.seed ^ task.target as u64);
         let draw = posterior_draw(task, self.alpha, &mut rng)?;
-        Ok(Box::new(BlrModel {
-            draw,
-            rng: RefCell::new(rng),
-        }))
+        let noise_seed: u64 = rng.gen();
+        Ok(Box::new(BlrModel::new(draw, noise_seed)))
     }
 }
 
@@ -180,14 +191,22 @@ mod tests {
     }
 
     #[test]
-    fn posterior_spread_grows_with_noise() {
-        // With noisy data, repeated predictions at the same point include
-        // ε-noise and must vary.
+    fn predictions_carry_noise_but_serve_reproducibly() {
+        // ε-noise is real (a prediction differs from the drawn line) and
+        // query-keyed: the same query always gets the same answer — the
+        // serving contract — while distinct queries draw distinct noise.
         let rel = linear_rel(50, 2.0);
         let task = AttrTask::new(&rel, vec![0], 1);
-        let model = Blr::new(11).fit(&task).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let draw = posterior_draw(&task, 1e-6, &mut rng).unwrap();
+        let line_at_2 = draw.beta_star.predict(&[2.0]);
+        let line_at_3 = draw.beta_star.predict(&[3.0]);
+        let model = BlrModel::new(draw, rng.gen());
         let v1 = model.predict(&[2.0]);
-        let v2 = model.predict(&[2.0]);
-        assert_ne!(v1, v2, "ε-noise must differ across predictions");
+        assert_ne!(v1, line_at_2, "ε-noise must be added");
+        assert_eq!(v1, model.predict(&[2.0]), "same query, same answer");
+        let noise_at_2 = v1 - line_at_2;
+        let noise_at_3 = model.predict(&[3.0]) - line_at_3;
+        assert_ne!(noise_at_2, noise_at_3, "distinct queries, distinct noise");
     }
 }

@@ -1,4 +1,4 @@
-//! ERACER [25] (Mayfield, Neville, Prabhakar): iterative relational
+//! ERACER \[25\] (Mayfield, Neville, Prabhakar): iterative relational
 //! regression. The regression for an attribute uses both the tuple's own
 //! complete attributes (`g` in the paper's Figure 2) *and* statistics of
 //! its neighbors' values on the incomplete attribute (`h`) — e.g. a
@@ -9,8 +9,17 @@
 //! Feature vector per tuple: `[own F values…, mean of k neighbors' target]`
 //! with neighbors found on `F`. Round 0 bootstraps the neighbor-target
 //! means from complete tuples only.
+//!
+//! Two-phase split: the offline phase learns the relational ridge model per
+//! target and runs the Gibbs inference for the fit relation's incomplete
+//! tuples; the online phase serves a novel tuple with one round-0 style
+//! prediction — neighbor statistics from the complete pool, then the
+//! learned model.
 
-use iim_data::{AttrTask, FeatureSelection, ImputeError, Imputer, Relation};
+use iim_data::task::{completed_row, validate_query};
+use iim_data::{
+    AttrTask, FeatureSelection, FillCache, FittedImputer, ImputeError, Imputer, Relation, RowOpt,
+};
 use iim_linalg::{ridge_fit, RidgeModel};
 use iim_neighbors::brute::FeatureMatrix;
 
@@ -46,13 +55,87 @@ impl Eracer {
             ..Self::default()
         }
     }
+}
 
-    fn impute_target(
-        &self,
-        rel: &Relation,
-        out: &mut Relation,
-        target: usize,
-    ) -> Result<(), ImputeError> {
+/// The learned state for one target: the relational ridge model plus the
+/// complete pool its neighbor statistics come from.
+struct EracerTarget {
+    features: Vec<usize>,
+    fm: FeatureMatrix,
+    ys: Vec<f64>,
+    /// `k` clamped to the pool size at fit time.
+    k: usize,
+    model: RidgeModel,
+    /// Pool column means (feature order), for missing-feature fallback.
+    means: Vec<f64>,
+}
+
+/// The offline phase's output.
+struct FittedEracer {
+    targets: Vec<Option<EracerTarget>>,
+    cache: FillCache,
+    arity: usize,
+}
+
+impl FittedImputer for FittedEracer {
+    fn name(&self) -> &str {
+        "ERACER"
+    }
+
+    fn arity(&self) -> usize {
+        self.arity
+    }
+
+    fn impute_one(&self, row: &RowOpt) -> Result<Vec<f64>, ImputeError> {
+        validate_query(row, self.arity)?;
+        let mut out = completed_row(row);
+        if self.cache.apply(row, &mut out) {
+            // Same error contract as the novel-query path below: a missing
+            // cell outside the fitted target set is NotFitted, whether or
+            // not the tuple was seen at fit time.
+            if let Some(j) = (0..self.arity)
+                .find(|&j| row[j].is_none() && out[j].is_nan() && self.targets[j].is_none())
+            {
+                return Err(ImputeError::NotFitted { target: j });
+            }
+            return Ok(out);
+        }
+        let mut qf = Vec::new();
+        let mut xbuf = Vec::new();
+        for j in 0..self.arity {
+            if row[j].is_some() {
+                continue;
+            }
+            let t = self.targets[j]
+                .as_ref()
+                .ok_or(ImputeError::NotFitted { target: j })?;
+            qf.clear();
+            for (idx, &fj) in t.features.iter().enumerate() {
+                qf.push(row[fj].unwrap_or(t.means[idx]));
+            }
+            let nn = t.fm.knn(&qf, t.k);
+            let nb_mean = nn.iter().map(|nb| t.ys[nb.pos as usize]).sum::<f64>() / nn.len() as f64;
+            xbuf.clear();
+            xbuf.extend_from_slice(&qf);
+            xbuf.push(nb_mean);
+            let est = t.model.predict(&xbuf);
+            if est.is_finite() {
+                out[j] = est;
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// One target's fit: the learned state plus the fit-time query estimates.
+struct TargetFit {
+    state: EracerTarget,
+    queries: Vec<u32>,
+    estimates: Vec<f64>,
+}
+
+impl Eracer {
+    fn fit_target(&self, rel: &Relation, target: usize) -> Result<TargetFit, ImputeError> {
         let m = rel.arity();
         let features = self.features.resolve(m, target);
         let task = AttrTask::new(rel, features.clone(), target);
@@ -63,9 +146,6 @@ impl Eracer {
             .filter(|&i| rel.is_missing(i, target) && rel.row_complete_on(i, &features))
             .map(|i| i as u32)
             .collect();
-        if queries.is_empty() {
-            return Ok(());
-        }
 
         let fm = FeatureMatrix::gather(rel, &features, &task.train_rows);
         let ys: Vec<f64> = task
@@ -105,53 +185,64 @@ impl Eracer {
             qfeat.push(buf.clone());
         }
         let mut estimates = vec![f64::NAN; queries.len()];
-        for round in 0..self.iterations.max(1) {
-            let mut next = Vec::with_capacity(queries.len());
-            for (qi, qf) in qfeat.iter().enumerate() {
-                let nn = fm.knn(qf, k);
-                let mut sum = 0.0;
-                for nb in &nn {
-                    sum += ys[nb.pos as usize];
-                }
-                let mut nb_mean = sum / nn.len() as f64;
-                if round > 0 {
-                    // Blend in the other queries' current estimates when
-                    // they are closer than the farthest complete neighbor.
-                    let radius = nn.last().expect("k >= 1").dist;
-                    let mut vals = vec![nb_mean * nn.len() as f64];
-                    let mut cnt = nn.len();
-                    for (qj, other) in qfeat.iter().enumerate() {
-                        if qj == qi || !estimates[qj].is_finite() {
-                            continue;
-                        }
-                        let d = iim_neighbors::euclidean_f(qf, other);
-                        if d <= radius {
-                            vals.push(estimates[qj]);
-                            cnt += 1;
-                        }
+        if !queries.is_empty() {
+            for round in 0..self.iterations.max(1) {
+                let mut next = Vec::with_capacity(queries.len());
+                for (qi, qf) in qfeat.iter().enumerate() {
+                    let nn = fm.knn(qf, k);
+                    let mut sum = 0.0;
+                    for nb in &nn {
+                        sum += ys[nb.pos as usize];
                     }
-                    nb_mean = vals.iter().sum::<f64>() / cnt as f64;
+                    let mut nb_mean = sum / nn.len() as f64;
+                    if round > 0 {
+                        // Blend in the other queries' current estimates when
+                        // they are closer than the farthest complete neighbor.
+                        let radius = nn.last().expect("k >= 1").dist;
+                        let mut vals = vec![nb_mean * nn.len() as f64];
+                        let mut cnt = nn.len();
+                        for (qj, other) in qfeat.iter().enumerate() {
+                            if qj == qi || !estimates[qj].is_finite() {
+                                continue;
+                            }
+                            let d = iim_neighbors::euclidean_f(qf, other);
+                            if d <= radius {
+                                vals.push(estimates[qj]);
+                                cnt += 1;
+                            }
+                        }
+                        nb_mean = vals.iter().sum::<f64>() / cnt as f64;
+                    }
+                    xbuf.clear();
+                    xbuf.extend_from_slice(qf);
+                    xbuf.push(nb_mean);
+                    next.push(model.predict(&xbuf));
                 }
-                xbuf.clear();
-                xbuf.extend_from_slice(qf);
-                xbuf.push(nb_mean);
-                next.push(model.predict(&xbuf));
-            }
-            let converged = estimates
-                .iter()
-                .zip(&next)
-                .all(|(a, b)| (a - b).abs() < 1e-9 || (!a.is_finite() && !b.is_finite()));
-            estimates = next;
-            if round > 0 && converged {
-                break;
+                let converged = estimates
+                    .iter()
+                    .zip(&next)
+                    .all(|(a, b)| (a - b).abs() < 1e-9 || (!a.is_finite() && !b.is_finite()));
+                estimates = next;
+                if round > 0 && converged {
+                    break;
+                }
             }
         }
-        for (&row, &est) in queries.iter().zip(&estimates) {
-            if est.is_finite() {
-                out.set(row as usize, target, est);
-            }
-        }
-        Ok(())
+        // `fm` is gathered from exactly `task.train_rows`, so the training
+        // feature means double as the pool means for feature fallback.
+        let means = task.feature_means();
+        Ok(TargetFit {
+            state: EracerTarget {
+                features,
+                fm,
+                ys,
+                k,
+                model,
+                means,
+            },
+            queries,
+            estimates,
+        })
     }
 }
 
@@ -160,15 +251,29 @@ impl Imputer for Eracer {
         "ERACER"
     }
 
-    fn impute(&self, rel: &Relation) -> Result<Relation, ImputeError> {
-        let mut out = rel.clone();
-        let targets: Vec<usize> = (0..rel.arity())
-            .filter(|&j| (0..rel.n_rows()).any(|i| rel.is_missing(i, j)))
-            .collect();
-        for target in targets {
-            self.impute_target(rel, &mut out, target)?;
+    fn fit_targets(
+        &self,
+        rel: &Relation,
+        targets: &[usize],
+    ) -> Result<Box<dyn FittedImputer>, ImputeError> {
+        let m = rel.arity();
+        let mut fitted: Vec<Option<EracerTarget>> = (0..m).map(|_| None).collect();
+        let mut filled = rel.clone();
+        for &target in targets {
+            let tf = self.fit_target(rel, target)?;
+            for (&row, &est) in tf.queries.iter().zip(&tf.estimates) {
+                if est.is_finite() {
+                    filled.set(row as usize, target, est);
+                }
+            }
+            fitted[target] = Some(tf.state);
         }
-        Ok(out)
+        let cache = FillCache::from_batch(rel, &filled);
+        Ok(Box::new(FittedEracer {
+            targets: fitted,
+            cache,
+            arity: m,
+        }))
     }
 }
 
@@ -225,6 +330,39 @@ mod tests {
         let out = Eracer::default().impute(&rel).unwrap();
         for row in 20..23 {
             assert!(out.get(row, 1).unwrap().is_finite());
+        }
+    }
+
+    #[test]
+    fn serves_novel_queries_with_the_learned_model() {
+        // Fit on a fully complete relation, then serve single tuples.
+        let mut rel = Relation::with_capacity(Schema::anonymous(3), 0);
+        for i in 0..40 {
+            let x = i as f64 * 0.25;
+            rel.push_row(&[x, x * x * 0.01, 3.0 + 2.0 * x]);
+        }
+        let fitted = Eracer::default().fit(&rel).unwrap();
+        let row = fitted.impute_one(&[Some(5.0), Some(0.25), None]).unwrap();
+        assert!((row[2] - 13.0).abs() < 1.0, "served {}", row[2]);
+    }
+
+    #[test]
+    fn fit_time_tuples_get_their_gibbs_estimates() {
+        let mut rel = Relation::with_capacity(Schema::anonymous(2), 0);
+        for i in 0..20 {
+            rel.push_row(&[i as f64, 2.0 * i as f64]);
+        }
+        rel.push_row_opt(&[Some(30.0), None]);
+        rel.push_row_opt(&[Some(30.1), None]);
+        let batch = Eracer::default().impute(&rel).unwrap();
+        let fitted = Eracer::default().fit(&rel).unwrap();
+        for row in [20usize, 21] {
+            let served = fitted.impute_one(&rel.row_opt(row)).unwrap();
+            assert_eq!(
+                served[1].to_bits(),
+                batch.get(row, 1).unwrap().to_bits(),
+                "row {row}"
+            );
         }
     }
 }

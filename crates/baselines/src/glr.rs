@@ -1,4 +1,4 @@
-//! GLR [23], [24]: one global linear (ridge) regression from the complete
+//! GLR \[23\], \[24\]: one global linear (ridge) regression from the complete
 //! attributes to the incomplete attribute, learned over all complete
 //! tuples (Formulas 3–4). The attribute-model method IIM subsumes at
 //! ℓ = n (Proposition 2).
@@ -9,7 +9,7 @@ use iim_linalg::{ridge_fit, RidgeModel};
 /// The GLR baseline.
 #[derive(Debug, Clone, Copy)]
 pub struct Glr {
-    /// Ridge regularization (the paper cites OLS or Ridge [28]; the
+    /// Ridge regularization (the paper cites OLS or Ridge \[28\]; the
     /// workspace default matches IIM's numerical-guard α).
     pub alpha: f64,
 }

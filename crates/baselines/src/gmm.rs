@@ -1,4 +1,4 @@
-//! GMM [40]: Gaussian-mixture imputation. An EM-fitted mixture over the
+//! GMM \[40\]: Gaussian-mixture imputation. An EM-fitted mixture over the
 //! joint `(F, Am)` space imputes `Am` as the posterior-weighted conditional
 //! mean `E[Am | F]` — per-cluster averages smoothed by membership, the
 //! "cluster average" tuple model of Table II.

@@ -1,14 +1,21 @@
-//! IFC [27]: iterative fuzzy-clustering imputation. Fuzzy c-means [20]
+//! IFC \[27\]: iterative fuzzy-clustering imputation. Fuzzy c-means \[20\]
 //! clusters the whole relation (missing cells initialized with column
 //! means); each missing cell is re-imputed as the membership-weighted
 //! combination of cluster centroids, and clustering + imputation iterate
 //! until the imputations stabilise — the "cluster average" tuple model.
 //!
+//! Two-phase split: the offline phase runs the cluster ↔ impute loop over
+//! the fit relation and captures the converged centroids (plus the
+//! standardization); the online phase serves a novel incomplete tuple by
+//! iterating memberships against the *frozen* centroids and re-imputing its
+//! missing cells from the fuzzy cluster averages.
+//!
 //! Runs on a standardized copy of the relation so no attribute dominates
 //! the memberships; results are mapped back to original units.
 
 use iim_data::stats::ColumnTransform;
-use iim_data::{ImputeError, Imputer, Relation};
+use iim_data::task::{completed_row, validate_query};
+use iim_data::{FillCache, FittedImputer, ImputeError, Imputer, Relation, RowOpt};
 
 /// The IFC baseline.
 #[derive(Debug, Clone, Copy)]
@@ -44,12 +51,114 @@ impl Ifc {
     }
 }
 
+/// Fuzzy c-means memberships of `row` against `centroids` into `out`.
+fn memberships(row: &[f64], centroids: &[Vec<f64>], exponent: f64, out: &mut [f64]) {
+    let dists: Vec<f64> = centroids
+        .iter()
+        .map(|cen| {
+            row.iter()
+                .zip(cen)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                .sqrt()
+        })
+        .collect();
+    if let Some(hit) = dists.iter().position(|&d| d < 1e-12) {
+        for (k, slot) in out.iter_mut().enumerate() {
+            *slot = if k == hit { 1.0 } else { 0.0 };
+        }
+        return;
+    }
+    for (k, slot) in out.iter_mut().enumerate() {
+        let denom: f64 = dists.iter().map(|&dl| (dists[k] / dl).powf(exponent)).sum();
+        *slot = 1.0 / denom;
+    }
+}
+
+/// Membership-weighted centroid average of attribute `j`.
+fn cluster_average(centroids: &[Vec<f64>], u: &[f64], fuzzifier: f64, j: usize) -> f64 {
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (cen, &uk) in centroids.iter().zip(u) {
+        let w = uk.powf(fuzzifier);
+        num += w * cen[j];
+        den += w;
+    }
+    if den > 1e-12 {
+        num / den
+    } else {
+        0.0
+    }
+}
+
+/// The offline phase's output: standardization, converged centroids, and
+/// the fills of the fit-time tuples.
+struct FittedIfc {
+    transform: ColumnTransform,
+    /// Converged centroids in standardized coordinates.
+    centroids: Vec<Vec<f64>>,
+    fuzzifier: f64,
+    max_iter: usize,
+    tol: f64,
+    cache: FillCache,
+    arity: usize,
+}
+
+impl FittedImputer for FittedIfc {
+    fn name(&self) -> &str {
+        "IFC"
+    }
+
+    fn arity(&self) -> usize {
+        self.arity
+    }
+
+    fn impute_one(&self, row: &RowOpt) -> Result<Vec<f64>, ImputeError> {
+        validate_query(row, self.arity)?;
+        let mut out = completed_row(row);
+        if self.cache.apply(row, &mut out) {
+            return Ok(out);
+        }
+        let missing: Vec<usize> = (0..self.arity).filter(|&j| row[j].is_none()).collect();
+        if missing.is_empty() {
+            return Ok(out);
+        }
+        let mut x: Vec<f64> = (0..self.arity)
+            .map(|j| row[j].map_or(0.0, |v| self.transform.forward(j, v)))
+            .collect();
+        let exponent = 2.0 / (self.fuzzifier - 1.0);
+        let mut u = vec![0.0; self.centroids.len()];
+        for _ in 0..self.max_iter {
+            memberships(&x, &self.centroids, exponent, &mut u);
+            let mut delta: f64 = 0.0;
+            for &j in &missing {
+                let v = cluster_average(&self.centroids, &u, self.fuzzifier, j);
+                delta = delta.max((x[j] - v).abs());
+                x[j] = v;
+            }
+            if delta < self.tol {
+                break;
+            }
+        }
+        for &j in &missing {
+            out[j] = self.transform.inverse(j, x[j]);
+        }
+        Ok(out)
+    }
+}
+
 impl Imputer for Ifc {
     fn name(&self) -> &str {
         "IFC"
     }
 
-    fn impute(&self, rel: &Relation) -> Result<Relation, ImputeError> {
+    /// IFC learns one whole-matrix clustering, so the fitted form serves
+    /// every attribute regardless of `targets`.
+    fn fit_targets(
+        &self,
+        rel: &Relation,
+        _targets: &[usize],
+    ) -> Result<Box<dyn FittedImputer>, ImputeError> {
         let n = rel.n_rows();
         let m = rel.arity();
         if rel.complete_rows().is_empty() {
@@ -83,39 +192,31 @@ impl Imputer for Ifc {
                 work[pick * m..(pick + 1) * m].to_vec()
             })
             .collect();
-        let mut memberships = vec![0.0; n * c];
+        let mut mem = vec![0.0; n * c];
 
         for _ in 0..self.max_iter {
             // Memberships: u_ik = 1 / Σ_l (d_ik / d_il)^(2/(m-1)).
             for i in 0..n {
                 let row = &work[i * m..(i + 1) * m];
-                let dists: Vec<f64> = centroids
-                    .iter()
-                    .map(|cen| {
-                        row.iter()
-                            .zip(cen)
-                            .map(|(a, b)| (a - b) * (a - b))
-                            .sum::<f64>()
-                            .sqrt()
-                    })
-                    .collect();
-                if let Some(hit) = dists.iter().position(|&d| d < 1e-12) {
-                    for k in 0..c {
-                        memberships[i * c + k] = if k == hit { 1.0 } else { 0.0 };
-                    }
-                    continue;
-                }
-                for k in 0..c {
-                    let denom: f64 = dists.iter().map(|&dl| (dists[k] / dl).powf(exponent)).sum();
-                    memberships[i * c + k] = 1.0 / denom;
-                }
+                memberships(row, &centroids, exponent, &mut mem[i * c..(i + 1) * c]);
             }
-            // Centroids: weighted by u^m.
+            // Centroids: weighted by u^m. `shift` tracks centroid movement
+            // so fitting a fully complete relation (no imputed-cell delta
+            // to watch) still iterates c-means to convergence; with missing
+            // cells the imputed-cell delta is the criterion and the extra
+            // bookkeeping is skipped.
+            let track_shift = missing.is_empty();
+            let mut shift: f64 = 0.0;
+            let mut old = Vec::new();
             for (k, cen) in centroids.iter_mut().enumerate() {
+                if track_shift {
+                    old.clear();
+                    old.extend_from_slice(cen);
+                }
                 let mut wsum = 0.0;
                 cen.fill(0.0);
                 for i in 0..n {
-                    let u = memberships[i * c + k].powf(self.fuzzifier);
+                    let u = mem[i * c + k].powf(self.fuzzifier);
                     wsum += u;
                     let row = &work[i * m..(i + 1) * m];
                     for (slot, v) in cen.iter_mut().zip(row) {
@@ -127,31 +228,39 @@ impl Imputer for Ifc {
                         *slot /= wsum;
                     }
                 }
+                if track_shift {
+                    for (o, s) in old.iter().zip(cen.iter()) {
+                        shift = shift.max((o - s).abs());
+                    }
+                }
             }
             // Re-impute missing cells from the fuzzy cluster averages.
             let mut delta: f64 = 0.0;
             for &(i, j) in &missing {
-                let mut num = 0.0;
-                let mut den = 0.0;
-                for (k, cen) in centroids.iter().enumerate() {
-                    let u = memberships[i * c + k].powf(self.fuzzifier);
-                    num += u * cen[j];
-                    den += u;
-                }
-                let v = if den > 1e-12 { num / den } else { 0.0 };
+                let v = cluster_average(&centroids, &mem[i * c..(i + 1) * c], self.fuzzifier, j);
                 delta = delta.max((work[i * m + j] - v).abs());
                 work[i * m + j] = v;
             }
-            if delta < self.tol {
+            let criterion = if missing.is_empty() { shift } else { delta };
+            if criterion < self.tol {
                 break;
             }
         }
 
-        let mut out = rel.clone();
+        let mut filled = rel.clone();
         for &(i, j) in &missing {
-            out.set(i, j, transform.inverse(j, work[i * m + j]));
+            filled.set(i, j, transform.inverse(j, work[i * m + j]));
         }
-        Ok(out)
+        let cache = FillCache::from_batch(rel, &filled);
+        Ok(Box::new(FittedIfc {
+            transform,
+            centroids,
+            fuzzifier: self.fuzzifier,
+            max_iter: self.max_iter,
+            tol: self.tol,
+            cache,
+            arity: m,
+        }))
     }
 }
 
@@ -208,5 +317,34 @@ mod tests {
         let mut rel = Relation::with_capacity(Schema::anonymous(2), 0);
         rel.push_row_opt(&[None, Some(1.0)]);
         assert!(Ifc::default().impute(&rel).is_err());
+    }
+
+    #[test]
+    fn serves_novel_queries_against_frozen_centroids() {
+        // Fit on a fully complete two-cluster relation, then serve a novel
+        // tuple near cluster B.
+        let mut rel = Relation::with_capacity(Schema::anonymous(2), 0);
+        for i in 0..20 {
+            rel.push_row(&[i as f64 * 0.01, i as f64 * 0.01]);
+        }
+        for i in 0..20 {
+            rel.push_row(&[10.0 + i as f64 * 0.01, 10.0 + i as f64 * 0.01]);
+        }
+        let fitted = Ifc::new(2).fit(&rel).unwrap();
+        let row = fitted.impute_one(&[Some(10.07), None]).unwrap();
+        assert!((row[1] - 10.0).abs() < 0.7, "served {}", row[1]);
+    }
+
+    #[test]
+    fn fit_time_tuples_get_their_batch_fills() {
+        let mut rel = Relation::with_capacity(Schema::anonymous(2), 0);
+        for i in 0..30 {
+            rel.push_row(&[i as f64, 2.0 * i as f64]);
+        }
+        rel.push_row_opt(&[Some(12.5), None]);
+        let batch = Ifc::default().impute(&rel).unwrap();
+        let fitted = Ifc::default().fit(&rel).unwrap();
+        let row = fitted.impute_one(&rel.row_opt(30)).unwrap();
+        assert_eq!(row[1].to_bits(), batch.get(30, 1).unwrap().to_bits());
     }
 }

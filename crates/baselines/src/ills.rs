@@ -1,12 +1,20 @@
-//! ILLS [8] (Cai, Heydari, Lin): iterated local least squares. Each
+//! ILLS \[8\] (Cai, Heydari, Lin): iterated local least squares. Each
 //! incomplete tuple is imputed by an (unweighted) least-squares regression
 //! over its k nearest complete tuples; the estimates are then fed back so
 //! imputed tuples can serve as neighbors in the next round, iterating until
 //! the estimates stabilise — the "local regression over tuples" model of
-//! Table II, learned online per query (hence its imputation-time cost in
-//! Figures 4–7).
+//! Table II.
+//!
+//! Two-phase split: the offline phase runs the joint refinement over the
+//! fit relation and captures, per target attribute, the **final extended
+//! pool** (complete tuples plus the converged estimates); the online phase
+//! serves a novel incomplete tuple with one local least squares against
+//! that pool — the per-query model the paper charges to imputation time.
 
-use iim_data::{AttrTask, FeatureSelection, ImputeError, Imputer, Relation};
+use iim_data::task::{completed_row, validate_query};
+use iim_data::{
+    AttrTask, FeatureSelection, FillCache, FittedImputer, ImputeError, Imputer, Relation, RowOpt,
+};
 use iim_linalg::ridge_fit;
 use iim_neighbors::brute::FeatureMatrix;
 
@@ -45,13 +53,81 @@ impl Ills {
     }
 }
 
+/// The captured pool for one target attribute: the final round's neighbor
+/// set (complete tuples + converged fit-time estimates).
+struct IllsTarget {
+    features: Vec<usize>,
+    pool: FeatureMatrix,
+    ys: Vec<f64>,
+    /// Pool column means (feature order), for missing-feature fallback.
+    means: Vec<f64>,
+}
+
+/// The offline phase's output: one refined pool per fitted target.
+struct FittedIlls {
+    targets: Vec<Option<IllsTarget>>,
+    k: usize,
+    alpha: f64,
+    cache: FillCache,
+    arity: usize,
+}
+
+impl FittedImputer for FittedIlls {
+    fn name(&self) -> &str {
+        "ILLS"
+    }
+
+    fn arity(&self) -> usize {
+        self.arity
+    }
+
+    fn impute_one(&self, row: &RowOpt) -> Result<Vec<f64>, ImputeError> {
+        validate_query(row, self.arity)?;
+        let mut out = completed_row(row);
+        if self.cache.apply(row, &mut out) {
+            // Same error contract as the novel-query path below: a missing
+            // cell outside the fitted target set is NotFitted, whether or
+            // not the tuple was seen at fit time.
+            if let Some(j) = (0..self.arity)
+                .find(|&j| row[j].is_none() && out[j].is_nan() && self.targets[j].is_none())
+            {
+                return Err(ImputeError::NotFitted { target: j });
+            }
+            return Ok(out);
+        }
+        let mut q = Vec::new();
+        for j in 0..self.arity {
+            if row[j].is_some() {
+                continue;
+            }
+            let target = self.targets[j]
+                .as_ref()
+                .ok_or(ImputeError::NotFitted { target: j })?;
+            q.clear();
+            for (idx, &fj) in target.features.iter().enumerate() {
+                q.push(row[fj].unwrap_or(target.means[idx]));
+            }
+            let est = local_ls(&target.pool, &target.ys, &q, self.k, self.alpha);
+            if est.is_finite() {
+                out[j] = est;
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Runs the joint refinement for one target, returning the query rows,
+/// their final estimates, and the final extended pool.
+struct TargetFit {
+    queries: Vec<u32>,
+    estimates: Vec<f64>,
+    pool: FeatureMatrix,
+    ys: Vec<f64>,
+    features: Vec<usize>,
+}
+
 impl Ills {
-    fn impute_target(
-        &self,
-        rel: &Relation,
-        out: &mut Relation,
-        target: usize,
-    ) -> Result<(), ImputeError> {
+    fn fit_target(&self, rel: &Relation, target: usize) -> Result<TargetFit, ImputeError> {
         let m = rel.arity();
         let features = self.features.resolve(m, target);
         let task = AttrTask::new(rel, features.clone(), target);
@@ -62,9 +138,6 @@ impl Ills {
             .filter(|&i| rel.is_missing(i, target) && rel.row_complete_on(i, &features))
             .map(|i| i as u32)
             .collect();
-        if queries.is_empty() {
-            return Ok(());
-        }
 
         // Local least squares with the complete pool, then refine with the
         // imputed tuples admitted to the pool.
@@ -76,6 +149,17 @@ impl Ills {
                 .iter()
                 .map(|&r| task.target_value(r as usize))
                 .collect();
+            if queries.is_empty() {
+                // Nothing to refine at fit time: the complete tuples *are*
+                // the final pool (the fit-on-complete serving scenario).
+                return Ok(TargetFit {
+                    queries,
+                    estimates,
+                    pool: fm,
+                    ys,
+                    features,
+                });
+            }
             let mut q = Vec::new();
             for &row in &queries {
                 rel.gather(row as usize, &features, &mut q);
@@ -111,12 +195,33 @@ impl Ills {
                 break;
             }
         }
-        for (&row, &est) in queries.iter().zip(&estimates) {
-            if est.is_finite() {
-                out.set(row as usize, target, est);
+        // The captured serving pool carries the *final* estimates
+        // (non-finite estimates drop out of the pool).
+        let (pool, ys) = {
+            let mut pool_rows: Vec<u32> = task.train_rows.clone();
+            pool_rows.extend(&queries);
+            let mut scratch = rel.clone();
+            for (&row, &est) in queries.iter().zip(&estimates) {
+                if est.is_finite() {
+                    scratch.set(row as usize, target, est);
+                } else {
+                    pool_rows.retain(|&r| r != row);
+                }
             }
-        }
-        Ok(())
+            let fm = FeatureMatrix::gather(&scratch, &features, &pool_rows);
+            let ys: Vec<f64> = pool_rows
+                .iter()
+                .map(|&r| scratch.value(r as usize, target))
+                .collect();
+            (fm, ys)
+        };
+        Ok(TargetFit {
+            queries,
+            estimates,
+            pool,
+            ys,
+            features,
+        })
     }
 }
 
@@ -131,20 +236,57 @@ fn local_ls(fm: &FeatureMatrix, ys: &[f64], query: &[f64], k: usize, alpha: f64)
     }
 }
 
+/// Pool column means in feature order.
+fn pool_means(fm: &FeatureMatrix, n_features: usize) -> Vec<f64> {
+    let mut means = vec![0.0; n_features];
+    let n = fm.len();
+    for i in 0..n {
+        for (slot, v) in means.iter_mut().zip(fm.point(i)) {
+            *slot += v;
+        }
+    }
+    for slot in &mut means {
+        *slot /= n.max(1) as f64;
+    }
+    means
+}
+
 impl Imputer for Ills {
     fn name(&self) -> &str {
         "ILLS"
     }
 
-    fn impute(&self, rel: &Relation) -> Result<Relation, ImputeError> {
-        let mut out = rel.clone();
-        let targets: Vec<usize> = (0..rel.arity())
-            .filter(|&j| (0..rel.n_rows()).any(|i| rel.is_missing(i, j)))
-            .collect();
-        for target in targets {
-            self.impute_target(rel, &mut out, target)?;
+    fn fit_targets(
+        &self,
+        rel: &Relation,
+        targets: &[usize],
+    ) -> Result<Box<dyn FittedImputer>, ImputeError> {
+        let m = rel.arity();
+        let mut fitted: Vec<Option<IllsTarget>> = (0..m).map(|_| None).collect();
+        let mut filled = rel.clone();
+        for &target in targets {
+            let tf = self.fit_target(rel, target)?;
+            for (&row, &est) in tf.queries.iter().zip(&tf.estimates) {
+                if est.is_finite() {
+                    filled.set(row as usize, target, est);
+                }
+            }
+            let means = pool_means(&tf.pool, tf.features.len());
+            fitted[target] = Some(IllsTarget {
+                features: tf.features,
+                pool: tf.pool,
+                ys: tf.ys,
+                means,
+            });
         }
-        Ok(out)
+        let cache = FillCache::from_batch(rel, &filled);
+        Ok(Box::new(FittedIlls {
+            targets: fitted,
+            k: self.k,
+            alpha: self.alpha,
+            cache,
+            arity: m,
+        }))
     }
 }
 
@@ -218,5 +360,69 @@ mod tests {
         assert_eq!(out.missing_count(), 0);
         assert!((out.get(30, 1).unwrap() - 10.0).abs() < 0.1);
         assert!((out.get(31, 0).unwrap() - 10.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn serves_novel_queries_from_the_refined_pool() {
+        // Fit on a fully complete relation (no fit-time queries), then
+        // serve single tuples online.
+        let mut rel = Relation::with_capacity(Schema::anonymous(2), 0);
+        for i in 0..50 {
+            let x = i as f64 * 0.1;
+            let y = if x < 2.5 {
+                1.0 + 2.0 * x
+            } else {
+                20.0 - 4.0 * x
+            };
+            rel.push_row(&[x, y]);
+        }
+        let fitted = Ills::new(6).fit(&rel).unwrap();
+        let row = fitted.impute_one(&[Some(1.05), None]).unwrap();
+        assert!((row[1] - 3.1).abs() < 0.05, "served {}", row[1]);
+        let row = fitted.impute_one(&[Some(4.05), None]).unwrap();
+        assert!((row[1] - 3.8).abs() < 0.05, "served {}", row[1]);
+    }
+
+    #[test]
+    fn restricted_targets_error_alike_for_cached_and_novel_rows() {
+        // A fit-time tuple and a never-seen tuple with the same missing
+        // pattern get the same NotFitted error when the pattern reaches
+        // outside the fitted target set.
+        let mut rel = Relation::with_capacity(Schema::anonymous(3), 0);
+        for i in 0..30 {
+            let x = i as f64;
+            rel.push_row(&[x, 2.0 * x, 3.0 * x]);
+        }
+        rel.push_row_opt(&[Some(5.0), None, None]);
+        let fitted = Ills::default().fit_targets(&rel, &[1]).unwrap();
+        assert_eq!(
+            fitted.impute_one(&rel.row_opt(30)).unwrap_err(),
+            ImputeError::NotFitted { target: 2 }
+        );
+        assert_eq!(
+            fitted.impute_one(&[Some(9.0), None, None]).unwrap_err(),
+            ImputeError::NotFitted { target: 2 }
+        );
+    }
+
+    #[test]
+    fn fit_time_tuples_get_their_joint_estimates() {
+        let mut rel = Relation::with_capacity(Schema::anonymous(2), 0);
+        for i in 0..20 {
+            let x = i as f64 * 0.1;
+            rel.push_row(&[x, 5.0 + x]);
+        }
+        rel.push_row_opt(&[Some(10.0), None]);
+        rel.push_row_opt(&[Some(10.1), None]);
+        let batch = Ills::new(5).impute(&rel).unwrap();
+        let fitted = Ills::new(5).fit(&rel).unwrap();
+        for row in [20usize, 21] {
+            let served = fitted.impute_one(&rel.row_opt(row)).unwrap();
+            assert_eq!(
+                served[1].to_bits(),
+                batch.get(row, 1).unwrap().to_bits(),
+                "row {row}"
+            );
+        }
     }
 }

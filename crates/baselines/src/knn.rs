@@ -1,5 +1,5 @@
-//! kNN imputation [2], [5]: aggregate the target values of the k nearest
-//! complete neighbors (Formula 2), optionally distance-weighted [3].
+//! kNN imputation \[2\], \[5\]: aggregate the target values of the k nearest
+//! complete neighbors (Formula 2), optionally distance-weighted \[3\].
 
 use iim_data::{AttrEstimator, AttrPredictor, AttrTask, ImputeError};
 use iim_neighbors::brute::FeatureMatrix;

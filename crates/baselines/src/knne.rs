@@ -1,4 +1,4 @@
-//! kNNE [13]: nearest-neighbor ensemble. Different groups of k neighbors
+//! kNNE \[13\]: nearest-neighbor ensemble. Different groups of k neighbors
 //! are found by computing distances on various *subsets* of the features;
 //! each group produces a kNN imputation and the group results are combined
 //! (§II-A2).

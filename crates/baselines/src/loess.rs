@@ -1,4 +1,4 @@
-//! LOESS [10]: local regression. For each query, fit a tricube-weighted
+//! LOESS \[10\]: local regression. For each query, fit a tricube-weighted
 //! linear regression over its k nearest neighbors (the span) and predict —
 //! a *shared-locally* model, contrasted with IIM's per-tuple models and
 //! learned online per query (which is why the paper's Figures 4–7 show it

@@ -1,4 +1,4 @@
-//! Mean imputation [14]: every missing value of an attribute becomes the
+//! Mean imputation \[14\]: every missing value of an attribute becomes the
 //! attribute's mean over the complete tuples — the degenerate "all tuples
 //! are the neighbor set" end of the tuple-model spectrum (§II-A2).
 

@@ -1,4 +1,4 @@
-//! PMM [19]: predictive mean matching, the `mice.pmm` method. A linear
+//! PMM \[19\]: predictive mean matching, the `mice.pmm` method. A linear
 //! model predicts both the observed and the missing cases; each missing
 //! case is imputed with the *observed* value of a donor whose prediction is
 //! close to the missing case's prediction (§II-B2: "a randomly selected
@@ -9,11 +9,11 @@
 //! random.
 
 use crate::blr::posterior_draw;
+use crate::rand_util::query_rng;
 use iim_data::{AttrEstimator, AttrPredictor, AttrTask, ImputeError};
 use iim_linalg::RidgeModel;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::cell::RefCell;
 
 /// The PMM baseline.
 #[derive(Debug, Clone, Copy)]
@@ -42,7 +42,10 @@ struct PmmModel {
     donors_by_pred: Vec<(f64, f64)>,
     beta_star: RidgeModel,
     d: usize,
-    rng: RefCell<StdRng>,
+    /// Keys the per-query donor pick: prediction is a pure function of the
+    /// fitted state and the query (the serving contract), not of a shared
+    /// mutable RNG stream.
+    pick_seed: u64,
 }
 
 impl AttrPredictor for PmmModel {
@@ -73,7 +76,7 @@ impl AttrPredictor for PmmModel {
                 hi += 1;
             }
         }
-        let pick = self.rng.borrow_mut().gen_range(lo..hi);
+        let pick = query_rng(self.pick_seed, x).gen_range(lo..hi);
         self.donors_by_pred[pick].1
     }
 }
@@ -97,7 +100,7 @@ impl AttrEstimator for Pmm {
             donors_by_pred,
             beta_star: draw.beta_star,
             d: self.donors.max(1),
-            rng: RefCell::new(rng),
+            pick_seed: rng.gen(),
         }))
     }
 }

@@ -1,16 +1,23 @@
-//! SVDimpute [38] (Troyanskaya et al.): iterative low-rank reconstruction.
+//! SVDimpute \[38\] (Troyanskaya et al.): iterative low-rank reconstruction.
 //! Missing cells are initialized with column means; the matrix is then
 //! repeatedly decomposed and the missing cells replaced by the rank-j
 //! reconstruction from the "k most significant eigengenes" until the
 //! imputations converge — the expectation-maximization formulation of the
 //! original microarray method.
 //!
+//! Two-phase split: the offline phase runs the EM loop over the fit
+//! relation and captures the converged right-singular basis `V_r` (plus the
+//! standardization); the online phase serves a novel incomplete tuple by
+//! iterating `x_miss ← (x V_r V_rᵀ)_miss` — the same rank-r reconstruction,
+//! restricted to one row.
+//!
 //! The paper marks SVD "-" on the two-attribute SN dataset ("cannot be
 //! implemented on only two attributes"); this implementation returns
 //! [`ImputeError::Unsupported`] for arity < 3 accordingly.
 
 use iim_data::stats::ColumnTransform;
-use iim_data::{ImputeError, Imputer, Relation};
+use iim_data::task::{completed_row, validate_query};
+use iim_data::{FillCache, FittedImputer, ImputeError, Imputer, Relation, RowOpt};
 use iim_linalg::{thin_svd, Matrix};
 
 /// The SVD baseline.
@@ -45,12 +52,77 @@ impl SvdImpute {
     }
 }
 
+/// The offline phase's output: standardization, the converged rank-r
+/// right-singular basis, and the fills of the fit-time tuples.
+struct FittedSvd {
+    transform: ColumnTransform,
+    /// `m × r` right-singular basis of the converged standardized matrix.
+    basis: Matrix,
+    max_iter: usize,
+    tol: f64,
+    cache: FillCache,
+    arity: usize,
+}
+
+impl FittedImputer for FittedSvd {
+    fn name(&self) -> &str {
+        "SVD"
+    }
+
+    fn arity(&self) -> usize {
+        self.arity
+    }
+
+    fn impute_one(&self, row: &RowOpt) -> Result<Vec<f64>, ImputeError> {
+        validate_query(row, self.arity)?;
+        let mut out = completed_row(row);
+        if self.cache.apply(row, &mut out) {
+            return Ok(out);
+        }
+        let missing: Vec<usize> = (0..self.arity).filter(|&j| row[j].is_none()).collect();
+        if missing.is_empty() {
+            return Ok(out);
+        }
+        // Standardize; missing cells start at the standardized column mean.
+        let mut x: Vec<f64> = (0..self.arity)
+            .map(|j| row[j].map_or(0.0, |v| self.transform.forward(j, v)))
+            .collect();
+        let r = self.basis.cols();
+        let mut coeff = vec![0.0; r];
+        for _ in 0..self.max_iter {
+            // c = V_rᵀ x, then the projection p = V_r c on the missing cells.
+            for (k, c) in coeff.iter_mut().enumerate() {
+                *c = (0..self.arity).map(|j| self.basis[(j, k)] * x[j]).sum();
+            }
+            let mut delta: f64 = 0.0;
+            for &j in &missing {
+                let p: f64 = (0..r).map(|k| self.basis[(j, k)] * coeff[k]).sum();
+                delta = delta.max((x[j] - p).abs());
+                x[j] = p;
+            }
+            if delta < self.tol {
+                break;
+            }
+        }
+        for &j in &missing {
+            out[j] = self.transform.inverse(j, x[j]);
+        }
+        Ok(out)
+    }
+}
+
 impl Imputer for SvdImpute {
     fn name(&self) -> &str {
         "SVD"
     }
 
-    fn impute(&self, rel: &Relation) -> Result<Relation, ImputeError> {
+    /// SVDimpute learns one whole-matrix model, so the fitted form serves
+    /// every attribute regardless of `targets`.
+    fn fit_targets(
+        &self,
+        rel: &Relation,
+        _targets: &[usize],
+    ) -> Result<Box<dyn FittedImputer>, ImputeError> {
         let n = rel.n_rows();
         let m = rel.arity();
         if m < 3 {
@@ -87,25 +159,47 @@ impl Imputer for SvdImpute {
             })
             .collect();
 
-        for _ in 0..self.max_iter {
-            let svd = thin_svd(&work);
-            let rec = svd.reconstruct(rank);
-            let mut delta: f64 = 0.0;
-            for &(i, j) in &missing {
-                let v = rec[(i, j)];
-                delta = delta.max((work[(i, j)] - v).abs());
-                work[(i, j)] = v;
-            }
-            if delta < self.tol {
-                break;
+        if !missing.is_empty() {
+            for _ in 0..self.max_iter {
+                let svd = thin_svd(&work);
+                let rec = svd.reconstruct(rank);
+                let mut delta: f64 = 0.0;
+                for &(i, j) in &missing {
+                    let v = rec[(i, j)];
+                    delta = delta.max((work[(i, j)] - v).abs());
+                    work[(i, j)] = v;
+                }
+                if delta < self.tol {
+                    break;
+                }
             }
         }
 
-        let mut out = rel.clone();
-        for &(i, j) in &missing {
-            out.set(i, j, transform.inverse(j, work[(i, j)]));
+        // The learned state: the converged matrix's top-r right-singular
+        // basis, plus the fit-time fills.
+        let svd = thin_svd(&work);
+        // A degenerate (all-constant) matrix can keep 0 triplets; serving
+        // then projects to 0, i.e. the standardized column mean.
+        let r = rank.min(svd.rank());
+        let mut basis = Matrix::zeros(m, r);
+        for j in 0..m {
+            for k in 0..r {
+                basis[(j, k)] = svd.v[(j, k)];
+            }
         }
-        Ok(out)
+        let mut filled = rel.clone();
+        for &(i, j) in &missing {
+            filled.set(i, j, transform.inverse(j, work[(i, j)]));
+        }
+        let cache = FillCache::from_batch(rel, &filled);
+        Ok(Box::new(FittedSvd {
+            transform,
+            basis,
+            max_iter: self.max_iter,
+            tol: self.tol,
+            cache,
+            arity: m,
+        }))
     }
 }
 
@@ -167,5 +261,38 @@ mod tests {
         rel.clear_cell(0, 0);
         let out = SvdImpute::default().impute(&rel).unwrap();
         assert!(out.get(0, 0).unwrap().is_finite());
+    }
+
+    #[test]
+    fn serves_novel_queries_from_fitted_basis() {
+        // Fit on the fully complete relation, then impute a never-seen
+        // tuple from the same rank-2 manifold.
+        let rel = low_rank_rel();
+        let fitted = SvdImpute::with_rank(2).fit(&rel).unwrap();
+        let (a, b) = ((100.0f64 * 0.37).sin() * 3.0, (100.0f64 * 0.11).cos() * 2.0);
+        let truth = -a + 3.0 * b;
+        let row = fitted
+            .impute_one(&[
+                Some(a + b),
+                Some(2.0 * a - b),
+                None,
+                Some(0.5 * a + 0.5 * b),
+            ])
+            .unwrap();
+        assert!(
+            (row[2] - truth).abs() < 0.2,
+            "served {} vs truth {truth}",
+            row[2]
+        );
+    }
+
+    #[test]
+    fn fit_time_tuples_get_their_batch_fills() {
+        let mut rel = low_rank_rel();
+        rel.clear_cell(7, 1);
+        let batch = SvdImpute::with_rank(2).impute(&rel).unwrap();
+        let fitted = SvdImpute::with_rank(2).fit(&rel).unwrap();
+        let row = fitted.impute_one(&rel.row_opt(7)).unwrap();
+        assert_eq!(row[1].to_bits(), batch.get(7, 1).unwrap().to_bits());
     }
 }

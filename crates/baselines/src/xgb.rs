@@ -1,4 +1,4 @@
-//! XGB [9]: gradient tree boosting, from scratch. A faithful small-scale
+//! XGB \[9\]: gradient tree boosting, from scratch. A faithful small-scale
 //! reimplementation of the xgboost regression objective: squared loss
 //! (gradient `g = ŷ − y`, hessian `h = 1`), exact greedy splits maximizing
 //! `½ [G_L²/(H_L+λ) + G_R²/(H_R+λ) − G²/(H+λ)] − γ`, leaf weights

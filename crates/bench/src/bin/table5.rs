@@ -20,6 +20,7 @@ fn main() {
         "Dataset", "R2_S", "R2_H", "IIM", "kNN", "kNNE", "IFC", "GMM", "SVD", "ILLS", "GLR",
         "LOESS", "BLR", "ERACER", "PMM", "XGB", "Mean",
     ]);
+    let mut timing_table: Option<Table> = None;
     for d in PaperData::ALL {
         let clean = d.generate(args.n, args.seed);
         let n = clean.n_rows();
@@ -78,9 +79,29 @@ fn main() {
             by_name("XGB"),
             by_name("Mean"),
         ]);
+        // Companion phase-timing table: the method's offline/online split
+        // through the fit/serve API, one row per (dataset, method).
+        let tt = timing_table
+            .get_or_insert_with(|| Table::new(vec!["Dataset", "Method", "Phases (fit / serve)"]));
+        for s in &scores {
+            tt.push(vec![
+                d.name().to_string(),
+                s.name.clone(),
+                if s.rmse.is_some() {
+                    s.timings.to_string()
+                } else {
+                    "-".to_string()
+                },
+            ]);
+        }
         eprintln!("[table5] {} done", d.name());
     }
     table.print("Table V: imputation RMS error over the paper's datasets");
     let path = table.write_tsv("table5").expect("write tsv");
     println!("wrote {}", path.display());
+    if let Some(tt) = timing_table {
+        tt.print("Table V companion: offline/online phase split per method");
+        let path = tt.write_tsv("table5_phases").expect("write tsv");
+        println!("wrote {}", path.display());
+    }
 }

@@ -366,7 +366,7 @@ impl SweepTables {
         let mut trow = vec![x.to_string()];
         for s in scores {
             rrow.push(Table::num(s.rmse));
-            trow.push(Table::secs(s.online_s));
+            trow.push(Table::secs(s.timings.total().as_secs_f64()));
         }
         self.rmse.as_mut().expect("init").push(rrow);
         self.time.as_mut().expect("init").push(trow);
@@ -376,7 +376,7 @@ impl SweepTables {
         let rmse = self.rmse.expect("non-empty sweep");
         let time = self.time.expect("non-empty sweep");
         rmse.print(&format!("{tag} (a): {title}"));
-        time.print(&format!("{tag} (b): imputation time (s)"));
+        time.print(&format!("{tag} (b): total offline + online time (s)"));
         rmse.write_tsv(&format!("{tag}_rmse")).expect("tsv");
         let path = time.write_tsv(&format!("{tag}_time")).expect("tsv");
         println!("wrote {}", path.display());

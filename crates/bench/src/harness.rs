@@ -4,7 +4,10 @@
 use iim_baselines::all_baselines;
 use iim_core::{AdaptiveConfig, Iim, IimConfig, Learning, Weighting};
 use iim_data::metrics::rmse;
-use iim_data::{FeatureSelection, GroundTruth, Imputer, PerAttributeImputer, Relation};
+use iim_data::{
+    FeatureSelection, GroundTruth, Imputer, PerAttributeImputer, PhaseTimings, Relation,
+};
+use std::time::Instant;
 
 /// One method's outcome on one workload.
 #[derive(Debug, Clone)]
@@ -14,10 +17,9 @@ pub struct MethodScore {
     /// RMS error against the injected ground truth; `None` when the method
     /// is not applicable (the paper prints "-").
     pub rmse: Option<f64>,
-    /// Offline (learning) seconds.
-    pub offline_s: f64,
-    /// Online (imputation) seconds.
-    pub online_s: f64,
+    /// Offline (`Imputer::fit_targets`) / online (`FittedImputer::
+    /// impute_all`) wall clock, measured through the real two-phase API.
+    pub timings: PhaseTimings,
 }
 
 /// Builds the paper-default IIM imputer: adaptive learning with stepping
@@ -93,7 +95,10 @@ pub fn figure_lineup(
         .collect()
 }
 
-/// Runs every method on the injected relation and scores it.
+/// Runs every method on the injected relation and scores it, timing the
+/// offline phase (`fit_targets` on the relation's incomplete attributes —
+/// the paper's protocol learns for the incomplete attribute only) and the
+/// online phase (`impute_all`) separately through the real two-phase API.
 ///
 /// Methods returning [`ImputeError::Unsupported`](iim_data::ImputeError)
 /// get `rmse: None` (the paper's "-" entries, e.g. SVD on 2 attributes);
@@ -103,22 +108,34 @@ pub fn run_lineup(
     rel: &Relation,
     truth: &GroundTruth,
 ) -> Vec<MethodScore> {
+    let targets = rel.incomplete_attrs();
     methods
         .iter()
-        .map(|m| match m.impute_timed(rel) {
-            Ok((out, t)) => MethodScore {
-                name: m.name().to_string(),
-                rmse: Some(rmse(&out, truth)),
-                offline_s: t.offline.as_secs_f64(),
-                online_s: t.online.as_secs_f64(),
-            },
-            Err(iim_data::ImputeError::Unsupported(_)) => MethodScore {
+        .map(|m| {
+            let not_applicable = || MethodScore {
                 name: m.name().to_string(),
                 rmse: None,
-                offline_s: 0.0,
-                online_s: 0.0,
-            },
-            Err(e) => panic!("{} failed: {e}", m.name()),
+                timings: PhaseTimings::default(),
+            };
+            let t0 = Instant::now();
+            let fitted = match m.fit_targets(rel, &targets) {
+                Ok(f) => f,
+                Err(iim_data::ImputeError::Unsupported(_)) => return not_applicable(),
+                Err(e) => panic!("{} failed to fit: {e}", m.name()),
+            };
+            let offline = t0.elapsed();
+            let t1 = Instant::now();
+            let out = match fitted.impute_all(rel) {
+                Ok(out) => out,
+                Err(iim_data::ImputeError::Unsupported(_)) => return not_applicable(),
+                Err(e) => panic!("{} failed to impute: {e}", m.name()),
+            };
+            let online = t1.elapsed();
+            MethodScore {
+                name: m.name().to_string(),
+                rmse: Some(rmse(&out, truth)),
+                timings: PhaseTimings { offline, online },
+            }
         })
         .collect()
 }

@@ -13,6 +13,11 @@ use iim_neighbors::{brute::FeatureMatrix, NeighborOrders};
 /// A learned IIM model for one incomplete attribute: the offline phase's
 /// output (`Φ` plus the training tuples), ready to impute any number of
 /// queries online.
+///
+/// This is the canonical fitted form behind the workspace's fit/serve
+/// protocol: `PerAttributeImputer::<Iim>::fit` returns a
+/// [`FittedImputer`](iim_data::FittedImputer) holding one `IimModel` per
+/// target attribute (each plugged in through its [`AttrPredictor`] impl).
 pub struct IimModel {
     fm: FeatureMatrix,
     models: Vec<RidgeModel>,
@@ -120,11 +125,12 @@ impl AttrPredictor for IimModel {
 /// use iim_core::{Iim, IimConfig};
 /// use iim_data::{Imputer, PerAttributeImputer};
 ///
-/// let (mut rel, _) = iim_data::paper_fig1();
-/// rel.push_row_opt(&[Some(5.0), None]); // tx
+/// let (rel, tx) = iim_data::paper_fig1();
 /// let iim = PerAttributeImputer::new(Iim::new(IimConfig { k: 3, ..Default::default() }));
-/// let filled = iim.impute(&rel).unwrap();
-/// assert!(filled.get(8, 1).is_some());
+/// // Offline phase once, then serve tx (and any other query) online.
+/// let fitted = iim.fit(&rel).unwrap();
+/// let served = fitted.impute_one(&tx).unwrap();
+/// assert!(served[1].is_finite());
 /// ```
 pub struct Iim {
     cfg: IimConfig,

@@ -53,44 +53,70 @@ fn is_missing_marker(s: &str) -> bool {
     s.is_empty() || s == "?" || s.eq_ignore_ascii_case("na") || s.eq_ignore_ascii_case("nan")
 }
 
+/// Parses a header line into attribute names.
+pub fn parse_header(line: &str) -> Vec<String> {
+    line.split(',').map(|s| s.trim().to_string()).collect()
+}
+
+/// Parses one CSV data line into an optional-value row, checking it has
+/// `want` fields. `lineno` is 1-based, for error messages. Shared by
+/// [`read`] and the CLI's streaming serving path.
+pub fn parse_row(line: &str, want: usize, lineno: usize) -> Result<Vec<Option<f64>>, CsvError> {
+    let mut row: Vec<Option<f64>> = Vec::with_capacity(want);
+    for field in line.split(',') {
+        let field = field.trim();
+        if is_missing_marker(field) {
+            row.push(None);
+        } else {
+            let v: f64 = field.parse().map_err(|_| CsvError::Parse {
+                line: lineno,
+                field: field.to_string(),
+            })?;
+            if !v.is_finite() {
+                row.push(None);
+            } else {
+                row.push(Some(v));
+            }
+        }
+    }
+    if row.len() != want {
+        return Err(CsvError::Arity {
+            line: lineno,
+            got: row.len(),
+            want,
+        });
+    }
+    Ok(row)
+}
+
+/// Formats one value row as a CSV line (`NaN` cells become empty fields,
+/// the missing marker [`write()`] uses).
+pub fn format_row(values: &[f64]) -> String {
+    let mut line = String::new();
+    for (j, v) in values.iter().enumerate() {
+        if j > 0 {
+            line.push(',');
+        }
+        if v.is_finite() {
+            line.push_str(&format!("{v}"));
+        }
+    }
+    line
+}
+
 /// Reads a relation from CSV text.
 pub fn read<R: Read>(reader: R) -> Result<Relation, CsvError> {
     let mut lines = BufReader::new(reader).lines();
     let header = lines.next().ok_or(CsvError::Empty)??;
-    let names: Vec<String> = header.split(',').map(|s| s.trim().to_string()).collect();
+    let names = parse_header(&header);
     let m = names.len();
     let mut rel = Relation::with_capacity(Schema::new(names), 0);
-    let mut row: Vec<Option<f64>> = Vec::with_capacity(m);
     for (idx, line) in lines.enumerate() {
         let line = line?;
-        let lineno = idx + 2;
         if line.trim().is_empty() {
             continue;
         }
-        row.clear();
-        for field in line.split(',') {
-            let field = field.trim();
-            if is_missing_marker(field) {
-                row.push(None);
-            } else {
-                let v: f64 = field.parse().map_err(|_| CsvError::Parse {
-                    line: lineno,
-                    field: field.to_string(),
-                })?;
-                if !v.is_finite() {
-                    row.push(None);
-                } else {
-                    row.push(Some(v));
-                }
-            }
-        }
-        if row.len() != m {
-            return Err(CsvError::Arity {
-                line: lineno,
-                got: row.len(),
-                want: m,
-            });
-        }
+        let row = parse_row(&line, m, idx + 2)?;
         rel.push_row_opt(&row);
     }
     Ok(rel)
@@ -104,18 +130,8 @@ pub fn read_path<P: AsRef<Path>>(path: P) -> Result<Relation, CsvError> {
 /// Writes a relation as CSV (missing cells become empty fields).
 pub fn write<W: Write>(rel: &Relation, mut w: W) -> io::Result<()> {
     writeln!(w, "{}", rel.schema().names().join(","))?;
-    let mut line = String::new();
     for i in 0..rel.n_rows() {
-        line.clear();
-        for j in 0..rel.arity() {
-            if j > 0 {
-                line.push(',');
-            }
-            if let Some(v) = rel.get(i, j) {
-                line.push_str(&format!("{v}"));
-            }
-        }
-        writeln!(w, "{line}")?;
+        writeln!(w, "{}", format_row(rel.row_raw(i)))?;
     }
     Ok(())
 }

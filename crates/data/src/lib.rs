@@ -16,9 +16,11 @@
 //!   Table VI), and clustered incomplete tuples (§VI-B5, Figure 8).
 //! * [`metrics`] — RMS error (the paper's accuracy criterion), MAE, and the
 //!   coefficient of determination used by the R²_S / R²_H diagnostics.
-//! * [`task`] — the [`Imputer`](task::Imputer) trait shared by IIM and all
-//!   thirteen baselines, the per-attribute estimator protocol, and the
-//!   driver that applies a per-attribute method to every incomplete column.
+//! * [`task`] — the two-phase protocol shared by IIM and all thirteen
+//!   baselines: [`Imputer::fit`] (offline learning) producing a
+//!   [`FittedImputer`] (online serving), the per-attribute estimator
+//!   protocol, and the driver that lifts a per-attribute method into the
+//!   protocol.
 
 pub mod csv;
 pub mod inject;
@@ -30,6 +32,6 @@ pub mod task;
 pub use inject::{GroundTruth, MissingCell};
 pub use relation::{paper_fig1, Relation, Schema};
 pub use task::{
-    AttrEstimator, AttrPredictor, AttrTask, FeatureSelection, ImputeError, Imputer,
-    PerAttributeImputer,
+    AttrEstimator, AttrPredictor, AttrTask, FeatureSelection, FillCache, FittedImputer,
+    FittedPerAttribute, ImputeError, Imputer, PerAttributeImputer, PhaseTimings, RowOpt,
 };

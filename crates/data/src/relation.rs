@@ -226,6 +226,23 @@ impl Relation {
         (0..self.arity()).filter(|&j| row[j].is_nan()).collect()
     }
 
+    /// Attribute indices with at least one missing cell, in schema order.
+    pub fn incomplete_attrs(&self) -> Vec<usize> {
+        (0..self.arity())
+            .filter(|&j| (0..self.n).any(|i| self.is_missing(i, j)))
+            .collect()
+    }
+
+    /// Tuple `i` as an optional-value row (`None` marks missing cells) —
+    /// the query format of
+    /// [`FittedImputer::impute_one`](crate::task::FittedImputer::impute_one).
+    pub fn row_opt(&self, i: usize) -> Vec<Option<f64>> {
+        self.row_raw(i)
+            .iter()
+            .map(|&v| if v.is_nan() { None } else { Some(v) })
+            .collect()
+    }
+
     /// Total number of missing cells.
     pub fn missing_count(&self) -> usize {
         self.values.iter().filter(|v| v.is_nan()).count()

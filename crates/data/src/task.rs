@@ -1,20 +1,32 @@
-//! The imputation task protocol shared by IIM and every baseline.
+//! The two-phase imputation protocol shared by IIM and every baseline.
 //!
-//! The paper's protocol (§II, §VI-A2): a relation holds complete tuples `r`
-//! plus incomplete tuples `tx`; for each incomplete attribute `Ax`, methods
-//! learn from the tuples complete on `F ∪ {Ax}` and impute the tuples
-//! missing `Ax`. Two integration styles exist:
+//! The paper separates an **offline learning phase** from an **online
+//! imputation phase** and stresses that "the offline learning phase only
+//! needs to be processed once" (§VI-B3). The protocol mirrors that split:
 //!
-//! * [`Imputer`] — the object-safe, whole-relation interface every method
-//!   implements (matrix-global methods like SVDimpute implement it
-//!   directly).
-//! * [`AttrEstimator`] / [`AttrPredictor`] — the per-attribute protocol
-//!   (fit `F → Ax`, predict queries); [`PerAttributeImputer`] lifts any
-//!   estimator into an [`Imputer`], handling feature selection, training-row
-//!   collection, and the multiple-missing-attributes loop.
+//! * [`Imputer::fit`] / [`Imputer::fit_targets`] — the offline phase: learn
+//!   everything a method needs (neighbor orders, individual models, Gram
+//!   accumulators, mixture components, …) from a relation, once.
+//! * [`FittedImputer`] — the online phase: an object-safe handle serving
+//!   single-tuple queries ([`FittedImputer::impute_one`]), micro-batches
+//!   ([`FittedImputer::impute_batch`]), and whole relations
+//!   ([`FittedImputer::impute_all`]).
+//! * [`Imputer::impute`] — the one-shot convenience reproducing the classic
+//!   batch semantics (fit on the relation's incomplete attributes, then fill
+//!   it); kept as a blanket method so existing call sites keep working.
+//!
+//! Two integration styles exist underneath:
+//!
+//! * Matrix-global methods (SVDimpute, IFC, ILLS, ERACER) implement
+//!   [`Imputer`] directly, capturing their learned state in `fit`.
+//! * Per-attribute methods implement [`AttrEstimator`] (fit `F → Ax`,
+//!   predict queries); [`PerAttributeImputer`] lifts any estimator into an
+//!   [`Imputer`], handling feature selection, training-row collection, and
+//!   the multiple-missing-attributes loop.
 
 use crate::relation::Relation;
-use std::time::{Duration, Instant};
+use std::collections::HashMap;
+use std::time::Duration;
 
 /// Why an imputation could not be produced.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -27,6 +39,19 @@ pub enum ImputeError {
     /// The method cannot run on this relation shape (e.g. SVDimpute on a
     /// single attribute). The paper's tables mark such entries "-".
     Unsupported(String),
+    /// A query is missing an attribute the fitted imputer holds no model
+    /// for (it was not in the [`Imputer::fit_targets`] target set).
+    NotFitted {
+        /// The missing attribute without a model.
+        target: usize,
+    },
+    /// A query row's arity does not match the fitted relation's.
+    ArityMismatch {
+        /// The fitted arity.
+        expected: usize,
+        /// The query's arity.
+        got: usize,
+    },
 }
 
 impl std::fmt::Display for ImputeError {
@@ -39,6 +64,15 @@ impl std::fmt::Display for ImputeError {
                 )
             }
             ImputeError::Unsupported(why) => write!(f, "method not applicable: {why}"),
+            ImputeError::NotFitted { target } => {
+                write!(f, "no fitted model for attribute index {target}")
+            }
+            ImputeError::ArityMismatch { expected, got } => {
+                write!(
+                    f,
+                    "query arity {got} does not match fitted arity {expected}"
+                )
+            }
         }
     }
 }
@@ -56,30 +90,229 @@ pub struct PhaseTimings {
     pub online: Duration,
 }
 
-/// A missing-value imputation method.
+impl PhaseTimings {
+    /// Offline + online wall clock.
+    pub fn total(&self) -> Duration {
+        self.offline + self.online
+    }
+}
+
+impl std::fmt::Display for PhaseTimings {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "offline {:.4}s + online {:.4}s = {:.4}s",
+            self.offline.as_secs_f64(),
+            self.online.as_secs_f64(),
+            self.total().as_secs_f64()
+        )
+    }
+}
+
+/// A single query tuple: `None` marks the missing cells to impute.
+///
+/// Matches [`Relation::push_row_opt`] / [`Relation::row_opt`], so relation
+/// rows and ad-hoc slices both serve as queries.
+pub type RowOpt = [Option<f64>];
+
+/// Validates a query row against the fitted arity and rejects non-finite
+/// present values (a relation never contains them, so no model can either).
+pub fn validate_query(row: &RowOpt, arity: usize) -> Result<(), ImputeError> {
+    if row.len() != arity {
+        return Err(ImputeError::ArityMismatch {
+            expected: arity,
+            got: row.len(),
+        });
+    }
+    if row.iter().flatten().any(|v| !v.is_finite()) {
+        return Err(ImputeError::Unsupported(
+            "query contains a non-finite present value".into(),
+        ));
+    }
+    Ok(())
+}
+
+/// The output of the offline phase: a learned model serving online queries.
+///
+/// Serving is **stateless**: `impute_one` is a pure function of the fitted
+/// state and the query, so the same query always gets the same answer
+/// regardless of call order or batching — the contract that lets one fitted
+/// model serve millions of queries from many threads (`Send + Sync`).
+pub trait FittedImputer: Send + Sync {
+    /// Display name of the underlying method (see [`Imputer::name`]).
+    fn name(&self) -> &str;
+
+    /// Arity of the relation the model was fitted on; queries must match.
+    fn arity(&self) -> usize;
+
+    /// Online phase: imputes one tuple.
+    ///
+    /// Returns the completed row: present cells pass through unchanged,
+    /// missing cells are filled with the model's prediction. A cell the
+    /// method cannot impute (e.g. a non-finite prediction) comes back as
+    /// `NaN` — callers that need per-cell presence should check
+    /// `is_finite()`, as [`FittedImputer::impute_all`] does.
+    fn impute_one(&self, row: &RowOpt) -> Result<Vec<f64>, ImputeError>;
+
+    /// Online phase over a micro-batch, preserving order.
+    fn impute_batch(&self, rows: &[&RowOpt]) -> Result<Vec<Vec<f64>>, ImputeError> {
+        rows.iter().map(|row| self.impute_one(row)).collect()
+    }
+
+    /// Imputes every missing cell of `rel`, reproducing the classic
+    /// whole-relation semantics: a copy of `rel` with each incomplete tuple
+    /// run through [`FittedImputer::impute_one`].
+    fn impute_all(&self, rel: &Relation) -> Result<Relation, ImputeError> {
+        if rel.arity() != self.arity() {
+            return Err(ImputeError::ArityMismatch {
+                expected: self.arity(),
+                got: rel.arity(),
+            });
+        }
+        let mut out = rel.clone();
+        for i in 0..rel.n_rows() {
+            if rel.row_complete(i) {
+                continue;
+            }
+            let filled = self.impute_one(&rel.row_opt(i))?;
+            for (j, &v) in filled.iter().enumerate() {
+                if rel.is_missing(i, j) && v.is_finite() {
+                    out.set(i, j, v);
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// A missing-value imputation method: the offline half of the protocol.
 pub trait Imputer {
     /// Display name used in experiment tables (matches the paper, e.g.
     /// "IIM", "kNN", "GLR").
     fn name(&self) -> &str;
 
-    /// Returns a copy of `rel` with every imputable missing cell filled.
-    fn impute(&self, rel: &Relation) -> Result<Relation, ImputeError>;
-
-    /// Like [`Imputer::impute`] but reporting the offline/online split.
+    /// Offline phase restricted to the given target attributes: learns the
+    /// models needed to impute exactly those attributes.
     ///
-    /// The default attributes all time to the online phase; methods with a
-    /// real offline phase override it.
-    fn impute_timed(&self, rel: &Relation) -> Result<(Relation, PhaseTimings), ImputeError> {
-        let start = Instant::now();
-        let out = self.impute(rel)?;
-        Ok((
-            out,
-            PhaseTimings {
-                offline: Duration::ZERO,
-                online: start.elapsed(),
-            },
-        ))
+    /// Methods that learn one whole-matrix model (SVDimpute, IFC) may
+    /// legitimately serve every attribute regardless of `targets`; methods
+    /// with per-attribute models return
+    /// [`ImputeError::NotFitted`] when queried outside the target set.
+    fn fit_targets(
+        &self,
+        rel: &Relation,
+        targets: &[usize],
+    ) -> Result<Box<dyn FittedImputer>, ImputeError>;
+
+    /// Offline phase: learns models able to impute **any** attribute of a
+    /// later query — the serving configuration. Works on a fully complete
+    /// relation (the scenario the batch API could not express).
+    ///
+    /// Best-effort over attributes: a target without training data (e.g. an
+    /// all-missing column in the fit relation) is dropped rather than
+    /// failing the whole fit, and only surfaces as
+    /// [`ImputeError::NotFitted`] if a query actually needs it. Use
+    /// [`Imputer::fit_targets`] when specific attributes are required
+    /// up front.
+    fn fit(&self, rel: &Relation) -> Result<Box<dyn FittedImputer>, ImputeError> {
+        let mut targets: Vec<usize> = (0..rel.arity()).collect();
+        loop {
+            match self.fit_targets(rel, &targets) {
+                Err(ImputeError::NoTrainingData { target })
+                    if targets.len() > 1 && targets.contains(&target) =>
+                {
+                    targets.retain(|&t| t != target);
+                }
+                other => return other,
+            }
+        }
     }
+
+    /// One-shot convenience reproducing the classic batch semantics:
+    /// fits on the attributes actually missing in `rel`, then fills them.
+    fn impute(&self, rel: &Relation) -> Result<Relation, ImputeError> {
+        self.fit_targets(rel, &rel.incomplete_attrs())?
+            .impute_all(rel)
+    }
+}
+
+/// Remembered fills for the incomplete tuples seen at fit time.
+///
+/// Matrix-global methods (SVDimpute, IFC, ILLS, ERACER) impute the fit
+/// relation's incomplete tuples *jointly* during the offline phase — the
+/// iterations feed on each other's estimates. The cache keys those tuples
+/// by exact bit pattern so online serving returns the joint solution for
+/// them, while genuinely novel queries take the method's single-query path
+/// against the captured state.
+#[derive(Debug, Clone, Default)]
+pub struct FillCache {
+    map: HashMap<Vec<u64>, Vec<(usize, f64)>>,
+}
+
+/// Missing cells key as a bit pattern no finite value can take.
+const MISSING_KEY: u64 = u64::MAX;
+
+fn cache_key(row: &RowOpt) -> Vec<u64> {
+    row.iter()
+        .map(|c| c.map_or(MISSING_KEY, f64::to_bits))
+        .collect()
+}
+
+impl FillCache {
+    /// Records, for every incomplete tuple of `original`, the cells that
+    /// `filled` (the batch result over `original`) imputed. Tuples the
+    /// method left holes in are recorded with those cells absent, so
+    /// lookups reproduce the batch behavior exactly.
+    pub fn from_batch(original: &Relation, filled: &Relation) -> Self {
+        let mut map = HashMap::new();
+        for i in 0..original.n_rows() {
+            if original.row_complete(i) {
+                continue;
+            }
+            let fills: Vec<(usize, f64)> = original
+                .missing_attrs(i)
+                .into_iter()
+                .filter_map(|j| filled.get(i, j).map(|v| (j, v)))
+                .collect();
+            map.insert(cache_key(&original.row_opt(i)), fills);
+        }
+        Self { map }
+    }
+
+    /// The fills remembered for a fit-time tuple with this exact pattern.
+    pub fn lookup(&self, row: &RowOpt) -> Option<&[(usize, f64)]> {
+        self.map.get(&cache_key(row)).map(Vec::as_slice)
+    }
+
+    /// Number of remembered tuples.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no tuples were incomplete at fit time.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Applies remembered fills onto a completed-row buffer (missing cells
+    /// initialized to `NaN`), returning whether the row was remembered.
+    pub fn apply(&self, row: &RowOpt, out: &mut [f64]) -> bool {
+        match self.lookup(row) {
+            Some(fills) => {
+                for &(j, v) in fills {
+                    out[j] = v;
+                }
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// Expands a query into a completed-row buffer: present cells pass
+/// through, missing cells start as `NaN` for the method to fill.
+pub fn completed_row(row: &RowOpt) -> Vec<f64> {
+    row.iter().map(|c| c.unwrap_or(f64::NAN)).collect()
 }
 
 /// How the complete attribute set `F` is chosen for a target attribute.
@@ -169,16 +402,35 @@ impl<'a> AttrTask<'a> {
         }
         (xs, ys)
     }
+
+    /// Column means of the features over the training rows — the fallback
+    /// for queries missing one of their *feature* values.
+    pub fn feature_means(&self) -> Vec<f64> {
+        let mut means = vec![0.0; self.features.len()];
+        for &r in &self.train_rows {
+            let row = self.rel.row_raw(r as usize);
+            for (slot, &j) in means.iter_mut().zip(&self.features) {
+                *slot += row[j];
+            }
+        }
+        for slot in &mut means {
+            *slot /= self.n_train().max(1) as f64;
+        }
+        means
+    }
 }
 
 /// A fitted per-attribute model.
-pub trait AttrPredictor {
+///
+/// `Send + Sync` so a fitted imputer can serve queries from many threads;
+/// `predict` must be a pure function of the model and the query.
+pub trait AttrPredictor: Send + Sync {
     /// Predicts the target from a feature vector in `AttrTask::features`
     /// order.
     fn predict(&self, x: &[f64]) -> f64;
 }
 
-impl<F: Fn(&[f64]) -> f64> AttrPredictor for F {
+impl<F: Fn(&[f64]) -> f64 + Send + Sync> AttrPredictor for F {
     fn predict(&self, x: &[f64]) -> f64 {
         self(x)
     }
@@ -198,8 +450,9 @@ pub trait AttrEstimator {
 
 /// Lifts an [`AttrEstimator`] into a whole-relation [`Imputer`].
 ///
-/// For every attribute with missing cells it builds an [`AttrTask`] with the
-/// configured [`FeatureSelection`], fits once, and predicts all queries.
+/// `fit_targets` builds an [`AttrTask`] per target attribute with the
+/// configured [`FeatureSelection`] and fits the estimator once per target;
+/// the resulting [`FittedImputer`] predicts any number of queries online.
 /// Queries missing one of their *feature* values (tuples with several
 /// missing attributes) have those features replaced by the training-column
 /// mean — the paper sidesteps this case ("multiple incomplete attributes
@@ -231,65 +484,53 @@ impl<E: AttrEstimator> PerAttributeImputer<E> {
     pub fn estimator(&self) -> &E {
         &self.estimator
     }
+}
 
-    fn impute_inner(
-        &self,
-        rel: &Relation,
-        timings: &mut PhaseTimings,
-    ) -> Result<Relation, ImputeError> {
-        let mut out = rel.clone();
-        let m = rel.arity();
-        // Attributes that actually have missing cells, in schema order.
-        let mut has_missing = vec![false; m];
-        for i in 0..rel.n_rows() {
-            for j in 0..m {
-                if rel.is_missing(i, j) {
-                    has_missing[j] = true;
-                }
-            }
-        }
+/// One fitted target attribute of a [`FittedPerAttribute`].
+struct FittedAttrModel {
+    features: Vec<usize>,
+    /// Training-column means, for missing-feature fallback.
+    means: Vec<f64>,
+    predictor: Box<dyn AttrPredictor>,
+}
+
+/// The fitted form of a [`PerAttributeImputer`]: one predictor per target
+/// attribute (for IIM, each predictor is an `IimModel` — the individual
+/// models Φ plus the training tuples, the paper's offline-phase output).
+pub struct FittedPerAttribute {
+    name: String,
+    arity: usize,
+    models: Vec<Option<FittedAttrModel>>,
+}
+
+impl FittedImputer for FittedPerAttribute {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn arity(&self) -> usize {
+        self.arity
+    }
+
+    fn impute_one(&self, row: &RowOpt) -> Result<Vec<f64>, ImputeError> {
+        validate_query(row, self.arity)?;
+        let mut out = completed_row(row);
         let mut fbuf = Vec::new();
-        for target in 0..m {
-            if !has_missing[target] {
+        for j in 0..self.arity {
+            if row[j].is_some() {
                 continue;
             }
-            let features = self.features.resolve(m, target);
-            let t0 = Instant::now();
-            let task = AttrTask::new(rel, features.clone(), target);
-            if task.n_train() == 0 {
-                return Err(ImputeError::NoTrainingData { target });
+            let model = self.models[j]
+                .as_ref()
+                .ok_or(ImputeError::NotFitted { target: j })?;
+            fbuf.clear();
+            for (idx, &fj) in model.features.iter().enumerate() {
+                fbuf.push(row[fj].unwrap_or(model.means[idx]));
             }
-            // Column means over training rows, for feature fallback.
-            let mut means = vec![0.0; features.len()];
-            for &r in &task.train_rows {
-                let row = rel.row_raw(r as usize);
-                for (slot, &j) in means.iter_mut().zip(&features) {
-                    *slot += row[j];
-                }
+            let pred = model.predictor.predict(&fbuf);
+            if pred.is_finite() {
+                out[j] = pred;
             }
-            for slot in &mut means {
-                *slot /= task.n_train() as f64;
-            }
-            let model = self.estimator.fit(&task)?;
-            timings.offline += t0.elapsed();
-
-            let t1 = Instant::now();
-            for i in 0..rel.n_rows() {
-                if !rel.is_missing(i, target) {
-                    continue;
-                }
-                fbuf.clear();
-                let row = rel.row_raw(i);
-                for (idx, &j) in features.iter().enumerate() {
-                    let v = row[j];
-                    fbuf.push(if v.is_nan() { means[idx] } else { v });
-                }
-                let pred = model.predict(&fbuf);
-                if pred.is_finite() {
-                    out.set(i, target, pred);
-                }
-            }
-            timings.online += t1.elapsed();
         }
         Ok(out)
     }
@@ -300,15 +541,32 @@ impl<E: AttrEstimator> Imputer for PerAttributeImputer<E> {
         self.estimator.name()
     }
 
-    fn impute(&self, rel: &Relation) -> Result<Relation, ImputeError> {
-        let mut t = PhaseTimings::default();
-        self.impute_inner(rel, &mut t)
-    }
-
-    fn impute_timed(&self, rel: &Relation) -> Result<(Relation, PhaseTimings), ImputeError> {
-        let mut t = PhaseTimings::default();
-        let out = self.impute_inner(rel, &mut t)?;
-        Ok((out, t))
+    fn fit_targets(
+        &self,
+        rel: &Relation,
+        targets: &[usize],
+    ) -> Result<Box<dyn FittedImputer>, ImputeError> {
+        let m = rel.arity();
+        let mut models: Vec<Option<FittedAttrModel>> = (0..m).map(|_| None).collect();
+        for &target in targets {
+            let features = self.features.resolve(m, target);
+            let task = AttrTask::new(rel, features.clone(), target);
+            if task.n_train() == 0 {
+                return Err(ImputeError::NoTrainingData { target });
+            }
+            let means = task.feature_means();
+            let predictor = self.estimator.fit(&task)?;
+            models[target] = Some(FittedAttrModel {
+                features,
+                means,
+                predictor,
+            });
+        }
+        Ok(Box::new(FittedPerAttribute {
+            name: self.estimator.name().to_string(),
+            arity: m,
+            models,
+        }))
     }
 }
 
@@ -373,6 +631,7 @@ mod tests {
         let (xs, ys) = task.training_matrix();
         assert_eq!(xs[1], vec![2.0, 200.0]);
         assert_eq!(ys, vec![10.0, 20.0, 30.0]);
+        assert_eq!(task.feature_means(), vec![2.0, 200.0]);
     }
 
     #[test]
@@ -390,13 +649,94 @@ mod tests {
     }
 
     #[test]
-    fn driver_reports_phase_timings() {
+    fn fit_then_serve_single_queries() {
         let rel = rel_with_missing();
-        let imputer = PerAttributeImputer::new(MeanEstimator);
-        let (_, t) = imputer.impute_timed(&rel).unwrap();
-        // Both phases ran; durations are non-negative by type. Just ensure
-        // the method executed the split path.
-        assert!(t.offline.as_nanos() > 0 || t.online.as_nanos() > 0);
+        let fitted = PerAttributeImputer::new(MeanEstimator).fit(&rel).unwrap();
+        assert_eq!(fitted.name(), "TestMean");
+        assert_eq!(fitted.arity(), 3);
+        // A novel single-tuple query: attribute 1 missing.
+        let row = fitted.impute_one(&[Some(9.0), None, Some(900.0)]).unwrap();
+        assert_eq!(row, vec![9.0, 20.0, 900.0]);
+        // Micro-batch preserves order.
+        let q1: Vec<Option<f64>> = vec![Some(9.0), None, Some(900.0)];
+        let q2: Vec<Option<f64>> = vec![None, Some(50.0), Some(100.0)];
+        let batch = fitted.impute_batch(&[&q1, &q2]).unwrap();
+        assert_eq!(batch[0][1], 20.0);
+        assert_eq!(batch[1][0], 2.0);
+    }
+
+    #[test]
+    fn fit_on_complete_relation_serves_later_queries() {
+        let mut rel = Relation::with_capacity(Schema::anonymous(2), 3);
+        rel.push_row(&[1.0, 10.0]);
+        rel.push_row(&[2.0, 20.0]);
+        rel.push_row(&[3.0, 30.0]);
+        // The serving scenario the batch API could not express: nothing is
+        // missing at fit time.
+        let fitted = PerAttributeImputer::new(MeanEstimator).fit(&rel).unwrap();
+        let row = fitted.impute_one(&[Some(7.0), None]).unwrap();
+        assert_eq!(row, vec![7.0, 20.0]);
+    }
+
+    #[test]
+    fn fit_targets_limits_served_attributes() {
+        let rel = rel_with_missing();
+        let fitted = PerAttributeImputer::new(MeanEstimator)
+            .fit_targets(&rel, &[1])
+            .unwrap();
+        assert!(fitted.impute_one(&[Some(1.0), None, Some(2.0)]).is_ok());
+        assert_eq!(
+            fitted
+                .impute_one(&[Some(1.0), Some(2.0), None])
+                .unwrap_err(),
+            ImputeError::NotFitted { target: 2 }
+        );
+    }
+
+    #[test]
+    fn serving_fit_drops_unservable_targets() {
+        // Column 2 is entirely missing. Under FirstK(1) it is unfittable
+        // (nothing is complete on {A1, A3}) but also unused as a feature
+        // by the other targets, so the serving `fit` drops it instead of
+        // failing the whole fit; it only surfaces when a query needs it.
+        let mut rel = Relation::with_capacity(Schema::anonymous(3), 3);
+        rel.push_row_opt(&[Some(1.0), Some(10.0), None]);
+        rel.push_row_opt(&[Some(2.0), Some(20.0), None]);
+        rel.push_row_opt(&[Some(3.0), Some(30.0), None]);
+        let imputer =
+            PerAttributeImputer::with_features(MeanEstimator, FeatureSelection::FirstK(1));
+        // Strict per-target fitting still errors…
+        assert_eq!(
+            imputer.fit_targets(&rel, &[0, 1, 2]).err(),
+            Some(ImputeError::NoTrainingData { target: 2 })
+        );
+        // …while the serving fit serves what it can.
+        let fitted = imputer.fit(&rel).unwrap();
+        let row = fitted.impute_one(&[None, Some(20.0), Some(5.0)]).unwrap();
+        assert_eq!(row[0], 2.0);
+        assert_eq!(
+            fitted
+                .impute_one(&[Some(1.0), Some(2.0), None])
+                .unwrap_err(),
+            ImputeError::NotFitted { target: 2 }
+        );
+    }
+
+    #[test]
+    fn query_validation() {
+        let rel = rel_with_missing();
+        let fitted = PerAttributeImputer::new(MeanEstimator).fit(&rel).unwrap();
+        assert_eq!(
+            fitted.impute_one(&[Some(1.0), None]).unwrap_err(),
+            ImputeError::ArityMismatch {
+                expected: 3,
+                got: 2
+            }
+        );
+        assert!(matches!(
+            fitted.impute_one(&[Some(f64::NAN), None, Some(1.0)]),
+            Err(ImputeError::Unsupported(_))
+        ));
     }
 
     #[test]
@@ -424,5 +764,37 @@ mod tests {
             imputer.impute(&rel).unwrap_err(),
             ImputeError::NoTrainingData { target: 1 }
         );
+    }
+
+    #[test]
+    fn phase_timings_total_and_display() {
+        let t = PhaseTimings {
+            offline: Duration::from_millis(1500),
+            online: Duration::from_millis(250),
+        };
+        assert_eq!(t.total(), Duration::from_millis(1750));
+        assert_eq!(t.to_string(), "offline 1.5000s + online 0.2500s = 1.7500s");
+    }
+
+    #[test]
+    fn fill_cache_round_trips_batch_fills() {
+        let original = rel_with_missing();
+        let mut filled = original.clone();
+        filled.set(3, 1, 42.0);
+        // Row 4 deliberately left unfilled: the cache must remember that.
+        let cache = FillCache::from_batch(&original, &filled);
+        assert_eq!(cache.len(), 2);
+        assert!(!cache.is_empty());
+
+        let mut out = completed_row(&original.row_opt(3));
+        assert!(cache.apply(&original.row_opt(3), &mut out));
+        assert_eq!(out[1], 42.0);
+
+        let mut out = completed_row(&original.row_opt(4));
+        assert!(cache.apply(&original.row_opt(4), &mut out));
+        assert!(out[2].is_nan(), "unfilled cell must stay missing");
+
+        // A novel pattern misses the cache.
+        assert!(cache.lookup(&[Some(8.0), None, Some(1.0)]).is_none());
     }
 }

@@ -12,14 +12,14 @@
 //!
 //! * [`Matrix`] — row-major dense matrix with the handful of ops the
 //!   workspace needs (products, transpose, norms).
-//! * [`cholesky`](solve::cholesky) / [`lu`](solve::LuFactors) — SPD and
+//! * [`cholesky`] / [`lu`](solve::LuFactors) — SPD and
 //!   general linear solvers; ridge systems are SPD by construction.
-//! * [`eigen_sym`](eigen::eigen_sym) — cyclic Jacobi eigendecomposition of
+//! * [`eigen_sym`] — cyclic Jacobi eigendecomposition of
 //!   symmetric matrices, the workhorse behind the thin SVD.
-//! * [`thin_svd`](svd::thin_svd) — SVD of tall matrices via the `m x m`
+//! * [`thin_svd`] — SVD of tall matrices via the `m x m`
 //!   normal-equations eigenproblem (used by the SVDimpute baseline).
 //! * [`ridge`] — Ordinary ridge regression `(XᵀX + αE)⁻¹ Xᵀy`.
-//! * [`GramAccumulator`](gram::GramAccumulator) — the incremental `U`/`V`
+//! * [`GramAccumulator`] — the incremental `U`/`V`
 //!   pair of Proposition 3: add rows in O(m²) and re-solve in O(m³),
 //!   independent of how many rows have been absorbed.
 //!

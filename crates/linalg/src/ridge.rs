@@ -9,7 +9,7 @@ use crate::matrix::dot;
 use crate::solve::solve_spd_regularized;
 use crate::Matrix;
 
-/// A fitted linear model `y ≈ φ[0] + φ[1] x₁ + … + φ[m-1] x_{m-1}`.
+/// A fitted linear model `y ≈ φ\[0\] + φ\[1\] x₁ + … + φ[m-1] x_{m-1}`.
 ///
 /// `phi` is laid out exactly like the paper's
 /// `φ = {φ[C], φ[A1], …, φ[A_{m-1}]}ᵀ`.

@@ -2,19 +2,32 @@
 //!
 //! ```text
 //! iim impute [--method IIM] [--k 10] [--seed 42] [--output out.csv] input.csv
+//! iim impute --fit-on train.csv queries.csv   # fit once, stream queries
 //! iim profile input.csv          # R²_S / R²_H diagnostics per attribute
 //! iim methods                    # list available methods
 //! ```
 //!
 //! `impute` reads a headered numerical CSV (missing cells empty, `?`, or
 //! `NA`), fills every imputable cell with the chosen method, and writes
-//! the completed CSV (stdout by default). `profile` reports how sparse /
-//! heterogeneous each attribute is, i.e. which method family the data
-//! favours.
+//! the completed CSV (stdout by default). With `--fit-on TRAIN.csv` the
+//! method runs its offline phase on the training file once and then
+//! streams the input file's tuples through the fitted model one by one —
+//! the learn-once / impute-millions split of the paper's §VI-B3.
+//! `profile` reports how sparse / heterogeneous each attribute is, i.e.
+//! which method family the data favours.
 
 use iim::prelude::*;
-use iim_baselines::all_baselines;
+use std::io::{BufRead, Write};
 use std::process::ExitCode;
+use std::time::Instant;
+
+fn usage() -> String {
+    "usage:\
+     \n  iim impute [--method NAME] [--k N] [--seed S] [--fit-on TRAIN.csv] [--output FILE] INPUT.csv\
+     \n  iim profile INPUT.csv\
+     \n  iim methods"
+        .to_string()
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -22,17 +35,22 @@ fn main() -> ExitCode {
         Some("impute") => impute(&args[1..]),
         Some("profile") => profile(&args[1..]),
         Some("methods") => {
-            println!("IIM (default)");
-            for m in all_baselines(10, 0, FeatureSelection::AllOthers) {
-                println!("{}", m.name());
+            // One source of truth: the first lineup entry is the default.
+            for (i, m) in iim::methods::lineup(10, 0).iter().enumerate() {
+                if i == 0 {
+                    println!("{} (default)", m.name());
+                } else {
+                    println!("{}", m.name());
+                }
             }
             ExitCode::SUCCESS
         }
-        Some("--help") | Some("-h") | None => {
-            eprintln!(
-                "usage:\n  iim impute [--method NAME] [--k N] [--seed S] [--output FILE] INPUT.csv\
-                 \n  iim profile INPUT.csv\n  iim methods"
-            );
+        Some("--help") | Some("-h") => {
+            println!("{}", usage());
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!("{}", usage());
             ExitCode::from(2)
         }
         Some(other) => {
@@ -46,15 +64,17 @@ struct Flags {
     method: String,
     k: usize,
     seed: u64,
+    fit_on: Option<String>,
     output: Option<String>,
     input: Option<String>,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
     let mut f = Flags {
-        method: "IIM".into(),
+        method: iim::methods::default_name(),
         k: 10,
         seed: 42,
+        fit_on: None,
         output: None,
         input: None,
     };
@@ -74,6 +94,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     .and_then(|v| v.parse().ok())
                     .ok_or("--seed needs a u64")?
             }
+            "--fit-on" => f.fit_on = Some(it.next().ok_or("--fit-on needs a path")?.clone()),
             "--output" | "-o" => f.output = Some(it.next().ok_or("--output needs a path")?.clone()),
             path if !path.starts_with('-') => f.input = Some(path.to_string()),
             other => return Err(format!("unknown flag {other:?}")),
@@ -83,23 +104,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
 }
 
 fn build_method(name: &str, k: usize, seed: u64) -> Result<Box<dyn Imputer>, String> {
-    if name.eq_ignore_ascii_case("iim") {
-        // Harness-default IIM: capped, stepped adaptive sweep.
-        let cfg = IimConfig {
-            k,
-            learning: iim::core::Learning::Adaptive(AdaptiveConfig {
-                step: 5,
-                ell_max: Some(1000),
-                validation_k: Some(k.max(10)),
-                ..AdaptiveConfig::default()
-            }),
-            ..IimConfig::default()
-        };
-        return Ok(Box::new(PerAttributeImputer::new(Iim::new(cfg))));
-    }
-    all_baselines(k, seed, FeatureSelection::AllOthers)
-        .into_iter()
-        .find(|m| m.name().eq_ignore_ascii_case(name))
+    iim::methods::by_name(name, k, seed)
         .ok_or_else(|| format!("unknown method {name:?}; run `iim methods`"))
 }
 
@@ -111,18 +116,10 @@ fn impute(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let Some(input) = flags.input else {
+    let Some(input) = flags.input.clone() else {
         eprintln!("error: missing input file");
         return ExitCode::from(2);
     };
-    let rel = match iim::data::csv::read_path(&input) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("error reading {input}: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let missing = rel.missing_count();
     let method = match build_method(&flags.method, flags.k, flags.seed) {
         Ok(m) => m,
         Err(e) => {
@@ -130,6 +127,22 @@ fn impute(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    match &flags.fit_on {
+        Some(train_path) => serve(&flags, &input, train_path, method.as_ref()),
+        None => impute_batch_file(&flags, &input, method.as_ref()),
+    }
+}
+
+/// The classic one-shot path: fit on the input itself, fill it, write it.
+fn impute_batch_file(flags: &Flags, input: &str, method: &dyn Imputer) -> ExitCode {
+    let rel = match iim::data::csv::read_path(input) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error reading {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let missing = rel.missing_count();
     let filled = match method.impute(&rel) {
         Ok(f) => f,
         Err(e) => {
@@ -153,6 +166,126 @@ fn impute(args: &[String]) -> ExitCode {
         filled.n_rows(),
         filled.arity(),
         method.name(),
+    );
+    ExitCode::SUCCESS
+}
+
+/// The serving path: offline phase on the training file once, then stream
+/// the input file's tuples through the fitted model one at a time.
+fn serve(flags: &Flags, input: &str, train_path: &str, method: &dyn Imputer) -> ExitCode {
+    let train = match iim::data::csv::read_path(train_path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error reading {train_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let t0 = Instant::now();
+    // Fit every attribute: a query may be missing any of them.
+    let fitted = match method.fit(&train) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("offline phase failed on {train_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let offline = t0.elapsed();
+
+    let file = match std::fs::File::open(input) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error reading {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut lines = std::io::BufReader::new(file).lines();
+    let header = match lines.next() {
+        Some(Ok(h)) => h,
+        _ => {
+            eprintln!("error reading {input}: empty input: missing header");
+            return ExitCode::FAILURE;
+        }
+    };
+    let names = iim::data::csv::parse_header(&header);
+    if names != train.schema().names() {
+        eprintln!(
+            "error: query header {names:?} does not match training header {:?}",
+            train.schema().names()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let mut out: Box<dyn Write> = match &flags.output {
+        Some(path) => match std::fs::File::create(path) {
+            Ok(f) => Box::new(std::io::BufWriter::new(f)),
+            Err(e) => {
+                eprintln!("error writing output: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Box::new(std::io::stdout().lock()),
+    };
+
+    let mut timings = PhaseTimings {
+        offline,
+        ..Default::default()
+    };
+    let mut served = 0usize;
+    let mut filled_cells = 0usize;
+    let write_failed = |e: std::io::Error| {
+        eprintln!("error writing output: {e}");
+        ExitCode::FAILURE
+    };
+    if let Err(e) = writeln!(out, "{header}") {
+        return write_failed(e);
+    }
+    for (idx, line) in lines.enumerate() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("error reading {input}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let row = match iim::data::csv::parse_row(&line, names.len(), idx + 2) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error reading {input}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let missing_before = row.iter().filter(|c| c.is_none()).count();
+        let t1 = Instant::now();
+        let completed = match fitted.impute_one(&row) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("imputation failed on line {}: {e}", idx + 2);
+                return ExitCode::FAILURE;
+            }
+        };
+        timings.online += t1.elapsed();
+        served += 1;
+        filled_cells += missing_before - completed.iter().filter(|v| !v.is_finite()).count();
+        if let Err(e) = writeln!(out, "{}", iim::data::csv::format_row(&completed)) {
+            return write_failed(e);
+        }
+    }
+    if let Err(e) = out.flush() {
+        return write_failed(e);
+    }
+    let per_query = timings.online.as_secs_f64() / served.max(1) as f64;
+    eprintln!(
+        "{}: fitted {} on {} ({} rows); served {served} queries ({filled_cells} cells filled), \
+         {:.1} us/query; {}",
+        input,
+        method.name(),
+        train_path,
+        train.n_rows(),
+        per_query * 1e6,
+        timings,
     );
     ExitCode::SUCCESS
 }

@@ -26,24 +26,61 @@
 //! (Proposition 3). kNN and GLR fall out as the ℓ = 1 and ℓ = n special
 //! cases (Propositions 1–2).
 //!
-//! ## Quick start
+//! ## Quick start: learn once, impute many
+//!
+//! The protocol mirrors the paper's phase split ("the offline learning
+//! phase only needs to be processed once", §VI-B3): `fit` learns a model
+//! offline, the returned [`FittedImputer`](data::FittedImputer) serves any
+//! number of online queries.
 //!
 //! ```
 //! use iim::prelude::*;
 //!
-//! // The paper's Figure 1: two streets of check-ins, plus tx = (5.0, ?)
-//! // whose true A2 value is 1.8.
-//! let (mut relation, tx) = iim::data::paper_fig1();
-//! relation.push_row_opt(&tx);
+//! // The paper's Figure 1: two streets of check-ins. tx = (5.0, ?) has
+//! // true A2 = 1.8.
+//! let (relation, tx) = iim::data::paper_fig1();
 //!
 //! let imputer = PerAttributeImputer::new(Iim::new(IimConfig {
 //!     k: 3,
 //!     ..IimConfig::default()
 //! }));
-//! let filled = imputer.impute(&relation).unwrap();
-//! let value = filled.get(8, 1).unwrap();
-//! assert!((value - 1.8).abs() < 0.7); // kNN value-averaging is off by 1.6
+//!
+//! // Offline phase, once — the relation is fully complete; nothing needs
+//! // imputing yet.
+//! let fitted = imputer.fit(&relation).unwrap();
+//!
+//! // Online phase, per query: `None` marks the cell to impute.
+//! let served = fitted.impute_one(&tx).unwrap();
+//! assert!((served[1] - 1.8).abs() < 0.7); // kNN value-averaging is off by 1.6
+//!
+//! // Whole-relation batch imputation is the same machinery:
+//! // `impute(&rel)` ≡ `fit` on the missing attributes + `impute_all`.
+//! let mut incomplete = relation.clone();
+//! incomplete.push_row_opt(&tx);
+//! let filled = imputer.impute(&incomplete).unwrap();
+//! assert_eq!(filled.missing_count(), 0);
 //! ```
+//!
+//! ### Migrating from the batch-only trait (pre-fit/serve)
+//!
+//! * `Imputer::impute(&rel)` still exists — it is now a blanket convenience
+//!   over `fit_targets` + `impute_all`. Semantics are unchanged for the
+//!   deterministic methods; BLR and PMM now key their per-query randomness
+//!   by the query's bit pattern instead of a shared sequential RNG stream
+//!   (the serving contract: same fitted model + same query ⇒ same answer),
+//!   so their imputed values differ from pre-fit/serve releases for the
+//!   same seed, and identical query rows receive identical draws.
+//! * `Imputer::impute_timed` is gone: time the phases yourself around
+//!   [`Imputer::fit_targets`](data::Imputer::fit_targets) (offline) and
+//!   [`FittedImputer::impute_all`](data::FittedImputer::impute_all)
+//!   (online), accumulating into
+//!   [`PhaseTimings`](data::PhaseTimings) — see `iim-bench`'s
+//!   `run_lineup` for the pattern.
+//! * Methods implementing the trait now provide `fit_targets` (offline
+//!   learning, returning a `Box<dyn FittedImputer>`) instead of `impute`;
+//!   per-attribute methods keep implementing
+//!   [`AttrEstimator`](data::AttrEstimator) and inherit everything through
+//!   [`PerAttributeImputer`](data::PerAttributeImputer).
 //!
 //! ## Crate map
 //!
@@ -68,12 +105,14 @@ pub use iim_linalg as linalg;
 pub use iim_ml as ml;
 pub use iim_neighbors as neighbors;
 
+pub mod methods;
+
 /// The types most applications need.
 pub mod prelude {
     pub use iim_baselines::all_baselines;
     pub use iim_core::{AdaptiveConfig, Iim, IimConfig, IimModel, Learning, Weighting};
     pub use iim_data::{
-        AttrTask, FeatureSelection, GroundTruth, ImputeError, Imputer, MissingCell,
-        PerAttributeImputer, Relation, Schema,
+        AttrTask, FeatureSelection, FittedImputer, GroundTruth, ImputeError, Imputer, MissingCell,
+        PerAttributeImputer, PhaseTimings, Relation, RowOpt, Schema,
     };
 }

@@ -1,0 +1,75 @@
+//! The canonical method lineup — one source of truth for the CLI, tests,
+//! and anything else that picks methods by name.
+//!
+//! [`lineup`] returns IIM first (the default method) followed by the
+//! thirteen Table II baselines in registry order, so a renamed or added
+//! method can never drift between `iim methods`, `--method` resolution,
+//! and the library surface.
+
+use iim_baselines::all_baselines;
+use iim_core::{AdaptiveConfig, Iim, IimConfig, Learning};
+use iim_data::{FeatureSelection, Imputer, PerAttributeImputer};
+
+/// Every available method: IIM (the default, listed first) followed by the
+/// Table II baselines.
+///
+/// * `k` — neighbor count shared by IIM / kNN / kNNE / LOESS / ILLS.
+/// * `seed` — RNG seed for the stochastic methods (BLR, PMM, XGB).
+pub fn lineup(k: usize, seed: u64) -> Vec<Box<dyn Imputer>> {
+    // Serving-default IIM: capped, stepped adaptive sweep.
+    let cfg = IimConfig {
+        k,
+        learning: Learning::Adaptive(AdaptiveConfig {
+            step: 5,
+            ell_max: Some(1000),
+            validation_k: Some(k.max(10)),
+            ..AdaptiveConfig::default()
+        }),
+        ..IimConfig::default()
+    };
+    let mut methods: Vec<Box<dyn Imputer>> =
+        vec![Box::new(PerAttributeImputer::new(Iim::new(cfg)))];
+    methods.extend(all_baselines(k, seed, FeatureSelection::AllOthers));
+    methods
+}
+
+/// The default method's display name (the first lineup entry).
+pub fn default_name() -> String {
+    lineup(1, 0)[0].name().to_string()
+}
+
+/// Resolves a method by case-insensitive display name.
+pub fn by_name(name: &str, k: usize, seed: u64) -> Option<Box<dyn Imputer>> {
+    lineup(k, seed)
+        .into_iter()
+        .find(|m| m.name().eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iim_is_the_default_and_first() {
+        assert_eq!(default_name(), "IIM");
+        assert_eq!(lineup(5, 0)[0].name(), "IIM");
+    }
+
+    #[test]
+    fn lineup_has_all_fourteen_methods() {
+        assert_eq!(lineup(5, 0).len(), 14);
+    }
+
+    #[test]
+    fn by_name_is_case_insensitive_and_total_over_the_lineup() {
+        assert_eq!(by_name("glr", 5, 0).unwrap().name(), "GLR");
+        for m in lineup(5, 0) {
+            assert!(
+                by_name(m.name(), 5, 0).is_some(),
+                "{} unresolvable",
+                m.name()
+            );
+        }
+        assert!(by_name("nope", 5, 0).is_none());
+    }
+}

@@ -108,9 +108,91 @@ fn profile_reports_per_attribute() {
 }
 
 #[test]
-fn help_and_missing_input() {
+fn help_succeeds_and_usage_errors_exit_2() {
     let out = Command::new(iim_bin()).arg("--help").output().unwrap();
-    assert_eq!(out.status.code(), Some(2));
+    assert_eq!(out.status.code(), Some(0), "--help is not an error");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("usage"));
     let out = Command::new(iim_bin()).args(["impute"]).output().unwrap();
     assert_eq!(out.status.code(), Some(2));
+    let out = Command::new(iim_bin()).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "no subcommand is a usage error");
+}
+
+#[test]
+fn methods_marks_the_default_from_the_registry() {
+    let out = Command::new(iim_bin()).arg("methods").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(text.lines().next(), Some("IIM (default)"));
+    assert_eq!(text.lines().count(), 14, "all 14 methods:\n{text}");
+}
+
+/// `--fit-on`: offline phase on one file, queries streamed from another.
+#[test]
+fn fit_on_serves_queries_from_a_separate_file() {
+    let dir = temp_dir("fit-on");
+    // Fully complete training file (the scenario the batch API could not
+    // express), linear y = 2x + 1.
+    let mut train = String::from("x,y\n");
+    for i in 0..80 {
+        let x = i as f64 * 0.25;
+        train.push_str(&format!("{x},{}\n", 2.0 * x + 1.0));
+    }
+    let train_path = dir.join("train.csv");
+    std::fs::write(&train_path, train).unwrap();
+    // Query file: y missing everywhere, plus one complete pass-through row.
+    let queries_path = dir.join("queries.csv");
+    std::fs::write(&queries_path, "x,y\n2.0,\n4.0,?\n6.0,13.0\n").unwrap();
+
+    let output = dir.join("served.csv");
+    let out = Command::new(iim_bin())
+        .args([
+            "impute",
+            "--method",
+            "GLR",
+            "--fit-on",
+            train_path.to_str().unwrap(),
+            "--output",
+            output.to_str().unwrap(),
+            queries_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let served = iim::data::csv::read_path(&output).unwrap();
+    assert_eq!(served.n_rows(), 3);
+    assert_eq!(served.missing_count(), 0);
+    assert!((served.get(0, 1).unwrap() - 5.0).abs() < 0.1);
+    assert!((served.get(1, 1).unwrap() - 9.0).abs() < 0.1);
+    assert_eq!(served.get(2, 1), Some(13.0), "present cells pass through");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("served 3 queries"), "stderr: {stderr}");
+    assert!(stderr.contains("offline"), "phase split reported: {stderr}");
+}
+
+/// `--fit-on` with a query header that does not match the training schema.
+#[test]
+fn fit_on_rejects_mismatched_headers() {
+    let dir = temp_dir("fit-on-mismatch");
+    let train_path = dir.join("train.csv");
+    std::fs::write(&train_path, "x,y\n1.0,2.0\n2.0,4.0\n3.0,6.0\n").unwrap();
+    let queries_path = dir.join("queries.csv");
+    std::fs::write(&queries_path, "a,b\n2.0,\n").unwrap();
+    let out = Command::new(iim_bin())
+        .args([
+            "impute",
+            "--method",
+            "Mean",
+            "--fit-on",
+            train_path.to_str().unwrap(),
+            queries_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("does not match"));
 }
