@@ -157,9 +157,9 @@ impl Eracer {
 
         // Learn the relational model on complete tuples: each training
         // tuple's neighbor-mean excludes itself (its own value would leak).
-        let mut xbuf = Vec::new();
-        let mut train_x: Vec<Vec<f64>> = Vec::with_capacity(task.n_train());
-        for pos in 0..fm.len() {
+        // Training tuples are independent, so the design fans out per row.
+        let exec = iim_exec::global();
+        let train_x: Vec<Vec<f64>> = exec.parallel_map_indexed(fm.len(), |pos| {
             let nn = fm.knn(fm.point(pos), k + 1);
             let mut sum = 0.0;
             let mut cnt = 0usize;
@@ -168,11 +168,11 @@ impl Eracer {
                 cnt += 1;
             }
             let nb_mean = if cnt > 0 { sum / cnt as f64 } else { ys[pos] };
-            xbuf.clear();
-            xbuf.extend_from_slice(fm.point(pos));
-            xbuf.push(nb_mean);
-            train_x.push(xbuf.clone());
-        }
+            let mut x = Vec::with_capacity(fm.n_features() + 1);
+            x.extend_from_slice(fm.point(pos));
+            x.push(nb_mean);
+            x
+        });
         let model: RidgeModel = ridge_fit(train_x.iter().map(|v| v.as_slice()), &ys, self.alpha)
             .ok_or_else(|| ImputeError::Unsupported("non-finite design".into()))?;
 
@@ -184,14 +184,21 @@ impl Eracer {
             rel.gather(row as usize, &features, &mut buf);
             qfeat.push(buf.clone());
         }
+        // The complete-pool kNN lists of the queries never change across
+        // rounds — build them once, in parallel.
+        let qnn = fm.knn_batch(&exec, &qfeat, k);
         let mut estimates = vec![f64::NAN; queries.len()];
         if !queries.is_empty() {
             for round in 0..self.iterations.max(1) {
-                let mut next = Vec::with_capacity(queries.len());
-                for (qi, qf) in qfeat.iter().enumerate() {
-                    let nn = fm.knn(qf, k);
+                // Each query's update reads the *previous* round's
+                // estimates, so the round fans out on the pool without
+                // changing any result.
+                let estimates_prev = &estimates;
+                let next: Vec<f64> = exec.parallel_map_indexed(queries.len(), |qi| {
+                    let qf = &qfeat[qi];
+                    let nn = &qnn[qi];
                     let mut sum = 0.0;
-                    for nb in &nn {
+                    for nb in nn {
                         sum += ys[nb.pos as usize];
                     }
                     let mut nb_mean = sum / nn.len() as f64;
@@ -202,22 +209,22 @@ impl Eracer {
                         let mut vals = vec![nb_mean * nn.len() as f64];
                         let mut cnt = nn.len();
                         for (qj, other) in qfeat.iter().enumerate() {
-                            if qj == qi || !estimates[qj].is_finite() {
+                            if qj == qi || !estimates_prev[qj].is_finite() {
                                 continue;
                             }
                             let d = iim_neighbors::euclidean_f(qf, other);
                             if d <= radius {
-                                vals.push(estimates[qj]);
+                                vals.push(estimates_prev[qj]);
                                 cnt += 1;
                             }
                         }
                         nb_mean = vals.iter().sum::<f64>() / cnt as f64;
                     }
-                    xbuf.clear();
-                    xbuf.extend_from_slice(qf);
-                    xbuf.push(nb_mean);
-                    next.push(model.predict(&xbuf));
-                }
+                    let mut x = Vec::with_capacity(qf.len() + 1);
+                    x.extend_from_slice(qf);
+                    x.push(nb_mean);
+                    model.predict(&x)
+                });
                 let converged = estimates
                     .iter()
                     .zip(&next)

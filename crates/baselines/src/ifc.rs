@@ -193,12 +193,22 @@ impl Imputer for Ifc {
             })
             .collect();
         let mut mem = vec![0.0; n * c];
+        let pool = iim_exec::global();
 
         for _ in 0..self.max_iter {
-            // Memberships: u_ik = 1 / Σ_l (d_ik / d_il)^(2/(m-1)).
-            for i in 0..n {
+            // Memberships: u_ik = 1 / Σ_l (d_ik / d_il)^(2/(m-1)). Rows are
+            // independent, so they fan out on the pool; the centroid update
+            // below stays a serial in-order reduction to keep float
+            // accumulation (and thus the output) identical across worker
+            // counts.
+            let row_mem: Vec<Vec<f64>> = pool.parallel_map_indexed(n, |i| {
                 let row = &work[i * m..(i + 1) * m];
-                memberships(row, &centroids, exponent, &mut mem[i * c..(i + 1) * c]);
+                let mut u = vec![0.0; c];
+                memberships(row, &centroids, exponent, &mut u);
+                u
+            });
+            for (i, u) in row_mem.iter().enumerate() {
+                mem[i * c..(i + 1) * c].copy_from_slice(u);
             }
             // Centroids: weighted by u^m. `shift` tracks centroid movement
             // so fitting a fully complete relation (no imputed-cell delta

@@ -138,10 +138,22 @@ impl Ills {
             .filter(|&i| rel.is_missing(i, target) && rel.row_complete_on(i, &features))
             .map(|i| i as u32)
             .collect();
+        // Query feature vectors come from the original relation (never the
+        // refinement scratch), so gather them once for every round.
+        let qfeat: Vec<Vec<f64>> = queries
+            .iter()
+            .map(|&row| {
+                let mut q = Vec::new();
+                rel.gather(row as usize, &features, &mut q);
+                q
+            })
+            .collect();
 
         // Local least squares with the complete pool, then refine with the
-        // imputed tuples admitted to the pool.
-        let mut estimates: Vec<f64> = Vec::with_capacity(queries.len());
+        // imputed tuples admitted to the pool. Each round's per-query
+        // regressions are independent, so they fan out on the pool.
+        let exec = iim_exec::global();
+        let mut estimates: Vec<f64>;
         {
             let fm = FeatureMatrix::gather(rel, &features, &task.train_rows);
             let ys: Vec<f64> = task
@@ -154,17 +166,15 @@ impl Ills {
                 // the final pool (the fit-on-complete serving scenario).
                 return Ok(TargetFit {
                     queries,
-                    estimates,
+                    estimates: Vec::new(),
                     pool: fm,
                     ys,
                     features,
                 });
             }
-            let mut q = Vec::new();
-            for &row in &queries {
-                rel.gather(row as usize, &features, &mut q);
-                estimates.push(local_ls(&fm, &ys, &q, self.k, self.alpha));
-            }
+            estimates = exec.parallel_map_indexed(queries.len(), |qi| {
+                local_ls(&fm, &ys, &qfeat[qi], self.k, self.alpha)
+            });
         }
         for _ in 1..self.iterations {
             // Extended pool: complete tuples + current query estimates.
@@ -179,12 +189,9 @@ impl Ills {
                 .iter()
                 .map(|&r| scratch.value(r as usize, target))
                 .collect();
-            let mut q = Vec::new();
-            let mut next = Vec::with_capacity(estimates.len());
-            for &row in &queries {
-                rel.gather(row as usize, &features, &mut q);
-                next.push(local_ls(&fm, &ys, &q, self.k, self.alpha));
-            }
+            let next: Vec<f64> = exec.parallel_map_indexed(queries.len(), |qi| {
+                local_ls(&fm, &ys, &qfeat[qi], self.k, self.alpha)
+            });
             let delta = estimates
                 .iter()
                 .zip(&next)

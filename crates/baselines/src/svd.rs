@@ -160,14 +160,36 @@ impl Imputer for SvdImpute {
             .collect();
 
         if !missing.is_empty() {
+            // Missing cells grouped by row: each EM round recomputes only
+            // those rows' rank-r projections, fanned out per row on the
+            // pool (`missing` is already in row-major order).
+            let mut by_row: Vec<(usize, Vec<usize>)> = Vec::new();
+            for &(i, j) in &missing {
+                match by_row.last_mut() {
+                    Some((row, cols)) if *row == i => cols.push(j),
+                    _ => by_row.push((i, vec![j])),
+                }
+            }
+            let pool = iim_exec::global();
             for _ in 0..self.max_iter {
                 let svd = thin_svd(&work);
-                let rec = svd.reconstruct(rank);
+                let r = rank.min(svd.rank());
+                let updates: Vec<Vec<f64>> = pool.parallel_map_indexed(by_row.len(), |bi| {
+                    let (i, cols) = &by_row[bi];
+                    // Row-local projection: c_k = u_ik σ_k, then
+                    // rec_ij = Σ_k c_k v_jk on the row's missing columns.
+                    let coeff: Vec<f64> =
+                        (0..r).map(|kk| svd.u[(*i, kk)] * svd.sigma[kk]).collect();
+                    cols.iter()
+                        .map(|&j| (0..r).map(|kk| coeff[kk] * svd.v[(j, kk)]).sum())
+                        .collect()
+                });
                 let mut delta: f64 = 0.0;
-                for &(i, j) in &missing {
-                    let v = rec[(i, j)];
-                    delta = delta.max((work[(i, j)] - v).abs());
-                    work[(i, j)] = v;
+                for ((i, cols), vals) in by_row.iter().zip(&updates) {
+                    for (&j, &v) in cols.iter().zip(vals) {
+                        delta = delta.max((work[(*i, j)] - v).abs());
+                        work[(*i, j)] = v;
+                    }
                 }
                 if delta < self.tol {
                     break;

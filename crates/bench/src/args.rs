@@ -1,5 +1,5 @@
 //! Minimal flag parsing shared by the experiment binaries (no CLI crate —
-//! two optional flags do not justify a dependency).
+//! a few optional flags do not justify a dependency).
 
 /// Parsed common flags.
 #[derive(Debug, Clone, Copy)]
@@ -10,15 +10,24 @@ pub struct Args {
     pub n: Option<usize>,
     /// Quick mode: shrink sweeps for smoke-testing (`--quick`).
     pub quick: bool,
+    /// Worker-thread override (`--threads`); `None` leaves the process
+    /// default (`IIM_THREADS` / available parallelism) in place.
+    pub threads: Option<usize>,
 }
 
 impl Args {
-    /// Parses `--seed <u64>`, `--n <usize>`, `--quick` from `std::env`.
+    /// Parses `--seed <u64>`, `--n <usize>`, `--threads <usize>`,
+    /// `--quick` from `std::env`.
+    ///
+    /// A `--threads` value is applied immediately via
+    /// [`iim_exec::set_default_threads`], so every pool the binary touches
+    /// afterwards uses it.
     pub fn parse() -> Self {
         let mut out = Self {
             seed: 42,
             n: None,
             quick: false,
+            threads: None,
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
@@ -36,8 +45,19 @@ impl Args {
                             .expect("--n needs a usize"),
                     );
                 }
+                "--threads" => {
+                    let t = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--threads needs a positive usize");
+                    assert!(t > 0, "--threads needs a positive usize");
+                    out.threads = Some(t);
+                    iim_exec::set_default_threads(t);
+                }
                 "--quick" => out.quick = true,
-                other => panic!("unknown flag {other}; supported: --seed --n --quick"),
+                other => {
+                    panic!("unknown flag {other}; supported: --seed --n --threads --quick")
+                }
             }
         }
         out

@@ -95,6 +95,41 @@ pub fn figure_lineup(
         .collect()
 }
 
+/// Runs one (method, workload) cell through the real two-phase API:
+/// `fit_targets` on `targets` timed as the offline phase, `impute_all`
+/// timed as the online phase, scored against the injected ground truth.
+pub fn score_cell(
+    method: &dyn Imputer,
+    rel: &Relation,
+    truth: &GroundTruth,
+    targets: &[usize],
+) -> MethodScore {
+    let not_applicable = || MethodScore {
+        name: method.name().to_string(),
+        rmse: None,
+        timings: PhaseTimings::default(),
+    };
+    let t0 = Instant::now();
+    let fitted = match method.fit_targets(rel, targets) {
+        Ok(f) => f,
+        Err(iim_data::ImputeError::Unsupported(_)) => return not_applicable(),
+        Err(e) => panic!("{} failed to fit: {e}", method.name()),
+    };
+    let offline = t0.elapsed();
+    let t1 = Instant::now();
+    let out = match fitted.impute_all(rel) {
+        Ok(out) => out,
+        Err(iim_data::ImputeError::Unsupported(_)) => return not_applicable(),
+        Err(e) => panic!("{} failed to impute: {e}", method.name()),
+    };
+    let online = t1.elapsed();
+    MethodScore {
+        name: method.name().to_string(),
+        rmse: Some(rmse(&out, truth)),
+        timings: PhaseTimings { offline, online },
+    }
+}
+
 /// Runs every method on the injected relation and scores it, timing the
 /// offline phase (`fit_targets` on the relation's incomplete attributes —
 /// the paper's protocol learns for the incomplete attribute only) and the
@@ -102,42 +137,39 @@ pub fn figure_lineup(
 ///
 /// Methods returning [`ImputeError::Unsupported`](iim_data::ImputeError)
 /// get `rmse: None` (the paper's "-" entries, e.g. SVD on 2 attributes);
-/// any other error aborts — it would mean a broken workload.
+/// any other error aborts — it would mean a broken workload. Cells run
+/// sequentially so their recorded timings stay uncontended; use
+/// [`run_lineup_on`] to fan the method cells out on a pool instead.
 pub fn run_lineup(
     methods: &[Box<dyn Imputer>],
     rel: &Relation,
     truth: &GroundTruth,
 ) -> Vec<MethodScore> {
+    run_lineup_on(&iim_exec::Pool::serial(), methods, rel, truth)
+}
+
+/// [`run_lineup`] with the (method × workload) cells themselves scheduled
+/// on `pool` — results in lineup order, identical to the sequential run.
+///
+/// Cell-level parallelism is the high-throughput mode (the `parallel`
+/// binary uses it to sweep method × missing-rate grids); note that cells
+/// timed while other cells share the cores report wall-clock inflated by
+/// contention, so the paper-table binaries keep the sequential
+/// [`run_lineup`].
+pub fn run_lineup_on(
+    pool: &iim_exec::Pool,
+    methods: &[Box<dyn Imputer>],
+    rel: &Relation,
+    truth: &GroundTruth,
+) -> Vec<MethodScore> {
     let targets = rel.incomplete_attrs();
-    methods
-        .iter()
-        .map(|m| {
-            let not_applicable = || MethodScore {
-                name: m.name().to_string(),
-                rmse: None,
-                timings: PhaseTimings::default(),
-            };
-            let t0 = Instant::now();
-            let fitted = match m.fit_targets(rel, &targets) {
-                Ok(f) => f,
-                Err(iim_data::ImputeError::Unsupported(_)) => return not_applicable(),
-                Err(e) => panic!("{} failed to fit: {e}", m.name()),
-            };
-            let offline = t0.elapsed();
-            let t1 = Instant::now();
-            let out = match fitted.impute_all(rel) {
-                Ok(out) => out,
-                Err(iim_data::ImputeError::Unsupported(_)) => return not_applicable(),
-                Err(e) => panic!("{} failed to impute: {e}", m.name()),
-            };
-            let online = t1.elapsed();
-            MethodScore {
-                name: m.name().to_string(),
-                rmse: Some(rmse(&out, truth)),
-                timings: PhaseTimings { offline, online },
-            }
+    // A cell is a whole fit + impute_all — seconds-scale, far above spawn
+    // cost — so parallelize from two cells up rather than letting a
+    // 14-method lineup fall under the default (per-item-sized) cutoff.
+    pool.with_serial_cutoff(2)
+        .parallel_map_indexed(methods.len(), |mi| {
+            score_cell(&*methods[mi], rel, truth, &targets)
         })
-        .collect()
 }
 
 #[cfg(test)]

@@ -23,5 +23,5 @@ pub mod report;
 
 pub use args::Args;
 pub use datasets::PaperData;
-pub use harness::{method_lineup, run_lineup, MethodScore};
+pub use harness::{method_lineup, run_lineup, run_lineup_on, score_cell, MethodScore};
 pub use report::Table;

@@ -13,7 +13,7 @@
 
 use crate::config::AdaptiveConfig;
 use crate::incremental::{sweep_values, ModelSweep};
-use crate::learn::par_map_indexed;
+use iim_exec::Pool;
 use iim_linalg::RidgeModel;
 use iim_neighbors::{brute::FeatureMatrix, NeighborOrders};
 
@@ -100,7 +100,7 @@ pub fn adaptive_learn_detailed(
         costs: Option<Vec<f64>>,
     }
 
-    let results: Vec<PerTuple> = par_map_indexed(n, threads, |i| {
+    let results: Vec<PerTuple> = Pool::new(threads).parallel_map_indexed(n, |i| {
         let prefix = orders.neighbors_of(i);
         let mut sweep = ModelSweep::new(fm, ys, prefix, alpha, cfg.incremental);
         let mut best: Option<(f64, usize, RidgeModel)> = None;

@@ -78,7 +78,10 @@ pub struct IimConfig {
     /// Candidate aggregation.
     pub weighting: Weighting,
     /// Worker threads for the (embarrassingly parallel) learning phases.
-    /// `0` means one per available core.
+    /// `0` uses the process default ([`iim_exec::default_threads`]:
+    /// the CLI's `--threads`, the `IIM_THREADS` environment variable, or
+    /// one per available core). The learned models are bitwise-identical
+    /// for every worker count.
     pub threads: usize,
 }
 
@@ -117,12 +120,12 @@ impl IimConfig {
         }
     }
 
-    /// Resolved worker-thread count.
+    /// Resolved worker-thread count (`0` → the process default).
     pub fn effective_threads(&self) -> usize {
         if self.threads > 0 {
             self.threads
         } else {
-            std::thread::available_parallelism().map_or(1, |n| n.get())
+            iim_exec::default_threads()
         }
     }
 }

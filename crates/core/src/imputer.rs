@@ -50,17 +50,18 @@ impl IimModel {
     pub fn learn_from_parts(fm: FeatureMatrix, ys: &[f64], cfg: &IimConfig) -> Self {
         let n = fm.len();
         let threads = cfg.effective_threads();
+        let pool = iim_exec::Pool::new(threads);
         let (models, chosen_ell) = match &cfg.learning {
             Learning::Fixed { ell } => {
                 let ell = (*ell).clamp(1, n);
-                let orders = NeighborOrders::build(&fm, ell);
+                let orders = NeighborOrders::build_on(&pool, &fm, ell);
                 let models = learn_fixed(&fm, ys, &orders, ell, cfg.alpha, threads);
                 (models, vec![ell as u32; n])
             }
             Learning::Adaptive(acfg) => {
                 let vk_hint = acfg.validation_k.unwrap_or(cfg.k);
                 let depth = acfg.ell_max.map_or(n, |e| e.min(n)).max(vk_hint.min(n)); // orders must also serve validation kNN
-                let orders = NeighborOrders::build(&fm, depth.max(1));
+                let orders = NeighborOrders::build_on(&pool, &fm, depth.max(1));
                 let vk = acfg.validation_k.unwrap_or(cfg.k).max(1);
                 let out = adaptive_learn(&fm, ys, &orders, vk, acfg, cfg.alpha, threads);
                 (out.models, out.chosen_ell)

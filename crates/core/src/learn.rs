@@ -1,6 +1,7 @@
 //! The learning phase (Algorithm 1): one ridge model per complete tuple
 //! over its ℓ nearest learning neighbors.
 
+use iim_exec::Pool;
 use iim_linalg::{ridge_fit, RidgeModel};
 use iim_neighbors::{brute::FeatureMatrix, NeighborOrders};
 
@@ -12,7 +13,9 @@ use iim_neighbors::{brute::FeatureMatrix, NeighborOrders};
 /// * `orders` — precomputed neighbor orders of depth ≥ `ell`;
 /// * `ell` — number of learning neighbors, clamped to `[1, n]`;
 /// * `alpha` — ridge regularization (Formula 5);
-/// * `threads` — worker count (tuples are independent).
+/// * `threads` — worker count (tuples are independent; `0` uses the
+///   process default, see [`iim_exec::default_threads`]). The output is
+///   bitwise-identical for every worker count.
 ///
 /// `ell = 1` yields the paper's constant model `φ[C] = tᵢ[Am]`, all other
 /// coefficients zero (§III-A2 "Handling Single Neighbor").
@@ -34,9 +37,8 @@ pub fn learn_fixed(
         orders.depth(),
         ell
     );
-    par_map_indexed(n, threads, |i| {
-        learn_one(fm, ys, orders.neighbors_of(i), ell, alpha)
-    })
+    Pool::new(threads)
+        .parallel_map_indexed(n, |i| learn_one(fm, ys, orders.neighbors_of(i), ell, alpha))
 }
 
 /// Learns the individual model of one tuple from its sorted neighbor prefix.
@@ -60,42 +62,6 @@ pub fn learn_one(
         .map(|&p| ys[p as usize])
         .collect();
     ridge_fit(rows, &targets, alpha).expect("finite training data")
-}
-
-/// Runs `f(0..n)` across `threads` workers, preserving index order.
-///
-/// The learning phases map independent per-tuple work; this keeps the
-/// workspace free of a thread-pool dependency.
-pub(crate) fn par_map_indexed<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    let threads = threads.max(1).min(n.max(1));
-    if threads == 1 || n < 64 {
-        return (0..n).map(f).collect();
-    }
-    let chunk = n.div_ceil(threads);
-    let mut pieces: Vec<(usize, Vec<T>)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|t| {
-                let start = t * chunk;
-                let end = ((t + 1) * chunk).min(n);
-                let f = &f;
-                scope.spawn(move || (start, (start..end).map(f).collect::<Vec<T>>()))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
-    });
-    pieces.sort_by_key(|(start, _)| *start);
-    let mut out = Vec::with_capacity(n);
-    for (_, mut piece) in pieces.drain(..) {
-        out.append(&mut piece);
-    }
-    out
 }
 
 #[cfg(test)]
@@ -179,19 +145,5 @@ mod tests {
         for (a, b) in serial.iter().zip(&parallel) {
             assert_eq!(a.phi, b.phi);
         }
-    }
-
-    #[test]
-    fn par_map_preserves_order() {
-        let out = par_map_indexed(1000, 7, |i| i * 2);
-        assert_eq!(out.len(), 1000);
-        for (i, v) in out.iter().enumerate() {
-            assert_eq!(*v, i * 2);
-        }
-        // Small-n serial path.
-        let small = par_map_indexed(3, 4, |i| i + 1);
-        assert_eq!(small, vec![1, 2, 3]);
-        let empty: Vec<usize> = par_map_indexed(0, 4, |i| i);
-        assert!(empty.is_empty());
     }
 }

@@ -25,6 +25,7 @@
 //!   the multiple-missing-attributes loop.
 
 use crate::relation::Relation;
+use iim_exec::Pool;
 use std::collections::HashMap;
 use std::time::Duration;
 
@@ -154,27 +155,54 @@ pub trait FittedImputer: Send + Sync {
     /// `is_finite()`, as [`FittedImputer::impute_all`] does.
     fn impute_one(&self, row: &RowOpt) -> Result<Vec<f64>, ImputeError>;
 
-    /// Online phase over a micro-batch, preserving order.
+    /// Online phase over a micro-batch, preserving order, on the
+    /// process-default pool ([`iim_exec::global`]).
     fn impute_batch(&self, rows: &[&RowOpt]) -> Result<Vec<Vec<f64>>, ImputeError> {
-        rows.iter().map(|row| self.impute_one(row)).collect()
+        self.impute_batch_on(&iim_exec::global(), rows)
+    }
+
+    /// [`FittedImputer::impute_batch`] on an explicit pool.
+    ///
+    /// Queries are independent and `impute_one` is pure, so the answers
+    /// (and the first error in row order, if any) are bitwise-identical for
+    /// every worker count.
+    fn impute_batch_on(&self, pool: &Pool, rows: &[&RowOpt]) -> Result<Vec<Vec<f64>>, ImputeError> {
+        pool.parallel_map_indexed(rows.len(), |i| self.impute_one(rows[i]))
+            .into_iter()
+            .collect()
     }
 
     /// Imputes every missing cell of `rel`, reproducing the classic
     /// whole-relation semantics: a copy of `rel` with each incomplete tuple
-    /// run through [`FittedImputer::impute_one`].
+    /// run through [`FittedImputer::impute_one`] — fanned out on the
+    /// process-default pool ([`iim_exec::global`]).
     fn impute_all(&self, rel: &Relation) -> Result<Relation, ImputeError> {
+        self.impute_all_on(&iim_exec::global(), rel)
+    }
+
+    /// [`FittedImputer::impute_all`] on an explicit pool.
+    ///
+    /// Incomplete tuples are imputed in parallel and the fills applied in
+    /// row order, so the result is bitwise-identical for every worker
+    /// count (property-tested per method in `tests/fit_serve.rs`).
+    fn impute_all_on(&self, pool: &Pool, rel: &Relation) -> Result<Relation, ImputeError> {
         if rel.arity() != self.arity() {
             return Err(ImputeError::ArityMismatch {
                 expected: self.arity(),
                 got: rel.arity(),
             });
         }
-        let mut out = rel.clone();
-        for i in 0..rel.n_rows() {
+        let results = pool.parallel_map_indexed(rel.n_rows(), |i| {
             if rel.row_complete(i) {
-                continue;
+                None
+            } else {
+                Some(self.impute_one(&rel.row_opt(i)))
             }
-            let filled = self.impute_one(&rel.row_opt(i))?;
+        });
+        let mut out = rel.clone();
+        for (i, result) in results.into_iter().enumerate() {
+            let Some(result) = result else { continue };
+            let filled = result?;
             for (j, &v) in filled.iter().enumerate() {
                 if rel.is_missing(i, j) && v.is_finite() {
                     out.set(i, j, v);
@@ -186,7 +214,11 @@ pub trait FittedImputer: Send + Sync {
 }
 
 /// A missing-value imputation method: the offline half of the protocol.
-pub trait Imputer {
+///
+/// `Send + Sync` so whole method objects can be scheduled across worker
+/// threads (the bench harness fans experiment cells out on a pool); every
+/// method in the workspace is plain configuration data.
+pub trait Imputer: Send + Sync {
     /// Display name used in experiment tables (matches the paper, e.g.
     /// "IIM", "kNN", "GLR").
     fn name(&self) -> &str;
@@ -536,19 +568,25 @@ impl FittedImputer for FittedPerAttribute {
     }
 }
 
-impl<E: AttrEstimator> Imputer for PerAttributeImputer<E> {
+impl<E: AttrEstimator + Send + Sync> Imputer for PerAttributeImputer<E> {
     fn name(&self) -> &str {
         self.estimator.name()
     }
 
+    /// Target attributes are independent per-attribute fits, so the
+    /// offline phase fans them out on the process-default pool (each item
+    /// is a whole model fit, heavy enough to parallelize from two targets
+    /// up). Errors surface exactly as in a sequential fit: the first
+    /// failing target in `targets` order wins.
     fn fit_targets(
         &self,
         rel: &Relation,
         targets: &[usize],
     ) -> Result<Box<dyn FittedImputer>, ImputeError> {
         let m = rel.arity();
-        let mut models: Vec<Option<FittedAttrModel>> = (0..m).map(|_| None).collect();
-        for &target in targets {
+        let pool = iim_exec::global().with_serial_cutoff(2);
+        let fitted = pool.parallel_map_indexed(targets.len(), |ti| {
+            let target = targets[ti];
             let features = self.features.resolve(m, target);
             let task = AttrTask::new(rel, features.clone(), target);
             if task.n_train() == 0 {
@@ -556,11 +594,19 @@ impl<E: AttrEstimator> Imputer for PerAttributeImputer<E> {
             }
             let means = task.feature_means();
             let predictor = self.estimator.fit(&task)?;
-            models[target] = Some(FittedAttrModel {
-                features,
-                means,
-                predictor,
-            });
+            Ok((
+                target,
+                FittedAttrModel {
+                    features,
+                    means,
+                    predictor,
+                },
+            ))
+        });
+        let mut models: Vec<Option<FittedAttrModel>> = (0..m).map(|_| None).collect();
+        for result in fitted {
+            let (target, model) = result?;
+            models[target] = Some(model);
         }
         Ok(Box::new(FittedPerAttribute {
             name: self.estimator.name().to_string(),

@@ -1,0 +1,308 @@
+//! Shared parallel execution substrate for the `iim` workspace.
+//!
+//! The paper's algorithm learns one individual regression model per tuple
+//! and serves each imputation query independently — both phases are
+//! embarrassingly parallel. Every crate in the workspace fans its hot loops
+//! out through this one substrate so scheduling policy (worker count,
+//! serial cutoff, chunking) lives in a single place:
+//!
+//! * [`Pool`] — a cheap, copyable execution handle:
+//!   [`Pool::parallel_map_indexed`] runs an indexed map across scoped
+//!   worker threads with **ordered, deterministic results** (output `i` is
+//!   `f(i)` regardless of the worker count or which thread computed it).
+//! * [`global`] — the process-wide configured pool: worker count from
+//!   [`set_default_threads`] (the CLI's `--threads`), else the
+//!   `IIM_THREADS` environment variable, else the available parallelism.
+//! * [`DEFAULT_SERIAL_CUTOFF`] — maps smaller than the cutoff run inline on
+//!   the caller; spawning workers for a handful of items costs more than it
+//!   saves.
+//!
+//! # Determinism
+//!
+//! `parallel_map_indexed` only ever *maps*: each item is produced by one
+//! closure call and placed at its own index, so floating-point results are
+//! bit-identical across thread counts. Reductions (sums, maxima over
+//! accumulating state) must stay on the caller's side, in index order —
+//! reordering float accumulation is what breaks reproducibility, not
+//! threading itself. The workspace-wide invariant (every parallel path
+//! produces bitwise-identical output to the serial path) is property-tested
+//! in `tests/fit_serve.rs`.
+//!
+//! # Workers
+//!
+//! Workers are scoped OS threads (`std::thread::scope`) spawned per
+//! parallel region: the only borrow-friendly primitive available under the
+//! workspace's `deny(unsafe_code)`, and cheap next to the model-learning
+//! and query-serving loops that run on it. The *handle* is what persists —
+//! [`Pool`] is `Copy`, and [`global`] hands out the process-wide
+//! configuration to every call site.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Below this many items a parallel map runs inline on the caller.
+///
+/// Replaces the hardcoded `n < 64` fallback that used to live in
+/// `iim-core`'s private `par_map_indexed`: the per-item work in the
+/// workspace's loops (a ridge fit, a kNN scan, a query imputation) is
+/// microseconds-to-milliseconds, so below a few dozen items the scoped
+/// spawn + join overhead dominates any speedup. Tune per call site with
+/// [`Pool::with_serial_cutoff`] (e.g. per-target model fits are heavy
+/// enough to parallelize at 2 items).
+pub const DEFAULT_SERIAL_CUTOFF: usize = 64;
+
+/// Each worker claims work in chunks of roughly `n / (threads * 4)` items:
+/// enough chunks that an unlucky worker stuck with the slowest items hands
+/// the rest to its peers, few enough that claiming stays cheap.
+const CHUNKS_PER_WORKER: usize = 4;
+
+/// An execution handle: worker count plus scheduling configuration.
+///
+/// `Pool` is plain `Copy` data — construct them freely, pass them down call
+/// stacks, or grab the process-wide one with [`global`]. Workers are
+/// spawned scoped per parallel region (see the crate docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool {
+    threads: usize,
+    serial_cutoff: usize,
+}
+
+impl Pool {
+    /// A pool with `threads` workers; `0` resolves to the process default
+    /// ([`default_threads`]).
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            default_threads()
+        } else {
+            threads
+        };
+        Self {
+            threads,
+            serial_cutoff: DEFAULT_SERIAL_CUTOFF,
+        }
+    }
+
+    /// The single-worker pool: every map runs inline on the caller.
+    pub fn serial() -> Self {
+        Self {
+            threads: 1,
+            serial_cutoff: DEFAULT_SERIAL_CUTOFF,
+        }
+    }
+
+    /// Overrides the serial cutoff (default [`DEFAULT_SERIAL_CUTOFF`]):
+    /// maps with fewer than `cutoff` items run inline on the caller.
+    pub fn with_serial_cutoff(mut self, cutoff: usize) -> Self {
+        self.serial_cutoff = cutoff;
+        self
+    }
+
+    /// Configured worker count (≥ 1).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Configured serial cutoff.
+    pub fn serial_cutoff(&self) -> usize {
+        self.serial_cutoff
+    }
+
+    /// Runs `f(0)..f(n-1)` across the pool's workers, returning results in
+    /// index order.
+    ///
+    /// Work is claimed dynamically in chunks (~4 per worker) so
+    /// unevenly-sized items still balance, and each result lands at its own
+    /// index, so the output is identical — bitwise, for float work — to the
+    /// serial `(0..n).map(f)` regardless of thread count. Runs inline when
+    /// the pool has one worker or `n` is below the serial cutoff. Panics in
+    /// `f` propagate to the caller.
+    pub fn parallel_map_indexed<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let threads = self.threads.min(n.max(1));
+        if threads == 1 || n < self.serial_cutoff {
+            return (0..n).map(f).collect();
+        }
+        let chunk = n.div_ceil(threads * CHUNKS_PER_WORKER).max(1);
+        let n_chunks = n.div_ceil(chunk);
+        let next = AtomicUsize::new(0);
+        let mut pieces: Vec<(usize, Vec<T>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let f = &f;
+                    let next = &next;
+                    scope.spawn(move || {
+                        let mut done: Vec<(usize, Vec<T>)> = Vec::new();
+                        loop {
+                            let c = next.fetch_add(1, Ordering::Relaxed);
+                            if c >= n_chunks {
+                                break;
+                            }
+                            let start = c * chunk;
+                            let end = ((c + 1) * chunk).min(n);
+                            done.push((start, (start..end).map(f).collect()));
+                        }
+                        done
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("iim-exec worker panicked"))
+                .collect()
+        });
+        pieces.sort_unstable_by_key(|(start, _)| *start);
+        let mut out = Vec::with_capacity(n);
+        for (_, mut piece) in pieces {
+            out.append(&mut piece);
+        }
+        out
+    }
+}
+
+/// Process-wide worker-count override set by [`set_default_threads`]
+/// (0 = unset, fall through to the environment).
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// `IIM_THREADS` parsed once per process (positive integers only).
+fn env_threads() -> Option<usize> {
+    static CACHE: OnceLock<Option<usize>> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var("IIM_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+    })
+}
+
+/// The process default worker count: the [`set_default_threads`] override
+/// if set, else `IIM_THREADS`, else `std::thread::available_parallelism()`.
+pub fn default_threads() -> usize {
+    match THREAD_OVERRIDE.load(Ordering::Relaxed) {
+        0 => env_threads()
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get())),
+        n => n,
+    }
+}
+
+/// Overrides the process default worker count (the CLI's `--threads`);
+/// `0` clears the override back to the environment/hardware default.
+pub fn set_default_threads(threads: usize) {
+    THREAD_OVERRIDE.store(threads, Ordering::Relaxed);
+}
+
+/// The process-wide configured pool (worker count per [`default_threads`]).
+pub fn global() -> Pool {
+    Pool::new(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_index_order() {
+        let pool = Pool::new(7);
+        let out = pool.parallel_map_indexed(1000, |i| i * 2);
+        assert_eq!(out.len(), 1000);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * 2);
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_maps() {
+        let pool = Pool::new(4);
+        let empty: Vec<usize> = pool.parallel_map_indexed(0, |i| i);
+        assert!(empty.is_empty());
+        assert_eq!(pool.parallel_map_indexed(3, |i| i + 1), vec![1, 2, 3]);
+        assert_eq!(Pool::serial().parallel_map_indexed(2, |i| i), vec![0, 1]);
+    }
+
+    #[test]
+    fn below_cutoff_runs_on_the_caller() {
+        // The serial fallback is observable: inline items run on the
+        // calling thread, parallel items run only on spawned workers.
+        let caller = std::thread::current().id();
+        let pool = Pool::new(4); // default cutoff
+        let ids =
+            pool.parallel_map_indexed(DEFAULT_SERIAL_CUTOFF - 1, |_| std::thread::current().id());
+        assert!(ids.iter().all(|&id| id == caller));
+    }
+
+    #[test]
+    fn at_cutoff_runs_on_workers() {
+        let caller = std::thread::current().id();
+        let pool = Pool::new(4);
+        let ids = pool.parallel_map_indexed(DEFAULT_SERIAL_CUTOFF, |_| std::thread::current().id());
+        assert!(ids.iter().all(|&id| id != caller));
+    }
+
+    #[test]
+    fn custom_cutoff_moves_the_boundary() {
+        let caller = std::thread::current().id();
+        let pool = Pool::new(2).with_serial_cutoff(2);
+        assert_eq!(pool.serial_cutoff(), 2);
+        let inline = pool.parallel_map_indexed(1, |_| std::thread::current().id());
+        assert_eq!(inline[0], caller);
+        let spawned = pool.parallel_map_indexed(2, |_| std::thread::current().id());
+        assert!(spawned.iter().all(|&id| id != caller));
+    }
+
+    /// Serializes the tests that touch the process-global override —
+    /// libtest runs `#[test]` fns concurrently in one process, so an
+    /// unguarded `set_default_threads` would race the readers.
+    fn override_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_default() {
+        let _guard = override_lock();
+        let pool = Pool::new(0);
+        assert!(pool.threads() >= 1);
+        assert_eq!(pool.threads(), default_threads());
+        assert!(global().threads() >= 1);
+    }
+
+    #[test]
+    fn default_threads_override_round_trips() {
+        let _guard = override_lock();
+        let before = default_threads();
+        set_default_threads(3);
+        assert_eq!(default_threads(), 3);
+        set_default_threads(0);
+        assert_eq!(default_threads(), before);
+    }
+
+    #[test]
+    fn parallel_is_bitwise_identical_to_serial() {
+        // Float work: identical per-index results whatever the thread count.
+        let f = |i: usize| ((i as f64) * 0.37).sin() / ((i as f64) + 0.5);
+        let serial: Vec<f64> = (0..500).map(f).collect();
+        for threads in [2, 3, 8] {
+            let par = Pool::new(threads)
+                .with_serial_cutoff(1)
+                .parallel_map_indexed(500, f);
+            for (a, b) in par.iter().zip(&serial) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn uneven_items_all_complete() {
+        // Items with wildly different costs still all land, in order.
+        let pool = Pool::new(4).with_serial_cutoff(1);
+        let out = pool.parallel_map_indexed(97, |i| {
+            if i % 13 == 0 {
+                std::thread::yield_now();
+            }
+            i
+        });
+        assert_eq!(out, (0..97).collect::<Vec<_>>());
+    }
+}

@@ -99,6 +99,21 @@ impl FeatureMatrix {
         out
     }
 
+    /// kNN lists for a batch of query rows, fanned out on `pool`.
+    ///
+    /// Queries are independent, so the result is `queries.iter().map(|q|
+    /// self.knn(q, k))` — in query order, identical for every worker count.
+    /// The matrix is `Send + Sync`, so one gathered index serves any number
+    /// of concurrent query batches.
+    pub fn knn_batch(
+        &self,
+        pool: &iim_exec::Pool,
+        queries: &[Vec<f64>],
+        k: usize,
+    ) -> Vec<Vec<Neighbor>> {
+        pool.parallel_map_indexed(queries.len(), |i| self.knn(&queries[i], k))
+    }
+
     /// [`FeatureMatrix::knn`] into a reusable buffer.
     pub fn knn_into(&self, query: &[f64], k: usize, out: &mut Vec<Neighbor>) {
         out.clear();
@@ -251,6 +266,22 @@ mod tests {
         assert_eq!(fm.point(1), &[6.0, 4.0]);
         assert_eq!(fm.n_features(), 2);
         assert_eq!(fm.row_ids(), &[0, 1]);
+    }
+
+    #[test]
+    fn index_is_send_sync_and_batch_matches_singles() {
+        // The gathered index must be shareable across serving threads.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FeatureMatrix>();
+
+        let fm = line(40);
+        let queries: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 * 0.37 - 5.0]).collect();
+        let pool = iim_exec::Pool::new(4).with_serial_cutoff(1);
+        let batch = fm.knn_batch(&pool, &queries, 5);
+        assert_eq!(batch.len(), queries.len());
+        for (q, nn) in queries.iter().zip(&batch) {
+            assert_eq!(nn, &fm.knn(q, 5));
+        }
     }
 
     #[test]

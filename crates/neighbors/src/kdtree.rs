@@ -110,6 +110,20 @@ impl<'a> KdTree<'a> {
         out
     }
 
+    /// kNN lists for a batch of query rows, fanned out on `pool` — the
+    /// tree analog of [`FeatureMatrix::knn_batch`]. The tree is
+    /// `Send + Sync` (it only reads the backing matrix after build), so
+    /// workers share one index; results are in query order and identical
+    /// for every worker count.
+    pub fn knn_batch(
+        &self,
+        pool: &iim_exec::Pool,
+        queries: &[Vec<f64>],
+        k: usize,
+    ) -> Vec<Vec<Neighbor>> {
+        pool.parallel_map_indexed(queries.len(), |i| self.knn(&queries[i], k))
+    }
+
     /// [`KdTree::knn`] into a reusable buffer.
     pub fn knn_into(&self, query: &[f64], k: usize, out: &mut Vec<Neighbor>) {
         out.clear();
@@ -233,6 +247,28 @@ mod tests {
         let fm2 = random_matrix(10, 2, 1);
         let tree2 = KdTree::build(&fm2);
         assert!(tree2.knn(&[0.0, 0.0], 0).is_empty());
+    }
+
+    #[test]
+    fn tree_is_send_sync_and_batch_matches_brute() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<KdTree<'static>>();
+
+        let fm = random_matrix(200, 3, 8);
+        let tree = KdTree::build(&fm);
+        let mut rng = StdRng::seed_from_u64(4);
+        let queries: Vec<Vec<f64>> = (0..80)
+            .map(|_| (0..3).map(|_| rng.gen_range(-12.0..12.0)).collect())
+            .collect();
+        let pool = iim_exec::Pool::new(4).with_serial_cutoff(1);
+        let batch = tree.knn_batch(&pool, &queries, 7);
+        for (q, nn) in queries.iter().zip(&batch) {
+            let brute = fm.knn(q, 7);
+            assert_eq!(nn.len(), brute.len());
+            for (a, b) in nn.iter().zip(&brute) {
+                assert_eq!(a.pos, b.pos);
+            }
+        }
     }
 
     #[test]

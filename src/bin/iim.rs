@@ -1,7 +1,7 @@
 //! `iim` — command-line imputation for CSV files.
 //!
 //! ```text
-//! iim impute [--method IIM] [--k 10] [--seed 42] [--output out.csv] input.csv
+//! iim impute [--method IIM] [--k 10] [--seed 42] [--threads 4] [--output out.csv] input.csv
 //! iim impute --fit-on train.csv queries.csv   # fit once, stream queries
 //! iim profile input.csv          # R²_S / R²_H diagnostics per attribute
 //! iim methods                    # list available methods
@@ -23,7 +23,7 @@ use std::time::Instant;
 
 fn usage() -> String {
     "usage:\
-     \n  iim impute [--method NAME] [--k N] [--seed S] [--fit-on TRAIN.csv] [--output FILE] INPUT.csv\
+     \n  iim impute [--method NAME] [--k N] [--seed S] [--threads T] [--fit-on TRAIN.csv] [--output FILE] INPUT.csv\
      \n  iim profile INPUT.csv\
      \n  iim methods"
         .to_string()
@@ -93,6 +93,16 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .ok_or("--seed needs a u64")?
+            }
+            "--threads" => {
+                let t: usize = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&t| t > 0)
+                    .ok_or("--threads needs a positive integer")?;
+                // Process-wide: every pool (learning, serving, baselines)
+                // sees it; overrides IIM_THREADS for this invocation.
+                iim_exec::set_default_threads(t);
             }
             "--fit-on" => f.fit_on = Some(it.next().ok_or("--fit-on needs a path")?.clone()),
             "--output" | "-o" => f.output = Some(it.next().ok_or("--output needs a path")?.clone()),

@@ -82,6 +82,41 @@
 //!   [`AttrEstimator`](data::AttrEstimator) and inherit everything through
 //!   [`PerAttributeImputer`](data::PerAttributeImputer).
 //!
+//! ## Parallelism
+//!
+//! Both phases are embarrassingly parallel — the paper learns one model
+//! per tuple and serves each query independently — and every crate fans
+//! its hot loops out through one substrate, [`exec`] (`iim-exec`):
+//!
+//! * **Configuration.** Worker count resolves, in order, from the CLI's
+//!   `--threads`, programmatic [`exec::set_default_threads`], the
+//!   `IIM_THREADS` environment variable, and the available parallelism.
+//!   [`IimConfig::threads`](core::IimConfig) still overrides per learning
+//!   call (`0` = process default). Maps smaller than
+//!   [`exec::DEFAULT_SERIAL_CUTOFF`] run inline on the caller.
+//! * **Determinism.** Every parallel path is a pure indexed map — results
+//!   land at their own index and float reductions stay serial — so output
+//!   is **bitwise-identical for every worker count**. This is
+//!   property-tested per method in `tests/fit_serve.rs` (a 4-worker
+//!   `impute_all` equals the serial one cell-for-cell) and asserted on
+//!   real workloads by the `parallel` bench binary.
+//! * **What runs in parallel.** Offline: individual-model learning and
+//!   the adaptive ℓ sweep (per tuple), neighbor-order construction (per
+//!   point), per-target fits in
+//!   [`PerAttributeImputer`](data::PerAttributeImputer), and the per-row
+//!   inner loops of SVD/IFC/ILLS/ERACER. Online:
+//!   [`FittedImputer::impute_batch`](data::FittedImputer) and
+//!   [`FittedImputer::impute_all`](data::FittedImputer) fan queries out;
+//!   one fitted model also serves many threads directly (`Send + Sync`,
+//!   validated by a cross-thread bitwise test).
+//! * **Measured.** `cargo run -p iim-bench --release --bin parallel`
+//!   records per-method offline/online wall-clock at 1 vs N threads into
+//!   `bench_results/BENCH_parallel.json`, asserting every N-thread output
+//!   bitwise-equal to serial on the way. The file records
+//!   `available_cores` — re-run on multi-core hardware to capture that
+//!   machine's scaling (the committed baseline comes from a 1-core
+//!   container, where speedups ≈1× by construction).
+//!
 //! ## Crate map
 //!
 //! | Module | Backing crate | Contents |
@@ -90,6 +125,7 @@
 //! | [`data`] | `iim-data` | relations, missing-value injection, metrics, the [`Imputer`](data::Imputer) protocol |
 //! | [`baselines`] | `iim-baselines` | Mean, kNN, kNNE, IFC, GMM, SVD, ILLS, GLR, LOESS, BLR, ERACER, PMM, XGB |
 //! | [`neighbors`] | `iim-neighbors` | Formula-1 distances, brute/KD-tree kNN, neighbor orders |
+//! | [`exec`] | `iim-exec` | deterministic parallel maps, the process-wide worker pool |
 //! | [`linalg`] | `iim-linalg` | dense kernels: Cholesky/LU, Jacobi eigen, thin SVD, ridge, Gram accumulators |
 //! | [`ml`] | `iim-ml` | k-means + purity, kNN classifier + F1 (Table VII) |
 //! | [`datagen`] | `iim-datagen` | calibrated analogs of ASF, CCS, CCPP, SN, PHASE, CA, DA, MAM, HEP |
@@ -101,6 +137,7 @@ pub use iim_baselines as baselines;
 pub use iim_core as core;
 pub use iim_data as data;
 pub use iim_datagen as datagen;
+pub use iim_exec as exec;
 pub use iim_linalg as linalg;
 pub use iim_ml as ml;
 pub use iim_neighbors as neighbors;

@@ -9,9 +9,14 @@
 //! * `fit` on a relation with **zero incomplete tuples** succeeds and
 //!   serves later queries — the serving scenario the batch-only API could
 //!   not express.
+//! * parallel serving is **deterministic**: `impute_all`/`impute_batch` on
+//!   a 4-worker pool are bitwise-identical to the serial run, and one
+//!   fitted model shared by N threads answers every query exactly like the
+//!   single-threaded reference (the `iim-exec` invariant).
 
 use iim::prelude::*;
 use iim_data::inject::inject_random;
+use iim_exec::Pool;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -105,6 +110,48 @@ proptest! {
     }
 
     #[test]
+    fn parallel_impute_all_is_bitwise_identical_to_serial(rel in arb_workload()) {
+        // The iim-exec determinism invariant, per method: serving a whole
+        // relation on 4 workers is *bitwise* the same relation as serving
+        // it on 1 (the cutoff is forced to 1 so the parallel path really
+        // runs on these small workloads).
+        let serial = Pool::serial();
+        let four = Pool::new(4).with_serial_cutoff(1);
+        for method in all_fourteen(4, 9) {
+            let fitted = match method.fit(&rel) {
+                Ok(f) => f,
+                Err(ImputeError::Unsupported(_)) => continue, // paper's "-"
+                Err(e) => panic!("{} failed to fit: {e}", method.name()),
+            };
+            let one = fitted.impute_all_on(&serial, &rel).unwrap();
+            let many = fitted.impute_all_on(&four, &rel).unwrap();
+            prop_assert!(
+                one == many,
+                "{}: 4-thread impute_all diverged from serial",
+                method.name()
+            );
+            // Micro-batches obey the same invariant.
+            let queries: Vec<Vec<Option<f64>>> = rel
+                .incomplete_rows()
+                .iter()
+                .map(|&i| rel.row_opt(i as usize))
+                .collect();
+            let refs: Vec<&RowOpt> = queries.iter().map(|q| q.as_slice()).collect();
+            let a = fitted.impute_batch_on(&serial, &refs).unwrap();
+            let b = fitted.impute_batch_on(&four, &refs).unwrap();
+            for (x, y) in a.iter().zip(&b) {
+                for (p, q) in x.iter().zip(y) {
+                    prop_assert!(
+                        p.to_bits() == q.to_bits() || (p.is_nan() && q.is_nan()),
+                        "{}: 4-thread impute_batch diverged from serial",
+                        method.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn micro_batches_agree_with_single_queries(rel in arb_workload()) {
         // impute_batch is just impute_one in order — spot-check with two
         // cheap methods (one per integration style).
@@ -177,6 +224,67 @@ fn fit_on_complete_relation_serves_later_queries() {
         );
         assert_eq!(served[0], 5.0);
         assert_eq!(served[3], 7.5);
+    }
+}
+
+/// One fitted imputer shared by N serving threads: every thread's
+/// `impute_one` answers are bitwise-equal to the single-threaded reference
+/// — the cross-thread validation of the `Send + Sync` + pure-serving
+/// claims in `crates/data/src/task.rs`. Covers both integration styles
+/// (per-attribute and matrix-global) plus the stochastic PMM, whose
+/// per-query randomness is keyed by the query bits and must not depend on
+/// which thread asks.
+#[test]
+fn one_fitted_imputer_serves_many_threads_bitwise_equal() {
+    let rows: Vec<Vec<f64>> = (0..60)
+        .map(|i| {
+            let x = i as f64 * 0.3;
+            vec![x, 2.0 * x + 1.0, (x * 0.4).sin() * 2.0 + x, 12.0 - 0.5 * x]
+        })
+        .collect();
+    let mut rel = Relation::from_rows(Schema::anonymous(4), &rows);
+    inject_random(&mut rel, 8, &mut StdRng::seed_from_u64(17));
+
+    // Fit-time tuples and novel queries, all served concurrently.
+    let mut queries: Vec<Vec<Option<f64>>> = rel
+        .incomplete_rows()
+        .iter()
+        .map(|&i| rel.row_opt(i as usize))
+        .collect();
+    for i in 0..10 {
+        let x = 20.0 + i as f64 * 0.7;
+        queries.push(vec![Some(x), None, Some(x), Some(12.0 - 0.5 * x)]);
+        queries.push(vec![None, Some(2.0 * x + 1.0), None, Some(12.0 - 0.5 * x)]);
+    }
+
+    for name in ["IIM", "kNN", "SVD", "IFC", "PMM"] {
+        let method = iim::methods::by_name(name, 4, 9).unwrap();
+        let fitted = method
+            .fit(&rel)
+            .unwrap_or_else(|e| panic!("{name} failed to fit: {e}"));
+        let reference: Vec<Vec<f64>> = queries
+            .iter()
+            .map(|q| fitted.impute_one(q).unwrap())
+            .collect();
+        std::thread::scope(|scope| {
+            for t in 0..4usize {
+                let (fitted, queries, reference) = (&fitted, &queries, &reference);
+                scope.spawn(move || {
+                    // Each thread walks the queries in a different order so
+                    // the interleavings actually differ.
+                    for step in 0..queries.len() {
+                        let i = (step + t * 7) % queries.len();
+                        let got = fitted.impute_one(&queries[i]).unwrap();
+                        for (a, b) in got.iter().zip(&reference[i]) {
+                            assert!(
+                                a.to_bits() == b.to_bits() || (a.is_nan() && b.is_nan()),
+                                "{name}: thread {t} diverged on query {i}"
+                            );
+                        }
+                    }
+                });
+            }
+        });
     }
 }
 
