@@ -16,12 +16,14 @@
 //! prediction — neighbor statistics from the complete pool, then the
 //! learned model.
 
+use crate::nn_scratch::with_neighbor_buf;
 use iim_data::task::{completed_row, validate_query};
 use iim_data::{
     AttrTask, FeatureSelection, FillCache, FittedImputer, ImputeError, Imputer, Relation, RowOpt,
 };
 use iim_linalg::{ridge_fit, RidgeModel};
 use iim_neighbors::brute::FeatureMatrix;
+use iim_neighbors::{IndexChoice, NeighborIndex};
 
 /// The ERACER baseline.
 #[derive(Debug, Clone)]
@@ -34,6 +36,9 @@ pub struct Eracer {
     pub alpha: f64,
     /// Feature-selection policy per target attribute.
     pub features: FeatureSelection,
+    /// Neighbor-search index over the complete pool (training design,
+    /// Gibbs rounds, and online serving all search through it).
+    pub index: IndexChoice,
 }
 
 impl Default for Eracer {
@@ -43,6 +48,7 @@ impl Default for Eracer {
             iterations: 5,
             alpha: 1e-6,
             features: FeatureSelection::AllOthers,
+            index: IndexChoice::Auto,
         }
     }
 }
@@ -58,10 +64,11 @@ impl Eracer {
 }
 
 /// The learned state for one target: the relational ridge model plus the
-/// complete pool its neighbor statistics come from.
+/// complete pool its neighbor statistics come from, behind the serving
+/// index.
 struct EracerTarget {
     features: Vec<usize>,
-    fm: FeatureMatrix,
+    fm: NeighborIndex,
     ys: Vec<f64>,
     /// `k` clamped to the pool size at fit time.
     k: usize,
@@ -113,8 +120,10 @@ impl FittedImputer for FittedEracer {
             for (idx, &fj) in t.features.iter().enumerate() {
                 qf.push(row[fj].unwrap_or(t.means[idx]));
             }
-            let nn = t.fm.knn(&qf, t.k);
-            let nb_mean = nn.iter().map(|nb| t.ys[nb.pos as usize]).sum::<f64>() / nn.len() as f64;
+            let nb_mean = with_neighbor_buf(|nn| {
+                t.fm.knn_into(&qf, t.k, nn);
+                nn.iter().map(|nb| t.ys[nb.pos as usize]).sum::<f64>() / nn.len() as f64
+            });
             xbuf.clear();
             xbuf.extend_from_slice(&qf);
             xbuf.push(nb_mean);
@@ -147,7 +156,10 @@ impl Eracer {
             .map(|i| i as u32)
             .collect();
 
-        let fm = FeatureMatrix::gather(rel, &features, &task.train_rows);
+        let fm = NeighborIndex::build(
+            FeatureMatrix::gather(rel, &features, &task.train_rows),
+            self.index,
+        );
         let ys: Vec<f64> = task
             .train_rows
             .iter()
@@ -157,21 +169,25 @@ impl Eracer {
 
         // Learn the relational model on complete tuples: each training
         // tuple's neighbor-mean excludes itself (its own value would leak).
-        // Training tuples are independent, so the design fans out per row.
+        // Training tuples are independent, so the design fans out per row,
+        // each searching the shared index with per-worker scratch.
         let exec = iim_exec::global();
         let train_x: Vec<Vec<f64>> = exec.parallel_map_indexed(fm.len(), |pos| {
-            let nn = fm.knn(fm.point(pos), k + 1);
-            let mut sum = 0.0;
-            let mut cnt = 0usize;
-            for nb in nn.iter().filter(|nb| nb.pos as usize != pos).take(k) {
-                sum += ys[nb.pos as usize];
-                cnt += 1;
-            }
-            let nb_mean = if cnt > 0 { sum / cnt as f64 } else { ys[pos] };
-            let mut x = Vec::with_capacity(fm.n_features() + 1);
-            x.extend_from_slice(fm.point(pos));
-            x.push(nb_mean);
-            x
+            let points = fm.matrix();
+            with_neighbor_buf(|nn| {
+                fm.knn_into(points.point(pos), k + 1, nn);
+                let mut sum = 0.0;
+                let mut cnt = 0usize;
+                for nb in nn.iter().filter(|nb| nb.pos as usize != pos).take(k) {
+                    sum += ys[nb.pos as usize];
+                    cnt += 1;
+                }
+                let nb_mean = if cnt > 0 { sum / cnt as f64 } else { ys[pos] };
+                let mut x = Vec::with_capacity(points.n_features() + 1);
+                x.extend_from_slice(points.point(pos));
+                x.push(nb_mean);
+                x
+            })
         });
         let model: RidgeModel = ridge_fit(train_x.iter().map(|v| v.as_slice()), &ys, self.alpha)
             .ok_or_else(|| ImputeError::Unsupported("non-finite design".into()))?;

@@ -11,12 +11,14 @@
 //! serves a novel incomplete tuple with one local least squares against
 //! that pool — the per-query model the paper charges to imputation time.
 
+use crate::nn_scratch::with_neighbor_buf;
 use iim_data::task::{completed_row, validate_query};
 use iim_data::{
     AttrTask, FeatureSelection, FillCache, FittedImputer, ImputeError, Imputer, Relation, RowOpt,
 };
 use iim_linalg::ridge_fit;
 use iim_neighbors::brute::FeatureMatrix;
+use iim_neighbors::{IndexChoice, NeighborIndex};
 
 /// The ILLS baseline.
 #[derive(Debug, Clone)]
@@ -30,6 +32,9 @@ pub struct Ills {
     pub alpha: f64,
     /// Feature-selection policy per target attribute.
     pub features: FeatureSelection,
+    /// Neighbor-search index built over each refinement pool and over the
+    /// captured serving pool.
+    pub index: IndexChoice,
 }
 
 impl Default for Ills {
@@ -39,6 +44,7 @@ impl Default for Ills {
             iterations: 3,
             alpha: 1e-6,
             features: FeatureSelection::AllOthers,
+            index: IndexChoice::Auto,
         }
     }
 }
@@ -54,10 +60,11 @@ impl Ills {
 }
 
 /// The captured pool for one target attribute: the final round's neighbor
-/// set (complete tuples + converged fit-time estimates).
+/// set (complete tuples + converged fit-time estimates), behind the
+/// serving index.
 struct IllsTarget {
     features: Vec<usize>,
-    pool: FeatureMatrix,
+    pool: NeighborIndex,
     ys: Vec<f64>,
     /// Pool column means (feature order), for missing-feature fallback.
     means: Vec<f64>,
@@ -121,7 +128,7 @@ impl FittedImputer for FittedIlls {
 struct TargetFit {
     queries: Vec<u32>,
     estimates: Vec<f64>,
-    pool: FeatureMatrix,
+    pool: NeighborIndex,
     ys: Vec<f64>,
     features: Vec<usize>,
 }
@@ -151,7 +158,8 @@ impl Ills {
 
         // Local least squares with the complete pool, then refine with the
         // imputed tuples admitted to the pool. Each round's per-query
-        // regressions are independent, so they fan out on the pool.
+        // regressions are independent, so they fan out on the pool —
+        // searching through one per-round index instead of scanning.
         let exec = iim_exec::global();
         let mut estimates: Vec<f64>;
         {
@@ -161,19 +169,20 @@ impl Ills {
                 .iter()
                 .map(|&r| task.target_value(r as usize))
                 .collect();
+            let pool = NeighborIndex::build(fm, self.index);
             if queries.is_empty() {
                 // Nothing to refine at fit time: the complete tuples *are*
                 // the final pool (the fit-on-complete serving scenario).
                 return Ok(TargetFit {
                     queries,
                     estimates: Vec::new(),
-                    pool: fm,
+                    pool,
                     ys,
                     features,
                 });
             }
             estimates = exec.parallel_map_indexed(queries.len(), |qi| {
-                local_ls(&fm, &ys, &qfeat[qi], self.k, self.alpha)
+                local_ls(&pool, &ys, &qfeat[qi], self.k, self.alpha)
             });
         }
         for _ in 1..self.iterations {
@@ -189,8 +198,9 @@ impl Ills {
                 .iter()
                 .map(|&r| scratch.value(r as usize, target))
                 .collect();
+            let pool = NeighborIndex::build(fm, self.index);
             let next: Vec<f64> = exec.parallel_map_indexed(queries.len(), |qi| {
-                local_ls(&fm, &ys, &qfeat[qi], self.k, self.alpha)
+                local_ls(&pool, &ys, &qfeat[qi], self.k, self.alpha)
             });
             let delta = estimates
                 .iter()
@@ -220,7 +230,7 @@ impl Ills {
                 .iter()
                 .map(|&r| scratch.value(r as usize, target))
                 .collect();
-            (fm, ys)
+            (NeighborIndex::build(fm, self.index), ys)
         };
         Ok(TargetFit {
             queries,
@@ -232,15 +242,18 @@ impl Ills {
     }
 }
 
-fn local_ls(fm: &FeatureMatrix, ys: &[f64], query: &[f64], k: usize, alpha: f64) -> f64 {
-    let nn = fm.knn(query, k);
-    debug_assert!(!nn.is_empty());
-    let rows = nn.iter().map(|n| fm.point(n.pos as usize));
-    let targets: Vec<f64> = nn.iter().map(|n| ys[n.pos as usize]).collect();
-    match ridge_fit(rows, &targets, alpha) {
-        Some(model) if model.is_finite() => model.predict(query),
-        _ => targets.iter().sum::<f64>() / targets.len() as f64,
-    }
+fn local_ls(pool: &NeighborIndex, ys: &[f64], query: &[f64], k: usize, alpha: f64) -> f64 {
+    with_neighbor_buf(|nn| {
+        pool.knn_into(query, k, nn);
+        debug_assert!(!nn.is_empty());
+        let fm = pool.matrix();
+        let rows = nn.iter().map(|n| fm.point(n.pos as usize));
+        let targets: Vec<f64> = nn.iter().map(|n| ys[n.pos as usize]).collect();
+        match ridge_fit(rows, &targets, alpha) {
+            Some(model) if model.is_finite() => model.predict(query),
+            _ => targets.iter().sum::<f64>() / targets.len() as f64,
+        }
+    })
 }
 
 /// Pool column means in feature order.
@@ -278,7 +291,7 @@ impl Imputer for Ills {
                     filled.set(row as usize, target, est);
                 }
             }
-            let means = pool_means(&tf.pool, tf.features.len());
+            let means = pool_means(tf.pool.matrix(), tf.features.len());
             fitted[target] = Some(IllsTarget {
                 features: tf.features,
                 pool: tf.pool,

@@ -1,8 +1,10 @@
 //! kNN imputation \[2\], \[5\]: aggregate the target values of the k nearest
 //! complete neighbors (Formula 2), optionally distance-weighted \[3\].
 
+use crate::nn_scratch::with_neighbor_buf;
 use iim_data::{AttrEstimator, AttrPredictor, AttrTask, ImputeError};
 use iim_neighbors::brute::FeatureMatrix;
+use iim_neighbors::{IndexChoice, NeighborIndex};
 
 /// The kNN baseline.
 #[derive(Debug, Clone, Copy)]
@@ -13,22 +15,32 @@ pub struct Knn {
     /// `true` weights neighbors by inverse distance (§II-A2's "more
     /// advanced aggregation", kept as an ablation).
     pub weighted: bool,
+    /// Neighbor-search index built at fit time (never changes an answer,
+    /// only its latency).
+    pub index: IndexChoice,
 }
 
 impl Knn {
     /// Plain arithmetic-mean kNN with `k` neighbors.
     pub fn new(k: usize) -> Self {
-        Self { k, weighted: false }
+        Self {
+            k,
+            weighted: false,
+            index: IndexChoice::Auto,
+        }
     }
 
     /// Distance-weighted variant.
     pub fn weighted(k: usize) -> Self {
-        Self { k, weighted: true }
+        Self {
+            weighted: true,
+            ..Self::new(k)
+        }
     }
 }
 
 struct KnnModel {
-    fm: FeatureMatrix,
+    index: NeighborIndex,
     ys: Vec<f64>,
     k: usize,
     weighted: bool,
@@ -36,20 +48,22 @@ struct KnnModel {
 
 impl AttrPredictor for KnnModel {
     fn predict(&self, x: &[f64]) -> f64 {
-        let nn = self.fm.knn(x, self.k);
-        debug_assert!(!nn.is_empty());
-        if !self.weighted {
-            let sum: f64 = nn.iter().map(|n| self.ys[n.pos as usize]).sum();
-            return sum / nn.len() as f64;
-        }
-        // Inverse-distance weights; an exact match takes the whole vote.
-        if let Some(hit) = nn.iter().find(|n| n.dist <= 1e-12) {
-            return self.ys[hit.pos as usize];
-        }
-        let inv_sum: f64 = nn.iter().map(|n| 1.0 / n.dist).sum();
-        nn.iter()
-            .map(|n| self.ys[n.pos as usize] * (1.0 / n.dist) / inv_sum)
-            .sum()
+        with_neighbor_buf(|nn| {
+            self.index.knn_into(x, self.k, nn);
+            debug_assert!(!nn.is_empty());
+            if !self.weighted {
+                let sum: f64 = nn.iter().map(|n| self.ys[n.pos as usize]).sum();
+                return sum / nn.len() as f64;
+            }
+            // Inverse-distance weights; an exact match takes the whole vote.
+            if let Some(hit) = nn.iter().find(|n| n.dist <= 1e-12) {
+                return self.ys[hit.pos as usize];
+            }
+            let inv_sum: f64 = nn.iter().map(|n| 1.0 / n.dist).sum();
+            nn.iter()
+                .map(|n| self.ys[n.pos as usize] * (1.0 / n.dist) / inv_sum)
+                .sum()
+        })
     }
 }
 
@@ -75,7 +89,7 @@ impl AttrEstimator for Knn {
             .map(|&r| task.target_value(r as usize))
             .collect();
         Ok(Box::new(KnnModel {
-            fm,
+            index: NeighborIndex::build(fm, self.index),
             ys,
             k: self.k.max(1),
             weighted: self.weighted,

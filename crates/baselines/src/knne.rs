@@ -7,27 +7,34 @@
 //! the full `F` — for `|F| = 1` only the full set exists and kNNE
 //! degenerates to kNN.
 
+use crate::nn_scratch::with_neighbor_buf;
 use iim_data::{AttrEstimator, AttrPredictor, AttrTask, ImputeError};
 use iim_neighbors::brute::FeatureMatrix;
+use iim_neighbors::{IndexChoice, NeighborIndex};
 
 /// The kNNE baseline.
 #[derive(Debug, Clone, Copy)]
 pub struct Knne {
     /// Neighbors per ensemble member.
     pub k: usize,
+    /// Neighbor-search index built per ensemble member at fit time.
+    pub index: IndexChoice,
 }
 
 impl Knne {
     /// kNNE with `k` neighbors per member.
     pub fn new(k: usize) -> Self {
-        Self { k }
+        Self {
+            k,
+            index: IndexChoice::Auto,
+        }
     }
 }
 
 struct Member {
     /// Positions of this member's features within the task feature order.
     feat_idx: Vec<usize>,
-    fm: FeatureMatrix,
+    index: NeighborIndex,
 }
 
 struct KnneModel {
@@ -40,14 +47,16 @@ impl AttrPredictor for KnneModel {
     fn predict(&self, x: &[f64]) -> f64 {
         let mut total = 0.0;
         let mut q = Vec::new();
-        for member in &self.members {
-            q.clear();
-            q.extend(member.feat_idx.iter().map(|&i| x[i]));
-            let nn = member.fm.knn(&q, self.k);
-            let mean: f64 =
-                nn.iter().map(|n| self.ys[n.pos as usize]).sum::<f64>() / nn.len() as f64;
-            total += mean;
-        }
+        with_neighbor_buf(|nn| {
+            for member in &self.members {
+                q.clear();
+                q.extend(member.feat_idx.iter().map(|&i| x[i]));
+                member.index.knn_into(&q, self.k, nn);
+                let mean: f64 =
+                    nn.iter().map(|n| self.ys[n.pos as usize]).sum::<f64>() / nn.len() as f64;
+                total += mean;
+            }
+        });
         total / self.members.len() as f64
     }
 }
@@ -75,7 +84,10 @@ impl AttrEstimator for Knne {
             .map(|feat_idx| {
                 let attrs: Vec<usize> = feat_idx.iter().map(|&i| task.features[i]).collect();
                 let fm = FeatureMatrix::gather(task.rel, &attrs, &task.train_rows);
-                Member { feat_idx, fm }
+                Member {
+                    feat_idx,
+                    index: NeighborIndex::build(fm, self.index),
+                }
             })
             .collect();
         let ys: Vec<f64> = task

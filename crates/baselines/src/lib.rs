@@ -38,6 +38,7 @@ pub mod knn;
 pub mod knne;
 pub mod loess;
 pub mod mean;
+mod nn_scratch;
 pub mod pmm;
 pub mod rand_util;
 pub mod registry;
@@ -55,6 +56,6 @@ pub use knne::Knne;
 pub use loess::Loess;
 pub use mean::Mean;
 pub use pmm::Pmm;
-pub use registry::all_baselines;
+pub use registry::{all_baselines, all_baselines_with};
 pub use svd::SvdImpute;
 pub use xgb::Xgb;

@@ -4,9 +4,11 @@
 //! learned online per query (which is why the paper's Figures 4–7 show it
 //! paying a high imputation-time cost).
 
+use crate::nn_scratch::with_neighbor_buf;
 use iim_data::{AttrEstimator, AttrPredictor, AttrTask, ImputeError};
 use iim_linalg::ridge_fit_weighted;
 use iim_neighbors::brute::FeatureMatrix;
+use iim_neighbors::{IndexChoice, NeighborIndex};
 
 /// The LOESS baseline.
 #[derive(Debug, Clone, Copy)]
@@ -15,17 +17,24 @@ pub struct Loess {
     pub k: usize,
     /// Ridge guard for degenerate local designs.
     pub alpha: f64,
+    /// Neighbor-search index built at fit time (the span lookup is the
+    /// per-query search the paper charges to imputation time).
+    pub index: IndexChoice,
 }
 
 impl Loess {
     /// LOESS with a span of `k` neighbors.
     pub fn new(k: usize) -> Self {
-        Self { k, alpha: 1e-6 }
+        Self {
+            k,
+            alpha: 1e-6,
+            index: IndexChoice::Auto,
+        }
     }
 }
 
 struct LoessModel {
-    fm: FeatureMatrix,
+    index: NeighborIndex,
     ys: Vec<f64>,
     k: usize,
     alpha: f64,
@@ -33,33 +42,36 @@ struct LoessModel {
 
 impl AttrPredictor for LoessModel {
     fn predict(&self, x: &[f64]) -> f64 {
-        let nn = self.fm.knn(x, self.k);
-        debug_assert!(!nn.is_empty());
-        // Tricube weights on distance relative to the span radius.
-        let dmax = nn.last().expect("non-empty").dist.max(1e-12);
-        let weights: Vec<f64> = nn
-            .iter()
-            .map(|n| {
-                let u = (n.dist / dmax).min(1.0);
-                let t = 1.0 - u * u * u;
-                t * t * t
-            })
-            .collect();
-        // The farthest neighbor gets weight 0; keep the fit solvable when
-        // all weights collapse (all neighbors at the same distance) by
-        // falling back to uniform weights.
-        let wsum: f64 = weights.iter().sum();
-        let rows = nn.iter().map(|n| self.fm.point(n.pos as usize));
-        let ys: Vec<f64> = nn.iter().map(|n| self.ys[n.pos as usize]).collect();
-        let model = if wsum > 1e-9 {
-            ridge_fit_weighted(rows, &ys, Some(&weights), self.alpha)
-        } else {
-            ridge_fit_weighted(rows, &ys, None, self.alpha)
-        };
-        match model {
-            Some(m) if m.is_finite() => m.predict(x),
-            _ => ys.iter().sum::<f64>() / ys.len() as f64,
-        }
+        with_neighbor_buf(|nn| {
+            self.index.knn_into(x, self.k, nn);
+            debug_assert!(!nn.is_empty());
+            let fm = self.index.matrix();
+            // Tricube weights on distance relative to the span radius.
+            let dmax = nn.last().expect("non-empty").dist.max(1e-12);
+            let weights: Vec<f64> = nn
+                .iter()
+                .map(|n| {
+                    let u = (n.dist / dmax).min(1.0);
+                    let t = 1.0 - u * u * u;
+                    t * t * t
+                })
+                .collect();
+            // The farthest neighbor gets weight 0; keep the fit solvable when
+            // all weights collapse (all neighbors at the same distance) by
+            // falling back to uniform weights.
+            let wsum: f64 = weights.iter().sum();
+            let rows = nn.iter().map(|n| fm.point(n.pos as usize));
+            let ys: Vec<f64> = nn.iter().map(|n| self.ys[n.pos as usize]).collect();
+            let model = if wsum > 1e-9 {
+                ridge_fit_weighted(rows, &ys, Some(&weights), self.alpha)
+            } else {
+                ridge_fit_weighted(rows, &ys, None, self.alpha)
+            };
+            match model {
+                Some(m) if m.is_finite() => m.predict(x),
+                _ => ys.iter().sum::<f64>() / ys.len() as f64,
+            }
+        })
     }
 }
 
@@ -81,7 +93,7 @@ impl AttrEstimator for Loess {
             .map(|&r| task.target_value(r as usize))
             .collect();
         Ok(Box::new(LoessModel {
-            fm,
+            index: NeighborIndex::build(fm, self.index),
             ys,
             k: self.k.max(2),
             alpha: self.alpha,

@@ -1,0 +1,23 @@
+//! Per-thread neighbor-list buffer for the baselines' serving hot paths.
+//!
+//! Every kNN-family baseline answers a query by searching its stored
+//! [`NeighborIndex`](iim_neighbors::NeighborIndex) and reading the
+//! neighbor list once; the list buffer (and the search's selection heap
+//! behind `knn_into`) is reused per worker thread, so the *search* half
+//! of a query does not allocate at steady state. Methods that fit a
+//! local regression per query (LOESS, ILLS) still allocate inside that
+//! fit — the regression dominates there, not the buffers. Buffer state
+//! never influences results — the search clears it first.
+
+use iim_neighbors::Neighbor;
+use std::cell::Cell;
+
+thread_local! {
+    static BUF: Cell<Vec<Neighbor>> = const { Cell::new(Vec::new()) };
+}
+
+/// Runs `f` with this thread's reusable neighbor buffer (see
+/// [`iim_exec::with_tls_scratch`] for the take/put contract).
+pub(crate) fn with_neighbor_buf<R>(f: impl FnOnce(&mut Vec<Neighbor>) -> R) -> R {
+    iim_exec::with_tls_scratch(&BUF, f)
+}

@@ -3,6 +3,7 @@
 
 use crate::{Blr, Eracer, Glr, Gmm, Ifc, Ills, Knn, Knne, Loess, Mean, Pmm, SvdImpute, Xgb};
 use iim_data::{FeatureSelection, Imputer, PerAttributeImputer};
+use iim_neighbors::IndexChoice;
 
 /// Builds every baseline of Table II with paper-faithful defaults.
 ///
@@ -15,14 +16,32 @@ use iim_data::{FeatureSelection, Imputer, PerAttributeImputer};
 /// ILLS, GLR, LOESS, BLR, ERACER, PMM, XGB — with Mean prepended since
 /// Table VII reports it too.
 pub fn all_baselines(k: usize, seed: u64, features: FeatureSelection) -> Vec<Box<dyn Imputer>> {
+    all_baselines_with(k, seed, features, IndexChoice::Auto)
+}
+
+/// [`all_baselines`] with an explicit neighbor-index choice for the
+/// search-backed methods (kNN, kNNE, LOESS, ILLS, ERACER). The choice
+/// never changes an imputation — only its latency.
+pub fn all_baselines_with(
+    k: usize,
+    seed: u64,
+    features: FeatureSelection,
+    index: IndexChoice,
+) -> Vec<Box<dyn Imputer>> {
     vec![
         Box::new(PerAttributeImputer::with_features(Mean, features.clone())),
         Box::new(PerAttributeImputer::with_features(
-            Knn::new(k),
+            Knn {
+                index,
+                ..Knn::new(k)
+            },
             features.clone(),
         )),
         Box::new(PerAttributeImputer::with_features(
-            Knne::new(k),
+            Knne {
+                index,
+                ..Knne::new(k)
+            },
             features.clone(),
         )),
         Box::new(Ifc::default()),
@@ -34,6 +53,7 @@ pub fn all_baselines(k: usize, seed: u64, features: FeatureSelection) -> Vec<Box
         Box::new(Ills {
             k,
             features: features.clone(),
+            index,
             ..Ills::default()
         }),
         Box::new(PerAttributeImputer::with_features(
@@ -41,7 +61,10 @@ pub fn all_baselines(k: usize, seed: u64, features: FeatureSelection) -> Vec<Box
             features.clone(),
         )),
         Box::new(PerAttributeImputer::with_features(
-            Loess::new(k),
+            Loess {
+                index,
+                ..Loess::new(k)
+            },
             features.clone(),
         )),
         Box::new(PerAttributeImputer::with_features(
@@ -50,6 +73,7 @@ pub fn all_baselines(k: usize, seed: u64, features: FeatureSelection) -> Vec<Box
         )),
         Box::new(Eracer {
             features: features.clone(),
+            index,
             ..Eracer::default()
         }),
         Box::new(PerAttributeImputer::with_features(

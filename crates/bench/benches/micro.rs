@@ -65,7 +65,7 @@ fn bench_knn(c: &mut Criterion) {
     let n = 50_000;
     let data: Vec<f64> = (0..n * 2).map(|_| rng.gen_range(0.0..100.0)).collect();
     let fm = FeatureMatrix::from_dense(2, (0..n as u32).collect(), data);
-    let tree = KdTree::build(&fm);
+    let tree = KdTree::build(fm.clone());
     let queries: Vec<[f64; 2]> = (0..64)
         .map(|_| [rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)])
         .collect();

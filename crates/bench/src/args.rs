@@ -1,6 +1,8 @@
 //! Minimal flag parsing shared by the experiment binaries (no CLI crate —
 //! a few optional flags do not justify a dependency).
 
+use iim_neighbors::IndexChoice;
+
 /// Parsed common flags.
 #[derive(Debug, Clone, Copy)]
 pub struct Args {
@@ -13,11 +15,15 @@ pub struct Args {
     /// Worker-thread override (`--threads`); `None` leaves the process
     /// default (`IIM_THREADS` / available parallelism) in place.
     pub threads: Option<usize>,
+    /// Neighbor-index override (`--index auto|brute|kdtree`), plumbed into
+    /// `IimConfig`/the baselines by the binaries that honour it (the
+    /// `serving` bin benches brute and kdtree regardless).
+    pub index: IndexChoice,
 }
 
 impl Args {
     /// Parses `--seed <u64>`, `--n <usize>`, `--threads <usize>`,
-    /// `--quick` from `std::env`.
+    /// `--index <auto|brute|kdtree>`, `--quick` from `std::env`.
     ///
     /// A `--threads` value is applied immediately via
     /// [`iim_exec::set_default_threads`], so every pool the binary touches
@@ -28,6 +34,7 @@ impl Args {
             n: None,
             quick: false,
             threads: None,
+            index: IndexChoice::Auto,
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
@@ -54,9 +61,15 @@ impl Args {
                     out.threads = Some(t);
                     iim_exec::set_default_threads(t);
                 }
+                "--index" => {
+                    out.index = it
+                        .next()
+                        .and_then(|v| IndexChoice::parse(&v))
+                        .expect("--index needs one of: auto, brute, kdtree");
+                }
                 "--quick" => out.quick = true,
                 other => {
-                    panic!("unknown flag {other}; supported: --seed --n --threads --quick")
+                    panic!("unknown flag {other}; supported: --seed --n --threads --index --quick")
                 }
             }
         }

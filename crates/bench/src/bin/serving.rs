@@ -1,0 +1,187 @@
+//! **Serving baseline**: offline model build + online queries/sec for
+//! IIM served through the brute scan vs the stored neighbor index, over a
+//! grid of training sizes and dimensionalities, recorded to
+//! `bench_results/BENCH_serving.json`.
+//!
+//! Every (n, m) cell is run twice — [`IndexChoice::Brute`] and the
+//! index-backed configuration — and all imputed values are asserted
+//! **bitwise identical** between the two: the index can only change
+//! latency, never an answer. Offline time covers the whole
+//! `IimModel::learn_from_parts` (neighbor orders + individual models);
+//! online time is the per-query `impute` loop, single-threaded, so
+//! queries/sec measures the algorithmic path, not parallel fan-out — on a
+//! one-core box any win recorded here is purely algorithmic.
+//!
+//! ```text
+//! cargo run -p iim-bench --release --bin serving [-- --quick --index kdtree --seed 42]
+//! ```
+
+use iim_bench::{report::results_dir, Args, Table};
+use iim_core::{IimConfig, IimModel, IndexChoice, Learning};
+use iim_neighbors::brute::FeatureMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Linear-plus-noise training data: features uniform in [0, 100), target a
+/// fixed linear blend — enough structure that the learned models are
+/// non-degenerate, cheap enough to generate at n = 50k.
+fn training_parts(n: usize, m: usize, seed: u64) -> (FeatureMatrix, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data: Vec<f64> = (0..n * m).map(|_| rng.gen_range(0.0..100.0)).collect();
+    let fm = FeatureMatrix::from_dense(m, (0..n as u32).collect(), data);
+    let ys: Vec<f64> = (0..n)
+        .map(|i| {
+            let x = fm.point(i);
+            let lin: f64 = x.iter().enumerate().map(|(j, v)| v * (j + 1) as f64).sum();
+            lin * 0.1 + rng.gen_range(-0.5..0.5)
+        })
+        .collect();
+    (fm, ys)
+}
+
+struct Cell {
+    n: usize,
+    m: usize,
+    kind: &'static str,
+    offline_s: f64,
+    online_s: f64,
+}
+
+fn main() {
+    let args = Args::parse();
+    let (ns, ms, n_queries): (&[usize], &[usize], usize) = if args.quick {
+        (&[200, 700], &[1, 3], 200)
+    } else {
+        (&[1_000, 10_000, 50_000], &[1, 4, 8], 2_000)
+    };
+    // The indexed side: an explicit --index choice, else Auto (which
+    // resolves per (n, m); the recorded `index` column shows what was
+    // actually built).
+    let indexed_choice = args.index;
+    let k = 10;
+    let ell = 8;
+
+    // `--n` caps the grid; dedup so a low cap doesn't bench the same
+    // (n, m) cell several times over.
+    let mut capped: Vec<usize> = ns
+        .iter()
+        .map(|&n| args.n.map_or(n, |cap| n.min(cap)))
+        .collect();
+    capped.dedup();
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for &n in &capped {
+        for &m in ms {
+            let (fm, ys) = training_parts(n, m, args.seed ^ (n as u64) ^ ((m as u64) << 32));
+            let mut rng = StdRng::seed_from_u64(args.seed.wrapping_add(17));
+            let queries: Vec<Vec<f64>> = (0..n_queries)
+                .map(|_| (0..m).map(|_| rng.gen_range(0.0..100.0)).collect())
+                .collect();
+            let cfg = |index| IimConfig {
+                k,
+                learning: Learning::Fixed { ell },
+                index,
+                ..IimConfig::default()
+            };
+            let run = |choice: IndexChoice| -> (Cell, Vec<f64>) {
+                let t0 = Instant::now();
+                let model = IimModel::learn_from_parts(fm.clone(), &ys, &cfg(choice));
+                let offline_s = t0.elapsed().as_secs_f64();
+                let mut scratch = iim_core::ImputeScratch::new();
+                let t1 = Instant::now();
+                let values: Vec<f64> = queries
+                    .iter()
+                    .map(|q| model.impute_with(q, &mut scratch))
+                    .collect();
+                let online_s = t1.elapsed().as_secs_f64();
+                (
+                    Cell {
+                        n,
+                        m,
+                        kind: model.index().kind(),
+                        offline_s,
+                        online_s,
+                    },
+                    values,
+                )
+            };
+            let (brute_cell, brute_values) = run(IndexChoice::Brute);
+            let (index_cell, index_values) = run(indexed_choice);
+            // The whole point: the index may only change latency.
+            for (qi, (a, b)) in brute_values.iter().zip(&index_values).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "imputed value diverged at n={n} m={m} query {qi}: brute {a} vs {} {b}",
+                    index_cell.kind
+                );
+            }
+            eprintln!(
+                "[serving] n={n} m={m}: brute {:.3}s/{:.3}s, {} {:.3}s/{:.3}s (offline/online), bitwise-identical",
+                brute_cell.offline_s, brute_cell.online_s,
+                index_cell.kind, index_cell.offline_s, index_cell.online_s,
+            );
+            cells.push(brute_cell);
+            cells.push(index_cell);
+        }
+    }
+
+    let mut table = Table::new(vec![
+        "n",
+        "m",
+        "index",
+        "offline_s",
+        "online_s",
+        "us/query",
+        "queries/s",
+    ]);
+    let mut cells_json = String::new();
+    for c in &cells {
+        let per_query = c.online_s / n_queries as f64;
+        table.push(vec![
+            c.n.to_string(),
+            c.m.to_string(),
+            c.kind.to_string(),
+            Table::secs(c.offline_s),
+            Table::secs(c.online_s),
+            format!("{:.2}", per_query * 1e6),
+            format!("{:.0}", 1.0 / per_query.max(1e-12)),
+        ]);
+        let _ = writeln!(
+            cells_json,
+            "    {{\"n\": {}, \"m\": {}, \"index\": \"{}\", \"offline_s\": {:.6}, \
+             \"online_s\": {:.6}, \"us_per_query\": {:.3}, \"queries_per_s\": {:.1}}},",
+            c.n,
+            c.m,
+            c.kind,
+            c.offline_s,
+            c.online_s,
+            per_query * 1e6,
+            1.0 / per_query.max(1e-12),
+        );
+    }
+    let cells_json = cells_json.trim_end_matches(",\n").to_string();
+
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let json = format!(
+        "{{\n  \"workload\": \"fixed-ell IIM, uniform features, linear target\",\n  \
+         \"k\": {k},\n  \"ell\": {ell},\n  \"n_queries\": {n_queries},\n  \
+         \"available_cores\": {cores},\n  \"bitwise_identical_checked\": true,\n  \
+         \"note\": \"online loop is single-threaded; on a 1-core box the \
+         index win is algorithmic (sub-linear search), not parallel\",\n  \
+         \"cells\": [\n{cells_json}\n  ]\n}}\n",
+    );
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("create bench_results");
+    let path = dir.join("BENCH_serving.json");
+    std::fs::write(&path, json).expect("write BENCH_serving.json");
+
+    table.print(&format!(
+        "Serving baseline (brute vs {}; {} queries per cell; all values bitwise-identical)",
+        indexed_choice.name(),
+        n_queries
+    ));
+    println!("wrote {}", path.display());
+}

@@ -70,29 +70,47 @@ pub fn adaptive_learn_detailed(
         "neighbor orders too shallow for the sweep"
     );
 
-    // Reverse validator map: validators[i] = all j with i ∈ NN(tj, F, k),
+    // Reverse validator map: validators of i = all j with i ∈ NN(tj, F, k),
     // self excluded (Example 4). Tuples nobody consults fall back to
-    // self-validation so their cost is still informative.
-    let mut validators: Vec<Vec<u32>> = vec![Vec::new(); n];
+    // self-validation so their cost is still informative. Stored as one
+    // flattened CSR block (offsets + data) instead of n little `Vec`s —
+    // two allocations total, cache-friendly row reads in the sweep below.
     let k_eff = k.min(n.saturating_sub(1));
-    for j in 0..n {
-        let mut taken = 0;
-        for &p in orders.neighbors_of(j) {
-            if p as usize == j {
-                continue;
-            }
-            validators[p as usize].push(j as u32);
-            taken += 1;
-            if taken == k_eff {
-                break;
+    let each_validated = |visit: &mut dyn FnMut(usize, u32)| {
+        for j in 0..n {
+            let mut taken = 0;
+            for &p in orders.neighbors_of(j) {
+                if p as usize == j {
+                    continue;
+                }
+                visit(p as usize, j as u32);
+                taken += 1;
+                if taken == k_eff {
+                    break;
+                }
             }
         }
+    };
+    let mut counts = vec![0u32; n];
+    each_validated(&mut |p, _| counts[p] += 1);
+    // Rows nobody consults get one self-validation slot.
+    let mut offsets = vec![0usize; n + 1];
+    for i in 0..n {
+        offsets[i + 1] = offsets[i] + (counts[i].max(1) as usize);
     }
-    for (i, v) in validators.iter_mut().enumerate() {
-        if v.is_empty() {
-            v.push(i as u32);
+    let mut validator_data = vec![0u32; offsets[n]];
+    for (i, &c) in counts.iter().enumerate() {
+        if c == 0 {
+            validator_data[offsets[i]] = i as u32;
         }
     }
+    let mut cursor: Vec<usize> = offsets[..n].to_vec();
+    // Same j-ascending fill order as the old per-Vec pushes, so each row
+    // lists its validators identically and cost sums keep their FP order.
+    each_validated(&mut |p, j| {
+        validator_data[cursor[p]] = j;
+        cursor[p] += 1;
+    });
 
     struct PerTuple {
         model: RidgeModel,
@@ -108,7 +126,7 @@ pub fn adaptive_learn_detailed(
         for &ell in &swept {
             let model = sweep.model_at(ell);
             let mut cost = 0.0;
-            for &j in &validators[i] {
+            for &j in &validator_data[offsets[i]..offsets[i + 1]] {
                 let pred = model.predict(fm.point(j as usize));
                 let err = ys[j as usize] - pred;
                 cost += err * err;

@@ -1,5 +1,7 @@
 //! Configuration of the IIM pipeline.
 
+pub use iim_neighbors::IndexChoice;
+
 /// How the learning neighbors for individual models are chosen.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Learning {
@@ -83,6 +85,11 @@ pub struct IimConfig {
     /// one per available core). The learned models are bitwise-identical
     /// for every worker count.
     pub threads: usize,
+    /// Neighbor-search index built at fit time and stored by the model
+    /// (the CLI's `--index`). [`IndexChoice::Auto`] picks by `(n, |F|)`;
+    /// the choice can never change an imputation — only its latency
+    /// (see [`iim_neighbors::index`]).
+    pub index: IndexChoice,
 }
 
 impl Default for IimConfig {
@@ -93,6 +100,7 @@ impl Default for IimConfig {
             learning: Learning::Adaptive(AdaptiveConfig::default()),
             weighting: Weighting::MutualVote,
             threads: 0,
+            index: IndexChoice::Auto,
         }
     }
 }

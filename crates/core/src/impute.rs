@@ -1,15 +1,62 @@
 //! The imputation phase (Algorithm 2): candidates from the individual
 //! models of the k imputation neighbors, combined by mutual voting.
+//!
+//! Two shapes of the same computation live here:
+//!
+//! * one-shot wrappers ([`impute_candidates`], [`combine_candidates`]) —
+//!   the readable API, kept for compatibility;
+//! * the zero-allocation serving path ([`ImputeScratch`],
+//!   [`impute_candidates_into`], [`impute_with_scratch`]) — the per-query
+//!   hot loop behind [`IimModel::impute`](crate::IimModel::impute), which
+//!   searches through the fitted [`NeighborIndex`] and reuses every
+//!   buffer. Both produce bit-identical imputations.
 
 use crate::config::Weighting;
 use iim_linalg::RidgeModel;
 use iim_neighbors::brute::{FeatureMatrix, Neighbor};
+use iim_neighbors::{KnnScratch, NeighborIndex};
+
+/// Candidate counts up to this size aggregate through a stack buffer —
+/// no heap allocation on the k ≤ 16 serving path (the paper's default is
+/// k = 10).
+const STACK_K: usize = 16;
+
+/// Reusable per-query buffers for the serving hot path: the kNN selection
+/// heap, the neighbor list, the candidate values, and the mutual-vote
+/// weight accumulator.
+///
+/// Scratch contents never influence results: a query served with a fresh
+/// scratch and one served with a reused scratch return the same bits.
+/// Keep one per worker thread (`IimModel::impute` does this internally via
+/// thread-local storage; batch drivers inherit it per worker).
+#[derive(Default)]
+pub struct ImputeScratch {
+    knn: KnnScratch,
+    neighbors: Vec<Neighbor>,
+    cands: Vec<(Neighbor, f64)>,
+    cx: Vec<f64>,
+}
+
+impl ImputeScratch {
+    /// An empty scratch; buffers grow to steady state on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The candidates produced by the last [`impute_candidates_into`]
+    /// call: neighbors ascending by `(distance, position)` paired with
+    /// their model predictions.
+    pub fn candidates(&self) -> &[(Neighbor, f64)] {
+        &self.cands
+    }
+}
 
 /// (S1) + (S2): finds `Tx = NN(tx, F, k)` among the training tuples and
 /// evaluates each neighbor's individual model at `tx[F]` (Formula 9).
 ///
 /// Returns the neighbors (ascending by distance) paired with their
-/// candidate values `t_x^j[Am]`.
+/// candidate values `t_x^j[Am]`. One-shot wrapper over the brute matrix;
+/// the serving path is [`impute_candidates_into`].
 pub fn impute_candidates(
     fm: &FeatureMatrix,
     models: &[RidgeModel],
@@ -27,6 +74,43 @@ pub fn impute_candidates(
         .collect()
 }
 
+/// [`impute_candidates`] through a fitted [`NeighborIndex`] into reusable
+/// scratch: no allocation at steady state, bit-identical candidates to
+/// the one-shot brute wrapper. Read the result via
+/// [`ImputeScratch::candidates`].
+pub fn impute_candidates_into(
+    index: &NeighborIndex,
+    models: &[RidgeModel],
+    query: &[f64],
+    k: usize,
+    scratch: &mut ImputeScratch,
+) {
+    debug_assert_eq!(index.len(), models.len());
+    index.knn_with(query, k, &mut scratch.knn, &mut scratch.neighbors);
+    scratch.cands.clear();
+    scratch.cands.extend(scratch.neighbors.iter().map(|&nb| {
+        let candidate = models[nb.pos as usize].predict(query);
+        (nb, candidate)
+    }));
+}
+
+/// The whole online phase (S1–S3) for one query through the fitted index
+/// and caller-owned scratch — the shape `IimModel::impute` serves with.
+///
+/// Returns `None` only for an empty candidate set (no training tuples).
+pub fn impute_with_scratch(
+    index: &NeighborIndex,
+    models: &[RidgeModel],
+    query: &[f64],
+    k: usize,
+    weighting: Weighting,
+    scratch: &mut ImputeScratch,
+) -> Option<f64> {
+    impute_candidates_into(index, models, query, k, scratch);
+    let ImputeScratch { cands, cx, .. } = scratch;
+    combine_candidates_with(cands, weighting, cx)
+}
+
 /// (S3): aggregates the candidates into the final imputation
 /// `t'_x[Am] = Σ t_x^j[Am] · w_xj` (Formula 10).
 ///
@@ -37,7 +121,33 @@ pub fn impute_candidates(
 /// `0/0` limit is the common value, which is what is returned.
 ///
 /// Returns `None` for an empty candidate set.
+///
+/// Allocation-free for `k ≤ 16` candidates (mutual-vote accumulators live
+/// on the stack); above that a transient buffer is used — serve through
+/// [`combine_candidates_with`] to reuse it.
 pub fn combine_candidates(candidates: &[(Neighbor, f64)], weighting: Weighting) -> Option<f64> {
+    // The transient buffer is only touched on the > STACK_K branch.
+    combine_candidates_with(candidates, weighting, &mut Vec::new())
+}
+
+/// [`combine_candidates`] with a caller-owned weight buffer for candidate
+/// sets larger than the stack cutoff — the scratch-reuse serving shape.
+pub fn combine_candidates_with(
+    candidates: &[(Neighbor, f64)],
+    weighting: Weighting,
+    cx: &mut Vec<f64>,
+) -> Option<f64> {
+    if candidates.len() <= STACK_K {
+        let mut stack = [0.0f64; STACK_K];
+        combine_in(candidates, weighting, &mut stack[..candidates.len()])
+    } else {
+        cx.resize(candidates.len(), 0.0);
+        combine_in(candidates, weighting, &mut cx[..candidates.len()])
+    }
+}
+
+/// Shared S3 body; `cx` must have exactly `candidates.len()` slots.
+fn combine_in(candidates: &[(Neighbor, f64)], weighting: Weighting, cx: &mut [f64]) -> Option<f64> {
     if candidates.is_empty() {
         return None;
     }
@@ -49,22 +159,21 @@ pub fn combine_candidates(candidates: &[(Neighbor, f64)], weighting: Weighting) 
             let sum: f64 = candidates.iter().map(|(_, c)| c).sum();
             Some(sum / candidates.len() as f64)
         }
-        Weighting::MutualVote => Some(mutual_vote(candidates)),
+        Weighting::MutualVote => Some(mutual_vote(candidates, cx)),
         Weighting::InverseDistance => Some(inverse_distance(candidates)),
     }
 }
 
-fn mutual_vote(candidates: &[(Neighbor, f64)]) -> f64 {
+fn mutual_vote(candidates: &[(Neighbor, f64)], cx: &mut [f64]) -> f64 {
     let k = candidates.len();
+    debug_assert_eq!(cx.len(), k);
     // c_xi = Σ_j |c_i − c_j|  (Formula 11)
-    let mut cx = vec![0.0; k];
-    for i in 0..k {
-        let ci = candidates[i].1;
+    for (slot, (_, ci)) in cx.iter_mut().zip(candidates) {
         let mut sum = 0.0;
         for (_, cj) in candidates {
             sum += (ci - cj).abs();
         }
-        cx[i] = sum;
+        *slot = sum;
     }
     // Degenerate case: c_xi = 0 means candidate i coincides with *every*
     // other candidate, i.e. all candidates are equal — return that value
@@ -82,7 +191,7 @@ fn mutual_vote(candidates: &[(Neighbor, f64)]) -> f64 {
     let inv_sum: f64 = cx.iter().map(|c| 1.0 / c).sum();
     candidates
         .iter()
-        .zip(&cx)
+        .zip(cx.iter())
         .map(|((_, ci), cxi)| ci * (1.0 / cxi) / inv_sum)
         .sum()
 }
@@ -220,6 +329,56 @@ mod tests {
             combine_candidates(&exact, Weighting::InverseDistance),
             Some(9.0)
         );
+    }
+
+    #[test]
+    fn scratch_path_matches_one_shot_wrappers() {
+        let (rel, _) = paper_fig1();
+        let rows: Vec<u32> = (0..8).collect();
+        let fm = FeatureMatrix::gather(&rel, &[0], &rows);
+        let ys: Vec<f64> = (0..8).map(|i| rel.value(i, 1)).collect();
+        let orders = NeighborOrders::build(&fm, 8);
+        let models = learn_fixed(&fm, &ys, &orders, 4, 1e-9, 1);
+        let mut scratch = ImputeScratch::new();
+        for choice in [
+            iim_neighbors::IndexChoice::Brute,
+            iim_neighbors::IndexChoice::KdTree,
+        ] {
+            let index = NeighborIndex::build(fm.clone(), choice);
+            for q in [0.0, 2.5, 5.0, 9.1] {
+                let one_shot = impute_candidates(&fm, &models, &[q], 3);
+                impute_candidates_into(&index, &models, &[q], 3, &mut scratch);
+                assert_eq!(scratch.candidates(), &one_shot[..]);
+                for w in [
+                    Weighting::MutualVote,
+                    Weighting::Uniform,
+                    Weighting::InverseDistance,
+                ] {
+                    let a = combine_candidates(&one_shot, w);
+                    let b = impute_with_scratch(&index, &models, &[q], 3, w, &mut scratch);
+                    assert_eq!(a.map(f64::to_bits), b.map(f64::to_bits));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn combine_above_stack_cutoff_matches_reference() {
+        // 40 candidates exercises the heap-buffer branch; a scratch-reuse
+        // pass must agree bitwise with the one-shot wrapper.
+        let cands: Vec<(Neighbor, f64)> = (0..40)
+            .map(|i| (nb(i, 1.0 + i as f64 * 0.1), (i % 7) as f64 * 1.3 - 2.0))
+            .collect();
+        let mut cx = Vec::new();
+        for w in [
+            Weighting::MutualVote,
+            Weighting::Uniform,
+            Weighting::InverseDistance,
+        ] {
+            let a = combine_candidates(&cands, w).unwrap();
+            let b = combine_candidates_with(&cands, w, &mut cx).unwrap();
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

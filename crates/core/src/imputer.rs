@@ -4,26 +4,46 @@
 
 use crate::adaptive::adaptive_learn;
 use crate::config::{IimConfig, Learning, Weighting};
-use crate::impute::{combine_candidates, impute_candidates};
+use crate::impute::{impute_with_scratch, ImputeScratch};
 use crate::learn::learn_fixed;
 use iim_data::{AttrEstimator, AttrPredictor, AttrTask, ImputeError};
 use iim_linalg::RidgeModel;
-use iim_neighbors::{brute::FeatureMatrix, NeighborOrders};
+use iim_neighbors::{brute::FeatureMatrix, NeighborIndex, NeighborOrders};
+use std::cell::Cell;
 
 /// A learned IIM model for one incomplete attribute: the offline phase's
-/// output (`Φ` plus the training tuples), ready to impute any number of
-/// queries online.
+/// output (`Φ` plus the training tuples behind a stored
+/// [`NeighborIndex`]), ready to impute any number of queries online.
 ///
 /// This is the canonical fitted form behind the workspace's fit/serve
 /// protocol: `PerAttributeImputer::<Iim>::fit` returns a
 /// [`FittedImputer`](iim_data::FittedImputer) holding one `IimModel` per
 /// target attribute (each plugged in through its [`AttrPredictor`] impl).
+///
+/// Serving is zero-allocation at steady state: `impute` searches the
+/// index with per-thread scratch ([`ImputeScratch`]), so batch drivers
+/// fanning queries across workers each reuse their own buffers. Which
+/// index variant was built ([`IimConfig::index`]) never changes an
+/// imputation — only its latency.
 pub struct IimModel {
-    fm: FeatureMatrix,
+    index: NeighborIndex,
     models: Vec<RidgeModel>,
     chosen_ell: Vec<u32>,
     k: usize,
     weighting: Weighting,
+}
+
+thread_local! {
+    /// Per-thread serving scratch (see [`iim_exec::with_tls_scratch`] for
+    /// the take/put contract).
+    static SCRATCH: Cell<ImputeScratch> = Cell::new(ImputeScratch::new());
+}
+
+/// Runs `f` with this thread's serving scratch — shared by
+/// [`IimModel::impute`] and the multiple-imputation view so every
+/// single-query entry point is allocation-free at steady state.
+pub(crate) fn with_serving_scratch<R>(f: impl FnOnce(&mut ImputeScratch) -> R) -> R {
+    iim_exec::with_tls_scratch(&SCRATCH, f)
 }
 
 impl IimModel {
@@ -47,28 +67,34 @@ impl IimModel {
 
     /// [`IimModel::learn`] over pre-gathered parts (used by benches that
     /// need to time the phases in isolation).
+    ///
+    /// Builds the serving [`NeighborIndex`] first ([`IimConfig::index`])
+    /// and routes the offline neighbor-order construction through it, so
+    /// one index serves both phases.
     pub fn learn_from_parts(fm: FeatureMatrix, ys: &[f64], cfg: &IimConfig) -> Self {
         let n = fm.len();
         let threads = cfg.effective_threads();
         let pool = iim_exec::Pool::new(threads);
+        let index = NeighborIndex::build(fm, cfg.index);
+        let fm = index.matrix();
         let (models, chosen_ell) = match &cfg.learning {
             Learning::Fixed { ell } => {
                 let ell = (*ell).clamp(1, n);
-                let orders = NeighborOrders::build_on(&pool, &fm, ell);
-                let models = learn_fixed(&fm, ys, &orders, ell, cfg.alpha, threads);
+                let orders = NeighborOrders::build_from_index(&pool, &index, ell);
+                let models = learn_fixed(fm, ys, &orders, ell, cfg.alpha, threads);
                 (models, vec![ell as u32; n])
             }
             Learning::Adaptive(acfg) => {
                 let vk_hint = acfg.validation_k.unwrap_or(cfg.k);
                 let depth = acfg.ell_max.map_or(n, |e| e.min(n)).max(vk_hint.min(n)); // orders must also serve validation kNN
-                let orders = NeighborOrders::build_on(&pool, &fm, depth.max(1));
+                let orders = NeighborOrders::build_from_index(&pool, &index, depth.max(1));
                 let vk = acfg.validation_k.unwrap_or(cfg.k).max(1);
-                let out = adaptive_learn(&fm, ys, &orders, vk, acfg, cfg.alpha, threads);
+                let out = adaptive_learn(fm, ys, &orders, vk, acfg, cfg.alpha, threads);
                 (out.models, out.chosen_ell)
             }
         };
         Self {
-            fm,
+            index,
             models,
             chosen_ell,
             k: cfg.k.max(1),
@@ -78,9 +104,27 @@ impl IimModel {
 
     /// Online phase (Algorithm 2): imputes one query from its feature
     /// vector (in the task's feature order).
+    ///
+    /// Serves through the stored index with per-thread scratch — no
+    /// allocation at steady state. Use [`IimModel::impute_with`] to manage
+    /// the scratch explicitly (e.g. one per worker in a custom batch
+    /// loop).
     pub fn impute(&self, query: &[f64]) -> f64 {
-        let cands = impute_candidates(&self.fm, &self.models, query, self.k);
-        combine_candidates(&cands, self.weighting).expect("training set is non-empty")
+        with_serving_scratch(|scratch| self.impute_with(query, scratch))
+    }
+
+    /// [`IimModel::impute`] with caller-owned scratch. Bit-identical to
+    /// `impute` whatever state `scratch` arrives in.
+    pub fn impute_with(&self, query: &[f64], scratch: &mut ImputeScratch) -> f64 {
+        impute_with_scratch(
+            &self.index,
+            &self.models,
+            query,
+            self.k,
+            self.weighting,
+            scratch,
+        )
+        .expect("training set is non-empty")
     }
 
     /// The per-tuple ℓ actually used (constant under fixed learning).
@@ -96,13 +140,18 @@ impl IimModel {
 
     /// Number of training tuples.
     pub fn n_train(&self) -> usize {
-        self.fm.len()
+        self.index.len()
     }
 
-    /// The gathered training features (crate-internal accessors for the
-    /// multiple-imputation view).
-    pub(crate) fn feature_matrix(&self) -> &FeatureMatrix {
-        &self.fm
+    /// The stored neighbor-search index (`"brute"` or `"kdtree"` via
+    /// [`NeighborIndex::kind`]).
+    pub fn index(&self) -> &NeighborIndex {
+        &self.index
+    }
+
+    /// The gathered training features.
+    pub fn feature_matrix(&self) -> &FeatureMatrix {
+        self.index.matrix()
     }
 
     pub(crate) fn k(&self) -> usize {
@@ -238,6 +287,38 @@ mod tests {
             IimModel::learn(&task, &IimConfig::default()),
             Err(ImputeError::NoTrainingData { target: 1 })
         ));
+    }
+
+    #[test]
+    fn index_choice_never_changes_the_imputation() {
+        let (rel, _) = paper_fig1();
+        let task = AttrTask::new(&rel, vec![0], 1);
+        let build = |index| {
+            IimModel::learn(
+                &task,
+                &IimConfig {
+                    k: 3,
+                    index,
+                    ..IimConfig::default()
+                },
+            )
+            .unwrap()
+        };
+        let brute = build(crate::IndexChoice::Brute);
+        let kd = build(crate::IndexChoice::KdTree);
+        assert_eq!(brute.index().kind(), "brute");
+        assert_eq!(kd.index().kind(), "kdtree");
+        assert_eq!(brute.chosen_ell(), kd.chosen_ell());
+        let mut scratch = crate::ImputeScratch::new();
+        for q in [0.0, 2.5, 5.0, 7.7] {
+            let a = brute.impute(&[q]);
+            let b = kd.impute(&[q]);
+            assert_eq!(a.to_bits(), b.to_bits(), "q={q}");
+            // Scratch-managed serving is the same function.
+            assert_eq!(kd.impute_with(&[q], &mut scratch).to_bits(), a.to_bits());
+        }
+        // Tiny n: auto stays brute.
+        assert_eq!(build(crate::IndexChoice::Auto).index().kind(), "brute");
     }
 
     #[test]

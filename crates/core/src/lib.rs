@@ -55,8 +55,11 @@ pub mod learn;
 pub mod multiple;
 
 pub use adaptive::{adaptive_learn, AdaptiveOutcome};
-pub use config::{AdaptiveConfig, IimConfig, Learning, Weighting};
-pub use impute::{combine_candidates, impute_candidates};
+pub use config::{AdaptiveConfig, IimConfig, IndexChoice, Learning, Weighting};
+pub use impute::{
+    combine_candidates, combine_candidates_with, impute_candidates, impute_candidates_into,
+    impute_with_scratch, ImputeScratch,
+};
 pub use imputer::{Iim, IimModel};
 pub use learn::learn_fixed;
 pub use multiple::ImputationDistribution;

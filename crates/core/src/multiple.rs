@@ -95,34 +95,44 @@ impl IimModel {
     /// The full candidate distribution for a query (Algorithm 2 without
     /// the final collapse), under the model's configured weighting.
     pub fn impute_distribution(&self, query: &[f64]) -> ImputationDistribution {
-        let cands =
-            crate::impute::impute_candidates(self.feature_matrix(), self.models(), query, self.k());
-        let weighted = match self.weighting() {
-            Weighting::Uniform => cands.iter().map(|(_, c)| (*c, 1.0)).collect(),
-            Weighting::InverseDistance => cands
-                .iter()
-                .map(|(nb, c)| (*c, 1.0 / nb.dist.max(1e-12)))
-                .collect(),
-            Weighting::MutualVote => {
-                // Formula 11–12 weights (unnormalized; new() normalizes).
-                let k = cands.len();
-                let mut out = Vec::with_capacity(k);
-                for i in 0..k {
-                    let ci = cands[i].1;
-                    let cxi: f64 = cands.iter().map(|(_, cj)| (ci - cj).abs()).sum();
-                    out.push((
-                        ci,
-                        if cxi > 1e-12 {
-                            1.0 / cxi
-                        } else {
-                            f64::MAX / k as f64
-                        },
-                    ));
+        // Same S1+S2 as point serving: through the stored index, with the
+        // same per-thread scratch the point path uses.
+        crate::imputer::with_serving_scratch(|scratch| {
+            crate::impute::impute_candidates_into(
+                self.index(),
+                self.models(),
+                query,
+                self.k(),
+                scratch,
+            );
+            let cands = scratch.candidates();
+            let weighted = match self.weighting() {
+                Weighting::Uniform => cands.iter().map(|(_, c)| (*c, 1.0)).collect(),
+                Weighting::InverseDistance => cands
+                    .iter()
+                    .map(|(nb, c)| (*c, 1.0 / nb.dist.max(1e-12)))
+                    .collect(),
+                Weighting::MutualVote => {
+                    // Formula 11–12 weights (unnormalized; new() normalizes).
+                    let k = cands.len();
+                    let mut out = Vec::with_capacity(k);
+                    for i in 0..k {
+                        let ci = cands[i].1;
+                        let cxi: f64 = cands.iter().map(|(_, cj)| (ci - cj).abs()).sum();
+                        out.push((
+                            ci,
+                            if cxi > 1e-12 {
+                                1.0 / cxi
+                            } else {
+                                f64::MAX / k as f64
+                            },
+                        ));
+                    }
+                    out
                 }
-                out
-            }
-        };
-        ImputationDistribution::new(weighted)
+            };
+            ImputationDistribution::new(weighted)
+        })
     }
 }
 

@@ -547,24 +547,32 @@ impl FittedImputer for FittedPerAttribute {
     fn impute_one(&self, row: &RowOpt) -> Result<Vec<f64>, ImputeError> {
         validate_query(row, self.arity)?;
         let mut out = completed_row(row);
-        let mut fbuf = Vec::new();
-        for j in 0..self.arity {
-            if row[j].is_some() {
-                continue;
-            }
-            let model = self.models[j]
-                .as_ref()
-                .ok_or(ImputeError::NotFitted { target: j })?;
-            fbuf.clear();
-            for (idx, &fj) in model.features.iter().enumerate() {
-                fbuf.push(row[fj].unwrap_or(model.means[idx]));
-            }
-            let pred = model.predictor.predict(&fbuf);
-            if pred.is_finite() {
-                out[j] = pred;
-            }
+        // Per-thread feature buffer: serving a query gathers one feature
+        // vector per missing attribute, so the buffer is hot-path scratch
+        // (see `iim_exec::with_tls_scratch` for the take/put contract).
+        thread_local! {
+            static FEATURE_BUF: std::cell::Cell<Vec<f64>> =
+                const { std::cell::Cell::new(Vec::new()) };
         }
-        Ok(out)
+        iim_exec::with_tls_scratch(&FEATURE_BUF, |fbuf| {
+            for j in 0..self.arity {
+                if row[j].is_some() {
+                    continue;
+                }
+                let model = self.models[j]
+                    .as_ref()
+                    .ok_or(ImputeError::NotFitted { target: j })?;
+                fbuf.clear();
+                for (idx, &fj) in model.features.iter().enumerate() {
+                    fbuf.push(row[fj].unwrap_or(model.means[idx]));
+                }
+                let pred = model.predictor.predict(fbuf);
+                if pred.is_finite() {
+                    out[j] = pred;
+                }
+            }
+            Ok(out)
+        })
     }
 }
 

@@ -38,7 +38,7 @@
 //! configuration to every call site.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 
 /// Below this many items a parallel map runs inline on the caller.
 ///
@@ -160,6 +160,103 @@ impl Pool {
         }
         out
     }
+
+    /// Fills a pre-allocated row-major buffer in place: `f(i, row_i)` is
+    /// called once per row, where `row_i = buf[i*row_len .. (i+1)*row_len]`.
+    ///
+    /// The flat-buffer sibling of [`Pool::parallel_map_indexed`] for
+    /// results of known, uniform size (neighbor orders, per-point top-k
+    /// lists): no per-row `Vec` is ever materialized and nothing is
+    /// concatenated afterwards. Rows are claimed dynamically in chunks and
+    /// each row is written exactly once by exactly one worker, so — as
+    /// with the map — the buffer contents are bitwise-identical to the
+    /// serial fill for every worker count. Panics in `f` propagate to the
+    /// caller.
+    ///
+    /// `buf.len()` must be a multiple of `row_len`; a `row_len` of zero
+    /// fills nothing.
+    pub fn parallel_fill_rows<T, F>(&self, row_len: usize, buf: &mut [T], f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        if row_len == 0 || buf.is_empty() {
+            return;
+        }
+        assert_eq!(
+            buf.len() % row_len,
+            0,
+            "buffer length must be a multiple of row_len"
+        );
+        let rows = buf.len() / row_len;
+        let threads = self.threads.min(rows);
+        if threads == 1 || rows < self.serial_cutoff {
+            for (i, row) in buf.chunks_mut(row_len).enumerate() {
+                f(i, row);
+            }
+            return;
+        }
+        let chunk_rows = rows.div_ceil(threads * CHUNKS_PER_WORKER).max(1);
+        // Pre-split the buffer into disjoint chunk slices; workers claim
+        // chunk ids through the atomic cursor and take the (uncontended,
+        // locked exactly once) slice for that id. The `Mutex` is only the
+        // safe-Rust handover mechanism — there is no actual contention.
+        let chunks: Vec<Mutex<(usize, &mut [T])>> = buf
+            .chunks_mut(chunk_rows * row_len)
+            .enumerate()
+            .map(|(c, slice)| Mutex::new((c * chunk_rows, slice)))
+            .collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let f = &f;
+                let next = &next;
+                let chunks = &chunks;
+                scope.spawn(move || loop {
+                    let c = next.fetch_add(1, Ordering::Relaxed);
+                    if c >= chunks.len() {
+                        break;
+                    }
+                    let mut guard = chunks[c].lock().expect("chunk never poisoned");
+                    let (first_row, slice) = &mut *guard;
+                    for (r, row) in slice.chunks_mut(row_len).enumerate() {
+                        f(*first_row + r, row);
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Runs `f` with a value **taken** from a thread-local slot, putting it
+/// back afterwards — the workspace's per-worker scratch pattern.
+///
+/// Take/put rather than borrow: a reentrant call (an `f` that reaches the
+/// same slot again) simply sees a fresh `T::default()` instead of
+/// panicking, and the taken value is replaced wholesale so scratch state
+/// can never leak between users. Callers declare the slot next to the hot
+/// path and pass it in:
+///
+/// ```
+/// use std::cell::Cell;
+/// thread_local! {
+///     static BUF: Cell<Vec<u32>> = const { Cell::new(Vec::new()) };
+/// }
+/// let n = iim_exec::with_tls_scratch(&BUF, |buf| {
+///     buf.clear();
+///     buf.extend([1, 2, 3]);
+///     buf.len()
+/// });
+/// assert_eq!(n, 3);
+/// ```
+pub fn with_tls_scratch<T: Default, R>(
+    slot: &'static std::thread::LocalKey<std::cell::Cell<T>>,
+    f: impl FnOnce(&mut T) -> R,
+) -> R {
+    let mut value = slot.with(std::cell::Cell::take);
+    let result = f(&mut value);
+    slot.with(|cell| cell.set(value));
+    result
 }
 
 /// Process-wide worker-count override set by [`set_default_threads`]
@@ -291,6 +388,47 @@ mod tests {
                 assert_eq!(a.to_bits(), b.to_bits());
             }
         }
+    }
+
+    #[test]
+    fn fill_rows_matches_serial_for_every_thread_count() {
+        let rows = 213;
+        let row_len = 7;
+        let fill = |i: usize, row: &mut [u64]| {
+            for (j, slot) in row.iter_mut().enumerate() {
+                *slot = (i * 1009 + j) as u64;
+            }
+        };
+        let mut reference = vec![0u64; rows * row_len];
+        Pool::serial().parallel_fill_rows(row_len, &mut reference, fill);
+        for threads in [2, 3, 8] {
+            let mut buf = vec![0u64; rows * row_len];
+            Pool::new(threads)
+                .with_serial_cutoff(1)
+                .parallel_fill_rows(row_len, &mut buf, fill);
+            assert_eq!(buf, reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn fill_rows_edge_shapes() {
+        let mut empty: Vec<u32> = Vec::new();
+        Pool::new(4).parallel_fill_rows(3, &mut empty, |_, _| panic!("no rows"));
+        let mut one = vec![0u32; 5];
+        Pool::new(4)
+            .with_serial_cutoff(1)
+            .parallel_fill_rows(5, &mut one, |i, row| row.fill(i as u32 + 9));
+        assert_eq!(one, vec![9; 5]);
+        let mut any = vec![1u32; 4];
+        Pool::new(2).parallel_fill_rows(0, &mut any, |_, _| unreachable!());
+        assert_eq!(any, vec![1; 4], "row_len 0 fills nothing");
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of row_len")]
+    fn fill_rows_rejects_ragged_buffer() {
+        let mut buf = vec![0u8; 10];
+        Pool::new(2).parallel_fill_rows(3, &mut buf, |_, _| {});
     }
 
     #[test]

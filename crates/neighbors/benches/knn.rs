@@ -1,0 +1,86 @@
+//! Criterion micro-benchmarks for the neighbor-search substrate: the
+//! brute scan vs the owned KD-tree behind [`NeighborIndex`], plus the
+//! flat-buffer neighbor-orders build the offline phase runs on.
+//!
+//! Every benchmark first asserts the two search paths agree bitwise on
+//! the benched workload — the determinism contract is checked where the
+//! numbers are produced.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use iim_neighbors::brute::FeatureMatrix;
+use iim_neighbors::{IndexChoice, KnnScratch, NeighborIndex, NeighborOrders};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_matrix(n: usize, m: usize, seed: u64) -> FeatureMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data: Vec<f64> = (0..n * m).map(|_| rng.gen_range(0.0..100.0)).collect();
+    FeatureMatrix::from_dense(m, (0..n as u32).collect(), data)
+}
+
+fn bench_index_knn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_knn_k10");
+    for &(n, m) in &[(10_000usize, 2usize), (10_000, 8), (50_000, 4)] {
+        let fm = random_matrix(n, m, 7);
+        let brute = NeighborIndex::build(fm.clone(), IndexChoice::Brute);
+        let kd = NeighborIndex::build(fm, IndexChoice::KdTree);
+        let mut rng = StdRng::seed_from_u64(13);
+        let queries: Vec<Vec<f64>> = (0..64)
+            .map(|_| (0..m).map(|_| rng.gen_range(0.0..100.0)).collect())
+            .collect();
+        // Bitwise parity on the benched workload before timing it.
+        for q in &queries {
+            let a = brute.knn(q, 10);
+            let b = kd.knn(q, 10);
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.pos, y.pos);
+                assert_eq!(x.dist.to_bits(), y.dist.to_bits());
+            }
+        }
+        for (name, index) in [("brute", &brute), ("kdtree", &kd)] {
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("n{n}_m{m}")),
+                index,
+                |b, index| {
+                    let mut scratch = KnnScratch::new();
+                    let mut out = Vec::new();
+                    b.iter(|| {
+                        for q in &queries {
+                            index.knn_with(q, 10, &mut scratch, &mut out);
+                            black_box(&out);
+                        }
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_orders_build(c: &mut Criterion) {
+    // The offline precomputation: the flat-buffer build through the index
+    // (auto = KD-tree at this size) vs the forced brute selection.
+    let fm = random_matrix(4096, 4, 3);
+    let mut group = c.benchmark_group("orders_build_n4096_m4_depth32");
+    group.bench_function("auto_kdtree", |b| {
+        b.iter(|| black_box(NeighborOrders::build(&fm, 32)));
+    });
+    group.bench_function("forced_brute", |b| {
+        let brute = NeighborIndex::build(fm.clone(), IndexChoice::Brute);
+        b.iter(|| {
+            black_box(NeighborOrders::build_from_index(
+                &iim_exec::global(),
+                &brute,
+                32,
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_index_knn, bench_orders_build
+}
+criterion_main!(benches);

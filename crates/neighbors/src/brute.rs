@@ -1,9 +1,8 @@
 //! Exact brute-force kNN over a gathered feature matrix.
 
 use crate::dist::sq_dist_f;
+use crate::heap::{push_bounded, Entry, KnnScratch};
 use iim_data::Relation;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 /// One neighbor: a position plus its Formula-1 distance to the query.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -116,60 +115,43 @@ impl FeatureMatrix {
 
     /// [`FeatureMatrix::knn`] into a reusable buffer.
     pub fn knn_into(&self, query: &[f64], k: usize, out: &mut Vec<Neighbor>) {
+        let mut scratch = KnnScratch::new();
+        self.knn_with(query, k, &mut scratch, out);
+    }
+
+    /// [`FeatureMatrix::knn_into`] with caller-owned selection scratch —
+    /// the zero-allocation serving shape. Results are identical to
+    /// [`FeatureMatrix::knn`] whatever state `scratch` arrives in.
+    pub fn knn_with(
+        &self,
+        query: &[f64],
+        k: usize,
+        scratch: &mut KnnScratch,
+        out: &mut Vec<Neighbor>,
+    ) {
         out.clear();
+        scratch.heap.clear();
         if k == 0 || self.is_empty() {
             return;
         }
         let k = k.min(self.len());
         // Max-heap of the best k so far keyed by (dist, pos) descending.
-        let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
+        let heap = &mut scratch.heap;
         for pos in 0..self.len() {
             let d = sq_dist_f(query, self.point(pos));
-            if heap.len() < k {
-                heap.push(HeapEntry {
+            push_bounded(
+                heap,
+                k,
+                Entry {
                     sq: d,
                     pos: pos as u32,
-                });
-            } else {
-                let worst = heap.peek().expect("heap non-empty");
-                if (d, pos as u32) < (worst.sq, worst.pos) {
-                    heap.pop();
-                    heap.push(HeapEntry {
-                        sq: d,
-                        pos: pos as u32,
-                    });
-                }
-            }
+                },
+            );
         }
-        out.extend(heap.into_iter().map(|e| Neighbor {
+        out.extend(scratch.drain_sorted().iter().map(|e| Neighbor {
             pos: e.pos,
             dist: e.sq.sqrt(),
         }));
-        out.sort_by(|a, b| {
-            (a.dist, a.pos)
-                .partial_cmp(&(b.dist, b.pos))
-                .expect("finite")
-        });
-    }
-}
-
-#[derive(PartialEq)]
-struct HeapEntry {
-    sq: f64,
-    pos: u32,
-}
-
-impl Eq for HeapEntry {}
-
-impl PartialOrd for HeapEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for HeapEntry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        self.sq.total_cmp(&other.sq).then(self.pos.cmp(&other.pos))
     }
 }
 

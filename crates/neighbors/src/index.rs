@@ -1,0 +1,315 @@
+//! The storable neighbor-search index behind every hot path.
+//!
+//! The paper punts on search ("advanced indexing and searching techniques
+//! could be applied, which is not the focus of this study", §V-A) — its
+//! complexity analysis assumes the brute O(n·m) scan. This module is the
+//! workspace's answer for serving at scale: one owned, `Send + Sync`
+//! value that a fitted model stores at fit time and queries online,
+//! choosing between the exact scan and a KD-tree.
+//!
+//! # Determinism contract
+//!
+//! Whichever variant serves a query, the result is **bit-identical**: both
+//! paths score candidates with the same [`sq_dist_f`](crate::dist) call
+//! and select the k best through the same `(squared distance, position)`
+//! bounded heap, so ties — including duplicate points and rounding-induced
+//! distance collisions — resolve identically. Auto-selection can therefore
+//! never change an imputation, only its latency. This is property-tested
+//! (duplicates, `k > n`, fitted-model serving) in the neighbors crate and
+//! in `tests/index_parity.rs`.
+//!
+//! # Auto-selection heuristic
+//!
+//! [`IndexChoice::Auto`] picks the KD-tree when the candidate count
+//! clears a dimensionality-dependent floor: [`KDTREE_MIN_POINTS`] points
+//! up to 4 dimensions, [`KDTREE_MIN_POINTS_HIGH_DIM`] points up to
+//! [`KDTREE_MAX_DIM`]. Below a few hundred points the brute scan fits in
+//! cache and wins on constant factors; as dimensionality grows, KD
+//! pruning weakens (each split plane bounds only `diff²/|F|` of the
+//! normalized distance), so the tree needs more points before it pays —
+//! and past [`KDTREE_MAX_DIM`] dimensions the scan's perfect locality
+//! wins outright (the curse of dimensionality). The thresholds come from
+//! `bench_results/BENCH_serving.json`. Override with
+//! [`IndexChoice::Brute`] / [`IndexChoice::KdTree`] when profiling says
+//! otherwise — results are identical either way.
+
+use crate::brute::{FeatureMatrix, Neighbor};
+use crate::heap::KnnScratch;
+use crate::kdtree::KdTree;
+use std::cell::Cell;
+
+/// Minimum candidate count for [`IndexChoice::Auto`] to pick the KD-tree
+/// at up to 4 dimensions.
+pub const KDTREE_MIN_POINTS: usize = 512;
+
+/// Minimum candidate count for [`IndexChoice::Auto`] to pick the KD-tree
+/// at 5 to [`KDTREE_MAX_DIM`] dimensions (pruning weakens with
+/// dimensionality, so the tree needs more points before it pays).
+pub const KDTREE_MIN_POINTS_HIGH_DIM: usize = 4096;
+
+/// Maximum feature dimensionality for [`IndexChoice::Auto`] to pick the
+/// KD-tree.
+pub const KDTREE_MAX_DIM: usize = 8;
+
+/// Which neighbor index to build for a candidate set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IndexChoice {
+    /// Pick by `(n, m)`: KD-tree iff `n >= KDTREE_MIN_POINTS` and
+    /// `m <= KDTREE_MAX_DIM` (see the module docs).
+    #[default]
+    Auto,
+    /// Always the exact linear scan.
+    Brute,
+    /// Always the KD-tree.
+    KdTree,
+}
+
+impl IndexChoice {
+    /// Parses a CLI-style name: `auto`, `brute`, or `kdtree`
+    /// (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "auto" => Some(Self::Auto),
+            "brute" => Some(Self::Brute),
+            "kdtree" | "kd-tree" | "kd" => Some(Self::KdTree),
+            _ => None,
+        }
+    }
+
+    /// The CLI-style name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Auto => "auto",
+            Self::Brute => "brute",
+            Self::KdTree => "kdtree",
+        }
+    }
+}
+
+/// Whether [`IndexChoice::Auto`] selects the KD-tree for `n` points of
+/// dimensionality `m` (see the module docs for the rationale).
+#[inline]
+pub fn auto_prefers_kdtree(n: usize, m: usize) -> bool {
+    if m == 0 || m > KDTREE_MAX_DIM {
+        return false;
+    }
+    if m <= 4 {
+        n >= KDTREE_MIN_POINTS
+    } else {
+        n >= KDTREE_MIN_POINTS_HIGH_DIM
+    }
+}
+
+/// An owned, storable nearest-neighbor index over a gathered
+/// [`FeatureMatrix`] — the search substrate every hot path (IIM serving,
+/// the kNN-family baselines, offline neighbor-order construction) runs on.
+///
+/// `Send + Sync`: one index fitted offline serves any number of concurrent
+/// online query threads. See the [module docs](self) for the determinism
+/// contract and the auto-selection heuristic.
+pub enum NeighborIndex {
+    /// Exact linear scan over the matrix.
+    Brute(FeatureMatrix),
+    /// Balanced KD-tree owning the matrix.
+    KdTree(KdTree),
+}
+
+impl NeighborIndex {
+    /// Builds the index named by `choice` over `points`.
+    pub fn build(points: FeatureMatrix, choice: IndexChoice) -> Self {
+        let kd = match choice {
+            IndexChoice::Auto => auto_prefers_kdtree(points.len(), points.n_features()),
+            IndexChoice::Brute => false,
+            IndexChoice::KdTree => true,
+        };
+        if kd {
+            Self::KdTree(KdTree::build(points))
+        } else {
+            Self::Brute(points)
+        }
+    }
+
+    /// [`NeighborIndex::build`] with [`IndexChoice::Auto`].
+    pub fn auto(points: FeatureMatrix) -> Self {
+        Self::build(points, IndexChoice::Auto)
+    }
+
+    /// The backing candidate matrix (points, row ids, dimensionality).
+    pub fn matrix(&self) -> &FeatureMatrix {
+        match self {
+            Self::Brute(fm) => fm,
+            Self::KdTree(t) => t.points(),
+        }
+    }
+
+    /// `"brute"` or `"kdtree"` — which variant was built.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Self::Brute(_) => "brute",
+            Self::KdTree(_) => "kdtree",
+        }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.matrix().len()
+    }
+
+    /// True when no points are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.matrix().is_empty()
+    }
+
+    /// The k nearest points to `query`, ascending by
+    /// `(distance, position)` — identical across variants.
+    pub fn knn(&self, query: &[f64], k: usize) -> Vec<Neighbor> {
+        let mut out = Vec::new();
+        self.knn_into(query, k, &mut out);
+        out
+    }
+
+    /// [`NeighborIndex::knn`] into a caller-owned output buffer; the
+    /// selection heap comes from per-thread scratch, so steady-state
+    /// serving does not allocate.
+    pub fn knn_into(&self, query: &[f64], k: usize, out: &mut Vec<Neighbor>) {
+        iim_exec::with_tls_scratch(&THREAD_SCRATCH, |scratch| {
+            self.knn_with(query, k, scratch, out)
+        });
+    }
+
+    /// [`NeighborIndex::knn`] with fully caller-owned scratch *and*
+    /// output — the explicit zero-allocation serving shape.
+    pub fn knn_with(
+        &self,
+        query: &[f64],
+        k: usize,
+        scratch: &mut KnnScratch,
+        out: &mut Vec<Neighbor>,
+    ) {
+        match self {
+            Self::Brute(fm) => fm.knn_with(query, k, scratch, out),
+            Self::KdTree(t) => t.knn_with(query, k, scratch, out),
+        }
+    }
+
+    /// kNN lists for a batch of query rows, fanned out on `pool` with
+    /// per-worker scratch; results are in query order and identical for
+    /// every worker count.
+    pub fn knn_batch(
+        &self,
+        pool: &iim_exec::Pool,
+        queries: &[Vec<f64>],
+        k: usize,
+    ) -> Vec<Vec<Neighbor>> {
+        pool.parallel_map_indexed(queries.len(), |i| {
+            iim_exec::with_tls_scratch(&THREAD_SCRATCH, |scratch| {
+                let mut out = Vec::new();
+                self.knn_with(&queries[i], k, scratch, &mut out);
+                out
+            })
+        })
+    }
+}
+
+thread_local! {
+    /// Per-thread selection scratch behind [`NeighborIndex::knn_into`]
+    /// (see [`iim_exec::with_tls_scratch`] for the take/put contract).
+    static THREAD_SCRATCH: Cell<KnnScratch> = Cell::new(KnnScratch::new());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_matrix(n: usize, f: usize, seed: u64) -> FeatureMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data: Vec<f64> = (0..n * f).map(|_| rng.gen_range(-10.0..10.0)).collect();
+        FeatureMatrix::from_dense(f, (0..n as u32).collect(), data)
+    }
+
+    #[test]
+    fn auto_selection_heuristic() {
+        assert!(!auto_prefers_kdtree(100, 2), "small n stays brute");
+        assert!(auto_prefers_kdtree(KDTREE_MIN_POINTS, 2));
+        assert!(auto_prefers_kdtree(100_000, KDTREE_MAX_DIM));
+        assert!(
+            !auto_prefers_kdtree(1000, KDTREE_MAX_DIM),
+            "high dimensions need more points before the tree pays"
+        );
+        assert!(auto_prefers_kdtree(
+            KDTREE_MIN_POINTS_HIGH_DIM,
+            KDTREE_MAX_DIM
+        ));
+        assert!(
+            !auto_prefers_kdtree(100_000, KDTREE_MAX_DIM + 1),
+            "past the dimensionality cap the scan wins outright"
+        );
+
+        let small = NeighborIndex::auto(random_matrix(64, 2, 1));
+        assert_eq!(small.kind(), "brute");
+        let large = NeighborIndex::auto(random_matrix(600, 2, 2));
+        assert_eq!(large.kind(), "kdtree");
+    }
+
+    #[test]
+    fn choice_parse_round_trips() {
+        for c in [IndexChoice::Auto, IndexChoice::Brute, IndexChoice::KdTree] {
+            assert_eq!(IndexChoice::parse(c.name()), Some(c));
+        }
+        assert_eq!(IndexChoice::parse("KD-Tree"), Some(IndexChoice::KdTree));
+        assert_eq!(IndexChoice::parse("annoy"), None);
+        assert_eq!(IndexChoice::default(), IndexChoice::Auto);
+    }
+
+    #[test]
+    fn variants_agree_bitwise_including_k_above_n() {
+        let fm = random_matrix(137, 3, 9);
+        let brute = NeighborIndex::build(fm.clone(), IndexChoice::Brute);
+        let kd = NeighborIndex::build(fm.clone(), IndexChoice::KdTree);
+        assert_eq!(brute.kind(), "brute");
+        assert_eq!(kd.kind(), "kdtree");
+        assert_eq!(brute.len(), kd.len());
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..30 {
+            let q: Vec<f64> = (0..3).map(|_| rng.gen_range(-12.0..12.0)).collect();
+            for k in [1usize, 5, 137, 500] {
+                let a = brute.knn(&q, k);
+                let b = kd.knn(&q, k);
+                assert_eq!(a.len(), b.len());
+                for (x, y) in a.iter().zip(&b) {
+                    assert_eq!(x.pos, y.pos);
+                    assert_eq!(x.dist.to_bits(), y.dist.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn index_is_send_sync_and_batch_matches_singles() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NeighborIndex>();
+
+        let fm = random_matrix(700, 2, 5);
+        let index = NeighborIndex::auto(fm.clone());
+        let mut rng = StdRng::seed_from_u64(11);
+        let queries: Vec<Vec<f64>> = (0..90)
+            .map(|_| (0..2).map(|_| rng.gen_range(-12.0..12.0)).collect())
+            .collect();
+        let pool = iim_exec::Pool::new(4).with_serial_cutoff(1);
+        let batch = index.knn_batch(&pool, &queries, 6);
+        for (q, nn) in queries.iter().zip(&batch) {
+            assert_eq!(nn, &fm.knn(q, 6));
+        }
+    }
+
+    #[test]
+    fn empty_matrix_serves_empty_answers() {
+        for choice in [IndexChoice::Brute, IndexChoice::KdTree] {
+            let idx = NeighborIndex::build(FeatureMatrix::from_dense(2, vec![], vec![]), choice);
+            assert!(idx.is_empty());
+            assert!(idx.knn(&[0.0, 0.0], 4).is_empty());
+        }
+    }
+}

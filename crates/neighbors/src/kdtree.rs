@@ -1,24 +1,23 @@
-//! KD-tree kNN for the large-`n` experiments.
+//! KD-tree kNN for the large-`n` workloads.
 //!
 //! The paper's complexity analysis assumes brute-force search ("advanced
 //! indexing and searching techniques could be applied, which is not the
 //! focus of this study"); the tree exists so the SN-scale workloads
-//! (100k tuples) stay tractable in the harness. Results are identical to
-//! [`brute`](crate::brute) — property-tested — because both use the same
-//! distance and the same deterministic tie-break.
+//! (100k tuples) stay tractable and so online serving is sub-linear in the
+//! training size. Results are identical to [`brute`](crate::brute) —
+//! property-tested — because both paths score candidates with the *same*
+//! [`sq_dist_f`] call and select through the same
+//! `(squared distance, position)` bounded heap, so even rounding-induced
+//! ties resolve identically.
+//!
+//! The tree **owns** its gathered [`FeatureMatrix`]: a fitted model can
+//! store it (`Send + Sync`) and serve queries from any number of threads —
+//! the storable shape [`NeighborIndex`](crate::index::NeighborIndex) wraps.
 
 use crate::brute::{FeatureMatrix, Neighbor};
-use std::cmp::Ordering;
+use crate::dist::sq_dist_f;
+use crate::heap::{push_bounded, Entry, KnnScratch};
 use std::collections::BinaryHeap;
-
-/// A balanced KD-tree over the points of a [`FeatureMatrix`].
-pub struct KdTree<'a> {
-    points: &'a FeatureMatrix,
-    /// Flattened tree: node `v` owns `idx[range]` with children around the
-    /// median; leaves hold up to `LEAF` points.
-    nodes: Vec<Node>,
-    idx: Vec<u32>,
-}
 
 const LEAF: usize = 16;
 
@@ -35,9 +34,20 @@ struct Node {
     right: u32,
 }
 
-impl<'a> KdTree<'a> {
-    /// Builds a tree over all points of `points`.
-    pub fn build(points: &'a FeatureMatrix) -> Self {
+/// The tree *structure* alone — flattened nodes plus the point permutation
+/// — borrowed against whatever [`FeatureMatrix`] it was built from.
+///
+/// Kept separate from the owning [`KdTree`] so transient consumers (the
+/// [`NeighborOrders`](crate::orders::NeighborOrders) offline build) can
+/// index a borrowed matrix without cloning it.
+pub(crate) struct TreeNodes {
+    nodes: Vec<Node>,
+    idx: Vec<u32>,
+}
+
+impl TreeNodes {
+    /// Builds the structure over all points of `points`.
+    pub(crate) fn build(points: &FeatureMatrix) -> Self {
         let n = points.len();
         let mut idx: Vec<u32> = (0..n as u32).collect();
         let mut nodes = Vec::with_capacity(2 * (n / LEAF + 1));
@@ -53,7 +63,7 @@ impl<'a> KdTree<'a> {
         if n > 0 {
             Self::build_rec(points, &mut nodes, &mut idx, 0, n, 0);
         }
-        Self { points, nodes, idx }
+        Self { nodes, idx }
     }
 
     fn build_rec(
@@ -76,9 +86,8 @@ impl<'a> KdTree<'a> {
             });
             return node_id;
         }
-        // Split on the dimension with the largest spread at this depth
-        // window; cycling by depth is cheaper and nearly as good for the
-        // low dimensionalities here.
+        // Cycle the split dimension by depth; cheaper than a spread scan
+        // and nearly as good for the low dimensionalities here.
         let dim = depth % points.n_features();
         let mid = (start + end) / 2;
         idx[start..end].select_nth_unstable_by(mid - start, |&a, &b| {
@@ -102,58 +111,43 @@ impl<'a> KdTree<'a> {
         node_id
     }
 
-    /// The k nearest points to `query`, ascending by `(distance, position)`
-    /// — bit-identical ordering to [`FeatureMatrix::knn`].
-    pub fn knn(&self, query: &[f64], k: usize) -> Vec<Neighbor> {
-        let mut out = Vec::new();
-        self.knn_into(query, k, &mut out);
-        out
-    }
-
-    /// kNN lists for a batch of query rows, fanned out on `pool` — the
-    /// tree analog of [`FeatureMatrix::knn_batch`]. The tree is
-    /// `Send + Sync` (it only reads the backing matrix after build), so
-    /// workers share one index; results are in query order and identical
-    /// for every worker count.
-    pub fn knn_batch(
+    /// Top-k query against `points` (the matrix this structure was built
+    /// from) into caller-owned scratch + output buffers.
+    pub(crate) fn knn_with(
         &self,
-        pool: &iim_exec::Pool,
-        queries: &[Vec<f64>],
+        points: &FeatureMatrix,
+        query: &[f64],
         k: usize,
-    ) -> Vec<Vec<Neighbor>> {
-        pool.parallel_map_indexed(queries.len(), |i| self.knn(&queries[i], k))
-    }
-
-    /// [`KdTree::knn`] into a reusable buffer.
-    pub fn knn_into(&self, query: &[f64], k: usize, out: &mut Vec<Neighbor>) {
+        scratch: &mut KnnScratch,
+        out: &mut Vec<Neighbor>,
+    ) {
         out.clear();
-        if k == 0 || self.points.is_empty() {
+        scratch.heap.clear();
+        if k == 0 || points.is_empty() {
             return;
         }
-        let k = k.min(self.points.len());
-        let mut heap: BinaryHeap<Entry> = BinaryHeap::with_capacity(k + 1);
-        self.search(1, query, k, &mut heap);
-        out.extend(heap.into_iter().map(|e| Neighbor {
+        let k = k.min(points.len());
+        self.search(points, 1, query, k, &mut scratch.heap);
+        out.extend(scratch.drain_sorted().iter().map(|e| Neighbor {
             pos: e.pos,
-            dist: (e.sq / self.points.n_features() as f64).sqrt(),
+            dist: e.sq.sqrt(),
         }));
-        out.sort_by(|a, b| {
-            (a.dist, a.pos)
-                .partial_cmp(&(b.dist, b.pos))
-                .expect("finite")
-        });
     }
 
-    fn search(&self, node_id: u32, query: &[f64], k: usize, heap: &mut BinaryHeap<Entry>) {
+    fn search(
+        &self,
+        points: &FeatureMatrix,
+        node_id: u32,
+        query: &[f64],
+        k: usize,
+        heap: &mut BinaryHeap<Entry>,
+    ) {
         let node = &self.nodes[node_id as usize];
         if node.dim == usize::MAX {
             for &p in &self.idx[node.start as usize..node.end as usize] {
-                let pt = self.points.point(p as usize);
-                let mut sq = 0.0;
-                for (a, b) in query.iter().zip(pt) {
-                    let d = a - b;
-                    sq += d * d;
-                }
+                // The *same* normalized squared distance the brute scan
+                // computes — scores and tie-breaks match it bitwise.
+                let sq = sq_dist_f(query, points.point(p as usize));
                 push_bounded(heap, k, Entry { sq, pos: p });
             }
             return;
@@ -164,46 +158,85 @@ impl<'a> KdTree<'a> {
         } else {
             (node.right, node.left)
         };
-        self.search(near, query, k, heap);
-        // Prune the far side when the splitting plane is beyond the current
-        // worst distance (or the heap is not yet full).
+        self.search(points, near, query, k, heap);
+        // Prune the far side when the splitting plane is already beyond the
+        // current worst distance (or keep descending while not yet full).
+        // `diff²/|F|` lower-bounds the normalized distance to anything
+        // across the plane.
         let worst = heap.peek().map(|e| e.sq).unwrap_or(f64::INFINITY);
-        if heap.len() < k || diff * diff <= worst {
-            self.search(far, query, k, heap);
+        let plane_sq = diff * diff / points.n_features() as f64;
+        if heap.len() < k || plane_sq <= worst {
+            self.search(points, far, query, k, heap);
         }
     }
 }
 
-#[derive(PartialEq)]
-struct Entry {
-    /// *Unnormalized* squared distance (normalization is monotonic, applied
-    /// on output).
-    sq: f64,
-    pos: u32,
+/// A balanced KD-tree that **owns** its [`FeatureMatrix`].
+///
+/// Because the tree owns the points, it is a plain storable value
+/// (`Send + Sync`): fitted models hold one and serve concurrent queries
+/// against it for the model's whole lifetime. Build once offline, query
+/// millions of times online.
+pub struct KdTree {
+    points: FeatureMatrix,
+    tree: TreeNodes,
 }
 
-impl Eq for Entry {}
-
-impl PartialOrd for Entry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
+impl KdTree {
+    /// Builds a tree over all points of `points`, taking ownership.
+    pub fn build(points: FeatureMatrix) -> Self {
+        let tree = TreeNodes::build(&points);
+        Self { points, tree }
     }
-}
 
-impl Ord for Entry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        self.sq.total_cmp(&other.sq).then(self.pos.cmp(&other.pos))
+    /// The owned point matrix.
+    pub fn points(&self) -> &FeatureMatrix {
+        &self.points
     }
-}
 
-fn push_bounded(heap: &mut BinaryHeap<Entry>, k: usize, e: Entry) {
-    if heap.len() < k {
-        heap.push(e);
-    } else if let Some(worst) = heap.peek() {
-        if (e.sq, e.pos) < (worst.sq, worst.pos) {
-            heap.pop();
-            heap.push(e);
-        }
+    /// The flattened tree structure (crate-internal: the neighbor-orders
+    /// build queries it against the owned matrix directly).
+    pub(crate) fn nodes(&self) -> &TreeNodes {
+        &self.tree
+    }
+
+    /// The k nearest points to `query`, ascending by `(distance, position)`
+    /// — bit-identical ordering and values to [`FeatureMatrix::knn`].
+    pub fn knn(&self, query: &[f64], k: usize) -> Vec<Neighbor> {
+        let mut out = Vec::new();
+        self.knn_into(query, k, &mut out);
+        out
+    }
+
+    /// kNN lists for a batch of query rows, fanned out on `pool` — the
+    /// tree analog of [`FeatureMatrix::knn_batch`]. The tree is
+    /// `Send + Sync`, so workers share one index; results are in query
+    /// order and identical for every worker count.
+    pub fn knn_batch(
+        &self,
+        pool: &iim_exec::Pool,
+        queries: &[Vec<f64>],
+        k: usize,
+    ) -> Vec<Vec<Neighbor>> {
+        pool.parallel_map_indexed(queries.len(), |i| self.knn(&queries[i], k))
+    }
+
+    /// [`KdTree::knn`] into a reusable output buffer.
+    pub fn knn_into(&self, query: &[f64], k: usize, out: &mut Vec<Neighbor>) {
+        let mut scratch = KnnScratch::new();
+        self.knn_with(query, k, &mut scratch, out);
+    }
+
+    /// [`KdTree::knn_into`] with caller-owned selection scratch — no
+    /// allocation at steady state.
+    pub fn knn_with(
+        &self,
+        query: &[f64],
+        k: usize,
+        scratch: &mut KnnScratch,
+        out: &mut Vec<Neighbor>,
+    ) {
+        self.tree.knn_with(&self.points, query, k, scratch, out);
     }
 }
 
@@ -220,10 +253,10 @@ mod tests {
     }
 
     #[test]
-    fn agrees_with_brute_force() {
+    fn agrees_with_brute_force_bitwise() {
         for &(n, f) in &[(1usize, 1usize), (5, 2), (100, 1), (257, 3), (1000, 4)] {
             let fm = random_matrix(n, f, n as u64 * 31 + f as u64);
-            let tree = KdTree::build(&fm);
+            let tree = KdTree::build(fm.clone());
             let mut rng = StdRng::seed_from_u64(99);
             for _ in 0..20 {
                 let q: Vec<f64> = (0..f).map(|_| rng.gen_range(-12.0..12.0)).collect();
@@ -233,7 +266,31 @@ mod tests {
                 assert_eq!(a.len(), b.len(), "n={n} f={f} k={k}");
                 for (x, y) in a.iter().zip(&b) {
                     assert_eq!(x.pos, y.pos, "n={n} f={f} k={k}");
-                    assert!((x.dist - y.dist).abs() < 1e-9);
+                    assert_eq!(x.dist.to_bits(), y.dist.to_bits(), "n={n} f={f} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_points_tie_break_on_position() {
+        // 40 points, only 4 distinct locations: selection inside a tie
+        // group must follow ascending position exactly like brute force.
+        let mut data = Vec::new();
+        for i in 0..40 {
+            let v = (i % 4) as f64;
+            data.extend_from_slice(&[v, -v]);
+        }
+        let fm = FeatureMatrix::from_dense(2, (0..40).collect(), data);
+        let tree = KdTree::build(fm.clone());
+        for k in [1usize, 3, 9, 11, 40, 60] {
+            for q in [[0.0, 0.0], [2.0, -2.0], [1.4, -0.6]] {
+                let a = fm.knn(&q, k);
+                let b = tree.knn(&q, k);
+                assert_eq!(a.len(), b.len(), "k={k}");
+                for (x, y) in a.iter().zip(&b) {
+                    assert_eq!(x.pos, y.pos, "k={k} q={q:?}");
+                    assert_eq!(x.dist.to_bits(), y.dist.to_bits());
                 }
             }
         }
@@ -242,20 +299,20 @@ mod tests {
     #[test]
     fn empty_and_k_zero() {
         let fm = FeatureMatrix::from_dense(2, vec![], vec![]);
-        let tree = KdTree::build(&fm);
+        let tree = KdTree::build(fm);
         assert!(tree.knn(&[0.0, 0.0], 3).is_empty());
         let fm2 = random_matrix(10, 2, 1);
-        let tree2 = KdTree::build(&fm2);
+        let tree2 = KdTree::build(fm2);
         assert!(tree2.knn(&[0.0, 0.0], 0).is_empty());
     }
 
     #[test]
     fn tree_is_send_sync_and_batch_matches_brute() {
         fn assert_send_sync<T: Send + Sync>() {}
-        assert_send_sync::<KdTree<'static>>();
+        assert_send_sync::<KdTree>();
 
         let fm = random_matrix(200, 3, 8);
-        let tree = KdTree::build(&fm);
+        let tree = KdTree::build(fm.clone());
         let mut rng = StdRng::seed_from_u64(4);
         let queries: Vec<Vec<f64>> = (0..80)
             .map(|_| (0..3).map(|_| rng.gen_range(-12.0..12.0)).collect())
@@ -272,9 +329,24 @@ mod tests {
     }
 
     #[test]
+    fn scratch_reuse_matches_fresh_queries() {
+        let fm = random_matrix(300, 2, 12);
+        let tree = KdTree::build(fm.clone());
+        let mut scratch = KnnScratch::new();
+        let mut out = Vec::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let q: Vec<f64> = (0..2).map(|_| rng.gen_range(-12.0..12.0)).collect();
+            let k = rng.gen_range(1..=20);
+            tree.knn_with(&q, k, &mut scratch, &mut out);
+            assert_eq!(out, fm.knn(&q, k));
+        }
+    }
+
+    #[test]
     fn exact_point_has_zero_distance() {
         let fm = random_matrix(64, 3, 5);
-        let tree = KdTree::build(&fm);
+        let tree = KdTree::build(fm.clone());
         let q: Vec<f64> = fm.point(17).to_vec();
         let nn = tree.knn(&q, 1);
         assert_eq!(nn[0].pos, 17);

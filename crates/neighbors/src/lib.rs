@@ -10,18 +10,25 @@
 //! * [`brute`] — exact top-k scans; the shape the paper's complexity
 //!   analysis assumes ("advanced indexing ... is not the focus of this
 //!   study").
-//! * [`kdtree`] — a KD-tree over a feature subset for the large-`n`
-//!   experiments (SN has 100k tuples).
+//! * [`kdtree`] — an owned, storable KD-tree for the large-`n`
+//!   experiments (SN has 100k tuples) and for online serving.
+//! * [`index`] — [`NeighborIndex`]: the brute/KD-tree selection every hot
+//!   path (IIM serving, the kNN-family baselines, order construction)
+//!   runs on, with bit-identical results across variants.
 //! * [`orders`] — fully sorted per-tuple neighbor orders, precomputed once
 //!   and shared across the adaptive sweep (§V-A1 "precompute once the
 //!   nearest neighbors for all tuples").
 
 pub mod brute;
 pub mod dist;
+pub mod heap;
+pub mod index;
 pub mod kdtree;
 pub mod orders;
 
 pub use brute::{knn, knn_into, Neighbor};
 pub use dist::{euclidean_f, euclidean_full};
+pub use heap::KnnScratch;
+pub use index::{auto_prefers_kdtree, IndexChoice, NeighborIndex};
 pub use kdtree::KdTree;
 pub use orders::NeighborOrders;

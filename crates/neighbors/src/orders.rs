@@ -7,10 +7,24 @@
 //! candidates in ascending distance order (self first, at distance zero) —
 //! exactly the prefix property `NN(tᵢ, F, ℓ) ⊂ NN(tᵢ, F, ℓ+h)` (Formula 13)
 //! the incremental sweep relies on.
+//!
+//! Construction writes each tuple's prefix straight into one flat
+//! `n × depth` buffer ([`iim_exec::Pool::parallel_fill_rows`]) — no
+//! per-row `Vec`s, no concatenation — and the general path routes through
+//! the same KD-tree the serving index uses when
+//! [`auto_prefers_kdtree`] says so,
+//! replacing the O(n²) all-pairs scan with n · O(log n + depth) queries.
+//! Every path (line sweep, brute selection, tree queries; serial or
+//! parallel) produces bitwise-identical orders.
 
 use crate::brute::FeatureMatrix;
 use crate::dist::sq_dist_f;
+use crate::heap::KnnScratch;
+use crate::index::{auto_prefers_kdtree, NeighborIndex};
+use crate::kdtree::TreeNodes;
+use crate::Neighbor;
 use iim_exec::Pool;
+use std::cell::Cell;
 
 /// For each point of a [`FeatureMatrix`], its `depth` nearest points
 /// (including itself, first), ascending by `(distance, position)`.
@@ -28,15 +42,18 @@ impl NeighborOrders {
     ///
     /// Single-feature matrices use an O(n log n + n·depth) sorted-line
     /// sweep (the SN dataset is 100k tuples on one feature); otherwise a
-    /// per-point selection runs in O(n² + n·depth·log depth).
+    /// per-point top-k selection runs — through a KD-tree when the
+    /// auto-selection heuristic picks one, else as a brute scan.
     pub fn build(fm: &FeatureMatrix, depth: usize) -> Self {
         Self::build_on(&iim_exec::global(), fm, depth)
     }
 
     /// [`NeighborOrders::build`] on an explicit pool.
     ///
-    /// Each point's sorted prefix is computed independently and placed at
-    /// its own row, so the result is identical for every worker count.
+    /// Each point's sorted prefix is computed independently and written
+    /// into its own row of the flat buffer, so the result is identical for
+    /// every worker count — and for every search path (see the module
+    /// docs).
     pub fn build_on(pool: &Pool, fm: &FeatureMatrix, depth: usize) -> Self {
         let n = fm.len();
         let depth = depth.min(n);
@@ -47,84 +64,48 @@ impl NeighborOrders {
                 order: Vec::new(),
             };
         }
-        let order = if fm.n_features() == 1 {
-            Self::build_line(pool, fm, depth)
+        let mut order = vec![0u32; n * depth];
+        if fm.n_features() == 1 {
+            fill_line(pool, fm, depth, &mut order);
+        } else if auto_prefers_kdtree(n, fm.n_features()) {
+            let tree = TreeNodes::build(fm);
+            fill_tree(pool, fm, &tree, depth, &mut order);
         } else {
-            Self::build_general(pool, fm, depth)
-        };
+            fill_brute(pool, fm, depth, &mut order);
+        }
         Self { n, depth, order }
     }
 
-    fn build_line(pool: &Pool, fm: &FeatureMatrix, depth: usize) -> Vec<u32> {
+    /// Builds orders *through an existing serving index*, so the offline
+    /// phase reuses the KD-tree the fitted model will store instead of
+    /// scanning all pairs (or building a second tree).
+    ///
+    /// Output is bitwise-identical to [`NeighborOrders::build_on`] over
+    /// the same matrix, whatever the index variant.
+    pub fn build_from_index(pool: &Pool, index: &NeighborIndex, depth: usize) -> Self {
+        let fm = index.matrix();
         let n = fm.len();
-        // Sort positions by coordinate; a point's neighbors are a window
-        // around it, merged by two-pointer expansion.
-        let mut by_x: Vec<u32> = (0..n as u32).collect();
-        by_x.sort_by(|&a, &b| {
-            fm.point(a as usize)[0]
-                .total_cmp(&fm.point(b as usize)[0])
-                .then(a.cmp(&b))
-        });
-        let mut rank_of = vec![0usize; n];
-        for (rank, &p) in by_x.iter().enumerate() {
-            rank_of[p as usize] = rank;
+        let depth = depth.min(n);
+        if n == 0 || depth == 0 {
+            return Self {
+                n,
+                depth,
+                order: Vec::new(),
+            };
         }
-        let coord = |pos: u32| fm.point(pos as usize)[0];
-        let rows = pool.parallel_map_indexed(n, |me| {
-            let rank = rank_of[me];
-            let x = coord(me as u32);
-            let mut row = vec![0u32; depth];
-            row[0] = me as u32;
-            let (mut lo, mut hi) = (rank, rank); // expanding window [lo, hi]
-            for s in row.iter_mut().skip(1) {
-                let left_d = if lo > 0 {
-                    (x - coord(by_x[lo - 1])).abs()
-                } else {
-                    f64::INFINITY
-                };
-                let right_d = if hi + 1 < n {
-                    (coord(by_x[hi + 1]) - x).abs()
-                } else {
-                    f64::INFINITY
-                };
-                // Tie-break mirrors the brute path: smaller position wins.
-                let take_left = match left_d.partial_cmp(&right_d).expect("finite") {
-                    std::cmp::Ordering::Less => true,
-                    std::cmp::Ordering::Greater => false,
-                    std::cmp::Ordering::Equal => {
-                        hi + 1 >= n || (lo > 0 && by_x[lo - 1] < by_x[hi + 1])
-                    }
-                };
-                if take_left {
-                    lo -= 1;
-                    *s = by_x[lo];
-                } else {
-                    hi += 1;
-                    *s = by_x[hi];
+        let mut order = vec![0u32; n * depth];
+        if fm.n_features() == 1 {
+            // The sorted-line sweep beats any index in one dimension.
+            fill_line(pool, fm, depth, &mut order);
+        } else {
+            match index {
+                NeighborIndex::Brute(fm) => fill_brute(pool, fm, depth, &mut order),
+                NeighborIndex::KdTree(tree) => {
+                    fill_tree(pool, tree.points(), tree.nodes(), depth, &mut order)
                 }
             }
-            row
-        });
-        rows.concat()
-    }
-
-    fn build_general(pool: &Pool, fm: &FeatureMatrix, depth: usize) -> Vec<u32> {
-        let n = fm.len();
-        let rows = pool.parallel_map_indexed(n, |i| {
-            let q = fm.point(i);
-            let mut scratch: Vec<(f64, u32)> = (0..n)
-                .map(|p| (sq_dist_f(q, fm.point(p)), p as u32))
-                .collect();
-            if depth < n {
-                scratch.select_nth_unstable_by(depth - 1, |a, b| {
-                    a.0.total_cmp(&b.0).then(a.1.cmp(&b.1))
-                });
-                scratch.truncate(depth);
-            }
-            scratch.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-            scratch.into_iter().map(|(_, p)| p).collect::<Vec<u32>>()
-        });
-        rows.concat()
+        }
+        Self { n, depth, order }
     }
 
     /// Number of points.
@@ -150,9 +131,100 @@ impl NeighborOrders {
     }
 }
 
+/// One-dimensional path: sort positions by coordinate once; a point's
+/// neighbors are a window around it, merged by two-pointer expansion.
+fn fill_line(pool: &Pool, fm: &FeatureMatrix, depth: usize, order: &mut [u32]) {
+    let n = fm.len();
+    let mut by_x: Vec<u32> = (0..n as u32).collect();
+    by_x.sort_by(|&a, &b| {
+        fm.point(a as usize)[0]
+            .total_cmp(&fm.point(b as usize)[0])
+            .then(a.cmp(&b))
+    });
+    let mut rank_of = vec![0usize; n];
+    for (rank, &p) in by_x.iter().enumerate() {
+        rank_of[p as usize] = rank;
+    }
+    let coord = |pos: u32| fm.point(pos as usize)[0];
+    pool.parallel_fill_rows(depth, order, |me, row| {
+        let rank = rank_of[me];
+        let x = coord(me as u32);
+        row[0] = me as u32;
+        let (mut lo, mut hi) = (rank, rank); // expanding window [lo, hi]
+        for s in row.iter_mut().skip(1) {
+            let left_d = if lo > 0 {
+                (x - coord(by_x[lo - 1])).abs()
+            } else {
+                f64::INFINITY
+            };
+            let right_d = if hi + 1 < n {
+                (coord(by_x[hi + 1]) - x).abs()
+            } else {
+                f64::INFINITY
+            };
+            // Tie-break mirrors the brute path: smaller position wins.
+            let take_left = match left_d.partial_cmp(&right_d).expect("finite") {
+                std::cmp::Ordering::Less => true,
+                std::cmp::Ordering::Greater => false,
+                std::cmp::Ordering::Equal => hi + 1 >= n || (lo > 0 && by_x[lo - 1] < by_x[hi + 1]),
+            };
+            if take_left {
+                lo -= 1;
+                *s = by_x[lo];
+            } else {
+                hi += 1;
+                *s = by_x[hi];
+            }
+        }
+    });
+}
+
+/// Brute path: per-point top-`depth` selection over all pairs. Selection
+/// scratch is taken from per-thread storage, so no per-row result `Vec`
+/// nor per-row scratch allocation survives steady state.
+fn fill_brute(pool: &Pool, fm: &FeatureMatrix, depth: usize, order: &mut [u32]) {
+    let n = fm.len();
+    thread_local! {
+        static SCRATCH: Cell<Vec<(f64, u32)>> = const { Cell::new(Vec::new()) };
+    }
+    pool.parallel_fill_rows(depth, order, |i, row| {
+        iim_exec::with_tls_scratch(&SCRATCH, |scratch| {
+            let q = fm.point(i);
+            scratch.clear();
+            scratch.extend((0..n).map(|p| (sq_dist_f(q, fm.point(p)), p as u32)));
+            if depth < n {
+                scratch.select_nth_unstable_by(depth - 1, |a, b| {
+                    a.0.total_cmp(&b.0).then(a.1.cmp(&b.1))
+                });
+                scratch.truncate(depth);
+            }
+            scratch.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            for (slot, (_, p)) in row.iter_mut().zip(scratch.iter()) {
+                *slot = *p;
+            }
+        });
+    });
+}
+
+/// Index path: per-point KD-tree query written straight into the row.
+fn fill_tree(pool: &Pool, fm: &FeatureMatrix, tree: &TreeNodes, depth: usize, order: &mut [u32]) {
+    thread_local! {
+        static SCRATCH: Cell<(KnnScratch, Vec<Neighbor>)> = Cell::new(Default::default());
+    }
+    pool.parallel_fill_rows(depth, order, |i, row| {
+        iim_exec::with_tls_scratch(&SCRATCH, |(knn, out)| {
+            tree.knn_with(fm, fm.point(i), depth, knn, out);
+            for (slot, nb) in row.iter_mut().zip(out.iter()) {
+                *slot = nb.pos;
+            }
+        });
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::index::IndexChoice;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -193,9 +265,9 @@ mod tests {
     fn line_sweep_equals_general() {
         let fm = random_matrix(100, 1, 3);
         let a = NeighborOrders::build(&fm, 15);
-        // Force the general path by rebuilding through a 1-feature matrix
-        // disguised via build_general.
-        let order_b = NeighborOrders::build_general(&Pool::serial(), &fm, 15);
+        // Force the brute general path on the same 1-feature matrix.
+        let mut order_b = vec![0u32; 100 * 15];
+        fill_brute(&Pool::serial(), &fm, 15, &mut order_b);
         for i in 0..100 {
             assert_eq!(
                 a.neighbors_of(i),
@@ -206,15 +278,64 @@ mod tests {
     }
 
     #[test]
-    fn parallel_build_matches_serial() {
-        // Both construction paths (line sweep, general selection) are
-        // identical for every worker count.
+    fn tree_path_equals_brute_path() {
+        // Above the auto threshold the general build routes through the
+        // tree; it must agree with the brute fill bitwise — including the
+        // tie-breaks exercised by duplicated points.
+        let mut fm = random_matrix(600, 3, 17);
+        let dup: Vec<f64> = fm.point(5).to_vec();
+        let mut data: Vec<f64> = Vec::new();
+        for i in 0..600 {
+            if i % 50 == 0 {
+                data.extend_from_slice(&dup);
+            } else {
+                data.extend_from_slice(fm.point(i));
+            }
+        }
+        fm = FeatureMatrix::from_dense(3, (0..600).collect(), data);
+
+        let auto = NeighborOrders::build_on(&Pool::serial(), &fm, 12);
+        let mut brute = vec![0u32; 600 * 12];
+        fill_brute(&Pool::serial(), &fm, 12, &mut brute);
+        for i in 0..600 {
+            assert_eq!(auto.neighbors_of(i), &brute[i * 12..(i + 1) * 12], "{i}");
+        }
+    }
+
+    #[test]
+    fn build_from_index_matches_build_for_both_variants() {
         for f in [1usize, 3] {
-            let fm = random_matrix(90, f, 21);
+            let fm = random_matrix(80, f, 23);
+            let reference = NeighborOrders::build_on(&Pool::serial(), &fm, 9);
+            for choice in [IndexChoice::Brute, IndexChoice::KdTree] {
+                let index = NeighborIndex::build(fm.clone(), choice);
+                let via = NeighborOrders::build_from_index(&Pool::serial(), &index, 9);
+                for i in 0..80 {
+                    assert_eq!(
+                        reference.neighbors_of(i),
+                        via.neighbors_of(i),
+                        "f={f} {:?}",
+                        choice
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_matches_serial() {
+        // Every construction path (line sweep, brute selection, tree
+        // queries) is identical for every worker count.
+        for (n, f) in [(90usize, 1usize), (90, 3), (700, 2)] {
+            let fm = random_matrix(n, f, 21);
             let serial = NeighborOrders::build_on(&Pool::serial(), &fm, 12);
             let parallel = NeighborOrders::build_on(&Pool::new(4).with_serial_cutoff(1), &fm, 12);
-            for i in 0..90 {
-                assert_eq!(serial.neighbors_of(i), parallel.neighbors_of(i), "f={f}");
+            for i in 0..n {
+                assert_eq!(
+                    serial.neighbors_of(i),
+                    parallel.neighbors_of(i),
+                    "n={n} f={f}"
+                );
             }
         }
     }

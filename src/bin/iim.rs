@@ -23,7 +23,8 @@ use std::time::Instant;
 
 fn usage() -> String {
     "usage:\
-     \n  iim impute [--method NAME] [--k N] [--seed S] [--threads T] [--fit-on TRAIN.csv] [--output FILE] INPUT.csv\
+     \n  iim impute [--method NAME] [--k N] [--seed S] [--threads T] [--index auto|brute|kdtree] \
+     [--fit-on TRAIN.csv] [--output FILE] INPUT.csv\
      \n  iim profile INPUT.csv\
      \n  iim methods"
         .to_string()
@@ -64,6 +65,7 @@ struct Flags {
     method: String,
     k: usize,
     seed: u64,
+    index: iim_core::IndexChoice,
     fit_on: Option<String>,
     output: Option<String>,
     input: Option<String>,
@@ -74,6 +76,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         method: iim::methods::default_name(),
         k: 10,
         seed: 42,
+        index: iim_core::IndexChoice::Auto,
         fit_on: None,
         output: None,
         input: None,
@@ -104,6 +107,14 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 // sees it; overrides IIM_THREADS for this invocation.
                 iim_exec::set_default_threads(t);
             }
+            "--index" => {
+                // Never changes the imputed values, only serving latency;
+                // `auto` picks by training size and dimensionality.
+                f.index = it
+                    .next()
+                    .and_then(|v| iim_core::IndexChoice::parse(v))
+                    .ok_or("--index needs one of: auto, brute, kdtree")?
+            }
             "--fit-on" => f.fit_on = Some(it.next().ok_or("--fit-on needs a path")?.clone()),
             "--output" | "-o" => f.output = Some(it.next().ok_or("--output needs a path")?.clone()),
             path if !path.starts_with('-') => f.input = Some(path.to_string()),
@@ -113,8 +124,13 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
     Ok(f)
 }
 
-fn build_method(name: &str, k: usize, seed: u64) -> Result<Box<dyn Imputer>, String> {
-    iim::methods::by_name(name, k, seed)
+fn build_method(
+    name: &str,
+    k: usize,
+    seed: u64,
+    index: iim_core::IndexChoice,
+) -> Result<Box<dyn Imputer>, String> {
+    iim::methods::by_name_with(name, k, seed, index)
         .ok_or_else(|| format!("unknown method {name:?}; run `iim methods`"))
 }
 
@@ -130,7 +146,7 @@ fn impute(args: &[String]) -> ExitCode {
         eprintln!("error: missing input file");
         return ExitCode::from(2);
     };
-    let method = match build_method(&flags.method, flags.k, flags.seed) {
+    let method = match build_method(&flags.method, flags.k, flags.seed, flags.index) {
         Ok(m) => m,
         Err(e) => {
             eprintln!("error: {e}");

@@ -6,8 +6,8 @@
 //! method can never drift between `iim methods`, `--method` resolution,
 //! and the library surface.
 
-use iim_baselines::all_baselines;
-use iim_core::{AdaptiveConfig, Iim, IimConfig, Learning};
+use iim_baselines::registry::all_baselines_with;
+use iim_core::{AdaptiveConfig, Iim, IimConfig, IndexChoice, Learning};
 use iim_data::{FeatureSelection, Imputer, PerAttributeImputer};
 
 /// Every available method: IIM (the default, listed first) followed by the
@@ -16,6 +16,13 @@ use iim_data::{FeatureSelection, Imputer, PerAttributeImputer};
 /// * `k` — neighbor count shared by IIM / kNN / kNNE / LOESS / ILLS.
 /// * `seed` — RNG seed for the stochastic methods (BLR, PMM, XGB).
 pub fn lineup(k: usize, seed: u64) -> Vec<Box<dyn Imputer>> {
+    lineup_with(k, seed, IndexChoice::Auto)
+}
+
+/// [`lineup`] with an explicit neighbor-index choice (the CLI's
+/// `--index`), plumbed into every index-backed method. The choice never
+/// changes an imputation — only its latency.
+pub fn lineup_with(k: usize, seed: u64, index: IndexChoice) -> Vec<Box<dyn Imputer>> {
     // Serving-default IIM: capped, stepped adaptive sweep.
     let cfg = IimConfig {
         k,
@@ -25,11 +32,17 @@ pub fn lineup(k: usize, seed: u64) -> Vec<Box<dyn Imputer>> {
             validation_k: Some(k.max(10)),
             ..AdaptiveConfig::default()
         }),
+        index,
         ..IimConfig::default()
     };
     let mut methods: Vec<Box<dyn Imputer>> =
         vec![Box::new(PerAttributeImputer::new(Iim::new(cfg)))];
-    methods.extend(all_baselines(k, seed, FeatureSelection::AllOthers));
+    methods.extend(all_baselines_with(
+        k,
+        seed,
+        FeatureSelection::AllOthers,
+        index,
+    ));
     methods
 }
 
@@ -40,7 +53,17 @@ pub fn default_name() -> String {
 
 /// Resolves a method by case-insensitive display name.
 pub fn by_name(name: &str, k: usize, seed: u64) -> Option<Box<dyn Imputer>> {
-    lineup(k, seed)
+    by_name_with(name, k, seed, IndexChoice::Auto)
+}
+
+/// [`by_name`] with an explicit neighbor-index choice.
+pub fn by_name_with(
+    name: &str,
+    k: usize,
+    seed: u64,
+    index: IndexChoice,
+) -> Option<Box<dyn Imputer>> {
+    lineup_with(k, seed, index)
         .into_iter()
         .find(|m| m.name().eq_ignore_ascii_case(name))
 }

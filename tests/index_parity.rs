@@ -1,0 +1,220 @@
+//! The neighbor-index determinism contract, end to end:
+//!
+//! * the owned KD-tree equals the brute scan **bitwise** on random
+//!   matrices — including duplicated points (tie-breaks) and `k > n`;
+//! * a fitted model serving through the KD-tree index is bitwise-identical
+//!   to the same model serving through the brute index, for every
+//!   index-backed method (IIM, kNN, kNNE, LOESS, ILLS, ERACER), single
+//!   query and whole relation, on 1 and 4 worker pools (the CI matrix
+//!   additionally runs this whole suite under `IIM_THREADS=1` and `=4`);
+//! * neighbor orders built through either index variant match.
+
+use iim::prelude::*;
+use iim_core::IndexChoice;
+use iim_data::inject::inject_random;
+use iim_exec::Pool;
+use iim_neighbors::brute::FeatureMatrix;
+use iim_neighbors::{KdTree, NeighborIndex, NeighborOrders};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A matrix with deliberate duplicate rows: `rows` random points, each of
+/// `dups` additionally copied over a later slot, so distance ties are
+/// guaranteed and the `(distance, position)` tie-break is exercised.
+fn arb_matrix_with_dups() -> impl Strategy<Value = FeatureMatrix> {
+    (1usize..40, 1usize..5).prop_flat_map(|(n, m)| {
+        (
+            proptest::collection::vec(-50.0..50.0f64, n * m),
+            proptest::collection::vec(0usize..n.max(1), 0..5),
+        )
+            .prop_map(move |(mut data, dups)| {
+                for (offset, &src) in dups.iter().enumerate() {
+                    let dst = (src + offset + 1) % n;
+                    let src_row: Vec<f64> = data[src * m..(src + 1) * m].to_vec();
+                    data[dst * m..(dst + 1) * m].copy_from_slice(&src_row);
+                }
+                FeatureMatrix::from_dense(m, (0..n as u32).collect(), data)
+            })
+    })
+}
+
+/// Random queries for a matrix, biased to land *on* points (exact-match
+/// distances of zero) half the time.
+fn queries_for(fm: &FeatureMatrix, count: usize) -> Vec<Vec<f64>> {
+    (0..count)
+        .map(|qi| {
+            if qi % 2 == 0 && !fm.is_empty() {
+                fm.point(qi % fm.len()).to_vec()
+            } else {
+                (0..fm.n_features())
+                    .map(|j| ((qi * 31 + j * 7) % 100) as f64 - 50.0)
+                    .collect()
+            }
+        })
+        .collect()
+}
+
+/// The index-backed methods of the lineup, built with a forced index.
+fn indexed_methods(index: IndexChoice) -> Vec<Box<dyn Imputer>> {
+    const INDEXED: [&str; 6] = ["IIM", "kNN", "kNNE", "LOESS", "ILLS", "ERACER"];
+    iim::methods::lineup_with(4, 9, index)
+        .into_iter()
+        .filter(|m| INDEXED.contains(&m.name()))
+        .collect()
+}
+
+/// A small workload relation with injected holes (as in fit_serve.rs).
+fn arb_workload() -> impl Strategy<Value = Relation> {
+    (12usize..30, 3usize..5, 1usize..5, 0u64..1000).prop_flat_map(|(n, m, holes, inj_seed)| {
+        proptest::collection::vec(proptest::collection::vec(-20.0..20.0f64, m), n..=n).prop_map(
+            move |rows| {
+                let rows: Vec<Vec<f64>> = rows
+                    .iter()
+                    .enumerate()
+                    .map(|(i, r)| {
+                        r.iter()
+                            .enumerate()
+                            .map(|(j, v)| v * 0.3 + i as f64 * 0.5 + j as f64)
+                            .collect()
+                    })
+                    .collect();
+                let mut rel = Relation::from_rows(Schema::anonymous(m), &rows);
+                inject_random(
+                    &mut rel,
+                    holes.min(n / 3),
+                    &mut StdRng::seed_from_u64(inj_seed),
+                );
+                rel
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn kdtree_equals_brute_bitwise_with_duplicates_and_k_above_n(
+        fm in arb_matrix_with_dups(),
+        ks in proptest::collection::vec(1usize..80, 1..4),
+    ) {
+        let tree = KdTree::build(fm.clone());
+        let kd_index = NeighborIndex::build(fm.clone(), IndexChoice::KdTree);
+        for q in queries_for(&fm, 6) {
+            for &k in &ks {
+                // k may exceed n: everything comes back, same order.
+                let reference = fm.knn(&q, k);
+                prop_assert_eq!(reference.len(), k.min(fm.len()));
+                for got in [tree.knn(&q, k), kd_index.knn(&q, k)] {
+                    prop_assert_eq!(got.len(), reference.len());
+                    for (g, r) in got.iter().zip(&reference) {
+                        prop_assert_eq!(g.pos, r.pos);
+                        prop_assert_eq!(g.dist.to_bits(), r.dist.to_bits());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn orders_through_either_index_variant_agree(fm in arb_matrix_with_dups()) {
+        let depth = fm.len().min(10);
+        let reference = NeighborOrders::build_on(&Pool::serial(), &fm, depth);
+        for choice in [IndexChoice::Brute, IndexChoice::KdTree] {
+            let index = NeighborIndex::build(fm.clone(), choice);
+            for pool in [Pool::serial(), Pool::new(4).with_serial_cutoff(1)] {
+                let got = NeighborOrders::build_from_index(&pool, &index, depth);
+                for i in 0..fm.len() {
+                    prop_assert_eq!(reference.neighbors_of(i), got.neighbors_of(i));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fitted_serving_through_kdtree_is_bitwise_brute(rel in arb_workload()) {
+        let serial = Pool::serial();
+        let four = Pool::new(4).with_serial_cutoff(1);
+        for (brute, kd) in indexed_methods(IndexChoice::Brute)
+            .into_iter()
+            .zip(indexed_methods(IndexChoice::KdTree))
+        {
+            prop_assert_eq!(brute.name(), kd.name());
+            let fb = brute
+                .fit(&rel)
+                .unwrap_or_else(|e| panic!("{} brute fit: {e}", brute.name()));
+            let fk = kd
+                .fit(&rel)
+                .unwrap_or_else(|e| panic!("{} kdtree fit: {e}", kd.name()));
+            // Whole-relation serving: identical on serial and 4-worker
+            // pools, across index variants.
+            let reference = fb.impute_all_on(&serial, &rel).unwrap();
+            for (fitted, pool) in [(&fb, &four), (&fk, &serial), (&fk, &four)] {
+                let out = fitted.impute_all_on(pool, &rel).unwrap();
+                prop_assert!(
+                    out == reference,
+                    "{}: index/pool serving diverged from brute serial",
+                    brute.name()
+                );
+            }
+            // Single-query serving too.
+            for &i in &rel.incomplete_rows() {
+                let q = rel.row_opt(i as usize);
+                let a = fb.impute_one(&q).unwrap();
+                let b = fk.impute_one(&q).unwrap();
+                for (x, y) in a.iter().zip(&b) {
+                    prop_assert_eq!(x.to_bits(), y.to_bits(), "{} row {}", brute.name(), i);
+                }
+            }
+        }
+    }
+}
+
+/// Above the auto threshold the fitted IIM model stores a KD-tree; its
+/// serving must still be bitwise-identical to a forced-brute fit.
+#[test]
+fn auto_index_at_scale_serves_identically_to_brute() {
+    let n = 700;
+    let mut rows: Vec<Vec<f64>> = Vec::with_capacity(n);
+    for i in 0..n {
+        let x = (i as f64) * 0.01;
+        let y = ((i * 37) % 100) as f64 * 0.3;
+        rows.push(vec![x, y, 2.0 * x - y]);
+    }
+    let rel = Relation::from_rows(Schema::anonymous(3), &rows);
+
+    let build = |index| {
+        let cfg = iim_core::IimConfig {
+            k: 10,
+            learning: iim_core::Learning::Fixed { ell: 6 },
+            index,
+            ..iim_core::IimConfig::default()
+        };
+        PerAttributeImputer::new(iim_core::Iim::new(cfg))
+            .fit(&rel)
+            .unwrap()
+    };
+    let brute = build(IndexChoice::Brute);
+    let auto = build(IndexChoice::Auto);
+
+    let queries: Vec<Vec<Option<f64>>> = (0..200)
+        .map(|qi| {
+            vec![
+                Some(qi as f64 * 0.037),
+                Some(((qi * 13) % 100) as f64 * 0.3),
+                None,
+            ]
+        })
+        .collect();
+    let refs: Vec<&RowOpt> = queries.iter().map(|q| q.as_slice()).collect();
+    for pool in [Pool::serial(), Pool::new(4).with_serial_cutoff(1)] {
+        let a = brute.impute_batch_on(&pool, &refs).unwrap();
+        let b = auto.impute_batch_on(&pool, &refs).unwrap();
+        for (ra, rb) in a.iter().zip(&b) {
+            for (x, y) in ra.iter().zip(rb) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+}
