@@ -35,7 +35,8 @@ impl Blr {
     }
 }
 
-pub(crate) struct PosteriorDraw {
+/// One posterior draw of the regression parameters (shared with PMM).
+pub struct PosteriorDraw {
     /// β* — the drawn coefficient vector (intercept first).
     pub beta_star: RidgeModel,
     /// β̂ — the least-squares point estimate.
@@ -119,16 +120,21 @@ pub(crate) fn posterior_draw(
     })
 }
 
-struct BlrModel {
-    draw: PosteriorDraw,
+/// The fitted state: the posterior draw plus the query-noise key. Public
+/// fields so the snapshot layer can round-trip it (persisting the draw and
+/// the seed reproduces every per-query ε bit-for-bit).
+pub struct BlrModel {
+    /// The posterior draw taken at fit time.
+    pub draw: PosteriorDraw,
     /// Keys the per-query ε-noise: prediction is a pure function of the
     /// fitted state and the query (the serving contract), not of a shared
     /// mutable RNG stream.
-    noise_seed: u64,
+    pub noise_seed: u64,
 }
 
 impl BlrModel {
-    fn new(draw: PosteriorDraw, noise_seed: u64) -> Self {
+    /// The fitted model for a posterior draw and noise key.
+    pub fn new(draw: PosteriorDraw, noise_seed: u64) -> Self {
         Self { draw, noise_seed }
     }
 }
@@ -137,6 +143,10 @@ impl AttrPredictor for BlrModel {
     fn predict(&self, x: &[f64]) -> f64 {
         let noise = normal(&mut query_rng(self.noise_seed, x)) * self.draw.sigma_star;
         self.draw.beta_star.predict(x) + noise
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 

@@ -65,28 +65,40 @@ impl Eracer {
 
 /// The learned state for one target: the relational ridge model plus the
 /// complete pool its neighbor statistics come from, behind the serving
-/// index.
-struct EracerTarget {
-    features: Vec<usize>,
-    fm: NeighborIndex,
-    ys: Vec<f64>,
+/// index. Public fields so the snapshot layer can round-trip it.
+pub struct EracerTarget {
+    /// Feature attribute indices `F` (query gather order).
+    pub features: Vec<usize>,
+    /// Serving index over the complete pool.
+    pub fm: NeighborIndex,
+    /// Pool target values, indexed like the pool positions.
+    pub ys: Vec<f64>,
     /// `k` clamped to the pool size at fit time.
-    k: usize,
-    model: RidgeModel,
+    pub k: usize,
+    /// The relational ridge model (features + neighbor-mean regressor).
+    pub model: RidgeModel,
     /// Pool column means (feature order), for missing-feature fallback.
-    means: Vec<f64>,
+    pub means: Vec<f64>,
 }
 
-/// The offline phase's output.
-struct FittedEracer {
-    targets: Vec<Option<EracerTarget>>,
-    cache: FillCache,
-    arity: usize,
+/// The offline phase's output. Public fields so the snapshot layer can
+/// round-trip it.
+pub struct FittedEracer {
+    /// Per-attribute learned states (`None` = target not fitted).
+    pub targets: Vec<Option<EracerTarget>>,
+    /// Joint fit-time fills, keyed by tuple bit pattern.
+    pub cache: FillCache,
+    /// Fitted relation arity.
+    pub arity: usize,
 }
 
 impl FittedImputer for FittedEracer {
     fn name(&self) -> &str {
         "ERACER"
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 
     fn arity(&self) -> usize {

@@ -20,11 +20,16 @@ impl Default for Glr {
     }
 }
 
-struct GlrModel(RidgeModel);
+/// The fitted state: one global ridge model.
+pub struct GlrModel(pub RidgeModel);
 
 impl AttrPredictor for GlrModel {
     fn predict(&self, x: &[f64]) -> f64 {
         self.0.predict(x)
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 

@@ -38,24 +38,32 @@ impl Gmm {
     }
 }
 
-/// One fitted component, pre-factored for fast conditionals.
-struct Component {
-    weight: f64,
-    /// Mean over features (length f) and the target mean.
-    mu_f: Vec<f64>,
-    mu_y: f64,
+/// One fitted component, pre-factored for fast conditionals. Public
+/// fields so the snapshot layer can round-trip it.
+pub struct Component {
+    /// Mixture weight.
+    pub weight: f64,
+    /// Mean over features (length f).
+    pub mu_f: Vec<f64>,
+    /// The target mean.
+    pub mu_y: f64,
     /// LU of Σ_FF for marginal densities.
-    lu_ff: LuFactors,
-    log_det_ff: f64,
+    pub lu_ff: LuFactors,
+    /// `ln |det Σ_FF|`, clamped away from −∞.
+    pub log_det_ff: f64,
     /// Regression vector Σ_FF⁻¹ Σ_Fy for the conditional mean.
-    beta: Vec<f64>,
+    pub beta: Vec<f64>,
 }
 
-struct GmmModel {
-    comps: Vec<Component>,
-    f: usize,
+/// The fitted state: the EM-converged mixture components over the joint
+/// `(F, y)` space. Public fields so the snapshot layer can round-trip it.
+pub struct GmmModel {
+    /// The fitted components.
+    pub comps: Vec<Component>,
+    /// Feature dimensionality `|F|`.
+    pub f: usize,
     /// Global fallback when every marginal underflows.
-    global_mean_y: f64,
+    pub global_mean_y: f64,
 }
 
 impl GmmModel {
@@ -69,6 +77,10 @@ impl GmmModel {
 }
 
 impl AttrPredictor for GmmModel {
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
     fn predict(&self, x: &[f64]) -> f64 {
         // Posterior responsibilities on the marginal over F, in log space.
         let logs: Vec<f64> = self

@@ -92,21 +92,32 @@ fn cluster_average(centroids: &[Vec<f64>], u: &[f64], fuzzifier: f64, j: usize) 
 }
 
 /// The offline phase's output: standardization, converged centroids, and
-/// the fills of the fit-time tuples.
-struct FittedIfc {
-    transform: ColumnTransform,
+/// the fills of the fit-time tuples. Public fields so the snapshot layer
+/// can round-trip it.
+pub struct FittedIfc {
+    /// Per-column standardization fit on the training relation.
+    pub transform: ColumnTransform,
     /// Converged centroids in standardized coordinates.
-    centroids: Vec<Vec<f64>>,
-    fuzzifier: f64,
-    max_iter: usize,
-    tol: f64,
-    cache: FillCache,
-    arity: usize,
+    pub centroids: Vec<Vec<f64>>,
+    /// Fuzzifier `m > 1`.
+    pub fuzzifier: f64,
+    /// Per-query membership-iteration cap.
+    pub max_iter: usize,
+    /// Per-query convergence tolerance (standardized units).
+    pub tol: f64,
+    /// Joint fit-time fills, keyed by tuple bit pattern.
+    pub cache: FillCache,
+    /// Fitted relation arity.
+    pub arity: usize,
 }
 
 impl FittedImputer for FittedIfc {
     fn name(&self) -> &str {
         "IFC"
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 
     fn arity(&self) -> usize {

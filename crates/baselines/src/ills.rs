@@ -61,27 +61,40 @@ impl Ills {
 
 /// The captured pool for one target attribute: the final round's neighbor
 /// set (complete tuples + converged fit-time estimates), behind the
-/// serving index.
-struct IllsTarget {
-    features: Vec<usize>,
-    pool: NeighborIndex,
-    ys: Vec<f64>,
+/// serving index. Public fields so the snapshot layer can round-trip it.
+pub struct IllsTarget {
+    /// Feature attribute indices `F` (query gather order).
+    pub features: Vec<usize>,
+    /// Serving index over the final extended pool.
+    pub pool: NeighborIndex,
+    /// Pool target values, indexed like the pool positions.
+    pub ys: Vec<f64>,
     /// Pool column means (feature order), for missing-feature fallback.
-    means: Vec<f64>,
+    pub means: Vec<f64>,
 }
 
-/// The offline phase's output: one refined pool per fitted target.
-struct FittedIlls {
-    targets: Vec<Option<IllsTarget>>,
-    k: usize,
-    alpha: f64,
-    cache: FillCache,
-    arity: usize,
+/// The offline phase's output: one refined pool per fitted target. Public
+/// fields so the snapshot layer can round-trip it.
+pub struct FittedIlls {
+    /// Per-attribute captured pools (`None` = target not fitted).
+    pub targets: Vec<Option<IllsTarget>>,
+    /// Local neighborhood size.
+    pub k: usize,
+    /// Ridge guard for degenerate local designs.
+    pub alpha: f64,
+    /// Joint fit-time fills, keyed by tuple bit pattern.
+    pub cache: FillCache,
+    /// Fitted relation arity.
+    pub arity: usize,
 }
 
 impl FittedImputer for FittedIlls {
     fn name(&self) -> &str {
         "ILLS"
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 
     fn arity(&self) -> usize {

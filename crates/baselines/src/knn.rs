@@ -39,14 +39,24 @@ impl Knn {
     }
 }
 
-struct KnnModel {
-    index: NeighborIndex,
-    ys: Vec<f64>,
-    k: usize,
-    weighted: bool,
+/// The fitted state: the training tuples behind a serving index plus their
+/// target values. Public fields so the snapshot layer can round-trip it.
+pub struct KnnModel {
+    /// Neighbor-search index over the gathered training features.
+    pub index: NeighborIndex,
+    /// Target values, indexed like the index positions.
+    pub ys: Vec<f64>,
+    /// Neighbor count (≥ 1).
+    pub k: usize,
+    /// Inverse-distance weighting toggle.
+    pub weighted: bool,
 }
 
 impl AttrPredictor for KnnModel {
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
     fn predict(&self, x: &[f64]) -> f64 {
         with_neighbor_buf(|nn| {
             self.index.knn_into(x, self.k, nn);

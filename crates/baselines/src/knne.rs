@@ -31,19 +31,30 @@ impl Knne {
     }
 }
 
-struct Member {
+/// One ensemble member: a feature subset and its serving index.
+pub struct Member {
     /// Positions of this member's features within the task feature order.
-    feat_idx: Vec<usize>,
-    index: NeighborIndex,
+    pub feat_idx: Vec<usize>,
+    /// Neighbor-search index over the member's gathered features.
+    pub index: NeighborIndex,
 }
 
-struct KnneModel {
-    members: Vec<Member>,
-    ys: Vec<f64>,
-    k: usize,
+/// The fitted state: one index per feature-subset member plus the shared
+/// target values. Public fields so the snapshot layer can round-trip it.
+pub struct KnneModel {
+    /// The ensemble members (full set first, then leave-one-out subsets).
+    pub members: Vec<Member>,
+    /// Target values, indexed like each member's index positions.
+    pub ys: Vec<f64>,
+    /// Neighbors per member (≥ 1).
+    pub k: usize,
 }
 
 impl AttrPredictor for KnneModel {
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
     fn predict(&self, x: &[f64]) -> f64 {
         let mut total = 0.0;
         let mut q = Vec::new();

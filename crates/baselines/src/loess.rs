@@ -33,14 +33,25 @@ impl Loess {
     }
 }
 
-struct LoessModel {
-    index: NeighborIndex,
-    ys: Vec<f64>,
-    k: usize,
-    alpha: f64,
+/// The fitted state: the span-search index plus target values (the local
+/// regression itself is learned per query, online). Public fields so the
+/// snapshot layer can round-trip it.
+pub struct LoessModel {
+    /// Neighbor-search index over the gathered training features.
+    pub index: NeighborIndex,
+    /// Target values, indexed like the index positions.
+    pub ys: Vec<f64>,
+    /// Span: neighbors per local fit (≥ 2).
+    pub k: usize,
+    /// Ridge guard for degenerate local designs.
+    pub alpha: f64,
 }
 
 impl AttrPredictor for LoessModel {
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
     fn predict(&self, x: &[f64]) -> f64 {
         with_neighbor_buf(|nn| {
             self.index.knn_into(x, self.k, nn);

@@ -8,6 +8,23 @@ use iim_data::{AttrEstimator, AttrPredictor, AttrTask, ImputeError};
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Mean;
 
+/// The fitted state: the training-target mean, ignoring every feature.
+#[derive(Debug, Clone, Copy)]
+pub struct MeanModel {
+    /// Attribute mean over the complete training tuples.
+    pub mean: f64,
+}
+
+impl AttrPredictor for MeanModel {
+    fn predict(&self, _x: &[f64]) -> f64 {
+        self.mean
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+}
+
 impl AttrEstimator for Mean {
     fn name(&self) -> &str {
         "Mean"
@@ -25,7 +42,7 @@ impl AttrEstimator for Mean {
             .map(|&r| task.target_value(r as usize))
             .sum();
         let mean = sum / task.n_train() as f64;
-        Ok(Box::new(move |_: &[f64]| mean))
+        Ok(Box::new(MeanModel { mean }))
     }
 }
 

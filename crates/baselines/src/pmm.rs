@@ -37,18 +37,27 @@ impl Pmm {
     }
 }
 
-struct PmmModel {
+/// The fitted state: the sorted donor pool, the posterior-draw regression,
+/// and the query-keyed donor-pick seed. Public fields so the snapshot
+/// layer can round-trip it (reproducing every donor pick bit-for-bit).
+pub struct PmmModel {
     /// Donor predictions under β̂, sorted ascending, paired with observed y.
-    donors_by_pred: Vec<(f64, f64)>,
-    beta_star: RidgeModel,
-    d: usize,
+    pub donors_by_pred: Vec<(f64, f64)>,
+    /// β* — queries are predicted with the posterior draw (type-1 PMM).
+    pub beta_star: RidgeModel,
+    /// Donor pool size `d`.
+    pub d: usize,
     /// Keys the per-query donor pick: prediction is a pure function of the
     /// fitted state and the query (the serving contract), not of a shared
     /// mutable RNG stream.
-    pick_seed: u64,
+    pub pick_seed: u64,
 }
 
 impl AttrPredictor for PmmModel {
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
     fn predict(&self, x: &[f64]) -> f64 {
         let target_pred = self.beta_star.predict(x);
         // Binary search the sorted donor predictions, then expand to the d

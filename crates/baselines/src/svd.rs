@@ -53,20 +53,30 @@ impl SvdImpute {
 }
 
 /// The offline phase's output: standardization, the converged rank-r
-/// right-singular basis, and the fills of the fit-time tuples.
-struct FittedSvd {
-    transform: ColumnTransform,
+/// right-singular basis, and the fills of the fit-time tuples. Public
+/// fields so the snapshot layer can round-trip it.
+pub struct FittedSvd {
+    /// Per-column standardization fit on the training relation.
+    pub transform: ColumnTransform,
     /// `m × r` right-singular basis of the converged standardized matrix.
-    basis: Matrix,
-    max_iter: usize,
-    tol: f64,
-    cache: FillCache,
-    arity: usize,
+    pub basis: Matrix,
+    /// Per-query projection-iteration cap.
+    pub max_iter: usize,
+    /// Per-query convergence tolerance (standardized units).
+    pub tol: f64,
+    /// Joint fit-time fills, keyed by tuple bit pattern.
+    pub cache: FillCache,
+    /// Fitted relation arity.
+    pub arity: usize,
 }
 
 impl FittedImputer for FittedSvd {
     fn name(&self) -> &str {
         "SVD"
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 
     fn arity(&self) -> usize {

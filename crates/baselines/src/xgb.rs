@@ -56,22 +56,30 @@ impl Xgb {
     }
 }
 
-/// One node of a regression tree, flattened into an arena.
+/// One node of a regression tree, flattened into an arena. Public so the
+/// snapshot layer can round-trip fitted ensembles.
 #[derive(Debug, Clone, Copy)]
-enum Node {
+pub enum Node {
+    /// An internal split: `x[feature] < threshold` goes left.
     Split {
+        /// Feature index tested at this node.
         feature: u16,
+        /// Split threshold (midpoint between adjacent training values).
         threshold: f64,
+        /// Arena index of the left child.
         left: u32,
+        /// Arena index of the right child.
         right: u32,
     },
+    /// A leaf carrying its weight.
     Leaf(f64),
 }
 
 /// A fitted regression tree.
 #[derive(Debug, Clone)]
-struct Tree {
-    nodes: Vec<Node>,
+pub struct Tree {
+    /// Arena of nodes; index 0 is the root.
+    pub nodes: Vec<Node>,
 }
 
 impl Tree {
@@ -188,11 +196,15 @@ fn partition<F: Fn(u32) -> bool>(rows: &mut [u32], pred: F) -> usize {
     split
 }
 
-/// A fitted boosted ensemble.
+/// A fitted boosted ensemble. Public fields so the snapshot layer can
+/// round-trip it.
 pub struct XgbModel {
-    base: f64,
-    eta: f64,
-    trees: Vec<Tree>,
+    /// Base prediction (training-target mean).
+    pub base: f64,
+    /// Shrinkage η applied to every tree's contribution.
+    pub eta: f64,
+    /// The boosted trees, in round order.
+    pub trees: Vec<Tree>,
 }
 
 impl XgbModel {
@@ -252,6 +264,10 @@ impl XgbModel {
 impl AttrPredictor for XgbModel {
     fn predict(&self, x: &[f64]) -> f64 {
         XgbModel::predict(self, x)
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 

@@ -1,0 +1,292 @@
+//! **Snapshot + daemon baseline**: offline fit, snapshot save/load
+//! latency, snapshot size, and served queries/sec through the real
+//! `iim-serve` HTTP daemon, recorded to `bench_results/BENCH_serve.json`.
+//!
+//! Every cell asserts, in-bench, that the **loaded** snapshot serves
+//! fills bitwise-identical to the in-process fitted model — the
+//! `iim-persist` deployment contract — before any timing is recorded, so
+//! a regression in fidelity fails the bench rather than skewing it.
+//!
+//! Two serving shapes are measured against the daemon:
+//!
+//! * `http_batch_qps` — client threads POST CSV batches (the bulk
+//!   re-imputation shape); throughput amortizes HTTP parsing across rows.
+//! * `http_single_us` — one-row POSTs (the interactive shape); dominated
+//!   by connection setup + queue hop, the honest per-request floor.
+//!
+//! ```text
+//! cargo run -p iim-bench --release --bin serve_load [-- --quick --seed 42]
+//! ```
+
+use iim_bench::{report::results_dir, Args, Table};
+use iim_core::{AdaptiveConfig, Iim, IimConfig, Learning};
+use iim_data::{FittedImputer, Imputer, PerAttributeImputer, Relation, Schema};
+use iim_serve::{ServeConfig, Server};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+use std::io::{Read, Write as _};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Linear-plus-noise training relation (cf. the `serving` bin's data) —
+/// enough structure that fitted models are non-degenerate.
+fn training_relation(n: usize, m: usize, seed: u64) -> Relation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            let x = i as f64 * 0.1;
+            (0..m)
+                .map(|j| x * (j + 1) as f64 * 0.3 + rng.gen_range(-0.5..0.5))
+                .collect()
+        })
+        .collect();
+    Relation::from_rows(Schema::anonymous(m), &rows)
+}
+
+/// Query rows in CSV form (header + rows, one missing attribute each) and
+/// as parsed rows for the in-process reference.
+fn query_batch(n_queries: usize, m: usize, seed: u64) -> (String, Vec<Vec<Option<f64>>>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let names: Vec<String> = (1..=m).map(|j| format!("A{j}")).collect();
+    let mut csv = names.join(",") + "\n";
+    let mut rows = Vec::with_capacity(n_queries);
+    for i in 0..n_queries {
+        let hole = i % m;
+        let row: Vec<Option<f64>> = (0..m)
+            .map(|j| {
+                if j == hole {
+                    None
+                } else {
+                    Some((rng.gen_range(0.0..100.0f64) * 1e4).round() / 1e4)
+                }
+            })
+            .collect();
+        let line: Vec<String> = row
+            .iter()
+            .map(|c| c.map_or(String::new(), |v| format!("{v}")))
+            .collect();
+        csv.push_str(&line.join(","));
+        csv.push('\n');
+        rows.push(row);
+    }
+    (csv, rows)
+}
+
+/// One blocking HTTP POST /impute; returns the response body.
+fn post_impute(addr: std::net::SocketAddr, body: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect daemon");
+    write!(
+        stream,
+        "POST /impute HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    assert!(
+        response.starts_with("HTTP/1.1 200"),
+        "non-200 from daemon: {}",
+        response.lines().next().unwrap_or("<empty>")
+    );
+    response
+        .split_once("\r\n\r\n")
+        .expect("header/body split")
+        .1
+        .to_string()
+}
+
+struct Cell {
+    method: String,
+    n: usize,
+    offline_s: f64,
+    save_s: f64,
+    snapshot_bytes: usize,
+    load_s: f64,
+    http_batch_qps: f64,
+    http_single_us: f64,
+}
+
+fn main() {
+    let args = Args::parse();
+    let m = 4usize;
+    let (ns, n_queries, n_single, clients): (&[usize], usize, usize, usize) = if args.quick {
+        (&[300], 120, 30, 2)
+    } else {
+        (&[1_000, 10_000], 2_000, 200, 4)
+    };
+    let methods: Vec<(&str, Box<dyn Imputer>)> = vec![
+        (
+            "IIM",
+            Box::new(PerAttributeImputer::new(Iim::new(IimConfig {
+                k: 10,
+                learning: Learning::Adaptive(AdaptiveConfig {
+                    step: 5,
+                    ell_max: Some(200),
+                    validation_k: Some(10),
+                    ..AdaptiveConfig::default()
+                }),
+                ..IimConfig::default()
+            }))),
+        ),
+        (
+            "kNN",
+            Box::new(PerAttributeImputer::new(iim_baselines::Knn::new(10))),
+        ),
+        ("SVD", Box::new(iim_baselines::SvdImpute::default())),
+    ];
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for &n in ns {
+        let capped = args.n.map_or(n, |cap| n.min(cap));
+        let rel = training_relation(capped, m, args.seed ^ capped as u64);
+        let (csv_batch, query_rows) = query_batch(n_queries, m, args.seed.wrapping_add(99));
+        for (name, method) in &methods {
+            // Offline fit.
+            let t0 = Instant::now();
+            let fitted = method.fit(&rel).expect("fit");
+            let offline_s = t0.elapsed().as_secs_f64();
+
+            // Snapshot save / load.
+            let t1 = Instant::now();
+            let bytes = iim_persist::save_to_vec(fitted.as_ref()).expect("save snapshot");
+            let save_s = t1.elapsed().as_secs_f64();
+            let t2 = Instant::now();
+            let loaded = iim_persist::load_from_slice(&bytes).expect("load snapshot");
+            let load_s = t2.elapsed().as_secs_f64();
+
+            // Fidelity gate: the loaded model must serve the same bits.
+            for row in &query_rows {
+                let a = fitted.impute_one(row).expect("serve fitted");
+                let b = loaded.impute_one(row).expect("serve loaded");
+                for (x, y) in a.iter().zip(&b) {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "{name}: loaded snapshot diverged from the fitted model"
+                    );
+                }
+            }
+
+            // Daemon throughput over the loaded snapshot.
+            let model: Arc<dyn FittedImputer> = Arc::from(loaded);
+            let server = Server::bind(
+                model,
+                &ServeConfig {
+                    addr: "127.0.0.1:0".into(),
+                    threads: args.threads.unwrap_or(0),
+                    ..ServeConfig::default()
+                },
+            )
+            .expect("bind daemon");
+            let addr = server.local_addr().expect("daemon addr");
+            let handle = server.spawn().expect("spawn daemon");
+
+            // Batched: `clients` threads each replay the whole batch once.
+            let t3 = Instant::now();
+            std::thread::scope(|scope| {
+                for _ in 0..clients {
+                    scope.spawn(|| {
+                        let body = post_impute(addr, &csv_batch);
+                        assert!(body.lines().count() > n_queries / 2);
+                    });
+                }
+            });
+            let batch_wall = t3.elapsed().as_secs_f64();
+            let http_batch_qps = (n_queries * clients) as f64 / batch_wall.max(1e-12);
+
+            // Single-tuple: sequential one-row POSTs.
+            let header = csv_batch.lines().next().expect("header");
+            let single_bodies: Vec<String> = csv_batch
+                .lines()
+                .skip(1)
+                .take(n_single)
+                .map(|line| format!("{header}\n{line}\n"))
+                .collect();
+            let t4 = Instant::now();
+            for body in &single_bodies {
+                post_impute(addr, body);
+            }
+            let single_wall = t4.elapsed().as_secs_f64();
+            let http_single_us = single_wall / single_bodies.len().max(1) as f64 * 1e6;
+
+            handle.shutdown();
+            eprintln!(
+                "[serve_load] {name} n={capped}: offline {offline_s:.3}s, snapshot {} B \
+                 (save {save_s:.4}s, load {load_s:.4}s), {http_batch_qps:.0} qps batched, \
+                 {http_single_us:.0} us/single-request",
+                bytes.len(),
+            );
+            cells.push(Cell {
+                method: name.to_string(),
+                n: capped,
+                offline_s,
+                save_s,
+                snapshot_bytes: bytes.len(),
+                load_s,
+                http_batch_qps,
+                http_single_us,
+            });
+        }
+    }
+
+    let mut table = Table::new(vec![
+        "method",
+        "n",
+        "offline_s",
+        "save_s",
+        "snapshot_B",
+        "load_s",
+        "load_speedup",
+        "batch_qps",
+        "single_us",
+    ]);
+    let mut cells_json = String::new();
+    for c in &cells {
+        let speedup = c.offline_s / c.load_s.max(1e-12);
+        table.push(vec![
+            c.method.clone(),
+            c.n.to_string(),
+            Table::secs(c.offline_s),
+            Table::secs(c.save_s),
+            c.snapshot_bytes.to_string(),
+            Table::secs(c.load_s),
+            format!("{speedup:.0}x"),
+            format!("{:.0}", c.http_batch_qps),
+            format!("{:.0}", c.http_single_us),
+        ]);
+        let _ = writeln!(
+            cells_json,
+            "    {{\"method\": \"{}\", \"n\": {}, \"offline_s\": {:.6}, \"save_s\": {:.6}, \
+             \"snapshot_bytes\": {}, \"load_s\": {:.6}, \"http_batch_qps\": {:.1}, \
+             \"http_single_us\": {:.1}}},",
+            c.method,
+            c.n,
+            c.offline_s,
+            c.save_s,
+            c.snapshot_bytes,
+            c.load_s,
+            c.http_batch_qps,
+            c.http_single_us,
+        );
+    }
+    let cells_json = cells_json.trim_end_matches(",\n").to_string();
+
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let json = format!(
+        "{{\n  \"workload\": \"fit -> save -> load -> HTTP serve over iim-serve\",\n  \
+         \"m\": {m},\n  \"n_queries\": {n_queries},\n  \"client_threads\": {clients},\n  \
+         \"available_cores\": {cores},\n  \"bitwise_identical_checked\": true,\n  \
+         \"note\": \"load replaces the offline phase on restart: load_s vs offline_s is \
+         the deploy-time win; qps measured against the real daemon incl. HTTP + \
+         micro-batching overhead\",\n  \"cells\": [\n{cells_json}\n  ]\n}}\n",
+    );
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("create bench_results");
+    let path = dir.join("BENCH_serve.json");
+    std::fs::write(&path, json).expect("write BENCH_serve.json");
+
+    table.print("Snapshot + daemon baseline (loaded snapshots bitwise-identical to fitted models)");
+    println!("wrote {}", path.display());
+}

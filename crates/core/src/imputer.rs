@@ -154,18 +154,46 @@ impl IimModel {
         self.index.matrix()
     }
 
-    pub(crate) fn k(&self) -> usize {
+    /// The imputation neighbor count `k` (Algorithm 2).
+    pub fn k(&self) -> usize {
         self.k
     }
 
-    pub(crate) fn weighting(&self) -> Weighting {
+    /// The candidate-aggregation policy.
+    pub fn weighting(&self) -> Weighting {
         self.weighting
+    }
+
+    /// Reassembles a learned model from its parts (the snapshot decode
+    /// path): the serving index, one ridge model per training tuple, the
+    /// per-tuple ℓ actually chosen, and the serving configuration.
+    /// Panics when `models`/`chosen_ell` do not line up with the index.
+    pub fn from_parts(
+        index: NeighborIndex,
+        models: Vec<RidgeModel>,
+        chosen_ell: Vec<u32>,
+        k: usize,
+        weighting: Weighting,
+    ) -> Self {
+        assert_eq!(models.len(), index.len(), "one model per training tuple");
+        assert_eq!(chosen_ell.len(), index.len(), "one ℓ per training tuple");
+        Self {
+            index,
+            models,
+            chosen_ell,
+            k: k.max(1),
+            weighting,
+        }
     }
 }
 
 impl AttrPredictor for IimModel {
     fn predict(&self, x: &[f64]) -> f64 {
         self.impute(x)
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 

@@ -32,6 +32,7 @@ pub mod task;
 pub use inject::{GroundTruth, MissingCell};
 pub use relation::{paper_fig1, Relation, Schema};
 pub use task::{
-    AttrEstimator, AttrPredictor, AttrTask, FeatureSelection, FillCache, FittedImputer,
-    FittedPerAttribute, ImputeError, Imputer, PerAttributeImputer, PhaseTimings, RowOpt,
+    AttrEstimator, AttrPredictor, AttrTask, FeatureSelection, FillCache, FittedAttrModel,
+    FittedImputer, FittedPerAttribute, ImputeError, Imputer, PerAttributeImputer, PhaseTimings,
+    RowOpt,
 };

@@ -110,6 +110,23 @@ impl ColumnTransform {
         }
     }
 
+    /// Rebuilds a transform from its raw parts (the snapshot decode path).
+    /// Panics when the two vectors disagree in length.
+    pub fn from_parts(shifts: Vec<f64>, scales: Vec<f64>) -> Self {
+        assert_eq!(shifts.len(), scales.len(), "one (shift, scale) per column");
+        Self { shifts, scales }
+    }
+
+    /// Per-column shifts (the snapshot encode path).
+    pub fn shifts(&self) -> &[f64] {
+        &self.shifts
+    }
+
+    /// Per-column scales (the snapshot encode path).
+    pub fn scales(&self) -> &[f64] {
+        &self.scales
+    }
+
     /// Applies the transform, returning a new relation (missing stays
     /// missing).
     pub fn apply(&self, rel: &Relation) -> Relation {

@@ -143,6 +143,17 @@ pub trait FittedImputer: Send + Sync {
     /// Display name of the underlying method (see [`Imputer::name`]).
     fn name(&self) -> &str;
 
+    /// Runtime-typed view of the concrete fitted state, used by the
+    /// snapshot layer (`iim-persist`) to reach the fields it serializes.
+    ///
+    /// The default `None` opts the implementation out of persistence
+    /// (saving it returns a typed error instead of panicking); every
+    /// fitted type in the workspace lineup overrides this with
+    /// `Some(self)`.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
+
     /// Arity of the relation the model was fitted on; queries must match.
     fn arity(&self) -> usize;
 
@@ -316,6 +327,27 @@ impl FillCache {
         self.map.get(&cache_key(row)).map(Vec::as_slice)
     }
 
+    /// All remembered `(bit-pattern key, fills)` entries, sorted by key so
+    /// iteration order — and therefore any serialized form — is
+    /// deterministic regardless of hash-map internals.
+    pub fn entries_sorted(&self) -> Vec<(&[u64], &[(usize, f64)])> {
+        let mut entries: Vec<(&[u64], &[(usize, f64)])> = self
+            .map
+            .iter()
+            .map(|(k, v)| (k.as_slice(), v.as_slice()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        entries
+    }
+
+    /// Rebuilds a cache from `(key, fills)` entries produced by
+    /// [`FillCache::entries_sorted`] (the snapshot decode path).
+    pub fn from_entries(entries: Vec<(Vec<u64>, Vec<(usize, f64)>)>) -> Self {
+        Self {
+            map: entries.into_iter().collect(),
+        }
+    }
+
     /// Number of remembered tuples.
     pub fn len(&self) -> usize {
         self.map.len()
@@ -460,6 +492,14 @@ pub trait AttrPredictor: Send + Sync {
     /// Predicts the target from a feature vector in `AttrTask::features`
     /// order.
     fn predict(&self, x: &[f64]) -> f64;
+
+    /// Runtime-typed view of the concrete predictor, used by the snapshot
+    /// layer (`iim-persist`). The default `None` opts out of persistence
+    /// (closures, ad-hoc test predictors); every persistable predictor in
+    /// the workspace overrides this with `Some(self)`.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
 }
 
 impl<F: Fn(&[f64]) -> f64 + Send + Sync> AttrPredictor for F {
@@ -519,11 +559,16 @@ impl<E: AttrEstimator> PerAttributeImputer<E> {
 }
 
 /// One fitted target attribute of a [`FittedPerAttribute`].
-struct FittedAttrModel {
-    features: Vec<usize>,
+///
+/// Fields are public so the snapshot layer (`iim-persist`) can encode and
+/// reconstruct fitted drivers without an intermediate builder type.
+pub struct FittedAttrModel {
+    /// Feature attribute indices `F` (query gather order).
+    pub features: Vec<usize>,
     /// Training-column means, for missing-feature fallback.
-    means: Vec<f64>,
-    predictor: Box<dyn AttrPredictor>,
+    pub means: Vec<f64>,
+    /// The fitted per-attribute predictor.
+    pub predictor: Box<dyn AttrPredictor>,
 }
 
 /// The fitted form of a [`PerAttributeImputer`]: one predictor per target
@@ -535,9 +580,33 @@ pub struct FittedPerAttribute {
     models: Vec<Option<FittedAttrModel>>,
 }
 
+impl FittedPerAttribute {
+    /// Reassembles a fitted driver from its parts (the snapshot decode
+    /// path). `models` must have one slot per attribute (`arity` slots);
+    /// `None` marks targets without a fitted model.
+    pub fn from_parts(name: String, arity: usize, models: Vec<Option<FittedAttrModel>>) -> Self {
+        assert_eq!(models.len(), arity, "one model slot per attribute");
+        Self {
+            name,
+            arity,
+            models,
+        }
+    }
+
+    /// The per-target models, indexed by attribute (the snapshot encode
+    /// path).
+    pub fn models(&self) -> &[Option<FittedAttrModel>] {
+        &self.models
+    }
+}
+
 impl FittedImputer for FittedPerAttribute {
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 
     fn arity(&self) -> usize {

@@ -160,6 +160,21 @@ impl LuFactors {
         Some(Self { lu, perm, sign })
     }
 
+    /// Reassembles factors from raw parts (the snapshot decode path).
+    /// The parts must come from [`LuFactors::parts`] — no validation is
+    /// performed beyond the square-shape and permutation-length checks.
+    pub fn from_parts(lu: Matrix, perm: Vec<usize>, sign: f64) -> Self {
+        assert_eq!(lu.rows(), lu.cols(), "LU factors must be square");
+        assert_eq!(perm.len(), lu.rows(), "one permutation entry per row");
+        Self { lu, perm, sign }
+    }
+
+    /// The packed factors, permutation, and sign (the snapshot encode
+    /// path; inverse of [`LuFactors::from_parts`]).
+    pub fn parts(&self) -> (&Matrix, &[usize], f64) {
+        (&self.lu, &self.perm, self.sign)
+    }
+
     /// Solves `A x = b`.
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
         let n = self.lu.rows();

@@ -87,6 +87,13 @@ impl FeatureMatrix {
         &self.row_ids
     }
 
+    /// The dense row-major backing buffer (`len × n_features`), exposed so
+    /// the snapshot layer can serialize the matrix bit-exactly; inverse of
+    /// [`FeatureMatrix::from_dense`].
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
     /// The k nearest candidates to `query` (a gathered feature vector),
     /// ascending by `(distance, position)`.
     ///

@@ -1,0 +1,188 @@
+//! Persistent model snapshots for the `iim` workspace.
+//!
+//! The paper's phase split — an expensive offline learning pass, a cheap
+//! online imputation pass (§VI-B3) — only pays off in production if the
+//! offline output *survives the process*. This crate gives every fitted
+//! imputer in the lineup (IIM plus the thirteen Table II baselines) a
+//! versioned, deterministic binary snapshot:
+//!
+//! * [`save_path`] / [`save`] / [`save_to_vec`] — serialize a
+//!   [`FittedImputer`](iim_data::FittedImputer) (magic bytes, format
+//!   version, method tag, checksummed payload; see [`snapshot`]).
+//! * [`load_path`] / [`load`] / [`load_from_slice`] — deserialize back
+//!   into a serving model.
+//! * [`inspect`] — container metadata without decoding the payload.
+//!
+//! # Guarantees
+//!
+//! * **Bit-exact serving.** A loaded model answers every query with the
+//!   same bits as the in-process model it was saved from — floats travel
+//!   as IEEE-754 bit patterns, stochastic methods (BLR, PMM) persist their
+//!   query-keyed seeds, and neighbor indexes rebuild deterministically.
+//!   A snapshot is a deployment artifact, not an approximation
+//!   (property-tested per method in `tests/persist_roundtrip.rs`, and
+//!   asserted end-to-end by the CI serving job).
+//! * **Deterministic bytes.** Saving the same fitted model twice produces
+//!   identical files (map iteration is sorted before encoding), so
+//!   snapshots are diffable and content-addressable.
+//! * **Total loading.** Truncated, corrupted, or wrong-version input
+//!   returns a typed [`PersistError`] — never a panic.
+//!
+//! # Example
+//!
+//! ```
+//! use iim_core::{Iim, IimConfig};
+//! use iim_data::{Imputer, PerAttributeImputer};
+//!
+//! let (rel, tx) = iim_data::paper_fig1();
+//! let fitted = PerAttributeImputer::new(Iim::new(IimConfig { k: 3, ..Default::default() }))
+//!     .fit(&rel)
+//!     .unwrap();
+//!
+//! // Save, drop, load: the round-tripped model serves the same bits.
+//! let bytes = iim_persist::save_to_vec(fitted.as_ref()).unwrap();
+//! let loaded = iim_persist::load_from_slice(&bytes).unwrap();
+//! assert_eq!(loaded.name(), "IIM");
+//! let a = fitted.impute_one(&tx).unwrap();
+//! let b = loaded.impute_one(&tx).unwrap();
+//! assert_eq!(a[1].to_bits(), b[1].to_bits());
+//! ```
+
+pub mod codec;
+pub mod error;
+pub mod snapshot;
+pub mod wire;
+
+pub use error::PersistError;
+pub use snapshot::{
+    inspect, load, load_from_slice, load_from_slice_with_info, load_path, save, save_path,
+    save_to_vec, save_to_vec_with_schema, SnapshotInfo, FORMAT_VERSION, MAGIC,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iim_data::{paper_fig1, FittedImputer, ImputeError, Imputer, RowOpt};
+
+    struct Opaque;
+    impl FittedImputer for Opaque {
+        fn name(&self) -> &str {
+            "Opaque"
+        }
+        fn arity(&self) -> usize {
+            1
+        }
+        fn impute_one(&self, _row: &RowOpt) -> Result<Vec<f64>, ImputeError> {
+            Ok(vec![0.0])
+        }
+    }
+
+    fn fitted_iim() -> Box<dyn FittedImputer> {
+        let (rel, _) = paper_fig1();
+        iim_data::PerAttributeImputer::new(iim_core::Iim::new(iim_core::IimConfig {
+            k: 3,
+            ..Default::default()
+        }))
+        .fit(&rel)
+        .unwrap()
+    }
+
+    #[test]
+    fn save_is_deterministic_and_inspectable() {
+        let fitted = fitted_iim();
+        let a = save_to_vec(fitted.as_ref()).unwrap();
+        let b = save_to_vec(fitted.as_ref()).unwrap();
+        assert_eq!(a, b, "same model must snapshot to identical bytes");
+        let info = inspect(&a).unwrap();
+        assert_eq!(info.method, "IIM");
+        assert_eq!(info.version, FORMAT_VERSION);
+        assert!(info.payload_len > 0);
+    }
+
+    #[test]
+    fn opaque_models_save_with_a_typed_error() {
+        assert!(matches!(
+            save_to_vec(&Opaque),
+            Err(PersistError::UnsupportedModel(name)) if name == "Opaque"
+        ));
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_typed() {
+        let fitted = fitted_iim();
+        let good = save_to_vec(fitted.as_ref()).unwrap();
+
+        assert!(matches!(
+            load_from_slice(b"not a snapshot"),
+            Err(PersistError::BadMagic)
+        ));
+
+        let mut newer = good.clone();
+        newer[8] = 0xFF; // version low byte
+        assert!(matches!(
+            load_from_slice(&newer),
+            Err(PersistError::UnsupportedVersion { .. })
+        ));
+    }
+
+    #[test]
+    fn crafted_huge_payload_length_is_corrupt_not_panic() {
+        // payload_len near u64::MAX must not overflow the bounds check.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&0u16.to_le_bytes()); // empty method tag
+        bytes.extend_from_slice(&0u16.to_le_bytes()); // empty schema
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 16]);
+        assert!(matches!(
+            load_from_slice(&bytes),
+            Err(PersistError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn schema_round_trips_and_is_validated() {
+        let fitted = fitted_iim();
+        let schema = vec!["lng".to_string(), "price".to_string()];
+        let bytes = save_to_vec_with_schema(fitted.as_ref(), &schema).unwrap();
+        let info = inspect(&bytes).unwrap();
+        assert_eq!(info.schema, schema);
+        let (loaded, info) = load_from_slice_with_info(&bytes).unwrap();
+        assert_eq!(loaded.arity(), 2);
+        assert_eq!(info.schema, schema);
+        // Schema-free save records an empty schema.
+        let bare = save_to_vec(fitted.as_ref()).unwrap();
+        assert!(inspect(&bare).unwrap().schema.is_empty());
+        // A schema of the wrong arity is refused at save time.
+        assert!(matches!(
+            save_to_vec_with_schema(fitted.as_ref(), &["x".to_string()]),
+            Err(PersistError::UnsupportedModel(_))
+        ));
+    }
+
+    #[test]
+    fn flipped_payload_byte_fails_the_checksum() {
+        let fitted = fitted_iim();
+        let mut bytes = save_to_vec(fitted.as_ref()).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        assert!(matches!(
+            load_from_slice(&bytes),
+            Err(PersistError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn every_truncation_point_is_a_typed_error() {
+        let fitted = fitted_iim();
+        let bytes = save_to_vec(fitted.as_ref()).unwrap();
+        for cut in 0..bytes.len() {
+            // Must be an Err (never a panic, never an Ok on a prefix).
+            assert!(
+                load_from_slice(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes decoded successfully"
+            );
+        }
+    }
+}

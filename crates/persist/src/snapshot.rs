@@ -1,0 +1,270 @@
+//! The snapshot container: magic, version, method tag, length-prefixed
+//! payload, checksum trailer.
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"IIMSNAP\0"
+//! 8       2     format version (u16 LE) — currently 1
+//! 10      2+n   method tag: u16 LE length + UTF-8 display name
+//! ..      2+..  schema: u16 LE column count, then per column a
+//!               u16 LE length + UTF-8 name (count 0 = schema unknown)
+//! ..      8     payload length (u64 LE)
+//! ..      len   payload (see `codec`)
+//! ..      8     FNV-1a 64 checksum of the payload (u64 LE)
+//! ```
+//!
+//! The schema block records the training file's column names so serving
+//! layers can reject a query file whose columns are reordered or
+//! unrelated — with only an arity check, such queries would silently
+//! impute from transposed features. A snapshot saved without a schema
+//! (library use, no CSV involved) records count 0 and downgrades serving
+//! to the arity check.
+//!
+//! # Versioning policy
+//!
+//! The version is bumped whenever the payload layout changes shape; a
+//! reader refuses versions newer than it knows
+//! ([`PersistError::UnsupportedVersion`]) rather than guessing. Within one
+//! version the format is **deterministic**: encoding the same fitted model
+//! twice yields identical bytes (hash-map iteration is sorted before
+//! serialization), so snapshots are diffable, cacheable artifacts.
+
+use crate::codec::{decode_fitted, encode_fitted};
+use crate::error::PersistError;
+use crate::wire::fnv1a64;
+use iim_data::FittedImputer;
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// The 8 magic bytes opening every snapshot.
+pub const MAGIC: [u8; 8] = *b"IIMSNAP\0";
+
+/// The current (highest supported) snapshot format version.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// Container metadata, readable without decoding the model payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotInfo {
+    /// Format version the snapshot was written with.
+    pub version: u16,
+    /// Display name of the snapshotted method (e.g. `"IIM"`).
+    pub method: String,
+    /// Column names of the training relation; empty when the snapshot was
+    /// saved without one (serving then only checks arity).
+    pub schema: Vec<String>,
+    /// Payload size in bytes.
+    pub payload_len: u64,
+}
+
+fn push_tag(out: &mut Vec<u8>, s: &str, what: &str) -> Result<(), PersistError> {
+    let len = u16::try_from(s.len())
+        .map_err(|_| PersistError::UnsupportedModel(format!("{what} too long: {s:?}")))?;
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+    Ok(())
+}
+
+/// Serializes a fitted model (schema unknown — see
+/// [`save_to_vec_with_schema`]).
+pub fn save_to_vec(fitted: &dyn FittedImputer) -> Result<Vec<u8>, PersistError> {
+    save_to_vec_with_schema(fitted, &[])
+}
+
+/// Serializes a fitted model, recording the training relation's column
+/// names so serving layers can validate query headers (reordered columns
+/// would otherwise silently impute from transposed features).
+pub fn save_to_vec_with_schema(
+    fitted: &dyn FittedImputer,
+    schema: &[String],
+) -> Result<Vec<u8>, PersistError> {
+    if !schema.is_empty() && schema.len() != fitted.arity() {
+        return Err(PersistError::UnsupportedModel(format!(
+            "schema has {} columns but the model serves {}",
+            schema.len(),
+            fitted.arity()
+        )));
+    }
+    let payload = encode_fitted(fitted)?;
+    let name = fitted.name();
+    let n_cols = u16::try_from(schema.len())
+        .map_err(|_| PersistError::UnsupportedModel("schema has too many columns".into()))?;
+    let mut out = Vec::with_capacity(8 + 2 + 2 + name.len() + 2 + 8 + payload.len() + 8);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    push_tag(&mut out, name, "method name")?;
+    out.extend_from_slice(&n_cols.to_le_bytes());
+    for col in schema {
+        push_tag(&mut out, col, "column name")?;
+    }
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+    Ok(out)
+}
+
+/// Writes a fitted model's snapshot to `w`.
+pub fn save<W: Write>(fitted: &dyn FittedImputer, mut w: W) -> Result<(), PersistError> {
+    let bytes = save_to_vec(fitted)?;
+    w.write_all(&bytes)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes a fitted model's snapshot to a file.
+pub fn save_path<P: AsRef<Path>>(fitted: &dyn FittedImputer, path: P) -> Result<(), PersistError> {
+    save(fitted, std::fs::File::create(path)?)
+}
+
+struct Header {
+    info: SnapshotInfo,
+    /// Offset of the payload within the snapshot bytes.
+    payload_start: usize,
+}
+
+fn parse_header(bytes: &[u8]) -> Result<Header, PersistError> {
+    if bytes.len() < 8 {
+        // Too short to even carry the magic: report what it isn't.
+        return Err(if MAGIC.starts_with(bytes) && !bytes.is_empty() {
+            PersistError::Truncated { context: "magic" }
+        } else {
+            PersistError::BadMagic
+        });
+    }
+    if bytes[..8] != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let mut at = 8usize;
+    let mut need = |n: usize, context: &'static str| -> Result<usize, PersistError> {
+        if bytes.len() < at + n {
+            return Err(PersistError::Truncated { context });
+        }
+        let start = at;
+        at += n;
+        Ok(start)
+    };
+    let v = need(2, "format version")?;
+    let version = u16::from_le_bytes([bytes[v], bytes[v + 1]]);
+    if version > FORMAT_VERSION {
+        return Err(PersistError::UnsupportedVersion {
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    let l = need(2, "method tag length")?;
+    let name_len = u16::from_le_bytes([bytes[l], bytes[l + 1]]) as usize;
+    let n = need(name_len, "method tag")?;
+    let method = std::str::from_utf8(&bytes[n..n + name_len])
+        .map_err(|_| PersistError::Corrupt("method tag is not UTF-8".into()))?
+        .to_string();
+    let c = need(2, "schema column count")?;
+    let n_cols = u16::from_le_bytes([bytes[c], bytes[c + 1]]) as usize;
+    let mut schema = Vec::with_capacity(n_cols);
+    for _ in 0..n_cols {
+        let l = need(2, "schema name length")?;
+        let col_len = u16::from_le_bytes([bytes[l], bytes[l + 1]]) as usize;
+        let s = need(col_len, "schema name")?;
+        schema.push(
+            std::str::from_utf8(&bytes[s..s + col_len])
+                .map_err(|_| PersistError::Corrupt("schema name is not UTF-8".into()))?
+                .to_string(),
+        );
+    }
+    let p = need(8, "payload length")?;
+    let payload_len = u64::from_le_bytes(bytes[p..p + 8].try_into().expect("8 bytes"));
+    Ok(Header {
+        info: SnapshotInfo {
+            version,
+            method,
+            schema,
+            payload_len,
+        },
+        payload_start: at,
+    })
+}
+
+/// Reads container metadata without decoding the model payload (the
+/// payload must still be fully present and checksum-clean).
+pub fn inspect(bytes: &[u8]) -> Result<SnapshotInfo, PersistError> {
+    let header = parse_header(bytes)?;
+    checked_payload(bytes, &header)?;
+    Ok(header.info)
+}
+
+fn checked_payload<'a>(bytes: &'a [u8], header: &Header) -> Result<&'a [u8], PersistError> {
+    let start = header.payload_start;
+    // Checked arithmetic throughout: a crafted length field near u64::MAX
+    // must surface as a typed error, not an overflow panic (debug) or a
+    // wrapped, misleading comparison (release).
+    let len = usize::try_from(header.info.payload_len)
+        .map_err(|_| PersistError::Corrupt("payload length overflows".into()))?;
+    let total = start
+        .checked_add(len)
+        .and_then(|v| v.checked_add(8))
+        .ok_or_else(|| PersistError::Corrupt("payload length overflows".into()))?;
+    if bytes.len() < total {
+        return Err(PersistError::Truncated { context: "payload" });
+    }
+    if bytes.len() > total {
+        return Err(PersistError::Corrupt(format!(
+            "{} trailing bytes after the checksum",
+            bytes.len() - total
+        )));
+    }
+    let payload = &bytes[start..start + len];
+    let expected = u64::from_le_bytes(
+        bytes[start + len..start + len + 8]
+            .try_into()
+            .expect("8 bytes"),
+    );
+    let found = fnv1a64(payload);
+    if expected != found {
+        return Err(PersistError::ChecksumMismatch { expected, found });
+    }
+    Ok(payload)
+}
+
+/// Deserializes a snapshot back into a serving model.
+///
+/// The loaded model serves **bitwise-identical** fills to the in-process
+/// model it was saved from (property-tested per lineup method in
+/// `tests/persist_roundtrip.rs`).
+pub fn load_from_slice(bytes: &[u8]) -> Result<Box<dyn FittedImputer>, PersistError> {
+    load_from_slice_with_info(bytes).map(|(fitted, _)| fitted)
+}
+
+/// [`load_from_slice`] returning the container metadata too (serving
+/// layers use [`SnapshotInfo::schema`] to validate query headers).
+pub fn load_from_slice_with_info(
+    bytes: &[u8],
+) -> Result<(Box<dyn FittedImputer>, SnapshotInfo), PersistError> {
+    let header = parse_header(bytes)?;
+    let payload = checked_payload(bytes, &header)?;
+    let fitted = decode_fitted(payload)?;
+    if fitted.name() != header.info.method {
+        return Err(PersistError::Corrupt(format!(
+            "method tag {:?} does not match the decoded model {:?}",
+            header.info.method,
+            fitted.name()
+        )));
+    }
+    if !header.info.schema.is_empty() && header.info.schema.len() != fitted.arity() {
+        return Err(PersistError::Corrupt(format!(
+            "schema has {} columns but the model serves {}",
+            header.info.schema.len(),
+            fitted.arity()
+        )));
+    }
+    Ok((fitted, header.info))
+}
+
+/// Reads a snapshot from `r` and decodes it.
+pub fn load<R: Read>(mut r: R) -> Result<Box<dyn FittedImputer>, PersistError> {
+    let mut bytes = Vec::new();
+    r.read_to_end(&mut bytes)?;
+    load_from_slice(&bytes)
+}
+
+/// Reads a snapshot file and decodes it.
+pub fn load_path<P: AsRef<Path>>(path: P) -> Result<Box<dyn FittedImputer>, PersistError> {
+    load(std::fs::File::open(path)?)
+}

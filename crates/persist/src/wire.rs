@@ -1,0 +1,335 @@
+//! The byte-level wire codec: little-endian primitives with length-checked
+//! reads.
+//!
+//! Floats travel as their IEEE-754 bit patterns ([`f64::to_bits`] /
+//! [`f64::from_bits`]), so a round-trip reproduces every value — including
+//! negative zero and the `NaN` payloads the workspace uses as missing-cell
+//! sentinels — **bit-exactly**. That is what upgrades a snapshot from an
+//! approximation to a deployment artifact: a loaded model serves the same
+//! bits as the model that was saved.
+
+use crate::error::PersistError;
+
+/// Append-only encoder over a byte buffer.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u16`, little-endian.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` as a `u64` (the on-disk format is
+    /// pointer-width-independent).
+    pub fn len(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Appends an `f64` as its bit pattern.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Appends a bool as one byte.
+    pub fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.len(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Appends a length-prefixed `f64` slice.
+    pub fn f64s(&mut self, vs: &[f64]) {
+        self.len(vs.len());
+        for &v in vs {
+            self.f64(v);
+        }
+    }
+
+    /// Appends a length-prefixed `u32` slice.
+    pub fn u32s(&mut self, vs: &[u32]) {
+        self.len(vs.len());
+        for &v in vs {
+            self.u32(v);
+        }
+    }
+
+    /// Appends a length-prefixed `u64` slice.
+    pub fn u64s(&mut self, vs: &[u64]) {
+        self.len(vs.len());
+        for &v in vs {
+            self.u64(v);
+        }
+    }
+
+    /// Appends a length-prefixed `usize` slice (as `u64`s).
+    pub fn lens(&mut self, vs: &[usize]) {
+        self.len(vs.len());
+        for &v in vs {
+            self.len(v);
+        }
+    }
+}
+
+/// A bounds-checked cursor over encoded bytes.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over `data` starting at offset 0.
+    pub fn new(data: &'a [u8]) -> Self {
+        Self { data, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Errors unless every byte was consumed — trailing garbage means the
+    /// payload does not describe what its codec read.
+    pub fn expect_exhausted(&self) -> Result<(), PersistError> {
+        if self.remaining() != 0 {
+            return Err(PersistError::Corrupt(format!(
+                "{} trailing bytes after the payload",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], PersistError> {
+        if self.remaining() < n {
+            return Err(PersistError::Truncated { context });
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self, context: &'static str) -> Result<u8, PersistError> {
+        Ok(self.take(1, context)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self, context: &'static str) -> Result<u16, PersistError> {
+        let b = self.take(2, context)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self, context: &'static str) -> Result<u32, PersistError> {
+        let b = self.take(4, context)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self, context: &'static str) -> Result<u64, PersistError> {
+        let b = self.take(8, context)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads an element **count** written by [`Writer::len`]: a count's
+    /// elements each occupy at least one byte of the remaining input, so
+    /// counts exceeding it are rejected up front (failing fast on corrupt
+    /// counts before attempting a huge allocation). For scalar sizes with
+    /// no elements behind them (a `k`, an iteration cap) use
+    /// [`Reader::scalar`].
+    pub fn len(&mut self, context: &'static str) -> Result<usize, PersistError> {
+        let v = self.u64(context)?;
+        if v > self.remaining() as u64 {
+            return Err(PersistError::Corrupt(format!(
+                "{context}: count {v} exceeds the {} bytes remaining",
+                self.remaining()
+            )));
+        }
+        Ok(v as usize)
+    }
+
+    /// Reads a scalar `usize` written by [`Writer::len`] (no
+    /// remaining-bytes heuristic — the value does not count upcoming
+    /// elements).
+    pub fn scalar(&mut self, context: &'static str) -> Result<usize, PersistError> {
+        let v = self.u64(context)?;
+        usize::try_from(v)
+            .map_err(|_| PersistError::Corrupt(format!("{context}: value {v} overflows")))
+    }
+
+    /// Reads an `f64` bit pattern.
+    pub fn f64(&mut self, context: &'static str) -> Result<f64, PersistError> {
+        Ok(f64::from_bits(self.u64(context)?))
+    }
+
+    /// Reads a bool byte (strictly 0 or 1).
+    pub fn bool(&mut self, context: &'static str) -> Result<bool, PersistError> {
+        match self.u8(context)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(PersistError::Corrupt(format!(
+                "{context}: invalid bool byte {other}"
+            ))),
+        }
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self, context: &'static str) -> Result<String, PersistError> {
+        let n = self.len(context)?;
+        let bytes = self.take(n, context)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| PersistError::Corrupt(format!("{context}: invalid UTF-8")))
+    }
+
+    /// Reads a length-prefixed `f64` slice.
+    pub fn f64s(&mut self, context: &'static str) -> Result<Vec<f64>, PersistError> {
+        let n = self.len(context)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.f64(context)?);
+        }
+        Ok(out)
+    }
+
+    /// Reads a length-prefixed `u32` slice.
+    pub fn u32s(&mut self, context: &'static str) -> Result<Vec<u32>, PersistError> {
+        let n = self.len(context)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.u32(context)?);
+        }
+        Ok(out)
+    }
+
+    /// Reads a length-prefixed `u64` slice.
+    pub fn u64s(&mut self, context: &'static str) -> Result<Vec<u64>, PersistError> {
+        let n = self.len(context)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.u64(context)?);
+        }
+        Ok(out)
+    }
+
+    /// Reads a length-prefixed `usize` slice (stored as `u64`s).
+    pub fn lens(&mut self, context: &'static str) -> Result<Vec<usize>, PersistError> {
+        let n = self.len(context)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let v = self.u64(context)?;
+            usize::try_from(v)
+                .map_err(|_| PersistError::Corrupt(format!("{context}: index {v} overflows")))
+                .map(|v| out.push(v))?;
+        }
+        Ok(out)
+    }
+}
+
+/// FNV-1a 64-bit hash — the payload checksum. Not cryptographic: it
+/// detects storage/transit corruption, not tampering.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = Writer::new();
+        w.u8(7);
+        w.u16(300);
+        w.u32(70_000);
+        w.u64(u64::MAX);
+        w.f64(-0.0);
+        w.f64(f64::NAN);
+        w.bool(true);
+        w.str("hé");
+        w.f64s(&[1.5, -2.25]);
+        w.u32s(&[1, 2, 3]);
+        w.lens(&[9, 0]);
+        let bytes = w.into_vec();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8("a").unwrap(), 7);
+        assert_eq!(r.u16("b").unwrap(), 300);
+        assert_eq!(r.u32("c").unwrap(), 70_000);
+        assert_eq!(r.u64("d").unwrap(), u64::MAX);
+        assert_eq!(r.f64("e").unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(r.f64("f").unwrap().is_nan());
+        assert!(r.bool("g").unwrap());
+        assert_eq!(r.str("h").unwrap(), "hé");
+        assert_eq!(r.f64s("i").unwrap(), vec![1.5, -2.25]);
+        assert_eq!(r.u32s("j").unwrap(), vec![1, 2, 3]);
+        assert_eq!(r.lens("k").unwrap(), vec![9, 0]);
+        r.expect_exhausted().unwrap();
+    }
+
+    #[test]
+    fn truncation_is_typed() {
+        let mut w = Writer::new();
+        w.u64(5);
+        let bytes = w.into_vec();
+        let mut r = Reader::new(&bytes[..3]);
+        assert!(matches!(
+            r.u64("field"),
+            Err(PersistError::Truncated { context: "field" })
+        ));
+    }
+
+    #[test]
+    fn oversized_count_is_corrupt_not_alloc() {
+        let mut w = Writer::new();
+        w.u64(u64::MAX);
+        let bytes = w.into_vec();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(r.len("count"), Err(PersistError::Corrupt(_))));
+    }
+
+    #[test]
+    fn fnv_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

@@ -1,0 +1,260 @@
+//! The micro-batching queue between HTTP connections and the compute
+//! pool.
+//!
+//! Connection threads enqueue jobs (one job = the rows of one request) and
+//! block on a reply channel; a single batcher thread drains **every**
+//! pending job, fans the union of their rows out on the shared
+//! [`iim_exec::Pool`] — one `impute_one` per row, each worker reusing its
+//! per-thread serving scratch from the fitted model's hot path — and
+//! routes the slices of the result back to the waiting connections.
+//!
+//! Coalescing concurrent requests into one `parallel_map_indexed` keeps
+//! the pool saturated under many small requests (the classic
+//! request-batching trade: latency of one queue hop for throughput), while
+//! a single in-flight request still occupies every worker. Because
+//! `impute_one` is a pure function of the fitted state and the query, the
+//! batching boundaries can never change an answer — a row imputes to the
+//! same bits whether it arrived alone or sandwiched between strangers.
+
+use iim_data::{FittedImputer, ImputeError};
+use iim_exec::Pool;
+use std::collections::VecDeque;
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// One query row as parsed from the wire.
+pub type QueryRow = Vec<Option<f64>>;
+
+/// Per-row outcome: the completed row or the typed impute error.
+pub type RowResult = Result<Vec<f64>, ImputeError>;
+
+struct Job {
+    rows: Vec<QueryRow>,
+    reply: mpsc::Sender<Vec<RowResult>>,
+}
+
+#[derive(Default)]
+struct Queue {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Shared {
+    queue: Mutex<Queue>,
+    available: Condvar,
+}
+
+/// The micro-batching executor: owns the fitted model, the compute pool,
+/// and the batcher thread.
+pub struct Batcher {
+    shared: Arc<Shared>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl Batcher {
+    /// Starts the batcher thread serving `model` on a pool of `threads`
+    /// workers (`0` = the process default, see
+    /// [`iim_exec::default_threads`]).
+    pub fn start(model: Arc<dyn FittedImputer>, threads: usize) -> Self {
+        let pool = if threads > 0 {
+            Pool::new(threads)
+        } else {
+            iim_exec::global()
+        };
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue::default()),
+            available: Condvar::new(),
+        });
+        let worker_shared = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name("iim-serve-batcher".into())
+            .spawn(move || batcher_loop(worker_shared, model, pool))
+            .expect("spawn batcher thread");
+        Self {
+            shared,
+            worker: Some(worker),
+        }
+    }
+
+    /// Enqueues `rows` and blocks until their results arrive, in order.
+    ///
+    /// Returns `None` only when the batcher is shutting down.
+    pub fn impute(&self, rows: Vec<QueryRow>) -> Option<Vec<RowResult>> {
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut queue = self.shared.queue.lock().expect("batcher lock");
+            if queue.shutdown {
+                return None;
+            }
+            queue.jobs.push_back(Job { rows, reply: tx });
+        }
+        self.shared.available.notify_one();
+        rx.recv().ok()
+    }
+
+    /// Signals the batcher thread to exit once the queue drains.
+    pub fn shutdown(&self) {
+        let mut queue = self.shared.queue.lock().expect("batcher lock");
+        queue.shutdown = true;
+        drop(queue);
+        self.shared.available.notify_all();
+    }
+}
+
+impl Drop for Batcher {
+    fn drop(&mut self) {
+        self.shutdown();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn batcher_loop(shared: Arc<Shared>, model: Arc<dyn FittedImputer>, pool: Pool) {
+    // If this thread dies for ANY reason — normal shutdown or a panic
+    // unwinding out of a worker via the pool's join — the guard marks the
+    // queue shut down and drops every pending job's reply sender, so
+    // blocked and future `Batcher::impute` calls return `None` (the
+    // daemon answers 503) instead of hanging forever on a reply that can
+    // never come.
+    struct PoisonGuard(Arc<Shared>);
+    impl Drop for PoisonGuard {
+        fn drop(&mut self) {
+            let mut queue = match self.0.queue.lock() {
+                Ok(q) => q,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            queue.shutdown = true;
+            queue.jobs.clear();
+        }
+    }
+    let _guard = PoisonGuard(Arc::clone(&shared));
+    loop {
+        // Collect every job currently queued (micro-batch = the backlog).
+        let jobs: Vec<Job> = {
+            let mut queue = shared.queue.lock().expect("batcher lock");
+            while queue.jobs.is_empty() && !queue.shutdown {
+                queue = shared.available.wait(queue).expect("batcher wait");
+            }
+            if queue.jobs.is_empty() && queue.shutdown {
+                return;
+            }
+            queue.jobs.drain(..).collect()
+        };
+
+        // Union of all rows, then one deterministic indexed map over the
+        // pool. Row order within the union is job order — irrelevant to
+        // the results (impute_one is pure) but kept stable anyway.
+        let flat: Vec<&QueryRow> = jobs.iter().flat_map(|j| j.rows.iter()).collect();
+        let results: Vec<RowResult> =
+            pool.parallel_map_indexed(flat.len(), |i| model.impute_one(flat[i]));
+
+        // Move each job's slice of results out (no per-row clone on the
+        // serving hot path).
+        let mut results = results.into_iter();
+        for job in jobs {
+            let slice: Vec<RowResult> = results.by_ref().take(job.rows.len()).collect();
+            // A receiver that hung up (client disconnected) is not an
+            // error for the batch.
+            let _ = job.reply.send(slice);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iim_data::{Imputer, PerAttributeImputer};
+
+    fn fitted() -> Arc<dyn FittedImputer> {
+        let (rel, _) = iim_data::paper_fig1();
+        let fitted = PerAttributeImputer::new(iim_core::Iim::new(iim_core::IimConfig {
+            k: 3,
+            ..Default::default()
+        }))
+        .fit(&rel)
+        .unwrap();
+        Arc::from(fitted)
+    }
+
+    #[test]
+    fn batched_results_match_direct_serving() {
+        let model = fitted();
+        let batcher = Batcher::start(Arc::clone(&model), 2);
+        let rows: Vec<QueryRow> = (0..40).map(|i| vec![Some(i as f64 * 0.2), None]).collect();
+        let got = batcher.impute(rows.clone()).unwrap();
+        assert_eq!(got.len(), rows.len());
+        for (row, out) in rows.iter().zip(&got) {
+            let direct = model.impute_one(row).unwrap();
+            let out = out.as_ref().unwrap();
+            assert_eq!(out.len(), direct.len());
+            for (a, b) in out.iter().zip(&direct) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_jobs_all_answered() {
+        let model = fitted();
+        let batcher = Arc::new(Batcher::start(model, 2));
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let batcher = Arc::clone(&batcher);
+                scope.spawn(move || {
+                    let rows: Vec<QueryRow> = (0..5)
+                        .map(|i| vec![Some((t * 5 + i) as f64 * 0.1), None])
+                        .collect();
+                    let got = batcher.impute(rows).unwrap();
+                    assert_eq!(got.len(), 5);
+                    for r in got {
+                        assert!(r.unwrap()[1].is_finite());
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn per_row_errors_do_not_poison_the_batch() {
+        let model = fitted();
+        let batcher = Batcher::start(model, 1);
+        let rows: Vec<QueryRow> = vec![
+            vec![Some(1.0), None],
+            vec![Some(1.0)], // arity mismatch
+            vec![Some(2.0), None],
+        ];
+        let got = batcher.impute(rows).unwrap();
+        assert!(got[0].is_ok());
+        assert!(matches!(got[1], Err(ImputeError::ArityMismatch { .. })));
+        assert!(got[2].is_ok());
+    }
+
+    #[test]
+    fn a_panicking_model_poisons_the_batcher_instead_of_wedging_it() {
+        struct Panicker;
+        impl FittedImputer for Panicker {
+            fn name(&self) -> &str {
+                "Panicker"
+            }
+            fn arity(&self) -> usize {
+                1
+            }
+            fn impute_one(&self, _row: &iim_data::RowOpt) -> RowResult {
+                panic!("model bug");
+            }
+        }
+        let batcher = Batcher::start(Arc::new(Panicker), 1);
+        // The panicking batch itself and every later request must resolve
+        // (to None → a 503 upstream), never hang.
+        assert!(batcher.impute(vec![vec![None]]).is_none());
+        assert!(batcher.impute(vec![vec![None]]).is_none());
+    }
+
+    #[test]
+    fn shutdown_refuses_new_work() {
+        let batcher = Batcher::start(fitted(), 1);
+        batcher.shutdown();
+        assert!(batcher.impute(vec![vec![Some(1.0), None]]).is_none());
+    }
+}

@@ -1,0 +1,206 @@
+//! A deliberately minimal HTTP/1.1 subset — just enough for `curl`, load
+//! generators, and health probes to talk to the daemon without pulling a
+//! web framework into a std-only workspace.
+//!
+//! Supported: one request per connection (`Connection: close` semantics),
+//! `Content-Length` bodies, CRLF or bare-LF line endings. Not supported
+//! (and not needed): chunked transfer, keep-alive pipelining, TLS.
+
+use std::io::{self, Read, Write};
+
+/// Largest accepted request body (64 MiB) — a million-tuple batch fits
+/// comfortably; anything bigger should be split by the client.
+pub const MAX_BODY_BYTES: u64 = 64 * 1024 * 1024;
+
+/// Largest accepted header block (64 KiB).
+const MAX_HEAD_BYTES: usize = 64 * 1024;
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Request method, upper-case as sent (`GET`, `POST`, …).
+    pub method: String,
+    /// Request path (`/impute`), query string included if any.
+    pub path: String,
+    /// The raw body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be parsed; maps to a 4xx response.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Malformed request line or headers.
+    Malformed(&'static str),
+    /// Body larger than [`MAX_BODY_BYTES`].
+    TooLarge,
+    /// Socket-level failure.
+    Io(io::Error),
+}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Malformed(why) => write!(f, "malformed request: {why}"),
+            HttpError::TooLarge => write!(f, "request body too large"),
+            HttpError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+/// Offset just past the first blank line (CRLF or bare LF), if present.
+fn head_end(buf: &[u8]) -> Option<usize> {
+    // The head is tiny relative to bodies, so a simple windows scan per
+    // read is cheap; the first terminator found is the real one (nothing
+    // before it can contain a blank line).
+    buf.windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|p| p + 4)
+        .into_iter()
+        .chain(buf.windows(2).position(|w| w == b"\n\n").map(|p| p + 2))
+        .min()
+}
+
+/// Reads one request from `stream`.
+pub fn read_request<S: Read>(stream: &mut S) -> Result<Request, HttpError> {
+    // Chunked reads into one buffer (not a syscall per byte — this is the
+    // per-connection hot path). Bytes past the blank line already read
+    // here are the body's prefix; the rest is length-delimited, so no
+    // over-read can occur.
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let head_len = loop {
+        if let Some(end) = head_end(&buf) {
+            break end;
+        }
+        if buf.len() >= MAX_HEAD_BYTES {
+            return Err(HttpError::Malformed("header block too large"));
+        }
+        match stream.read(&mut chunk)? {
+            0 => return Err(HttpError::Malformed("connection closed mid-request")),
+            n => buf.extend_from_slice(&chunk[..n]),
+        }
+    };
+    let head = std::str::from_utf8(&buf[..head_len])
+        .map_err(|_| HttpError::Malformed("non-UTF-8 head"))?;
+    let mut lines = head.lines();
+    let request_line = lines.next().ok_or(HttpError::Malformed("empty request"))?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or(HttpError::Malformed("missing method"))?
+        .to_string();
+    let path = parts
+        .next()
+        .ok_or(HttpError::Malformed("missing path"))?
+        .to_string();
+
+    let mut content_length: u64 = 0;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| HttpError::Malformed("bad content-length"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::TooLarge);
+    }
+    let content_length = content_length as usize;
+    // Body prefix already read alongside the head, then exactly the rest.
+    let mut body = buf.split_off(head_len);
+    if body.len() > content_length {
+        body.truncate(content_length);
+    } else {
+        let already = body.len();
+        body.resize(content_length, 0);
+        stream.read_exact(&mut body[already..])?;
+    }
+    Ok(Request { method, path, body })
+}
+
+/// Writes a complete response (status line, minimal headers, body) and
+/// flushes. `Connection: close` is always sent — one request per
+/// connection keeps the daemon's concurrency model trivial.
+pub fn respond<S: Write>(
+    stream: &mut S,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_post_with_body() {
+        let raw = b"POST /impute HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello";
+        let req = read_request(&mut &raw[..]).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/impute");
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn parses_bare_lf_get() {
+        let raw = b"GET /healthz HTTP/1.1\nHost: x\n\n";
+        let req = read_request(&mut &raw[..]).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn large_body_spans_multiple_read_chunks() {
+        // Head + body prefix arrive in the first 4 KiB chunk; the rest of
+        // the body comes from the length-delimited read_exact tail.
+        let body: String = "x".repeat(10_000);
+        let raw = format!(
+            "POST /impute HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        let req = read_request(&mut raw.as_bytes()).unwrap();
+        assert_eq!(req.body.len(), body.len());
+        assert_eq!(req.body, body.as_bytes());
+    }
+
+    #[test]
+    fn rejects_oversized_body_declaration() {
+        let raw = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(
+            read_request(&mut raw.as_bytes()),
+            Err(HttpError::TooLarge)
+        ));
+    }
+
+    #[test]
+    fn response_shape() {
+        let mut out = Vec::new();
+        respond(&mut out, 200, "OK", "text/plain", b"ok\n").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 3\r\n"));
+        assert!(text.ends_with("\r\n\r\nok\n"));
+    }
+}

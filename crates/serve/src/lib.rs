@@ -1,0 +1,161 @@
+//! A std-only HTTP/1.1 serving daemon for fitted imputation models.
+//!
+//! This is the network half of the workspace's learn-once / impute-millions
+//! story: `iim fit --save model.iim` persists the offline phase
+//! (`iim-persist`), `iim serve model.iim` loads it into a long-lived
+//! process, and clients stream single tuples or batches over HTTP —
+//! no re-learning on restart, no framework dependencies.
+//!
+//! Requests funnel through a **micro-batching queue** ([`batch::Batcher`]):
+//! concurrent requests coalesce into one deterministic indexed map over
+//! the shared [`iim_exec::Pool`], each worker serving through the fitted
+//! model's per-thread scratch. Batching can never change an answer —
+//! `impute_one` is a pure function of the fitted state and the query — so
+//! the daemon's fills are **byte-identical** to `iim impute` run offline
+//! on the same queries (asserted end-to-end by the CI serving job).
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use iim_serve::{ServeConfig, Server};
+//!
+//! # fn model() -> Arc<dyn iim_data::FittedImputer> { unimplemented!() }
+//! let server = Server::bind(model(), &ServeConfig {
+//!     addr: "127.0.0.1:7878".into(),
+//!     threads: 4,
+//!     ..ServeConfig::default()
+//! }).unwrap();
+//! println!("listening on {}", server.local_addr().unwrap());
+//! server.run(); // blocks; curl -sf --data-binary @queries.csv http://127.0.0.1:7878/impute
+//! ```
+//!
+//! See [`server`] for the endpoint table and error mapping.
+
+pub mod batch;
+pub mod http;
+pub mod server;
+
+pub use batch::Batcher;
+pub use server::{ServeConfig, Server, ServerHandle};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iim_data::{FittedImputer, Imputer, PerAttributeImputer};
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+    use std::sync::Arc;
+
+    fn fitted() -> Arc<dyn FittedImputer> {
+        let (rel, _) = iim_data::paper_fig1();
+        Arc::from(
+            PerAttributeImputer::new(iim_core::Iim::new(iim_core::IimConfig {
+                k: 3,
+                ..Default::default()
+            }))
+            .fit(&rel)
+            .unwrap(),
+        )
+    }
+
+    fn start() -> (ServerHandle, Arc<dyn FittedImputer>) {
+        start_with_schema(Vec::new())
+    }
+
+    fn start_with_schema(schema: Vec<String>) -> (ServerHandle, Arc<dyn FittedImputer>) {
+        let model = fitted();
+        let server = Server::bind(
+            Arc::clone(&model),
+            &ServeConfig {
+                addr: "127.0.0.1:0".into(),
+                threads: 2,
+                schema,
+            },
+        )
+        .unwrap();
+        (server.spawn().unwrap(), model)
+    }
+
+    fn roundtrip(addr: std::net::SocketAddr, request: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(request.as_bytes()).unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    fn post_impute(addr: std::net::SocketAddr, body: &str) -> String {
+        roundtrip(
+            addr,
+            &format!(
+                "POST /impute HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            ),
+        )
+    }
+
+    #[test]
+    fn health_info_and_impute_end_to_end() {
+        let (handle, model) = start();
+        let addr = handle.addr();
+
+        let health = roundtrip(addr, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(health.starts_with("HTTP/1.1 200"), "{health}");
+
+        let info = roundtrip(addr, "GET /info HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(info.contains("\"method\":\"IIM\""), "{info}");
+        assert!(info.contains("\"arity\":2"), "{info}");
+
+        // Batch of two queries + one blank line (skipped like the CLI).
+        let response = post_impute(addr, "A1,A2\n5.0,?\n\n2.0,\n");
+        assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+        let body = response.split("\r\n\r\n").nth(1).unwrap();
+        let mut lines = body.lines();
+        assert_eq!(lines.next(), Some("A1,A2"));
+        // Served bits equal direct in-process serving.
+        let direct = model.impute_one(&[Some(5.0), None]).unwrap();
+        let line = lines.next().unwrap();
+        let served: Vec<f64> = line.split(',').map(|v| v.parse().unwrap()).collect();
+        assert_eq!(served[1].to_bits(), direct[1].to_bits());
+
+        let missing = roundtrip(addr, "GET /nope HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+
+        handle.shutdown();
+    }
+
+    #[test]
+    fn parse_and_impute_errors_are_4xx() {
+        let (handle, _) = start();
+        let addr = handle.addr();
+
+        // Ragged row → 400.
+        let response = post_impute(addr, "A1,A2\n1.0\n");
+        assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+
+        // Arity mismatch with the fitted model → 422.
+        let response = post_impute(addr, "A1,A2,A3\n1.0,2.0,?\n");
+        assert!(response.starts_with("HTTP/1.1 422"), "{response}");
+
+        // Empty body → 400.
+        let response = post_impute(addr, "");
+        assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+
+        handle.shutdown();
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected_before_imputing() {
+        let (handle, _) = start_with_schema(vec!["lng".to_string(), "price".to_string()]);
+        let addr = handle.addr();
+
+        // Exact header → served.
+        let ok = post_impute(addr, "lng,price\n5.0,?\n");
+        assert!(ok.starts_with("HTTP/1.1 200"), "{ok}");
+        // Reordered header (same arity!) → 400, never transposed fills.
+        let bad = post_impute(addr, "price,lng\n5.0,?\n");
+        assert!(bad.starts_with("HTTP/1.1 400"), "{bad}");
+        assert!(bad.contains("does not match"), "{bad}");
+
+        handle.shutdown();
+    }
+}

@@ -1,0 +1,280 @@
+//! The daemon: a TCP accept loop routing HTTP requests onto the
+//! micro-batching queue.
+//!
+//! # Endpoints
+//!
+//! | Method | Path       | Body | Response |
+//! |---|---|---|---|
+//! | `GET`  | `/healthz` | —    | `200 ok` once the model is loaded |
+//! | `GET`  | `/info`    | —    | `200` JSON: method name, arity, worker threads |
+//! | `POST` | `/impute`  | CSV with header (the `iim-data` row wire format: missing cells empty/`?`/`NA`) | `200` the completed CSV — **byte-identical** to `iim impute` on the same queries with the same model |
+//!
+//! A one-line body after the header is the single-tuple request; many
+//! lines are a batch. Per-connection parse failures return `400`; a query
+//! the model cannot serve (e.g. an attribute outside the fitted target
+//! set) returns `422` with the typed error message. Either way the daemon
+//! keeps serving — only the offending connection sees the error.
+
+use crate::batch::{Batcher, QueryRow};
+use crate::http::{read_request, respond, HttpError, Request};
+use iim_data::csv;
+use iim_data::FittedImputer;
+use std::io::Write as _;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7878` (port `0` picks an ephemeral
+    /// port — see [`Server::local_addr`]).
+    pub addr: String,
+    /// Impute-pool worker threads (`0` = the process default).
+    pub threads: usize,
+    /// Training column names (e.g. from the snapshot's
+    /// `SnapshotInfo::schema`). Non-empty: request headers must match
+    /// exactly — a reordered or unrelated header would silently impute
+    /// from transposed features. Empty: only arity is checked.
+    pub schema: Vec<String>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7878".into(),
+            threads: 0,
+            schema: Vec::new(),
+        }
+    }
+}
+
+/// A bound (but not yet accepting) daemon.
+pub struct Server {
+    listener: TcpListener,
+    batcher: Arc<Batcher>,
+    model: Arc<dyn FittedImputer>,
+    threads: usize,
+    schema: Arc<[String]>,
+    stop: Arc<AtomicBool>,
+}
+
+/// Handle to a daemon running on a background thread (tests, benches).
+pub struct ServerHandle {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    join: JoinHandle<()>,
+}
+
+impl ServerHandle {
+    /// The daemon's bound address.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the daemon thread.
+    pub fn shutdown(self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Nudge the (blocking) accept loop awake.
+        let _ = TcpStream::connect(self.addr);
+        let _ = self.join.join();
+    }
+}
+
+impl Server {
+    /// Binds the daemon and starts its batcher (the model is ready to
+    /// serve as soon as this returns; `run`/`spawn` only accept sockets).
+    pub fn bind(model: Arc<dyn FittedImputer>, cfg: &ServeConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let batcher = Arc::new(Batcher::start(Arc::clone(&model), cfg.threads));
+        Ok(Self {
+            listener,
+            batcher,
+            model,
+            threads: cfg.threads,
+            schema: cfg.schema.clone().into(),
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (resolves port `0`).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Runs the accept loop on the calling thread until `stop` is set
+    /// (never, unless a [`Server::spawn`]ed handle shuts it down).
+    pub fn run(self) {
+        let stop = Arc::clone(&self.stop);
+        for stream in self.listener.incoming() {
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let batcher = Arc::clone(&self.batcher);
+            let model = Arc::clone(&self.model);
+            let schema = Arc::clone(&self.schema);
+            let threads = self.threads;
+            // Thread-per-connection: connections are short-lived (one
+            // request, Connection: close) and the heavy lifting happens on
+            // the shared pool, so this stays cheap and simple.
+            let _ = std::thread::Builder::new()
+                .name("iim-serve-conn".into())
+                .spawn(move || handle_connection(stream, batcher, model, schema, threads));
+        }
+        self.batcher.shutdown();
+    }
+
+    /// Runs the accept loop on a background thread, returning a handle
+    /// with the bound address and a shutdown switch.
+    pub fn spawn(self) -> std::io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let stop = Arc::clone(&self.stop);
+        let join = std::thread::Builder::new()
+            .name("iim-serve-accept".into())
+            .spawn(move || self.run())?;
+        Ok(ServerHandle { addr, stop, join })
+    }
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    batcher: Arc<Batcher>,
+    model: Arc<dyn FittedImputer>,
+    schema: Arc<[String]>,
+    threads: usize,
+) {
+    // A stalled client must not pin the thread forever.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(60)));
+    let request = match read_request(&mut stream) {
+        Ok(r) => r,
+        Err(HttpError::TooLarge) => {
+            let _ = respond(
+                &mut stream,
+                413,
+                "Payload Too Large",
+                "text/plain",
+                b"request body too large\n",
+            );
+            return;
+        }
+        Err(e) => {
+            let _ = respond(
+                &mut stream,
+                400,
+                "Bad Request",
+                "text/plain",
+                format!("{e}\n").as_bytes(),
+            );
+            return;
+        }
+    };
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => {
+            let _ = respond(&mut stream, 200, "OK", "text/plain", b"ok\n");
+        }
+        ("GET", "/info") => {
+            let resolved = if threads > 0 {
+                threads
+            } else {
+                iim_exec::default_threads()
+            };
+            let body = format!(
+                "{{\"method\":\"{}\",\"arity\":{},\"threads\":{}}}\n",
+                model.name(),
+                model.arity(),
+                resolved,
+            );
+            let _ = respond(&mut stream, 200, "OK", "application/json", body.as_bytes());
+        }
+        ("POST", "/impute") => handle_impute(&mut stream, &request, &batcher, &schema),
+        _ => {
+            let _ = respond(&mut stream, 404, "Not Found", "text/plain", b"not found\n");
+        }
+    }
+}
+
+fn handle_impute(stream: &mut TcpStream, request: &Request, batcher: &Batcher, schema: &[String]) {
+    let bad_request = |stream: &mut TcpStream, msg: String| {
+        let _ = respond(
+            stream,
+            400,
+            "Bad Request",
+            "text/plain",
+            format!("{msg}\n").as_bytes(),
+        );
+    };
+    let Ok(text) = std::str::from_utf8(&request.body) else {
+        return bad_request(stream, "body is not UTF-8".into());
+    };
+    let mut lines = text.lines();
+    let Some(header) = lines.next() else {
+        return bad_request(stream, "empty body: missing CSV header".into());
+    };
+    let names = csv::parse_header(header);
+    // With a snapshot schema on board, a reordered or unrelated header is
+    // a hard error — imputing it would silently transpose features.
+    if !schema.is_empty() && names != schema {
+        return bad_request(
+            stream,
+            format!("query header {names:?} does not match the model's schema {schema:?}"),
+        );
+    }
+
+    // Parse all rows up front so a syntax error rejects the request
+    // before any imputation runs. Original body line numbers ride along
+    // (blank lines are skipped) so errors point at the client's input.
+    let mut rows: Vec<QueryRow> = Vec::new();
+    let mut linenos: Vec<usize> = Vec::new();
+    for (idx, line) in lines.enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let lineno = idx + 2;
+        match csv::parse_row(line, names.len(), lineno) {
+            Ok(row) => {
+                rows.push(row);
+                linenos.push(lineno);
+            }
+            Err(e) => return bad_request(stream, e.to_string()),
+        }
+    }
+
+    let Some(results) = batcher.impute(rows) else {
+        // Shutdown in progress, or the batcher died on a panicking model
+        // (its poison guard fails requests instead of wedging them).
+        let _ = respond(
+            stream,
+            503,
+            "Service Unavailable",
+            "text/plain",
+            b"imputation backend unavailable\n",
+        );
+        return;
+    };
+
+    // One failing row fails the request (mirroring the CLI, which aborts
+    // on the first impute error) — but with the row number attached.
+    let mut body = Vec::with_capacity(request.body.len());
+    let _ = writeln!(body, "{header}");
+    for (i, result) in results.iter().enumerate() {
+        match result {
+            Ok(values) => {
+                let _ = writeln!(body, "{}", csv::format_row(values));
+            }
+            Err(e) => {
+                let _ = respond(
+                    stream,
+                    422,
+                    "Unprocessable Entity",
+                    "text/plain",
+                    format!("imputation failed on line {}: {e}\n", linenos[i]).as_bytes(),
+                );
+                return;
+            }
+        }
+    }
+    let _ = respond(stream, 200, "OK", "text/csv", &body);
+}

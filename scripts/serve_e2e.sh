@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# End-to-end serving pipeline, run by CI and runnable locally:
+#
+#   cargo build --release --locked && scripts/serve_e2e.sh
+#
+# For EVERY method in the lineup (`iim methods`):
+#   1. `iim fit --save`        — offline phase → snapshot on disk
+#   2. `iim impute --model`    — stream queries through the loaded snapshot
+#   3. `iim impute --fit-on`   — stream the same queries through an
+#      in-process fit, and diff against (2) byte-for-byte: a snapshot is
+#      the fitted model, not an approximation
+#   4. `iim serve` in the background + curl the same queries (batch and
+#      single-tuple) — diff the daemon's response against (2)
+#      byte-for-byte; any non-2xx fails via curl -f
+#   5. kill the daemon
+#
+# Artifacts (snapshots, expected/served CSVs) land in $E2E_DIR for CI to
+# upload.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=${BIN:-target/release/iim}
+TRAIN=tests/data/serve_train.csv
+QUERIES=tests/data/serve_queries.csv
+E2E_DIR=${E2E_DIR:-e2e}
+PORT=${PORT:-17878}
+K=5
+SEED=42
+
+mkdir -p "$E2E_DIR"
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+METHODS=$("$BIN" methods | sed 's/ (default)//')
+echo "methods under test:" $METHODS
+
+for m in $METHODS; do
+  echo "=== $m ==="
+  # Fresh port per method: the previous daemon's closed connections sit in
+  # TIME_WAIT on its port, and TcpListener::bind (no SO_REUSEADDR) would
+  # intermittently fail with EADDRINUSE if the port were reused.
+  PORT=$((PORT + 1))
+  snap="$E2E_DIR/$m.iim"
+  expected="$E2E_DIR/$m.expected.csv"
+  infit="$E2E_DIR/$m.infit.csv"
+  served="$E2E_DIR/$m.served.csv"
+
+  "$BIN" fit --save "$snap" --method "$m" --k $K --seed $SEED "$TRAIN"
+  "$BIN" impute --model "$snap" --output "$expected" "$QUERIES"
+  "$BIN" impute --fit-on "$TRAIN" --method "$m" --k $K --seed $SEED \
+      --output "$infit" "$QUERIES"
+  cmp "$expected" "$infit" \
+    || fail "$m: snapshot serving diverged from the in-process fit"
+
+  "$BIN" serve "$snap" --addr "127.0.0.1:$PORT" --threads 2 &
+  daemon=$!
+  trap 'kill $daemon 2>/dev/null || true' EXIT
+  up=0
+  for _ in $(seq 1 100); do
+    if curl -sf "http://127.0.0.1:$PORT/healthz" >/dev/null 2>&1; then up=1; break; fi
+    sleep 0.1
+  done
+  [ "$up" = 1 ] || fail "$m: daemon never became healthy"
+
+  curl -sf "http://127.0.0.1:$PORT/info" | grep -q "\"method\":\"$m\"" \
+    || fail "$m: /info does not report the method"
+  # Batch request: the whole query file in one POST.
+  curl -sf --data-binary "@$QUERIES" "http://127.0.0.1:$PORT/impute" > "$served" \
+    || fail "$m: batch /impute returned non-2xx"
+  cmp "$served" "$expected" \
+    || fail "$m: daemon response diverged from iim impute output"
+  # Single-tuple request: header + first query row.
+  head -2 "$QUERIES" | curl -sf --data-binary @- "http://127.0.0.1:$PORT/impute" \
+      > "$E2E_DIR/$m.single.csv" \
+    || fail "$m: single-tuple /impute returned non-2xx"
+  head -2 "$expected" | cmp - "$E2E_DIR/$m.single.csv" \
+    || fail "$m: single-tuple response diverged from the batch fill"
+
+  kill $daemon
+  wait $daemon 2>/dev/null || true
+  trap - EXIT
+done
+
+echo "OK: every method round-tripped fit -> save -> load -> serve with byte-identical fills"

@@ -3,6 +3,9 @@
 //! ```text
 //! iim impute [--method IIM] [--k 10] [--seed 42] [--threads 4] [--output out.csv] input.csv
 //! iim impute --fit-on train.csv queries.csv   # fit once, stream queries
+//! iim impute --model model.iim queries.csv    # load a snapshot, stream queries
+//! iim fit --save model.iim train.csv          # offline phase → snapshot on disk
+//! iim serve model.iim --addr 127.0.0.1:7878   # HTTP daemon over a snapshot
 //! iim profile input.csv          # R²_S / R²_H diagnostics per attribute
 //! iim methods                    # list available methods
 //! ```
@@ -12,19 +15,28 @@
 //! the completed CSV (stdout by default). With `--fit-on TRAIN.csv` the
 //! method runs its offline phase on the training file once and then
 //! streams the input file's tuples through the fitted model one by one —
-//! the learn-once / impute-millions split of the paper's §VI-B3.
-//! `profile` reports how sparse / heterogeneous each attribute is, i.e.
-//! which method family the data favours.
+//! the learn-once / impute-millions split of the paper's §VI-B3. With
+//! `--model MODEL.iim` the offline phase is skipped entirely: the fitted
+//! model is loaded from an `iim fit --save` snapshot and serves the same
+//! bits it would have served in the fitting process.
+//! `fit` runs the offline phase once and persists it; `serve` turns a
+//! snapshot into a long-lived HTTP daemon (`POST /impute`, `GET /healthz`,
+//! `GET /info`) whose fills are byte-identical to `iim impute` on the same
+//! queries. `profile` reports how sparse / heterogeneous each attribute
+//! is, i.e. which method family the data favours.
 
 use iim::prelude::*;
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn usage() -> String {
     "usage:\
      \n  iim impute [--method NAME] [--k N] [--seed S] [--threads T] [--index auto|brute|kdtree] \
-     [--fit-on TRAIN.csv] [--output FILE] INPUT.csv\
+     [--fit-on TRAIN.csv | --model MODEL.iim] [--output FILE] INPUT.csv\
+     \n  iim fit --save MODEL.iim [--method NAME] [--k N] [--seed S] [--threads T] \
+     [--index auto|brute|kdtree] TRAIN.csv\
+     \n  iim serve MODEL.iim [--addr 127.0.0.1:7878] [--threads T]\
      \n  iim profile INPUT.csv\
      \n  iim methods"
         .to_string()
@@ -34,6 +46,8 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("impute") => impute(&args[1..]),
+        Some("fit") => fit(&args[1..]),
+        Some("serve") => serve_daemon(&args[1..]),
         Some("profile") => profile(&args[1..]),
         Some("methods") => {
             // One source of truth: the first lineup entry is the default.
@@ -67,6 +81,10 @@ struct Flags {
     seed: u64,
     index: iim_core::IndexChoice,
     fit_on: Option<String>,
+    model: Option<String>,
+    save: Option<String>,
+    addr: String,
+    threads: usize,
     output: Option<String>,
     input: Option<String>,
 }
@@ -78,6 +96,10 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         seed: 42,
         index: iim_core::IndexChoice::Auto,
         fit_on: None,
+        model: None,
+        save: None,
+        addr: "127.0.0.1:7878".to_string(),
+        threads: 0,
         output: None,
         input: None,
     };
@@ -106,6 +128,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 // Process-wide: every pool (learning, serving, baselines)
                 // sees it; overrides IIM_THREADS for this invocation.
                 iim_exec::set_default_threads(t);
+                f.threads = t;
             }
             "--index" => {
                 // Never changes the imputed values, only serving latency;
@@ -116,6 +139,9 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     .ok_or("--index needs one of: auto, brute, kdtree")?
             }
             "--fit-on" => f.fit_on = Some(it.next().ok_or("--fit-on needs a path")?.clone()),
+            "--model" => f.model = Some(it.next().ok_or("--model needs a path")?.clone()),
+            "--save" => f.save = Some(it.next().ok_or("--save needs a path")?.clone()),
+            "--addr" => f.addr = it.next().ok_or("--addr needs host:port")?.clone(),
             "--output" | "-o" => f.output = Some(it.next().ok_or("--output needs a path")?.clone()),
             path if !path.starts_with('-') => f.input = Some(path.to_string()),
             other => return Err(format!("unknown flag {other:?}")),
@@ -146,6 +172,31 @@ fn impute(args: &[String]) -> ExitCode {
         eprintln!("error: missing input file");
         return ExitCode::from(2);
     };
+    if flags.model.is_some() && flags.fit_on.is_some() {
+        eprintln!("error: --model and --fit-on are mutually exclusive");
+        return ExitCode::from(2);
+    }
+    if let Some(model_path) = flags.model.clone() {
+        // Snapshot serving: no offline phase in this process at all.
+        let t0 = Instant::now();
+        let (fitted, info) = match load_snapshot(&model_path) {
+            Ok(pair) => pair,
+            Err(code) => return code,
+        };
+        let offline = t0.elapsed();
+        let provenance = format!("loaded {} from {model_path}", fitted.name());
+        // The snapshot's recorded schema (when present) guards against a
+        // query file with reordered or unrelated columns.
+        let expect = (!info.schema.is_empty()).then_some(info.schema.as_slice());
+        return stream_queries(
+            &flags,
+            &input,
+            fitted.as_ref(),
+            expect,
+            offline,
+            &provenance,
+        );
+    }
     let method = match build_method(&flags.method, flags.k, flags.seed, flags.index) {
         Ok(m) => m,
         Err(e) => {
@@ -157,6 +208,139 @@ fn impute(args: &[String]) -> ExitCode {
         Some(train_path) => serve(&flags, &input, train_path, method.as_ref()),
         None => impute_batch_file(&flags, &input, method.as_ref()),
     }
+}
+
+/// Loads a snapshot plus its container metadata, mapping failures to the
+/// CLI's data-error exit code.
+fn load_snapshot(
+    model_path: &str,
+) -> Result<(Box<dyn FittedImputer>, iim_persist::SnapshotInfo), ExitCode> {
+    let bytes = std::fs::read(model_path).map_err(|e| {
+        eprintln!("error loading {model_path}: {e}");
+        ExitCode::FAILURE
+    })?;
+    iim_persist::load_from_slice_with_info(&bytes).map_err(|e| {
+        eprintln!("error loading {model_path}: {e}");
+        ExitCode::FAILURE
+    })
+}
+
+/// `iim fit --save MODEL.iim TRAIN.csv`: the offline phase once, persisted
+/// as a deployment artifact (`iim-persist` snapshot).
+fn fit(args: &[String]) -> ExitCode {
+    let flags = match parse_flags(args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(train_path) = flags.input.clone() else {
+        eprintln!("error: missing training file");
+        return ExitCode::from(2);
+    };
+    let Some(save_path) = flags.save.clone() else {
+        eprintln!("error: fit needs --save MODEL.iim (where to put the snapshot)");
+        return ExitCode::from(2);
+    };
+    let method = match build_method(&flags.method, flags.k, flags.seed, flags.index) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let train = match iim::data::csv::read_path(&train_path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error reading {train_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let t0 = Instant::now();
+    // Fit every attribute: a later query may be missing any of them.
+    let fitted = match method.fit(&train) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("offline phase failed on {train_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let offline = t0.elapsed();
+    let t1 = Instant::now();
+    // Record the training header in the snapshot so serving layers can
+    // reject query files with reordered or unrelated columns.
+    let bytes = match iim_persist::save_to_vec_with_schema(fitted.as_ref(), train.schema().names())
+    {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("snapshot failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::write(&save_path, &bytes) {
+        eprintln!("error writing {save_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    let save_s = t1.elapsed();
+    eprintln!(
+        "{save_path}: {} fitted on {train_path} ({} rows x {} attrs) in {:.4}s; \
+         snapshot {} bytes written in {:.4}s",
+        fitted.name(),
+        train.n_rows(),
+        train.arity(),
+        offline.as_secs_f64(),
+        bytes.len(),
+        save_s.as_secs_f64(),
+    );
+    ExitCode::SUCCESS
+}
+
+/// `iim serve MODEL.iim`: a long-lived HTTP daemon over a snapshot.
+fn serve_daemon(args: &[String]) -> ExitCode {
+    let flags = match parse_flags(args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(model_path) = flags.input.clone() else {
+        eprintln!("error: missing MODEL.iim (produce one with `iim fit --save`)");
+        return ExitCode::from(2);
+    };
+    let t0 = Instant::now();
+    let (fitted, info) = match load_snapshot(&model_path) {
+        Ok(pair) => pair,
+        Err(code) => return code,
+    };
+    let load_s = t0.elapsed();
+    let model: std::sync::Arc<dyn FittedImputer> = std::sync::Arc::from(fitted);
+    let cfg = iim_serve::ServeConfig {
+        addr: flags.addr.clone(),
+        threads: flags.threads,
+        schema: info.schema,
+    };
+    let server = match iim_serve::Server::bind(std::sync::Arc::clone(&model), &cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error binding {}: {e}", cfg.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = server
+        .local_addr()
+        .map(|a| a.to_string())
+        .unwrap_or(cfg.addr);
+    eprintln!(
+        "serving {} (arity {}) from {model_path} (loaded in {:.4}s) on http://{addr} — \
+         POST /impute, GET /healthz, GET /info",
+        model.name(),
+        model.arity(),
+        load_s.as_secs_f64(),
+    );
+    server.run();
+    ExitCode::SUCCESS
 }
 
 /// The classic one-shot path: fit on the input itself, fill it, write it.
@@ -216,7 +400,33 @@ fn serve(flags: &Flags, input: &str, train_path: &str, method: &dyn Imputer) -> 
         }
     };
     let offline = t0.elapsed();
+    let provenance = format!(
+        "fitted {} on {train_path} ({} rows)",
+        method.name(),
+        train.n_rows()
+    );
+    stream_queries(
+        flags,
+        input,
+        fitted.as_ref(),
+        Some(train.schema().names()),
+        offline,
+        &provenance,
+    )
+}
 
+/// Streams the input file's tuples through a fitted model one at a time —
+/// shared by `--fit-on` (fit in-process) and `--model` (snapshot loaded
+/// from disk), so both paths produce byte-identical output for the same
+/// fitted state.
+fn stream_queries(
+    flags: &Flags,
+    input: &str,
+    fitted: &dyn FittedImputer,
+    expect_names: Option<&[String]>,
+    offline: Duration,
+    provenance: &str,
+) -> ExitCode {
     let file = match std::fs::File::open(input) {
         Ok(f) => f,
         Err(e) => {
@@ -233,10 +443,18 @@ fn serve(flags: &Flags, input: &str, train_path: &str, method: &dyn Imputer) -> 
         }
     };
     let names = iim::data::csv::parse_header(&header);
-    if names != train.schema().names() {
+    if let Some(expected) = expect_names {
+        if names != expected {
+            eprintln!("error: query header {names:?} does not match training header {expected:?}");
+            return ExitCode::FAILURE;
+        }
+    }
+    // A snapshot carries no schema, only the fitted arity.
+    if names.len() != fitted.arity() {
         eprintln!(
-            "error: query header {names:?} does not match training header {:?}",
-            train.schema().names()
+            "error: query header has {} attributes but the model serves {}",
+            names.len(),
+            fitted.arity()
         );
         return ExitCode::FAILURE;
     }
@@ -304,12 +522,8 @@ fn serve(flags: &Flags, input: &str, train_path: &str, method: &dyn Imputer) -> 
     }
     let per_query = timings.online.as_secs_f64() / served.max(1) as f64;
     eprintln!(
-        "{}: fitted {} on {} ({} rows); served {served} queries ({filled_cells} cells filled), \
+        "{input}: {provenance}; served {served} queries ({filled_cells} cells filled), \
          {:.1} us/query; {}",
-        input,
-        method.name(),
-        train_path,
-        train.n_rows(),
         per_query * 1e6,
         timings,
     );

@@ -129,9 +129,20 @@
 //! | [`linalg`] | `iim-linalg` | dense kernels: Cholesky/LU, Jacobi eigen, thin SVD, ridge, Gram accumulators |
 //! | [`ml`] | `iim-ml` | k-means + purity, kNN classifier + F1 (Table VII) |
 //! | [`datagen`] | `iim-datagen` | calibrated analogs of ASF, CCS, CCPP, SN, PHASE, CA, DA, MAM, HEP |
+//! | [`persist`] | `iim-persist` | versioned binary model snapshots (save/load every fitted imputer bit-exactly) |
+//! | [`serve`] | `iim-serve` | std-only HTTP/1.1 daemon over a micro-batching queue |
 //!
 //! Experiments: `cargo run -p iim-bench --release --bin all` regenerates
 //! every table and figure into `bench_results/`.
+//!
+//! ## Deployment
+//!
+//! The offline phase survives the process: [`persist`] snapshots any
+//! fitted lineup model to a checksummed, versioned binary file whose
+//! loaded form serves **bitwise-identical** fills, and [`serve`] turns it
+//! into a long-lived HTTP daemon (`iim fit --save model.iim` /
+//! `iim serve model.iim`). See the README's *Deployment* section for the
+//! format guarantees and an example curl session.
 
 pub use iim_baselines as baselines;
 pub use iim_core as core;
@@ -141,6 +152,8 @@ pub use iim_exec as exec;
 pub use iim_linalg as linalg;
 pub use iim_ml as ml;
 pub use iim_neighbors as neighbors;
+pub use iim_persist as persist;
+pub use iim_serve as serve;
 
 pub mod methods;
 

@@ -196,3 +196,124 @@ fn fit_on_rejects_mismatched_headers() {
     assert_eq!(out.status.code(), Some(1));
     assert!(String::from_utf8_lossy(&out.stderr).contains("does not match"));
 }
+
+/// `fit --save` + `impute --model`: the snapshot lifecycle, byte-for-byte
+/// against the in-process `--fit-on` path (the CI serving job asserts the
+/// same identity through the HTTP daemon; see scripts/serve_e2e.sh).
+#[test]
+fn fit_save_then_impute_model_matches_fit_on_exactly() {
+    let dir = temp_dir("fit-save");
+    let train = "tests/data/serve_train.csv";
+    let queries = "tests/data/serve_queries.csv";
+    let snap = dir.join("model.iim");
+    let from_model = dir.join("from_model.csv");
+    let from_fit = dir.join("from_fit.csv");
+
+    let out = Command::new(iim_bin())
+        .args([
+            "fit",
+            "--save",
+            snap.to_str().unwrap(),
+            "--method",
+            "IIM",
+            "--k",
+            "5",
+            train,
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "fit failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("snapshot"),
+        "snapshot size reported"
+    );
+
+    // The snapshot is a valid iim-persist container.
+    let bytes = std::fs::read(&snap).unwrap();
+    let info = iim_persist::inspect(&bytes).unwrap();
+    assert_eq!(info.method, "IIM");
+
+    let status = Command::new(iim_bin())
+        .args([
+            "impute",
+            "--model",
+            snap.to_str().unwrap(),
+            "--output",
+            from_model.to_str().unwrap(),
+            queries,
+        ])
+        .status()
+        .unwrap();
+    assert!(status.success());
+    let status = Command::new(iim_bin())
+        .args([
+            "impute",
+            "--fit-on",
+            train,
+            "--method",
+            "IIM",
+            "--k",
+            "5",
+            "--output",
+            from_fit.to_str().unwrap(),
+            queries,
+        ])
+        .status()
+        .unwrap();
+    assert!(status.success());
+
+    let a = std::fs::read(&from_model).unwrap();
+    let b = std::fs::read(&from_fit).unwrap();
+    assert_eq!(a, b, "snapshot serving must be byte-identical to --fit-on");
+}
+
+/// `fit` without `--save`, `impute` with both sources, and a corrupt
+/// snapshot are all typed CLI errors, not panics.
+#[test]
+fn snapshot_cli_error_paths() {
+    let dir = temp_dir("fit-errors");
+    let train = "tests/data/serve_train.csv";
+
+    let out = Command::new(iim_bin())
+        .args(["fit", train])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--save"));
+
+    let out = Command::new(iim_bin())
+        .args([
+            "impute",
+            "--model",
+            "m.iim",
+            "--fit-on",
+            train,
+            "queries.csv",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("mutually exclusive"));
+
+    let bogus = dir.join("bogus.iim");
+    std::fs::write(&bogus, b"definitely not a snapshot").unwrap();
+    let out = Command::new(iim_bin())
+        .args([
+            "impute",
+            "--model",
+            bogus.to_str().unwrap(),
+            "tests/data/serve_queries.csv",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("not an iim snapshot"),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

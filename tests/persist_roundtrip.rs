@@ -1,0 +1,208 @@
+//! The snapshot contract, property-tested per lineup method (all 14: IIM +
+//! the thirteen Table II baselines):
+//!
+//! * **Round-trip invariant**: `fit → save → load → impute_all` is
+//!   **bitwise-identical** to the never-serialized fitted model — on a
+//!   serial pool and on 4 workers — and single-tuple serving agrees too,
+//!   including the query-keyed randomness of BLR/PMM and per-target
+//!   `NotFitted` contracts. A snapshot is a deployment artifact, not an
+//!   approximation.
+//! * **Canonical bytes**: re-saving a loaded model reproduces the exact
+//!   snapshot bytes (encode ∘ decode is the identity on the wire).
+//! * **Total loading**: truncating the snapshot at *every* byte offset,
+//!   flipping *any* single byte, or bumping the format version yields a
+//!   typed [`iim_persist::PersistError`] — never a panic, never a bogus
+//!   model.
+
+use iim::prelude::*;
+use iim_data::inject::inject_random;
+use iim_exec::Pool;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// IIM + all thirteen baselines, through the same single source of truth
+/// the CLI uses.
+fn all_fourteen(k: usize, seed: u64) -> Vec<Box<dyn Imputer>> {
+    iim::methods::lineup(k, seed)
+}
+
+/// A random relation shaped like `tests/fit_serve.rs`'s workloads:
+/// `n` correlated-ish complete rows (n ≥ m so SVDimpute applies) plus a
+/// few injected holes.
+fn arb_workload() -> impl Strategy<Value = Relation> {
+    (12usize..30, 3usize..5, 1usize..5, 0u64..1000).prop_flat_map(|(n, m, holes, inj_seed)| {
+        proptest::collection::vec(proptest::collection::vec(-20.0..20.0f64, m), n..=n).prop_map(
+            move |rows| {
+                let rows: Vec<Vec<f64>> = rows
+                    .iter()
+                    .enumerate()
+                    .map(|(i, r)| {
+                        r.iter()
+                            .enumerate()
+                            .map(|(j, v)| v * 0.3 + i as f64 * 0.5 + j as f64)
+                            .collect()
+                    })
+                    .collect();
+                let mut rel = Relation::from_rows(Schema::anonymous(m), &rows);
+                let holes = holes.min(n / 3);
+                inject_random(&mut rel, holes, &mut StdRng::seed_from_u64(inj_seed));
+                rel
+            },
+        )
+    })
+}
+
+/// Bitwise relation equality including missing cells (Relation's
+/// `PartialEq` is already bit-level with NaN==NaN).
+fn assert_bitwise_equal(a: &Relation, b: &Relation, what: &str) {
+    assert!(a == b, "{what}: relations diverge");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn saved_and_loaded_models_serve_identical_bits(rel in arb_workload()) {
+        let serial = Pool::serial();
+        let four = Pool::new(4).with_serial_cutoff(1);
+        for method in all_fourteen(4, 9) {
+            let fitted = match method.fit(&rel) {
+                Ok(f) => f,
+                Err(ImputeError::Unsupported(_)) => continue, // paper's "-"
+                Err(e) => panic!("{} failed to fit: {e}", method.name()),
+            };
+            let bytes = iim_persist::save_to_vec(fitted.as_ref())
+                .unwrap_or_else(|e| panic!("{} failed to save: {e}", method.name()));
+            let loaded = iim_persist::load_from_slice(&bytes)
+                .unwrap_or_else(|e| panic!("{} failed to load: {e}", method.name()));
+            prop_assert_eq!(loaded.name(), fitted.name());
+            prop_assert_eq!(loaded.arity(), fitted.arity());
+
+            // Canonical bytes: encode ∘ decode is the wire identity.
+            let resaved = iim_persist::save_to_vec(loaded.as_ref()).unwrap();
+            prop_assert_eq!(
+                &bytes, &resaved,
+                "{}: re-saving a loaded model changed the bytes", method.name()
+            );
+
+            // Whole-relation serving: bitwise equal at 1 and 4 workers.
+            let reference = fitted.impute_all_on(&serial, &rel).unwrap();
+            let one_worker = loaded.impute_all_on(&serial, &rel).unwrap();
+            assert_bitwise_equal(&reference, &one_worker, method.name());
+            let four_workers = loaded.impute_all_on(&four, &rel).unwrap();
+            assert_bitwise_equal(&reference, &four_workers, method.name());
+
+            // Single-tuple serving on novel queries: same bits, same
+            // errors (NotFitted for dropped targets included).
+            for j in 0..rel.arity() {
+                let mut query: Vec<Option<f64>> =
+                    (0..rel.arity()).map(|a| Some(0.75 * a as f64 + 1.25)).collect();
+                query[j] = None;
+                match (fitted.impute_one(&query), loaded.impute_one(&query)) {
+                    (Ok(a), Ok(b)) => {
+                        for (x, y) in a.iter().zip(&b) {
+                            prop_assert_eq!(
+                                x.to_bits(), y.to_bits(),
+                                "{}: single-tuple fill diverged", method.name()
+                            );
+                        }
+                    }
+                    (Err(a), Err(b)) => prop_assert_eq!(
+                        a, b, "{}: error contract diverged", method.name()
+                    ),
+                    (a, b) => panic!(
+                        "{}: outcomes diverged: {a:?} vs {b:?}", method.name()
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// A tiny fitted model per shape family, for exhaustive corruption sweeps.
+fn small_snapshots() -> Vec<(String, Vec<u8>)> {
+    let mut rel = Relation::with_capacity(Schema::anonymous(3), 0);
+    for i in 0..14 {
+        let x = i as f64;
+        rel.push_row(&[x, 2.0 * x + 1.0, 10.0 - 0.5 * x]);
+    }
+    rel.push_row_opt(&[Some(3.5), None, Some(8.0)]);
+    ["Mean", "IIM", "SVD", "ILLS", "ERACER", "IFC"]
+        .iter()
+        .map(|name| {
+            let method = iim::methods::by_name(name, 3, 7).expect("lineup method");
+            let fitted = method.fit(&rel).expect("fit");
+            let bytes = iim_persist::save_to_vec(fitted.as_ref()).expect("save");
+            (name.to_string(), bytes)
+        })
+        .collect()
+}
+
+#[test]
+fn every_truncation_offset_is_a_typed_error() {
+    for (name, bytes) in small_snapshots() {
+        for cut in 0..bytes.len() {
+            assert!(
+                iim_persist::load_from_slice(&bytes[..cut]).is_err(),
+                "{name}: prefix of {cut}/{} bytes loaded successfully",
+                bytes.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn every_single_byte_flip_is_a_typed_error() {
+    // Every byte is covered by a validated header field or the payload
+    // checksum, so no single-bit storage corruption can produce a model.
+    for (name, bytes) in small_snapshots() {
+        for at in 0..bytes.len() {
+            let mut evil = bytes.clone();
+            evil[at] ^= 0x20;
+            assert!(
+                iim_persist::load_from_slice(&evil).is_err(),
+                "{name}: flip at byte {at}/{} loaded successfully",
+                bytes.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn wrong_version_is_refused_with_the_version_error() {
+    let (_, bytes) = small_snapshots().remove(0);
+    let mut newer = bytes;
+    let v = iim_persist::FORMAT_VERSION + 1;
+    newer[8..10].copy_from_slice(&v.to_le_bytes());
+    match iim_persist::load_from_slice(&newer) {
+        Err(iim_persist::PersistError::UnsupportedVersion { found, supported }) => {
+            assert_eq!(found, v);
+            assert_eq!(supported, iim_persist::FORMAT_VERSION);
+        }
+        Err(other) => panic!("expected UnsupportedVersion, got {other:?}"),
+        Ok(_) => panic!("expected UnsupportedVersion, got a model"),
+    }
+}
+
+#[test]
+fn snapshot_info_matches_the_model() {
+    let (rel, _) = iim::data::paper_fig1();
+    for method in all_fourteen(3, 5) {
+        let fitted = match method.fit(&rel) {
+            Ok(f) => f,
+            Err(_) => continue, // SVD & co. need more attributes
+        };
+        let bytes = iim_persist::save_to_vec(fitted.as_ref()).unwrap();
+        let info = iim_persist::inspect(&bytes).unwrap();
+        assert_eq!(info.method, fitted.name());
+        assert_eq!(info.version, iim_persist::FORMAT_VERSION);
+        // Container overhead: 8 magic + 2 version + 2 tag length + tag
+        // + 2 schema count (empty here) + 8 payload length + payload
+        // + 8 checksum.
+        assert_eq!(
+            info.payload_len as usize + info.method.len() + 30,
+            bytes.len()
+        );
+    }
+}
