@@ -4,7 +4,7 @@
 //! ℓ = n (Proposition 2).
 
 use iim_data::{AttrEstimator, AttrPredictor, AttrTask, ImputeError};
-use iim_linalg::{ridge_fit, RidgeModel};
+use iim_linalg::{GramAccumulator, RidgeModel};
 
 /// The GLR baseline.
 #[derive(Debug, Clone, Copy)]
@@ -20,16 +20,75 @@ impl Default for Glr {
     }
 }
 
-/// The fitted state: one global ridge model.
-pub struct GlrModel(pub RidgeModel);
+/// The fitted state: one global ridge model plus the Gram accumulator it
+/// was solved from.
+///
+/// Keeping the accumulator makes incremental absorbs bitwise-equal to a
+/// refit: `ridge_fit` and [`GramAccumulator::add_row`] share the same
+/// per-row accumulation (`accumulate_augmented`) and the same regularized
+/// solver, so extending the accumulator with an appended row and
+/// re-solving reproduces exactly the bits a from-scratch refit on the
+/// grown relation would compute.
+pub struct GlrModel {
+    acc: GramAccumulator,
+    alpha: f64,
+    model: RidgeModel,
+}
+
+impl GlrModel {
+    /// Solves the accumulated system and wraps it (the snapshot decode
+    /// path). Returns `None` when the regularized solve fails (requires
+    /// non-finite accumulated state).
+    pub fn from_parts(acc: GramAccumulator, alpha: f64) -> Option<Self> {
+        let model = acc.solve(alpha)?;
+        Some(Self { acc, alpha, model })
+    }
+
+    /// The running Gram accumulator (the snapshot encode path).
+    pub fn accumulator(&self) -> &GramAccumulator {
+        &self.acc
+    }
+
+    /// The ridge α applied at every (re)solve.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The currently solved ridge model.
+    pub fn model(&self) -> &RidgeModel {
+        &self.model
+    }
+}
 
 impl AttrPredictor for GlrModel {
     fn predict(&self, x: &[f64]) -> f64 {
-        self.0.predict(x)
+        self.model.predict(x)
     }
 
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
+    }
+
+    fn absorb(&mut self, x: &[f64], y: f64) -> Result<(), ImputeError> {
+        self.acc.add_row(x, y);
+        match self.acc.solve(self.alpha) {
+            Some(m) => {
+                self.model = m;
+                Ok(())
+            }
+            None => {
+                // Roll the observation back out so the model keeps serving
+                // its last consistent state.
+                self.acc.remove_row(x, y);
+                Err(ImputeError::Unsupported(
+                    "absorb produced an unsolvable Gram system".into(),
+                ))
+            }
+        }
+    }
+
+    fn can_absorb(&self) -> bool {
+        true
     }
 }
 
@@ -44,10 +103,16 @@ impl AttrEstimator for Glr {
                 target: task.target,
             });
         }
+        // Accumulate rows in train-row order — the same additions, in the
+        // same order, as `ridge_fit` would apply — then solve once.
         let (xs, ys) = task.training_matrix();
-        let model = ridge_fit(xs.iter().map(|v| v.as_slice()), &ys, self.alpha)
+        let mut acc = GramAccumulator::new(task.features.len());
+        for (x, &y) in xs.iter().zip(&ys) {
+            acc.add_row(x, y);
+        }
+        let model = GlrModel::from_parts(acc, self.alpha)
             .ok_or_else(|| ImputeError::Unsupported("non-finite design".into()))?;
-        Ok(Box::new(GlrModel(model)))
+        Ok(Box::new(model))
     }
 }
 

@@ -8,20 +8,46 @@ use iim_data::{AttrEstimator, AttrPredictor, AttrTask, ImputeError};
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Mean;
 
-/// The fitted state: the training-target mean, ignoring every feature.
+/// The fitted state: the running target sum and count behind the mean,
+/// ignoring every feature.
+///
+/// Storing the *sum* rather than the precomputed mean makes incremental
+/// absorbs bitwise-equal to a refit: a refit sums the training targets in
+/// row order and divides once, so extending the same sum one appended row
+/// at a time reproduces exactly the bits a refit on the grown relation
+/// would compute.
 #[derive(Debug, Clone, Copy)]
 pub struct MeanModel {
-    /// Attribute mean over the complete training tuples.
-    pub mean: f64,
+    /// Running sum of the training targets, in train-row order.
+    pub sum: f64,
+    /// Number of training targets behind `sum`.
+    pub count: usize,
+}
+
+impl MeanModel {
+    /// The attribute mean (`sum / count`) — the served prediction.
+    pub fn mean(&self) -> f64 {
+        self.sum / self.count.max(1) as f64
+    }
 }
 
 impl AttrPredictor for MeanModel {
     fn predict(&self, _x: &[f64]) -> f64 {
-        self.mean
+        self.mean()
     }
 
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
+    }
+
+    fn absorb(&mut self, _x: &[f64], y: f64) -> Result<(), ImputeError> {
+        self.sum += y;
+        self.count += 1;
+        Ok(())
+    }
+
+    fn can_absorb(&self) -> bool {
+        true
     }
 }
 
@@ -41,8 +67,10 @@ impl AttrEstimator for Mean {
             .iter()
             .map(|&r| task.target_value(r as usize))
             .sum();
-        let mean = sum / task.n_train() as f64;
-        Ok(Box::new(MeanModel { mean }))
+        Ok(Box::new(MeanModel {
+            sum,
+            count: task.n_train(),
+        }))
     }
 }
 

@@ -20,14 +20,13 @@
 
 use iim_bench::{report::results_dir, Args, Table};
 use iim_core::{AdaptiveConfig, Iim, IimConfig, Learning};
-use iim_data::{FittedImputer, Imputer, PerAttributeImputer, Relation, Schema};
+use iim_data::{Imputer, PerAttributeImputer, Relation, Schema};
 use iim_serve::{ServeConfig, Server};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt::Write as _;
 use std::io::{Read, Write as _};
 use std::net::TcpStream;
-use std::sync::Arc;
 use std::time::Instant;
 
 /// Linear-plus-noise training relation (cf. the `serving` bin's data) —
@@ -170,9 +169,8 @@ fn main() {
             }
 
             // Daemon throughput over the loaded snapshot.
-            let model: Arc<dyn FittedImputer> = Arc::from(loaded);
             let server = Server::bind(
-                model,
+                loaded,
                 &ServeConfig {
                     addr: "127.0.0.1:0".into(),
                     threads: args.threads.unwrap_or(0),

@@ -60,6 +60,6 @@ pub use impute::{
     combine_candidates, combine_candidates_with, impute_candidates, impute_candidates_into,
     impute_with_scratch, ImputeScratch,
 };
-pub use imputer::{Iim, IimModel};
+pub use imputer::{Iim, IimModel, IIM_ABSORB_TOLERANCE};
 pub use learn::learn_fixed;
 pub use multiple::ImputationDistribution;

@@ -166,6 +166,40 @@ pub trait FittedImputer: Send + Sync {
     /// `is_finite()`, as [`FittedImputer::impute_all`] does.
     fn impute_one(&self, row: &RowOpt) -> Result<Vec<f64>, ImputeError>;
 
+    /// Incremental learning: absorbs one **complete** tuple into the
+    /// fitted state, as if it had been part of the fit relation all along
+    /// (appended after the original training rows).
+    ///
+    /// The equivalence contract, property-tested in `tests/streaming.rs`:
+    /// absorb-then-impute is **bitwise-equal** to refit-from-scratch for
+    /// the running-statistics methods (Mean, GLR) and within a documented
+    /// per-cell tolerance for IIM (`iim_core::IIM_ABSORB_TOLERANCE`),
+    /// independent of worker count.
+    ///
+    /// The default returns a typed [`ImputeError::Unsupported`] so
+    /// non-incremental methods fail loudly rather than silently serving a
+    /// stale model; check [`FittedImputer::can_absorb`] to avoid mutating
+    /// anything on such methods.
+    fn absorb(&mut self, row: &[f64]) -> Result<(), ImputeError> {
+        let _ = row;
+        Err(ImputeError::Unsupported(format!(
+            "{} does not support incremental learning",
+            self.name()
+        )))
+    }
+
+    /// Whether [`FittedImputer::absorb`] is supported by this fitted model
+    /// (`false` by default; overridden by the incremental methods).
+    fn can_absorb(&self) -> bool {
+        false
+    }
+
+    /// Number of tuples absorbed since the fit (or snapshot load replayed
+    /// its base container — delta-snapshot replay counts here).
+    fn absorbed(&self) -> usize {
+        0
+    }
+
     /// Online phase over a micro-batch, preserving order, on the
     /// process-default pool ([`iim_exec::global`]).
     fn impute_batch(&self, rows: &[&RowOpt]) -> Result<Vec<Vec<f64>>, ImputeError> {
@@ -467,16 +501,25 @@ impl<'a> AttrTask<'a> {
         (xs, ys)
     }
 
-    /// Column means of the features over the training rows — the fallback
-    /// for queries missing one of their *feature* values.
-    pub fn feature_means(&self) -> Vec<f64> {
-        let mut means = vec![0.0; self.features.len()];
+    /// Running feature-column sums over the training rows, accumulated in
+    /// train-row order — the state behind [`AttrTask::feature_means`] that
+    /// incremental absorbs extend one row at a time (same addition order ⇒
+    /// same bits as a refit).
+    pub fn feature_mean_sums(&self) -> Vec<f64> {
+        let mut sums = vec![0.0; self.features.len()];
         for &r in &self.train_rows {
             let row = self.rel.row_raw(r as usize);
-            for (slot, &j) in means.iter_mut().zip(&self.features) {
+            for (slot, &j) in sums.iter_mut().zip(&self.features) {
                 *slot += row[j];
             }
         }
+        sums
+    }
+
+    /// Column means of the features over the training rows — the fallback
+    /// for queries missing one of their *feature* values.
+    pub fn feature_means(&self) -> Vec<f64> {
+        let mut means = self.feature_mean_sums();
         for slot in &mut means {
             *slot /= self.n_train().max(1) as f64;
         }
@@ -499,6 +542,23 @@ pub trait AttrPredictor: Send + Sync {
     /// the workspace overrides this with `Some(self)`.
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         None
+    }
+
+    /// Incremental learning: absorbs one training example `(x, y)` with
+    /// `x` in `AttrTask::features` order, as if it had been appended to
+    /// the fit-time training rows. Defaults to a typed error; see
+    /// [`FittedImputer::absorb`] for the equivalence contract.
+    fn absorb(&mut self, x: &[f64], y: f64) -> Result<(), ImputeError> {
+        let _ = (x, y);
+        Err(ImputeError::Unsupported(
+            "predictor does not support incremental learning".into(),
+        ))
+    }
+
+    /// Whether [`AttrPredictor::absorb`] is supported (`false` by
+    /// default, so closures and ad-hoc predictors are covered).
+    fn can_absorb(&self) -> bool {
+        false
     }
 }
 
@@ -567,6 +627,12 @@ pub struct FittedAttrModel {
     pub features: Vec<usize>,
     /// Training-column means, for missing-feature fallback.
     pub means: Vec<f64>,
+    /// Running feature-column sums behind `means`, extended by absorbs so
+    /// the fallback means track the growing training set bitwise (same
+    /// addition order as [`AttrTask::feature_mean_sums`] on a refit).
+    pub mean_sums: Vec<f64>,
+    /// Number of training rows behind `mean_sums`.
+    pub mean_count: usize,
     /// The fitted per-attribute predictor.
     pub predictor: Box<dyn AttrPredictor>,
 }
@@ -578,6 +644,9 @@ pub struct FittedPerAttribute {
     name: String,
     arity: usize,
     models: Vec<Option<FittedAttrModel>>,
+    /// Tuples absorbed since fit / snapshot load (not persisted in the
+    /// base container: delta-snapshot replay recounts it at load).
+    absorbed: usize,
 }
 
 impl FittedPerAttribute {
@@ -590,6 +659,7 @@ impl FittedPerAttribute {
             name,
             arity,
             models,
+            absorbed: 0,
         }
     }
 
@@ -643,6 +713,63 @@ impl FittedImputer for FittedPerAttribute {
             Ok(out)
         })
     }
+
+    fn can_absorb(&self) -> bool {
+        self.models
+            .iter()
+            .flatten()
+            .all(|m| m.predictor.can_absorb())
+    }
+
+    fn absorbed(&self) -> usize {
+        self.absorbed
+    }
+
+    /// Absorbs a complete tuple into **every** fitted target model: each
+    /// per-attribute predictor learns `(features of row, row[target])` and
+    /// the missing-feature fallback means are extended — exactly the rows
+    /// a refit on the grown relation would have trained on.
+    ///
+    /// Failure is atomic with respect to *support*: if any fitted target's
+    /// predictor cannot learn incrementally, nothing is mutated. A
+    /// predictor-internal absorb error (rare; e.g. a degenerate update)
+    /// can leave earlier targets absorbed — callers treat the model as
+    /// suspect and refit.
+    fn absorb(&mut self, row: &[f64]) -> Result<(), ImputeError> {
+        if row.len() != self.arity {
+            return Err(ImputeError::ArityMismatch {
+                expected: self.arity,
+                got: row.len(),
+            });
+        }
+        if row.iter().any(|v| !v.is_finite()) {
+            return Err(ImputeError::Unsupported(
+                "absorb requires a complete tuple of finite values".into(),
+            ));
+        }
+        if !self.can_absorb() {
+            return Err(ImputeError::Unsupported(format!(
+                "{} does not support incremental learning",
+                self.name
+            )));
+        }
+        let mut x = Vec::new();
+        for (j, slot) in self.models.iter_mut().enumerate() {
+            let Some(model) = slot else { continue };
+            x.clear();
+            x.extend(model.features.iter().map(|&fj| row[fj]));
+            model.predictor.absorb(&x, row[j])?;
+            for (slot, &fj) in model.mean_sums.iter_mut().zip(&model.features) {
+                *slot += row[fj];
+            }
+            model.mean_count += 1;
+            for (mean, &sum) in model.means.iter_mut().zip(&model.mean_sums) {
+                *mean = sum / model.mean_count as f64;
+            }
+        }
+        self.absorbed += 1;
+        Ok(())
+    }
 }
 
 impl<E: AttrEstimator + Send + Sync> Imputer for PerAttributeImputer<E> {
@@ -669,13 +796,17 @@ impl<E: AttrEstimator + Send + Sync> Imputer for PerAttributeImputer<E> {
             if task.n_train() == 0 {
                 return Err(ImputeError::NoTrainingData { target });
             }
-            let means = task.feature_means();
+            let mean_sums = task.feature_mean_sums();
+            let mean_count = task.n_train();
+            let means = mean_sums.iter().map(|s| s / mean_count as f64).collect();
             let predictor = self.estimator.fit(&task)?;
             Ok((
                 target,
                 FittedAttrModel {
                     features,
                     means,
+                    mean_sums,
+                    mean_count,
                     predictor,
                 },
             ))
@@ -689,6 +820,7 @@ impl<E: AttrEstimator + Send + Sync> Imputer for PerAttributeImputer<E> {
             name: self.estimator.name().to_string(),
             arity: m,
             models,
+            absorbed: 0,
         }))
     }
 }

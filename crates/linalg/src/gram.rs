@@ -35,6 +35,19 @@ impl GramAccumulator {
         }
     }
 
+    /// Reassembles an accumulator from its raw state (the snapshot decode
+    /// path; inverse of [`GramAccumulator::u`] / [`GramAccumulator::v`] /
+    /// [`GramAccumulator::len`]). `u` must be square with `v.len()` rows.
+    pub fn from_parts(u: Matrix, v: Vec<f64>, rows_absorbed: usize) -> Self {
+        assert_eq!(u.rows(), u.cols(), "Gram matrix must be square");
+        assert_eq!(u.rows(), v.len(), "one V entry per Gram row");
+        Self {
+            u,
+            v,
+            rows_absorbed,
+        }
+    }
+
     /// Absorbs one observation `(x, y)`; `x` excludes the constant column.
     /// Cost `O(m²)`.
     pub fn add_row(&mut self, x: &[f64], y: f64) {

@@ -55,6 +55,15 @@ impl FeatureMatrix {
         Self { f, row_ids, data }
     }
 
+    /// Appends one candidate point (streaming ingestion). The new point
+    /// takes the next position, so an exact scan over the grown matrix is
+    /// bitwise-equal to a rebuild with the point gathered last.
+    pub fn push(&mut self, point: &[f64], row_id: u32) {
+        assert_eq!(point.len(), self.f, "appended point must have |F| features");
+        self.row_ids.push(row_id);
+        self.data.extend_from_slice(point);
+    }
+
     /// Number of candidate points.
     pub fn len(&self) -> usize {
         self.row_ids.len()

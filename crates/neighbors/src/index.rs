@@ -86,6 +86,16 @@ impl IndexChoice {
     }
 }
 
+/// Pending-append count that triggers a KD-tree rebuild in
+/// [`NeighborIndex::push`]: 1/16th of the indexed size, floored at 32 so
+/// tiny trees don't rebuild on every append. Deterministic — a pure
+/// function of how many points have been indexed — so two processes
+/// absorbing the same sequence hold byte-identical state.
+#[inline]
+pub fn rebuild_threshold(indexed_len: usize) -> usize {
+    (indexed_len / 16).max(32)
+}
+
 /// Whether [`IndexChoice::Auto`] selects the KD-tree for `n` points of
 /// dimensionality `m` (see the module docs for the rationale).
 #[inline]
@@ -147,6 +157,25 @@ impl NeighborIndex {
         match self {
             Self::Brute(_) => "brute",
             Self::KdTree(_) => "kdtree",
+        }
+    }
+
+    /// Appends one point (streaming ingestion). Brute appends are exact by
+    /// construction; the KD-tree buffers the point and queries union the
+    /// tree with a linear scan of the buffer until
+    /// [`rebuild_threshold`] pending points accumulate, at which point the
+    /// structure is rebuilt over everything. The policy is a pure function
+    /// of the point counts — deterministic across processes — and can
+    /// never change an answer, only query latency.
+    pub fn push(&mut self, point: &[f64], row_id: u32) {
+        match self {
+            Self::Brute(fm) => fm.push(point, row_id),
+            Self::KdTree(t) => {
+                t.append(point, row_id);
+                if t.pending_len() >= rebuild_threshold(t.indexed_len()) {
+                    t.rebuild();
+                }
+            }
         }
     }
 
@@ -302,6 +331,33 @@ mod tests {
         for (q, nn) in queries.iter().zip(&batch) {
             assert_eq!(nn, &fm.knn(q, 6));
         }
+    }
+
+    #[test]
+    fn streaming_pushes_stay_exact_across_rebuilds() {
+        // 64 indexed points → rebuild_threshold = 32: the 100 pushes cross
+        // at least one rebuild, and every intermediate state must answer
+        // bit-identically to the brute scan over the same grown set.
+        let fm = random_matrix(64, 2, 77);
+        let mut kd = NeighborIndex::build(fm.clone(), IndexChoice::KdTree);
+        let mut brute = NeighborIndex::build(fm, IndexChoice::Brute);
+        let mut rng = StdRng::seed_from_u64(78);
+        for i in 0..100u32 {
+            let p: Vec<f64> = (0..2).map(|_| rng.gen_range(-10.0..10.0)).collect();
+            kd.push(&p, 64 + i);
+            brute.push(&p, 64 + i);
+            assert_eq!(kd.len(), brute.len());
+            let q: Vec<f64> = (0..2).map(|_| rng.gen_range(-12.0..12.0)).collect();
+            let a = brute.knn(&q, 7);
+            let b = kd.knn(&q, 7);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.pos, y.pos, "push {i}");
+                assert_eq!(x.dist.to_bits(), y.dist.to_bits(), "push {i}");
+            }
+        }
+        assert_eq!(rebuild_threshold(0), 32);
+        assert_eq!(rebuild_threshold(1024), 64);
     }
 
     #[test]

@@ -180,18 +180,53 @@ impl TreeNodes {
 pub struct KdTree {
     points: FeatureMatrix,
     tree: TreeNodes,
+    /// Positions `0..indexed_len` are covered by `tree`; positions from
+    /// `indexed_len` up are the **pending buffer** — appended points not
+    /// yet folded into the structure, scanned linearly at query time.
+    indexed_len: usize,
 }
 
 impl KdTree {
     /// Builds a tree over all points of `points`, taking ownership.
     pub fn build(points: FeatureMatrix) -> Self {
         let tree = TreeNodes::build(&points);
-        Self { points, tree }
+        let indexed_len = points.len();
+        Self {
+            points,
+            tree,
+            indexed_len,
+        }
     }
 
-    /// The owned point matrix.
+    /// The owned point matrix (indexed prefix plus pending tail).
     pub fn points(&self) -> &FeatureMatrix {
         &self.points
+    }
+
+    /// Number of points covered by the tree structure (the rest are
+    /// pending appends, scanned linearly).
+    pub fn indexed_len(&self) -> usize {
+        self.indexed_len
+    }
+
+    /// Number of appended points awaiting a [`KdTree::rebuild`].
+    pub fn pending_len(&self) -> usize {
+        self.points.len() - self.indexed_len
+    }
+
+    /// Appends one point to the pending buffer (streaming ingestion).
+    /// Queries stay exact — [`KdTree::knn_with`] unions the tree search
+    /// with a linear scan of the pending tail — so when and whether a
+    /// rebuild happens can never change an answer, only latency.
+    pub fn append(&mut self, point: &[f64], row_id: u32) {
+        self.points.push(point, row_id);
+    }
+
+    /// Folds the pending buffer into the tree by rebuilding the structure
+    /// over all points. Results are identical before and after.
+    pub fn rebuild(&mut self) {
+        self.tree = TreeNodes::build(&self.points);
+        self.indexed_len = self.points.len();
     }
 
     /// The flattened tree structure (crate-internal: the neighbor-orders
@@ -229,6 +264,11 @@ impl KdTree {
 
     /// [`KdTree::knn_into`] with caller-owned selection scratch — no
     /// allocation at steady state.
+    ///
+    /// Tree search over the indexed prefix, then an exact linear scan of
+    /// the pending tail into the **same** `(squared distance, position)`
+    /// heap — the union selection is bit-identical to a brute scan over
+    /// all points, so appends never perturb tie-breaks.
     pub fn knn_with(
         &self,
         query: &[f64],
@@ -236,7 +276,33 @@ impl KdTree {
         scratch: &mut KnnScratch,
         out: &mut Vec<Neighbor>,
     ) {
-        self.tree.knn_with(&self.points, query, k, scratch, out);
+        out.clear();
+        scratch.heap.clear();
+        if k == 0 || self.points.is_empty() {
+            return;
+        }
+        let k = k.min(self.points.len());
+        // An initially-empty build has only the placeholder node, so the
+        // tree search must be skipped until a rebuild covers real points.
+        if self.indexed_len > 0 {
+            self.tree
+                .search(&self.points, 1, query, k, &mut scratch.heap);
+        }
+        for pos in self.indexed_len..self.points.len() {
+            let sq = sq_dist_f(query, self.points.point(pos));
+            push_bounded(
+                &mut scratch.heap,
+                k,
+                Entry {
+                    sq,
+                    pos: pos as u32,
+                },
+            );
+        }
+        out.extend(scratch.drain_sorted().iter().map(|e| Neighbor {
+            pos: e.pos,
+            dist: e.sq.sqrt(),
+        }));
     }
 }
 
@@ -341,6 +407,54 @@ mod tests {
             tree.knn_with(&q, k, &mut scratch, &mut out);
             assert_eq!(out, fm.knn(&q, k));
         }
+    }
+
+    #[test]
+    fn appended_points_match_brute_before_and_after_rebuild() {
+        let fm = random_matrix(100, 2, 21);
+        let mut tree = KdTree::build(fm.clone());
+        let mut brute = fm;
+        let mut rng = StdRng::seed_from_u64(33);
+        for i in 0..50u32 {
+            let p: Vec<f64> = (0..2).map(|_| rng.gen_range(-10.0..10.0)).collect();
+            tree.append(&p, 100 + i);
+            brute.push(&p, 100 + i);
+            let q: Vec<f64> = (0..2).map(|_| rng.gen_range(-12.0..12.0)).collect();
+            let a = brute.knn(&q, 9);
+            let b = tree.knn(&q, 9);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.pos, y.pos, "append {i}");
+                assert_eq!(x.dist.to_bits(), y.dist.to_bits(), "append {i}");
+            }
+        }
+        assert_eq!(tree.pending_len(), 50);
+        assert_eq!(tree.indexed_len(), 100);
+        tree.rebuild();
+        assert_eq!(tree.pending_len(), 0);
+        assert_eq!(tree.indexed_len(), 150);
+        let mut rng = StdRng::seed_from_u64(34);
+        for _ in 0..20 {
+            let q: Vec<f64> = (0..2).map(|_| rng.gen_range(-12.0..12.0)).collect();
+            let a = brute.knn(&q, 9);
+            let b = tree.knn(&q, 9);
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.pos, y.pos);
+                assert_eq!(x.dist.to_bits(), y.dist.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn append_into_empty_tree_is_searchable() {
+        let mut tree = KdTree::build(FeatureMatrix::from_dense(1, vec![], vec![]));
+        tree.append(&[3.0], 0);
+        tree.append(&[1.0], 1);
+        assert_eq!(tree.indexed_len(), 0);
+        let nn = tree.knn(&[0.0], 1);
+        assert_eq!(nn[0].pos, 1);
+        tree.rebuild();
+        assert_eq!(tree.knn(&[0.0], 1)[0].pos, 1);
     }
 
     #[test]

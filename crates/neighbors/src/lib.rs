@@ -29,6 +29,6 @@ pub mod orders;
 pub use brute::{knn, knn_into, Neighbor};
 pub use dist::{euclidean_f, euclidean_full};
 pub use heap::KnnScratch;
-pub use index::{auto_prefers_kdtree, IndexChoice, NeighborIndex};
+pub use index::{auto_prefers_kdtree, rebuild_threshold, IndexChoice, NeighborIndex};
 pub use kdtree::KdTree;
 pub use orders::NeighborOrders;

@@ -35,7 +35,7 @@ use iim_baselines::xgb::{Node, Tree, XgbModel};
 use iim_core::{IimModel, Weighting};
 use iim_data::stats::ColumnTransform;
 use iim_data::{AttrPredictor, FillCache, FittedAttrModel, FittedImputer, FittedPerAttribute};
-use iim_linalg::{LuFactors, Matrix, RidgeModel};
+use iim_linalg::{GramAccumulator, LuFactors, Matrix, RidgeModel};
 use iim_neighbors::brute::FeatureMatrix;
 use iim_neighbors::{IndexChoice, NeighborIndex};
 
@@ -230,6 +230,8 @@ fn put_predictor(w: &mut Writer, p: &dyn AttrPredictor) -> Result<(), PersistErr
             put_ridge(w, rm);
         }
         w.u32s(m.chosen_ell());
+        w.f64s(m.ys());
+        w.f64(m.alpha());
         w.len(m.k());
         w.u8(weighting_tag(m.weighting()));
     } else if let Some(m) = any.downcast_ref::<KnnModel>() {
@@ -255,10 +257,14 @@ fn put_predictor(w: &mut Writer, p: &dyn AttrPredictor) -> Result<(), PersistErr
         w.f64(m.alpha);
     } else if let Some(m) = any.downcast_ref::<GlrModel>() {
         w.str("glr");
-        put_ridge(w, &m.0);
+        put_matrix(w, m.accumulator().u());
+        w.f64s(m.accumulator().v());
+        w.len(m.accumulator().len());
+        w.f64(m.alpha());
     } else if let Some(m) = any.downcast_ref::<MeanModel>() {
         w.str("mean");
-        w.f64(m.mean);
+        w.f64(m.sum);
+        w.len(m.count);
     } else if let Some(m) = any.downcast_ref::<GmmModel>() {
         w.str("gmm");
         w.len(m.f);
@@ -350,10 +356,15 @@ fn get_predictor(r: &mut Reader<'_>, qdim: usize) -> Result<Box<dyn AttrPredicto
             if chosen_ell.len() != n {
                 return Err(corrupt("iim: one chosen ℓ per training tuple"));
             }
+            let ys = r.f64s("iim ys")?;
+            if ys.len() != n {
+                return Err(corrupt("iim: one target value per training tuple"));
+            }
+            let alpha = r.f64("iim alpha")?;
             let k = r.scalar("iim k")?.max(1);
             let weighting = weighting_from_tag(r.u8("iim weighting")?)?;
             Ok(Box::new(IimModel::from_parts(
-                index, models, chosen_ell, k, weighting,
+                index, models, chosen_ell, ys, alpha, k, weighting,
             )))
         }
         "knn" => {
@@ -414,17 +425,25 @@ fn get_predictor(r: &mut Reader<'_>, qdim: usize) -> Result<Box<dyn AttrPredicto
             }))
         }
         "glr" => {
-            let model = get_ridge(r)?;
-            if model.n_features() != qdim {
-                return Err(corrupt(
-                    "glr: coefficient count disagrees with the feature set",
-                ));
+            let u = get_matrix(r)?;
+            let v = r.f64s("glr gram v")?;
+            if u.rows() != qdim + 1 || u.cols() != qdim + 1 || v.len() != qdim + 1 {
+                return Err(corrupt("glr: Gram system disagrees with the feature set"));
             }
-            Ok(Box::new(GlrModel(model)))
+            let rows_absorbed = r.scalar("glr row count")?;
+            let alpha = r.f64("glr alpha")?;
+            let acc = GramAccumulator::from_parts(u, v, rows_absorbed);
+            // Re-solving at load reproduces the saved model's bits: the
+            // solver is deterministic in the accumulated state and α.
+            let model = GlrModel::from_parts(acc, alpha)
+                .ok_or_else(|| corrupt("glr: Gram system is unsolvable"))?;
+            Ok(Box::new(model))
         }
-        "mean" => Ok(Box::new(MeanModel {
-            mean: r.f64("mean value")?,
-        })),
+        "mean" => {
+            let sum = r.f64("mean sum")?;
+            let count = r.scalar("mean count")?;
+            Ok(Box::new(MeanModel { sum, count }))
+        }
         "gmm" => {
             let f = r.scalar("gmm dimensionality")?;
             if f != qdim {
@@ -567,6 +586,8 @@ fn put_per_attribute(w: &mut Writer, f: &FittedPerAttribute) -> Result<(), Persi
                 w.bool(true);
                 w.lens(&model.features);
                 w.f64s(&model.means);
+                w.f64s(&model.mean_sums);
+                w.len(model.mean_count);
                 put_predictor(w, model.predictor.as_ref())?;
             }
         }
@@ -585,13 +606,20 @@ fn get_per_attribute(r: &mut Reader<'_>) -> Result<FittedPerAttribute, PersistEr
         }
         let features = r.lens("driver features")?;
         let means = r.f64s("driver means")?;
-        if means.len() != features.len() || features.iter().any(|&j| j >= arity) {
+        let mean_sums = r.f64s("driver mean sums")?;
+        let mean_count = r.scalar("driver mean count")?;
+        if means.len() != features.len()
+            || mean_sums.len() != features.len()
+            || features.iter().any(|&j| j >= arity)
+        {
             return Err(corrupt("driver: feature set inconsistent with arity"));
         }
         let predictor = get_predictor(r, features.len())?;
         models.push(Some(FittedAttrModel {
             features,
             means,
+            mean_sums,
+            mean_count,
             predictor,
         }));
     }

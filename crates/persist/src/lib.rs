@@ -55,8 +55,9 @@ pub mod wire;
 
 pub use error::PersistError;
 pub use snapshot::{
-    inspect, load, load_from_slice, load_from_slice_with_info, load_path, save, save_path,
-    save_to_vec, save_to_vec_with_schema, SnapshotInfo, FORMAT_VERSION, MAGIC,
+    append_delta_path, encode_delta, inspect, load, load_from_slice, load_from_slice_with_info,
+    load_path, save, save_path, save_to_vec, save_to_vec_with_schema, SnapshotInfo, DELTA_MAGIC,
+    FORMAT_VERSION, MAGIC,
 };
 
 #[cfg(test)]
@@ -175,14 +176,95 @@ mod tests {
 
     #[test]
     fn every_truncation_point_is_a_typed_error() {
+        // Covers the whole container — header region (magic, version,
+        // method tag, schema block, payload length) included — plus an
+        // appended delta record.
         let fitted = fitted_iim();
-        let bytes = save_to_vec(fitted.as_ref()).unwrap();
+        let mut bytes = save_to_vec(fitted.as_ref()).unwrap();
+        let base_len = bytes.len();
+        bytes.extend_from_slice(&encode_delta(&[vec![2.5, 3.5]]));
         for cut in 0..bytes.len() {
+            if cut == base_len {
+                // Cutting exactly at the record boundary yields a valid
+                // (delta-free) snapshot by design.
+                assert!(load_from_slice(&bytes[..cut]).is_ok());
+                continue;
+            }
             // Must be an Err (never a panic, never an Ok on a prefix).
             assert!(
                 load_from_slice(&bytes[..cut]).is_err(),
                 "prefix of {cut} bytes decoded successfully"
             );
         }
+    }
+
+    #[test]
+    fn delta_records_replay_to_the_absorbed_model() {
+        let mut live = fitted_iim();
+        let base = save_to_vec(live.as_ref()).unwrap();
+
+        // Absorb a few rows into the live model and checkpoint only the
+        // delta, split across two records.
+        let rows = [vec![4.6, 2.0], vec![0.4, 5.1], vec![9.5, 2.6]];
+        for row in &rows {
+            live.absorb(row).unwrap();
+        }
+        let mut bytes = base.clone();
+        bytes.extend_from_slice(&encode_delta(&rows[..2]));
+        bytes.extend_from_slice(&encode_delta(&rows[2..]));
+
+        let info = inspect(&bytes).unwrap();
+        assert_eq!(info.absorbed_rows, 3);
+        assert_eq!(inspect(&base).unwrap().absorbed_rows, 0);
+
+        let (loaded, info) = load_from_slice_with_info(&bytes).unwrap();
+        assert_eq!(info.absorbed_rows, 3);
+        assert_eq!(loaded.absorbed(), 3);
+        // Replay reproduces the live model's serving bits exactly.
+        let q = [Some(5.0), None];
+        let a = live.impute_one(&q).unwrap();
+        let b = loaded.impute_one(&q).unwrap();
+        assert_eq!(a[1].to_bits(), b[1].to_bits());
+    }
+
+    #[test]
+    fn corrupt_delta_region_is_a_typed_error() {
+        let fitted = fitted_iim();
+        let base = save_to_vec(fitted.as_ref()).unwrap();
+
+        // Garbage after the base container is not silently ignored.
+        let mut garbage = base.clone();
+        garbage.extend_from_slice(b"not a delta");
+        assert!(matches!(
+            load_from_slice(&garbage),
+            Err(PersistError::Corrupt(_)) | Err(PersistError::Truncated { .. })
+        ));
+
+        // A flipped byte inside a delta payload fails its checksum.
+        let mut flipped = base.clone();
+        let delta = snapshot::encode_delta(&[vec![1.0, 2.0]]);
+        let delta_start = flipped.len();
+        flipped.extend_from_slice(&delta);
+        flipped[delta_start + 20] ^= 0x01;
+        assert!(matches!(
+            load_from_slice(&flipped),
+            Err(PersistError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn delta_on_an_absorb_free_method_fails_typed() {
+        // kNN has no absorb support: a delta record must fail the load
+        // with a typed error, not silently drop rows.
+        let (rel, _) = paper_fig1();
+        let fitted = iim_data::PerAttributeImputer::new(iim_baselines::knn::Knn::new(3))
+            .fit(&rel)
+            .unwrap();
+        let mut bytes = save_to_vec(fitted.as_ref()).unwrap();
+        bytes.extend_from_slice(&encode_delta(&[vec![1.0, 2.0]]));
+        assert!(matches!(
+            load_from_slice(&bytes),
+            Err(PersistError::Corrupt(msg)) if msg.contains("failed to replay")
+        ));
     }
 }

@@ -1,16 +1,23 @@
 //! The snapshot container: magic, version, method tag, length-prefixed
-//! payload, checksum trailer.
+//! payload, checksum trailer — optionally followed by **delta records**
+//! appending absorbed tuples to the base model.
 //!
 //! ```text
 //! offset  size  field
 //! 0       8     magic  b"IIMSNAP\0"
-//! 8       2     format version (u16 LE) — currently 1
+//! 8       2     format version (u16 LE) — currently 2
 //! 10      2+n   method tag: u16 LE length + UTF-8 display name
 //! ..      2+..  schema: u16 LE column count, then per column a
 //!               u16 LE length + UTF-8 name (count 0 = schema unknown)
 //! ..      8     payload length (u64 LE)
 //! ..      len   payload (see `codec`)
 //! ..      8     FNV-1a 64 checksum of the payload (u64 LE)
+//! --- zero or more delta records, each: ---
+//! ..      8     magic  b"IIMDELTA"
+//! ..      8     record payload length (u64 LE)
+//! ..      len   record payload: u64 row count, then per row a
+//!               length-prefixed f64 slice (one complete tuple)
+//! ..      8     FNV-1a 64 checksum of the record payload (u64 LE)
 //! ```
 //!
 //! The schema block records the training file's column names so serving
@@ -20,18 +27,32 @@
 //! (library use, no CSV involved) records count 0 and downgrades serving
 //! to the arity check.
 //!
+//! # Delta records
+//!
+//! Incremental learning ([`FittedImputer::absorb`]) makes checkpointing a
+//! grown model O(delta): instead of re-encoding the whole model,
+//! [`append_delta_path`] appends one checksummed record holding only the
+//! newly absorbed tuples. At load, the base model is decoded and every
+//! delta row is replayed through `absorb` **in record order** — absorb is
+//! a pure function of the fitted state and the absorb sequence, so replay
+//! reproduces the live model deterministically. A record appended to a
+//! snapshot of a method without absorb support fails the load with a
+//! typed error.
+//!
 //! # Versioning policy
 //!
 //! The version is bumped whenever the payload layout changes shape; a
-//! reader refuses versions newer than it knows
-//! ([`PersistError::UnsupportedVersion`]) rather than guessing. Within one
-//! version the format is **deterministic**: encoding the same fitted model
-//! twice yields identical bytes (hash-map iteration is sorted before
+//! reader refuses any version other than its own
+//! ([`PersistError::UnsupportedVersion`]) rather than guessing — version
+//! 2 changed the Mean/GLR/IIM payloads to carry incremental-learning
+//! state, so version-1 bytes no longer decode. Within one version the
+//! format is **deterministic**: encoding the same fitted model twice
+//! yields identical bytes (hash-map iteration is sorted before
 //! serialization), so snapshots are diffable, cacheable artifacts.
 
 use crate::codec::{decode_fitted, encode_fitted};
 use crate::error::PersistError;
-use crate::wire::fnv1a64;
+use crate::wire::{fnv1a64, Reader, Writer};
 use iim_data::FittedImputer;
 use std::io::{Read, Write};
 use std::path::Path;
@@ -39,8 +60,11 @@ use std::path::Path;
 /// The 8 magic bytes opening every snapshot.
 pub const MAGIC: [u8; 8] = *b"IIMSNAP\0";
 
-/// The current (highest supported) snapshot format version.
-pub const FORMAT_VERSION: u16 = 1;
+/// The 8 magic bytes opening every delta record.
+pub const DELTA_MAGIC: [u8; 8] = *b"IIMDELTA";
+
+/// The current (only supported) snapshot format version.
+pub const FORMAT_VERSION: u16 = 2;
 
 /// Container metadata, readable without decoding the model payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,8 +76,10 @@ pub struct SnapshotInfo {
     /// Column names of the training relation; empty when the snapshot was
     /// saved without one (serving then only checks arity).
     pub schema: Vec<String>,
-    /// Payload size in bytes.
+    /// Payload size in bytes (base container only, deltas excluded).
     pub payload_len: u64,
+    /// Total rows carried by the delta records after the base container.
+    pub absorbed_rows: usize,
 }
 
 fn push_tag(out: &mut Vec<u8>, s: &str, what: &str) -> Result<(), PersistError> {
@@ -115,6 +141,34 @@ pub fn save_path<P: AsRef<Path>>(fitted: &dyn FittedImputer, path: P) -> Result<
     save(fitted, std::fs::File::create(path)?)
 }
 
+/// Encodes one delta record holding `rows` absorbed tuples (complete
+/// rows, in absorb order). Append the bytes to an existing snapshot to
+/// checkpoint incremental learning in O(delta).
+pub fn encode_delta(rows: &[Vec<f64>]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.len(rows.len());
+    for row in rows {
+        w.f64s(row);
+    }
+    let payload = w.into_vec();
+    let mut out = Vec::with_capacity(8 + 8 + payload.len() + 8);
+    out.extend_from_slice(&DELTA_MAGIC);
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+    out
+}
+
+/// Appends one delta record with `rows` absorbed tuples to the snapshot
+/// file at `path` (which must already hold a base snapshot). The rows are
+/// replayed through [`FittedImputer::absorb`] at the next load.
+pub fn append_delta_path<P: AsRef<Path>>(path: P, rows: &[Vec<f64>]) -> Result<(), PersistError> {
+    let mut f = std::fs::OpenOptions::new().append(true).open(path)?;
+    f.write_all(&encode_delta(rows))?;
+    f.flush()?;
+    Ok(())
+}
+
 struct Header {
     info: SnapshotInfo,
     /// Offset of the payload within the snapshot bytes.
@@ -130,104 +184,118 @@ fn parse_header(bytes: &[u8]) -> Result<Header, PersistError> {
             PersistError::BadMagic
         });
     }
-    if bytes[..8] != MAGIC {
+    let mut r = Reader::new(bytes);
+    if r.bytes(8, "magic")? != MAGIC {
         return Err(PersistError::BadMagic);
     }
-    let mut at = 8usize;
-    let mut need = |n: usize, context: &'static str| -> Result<usize, PersistError> {
-        if bytes.len() < at + n {
-            return Err(PersistError::Truncated { context });
-        }
-        let start = at;
-        at += n;
-        Ok(start)
-    };
-    let v = need(2, "format version")?;
-    let version = u16::from_le_bytes([bytes[v], bytes[v + 1]]);
-    if version > FORMAT_VERSION {
+    let version = r.u16("format version")?;
+    if version != FORMAT_VERSION {
         return Err(PersistError::UnsupportedVersion {
             found: version,
             supported: FORMAT_VERSION,
         });
     }
-    let l = need(2, "method tag length")?;
-    let name_len = u16::from_le_bytes([bytes[l], bytes[l + 1]]) as usize;
-    let n = need(name_len, "method tag")?;
-    let method = std::str::from_utf8(&bytes[n..n + name_len])
-        .map_err(|_| PersistError::Corrupt("method tag is not UTF-8".into()))?
-        .to_string();
-    let c = need(2, "schema column count")?;
-    let n_cols = u16::from_le_bytes([bytes[c], bytes[c + 1]]) as usize;
-    let mut schema = Vec::with_capacity(n_cols);
+    let method = r.tag("method tag")?;
+    let n_cols = r.u16("schema column count")? as usize;
+    let mut schema = Vec::with_capacity(n_cols.min(r.remaining()));
     for _ in 0..n_cols {
-        let l = need(2, "schema name length")?;
-        let col_len = u16::from_le_bytes([bytes[l], bytes[l + 1]]) as usize;
-        let s = need(col_len, "schema name")?;
-        schema.push(
-            std::str::from_utf8(&bytes[s..s + col_len])
-                .map_err(|_| PersistError::Corrupt("schema name is not UTF-8".into()))?
-                .to_string(),
-        );
+        schema.push(r.tag("schema name")?);
     }
-    let p = need(8, "payload length")?;
-    let payload_len = u64::from_le_bytes(bytes[p..p + 8].try_into().expect("8 bytes"));
+    let payload_len = r.u64("payload length")?;
     Ok(Header {
         info: SnapshotInfo {
             version,
             method,
             schema,
             payload_len,
+            absorbed_rows: 0,
         },
-        payload_start: at,
+        payload_start: bytes.len() - r.remaining(),
     })
 }
 
 /// Reads container metadata without decoding the model payload (the
-/// payload must still be fully present and checksum-clean).
+/// payload and every delta record must still be fully present and
+/// checksum-clean).
 pub fn inspect(bytes: &[u8]) -> Result<SnapshotInfo, PersistError> {
-    let header = parse_header(bytes)?;
-    checked_payload(bytes, &header)?;
+    let mut header = parse_header(bytes)?;
+    let (_, base_end) = checked_payload(bytes, &header)?;
+    header.info.absorbed_rows = parse_delta_rows(&bytes[base_end..])?.len();
     Ok(header.info)
 }
 
-fn checked_payload<'a>(bytes: &'a [u8], header: &Header) -> Result<&'a [u8], PersistError> {
+/// Validates the base container's bounds and checksum; returns the
+/// payload slice and the offset where the delta region begins.
+fn checked_payload<'a>(
+    bytes: &'a [u8],
+    header: &Header,
+) -> Result<(&'a [u8], usize), PersistError> {
     let start = header.payload_start;
     // Checked arithmetic throughout: a crafted length field near u64::MAX
     // must surface as a typed error, not an overflow panic (debug) or a
     // wrapped, misleading comparison (release).
     let len = usize::try_from(header.info.payload_len)
         .map_err(|_| PersistError::Corrupt("payload length overflows".into()))?;
-    let total = start
+    let base_end = start
         .checked_add(len)
         .and_then(|v| v.checked_add(8))
         .ok_or_else(|| PersistError::Corrupt("payload length overflows".into()))?;
-    if bytes.len() < total {
+    if bytes.len() < base_end {
         return Err(PersistError::Truncated { context: "payload" });
-    }
-    if bytes.len() > total {
-        return Err(PersistError::Corrupt(format!(
-            "{} trailing bytes after the checksum",
-            bytes.len() - total
-        )));
     }
     let payload = &bytes[start..start + len];
     let expected = u64::from_le_bytes(
-        bytes[start + len..start + len + 8]
+        bytes[start + len..base_end]
             .try_into()
-            .expect("8 bytes"),
+            // Infallible: the slice is exactly base_end - (start + len) = 8
+            // bytes by construction.
+            .expect("checksum slice is 8 bytes"),
     );
     let found = fnv1a64(payload);
     if expected != found {
         return Err(PersistError::ChecksumMismatch { expected, found });
     }
-    Ok(payload)
+    Ok((payload, base_end))
 }
 
-/// Deserializes a snapshot back into a serving model.
+/// Parses the delta region (everything after the base container) into the
+/// absorbed rows, in record order. Empty input means no deltas; anything
+/// that is not a complete, checksum-clean record is a typed error.
+fn parse_delta_rows(mut rest: &[u8]) -> Result<Vec<Vec<f64>>, PersistError> {
+    let mut rows = Vec::new();
+    while !rest.is_empty() {
+        let mut r = Reader::new(rest);
+        if r.bytes(8, "delta magic")? != DELTA_MAGIC {
+            return Err(PersistError::Corrupt(
+                "bytes after the base snapshot are not a delta record".into(),
+            ));
+        }
+        let len = r.len("delta payload length")?;
+        let payload = r.bytes(len, "delta payload")?;
+        let expected = r.u64("delta checksum")?;
+        let found = fnv1a64(payload);
+        if expected != found {
+            return Err(PersistError::ChecksumMismatch { expected, found });
+        }
+        let mut pr = Reader::new(payload);
+        let n = pr.len("delta row count")?;
+        for _ in 0..n {
+            rows.push(pr.f64s("delta row")?);
+        }
+        pr.expect_exhausted()?;
+        rest = &rest[rest.len() - r.remaining()..];
+    }
+    Ok(rows)
+}
+
+/// Deserializes a snapshot back into a serving model, replaying any delta
+/// records through [`FittedImputer::absorb`].
 ///
 /// The loaded model serves **bitwise-identical** fills to the in-process
 /// model it was saved from (property-tested per lineup method in
-/// `tests/persist_roundtrip.rs`).
+/// `tests/persist_roundtrip.rs`); a model checkpointed through
+/// [`append_delta_path`] reloads to the same state as serially absorbing
+/// the delta rows into the base model.
 pub fn load_from_slice(bytes: &[u8]) -> Result<Box<dyn FittedImputer>, PersistError> {
     load_from_slice_with_info(bytes).map(|(fitted, _)| fitted)
 }
@@ -237,9 +305,10 @@ pub fn load_from_slice(bytes: &[u8]) -> Result<Box<dyn FittedImputer>, PersistEr
 pub fn load_from_slice_with_info(
     bytes: &[u8],
 ) -> Result<(Box<dyn FittedImputer>, SnapshotInfo), PersistError> {
-    let header = parse_header(bytes)?;
-    let payload = checked_payload(bytes, &header)?;
-    let fitted = decode_fitted(payload)?;
+    let mut header = parse_header(bytes)?;
+    let (payload, base_end) = checked_payload(bytes, &header)?;
+    let delta_rows = parse_delta_rows(&bytes[base_end..])?;
+    let mut fitted = decode_fitted(payload)?;
     if fitted.name() != header.info.method {
         return Err(PersistError::Corrupt(format!(
             "method tag {:?} does not match the decoded model {:?}",
@@ -254,6 +323,12 @@ pub fn load_from_slice_with_info(
             fitted.arity()
         )));
     }
+    for (i, row) in delta_rows.iter().enumerate() {
+        fitted
+            .absorb(row)
+            .map_err(|e| PersistError::Corrupt(format!("delta row {i} failed to replay: {e}")))?;
+    }
+    header.info.absorbed_rows = delta_rows.len();
     Ok((fitted, header.info))
 }
 

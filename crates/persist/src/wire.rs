@@ -141,6 +141,20 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
+    /// Reads exactly `n` raw bytes (magic sequences, embedded payloads).
+    pub fn bytes(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], PersistError> {
+        self.take(n, context)
+    }
+
+    /// Reads a `u16`-length-prefixed UTF-8 string — the compact tag shape
+    /// the container header uses for method and column names.
+    pub fn tag(&mut self, context: &'static str) -> Result<String, PersistError> {
+        let n = self.u16(context)? as usize;
+        let bytes = self.take(n, context)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| PersistError::Corrupt(format!("{context}: invalid UTF-8")))
+    }
+
     /// Reads one byte.
     pub fn u8(&mut self, context: &'static str) -> Result<u8, PersistError> {
         Ok(self.take(1, context)?[0])

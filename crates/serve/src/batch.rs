@@ -1,12 +1,15 @@
 //! The micro-batching queue between HTTP connections and the compute
 //! pool.
 //!
-//! Connection threads enqueue jobs (one job = the rows of one request) and
-//! block on a reply channel; a single batcher thread drains **every**
-//! pending job, fans the union of their rows out on the shared
-//! [`iim_exec::Pool`] — one `impute_one` per row, each worker reusing its
-//! per-thread serving scratch from the fitted model's hot path — and
-//! routes the slices of the result back to the waiting connections.
+//! Connection threads enqueue jobs and block on a reply channel; a single
+//! batcher thread **owns the fitted model** and drains the queue in
+//! arrival order. Impute jobs coalesce: consecutive impute jobs fan the
+//! union of their rows out on the shared [`iim_exec::Pool`] — one
+//! `impute_one` per row, each worker reusing its per-thread serving
+//! scratch — and the result slices route back to the waiting connections.
+//! Learn jobs are **barriers**: every impute enqueued before a learn is
+//! answered by the pre-absorb model, every impute after it by the
+//! post-absorb model, and no impute ever observes a half-applied batch.
 //!
 //! Coalescing concurrent requests into one `parallel_map_indexed` keeps
 //! the pool saturated under many small requests (the classic
@@ -14,12 +17,16 @@
 //! a single in-flight request still occupies every worker. Because
 //! `impute_one` is a pure function of the fitted state and the query, the
 //! batching boundaries can never change an answer — a row imputes to the
-//! same bits whether it arrived alone or sandwiched between strangers.
+//! same bits whether it arrived alone or sandwiched between strangers —
+//! and because learns serialize through the same queue, a served fill is
+//! always bitwise-equal to some serial absorb/impute interleaving.
 
 use iim_data::{FittedImputer, ImputeError};
 use iim_exec::Pool;
 use std::collections::VecDeque;
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 
 /// One query row as parsed from the wire.
@@ -28,9 +35,32 @@ pub type QueryRow = Vec<Option<f64>>;
 /// Per-row outcome: the completed row or the typed impute error.
 pub type RowResult = Result<Vec<f64>, ImputeError>;
 
-struct Job {
-    rows: Vec<QueryRow>,
-    reply: mpsc::Sender<Vec<RowResult>>,
+/// Outcome of one learn job: the model's total absorbed-tuple count after
+/// the batch, or the index of the first failing row with its typed error
+/// (rows before the failure stay absorbed — absorbs are applied in order).
+pub type LearnReply = Result<usize, (usize, ImputeError)>;
+
+/// Where (and how often) the batcher appends delta records for absorbed
+/// tuples, keeping the snapshot on disk loadable into the live model.
+#[derive(Debug, Clone)]
+pub struct CheckpointConfig {
+    /// The snapshot file to append [`iim_persist`] delta records to —
+    /// normally the file the model was loaded from.
+    pub path: PathBuf,
+    /// Flush after this many absorbed tuples (`1` = every learn job).
+    /// Remaining buffered tuples flush once more at shutdown.
+    pub every: usize,
+}
+
+enum Job {
+    Impute {
+        rows: Vec<QueryRow>,
+        reply: mpsc::Sender<Vec<RowResult>>,
+    },
+    Learn {
+        rows: Vec<Vec<f64>>,
+        reply: mpsc::Sender<LearnReply>,
+    },
 }
 
 #[derive(Default)]
@@ -44,18 +74,42 @@ struct Shared {
     available: Condvar,
 }
 
+/// Locks the queue, recovering from poisoning: the batcher thread's
+/// poison guard marks the queue shut down whenever that thread dies, so
+/// a poisoned lock still reads a consistent "refuse new work" state.
+/// Connection threads must answer 503, not propagate a panic.
+fn lock_queue(shared: &Shared) -> MutexGuard<'_, Queue> {
+    match shared.queue.lock() {
+        Ok(q) => q,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
 /// The micro-batching executor: owns the fitted model, the compute pool,
 /// and the batcher thread.
 pub struct Batcher {
     shared: Arc<Shared>,
+    absorbed: Arc<AtomicUsize>,
+    model_name: String,
+    arity: usize,
+    can_absorb: bool,
     worker: Option<JoinHandle<()>>,
 }
 
 impl Batcher {
     /// Starts the batcher thread serving `model` on a pool of `threads`
     /// workers (`0` = the process default, see
-    /// [`iim_exec::default_threads`]).
-    pub fn start(model: Arc<dyn FittedImputer>, threads: usize) -> Self {
+    /// [`iim_exec::default_threads`]). The batcher takes ownership of the
+    /// model — all serving *and* learning goes through the queue.
+    ///
+    /// # Errors
+    ///
+    /// Fails only when the batcher thread cannot be spawned.
+    pub fn start(
+        model: Box<dyn FittedImputer>,
+        threads: usize,
+        checkpoint: Option<CheckpointConfig>,
+    ) -> std::io::Result<Self> {
         let pool = if threads > 0 {
             Pool::new(threads)
         } else {
@@ -65,15 +119,45 @@ impl Batcher {
             queue: Mutex::new(Queue::default()),
             available: Condvar::new(),
         });
+        let absorbed = Arc::new(AtomicUsize::new(model.absorbed()));
+        let model_name = model.name().to_string();
+        let arity = model.arity();
+        let can_absorb = model.can_absorb();
         let worker_shared = Arc::clone(&shared);
+        let worker_absorbed = Arc::clone(&absorbed);
         let worker = std::thread::Builder::new()
             .name("iim-serve-batcher".into())
-            .spawn(move || batcher_loop(worker_shared, model, pool))
-            .expect("spawn batcher thread");
-        Self {
+            .spawn(move || batcher_loop(worker_shared, model, pool, checkpoint, worker_absorbed))?;
+        Ok(Self {
             shared,
+            absorbed,
+            model_name,
+            arity,
+            can_absorb,
             worker: Some(worker),
-        }
+        })
+    }
+
+    /// The served model's method name.
+    pub fn model_name(&self) -> &str {
+        &self.model_name
+    }
+
+    /// The served model's attribute count.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Whether the served model supports
+    /// [`absorb`](FittedImputer::absorb).
+    pub fn can_absorb(&self) -> bool {
+        self.can_absorb
+    }
+
+    /// Tuples absorbed by the served model so far (including any delta
+    /// rows replayed at snapshot load).
+    pub fn absorbed(&self) -> usize {
+        self.absorbed.load(Ordering::SeqCst)
     }
 
     /// Enqueues `rows` and blocks until their results arrive, in order.
@@ -82,11 +166,29 @@ impl Batcher {
     pub fn impute(&self, rows: Vec<QueryRow>) -> Option<Vec<RowResult>> {
         let (tx, rx) = mpsc::channel();
         {
-            let mut queue = self.shared.queue.lock().expect("batcher lock");
+            let mut queue = lock_queue(&self.shared);
             if queue.shutdown {
                 return None;
             }
-            queue.jobs.push_back(Job { rows, reply: tx });
+            queue.jobs.push_back(Job::Impute { rows, reply: tx });
+        }
+        self.shared.available.notify_one();
+        rx.recv().ok()
+    }
+
+    /// Enqueues complete tuples for absorption and blocks until the model
+    /// has applied them (in row order, serialized against every other
+    /// job).
+    ///
+    /// Returns `None` only when the batcher is shutting down.
+    pub fn learn(&self, rows: Vec<Vec<f64>>) -> Option<LearnReply> {
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut queue = lock_queue(&self.shared);
+            if queue.shutdown {
+                return None;
+            }
+            queue.jobs.push_back(Job::Learn { rows, reply: tx });
         }
         self.shared.available.notify_one();
         rx.recv().ok()
@@ -94,7 +196,7 @@ impl Batcher {
 
     /// Signals the batcher thread to exit once the queue drains.
     pub fn shutdown(&self) {
-        let mut queue = self.shared.queue.lock().expect("batcher lock");
+        let mut queue = lock_queue(&self.shared);
         queue.shutdown = true;
         drop(queue);
         self.shared.available.notify_all();
@@ -110,7 +212,70 @@ impl Drop for Batcher {
     }
 }
 
-fn batcher_loop(shared: Arc<Shared>, model: Arc<dyn FittedImputer>, pool: Pool) {
+/// Flushes one coalesced impute batch: the union of all pending impute
+/// jobs' rows, one deterministic indexed map over the pool, slices routed
+/// back to their connections.
+fn flush_imputes(
+    model: &dyn FittedImputer,
+    pool: &Pool,
+    jobs: &mut Vec<(Vec<QueryRow>, mpsc::Sender<Vec<RowResult>>)>,
+) {
+    if jobs.is_empty() {
+        return;
+    }
+    // Union of all rows, then one deterministic indexed map over the
+    // pool. Row order within the union is job order — irrelevant to
+    // the results (impute_one is pure) but kept stable anyway.
+    let flat: Vec<&QueryRow> = jobs.iter().flat_map(|(rows, _)| rows.iter()).collect();
+    let results: Vec<RowResult> =
+        pool.parallel_map_indexed(flat.len(), |i| model.impute_one(flat[i]));
+
+    // Move each job's slice of results out (no per-row clone on the
+    // serving hot path).
+    let mut results = results.into_iter();
+    for (rows, reply) in jobs.drain(..) {
+        let slice: Vec<RowResult> = results.by_ref().take(rows.len()).collect();
+        // A receiver that hung up (client disconnected) is not an
+        // error for the batch.
+        let _ = reply.send(slice);
+    }
+}
+
+/// Buffers absorbed tuples between checkpoint flushes.
+struct CheckpointState {
+    cfg: CheckpointConfig,
+    pending: Vec<Vec<f64>>,
+}
+
+impl CheckpointState {
+    /// Appends the pending tuples to the snapshot as one delta record.
+    /// An append failure keeps the rows buffered (retried on the next
+    /// flush) — the live model is already ahead of the disk either way,
+    /// and dropping the in-memory copy would make the gap permanent.
+    fn flush(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        match iim_persist::append_delta_path(&self.cfg.path, &self.pending) {
+            Ok(()) => self.pending.clear(),
+            Err(e) => {
+                eprintln!(
+                    "iim-serve: checkpoint append to {} failed ({e}); {} tuples still buffered",
+                    self.cfg.path.display(),
+                    self.pending.len()
+                );
+            }
+        }
+    }
+}
+
+fn batcher_loop(
+    shared: Arc<Shared>,
+    mut model: Box<dyn FittedImputer>,
+    pool: Pool,
+    checkpoint: Option<CheckpointConfig>,
+    absorbed: Arc<AtomicUsize>,
+) {
     // If this thread dies for ANY reason — normal shutdown or a panic
     // unwinding out of a worker via the pool's join — the guard marks the
     // queue shut down and drops every pending job's reply sender, so
@@ -120,44 +285,67 @@ fn batcher_loop(shared: Arc<Shared>, model: Arc<dyn FittedImputer>, pool: Pool) 
     struct PoisonGuard(Arc<Shared>);
     impl Drop for PoisonGuard {
         fn drop(&mut self) {
-            let mut queue = match self.0.queue.lock() {
-                Ok(q) => q,
-                Err(poisoned) => poisoned.into_inner(),
-            };
+            let mut queue = lock_queue(&self.0);
             queue.shutdown = true;
             queue.jobs.clear();
         }
     }
     let _guard = PoisonGuard(Arc::clone(&shared));
+    let mut checkpoint = checkpoint.map(|cfg| CheckpointState {
+        cfg,
+        pending: Vec::new(),
+    });
     loop {
         // Collect every job currently queued (micro-batch = the backlog).
         let jobs: Vec<Job> = {
-            let mut queue = shared.queue.lock().expect("batcher lock");
+            let mut queue = lock_queue(&shared);
             while queue.jobs.is_empty() && !queue.shutdown {
-                queue = shared.available.wait(queue).expect("batcher wait");
+                queue = match shared.available.wait(queue) {
+                    Ok(q) => q,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
             }
             if queue.jobs.is_empty() && queue.shutdown {
+                // Normal shutdown: nothing in flight; flush any absorbed
+                // tuples still buffered for the checkpoint and exit.
+                if let Some(cp) = checkpoint.as_mut() {
+                    cp.flush();
+                }
                 return;
             }
             queue.jobs.drain(..).collect()
         };
 
-        // Union of all rows, then one deterministic indexed map over the
-        // pool. Row order within the union is job order — irrelevant to
-        // the results (impute_one is pure) but kept stable anyway.
-        let flat: Vec<&QueryRow> = jobs.iter().flat_map(|j| j.rows.iter()).collect();
-        let results: Vec<RowResult> =
-            pool.parallel_map_indexed(flat.len(), |i| model.impute_one(flat[i]));
-
-        // Move each job's slice of results out (no per-row clone on the
-        // serving hot path).
-        let mut results = results.into_iter();
+        // Process the backlog in arrival order: impute jobs coalesce,
+        // learn jobs act as barriers between coalesced batches.
+        let mut imputes: Vec<(Vec<QueryRow>, mpsc::Sender<Vec<RowResult>>)> = Vec::new();
         for job in jobs {
-            let slice: Vec<RowResult> = results.by_ref().take(job.rows.len()).collect();
-            // A receiver that hung up (client disconnected) is not an
-            // error for the batch.
-            let _ = job.reply.send(slice);
+            match job {
+                Job::Impute { rows, reply } => imputes.push((rows, reply)),
+                Job::Learn { rows, reply } => {
+                    flush_imputes(model.as_ref(), &pool, &mut imputes);
+                    let mut outcome: LearnReply = Ok(0);
+                    for (i, row) in rows.iter().enumerate() {
+                        if let Err(e) = model.absorb(row) {
+                            outcome = Err((i, e));
+                            break;
+                        }
+                        absorbed.store(model.absorbed(), Ordering::SeqCst);
+                        if let Some(cp) = checkpoint.as_mut() {
+                            cp.pending.push(row.clone());
+                            if cp.pending.len() >= cp.cfg.every.max(1) {
+                                cp.flush();
+                            }
+                        }
+                    }
+                    if outcome.is_ok() {
+                        outcome = Ok(model.absorbed());
+                    }
+                    let _ = reply.send(outcome);
+                }
+            }
         }
+        flush_imputes(model.as_ref(), &pool, &mut imputes);
     }
 }
 
@@ -166,26 +354,31 @@ mod tests {
     use super::*;
     use iim_data::{Imputer, PerAttributeImputer};
 
-    fn fitted() -> Arc<dyn FittedImputer> {
+    fn fitted() -> Box<dyn FittedImputer> {
         let (rel, _) = iim_data::paper_fig1();
-        let fitted = PerAttributeImputer::new(iim_core::Iim::new(iim_core::IimConfig {
+        PerAttributeImputer::new(iim_core::Iim::new(iim_core::IimConfig {
             k: 3,
             ..Default::default()
         }))
         .fit(&rel)
-        .unwrap();
-        Arc::from(fitted)
+        .unwrap()
+    }
+
+    fn start(threads: usize) -> Batcher {
+        Batcher::start(fitted(), threads, None).unwrap()
     }
 
     #[test]
     fn batched_results_match_direct_serving() {
-        let model = fitted();
-        let batcher = Batcher::start(Arc::clone(&model), 2);
+        // Deterministic fit: a second fit of the same config is the same
+        // model, so it stands in for the one the batcher owns.
+        let reference = fitted();
+        let batcher = start(2);
         let rows: Vec<QueryRow> = (0..40).map(|i| vec![Some(i as f64 * 0.2), None]).collect();
         let got = batcher.impute(rows.clone()).unwrap();
         assert_eq!(got.len(), rows.len());
         for (row, out) in rows.iter().zip(&got) {
-            let direct = model.impute_one(row).unwrap();
+            let direct = reference.impute_one(row).unwrap();
             let out = out.as_ref().unwrap();
             assert_eq!(out.len(), direct.len());
             for (a, b) in out.iter().zip(&direct) {
@@ -196,8 +389,7 @@ mod tests {
 
     #[test]
     fn concurrent_jobs_all_answered() {
-        let model = fitted();
-        let batcher = Arc::new(Batcher::start(model, 2));
+        let batcher = Arc::new(start(2));
         std::thread::scope(|scope| {
             for t in 0..8 {
                 let batcher = Arc::clone(&batcher);
@@ -217,8 +409,7 @@ mod tests {
 
     #[test]
     fn per_row_errors_do_not_poison_the_batch() {
-        let model = fitted();
-        let batcher = Batcher::start(model, 1);
+        let batcher = start(1);
         let rows: Vec<QueryRow> = vec![
             vec![Some(1.0), None],
             vec![Some(1.0)], // arity mismatch
@@ -228,6 +419,68 @@ mod tests {
         assert!(got[0].is_ok());
         assert!(matches!(got[1], Err(ImputeError::ArityMismatch { .. })));
         assert!(got[2].is_ok());
+    }
+
+    #[test]
+    fn learn_absorbs_and_changes_subsequent_fills() {
+        let batcher = start(1);
+        assert!(batcher.can_absorb());
+        assert_eq!(batcher.absorbed(), 0);
+        let q: Vec<QueryRow> = vec![vec![Some(4.5), None]];
+        let before = batcher.impute(q.clone()).unwrap()[0].clone().unwrap();
+
+        let reply = batcher.learn(vec![vec![4.6, 2.0], vec![5.4, 1.5]]).unwrap();
+        assert_eq!(reply, Ok(2));
+        assert_eq!(batcher.absorbed(), 2);
+
+        // A reference model absorbing the same rows serves the same bits.
+        let mut reference = fitted();
+        reference.absorb(&[4.6, 2.0]).unwrap();
+        reference.absorb(&[5.4, 1.5]).unwrap();
+        let after = batcher.impute(q.clone()).unwrap()[0].clone().unwrap();
+        let direct = reference.impute_one(&q[0]).unwrap();
+        assert_eq!(after[1].to_bits(), direct[1].to_bits());
+        assert_ne!(before[1].to_bits(), after[1].to_bits());
+    }
+
+    #[test]
+    fn learn_errors_are_positional_and_partial() {
+        let batcher = start(1);
+        let reply = batcher
+            .learn(vec![vec![1.0, 2.0], vec![f64::NAN, 0.0], vec![3.0, 4.0]])
+            .unwrap();
+        // Row 0 absorbed, row 1 rejected, row 2 never attempted.
+        assert!(matches!(reply, Err((1, ImputeError::Unsupported(_)))));
+        assert_eq!(batcher.absorbed(), 1);
+    }
+
+    #[test]
+    fn learn_checkpoints_delta_records() {
+        let dir = std::env::temp_dir().join(format!("iim-batch-cp-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.iim");
+        let fitted = fitted();
+        iim_persist::save_path(fitted.as_ref(), &path).unwrap();
+        let batcher = Batcher::start(
+            fitted,
+            1,
+            Some(CheckpointConfig {
+                path: path.clone(),
+                every: 1,
+            }),
+        )
+        .unwrap();
+        let reply = batcher.learn(vec![vec![4.6, 2.0], vec![0.4, 5.1]]).unwrap();
+        assert_eq!(reply, Ok(2));
+        // every=1 ⇒ both rows are on disk before the reply, no shutdown
+        // flush needed.
+        let bytes = std::fs::read(&path).unwrap();
+        let info = iim_persist::inspect(&bytes).unwrap();
+        assert_eq!(info.absorbed_rows, 2);
+        let (loaded, _) = iim_persist::load_from_slice_with_info(&bytes).unwrap();
+        assert_eq!(loaded.absorbed(), 2);
+        drop(batcher);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -244,7 +497,7 @@ mod tests {
                 panic!("model bug");
             }
         }
-        let batcher = Batcher::start(Arc::new(Panicker), 1);
+        let batcher = Batcher::start(Box::new(Panicker), 1, None).unwrap();
         // The panicking batch itself and every later request must resolve
         // (to None → a 503 upstream), never hang.
         assert!(batcher.impute(vec![vec![None]]).is_none());
@@ -253,8 +506,9 @@ mod tests {
 
     #[test]
     fn shutdown_refuses_new_work() {
-        let batcher = Batcher::start(fitted(), 1);
+        let batcher = start(1);
         batcher.shutdown();
         assert!(batcher.impute(vec![vec![Some(1.0), None]]).is_none());
+        assert!(batcher.learn(vec![vec![1.0, 2.0]]).is_none());
     }
 }

@@ -100,17 +100,26 @@ pub fn read_request<S: Read>(stream: &mut S) -> Result<Request, HttpError> {
         .ok_or(HttpError::Malformed("missing path"))?
         .to_string();
 
-    let mut content_length: u64 = 0;
+    let mut content_length: Option<u64> = None;
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
             if name.trim().eq_ignore_ascii_case("content-length") {
-                content_length = value
+                let parsed = value
                     .trim()
                     .parse()
                     .map_err(|_| HttpError::Malformed("bad content-length"))?;
+                // Repeated Content-Length headers are a request-smuggling
+                // staple (RFC 9112 §6.3): reject the request outright
+                // rather than silently picking one — even when the copies
+                // agree.
+                if content_length.is_some() {
+                    return Err(HttpError::Malformed("duplicate content-length"));
+                }
+                content_length = Some(parsed);
             }
         }
     }
+    let content_length = content_length.unwrap_or(0);
     if content_length > MAX_BODY_BYTES {
         return Err(HttpError::TooLarge);
     }
@@ -180,6 +189,26 @@ mod tests {
         let req = read_request(&mut raw.as_bytes()).unwrap();
         assert_eq!(req.body.len(), body.len());
         assert_eq!(req.body, body.as_bytes());
+    }
+
+    #[test]
+    fn rejects_conflicting_content_lengths() {
+        // Two disagreeing lengths: the classic smuggling shape. Before the
+        // fix the last header silently won; now the request is malformed.
+        let raw = b"POST /impute HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 2\r\n\r\nhello";
+        assert!(matches!(
+            read_request(&mut &raw[..]),
+            Err(HttpError::Malformed("duplicate content-length"))
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicate_content_lengths_even_when_equal() {
+        let raw = b"POST /impute HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5\r\n\r\nhello";
+        assert!(matches!(
+            read_request(&mut &raw[..]),
+            Err(HttpError::Malformed("duplicate content-length"))
+        ));
     }
 
     #[test]

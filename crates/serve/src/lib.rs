@@ -14,11 +14,18 @@
 //! the daemon's fills are **byte-identical** to `iim impute` run offline
 //! on the same queries (asserted end-to-end by the CI serving job).
 //!
+//! The queue also carries **streaming ingestion**: `POST /learn` absorbs
+//! complete tuples into the live model ([`iim_data::FittedImputer::absorb`])
+//! without a refit, serialized against every impute so each served fill
+//! reflects a definite prefix of the learn stream. With a
+//! [`batch::CheckpointConfig`] the daemon appends absorbed tuples to the
+//! snapshot as delta records, so a restart replays them instead of
+//! relearning.
+//!
 //! ```no_run
-//! use std::sync::Arc;
 //! use iim_serve::{ServeConfig, Server};
 //!
-//! # fn model() -> Arc<dyn iim_data::FittedImputer> { unimplemented!() }
+//! # fn model() -> Box<dyn iim_data::FittedImputer> { unimplemented!() }
 //! let server = Server::bind(model(), &ServeConfig {
 //!     addr: "127.0.0.1:7878".into(),
 //!     threads: 4,
@@ -34,7 +41,7 @@ pub mod batch;
 pub mod http;
 pub mod server;
 
-pub use batch::Batcher;
+pub use batch::{Batcher, CheckpointConfig, LearnReply};
 pub use server::{ServeConfig, Server, ServerHandle};
 
 #[cfg(test)]
@@ -43,36 +50,33 @@ mod tests {
     use iim_data::{FittedImputer, Imputer, PerAttributeImputer};
     use std::io::{Read, Write};
     use std::net::TcpStream;
-    use std::sync::Arc;
 
-    fn fitted() -> Arc<dyn FittedImputer> {
+    fn fitted() -> Box<dyn FittedImputer> {
         let (rel, _) = iim_data::paper_fig1();
-        Arc::from(
-            PerAttributeImputer::new(iim_core::Iim::new(iim_core::IimConfig {
-                k: 3,
-                ..Default::default()
-            }))
-            .fit(&rel)
-            .unwrap(),
-        )
+        PerAttributeImputer::new(iim_core::Iim::new(iim_core::IimConfig {
+            k: 3,
+            ..Default::default()
+        }))
+        .fit(&rel)
+        .unwrap()
     }
 
-    fn start() -> (ServerHandle, Arc<dyn FittedImputer>) {
+    fn start() -> ServerHandle {
         start_with_schema(Vec::new())
     }
 
-    fn start_with_schema(schema: Vec<String>) -> (ServerHandle, Arc<dyn FittedImputer>) {
-        let model = fitted();
+    fn start_with_schema(schema: Vec<String>) -> ServerHandle {
         let server = Server::bind(
-            Arc::clone(&model),
+            fitted(),
             &ServeConfig {
                 addr: "127.0.0.1:0".into(),
                 threads: 2,
                 schema,
+                checkpoint: None,
             },
         )
         .unwrap();
-        (server.spawn().unwrap(), model)
+        server.spawn().unwrap()
     }
 
     fn roundtrip(addr: std::net::SocketAddr, request: &str) -> String {
@@ -83,20 +87,25 @@ mod tests {
         out
     }
 
-    fn post_impute(addr: std::net::SocketAddr, body: &str) -> String {
+    fn post(addr: std::net::SocketAddr, path: &str, body: &str) -> String {
         roundtrip(
             addr,
             &format!(
-                "POST /impute HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+                "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
                 body.len()
             ),
         )
     }
 
+    fn post_impute(addr: std::net::SocketAddr, body: &str) -> String {
+        post(addr, "/impute", body)
+    }
+
     #[test]
     fn health_info_and_impute_end_to_end() {
-        let (handle, model) = start();
+        let handle = start();
         let addr = handle.addr();
+        let model = fitted(); // deterministic fit = the served model
 
         let health = roundtrip(addr, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
         assert!(health.starts_with("HTTP/1.1 200"), "{health}");
@@ -104,6 +113,8 @@ mod tests {
         let info = roundtrip(addr, "GET /info HTTP/1.1\r\nHost: t\r\n\r\n");
         assert!(info.contains("\"method\":\"IIM\""), "{info}");
         assert!(info.contains("\"arity\":2"), "{info}");
+        assert!(info.contains("\"can_absorb\":true"), "{info}");
+        assert!(info.contains("\"absorbed\":0"), "{info}");
 
         // Batch of two queries + one blank line (skipped like the CLI).
         let response = post_impute(addr, "A1,A2\n5.0,?\n\n2.0,\n");
@@ -125,7 +136,7 @@ mod tests {
 
     #[test]
     fn parse_and_impute_errors_are_4xx() {
-        let (handle, _) = start();
+        let handle = start();
         let addr = handle.addr();
 
         // Ragged row → 400.
@@ -145,7 +156,7 @@ mod tests {
 
     #[test]
     fn schema_mismatch_is_rejected_before_imputing() {
-        let (handle, _) = start_with_schema(vec!["lng".to_string(), "price".to_string()]);
+        let handle = start_with_schema(vec!["lng".to_string(), "price".to_string()]);
         let addr = handle.addr();
 
         // Exact header → served.
@@ -155,6 +166,167 @@ mod tests {
         let bad = post_impute(addr, "price,lng\n5.0,?\n");
         assert!(bad.starts_with("HTTP/1.1 400"), "{bad}");
         assert!(bad.contains("does not match"), "{bad}");
+
+        handle.shutdown();
+    }
+
+    #[test]
+    fn duplicate_content_length_is_rejected_end_to_end() {
+        let handle = start();
+        let addr = handle.addr();
+        // Regression: before the fix the daemon silently used the last
+        // Content-Length and served a truncated (or padded) body.
+        let body = "A1,A2\n5.0,?\n";
+        let raw = format!(
+            "POST /impute HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nContent-Length: 2\r\n\r\n{body}",
+            body.len()
+        );
+        let response = roundtrip(addr, &raw);
+        assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+        assert!(response.contains("duplicate content-length"), "{response}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn learn_end_to_end() {
+        let handle = start();
+        let addr = handle.addr();
+
+        let before = post_impute(addr, "A1,A2\n4.5,?\n");
+        assert!(before.starts_with("HTTP/1.1 200"), "{before}");
+
+        // A complete tuple absorbs; an incomplete one is a 400 and must
+        // not touch the model.
+        let bad = post(addr, "/learn", "A1,A2\n4.6,?\n");
+        assert!(bad.starts_with("HTTP/1.1 400"), "{bad}");
+        assert!(bad.contains("complete"), "{bad}");
+
+        let ok = post(addr, "/learn", "A1,A2\n4.6,2.0\n5.4,1.5\n");
+        assert!(ok.starts_with("HTTP/1.1 200"), "{ok}");
+        assert!(ok.contains("\"absorbed\":2"), "{ok}");
+        assert!(ok.contains("\"total_absorbed\":2"), "{ok}");
+
+        let info = roundtrip(addr, "GET /info HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(info.contains("\"absorbed\":2"), "{info}");
+
+        // Fills served after the learn reflect it, matching a reference
+        // model that absorbed the same rows in the same order.
+        let mut reference = fitted();
+        reference.absorb(&[4.6, 2.0]).unwrap();
+        reference.absorb(&[5.4, 1.5]).unwrap();
+        let after = post_impute(addr, "A1,A2\n4.5,?\n");
+        let direct = reference.impute_one(&[Some(4.5), None]).unwrap();
+        let body = after.split("\r\n\r\n").nth(1).unwrap();
+        let served: Vec<f64> = body
+            .lines()
+            .nth(1)
+            .unwrap()
+            .split(',')
+            .map(|v| v.parse().unwrap())
+            .collect();
+        assert_eq!(served[1].to_bits(), direct[1].to_bits());
+        assert_ne!(before, after);
+
+        handle.shutdown();
+    }
+
+    /// Satellite hardening test: hammer the daemon with concurrent
+    /// `/learn` and `/impute` requests from many connections. Learns are
+    /// barriers in the batcher, so every served fill must be bitwise
+    /// equal to the fill produced by *some* serial prefix of the learn
+    /// stream — the responses collectively certify that concurrency never
+    /// invented a state no serial absorb/impute sequence could reach.
+    #[test]
+    fn concurrent_learns_and_imputes_match_a_serial_interleaving() {
+        let handle = start();
+        let addr = handle.addr();
+        let learns: Vec<[f64; 2]> = vec![[4.6, 2.0], [5.4, 1.5], [0.4, 5.1], [9.5, 2.6]];
+
+        // Reference fills for the query after each serial prefix of the
+        // learn stream: stage 0 = no absorbs, stage d = all d absorbs.
+        let query = [Some(4.5), None];
+        let mut reference = fitted();
+        let mut stages: Vec<u64> = vec![reference.impute_one(&query).unwrap()[1].to_bits()];
+        for row in &learns {
+            reference.absorb(row).unwrap();
+            stages.push(reference.impute_one(&query).unwrap()[1].to_bits());
+        }
+
+        // One thread streams the learns in order (so the absorb sequence
+        // is exactly `learns`); eight threads hammer imputes meanwhile.
+        std::thread::scope(|scope| {
+            let learner = scope.spawn(move || {
+                for row in &learns {
+                    let resp = post(addr, "/learn", &format!("A1,A2\n{},{}\n", row[0], row[1]));
+                    assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+                }
+            });
+            for _ in 0..8 {
+                let stages = stages.clone();
+                scope.spawn(move || {
+                    for _ in 0..10 {
+                        let resp = post_impute(addr, "A1,A2\n4.5,?\n");
+                        assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+                        let body = resp.split("\r\n\r\n").nth(1).unwrap();
+                        let served: f64 = body
+                            .lines()
+                            .nth(1)
+                            .unwrap()
+                            .split(',')
+                            .nth(1)
+                            .unwrap()
+                            .parse()
+                            .unwrap();
+                        assert!(
+                            stages.contains(&served.to_bits()),
+                            "fill {served} matches no serial learn prefix"
+                        );
+                    }
+                });
+            }
+            learner.join().unwrap();
+        });
+
+        // After every connection drained, the daemon is at the final stage.
+        let last = post_impute(addr, "A1,A2\n4.5,?\n");
+        let body = last.split("\r\n\r\n").nth(1).unwrap();
+        let served: f64 = body
+            .lines()
+            .nth(1)
+            .unwrap()
+            .split(',')
+            .nth(1)
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert_eq!(served.to_bits(), *stages.last().unwrap());
+
+        handle.shutdown();
+    }
+
+    #[test]
+    fn learn_on_an_absorb_free_model_is_422() {
+        let (rel, _) = iim_data::paper_fig1();
+        let knn = PerAttributeImputer::new(iim_baselines::knn::Knn::new(3))
+            .fit(&rel)
+            .unwrap();
+        let server = Server::bind(
+            knn,
+            &ServeConfig {
+                addr: "127.0.0.1:0".into(),
+                threads: 1,
+                schema: Vec::new(),
+                checkpoint: None,
+            },
+        )
+        .unwrap();
+        let handle = server.spawn().unwrap();
+        let addr = handle.addr();
+
+        let info = roundtrip(addr, "GET /info HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(info.contains("\"can_absorb\":false"), "{info}");
+        let resp = post(addr, "/learn", "A1,A2\n1.0,2.0\n");
+        assert!(resp.starts_with("HTTP/1.1 422"), "{resp}");
 
         handle.shutdown();
     }

@@ -6,16 +6,23 @@
 //! | Method | Path       | Body | Response |
 //! |---|---|---|---|
 //! | `GET`  | `/healthz` | —    | `200 ok` once the model is loaded |
-//! | `GET`  | `/info`    | —    | `200` JSON: method name, arity, worker threads |
+//! | `GET`  | `/info`    | —    | `200` JSON: method name, arity, worker threads, absorb support, absorbed-tuple count |
 //! | `POST` | `/impute`  | CSV with header (the `iim-data` row wire format: missing cells empty/`?`/`NA`) | `200` the completed CSV — **byte-identical** to `iim impute` on the same queries with the same model |
+//! | `POST` | `/learn`   | CSV with header, every cell present | `200` JSON: tuples absorbed by this request and in total |
 //!
 //! A one-line body after the header is the single-tuple request; many
 //! lines are a batch. Per-connection parse failures return `400`; a query
 //! the model cannot serve (e.g. an attribute outside the fitted target
 //! set) returns `422` with the typed error message. Either way the daemon
 //! keeps serving — only the offending connection sees the error.
+//!
+//! `/learn` rides the same micro-batching queue as `/impute`, so learns
+//! and imputes **serialize deterministically**: a fill served after a
+//! learn's response arrived reflects that learn, and no fill ever
+//! observes a half-absorbed batch (see [`crate::batch`]). A method
+//! without incremental learning (most baselines) answers `422`.
 
-use crate::batch::{Batcher, QueryRow};
+use crate::batch::{Batcher, CheckpointConfig, QueryRow};
 use crate::http::{read_request, respond, HttpError, Request};
 use iim_data::csv;
 use iim_data::FittedImputer;
@@ -39,6 +46,10 @@ pub struct ServeConfig {
     /// exactly — a reordered or unrelated header would silently impute
     /// from transposed features. Empty: only arity is checked.
     pub schema: Vec<String>,
+    /// Append absorbed tuples to a snapshot file as delta records, making
+    /// restarts cheap: the next `iim serve` load replays the delta instead
+    /// of relearning. `None` disables checkpointing.
+    pub checkpoint: Option<CheckpointConfig>,
 }
 
 impl Default for ServeConfig {
@@ -47,6 +58,7 @@ impl Default for ServeConfig {
             addr: "127.0.0.1:7878".into(),
             threads: 0,
             schema: Vec::new(),
+            checkpoint: None,
         }
     }
 }
@@ -55,7 +67,6 @@ impl Default for ServeConfig {
 pub struct Server {
     listener: TcpListener,
     batcher: Arc<Batcher>,
-    model: Arc<dyn FittedImputer>,
     threads: usize,
     schema: Arc<[String]>,
     stop: Arc<AtomicBool>,
@@ -84,15 +95,15 @@ impl ServerHandle {
 }
 
 impl Server {
-    /// Binds the daemon and starts its batcher (the model is ready to
-    /// serve as soon as this returns; `run`/`spawn` only accept sockets).
-    pub fn bind(model: Arc<dyn FittedImputer>, cfg: &ServeConfig) -> std::io::Result<Self> {
+    /// Binds the daemon and starts its batcher, which takes ownership of
+    /// the model (the model is ready to serve as soon as this returns;
+    /// `run`/`spawn` only accept sockets).
+    pub fn bind(model: Box<dyn FittedImputer>, cfg: &ServeConfig) -> std::io::Result<Self> {
         let listener = TcpListener::bind(&cfg.addr)?;
-        let batcher = Arc::new(Batcher::start(Arc::clone(&model), cfg.threads));
+        let batcher = Arc::new(Batcher::start(model, cfg.threads, cfg.checkpoint.clone())?);
         Ok(Self {
             listener,
             batcher,
-            model,
             threads: cfg.threads,
             schema: cfg.schema.clone().into(),
             stop: Arc::new(AtomicBool::new(false)),
@@ -102,6 +113,16 @@ impl Server {
     /// The bound address (resolves port `0`).
     pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
         self.listener.local_addr()
+    }
+
+    /// The served model's method name (for startup banners).
+    pub fn model_name(&self) -> &str {
+        self.batcher.model_name()
+    }
+
+    /// The served model's attribute count.
+    pub fn arity(&self) -> usize {
+        self.batcher.arity()
     }
 
     /// Runs the accept loop on the calling thread until `stop` is set
@@ -114,7 +135,6 @@ impl Server {
             }
             let Ok(stream) = stream else { continue };
             let batcher = Arc::clone(&self.batcher);
-            let model = Arc::clone(&self.model);
             let schema = Arc::clone(&self.schema);
             let threads = self.threads;
             // Thread-per-connection: connections are short-lived (one
@@ -122,7 +142,7 @@ impl Server {
             // the shared pool, so this stays cheap and simple.
             let _ = std::thread::Builder::new()
                 .name("iim-serve-conn".into())
-                .spawn(move || handle_connection(stream, batcher, model, schema, threads));
+                .spawn(move || handle_connection(stream, batcher, schema, threads));
         }
         self.batcher.shutdown();
     }
@@ -142,7 +162,6 @@ impl Server {
 fn handle_connection(
     mut stream: TcpStream,
     batcher: Arc<Batcher>,
-    model: Arc<dyn FittedImputer>,
     schema: Arc<[String]>,
     threads: usize,
 ) {
@@ -182,57 +201,91 @@ fn handle_connection(
                 iim_exec::default_threads()
             };
             let body = format!(
-                "{{\"method\":\"{}\",\"arity\":{},\"threads\":{}}}\n",
-                model.name(),
-                model.arity(),
+                "{{\"method\":\"{}\",\"arity\":{},\"threads\":{},\"can_absorb\":{},\"absorbed\":{}}}\n",
+                batcher.model_name(),
+                batcher.arity(),
                 resolved,
+                batcher.can_absorb(),
+                batcher.absorbed(),
             );
             let _ = respond(&mut stream, 200, "OK", "application/json", body.as_bytes());
         }
         ("POST", "/impute") => handle_impute(&mut stream, &request, &batcher, &schema),
+        ("POST", "/learn") => handle_learn(&mut stream, &request, &batcher, &schema),
         _ => {
             let _ = respond(&mut stream, 404, "Not Found", "text/plain", b"not found\n");
         }
     }
 }
 
-fn handle_impute(stream: &mut TcpStream, request: &Request, batcher: &Batcher, schema: &[String]) {
-    let bad_request = |stream: &mut TcpStream, msg: String| {
-        let _ = respond(
-            stream,
-            400,
-            "Bad Request",
-            "text/plain",
-            format!("{msg}\n").as_bytes(),
-        );
-    };
+fn bad_request(stream: &mut TcpStream, msg: String) {
+    let _ = respond(
+        stream,
+        400,
+        "Bad Request",
+        "text/plain",
+        format!("{msg}\n").as_bytes(),
+    );
+}
+
+fn backend_unavailable(stream: &mut TcpStream) {
+    // Shutdown in progress, or the batcher died on a panicking model
+    // (its poison guard fails requests instead of wedging them).
+    let _ = respond(
+        stream,
+        503,
+        "Service Unavailable",
+        "text/plain",
+        b"imputation backend unavailable\n",
+    );
+}
+
+/// Parses a request body shared by `/impute` and `/learn`: a CSV header
+/// (validated against the snapshot schema when one is on board) plus the
+/// data lines with their original line numbers (blank lines skipped).
+fn parse_csv_body<'a>(
+    stream: &mut TcpStream,
+    request: &'a Request,
+    schema: &[String],
+) -> Option<(Vec<String>, &'a str, Vec<(usize, &'a str)>)> {
     let Ok(text) = std::str::from_utf8(&request.body) else {
-        return bad_request(stream, "body is not UTF-8".into());
+        bad_request(stream, "body is not UTF-8".into());
+        return None;
     };
     let mut lines = text.lines();
     let Some(header) = lines.next() else {
-        return bad_request(stream, "empty body: missing CSV header".into());
+        bad_request(stream, "empty body: missing CSV header".into());
+        return None;
     };
     let names = csv::parse_header(header);
     // With a snapshot schema on board, a reordered or unrelated header is
     // a hard error — imputing it would silently transpose features.
     if !schema.is_empty() && names != schema {
-        return bad_request(
+        bad_request(
             stream,
             format!("query header {names:?} does not match the model's schema {schema:?}"),
         );
+        return None;
     }
+    let data: Vec<(usize, &str)> = lines
+        .enumerate()
+        .filter(|(_, line)| !line.trim().is_empty())
+        .map(|(idx, line)| (idx + 2, line))
+        .collect();
+    Some((names, header, data))
+}
+
+fn handle_impute(stream: &mut TcpStream, request: &Request, batcher: &Batcher, schema: &[String]) {
+    let Some((names, header, data)) = parse_csv_body(stream, request, schema) else {
+        return;
+    };
 
     // Parse all rows up front so a syntax error rejects the request
     // before any imputation runs. Original body line numbers ride along
     // (blank lines are skipped) so errors point at the client's input.
     let mut rows: Vec<QueryRow> = Vec::new();
     let mut linenos: Vec<usize> = Vec::new();
-    for (idx, line) in lines.enumerate() {
-        if line.trim().is_empty() {
-            continue;
-        }
-        let lineno = idx + 2;
+    for (lineno, line) in data {
         match csv::parse_row(line, names.len(), lineno) {
             Ok(row) => {
                 rows.push(row);
@@ -243,16 +296,7 @@ fn handle_impute(stream: &mut TcpStream, request: &Request, batcher: &Batcher, s
     }
 
     let Some(results) = batcher.impute(rows) else {
-        // Shutdown in progress, or the batcher died on a panicking model
-        // (its poison guard fails requests instead of wedging them).
-        let _ = respond(
-            stream,
-            503,
-            "Service Unavailable",
-            "text/plain",
-            b"imputation backend unavailable\n",
-        );
-        return;
+        return backend_unavailable(stream);
     };
 
     // One failing row fails the request (mirroring the CLI, which aborts
@@ -277,4 +321,67 @@ fn handle_impute(stream: &mut TcpStream, request: &Request, batcher: &Batcher, s
         }
     }
     let _ = respond(stream, 200, "OK", "text/csv", &body);
+}
+
+fn handle_learn(stream: &mut TcpStream, request: &Request, batcher: &Batcher, schema: &[String]) {
+    let Some((names, _, data)) = parse_csv_body(stream, request, schema) else {
+        return;
+    };
+
+    // Learning rows must be complete — a missing cell has no value to
+    // absorb. All rows are validated before any absorb runs, so a 400
+    // never leaves the model partially updated.
+    let mut rows: Vec<Vec<f64>> = Vec::with_capacity(data.len());
+    let mut linenos: Vec<usize> = Vec::with_capacity(data.len());
+    for (lineno, line) in data {
+        let parsed = match csv::parse_row(line, names.len(), lineno) {
+            Ok(row) => row,
+            Err(e) => return bad_request(stream, e.to_string()),
+        };
+        let mut row = Vec::with_capacity(parsed.len());
+        for (col, cell) in parsed.into_iter().enumerate() {
+            match cell {
+                Some(v) => row.push(v),
+                None => {
+                    return bad_request(
+                        stream,
+                        format!(
+                            "line {lineno}, column {}: learning rows must be complete \
+                             (missing cell)",
+                            col + 1
+                        ),
+                    );
+                }
+            }
+        }
+        rows.push(row);
+        linenos.push(lineno);
+    }
+    if rows.is_empty() {
+        return bad_request(stream, "no learning rows in body".into());
+    }
+
+    let absorbed_here = rows.len();
+    let Some(reply) = batcher.learn(rows) else {
+        return backend_unavailable(stream);
+    };
+    match reply {
+        Ok(total) => {
+            let body = format!("{{\"absorbed\":{absorbed_here},\"total_absorbed\":{total}}}\n");
+            let _ = respond(stream, 200, "OK", "application/json", body.as_bytes());
+        }
+        Err((i, e)) => {
+            let _ = respond(
+                stream,
+                422,
+                "Unprocessable Entity",
+                "text/plain",
+                format!(
+                    "learning failed on line {}: {e} ({} earlier rows were absorbed)\n",
+                    linenos[i], i
+                )
+                .as_bytes(),
+            );
+        }
+    }
 }

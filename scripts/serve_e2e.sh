@@ -14,6 +14,12 @@
 #      byte-for-byte; any non-2xx fails via curl -f
 #   5. kill the daemon
 #
+# Then, for every absorb-supporting method (IIM, Mean, GLR), the
+# streaming leg: serve with per-learn checkpointing, POST /learn, and
+# byte-diff the daemon's post-learn fills — both live and after a
+# restart from the checkpointed delta snapshot — against a
+# single-process `iim learn` + `iim impute` reference.
+#
 # Artifacts (snapshots, expected/served CSVs) land in $E2E_DIR for CI to
 # upload.
 
@@ -82,3 +88,77 @@ for m in $METHODS; do
 done
 
 echo "OK: every method round-tripped fit -> save -> load -> serve with byte-identical fills"
+
+# --- Streaming leg: learn over HTTP, checkpoint, restart, byte-diff ---
+#
+# The absorb-supporting subset is pinned here; the workspace test
+# `absorb_support_is_exact_over_the_lineup` keeps this list honest.
+LEARN_ROWS="$E2E_DIR/learn_rows.csv"
+printf 'a,b,c,d\n0.3,1.5,0.45,39.6\n0.72,1.9,0.81,39.25\n' > "$LEARN_ROWS"
+
+wait_healthy() {
+  for _ in $(seq 1 100); do
+    if curl -sf "http://127.0.0.1:$1/healthz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
+  return 1
+}
+
+for m in IIM Mean GLR; do
+  echo "=== $m (learn) ==="
+  snap="$E2E_DIR/$m.iim"
+  live="$E2E_DIR/$m.learned.iim"
+  ref="$E2E_DIR/$m.ref.iim"
+  expected="$E2E_DIR/$m.expected_after.csv"
+
+  # Single-process reference: absorb via the CLI (one delta record) and
+  # impute through the replayed snapshot.
+  cp "$snap" "$ref"
+  "$BIN" learn --model "$ref" "$LEARN_ROWS"
+  "$BIN" impute --model "$ref" --output "$expected" "$QUERIES"
+
+  # Daemon: serve a copy with a checkpoint flushed after every learn,
+  # then stream the same rows through POST /learn.
+  cp "$snap" "$live"
+  PORT=$((PORT + 1))
+  "$BIN" serve "$live" --addr "127.0.0.1:$PORT" --threads 2 \
+      --checkpoint-every 1 &
+  daemon=$!
+  trap 'kill $daemon 2>/dev/null || true' EXIT
+  wait_healthy $PORT || fail "$m: learn daemon never became healthy"
+
+  curl -sf --data-binary "@$LEARN_ROWS" "http://127.0.0.1:$PORT/learn" \
+      | grep -q '"absorbed":2' \
+    || fail "$m: /learn did not absorb both rows"
+  curl -sf "http://127.0.0.1:$PORT/info" | grep -q '"absorbed":2' \
+    || fail "$m: /info does not report the absorbed rows"
+  curl -sf --data-binary "@$QUERIES" "http://127.0.0.1:$PORT/impute" \
+      > "$E2E_DIR/$m.served_live.csv" \
+    || fail "$m: post-learn /impute returned non-2xx"
+  cmp "$E2E_DIR/$m.served_live.csv" "$expected" \
+    || fail "$m: live post-learn fills diverged from the CLI reference"
+
+  kill $daemon
+  wait $daemon 2>/dev/null || true
+  trap - EXIT
+
+  # Restart from the checkpointed delta snapshot: the replayed model
+  # must serve the same bytes as both the live daemon and the reference.
+  PORT=$((PORT + 1))
+  "$BIN" serve "$live" --addr "127.0.0.1:$PORT" --threads 2 &
+  daemon=$!
+  trap 'kill $daemon 2>/dev/null || true' EXIT
+  wait_healthy $PORT || fail "$m: restarted daemon never became healthy"
+  curl -sf "http://127.0.0.1:$PORT/info" | grep -q '"absorbed":2' \
+    || fail "$m: restart lost the checkpointed absorbs"
+  curl -sf --data-binary "@$QUERIES" "http://127.0.0.1:$PORT/impute" \
+      > "$E2E_DIR/$m.served_restarted.csv" \
+    || fail "$m: post-restart /impute returned non-2xx"
+  cmp "$E2E_DIR/$m.served_restarted.csv" "$expected" \
+    || fail "$m: delta-snapshot restart diverged from the CLI reference"
+  kill $daemon
+  wait $daemon 2>/dev/null || true
+  trap - EXIT
+done
+
+echo "OK: learn -> checkpoint -> restart served byte-identical fills for every absorb-supporting method"

@@ -6,6 +6,7 @@
 //! iim impute --model model.iim queries.csv    # load a snapshot, stream queries
 //! iim fit --save model.iim train.csv          # offline phase → snapshot on disk
 //! iim serve model.iim --addr 127.0.0.1:7878   # HTTP daemon over a snapshot
+//! iim learn --model model.iim rows.csv        # absorb tuples, append delta records
 //! iim profile input.csv          # R²_S / R²_H diagnostics per attribute
 //! iim methods                    # list available methods
 //! ```
@@ -20,10 +21,13 @@
 //! model is loaded from an `iim fit --save` snapshot and serves the same
 //! bits it would have served in the fitting process.
 //! `fit` runs the offline phase once and persists it; `serve` turns a
-//! snapshot into a long-lived HTTP daemon (`POST /impute`, `GET /healthz`,
-//! `GET /info`) whose fills are byte-identical to `iim impute` on the same
-//! queries. `profile` reports how sparse / heterogeneous each attribute
-//! is, i.e. which method family the data favours.
+//! snapshot into a long-lived HTTP daemon (`POST /impute`, `POST /learn`,
+//! `GET /healthz`, `GET /info`) whose fills are byte-identical to
+//! `iim impute` on the same queries. `learn` absorbs complete tuples into
+//! a snapshot offline — the model is updated incrementally (no refit) and
+//! the tuples are appended to the snapshot as delta records, replayed on
+//! the next load. `profile` reports how sparse / heterogeneous each
+//! attribute is, i.e. which method family the data favours.
 
 use iim::prelude::*;
 use std::io::{BufRead, Write};
@@ -36,7 +40,9 @@ fn usage() -> String {
      [--fit-on TRAIN.csv | --model MODEL.iim] [--output FILE] INPUT.csv\
      \n  iim fit --save MODEL.iim [--method NAME] [--k N] [--seed S] [--threads T] \
      [--index auto|brute|kdtree] TRAIN.csv\
-     \n  iim serve MODEL.iim [--addr 127.0.0.1:7878] [--threads T]\
+     \n  iim serve MODEL.iim [--addr 127.0.0.1:7878] [--threads T] \
+     [--checkpoint PATH] [--checkpoint-every N]\
+     \n  iim learn --model MODEL.iim ROWS.csv\
      \n  iim profile INPUT.csv\
      \n  iim methods"
         .to_string()
@@ -48,6 +54,7 @@ fn main() -> ExitCode {
         Some("impute") => impute(&args[1..]),
         Some("fit") => fit(&args[1..]),
         Some("serve") => serve_daemon(&args[1..]),
+        Some("learn") => learn(&args[1..]),
         Some("profile") => profile(&args[1..]),
         Some("methods") => {
             // One source of truth: the first lineup entry is the default.
@@ -87,6 +94,8 @@ struct Flags {
     threads: usize,
     output: Option<String>,
     input: Option<String>,
+    checkpoint: Option<String>,
+    checkpoint_every: Option<usize>,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -102,6 +111,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         threads: 0,
         output: None,
         input: None,
+        checkpoint: None,
+        checkpoint_every: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -142,6 +153,17 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--model" => f.model = Some(it.next().ok_or("--model needs a path")?.clone()),
             "--save" => f.save = Some(it.next().ok_or("--save needs a path")?.clone()),
             "--addr" => f.addr = it.next().ok_or("--addr needs host:port")?.clone(),
+            "--checkpoint" => {
+                f.checkpoint = Some(it.next().ok_or("--checkpoint needs a path")?.clone())
+            }
+            "--checkpoint-every" => {
+                f.checkpoint_every = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n > 0)
+                        .ok_or("--checkpoint-every needs a positive integer")?,
+                )
+            }
             "--output" | "-o" => f.output = Some(it.next().ok_or("--output needs a path")?.clone()),
             path if !path.starts_with('-') => f.input = Some(path.to_string()),
             other => return Err(format!("unknown flag {other:?}")),
@@ -315,13 +337,25 @@ fn serve_daemon(args: &[String]) -> ExitCode {
         Err(code) => return code,
     };
     let load_s = t0.elapsed();
-    let model: std::sync::Arc<dyn FittedImputer> = std::sync::Arc::from(fitted);
+    // Either checkpoint flag turns delta checkpointing on; the path
+    // defaults to the snapshot being served, the cadence to every absorb.
+    let checkpoint = (flags.checkpoint.is_some() || flags.checkpoint_every.is_some()).then(|| {
+        iim_serve::CheckpointConfig {
+            path: flags
+                .checkpoint
+                .clone()
+                .unwrap_or_else(|| model_path.clone())
+                .into(),
+            every: flags.checkpoint_every.unwrap_or(1),
+        }
+    });
     let cfg = iim_serve::ServeConfig {
         addr: flags.addr.clone(),
         threads: flags.threads,
         schema: info.schema,
+        checkpoint,
     };
-    let server = match iim_serve::Server::bind(std::sync::Arc::clone(&model), &cfg) {
+    let server = match iim_serve::Server::bind(fitted, &cfg) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("error binding {}: {e}", cfg.addr);
@@ -334,12 +368,93 @@ fn serve_daemon(args: &[String]) -> ExitCode {
         .unwrap_or(cfg.addr);
     eprintln!(
         "serving {} (arity {}) from {model_path} (loaded in {:.4}s) on http://{addr} — \
-         POST /impute, GET /healthz, GET /info",
-        model.name(),
-        model.arity(),
+         POST /impute, POST /learn, GET /healthz, GET /info",
+        server.model_name(),
+        server.arity(),
         load_s.as_secs_f64(),
     );
     server.run();
+    ExitCode::SUCCESS
+}
+
+/// `iim learn --model MODEL.iim ROWS.csv`: absorbs complete tuples into a
+/// snapshot offline. The model is updated incrementally — no refit — and
+/// the tuples are appended to the snapshot as delta records, so the next
+/// load (CLI or daemon) replays them into the same state.
+fn learn(args: &[String]) -> ExitCode {
+    let flags = match parse_flags(args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(rows_path) = flags.input.clone() else {
+        eprintln!("error: missing ROWS.csv (the complete tuples to absorb)");
+        return ExitCode::from(2);
+    };
+    let Some(model_path) = flags.model.clone() else {
+        eprintln!("error: learn needs --model MODEL.iim (the snapshot to grow)");
+        return ExitCode::from(2);
+    };
+    let (mut fitted, info) = match load_snapshot(&model_path) {
+        Ok(pair) => pair,
+        Err(code) => return code,
+    };
+    let rel = match iim::data::csv::read_path(&rows_path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error reading {rows_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !info.schema.is_empty() && rel.schema().names() != info.schema {
+        eprintln!(
+            "error: {rows_path} header {:?} does not match the model's schema {:?}",
+            rel.schema().names(),
+            info.schema
+        );
+        return ExitCode::FAILURE;
+    }
+    // Validate completeness up front: a partial failure mid-file would
+    // leave the snapshot ahead of the caller's mental model.
+    let mut rows: Vec<Vec<f64>> = Vec::with_capacity(rel.n_rows());
+    for i in 0..rel.n_rows() {
+        let row = rel.row_raw(i);
+        let mut complete = Vec::with_capacity(row.len());
+        for (j, cell) in row.iter().enumerate() {
+            if cell.is_nan() {
+                eprintln!(
+                    "error: {rows_path} line {}, column {}: learning rows must be complete",
+                    i + 2,
+                    j + 1
+                );
+                return ExitCode::FAILURE;
+            }
+            complete.push(*cell);
+        }
+        rows.push(complete);
+    }
+    let t0 = Instant::now();
+    for (i, row) in rows.iter().enumerate() {
+        if let Err(e) = fitted.absorb(row) {
+            eprintln!("error absorbing {rows_path} line {}: {e}", i + 2);
+            return ExitCode::FAILURE;
+        }
+    }
+    let absorb_s = t0.elapsed();
+    if let Err(e) = iim_persist::append_delta_path(&model_path, &rows) {
+        eprintln!("error appending delta to {model_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "{model_path}: {} absorbed {} tuples from {rows_path} in {:.4}s \
+         ({} absorbed in total); delta record appended",
+        fitted.name(),
+        rows.len(),
+        absorb_s.as_secs_f64(),
+        fitted.absorbed(),
+    );
     ExitCode::SUCCESS
 }
 
