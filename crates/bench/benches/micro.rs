@@ -64,7 +64,7 @@ fn bench_knn(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(2);
     let n = 50_000;
     let data: Vec<f64> = (0..n * 2).map(|_| rng.gen_range(0.0..100.0)).collect();
-    let fm = FeatureMatrix::from_dense(2, (0..n as u32).collect(), data);
+    let fm = FeatureMatrix::from_dense(2, (0..n as u32).collect::<Vec<u32>>(), data);
     let tree = KdTree::build(fm.clone());
     let queries: Vec<[f64; 2]> = (0..64)
         .map(|_| [rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)])
@@ -95,7 +95,7 @@ fn bench_knn(c: &mut Criterion) {
 fn bench_learning(c: &mut Criterion) {
     let (xs, ys) = random_rows(2000, 4, 3);
     let flat: Vec<f64> = xs.iter().flatten().copied().collect();
-    let fm = FeatureMatrix::from_dense(4, (0..2000u32).collect(), flat);
+    let fm = FeatureMatrix::from_dense(4, (0..2000u32).collect::<Vec<u32>>(), flat);
     let orders = NeighborOrders::build(&fm, 100);
     c.bench_function("learn_fixed_l50_n2000_m4", |b| {
         b.iter(|| black_box(learn_fixed(&fm, &ys, &orders, 50, 1e-6, 1)));

@@ -74,7 +74,7 @@ fn main() {
             ..IimConfig::default()
         };
 
-        let fm = FeatureMatrix::from_dense(m, (0..n as u32).collect(), data.clone());
+        let fm = FeatureMatrix::from_dense(m, (0..n as u32).collect::<Vec<u32>>(), data.clone());
         let t0 = Instant::now();
         let mut model = IimModel::learn_from_parts(fm, &ys, &cfg);
         let fit_s = t0.elapsed().as_secs_f64();
@@ -112,7 +112,7 @@ fn main() {
         grown.extend_from_slice(&stream[0].0);
         let mut grown_ys = ys.clone();
         grown_ys.push(stream[0].1);
-        let fm1 = FeatureMatrix::from_dense(m, (0..(n as u32) + 1).collect(), grown);
+        let fm1 = FeatureMatrix::from_dense(m, (0..(n as u32) + 1).collect::<Vec<u32>>(), grown);
         let t1 = Instant::now();
         let refit = IimModel::learn_from_parts(fm1, &grown_ys, &cfg);
         let refit_one_s = t1.elapsed().as_secs_f64();

@@ -30,7 +30,7 @@ use std::time::Instant;
 fn training_parts(n: usize, m: usize, seed: u64) -> (FeatureMatrix, Vec<f64>) {
     let mut rng = StdRng::seed_from_u64(seed);
     let data: Vec<f64> = (0..n * m).map(|_| rng.gen_range(0.0..100.0)).collect();
-    let fm = FeatureMatrix::from_dense(m, (0..n as u32).collect(), data);
+    let fm = FeatureMatrix::from_dense(m, (0..n as u32).collect::<Vec<u32>>(), data);
     let ys: Vec<f64> = (0..n)
         .map(|i| {
             let x = fm.point(i);

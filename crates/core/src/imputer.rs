@@ -6,6 +6,7 @@ use crate::adaptive::adaptive_learn;
 use crate::config::{IimConfig, Learning, Weighting};
 use crate::impute::{impute_with_scratch, ImputeScratch};
 use crate::learn::learn_fixed;
+use iim_bytes::{FloatSlice, U32Slice};
 use iim_data::{AttrEstimator, AttrPredictor, AttrTask, ImputeError};
 use iim_linalg::{GramAccumulator, LuFactors, Matrix, RidgeModel, EPS};
 use iim_neighbors::{brute::FeatureMatrix, KnnScratch, NeighborIndex, NeighborOrders};
@@ -113,8 +114,8 @@ fn sherman_morrison_update(st: &mut SmState, u_aug: &[f64], y: f64) -> bool {
 pub struct IimModel {
     index: NeighborIndex,
     models: Vec<RidgeModel>,
-    chosen_ell: Vec<u32>,
-    ys: Vec<f64>,
+    chosen_ell: U32Slice,
+    ys: FloatSlice,
     alpha: f64,
     k: usize,
     weighting: Weighting,
@@ -189,8 +190,8 @@ impl IimModel {
         Self {
             index,
             models,
-            chosen_ell,
-            ys: ys.to_vec(),
+            chosen_ell: chosen_ell.into(),
+            ys: ys.to_vec().into(),
             alpha: cfg.alpha,
             k: cfg.k.max(1),
             weighting: cfg.weighting,
@@ -269,12 +270,13 @@ impl IimModel {
     pub fn from_parts(
         index: NeighborIndex,
         models: Vec<RidgeModel>,
-        chosen_ell: Vec<u32>,
-        ys: Vec<f64>,
+        chosen_ell: impl Into<U32Slice>,
+        ys: impl Into<FloatSlice>,
         alpha: f64,
         k: usize,
         weighting: Weighting,
     ) -> Self {
+        let (chosen_ell, ys) = (chosen_ell.into(), ys.into());
         assert_eq!(models.len(), index.len(), "one model per training tuple");
         assert_eq!(chosen_ell.len(), index.len(), "one ℓ per training tuple");
         assert_eq!(ys.len(), index.len(), "one target per training tuple");
@@ -375,7 +377,7 @@ impl IimModel {
             let st = self.sm.get_mut(&pos).expect("state inserted above");
             if sherman_morrison_update(st, &u_aug, y) {
                 self.models[pos as usize] = RidgeModel {
-                    phi: st.a_inv.matvec(&st.v),
+                    phi: st.a_inv.matvec(&st.v).into(),
                 };
             }
         }
@@ -404,11 +406,12 @@ impl IimModel {
             }
         };
 
-        // (4) Append to the serving state.
+        // (4) Append to the serving state (copy-on-write: a view-backed
+        // model becomes owned on first absorb).
         self.index.push(x, n as u32);
-        self.ys.push(y);
+        self.ys.to_mut().push(y);
         self.models.push(own);
-        self.chosen_ell.push(ell_new as u32);
+        self.chosen_ell.to_mut().push(ell_new as u32);
         self.absorbed += 1;
         Ok(())
     }

@@ -91,7 +91,7 @@ impl GramAccumulator {
     /// non-finite data).
     pub fn solve(&self, alpha: f64) -> Option<RidgeModel> {
         let phi = solve_spd_regularized(&self.u, &self.v, alpha)?;
-        Some(RidgeModel { phi })
+        Some(RidgeModel { phi: phi.into() })
     }
 
     /// Resets to the empty state, keeping the allocation.

@@ -8,15 +8,20 @@
 use crate::matrix::dot;
 use crate::solve::solve_spd_regularized;
 use crate::Matrix;
+use iim_bytes::FloatSlice;
 
 /// A fitted linear model `y ≈ φ\[0\] + φ\[1\] x₁ + … + φ[m-1] x_{m-1}`.
 ///
 /// `phi` is laid out exactly like the paper's
-/// `φ = {φ[C], φ[A1], …, φ[A_{m-1}]}ᵀ`.
+/// `φ = {φ[C], φ[A1], …, φ[A_{m-1}]}ᵀ`. It is a [`FloatSlice`] so a
+/// snapshot loaded through the validate-then-view path can borrow the
+/// coefficients straight out of the shared snapshot buffer; freshly
+/// fitted models own their coefficients as before (`FloatSlice` derefs
+/// to `[f64]`, so call sites are unchanged).
 #[derive(Debug, Clone, PartialEq)]
 pub struct RidgeModel {
     /// `[intercept, coef₁, …]`.
-    pub phi: Vec<f64>,
+    pub phi: FloatSlice,
 }
 
 impl RidgeModel {
@@ -24,7 +29,7 @@ impl RidgeModel {
     pub fn constant(c: f64, n_features: usize) -> Self {
         let mut phi = vec![0.0; n_features + 1];
         phi[0] = c;
-        Self { phi }
+        Self { phi: phi.into() }
     }
 
     /// Predicts `(1, x) · φ` for a feature vector `x` (without the leading 1).
@@ -88,7 +93,7 @@ where
     }
     assert_eq!(count, ys.len(), "rows and ys must have equal length");
     let phi = solve_spd_regularized(&u, &v, alpha)?;
-    Some(RidgeModel { phi })
+    Some(RidgeModel { phi: phi.into() })
 }
 
 /// Adds `w * (1,x)(1,x)ᵀ` into `u` and `w * y (1,x)` into `v` — one

@@ -15,7 +15,7 @@ use rand::{Rng, SeedableRng};
 fn random_matrix(n: usize, m: usize, seed: u64) -> FeatureMatrix {
     let mut rng = StdRng::seed_from_u64(seed);
     let data: Vec<f64> = (0..n * m).map(|_| rng.gen_range(0.0..100.0)).collect();
-    FeatureMatrix::from_dense(m, (0..n as u32).collect(), data)
+    FeatureMatrix::from_dense(m, (0..n as u32).collect::<Vec<u32>>(), data)
 }
 
 fn bench_index_knn(c: &mut Criterion) {

@@ -2,6 +2,7 @@
 
 use crate::dist::sq_dist_f;
 use crate::heap::{push_bounded, Entry, KnnScratch};
+use iim_bytes::{FloatSlice, U32Slice};
 use iim_data::Relation;
 
 /// One neighbor: a position plus its Formula-1 distance to the query.
@@ -19,11 +20,15 @@ pub struct Neighbor {
 ///
 /// All neighbor search in the workspace runs against this shape so the
 /// gather (and its missing-cell checks) happens exactly once per task.
+///
+/// The backing storage is view-or-owned ([`iim_bytes`]): a matrix decoded
+/// through the validate-then-view snapshot path borrows its block straight
+/// from the shared snapshot buffer; gathered/streamed matrices own theirs.
 #[derive(Debug, Clone)]
 pub struct FeatureMatrix {
     f: usize,
-    row_ids: Vec<u32>,
-    data: Vec<f64>,
+    row_ids: U32Slice,
+    data: FloatSlice,
 }
 
 impl FeatureMatrix {
@@ -43,14 +48,15 @@ impl FeatureMatrix {
         }
         Self {
             f: attrs.len(),
-            row_ids: rows.to_vec(),
-            data,
+            row_ids: rows.to_vec().into(),
+            data: data.into(),
         }
     }
 
-    /// Builds directly from a dense row-major block (used by generators and
-    /// tests).
-    pub fn from_dense(f: usize, row_ids: Vec<u32>, data: Vec<f64>) -> Self {
+    /// Builds directly from a dense row-major block (used by generators,
+    /// tests, and the snapshot decode path — which passes views).
+    pub fn from_dense(f: usize, row_ids: impl Into<U32Slice>, data: impl Into<FloatSlice>) -> Self {
+        let (row_ids, data) = (row_ids.into(), data.into());
         assert_eq!(data.len(), row_ids.len() * f);
         Self { f, row_ids, data }
     }
@@ -58,10 +64,11 @@ impl FeatureMatrix {
     /// Appends one candidate point (streaming ingestion). The new point
     /// takes the next position, so an exact scan over the grown matrix is
     /// bitwise-equal to a rebuild with the point gathered last.
+    /// (Copy-on-write: a view-backed matrix becomes owned on first push.)
     pub fn push(&mut self, point: &[f64], row_id: u32) {
         assert_eq!(point.len(), self.f, "appended point must have |F| features");
-        self.row_ids.push(row_id);
-        self.data.extend_from_slice(point);
+        self.row_ids.to_mut().push(row_id);
+        self.data.to_mut().extend_from_slice(point);
     }
 
     /// Number of candidate points.
@@ -202,7 +209,7 @@ mod tests {
 
     fn line(n: usize) -> FeatureMatrix {
         let data: Vec<f64> = (0..n).map(|i| i as f64).collect();
-        FeatureMatrix::from_dense(1, (0..n as u32).collect(), data)
+        FeatureMatrix::from_dense(1, (0..n as u32).collect::<Vec<u32>>(), data)
     }
 
     #[test]
@@ -288,7 +295,7 @@ mod tests {
         let pts: Vec<f64> = (0..50)
             .map(|i| ((i * 37 % 50) as f64) * 0.73 - 10.0)
             .collect();
-        let fm = FeatureMatrix::from_dense(1, (0..50).collect(), pts.clone());
+        let fm = FeatureMatrix::from_dense(1, (0..50u32).collect::<Vec<u32>>(), pts.clone());
         let q = [1.234];
         let got = fm.knn(&q, 7);
         let mut reference: Vec<(f64, u32)> = pts

@@ -255,7 +255,7 @@ mod tests {
     fn random_matrix(n: usize, f: usize, seed: u64) -> FeatureMatrix {
         let mut rng = StdRng::seed_from_u64(seed);
         let data: Vec<f64> = (0..n * f).map(|_| rng.gen_range(-10.0..10.0)).collect();
-        FeatureMatrix::from_dense(f, (0..n as u32).collect(), data)
+        FeatureMatrix::from_dense(f, (0..n as u32).collect::<Vec<u32>>(), data)
     }
 
     #[test]

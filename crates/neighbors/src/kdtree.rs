@@ -315,7 +315,7 @@ mod tests {
     fn random_matrix(n: usize, f: usize, seed: u64) -> FeatureMatrix {
         let mut rng = StdRng::seed_from_u64(seed);
         let data: Vec<f64> = (0..n * f).map(|_| rng.gen_range(-10.0..10.0)).collect();
-        FeatureMatrix::from_dense(f, (0..n as u32).collect(), data)
+        FeatureMatrix::from_dense(f, (0..n as u32).collect::<Vec<u32>>(), data)
     }
 
     #[test]
@@ -347,7 +347,7 @@ mod tests {
             let v = (i % 4) as f64;
             data.extend_from_slice(&[v, -v]);
         }
-        let fm = FeatureMatrix::from_dense(2, (0..40).collect(), data);
+        let fm = FeatureMatrix::from_dense(2, (0..40u32).collect::<Vec<u32>>(), data);
         let tree = KdTree::build(fm.clone());
         for k in [1usize, 3, 9, 11, 40, 60] {
             for q in [[0.0, 0.0], [2.0, -2.0], [1.4, -0.6]] {

@@ -231,7 +231,7 @@ mod tests {
     fn random_matrix(n: usize, f: usize, seed: u64) -> FeatureMatrix {
         let mut rng = StdRng::seed_from_u64(seed);
         let data: Vec<f64> = (0..n * f).map(|_| rng.gen_range(-5.0..5.0)).collect();
-        FeatureMatrix::from_dense(f, (0..n as u32).collect(), data)
+        FeatureMatrix::from_dense(f, (0..n as u32).collect::<Vec<u32>>(), data)
     }
 
     #[test]
@@ -292,7 +292,7 @@ mod tests {
                 data.extend_from_slice(fm.point(i));
             }
         }
-        fm = FeatureMatrix::from_dense(3, (0..600).collect(), data);
+        fm = FeatureMatrix::from_dense(3, (0..600u32).collect::<Vec<u32>>(), data);
 
         let auto = NeighborOrders::build_on(&Pool::serial(), &fm, 12);
         let mut brute = vec![0u32; 600 * 12];

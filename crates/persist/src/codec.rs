@@ -59,11 +59,11 @@ fn corrupt(msg: impl Into<String>) -> PersistError {
 // Shared building blocks.
 
 fn put_ridge(w: &mut Writer, m: &RidgeModel) {
-    w.f64s(&m.phi);
+    w.f64s_banked(&m.phi);
 }
 
 fn get_ridge(r: &mut Reader<'_>) -> Result<RidgeModel, PersistError> {
-    let phi = r.f64s("ridge phi")?;
+    let phi = r.f64s_banked("ridge phi")?;
     if phi.is_empty() {
         return Err(corrupt("ridge model with no coefficients"));
     }
@@ -91,14 +91,14 @@ fn get_matrix(r: &mut Reader<'_>) -> Result<Matrix, PersistError> {
 
 fn put_feature_matrix(w: &mut Writer, fm: &FeatureMatrix) {
     w.len(fm.n_features());
-    w.u32s(fm.row_ids());
-    w.f64s(fm.data());
+    w.u32s_banked(fm.row_ids());
+    w.f64s_banked(fm.data());
 }
 
 fn get_feature_matrix(r: &mut Reader<'_>) -> Result<FeatureMatrix, PersistError> {
     let f = r.scalar("feature-matrix dimensionality")?;
-    let row_ids = r.u32s("feature-matrix row ids")?;
-    let data = r.f64s("feature-matrix data")?;
+    let row_ids = r.u32s_banked("feature-matrix row ids")?;
+    let data = r.f64s_banked("feature-matrix data")?;
     if data.len() != row_ids.len().saturating_mul(f) {
         return Err(corrupt(format!(
             "feature matrix holds {} values for {} rows x {f} features",
@@ -229,8 +229,8 @@ fn put_predictor(w: &mut Writer, p: &dyn AttrPredictor) -> Result<(), PersistErr
         for rm in m.models() {
             put_ridge(w, rm);
         }
-        w.u32s(m.chosen_ell());
-        w.f64s(m.ys());
+        w.u32s_banked(m.chosen_ell());
+        w.f64s_banked(m.ys());
         w.f64(m.alpha());
         w.len(m.k());
         w.u8(weighting_tag(m.weighting()));
@@ -352,11 +352,11 @@ fn get_predictor(r: &mut Reader<'_>, qdim: usize) -> Result<Box<dyn AttrPredicto
             for _ in 0..n {
                 models.push(get_ridge(r)?);
             }
-            let chosen_ell = r.u32s("iim chosen ell")?;
+            let chosen_ell = r.u32s_banked("iim chosen ell")?;
             if chosen_ell.len() != n {
                 return Err(corrupt("iim: one chosen ℓ per training tuple"));
             }
-            let ys = r.f64s("iim ys")?;
+            let ys = r.f64s_banked("iim ys")?;
             if ys.len() != n {
                 return Err(corrupt("iim: one target value per training tuple"));
             }
@@ -821,41 +821,114 @@ fn get_ifc(r: &mut Reader<'_>) -> Result<FittedIfc, PersistError> {
     })
 }
 
-/// Encodes any lineup fitted imputer into a payload (shape tag first).
-pub fn encode_fitted(f: &dyn FittedImputer) -> Result<Vec<u8>, PersistError> {
+/// Encodes any lineup fitted imputer into `w` (shape tag first). The
+/// writer's mode decides the layout: inline (v2) or banked (v3 meta
+/// stream) — same codec either way.
+fn encode_fitted_into(w: &mut Writer, f: &dyn FittedImputer) -> Result<(), PersistError> {
     let any = f
         .as_any()
         .ok_or_else(|| PersistError::UnsupportedModel(f.name().to_string()))?;
-    let mut w = Writer::new();
     if let Some(pa) = any.downcast_ref::<FittedPerAttribute>() {
-        put_per_attribute(&mut w, pa)?;
+        put_per_attribute(w, pa)?;
     } else if let Some(x) = any.downcast_ref::<FittedIlls>() {
-        put_ills(&mut w, x);
+        put_ills(w, x);
     } else if let Some(x) = any.downcast_ref::<FittedEracer>() {
-        put_eracer(&mut w, x);
+        put_eracer(w, x);
     } else if let Some(x) = any.downcast_ref::<FittedSvd>() {
-        put_svd(&mut w, x);
+        put_svd(w, x);
     } else if let Some(x) = any.downcast_ref::<FittedIfc>() {
-        put_ifc(&mut w, x);
+        put_ifc(w, x);
     } else {
         return Err(PersistError::UnsupportedModel(f.name().to_string()));
     }
+    Ok(())
+}
+
+/// Encodes any lineup fitted imputer into an inline (v2) payload.
+pub fn encode_fitted(f: &dyn FittedImputer) -> Result<Vec<u8>, PersistError> {
+    let mut w = Writer::new();
+    encode_fitted_into(&mut w, f)?;
     Ok(w.into_vec())
 }
 
-/// Decodes a payload (produced by [`encode_fitted`]) back into a serving
-/// model, consuming every byte.
-pub fn decode_fitted(payload: &[u8]) -> Result<Box<dyn FittedImputer>, PersistError> {
-    let mut r = Reader::new(payload);
+/// Encodes any lineup fitted imputer into its v3 parts: the meta stream
+/// plus the two numeric banks the heavy arrays were diverted into.
+pub fn encode_fitted_parts(
+    f: &dyn FittedImputer,
+) -> Result<(Vec<u8>, Vec<f64>, Vec<u32>), PersistError> {
+    let mut w = Writer::banked();
+    encode_fitted_into(&mut w, f)?;
+    Ok(w.into_banked_parts())
+}
+
+/// Dispatches on the shape tag and consumes every meta byte.
+fn decode_fitted_from(r: &mut Reader<'_>) -> Result<Box<dyn FittedImputer>, PersistError> {
     let shape = r.u8("shape tag")?;
     let fitted: Box<dyn FittedImputer> = match shape {
-        SHAPE_PER_ATTRIBUTE => Box::new(get_per_attribute(&mut r)?),
-        SHAPE_ILLS => Box::new(get_ills(&mut r)?),
-        SHAPE_ERACER => Box::new(get_eracer(&mut r)?),
-        SHAPE_SVD => Box::new(get_svd(&mut r)?),
-        SHAPE_IFC => Box::new(get_ifc(&mut r)?),
+        SHAPE_PER_ATTRIBUTE => Box::new(get_per_attribute(r)?),
+        SHAPE_ILLS => Box::new(get_ills(r)?),
+        SHAPE_ERACER => Box::new(get_eracer(r)?),
+        SHAPE_SVD => Box::new(get_svd(r)?),
+        SHAPE_IFC => Box::new(get_ifc(r)?),
         other => return Err(corrupt(format!("unknown shape tag {other}"))),
     };
     r.expect_exhausted()?;
     Ok(fitted)
+}
+
+/// Decodes an inline (v2) payload produced by [`encode_fitted`] back into
+/// a serving model, consuming every byte.
+pub fn decode_fitted(payload: &[u8]) -> Result<Box<dyn FittedImputer>, PersistError> {
+    let mut r = Reader::new(payload);
+    decode_fitted_from(&mut r)
+}
+
+/// Decodes a v3 payload through the **validate-then-view** path: the
+/// payload (already checksum-validated by the container) is copied once
+/// into a shared aligned buffer, the bank extents are bounds-checked, and
+/// the heavy arrays are *borrowed* from the buffer instead of parsed into
+/// fresh `Vec`s — activation cost no longer scales with the bank bytes.
+pub fn decode_fitted_view(payload: &[u8]) -> Result<Box<dyn FittedImputer>, PersistError> {
+    let shared = iim_bytes::shared(payload);
+    let bytes = shared.as_slice();
+    let mut hr = Reader::new(bytes);
+    let meta_len = hr.scalar("v3 meta length")?;
+    let f64_count = hr.scalar("v3 f64 bank count")?;
+    let u32_count = hr.scalar("v3 u32 bank count")?;
+    let meta_start = 24usize;
+    let meta_pad = (8 - (meta_len & 7)) & 7;
+    let f64_off = meta_start
+        .checked_add(meta_len)
+        .and_then(|v| v.checked_add(meta_pad))
+        .ok_or_else(|| corrupt("v3 section table overflows"))?;
+    let u32_off = f64_count
+        .checked_mul(8)
+        .and_then(|v| f64_off.checked_add(v))
+        .ok_or_else(|| corrupt("v3 section table overflows"))?;
+    let end = u32_count
+        .checked_mul(4)
+        .and_then(|v| u32_off.checked_add(v))
+        .ok_or_else(|| corrupt("v3 section table overflows"))?;
+    if end != bytes.len() {
+        return Err(corrupt(format!(
+            "v3 sections describe {end} bytes but the payload holds {}",
+            bytes.len()
+        )));
+    }
+    let meta = &bytes[meta_start..meta_start + meta_len];
+    if bytes[meta_start + meta_len..f64_off]
+        .iter()
+        .any(|&b| b != 0)
+    {
+        return Err(corrupt("non-zero padding between meta stream and banks"));
+    }
+    let banks = crate::wire::BankSource {
+        buf: shared.clone(),
+        f64_off,
+        f64_len: f64_count,
+        u32_off,
+        u32_len: u32_count,
+    };
+    let mut r = Reader::with_banks(meta, banks);
+    decode_fitted_from(&mut r)
 }

@@ -56,8 +56,8 @@ pub mod wire;
 pub use error::PersistError;
 pub use snapshot::{
     append_delta_path, encode_delta, inspect, load, load_from_slice, load_from_slice_with_info,
-    load_path, save, save_path, save_to_vec, save_to_vec_with_schema, SnapshotInfo, DELTA_MAGIC,
-    FORMAT_VERSION, MAGIC,
+    load_path, save, save_path, save_to_vec, save_to_vec_v2, save_to_vec_with_schema, SnapshotInfo,
+    DELTA_MAGIC, FORMAT_VERSION, FORMAT_VERSION_V2, MAGIC, MIN_FORMAT_VERSION,
 };
 
 #[cfg(test)]

@@ -9,11 +9,45 @@
 //! bits as the model that was saved.
 
 use crate::error::PersistError;
+use iim_bytes::{FloatSlice, SharedBytes, U32Slice};
+
+/// The numeric banks a [`Writer`] in banked mode accumulates: heavy
+/// arrays land here (contiguous, alignable) while the meta stream only
+/// records `(count, start)` references to them.
+#[derive(Debug, Default)]
+struct Banks {
+    f64s: Vec<f64>,
+    u32s: Vec<u32>,
+}
+
+/// Where a banked [`Reader`] resolves bank references: a shared aligned
+/// buffer plus the element offset/length of each bank inside it.
+#[derive(Debug, Clone)]
+pub struct BankSource {
+    /// The validated snapshot payload (checksummed before any view is
+    /// handed out).
+    pub buf: SharedBytes,
+    /// Byte offset of the `f64` bank inside `buf`.
+    pub f64_off: usize,
+    /// Element count of the `f64` bank.
+    pub f64_len: usize,
+    /// Byte offset of the `u32` bank inside `buf`.
+    pub u32_off: usize,
+    /// Element count of the `u32` bank.
+    pub u32_len: usize,
+}
 
 /// Append-only encoder over a byte buffer.
+///
+/// In **banked** mode ([`Writer::banked`]) the `*_banked` slice methods
+/// divert their elements into side banks and write only `(count, start)`
+/// references inline, producing the format-v3 validate-then-view layout.
+/// In the default inline mode those same methods are byte-identical to
+/// their plain counterparts, so one codec serves both container versions.
 #[derive(Debug, Default)]
 pub struct Writer {
     buf: Vec<u8>,
+    banks: Option<Banks>,
 }
 
 impl Writer {
@@ -22,9 +56,29 @@ impl Writer {
         Self::default()
     }
 
+    /// An empty writer in banked mode.
+    pub fn banked() -> Self {
+        Self {
+            buf: Vec::new(),
+            banks: Some(Banks::default()),
+        }
+    }
+
+    /// True when `*_banked` methods divert to side banks.
+    pub fn is_banked(&self) -> bool {
+        self.banks.is_some()
+    }
+
     /// The encoded bytes.
     pub fn into_vec(self) -> Vec<u8> {
         self.buf
+    }
+
+    /// The meta stream and the two banks of a banked writer (empty banks
+    /// for an inline writer).
+    pub fn into_banked_parts(self) -> (Vec<u8>, Vec<f64>, Vec<u32>) {
+        let banks = self.banks.unwrap_or_default();
+        (self.buf, banks.f64s, banks.u32s)
     }
 
     /// Appends one byte.
@@ -100,19 +154,65 @@ impl Writer {
             self.len(v);
         }
     }
+
+    /// Appends an `f64` slice through the bank: inline mode is
+    /// byte-identical to [`Writer::f64s`]; banked mode pushes the values
+    /// into the `f64` bank and writes `(count, start)` inline.
+    pub fn f64s_banked(&mut self, vs: &[f64]) {
+        if let Some(b) = &mut self.banks {
+            let start = b.f64s.len();
+            b.f64s.extend_from_slice(vs);
+            self.len(vs.len());
+            self.len(start);
+        } else {
+            self.f64s(vs);
+        }
+    }
+
+    /// Appends a `u32` slice through the bank (see [`Writer::f64s_banked`]).
+    pub fn u32s_banked(&mut self, vs: &[u32]) {
+        if let Some(b) = &mut self.banks {
+            let start = b.u32s.len();
+            b.u32s.extend_from_slice(vs);
+            self.len(vs.len());
+            self.len(start);
+        } else {
+            self.u32s(vs);
+        }
+    }
 }
 
 /// A bounds-checked cursor over encoded bytes.
+///
+/// With a [`BankSource`] attached ([`Reader::with_banks`]) the `*_banked`
+/// slice methods resolve `(count, start)` references into views of the
+/// shared buffer instead of parsing inline elements — the format-v3
+/// validate-then-view read path. Without one, they read the inline v2
+/// layout into owned values.
 #[derive(Debug)]
 pub struct Reader<'a> {
     data: &'a [u8],
     pos: usize,
+    banks: Option<BankSource>,
 }
 
 impl<'a> Reader<'a> {
     /// A reader over `data` starting at offset 0.
     pub fn new(data: &'a [u8]) -> Self {
-        Self { data, pos: 0 }
+        Self {
+            data,
+            pos: 0,
+            banks: None,
+        }
+    }
+
+    /// A reader over `data` resolving bank references against `banks`.
+    pub fn with_banks(data: &'a [u8], banks: BankSource) -> Self {
+        Self {
+            data,
+            pos: 0,
+            banks: Some(banks),
+        }
     }
 
     /// Bytes not yet consumed.
@@ -260,6 +360,51 @@ impl<'a> Reader<'a> {
         Ok(out)
     }
 
+    /// Reads an `f64` slice written by [`Writer::f64s_banked`]: inline
+    /// elements into an owned slice without banks, a bounds-checked view
+    /// of the shared buffer with them. A per-attribute model stores tens
+    /// of thousands of tiny banked slices, so this path stays
+    /// allocation-free: one `Arc` bump per view, no `BankSource` clone.
+    pub fn f64s_banked(&mut self, context: &'static str) -> Result<FloatSlice, PersistError> {
+        let Some(bank_len) = self.banks.as_ref().map(|b| b.f64_len) else {
+            return Ok(self.f64s(context)?.into());
+        };
+        let (n, start) = self.bank_ref(bank_len, context)?;
+        let b = self.banks.as_ref().expect("banks checked above");
+        Ok(FloatSlice::view(&b.buf, b.f64_off + start * 8, n))
+    }
+
+    /// Reads a `u32` slice written by [`Writer::u32s_banked`] (see
+    /// [`Reader::f64s_banked`]).
+    pub fn u32s_banked(&mut self, context: &'static str) -> Result<U32Slice, PersistError> {
+        let Some(bank_len) = self.banks.as_ref().map(|b| b.u32_len) else {
+            return Ok(self.u32s(context)?.into());
+        };
+        let (n, start) = self.bank_ref(bank_len, context)?;
+        let b = self.banks.as_ref().expect("banks checked above");
+        Ok(U32Slice::view(&b.buf, b.u32_off + start * 4, n))
+    }
+
+    /// Reads one `(count, start)` bank reference and bounds-checks it
+    /// against a bank of `bank_len` elements.
+    fn bank_ref(
+        &mut self,
+        bank_len: usize,
+        context: &'static str,
+    ) -> Result<(usize, usize), PersistError> {
+        let n = self.scalar(context)?;
+        let start = self.scalar(context)?;
+        let end = start
+            .checked_add(n)
+            .ok_or_else(|| PersistError::Corrupt(format!("{context}: bank reference overflows")))?;
+        if end > bank_len {
+            return Err(PersistError::Corrupt(format!(
+                "{context}: bank reference {start}+{n} exceeds the bank of {bank_len} elements"
+            )));
+        }
+        Ok((n, start))
+    }
+
     /// Reads a length-prefixed `usize` slice (stored as `u64`s).
     pub fn lens(&mut self, context: &'static str) -> Result<Vec<usize>, PersistError> {
         let n = self.len(context)?;
@@ -274,12 +419,38 @@ impl<'a> Reader<'a> {
     }
 }
 
-/// FNV-1a 64-bit hash — the payload checksum. Not cryptographic: it
-/// detects storage/transit corruption, not tampering.
+/// FNV-1a 64-bit hash — the payload checksum for v2 containers and delta
+/// records. Not cryptographic: it detects storage/transit corruption, not
+/// tampering.
 pub fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
         hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// FNV-1a folded over little-endian `u64` words — the v3 payload
+/// checksum. One multiply per 8 bytes instead of per byte, so validating
+/// a snapshot before viewing it costs an eighth of the byte-wise walk; a
+/// trailing partial word is zero-extended (unambiguous because the
+/// container stores the payload length separately and bounds-checks it
+/// before the checksum runs). Each step is a bijection of the running
+/// state (XOR, then multiply by an odd constant), so any flipped bit in
+/// any word changes the final hash.
+pub fn fnv1a64_words(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        hash ^= u64::from_le_bytes(c.try_into().expect("chunk of 8"));
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut last = [0u8; 8];
+        last[..rem.len()].copy_from_slice(rem);
+        hash ^= u64::from_le_bytes(last);
         hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
     }
     hash

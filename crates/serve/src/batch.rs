@@ -20,6 +20,16 @@
 //! same bits whether it arrived alone or sandwiched between strangers —
 //! and because learns serialize through the same queue, a served fill is
 //! always bitwise-equal to some serial absorb/impute interleaving.
+//!
+//! **Hot swap** rides the same barrier mechanism: [`Batcher::swap`]
+//! enqueues a job that replaces the owned model between coalesced
+//! batches. Every impute enqueued before the swap is answered by the old
+//! model, every impute after it by the new one, and no response ever
+//! mixes cells from two versions. When the swap carries a staged snapshot
+//! file, the atomic rename happens *inside* the barrier — after the old
+//! model's final checkpoint flush, before the first request against the
+//! new model — so the snapshot on disk and the live model can never
+//! disagree about which version absorbed a tuple.
 
 use iim_data::{FittedImputer, ImputeError};
 use iim_exec::Pool;
@@ -52,6 +62,11 @@ pub struct CheckpointConfig {
     pub every: usize,
 }
 
+/// Outcome of a swap job: the new model's absorbed-tuple count, or why
+/// the staged file could not be moved into place (the old model keeps
+/// serving).
+pub type SwapReply = Result<usize, String>;
+
 enum Job {
     Impute {
         rows: Vec<QueryRow>,
@@ -61,6 +76,26 @@ enum Job {
         rows: Vec<Vec<f64>>,
         reply: mpsc::Sender<LearnReply>,
     },
+    Swap {
+        model: Box<dyn FittedImputer>,
+        /// `(tmp, dst)`: rename `tmp` over `dst` inside the barrier, after
+        /// the outgoing model's checkpoint flush. A rename failure aborts
+        /// the swap (the old model keeps serving).
+        staged: Option<(PathBuf, PathBuf)>,
+        /// Checkpoint config for the incoming model (replaces the old one).
+        checkpoint: Option<CheckpointConfig>,
+        reply: mpsc::Sender<SwapReply>,
+    },
+}
+
+/// Serving metadata mirrored out of the owned model so `/info` never has
+/// to queue behind compute. Updated by the batcher thread inside the swap
+/// barrier, so readers see either the old triple or the new one — never a
+/// mix.
+struct Meta {
+    model_name: String,
+    arity: usize,
+    can_absorb: bool,
 }
 
 #[derive(Default)]
@@ -90,10 +125,17 @@ fn lock_queue(shared: &Shared) -> MutexGuard<'_, Queue> {
 pub struct Batcher {
     shared: Arc<Shared>,
     absorbed: Arc<AtomicUsize>,
-    model_name: String,
-    arity: usize,
-    can_absorb: bool,
+    meta: Arc<Mutex<Meta>>,
     worker: Option<JoinHandle<()>>,
+}
+
+/// Reads the metadata mirror, tolerating poisoning (a dead batcher
+/// thread leaves the last consistent triple in place).
+fn lock_meta(meta: &Mutex<Meta>) -> MutexGuard<'_, Meta> {
+    match meta.lock() {
+        Ok(m) => m,
+        Err(poisoned) => poisoned.into_inner(),
+    }
 }
 
 impl Batcher {
@@ -120,38 +162,48 @@ impl Batcher {
             available: Condvar::new(),
         });
         let absorbed = Arc::new(AtomicUsize::new(model.absorbed()));
-        let model_name = model.name().to_string();
-        let arity = model.arity();
-        let can_absorb = model.can_absorb();
+        let meta = Arc::new(Mutex::new(Meta {
+            model_name: model.name().to_string(),
+            arity: model.arity(),
+            can_absorb: model.can_absorb(),
+        }));
         let worker_shared = Arc::clone(&shared);
         let worker_absorbed = Arc::clone(&absorbed);
+        let worker_meta = Arc::clone(&meta);
         let worker = std::thread::Builder::new()
             .name("iim-serve-batcher".into())
-            .spawn(move || batcher_loop(worker_shared, model, pool, checkpoint, worker_absorbed))?;
+            .spawn(move || {
+                batcher_loop(
+                    worker_shared,
+                    model,
+                    pool,
+                    checkpoint,
+                    worker_absorbed,
+                    worker_meta,
+                )
+            })?;
         Ok(Self {
             shared,
             absorbed,
-            model_name,
-            arity,
-            can_absorb,
+            meta,
             worker: Some(worker),
         })
     }
 
     /// The served model's method name.
-    pub fn model_name(&self) -> &str {
-        &self.model_name
+    pub fn model_name(&self) -> String {
+        lock_meta(&self.meta).model_name.clone()
     }
 
     /// The served model's attribute count.
     pub fn arity(&self) -> usize {
-        self.arity
+        lock_meta(&self.meta).arity
     }
 
     /// Whether the served model supports
     /// [`absorb`](FittedImputer::absorb).
     pub fn can_absorb(&self) -> bool {
-        self.can_absorb
+        lock_meta(&self.meta).can_absorb
     }
 
     /// Tuples absorbed by the served model so far (including any delta
@@ -160,20 +212,43 @@ impl Batcher {
         self.absorbed.load(Ordering::SeqCst)
     }
 
+    fn submit(&self, job: Job) -> bool {
+        {
+            let mut queue = lock_queue(&self.shared);
+            if queue.shutdown {
+                return false;
+            }
+            queue.jobs.push_back(job);
+        }
+        self.shared.available.notify_one();
+        true
+    }
+
+    /// Enqueues `rows` without blocking; the receiver yields their
+    /// results, in order. The registry enqueues under its tenant lock and
+    /// receives outside it, so one tenant's slow batch never stalls
+    /// another tenant's requests.
+    ///
+    /// Returns `None` only when the batcher is shutting down. Once
+    /// enqueued, the job is always answered — even through shutdown, the
+    /// batcher drains its queue before exiting.
+    pub fn submit_impute(&self, rows: Vec<QueryRow>) -> Option<mpsc::Receiver<Vec<RowResult>>> {
+        let (tx, rx) = mpsc::channel();
+        self.submit(Job::Impute { rows, reply: tx }).then_some(rx)
+    }
+
+    /// Non-blocking variant of [`Batcher::learn`]; same contract as
+    /// [`Batcher::submit_impute`].
+    pub fn submit_learn(&self, rows: Vec<Vec<f64>>) -> Option<mpsc::Receiver<LearnReply>> {
+        let (tx, rx) = mpsc::channel();
+        self.submit(Job::Learn { rows, reply: tx }).then_some(rx)
+    }
+
     /// Enqueues `rows` and blocks until their results arrive, in order.
     ///
     /// Returns `None` only when the batcher is shutting down.
     pub fn impute(&self, rows: Vec<QueryRow>) -> Option<Vec<RowResult>> {
-        let (tx, rx) = mpsc::channel();
-        {
-            let mut queue = lock_queue(&self.shared);
-            if queue.shutdown {
-                return None;
-            }
-            queue.jobs.push_back(Job::Impute { rows, reply: tx });
-        }
-        self.shared.available.notify_one();
-        rx.recv().ok()
+        self.submit_impute(rows)?.recv().ok()
     }
 
     /// Enqueues complete tuples for absorption and blocks until the model
@@ -182,16 +257,37 @@ impl Batcher {
     ///
     /// Returns `None` only when the batcher is shutting down.
     pub fn learn(&self, rows: Vec<Vec<f64>>) -> Option<LearnReply> {
+        self.submit_learn(rows)?.recv().ok()
+    }
+
+    /// Atomically replaces the served model (and optionally its snapshot
+    /// file and checkpoint config) between micro-batches. Blocks until the
+    /// swap is applied: every request enqueued before this call is
+    /// answered by the old model, every request enqueued after it returns
+    /// by the new one, and no response mixes the two.
+    ///
+    /// With `staged = Some((tmp, dst))`, `tmp` is renamed over `dst`
+    /// inside the barrier — after the outgoing model's last checkpoint
+    /// flush — so delta records always land in the file of the model that
+    /// absorbed them. A rename failure aborts the swap (`Err` with the OS
+    /// error; the old model, file, and checkpoint stay in service).
+    ///
+    /// Returns `None` only when the batcher is shutting down.
+    pub fn swap(
+        &self,
+        model: Box<dyn FittedImputer>,
+        staged: Option<(PathBuf, PathBuf)>,
+        checkpoint: Option<CheckpointConfig>,
+    ) -> Option<SwapReply> {
         let (tx, rx) = mpsc::channel();
-        {
-            let mut queue = lock_queue(&self.shared);
-            if queue.shutdown {
-                return None;
-            }
-            queue.jobs.push_back(Job::Learn { rows, reply: tx });
-        }
-        self.shared.available.notify_one();
-        rx.recv().ok()
+        self.submit(Job::Swap {
+            model,
+            staged,
+            checkpoint,
+            reply: tx,
+        })
+        .then(|| rx.recv().ok())
+        .flatten()
     }
 
     /// Signals the batcher thread to exit once the queue drains.
@@ -275,6 +371,7 @@ fn batcher_loop(
     pool: Pool,
     checkpoint: Option<CheckpointConfig>,
     absorbed: Arc<AtomicUsize>,
+    meta: Arc<Mutex<Meta>>,
 ) {
     // If this thread dies for ANY reason — normal shutdown or a panic
     // unwinding out of a worker via the pool's join — the guard marks the
@@ -342,6 +439,45 @@ fn batcher_loop(
                         outcome = Ok(model.absorbed());
                     }
                     let _ = reply.send(outcome);
+                }
+                Job::Swap {
+                    model: next,
+                    staged,
+                    checkpoint: next_cp,
+                    reply,
+                } => {
+                    // Barrier: answer everything queued before the swap
+                    // with the outgoing model, and put its last absorbed
+                    // tuples on disk before the file changes hands.
+                    flush_imputes(model.as_ref(), &pool, &mut imputes);
+                    if let Some(cp) = checkpoint.as_mut() {
+                        cp.flush();
+                    }
+                    if let Some((tmp, dst)) = staged {
+                        if let Err(e) = std::fs::rename(&tmp, &dst) {
+                            // Abort: old model, file, and checkpoint stay
+                            // in service; the caller sees why.
+                            let _ = reply.send(Err(format!(
+                                "staging {} over {} failed: {e}",
+                                tmp.display(),
+                                dst.display()
+                            )));
+                            continue;
+                        }
+                    }
+                    model = next;
+                    checkpoint = next_cp.map(|cfg| CheckpointState {
+                        cfg,
+                        pending: Vec::new(),
+                    });
+                    absorbed.store(model.absorbed(), Ordering::SeqCst);
+                    {
+                        let mut m = lock_meta(&meta);
+                        m.model_name = model.name().to_string();
+                        m.arity = model.arity();
+                        m.can_absorb = model.can_absorb();
+                    }
+                    let _ = reply.send(Ok(model.absorbed()));
                 }
             }
         }
@@ -502,6 +638,65 @@ mod tests {
         // (to None → a 503 upstream), never hang.
         assert!(batcher.impute(vec![vec![None]]).is_none());
         assert!(batcher.impute(vec![vec![None]]).is_none());
+    }
+
+    #[test]
+    fn swap_is_a_barrier_and_updates_metadata() {
+        let batcher = start(2);
+        let q: Vec<QueryRow> = vec![vec![Some(4.5), None]];
+        let before = batcher.impute(q.clone()).unwrap()[0].clone().unwrap();
+
+        // Swap in a model that has absorbed two extra tuples; requests
+        // after the swap returns must serve the new model's bits.
+        let mut next = fitted();
+        next.absorb(&[4.6, 2.0]).unwrap();
+        next.absorb(&[5.4, 1.5]).unwrap();
+        let expected = next.impute_one(&q[0]).unwrap();
+        assert_eq!(batcher.swap(next, None, None), Some(Ok(2)));
+        assert_eq!(batcher.absorbed(), 2);
+        assert_eq!(batcher.model_name(), "IIM");
+
+        let after = batcher.impute(q).unwrap()[0].clone().unwrap();
+        assert_eq!(after[1].to_bits(), expected[1].to_bits());
+        assert_ne!(before[1].to_bits(), after[1].to_bits());
+    }
+
+    #[test]
+    fn swap_rename_failure_keeps_the_old_model() {
+        let batcher = start(1);
+        let q: Vec<QueryRow> = vec![vec![Some(4.5), None]];
+        let before = batcher.impute(q.clone()).unwrap()[0].clone().unwrap();
+
+        let mut next = fitted();
+        next.absorb(&[4.6, 2.0]).unwrap();
+        let missing = std::env::temp_dir().join("iim-swap-no-such-staged-file");
+        let dst = std::env::temp_dir().join("iim-swap-dst");
+        let reply = batcher.swap(next, Some((missing, dst)), None).unwrap();
+        assert!(reply.is_err(), "rename of a missing tmp must fail the swap");
+        assert_eq!(batcher.absorbed(), 0);
+
+        let after = batcher.impute(q).unwrap()[0].clone().unwrap();
+        assert_eq!(before[1].to_bits(), after[1].to_bits());
+    }
+
+    #[test]
+    fn swap_renames_the_staged_file_inside_the_barrier() {
+        let dir = std::env::temp_dir().join(format!("iim-swap-stage-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let tmp = dir.join(".model.tmp");
+        let dst = dir.join("model.iim");
+        std::fs::write(&tmp, b"staged-bytes").unwrap();
+        std::fs::write(&dst, b"old-bytes").unwrap();
+
+        let batcher = start(1);
+        let reply = batcher
+            .swap(fitted(), Some((tmp.clone(), dst.clone())), None)
+            .unwrap();
+        assert_eq!(reply, Ok(0));
+        assert!(!tmp.exists());
+        assert_eq!(std::fs::read(&dst).unwrap(), b"staged-bytes");
+        drop(batcher);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -146,11 +146,28 @@ pub fn respond<S: Write>(
     content_type: &str,
     body: &[u8],
 ) -> io::Result<()> {
+    respond_ext(stream, status, reason, content_type, &[], body)
+}
+
+/// [`respond`] with extra headers (e.g. `Allow` on a 405). Header names
+/// and values are the caller's responsibility — no CRLF in either.
+pub fn respond_ext<S: Write>(
+    stream: &mut S,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+) -> io::Result<()> {
     write!(
         stream,
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
         body.len()
     )?;
+    for (name, value) in extra_headers {
+        write!(stream, "{name}: {value}\r\n")?;
+    }
+    stream.write_all(b"\r\n")?;
     stream.write_all(body)?;
     stream.flush()
 }

@@ -22,6 +22,29 @@
 //! snapshot as delta records, so a restart replays them instead of
 //! relearning.
 //!
+//! **Multi-tenant registry mode** ([`registry::Registry`], `iim serve
+//! --models-dir DIR`) serves many named models from one daemon:
+//! `POST /models/{name}/impute`, a `PUT /models/{name}` admin route that
+//! stages a new snapshot, and LRU eviction of cold models under a
+//! resident cap. Hot swap rides the batcher's barrier mechanism
+//! ([`Batcher::swap`]).
+//!
+//! # One version per response (atomicity contract)
+//!
+//! Every HTTP response is computed by **exactly one model version**:
+//!
+//! * The fills in one `/impute` response are all produced by the same
+//!   fitted state — bitwise equal to `impute_one` on that state — never a
+//!   mixture of pre- and post-swap (or pre- and post-learn) models.
+//! * A swap or learn acts as a barrier in the request stream: responses
+//!   collectively order into *some* serial interleaving of imputes,
+//!   learns, and swaps. A client that saw a swap's (or learn's) response
+//!   complete is guaranteed every later fill reflects it.
+//! * No request is dropped by a swap, an LRU eviction, a `DELETE`, or a
+//!   graceful shutdown: work already enqueued is always answered (the
+//!   batcher drains its queue before its thread exits). Requests arriving
+//!   after shutdown began get a clean `503`.
+//!
 //! ```no_run
 //! use iim_serve::{ServeConfig, Server};
 //!
@@ -39,9 +62,12 @@
 
 pub mod batch;
 pub mod http;
+pub mod registry;
 pub mod server;
+pub mod shutdown;
 
-pub use batch::{Batcher, CheckpointConfig, LearnReply};
+pub use batch::{Batcher, CheckpointConfig, LearnReply, SwapReply};
+pub use registry::{ModelInfo, Registry, RegistryConfig, RegistryError, StageOutcome};
 pub use server::{ServeConfig, Server, ServerHandle};
 
 #[cfg(test)]
@@ -72,7 +98,7 @@ mod tests {
                 addr: "127.0.0.1:0".into(),
                 threads: 2,
                 schema,
-                checkpoint: None,
+                ..ServeConfig::default()
             },
         )
         .unwrap();
@@ -305,6 +331,313 @@ mod tests {
     }
 
     #[test]
+    fn unknown_routes_are_structured_404s_and_wrong_methods_405s() {
+        let handle = start();
+        let addr = handle.addr();
+
+        // Unknown path → 404 with a structured JSON body.
+        let resp = roundtrip(addr, "GET /nope HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 404"), "{resp}");
+        assert!(resp.contains("application/json"), "{resp}");
+        assert!(resp.contains("\"error\":\"not_found\""), "{resp}");
+        assert!(resp.contains("GET /nope"), "{resp}");
+
+        // Known path, wrong method → 405 with an Allow header.
+        for (raw, allow) in [
+            (
+                "POST /healthz HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n",
+                "GET",
+            ),
+            ("DELETE /info HTTP/1.1\r\nHost: t\r\n\r\n", "GET"),
+            ("GET /impute HTTP/1.1\r\nHost: t\r\n\r\n", "POST"),
+            (
+                "PUT /learn HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n",
+                "POST",
+            ),
+        ] {
+            let resp = roundtrip(addr, raw);
+            assert!(resp.starts_with("HTTP/1.1 405"), "{raw} → {resp}");
+            assert!(resp.contains(&format!("Allow: {allow}")), "{raw} → {resp}");
+            assert!(resp.contains("\"error\":\"method_not_allowed\""), "{resp}");
+        }
+
+        // Registry routes in single-model mode are 404 (with a hint), not
+        // a crash or a silent 200.
+        let resp = roundtrip(addr, "GET /models HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 404"), "{resp}");
+        assert!(resp.contains("registry mode"), "{resp}");
+
+        // /info reports the single-model mode and snapshot version.
+        let info = roundtrip(addr, "GET /info HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(info.contains("\"mode\":\"single\""), "{info}");
+        assert!(
+            info.contains(&format!(
+                "\"snapshot_version\":{}",
+                iim_persist::FORMAT_VERSION
+            )),
+            "{info}"
+        );
+
+        handle.shutdown();
+    }
+
+    fn fitted_k(k: usize) -> Box<dyn FittedImputer> {
+        let (rel, _) = iim_data::paper_fig1();
+        PerAttributeImputer::new(iim_core::Iim::new(iim_core::IimConfig {
+            k,
+            ..Default::default()
+        }))
+        .fit(&rel)
+        .unwrap()
+    }
+
+    fn snapshot_k(k: usize) -> Vec<u8> {
+        iim_persist::save_to_vec_with_schema(
+            fitted_k(k).as_ref(),
+            &["A1".to_string(), "A2".to_string()],
+        )
+        .unwrap()
+    }
+
+    fn start_registry(tag: &str, max_resident: usize) -> (ServerHandle, std::path::PathBuf) {
+        let dir =
+            std::env::temp_dir().join(format!("iim-serve-registry-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let registry = Registry::open(RegistryConfig {
+            dir: dir.clone(),
+            max_resident,
+            threads: 2,
+        })
+        .unwrap();
+        let server = Server::bind_registry(
+            registry,
+            &ServeConfig {
+                addr: "127.0.0.1:0".into(),
+                threads: 2,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        (server.spawn().unwrap(), dir)
+    }
+
+    fn put(addr: std::net::SocketAddr, path: &str, body: &[u8]) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(
+                format!(
+                    "PUT {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n",
+                    body.len()
+                )
+                .as_bytes(),
+            )
+            .unwrap();
+        stream.write_all(body).unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    fn served_cell(resp: &str, line: usize, col: usize) -> f64 {
+        resp.split("\r\n\r\n")
+            .nth(1)
+            .unwrap()
+            .lines()
+            .nth(line)
+            .unwrap()
+            .split(',')
+            .nth(col)
+            .unwrap()
+            .parse()
+            .unwrap()
+    }
+
+    #[test]
+    fn registry_end_to_end_over_http() {
+        let (handle, dir) = start_registry("e2e", 4);
+        let addr = handle.addr();
+
+        // Empty registry: summary info + empty list + 404 for a ghost.
+        let info = roundtrip(addr, "GET /info HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(info.contains("\"mode\":\"registry\""), "{info}");
+        assert!(info.contains("\"models\":0"), "{info}");
+        let list = roundtrip(addr, "GET /models HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(list.contains("\"models\":[]"), "{list}");
+        let ghost = post(addr, "/models/ghost/impute", "A1,A2\n5.0,?\n");
+        assert!(ghost.starts_with("HTTP/1.1 404"), "{ghost}");
+        assert!(ghost.contains("\"error\":\"unknown_model\""), "{ghost}");
+
+        // Stage two tenants and serve both; fills match direct serving.
+        let staged = put(addr, "/models/alpha", &snapshot_k(3));
+        assert!(staged.starts_with("HTTP/1.1 200"), "{staged}");
+        assert!(staged.contains("\"swapped\":false"), "{staged}");
+        let staged = put(addr, "/models/beta", &snapshot_k(2));
+        assert!(staged.starts_with("HTTP/1.1 200"), "{staged}");
+
+        let a = post(addr, "/models/alpha/impute", "A1,A2\n5.0,?\n");
+        assert!(a.starts_with("HTTP/1.1 200"), "{a}");
+        let b = post(addr, "/models/beta/impute", "A1,A2\n5.0,?\n");
+        assert!(b.starts_with("HTTP/1.1 200"), "{b}");
+        let direct_a = fitted_k(3).impute_one(&[Some(5.0), None]).unwrap();
+        let direct_b = fitted_k(2).impute_one(&[Some(5.0), None]).unwrap();
+        assert_eq!(served_cell(&a, 1, 1).to_bits(), direct_a[1].to_bits());
+        assert_eq!(served_cell(&b, 1, 1).to_bits(), direct_b[1].to_bits());
+
+        // Per-model info carries version, residency, and schema.
+        let card = roundtrip(addr, "GET /models/alpha/info HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(card.contains("\"resident\":true"), "{card}");
+        assert!(
+            card.contains(&format!(
+                "\"snapshot_version\":{}",
+                iim_persist::FORMAT_VERSION
+            )),
+            "{card}"
+        );
+        assert!(card.contains("\"schema\":[\"A1\",\"A2\"]"), "{card}");
+
+        // Learns are per-tenant and reported by info.
+        let learn = post(addr, "/models/alpha/learn", "A1,A2\n4.6,2.0\n");
+        assert!(learn.starts_with("HTTP/1.1 200"), "{learn}");
+        let card = roundtrip(addr, "GET /models/alpha/info HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(card.contains("\"absorbed\":1"), "{card}");
+        let card = roundtrip(addr, "GET /models/beta/info HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(card.contains("\"absorbed\":0"), "{card}");
+
+        // Schema guard: reordered header is a 400, not transposed fills.
+        let bad = post(addr, "/models/alpha/impute", "A2,A1\n?,5.0\n");
+        assert!(bad.starts_with("HTTP/1.1 400"), "{bad}");
+        assert!(bad.contains("\"error\":\"schema_mismatch\""), "{bad}");
+
+        // Garbage snapshots are rejected with a 422, registry unchanged.
+        let garbage = put(addr, "/models/alpha", b"not a snapshot");
+        assert!(garbage.starts_with("HTTP/1.1 422"), "{garbage}");
+        assert!(
+            garbage.contains("\"error\":\"snapshot_rejected\""),
+            "{garbage}"
+        );
+
+        // Delete drains and 404s afterwards.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"DELETE /models/beta HTTP/1.1\r\nHost: t\r\n\r\n")
+            .unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 200"), "{out}");
+        let gone = post(addr, "/models/beta/impute", "A1,A2\n5.0,?\n");
+        assert!(gone.starts_with("HTTP/1.1 404"), "{gone}");
+
+        // Registry-mode 405s carry Allow.
+        let resp = post(addr, "/models", "");
+        assert!(resp.starts_with("HTTP/1.1 405"), "{resp}");
+        assert!(resp.contains("Allow: GET"), "{resp}");
+
+        handle.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The tentpole property test: hammer one registry model with
+    /// concurrent imputes and learns **while hot-swapping it between two
+    /// versions**. Every response must be served — zero drops — and every
+    /// impute batch must be bitwise the output of exactly one reachable
+    /// model state: (version A or B) plus some number of absorbed learn
+    /// tuples since that version was staged. Both cells of the two-row
+    /// batch must come from the *same* state — a response mixing versions
+    /// would be the atomicity violation this test exists to catch.
+    #[test]
+    fn hot_swap_under_load_serves_exactly_one_version_per_response() {
+        let (handle, dir) = start_registry("swap-load", 2);
+        let addr = handle.addr();
+        let bytes_a = snapshot_k(3);
+        let bytes_b = snapshot_k(2);
+        assert!(put(addr, "/models/m", &bytes_a).starts_with("HTTP/1.1 200"));
+        // Touch the model so it is resident: every PUT below then
+        // exercises the live hot-swap path, not the cold-file rename.
+        assert!(post(addr, "/models/m/impute", "A1,A2\n4.5,?\n").starts_with("HTTP/1.1 200"));
+
+        // The learner absorbs the same tuple repeatedly, so the reachable
+        // states enumerate as (version, absorb count since stage): a swap
+        // resets the count (the staged snapshots carry no deltas).
+        const LEARNS: usize = 4;
+        let learn_row = [4.6, 2.0];
+        let queries = [[Some(4.5), None], [Some(2.0), None]];
+        let mut state_pairs: Vec<(u64, u64)> = Vec::new();
+        for k in [3, 2] {
+            for j in 0..=LEARNS {
+                let mut model = fitted_k(k);
+                for _ in 0..j {
+                    model.absorb(&learn_row).unwrap();
+                }
+                state_pairs.push((
+                    model.impute_one(&queries[0]).unwrap()[1].to_bits(),
+                    model.impute_one(&queries[1]).unwrap()[1].to_bits(),
+                ));
+            }
+        }
+
+        std::thread::scope(|scope| {
+            // Swapper: alternate between the two versions under load.
+            let swapper = scope.spawn(|| {
+                for i in 0..6 {
+                    let bytes = if i % 2 == 0 { &bytes_b } else { &bytes_a };
+                    let resp = put(addr, "/models/m", bytes);
+                    assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+                    assert!(resp.contains("\"swapped\":true"), "{resp}");
+                }
+            });
+            // Learner: a serial stream of absorbs of the same tuple.
+            let learner = scope.spawn(move || {
+                for _ in 0..LEARNS {
+                    let resp = post(addr, "/models/m/learn", "A1,A2\n4.6,2.0\n");
+                    assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+                }
+            });
+            // Eight impute hammers: every response must be one state.
+            for _ in 0..8 {
+                let state_pairs = state_pairs.clone();
+                scope.spawn(move || {
+                    for _ in 0..10 {
+                        let resp = post(addr, "/models/m/impute", "A1,A2\n4.5,?\n2.0,?\n");
+                        assert!(resp.starts_with("HTTP/1.1 200"), "no drops allowed: {resp}");
+                        let pair = (
+                            served_cell(&resp, 1, 1).to_bits(),
+                            served_cell(&resp, 2, 1).to_bits(),
+                        );
+                        assert!(
+                            state_pairs.contains(&pair),
+                            "response mixes versions or matches no serial state"
+                        );
+                    }
+                });
+            }
+            swapper.join().unwrap();
+            learner.join().unwrap();
+        });
+
+        // Quiesced: the served state is the last staged version plus the
+        // learns that landed after the final swap — still exactly one of
+        // the enumerated states.
+        let resp = post(addr, "/models/m/impute", "A1,A2\n4.5,?\n2.0,?\n");
+        let pair = (
+            served_cell(&resp, 1, 1).to_bits(),
+            served_cell(&resp, 2, 1).to_bits(),
+        );
+        assert!(state_pairs.contains(&pair));
+
+        handle.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn graceful_shutdown_flag_round_trips() {
+        assert!(!shutdown::requested());
+        shutdown::install(); // idempotent, must not disturb the process
+        shutdown::request();
+        assert!(shutdown::requested());
+        shutdown::wait(); // returns immediately once requested
+    }
+
+    #[test]
     fn learn_on_an_absorb_free_model_is_422() {
         let (rel, _) = iim_data::paper_fig1();
         let knn = PerAttributeImputer::new(iim_baselines::knn::Knn::new(3))
@@ -315,8 +648,7 @@ mod tests {
             &ServeConfig {
                 addr: "127.0.0.1:0".into(),
                 threads: 1,
-                schema: Vec::new(),
-                checkpoint: None,
+                ..ServeConfig::default()
             },
         )
         .unwrap();

@@ -1,0 +1,670 @@
+//! Multi-tenant model registry: named, versioned snapshots on disk, each
+//! served by its own micro-batching [`Batcher`] once touched.
+//!
+//! The filesystem is the source of truth: a model named `prices` is the
+//! file `<dir>/prices.iim` (an `iim-persist` snapshot, any supported
+//! format version). The registry keeps at most `max_resident` models live
+//! at once; a request for a cold model **activates** it transparently
+//! (read + validate-then-view load + batcher spawn) and the
+//! least-recently-used tenant is evicted to make room.
+//!
+//! # Consistency contract
+//!
+//! * **Hot swap is atomic.** [`Registry::stage`] on a resident model
+//!   validates the incoming snapshot, writes it to a temp file, and hands
+//!   both to [`Batcher::swap`]: the rename over the live file happens
+//!   inside the batcher's barrier, after the outgoing model's final
+//!   checkpoint flush. Every request is therefore answered by exactly one
+//!   model version — bitwise equal to some serial interleaving of
+//!   requests and the swap — and the file on disk never disagrees with
+//!   the live model about which version absorbed a tuple.
+//! * **Eviction drops no requests.** Tenants are removed from the map
+//!   under the registry lock but dropped outside it; a [`Batcher`] drains
+//!   its whole queue before its thread exits, so requests already
+//!   enqueued on an evicted tenant still get answers.
+//! * **Eviction loses no learns.** Every resident tenant checkpoints with
+//!   `every = 1`: each absorbed tuple is appended to the model's snapshot
+//!   as a delta record inside the learn barrier, so reactivation replays
+//!   the model to the exact state eviction tore down (the standing
+//!   snapshot-load bitwise guarantee).
+//!
+//! Activation and staging hold the registry lock (a big model load briefly
+//! blocks other tenants' *enqueue*, not their in-flight compute); imputes
+//! and learns enqueue under the lock and block on their reply outside it,
+//! so tenants never serialize behind each other's batches.
+
+use crate::batch::{Batcher, CheckpointConfig, LearnReply, QueryRow, RowResult};
+use iim_persist::PersistError;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Registry configuration.
+#[derive(Debug, Clone)]
+pub struct RegistryConfig {
+    /// Directory holding `<name>.iim` snapshots.
+    pub dir: PathBuf,
+    /// Maximum number of models resident (batcher live) at once; colder
+    /// models are evicted LRU and reactivate on demand.
+    pub max_resident: usize,
+    /// Worker threads per tenant pool (`0` = the shared process default).
+    pub threads: usize,
+}
+
+impl Default for RegistryConfig {
+    fn default() -> Self {
+        Self {
+            dir: PathBuf::from("models"),
+            max_resident: 4,
+            threads: 0,
+        }
+    }
+}
+
+/// Why a registry operation failed; the HTTP layer maps each variant to a
+/// status code.
+#[derive(Debug)]
+pub enum RegistryError {
+    /// Model names are `[A-Za-z0-9_-]`, 1–64 chars — anything else could
+    /// escape the registry directory or collide with its temp files.
+    BadName(String),
+    /// No `<name>.iim` in the registry directory.
+    UnknownModel(String),
+    /// The snapshot failed validation (staging) or load (activation).
+    Load(PersistError),
+    /// Filesystem trouble reading/writing the registry directory.
+    Io(std::io::Error),
+    /// A query header that doesn't match the model's recorded schema —
+    /// imputing it would silently transpose features.
+    SchemaMismatch {
+        /// Column names the query sent.
+        query: Vec<String>,
+        /// Column names the model was trained on.
+        model: Vec<String>,
+    },
+    /// The tenant's batcher is gone (panicked model or shutdown).
+    Unavailable,
+    /// A staged swap could not be applied; the old model keeps serving.
+    StageFailed(String),
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::BadName(n) => {
+                write!(f, "bad model name {n:?}: use 1-64 of [A-Za-z0-9_-]")
+            }
+            RegistryError::UnknownModel(n) => write!(f, "no model named {n:?} in the registry"),
+            RegistryError::Load(e) => write!(f, "snapshot rejected: {e}"),
+            RegistryError::Io(e) => write!(f, "registry io error: {e}"),
+            RegistryError::SchemaMismatch { query, model } => write!(
+                f,
+                "query header {query:?} does not match the model's schema {model:?}"
+            ),
+            RegistryError::Unavailable => write!(f, "model backend unavailable"),
+            RegistryError::StageFailed(why) => write!(f, "stage failed: {why}"),
+        }
+    }
+}
+
+impl From<std::io::Error> for RegistryError {
+    fn from(e: std::io::Error) -> Self {
+        RegistryError::Io(e)
+    }
+}
+
+/// One model's registry card, as reported by [`Registry::info`] and
+/// [`Registry::list`].
+#[derive(Debug, Clone)]
+pub struct ModelInfo {
+    /// Registry name (the file stem).
+    pub name: String,
+    /// Fitted method (e.g. `"IIM"`).
+    pub method: String,
+    /// Snapshot container format version on disk (2 = owned parse,
+    /// 3 = validate-then-view).
+    pub snapshot_version: u16,
+    /// Whether a batcher is live for this model right now.
+    pub resident: bool,
+    /// Whether the model supports `POST /learn`.
+    pub can_absorb: bool,
+    /// Absorbed-delta count: live total when resident, delta rows on disk
+    /// otherwise (equal by the eviction-loses-no-learns contract).
+    pub absorbed: usize,
+    /// Training column names recorded in the snapshot (may be empty).
+    pub schema: Vec<String>,
+}
+
+/// Outcome of [`Registry::stage`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageOutcome {
+    /// The staged model's method name.
+    pub method: String,
+    /// True when a live tenant was hot-swapped to the new version (false:
+    /// the file was replaced cold and will serve on next activation).
+    pub swapped: bool,
+}
+
+struct Tenant {
+    batcher: Batcher,
+    schema: Arc<[String]>,
+    version: u16,
+    last_used: u64,
+}
+
+struct Inner {
+    resident: HashMap<String, Tenant>,
+    /// Logical LRU clock: bumped on every tenant touch.
+    clock: u64,
+}
+
+/// See the [module docs](self).
+pub struct Registry {
+    dir: PathBuf,
+    max_resident: usize,
+    threads: usize,
+    inner: Mutex<Inner>,
+}
+
+fn lock_inner(inner: &Mutex<Inner>) -> MutexGuard<'_, Inner> {
+    match inner.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+}
+
+impl Registry {
+    /// Opens (creating if needed) the registry directory. Models load
+    /// lazily — opening an empty or huge directory costs the same.
+    pub fn open(cfg: RegistryConfig) -> std::io::Result<Arc<Self>> {
+        std::fs::create_dir_all(&cfg.dir)?;
+        Ok(Arc::new(Self {
+            dir: cfg.dir,
+            max_resident: cfg.max_resident.max(1),
+            threads: cfg.threads,
+            inner: Mutex::new(Inner {
+                resident: HashMap::new(),
+                clock: 0,
+            }),
+        }))
+    }
+
+    /// The registry directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The resident cap.
+    pub fn max_resident(&self) -> usize {
+        self.max_resident
+    }
+
+    fn path_for(&self, name: &str) -> Result<PathBuf, RegistryError> {
+        if !valid_name(name) {
+            return Err(RegistryError::BadName(name.to_string()));
+        }
+        Ok(self.dir.join(format!("{name}.iim")))
+    }
+
+    /// Model names present on disk, sorted.
+    pub fn names(&self) -> Result<Vec<String>, RegistryError> {
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("iim") {
+                continue;
+            }
+            if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                if valid_name(stem) {
+                    names.push(stem.to_string());
+                }
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    /// `(models on disk, resident now)` — the registry summary for
+    /// `GET /info`.
+    pub fn summary(&self) -> (usize, usize) {
+        let on_disk = self.names().map(|n| n.len()).unwrap_or(0);
+        let resident = lock_inner(&self.inner).resident.len();
+        (on_disk, resident)
+    }
+
+    /// Registry cards for every model on disk, sorted by name.
+    pub fn list(&self) -> Result<Vec<ModelInfo>, RegistryError> {
+        self.names()?.iter().map(|n| self.info(n)).collect()
+    }
+
+    /// One model's card. Never activates the model: a cold model's card
+    /// comes from [`iim_persist::inspect`] on its file.
+    pub fn info(&self, name: &str) -> Result<ModelInfo, RegistryError> {
+        let path = self.path_for(name)?;
+        {
+            let inner = lock_inner(&self.inner);
+            if let Some(t) = inner.resident.get(name) {
+                return Ok(ModelInfo {
+                    name: name.to_string(),
+                    method: t.batcher.model_name(),
+                    snapshot_version: t.version,
+                    resident: true,
+                    can_absorb: t.batcher.can_absorb(),
+                    absorbed: t.batcher.absorbed(),
+                    schema: t.schema.to_vec(),
+                });
+            }
+        }
+        let bytes = read_model(&path, name)?;
+        let info = iim_persist::inspect(&bytes).map_err(RegistryError::Load)?;
+        Ok(ModelInfo {
+            name: name.to_string(),
+            method: info.method,
+            snapshot_version: info.version,
+            resident: false,
+            // Absorb support is a property of the fitted method; without
+            // activating we report what the snapshot carries: a model that
+            // already absorbed rows certainly can, others say false until
+            // resident.
+            can_absorb: info.absorbed_rows > 0,
+            absorbed: info.absorbed_rows,
+            schema: info.schema,
+        })
+    }
+
+    /// Runs `f` on the (activated, LRU-bumped) tenant under the registry
+    /// lock. `f` must not block — submit jobs and return receivers.
+    /// Evicted tenants are returned to the caller so their (draining)
+    /// drop happens outside the lock.
+    fn with_tenant<R>(&self, name: &str, f: impl FnOnce(&Tenant) -> R) -> Result<R, RegistryError> {
+        let path = self.path_for(name)?;
+        let mut evicted: Vec<Tenant> = Vec::new();
+        let out = {
+            let mut inner = lock_inner(&self.inner);
+            if !inner.resident.contains_key(name) {
+                let bytes = read_model(&path, name)?;
+                let (model, info) =
+                    iim_persist::load_from_slice_with_info(&bytes).map_err(RegistryError::Load)?;
+                let batcher = Batcher::start(
+                    model,
+                    self.threads,
+                    // every = 1: each absorbed tuple hits disk inside the
+                    // learn barrier, making eviction lossless.
+                    Some(CheckpointConfig {
+                        path: path.clone(),
+                        every: 1,
+                    }),
+                )?;
+                inner.resident.insert(
+                    name.to_string(),
+                    Tenant {
+                        batcher,
+                        schema: info.schema.into(),
+                        version: info.version,
+                        last_used: 0,
+                    },
+                );
+                // Make room: evict least-recently-used others over the cap.
+                while inner.resident.len() > self.max_resident {
+                    let coldest = inner
+                        .resident
+                        .iter()
+                        .filter(|(n, _)| n.as_str() != name)
+                        .min_by_key(|(_, t)| t.last_used)
+                        .map(|(n, _)| n.clone());
+                    match coldest {
+                        Some(n) => {
+                            if let Some(t) = inner.resident.remove(&n) {
+                                evicted.push(t);
+                            }
+                        }
+                        None => break,
+                    }
+                }
+            }
+            inner.clock += 1;
+            let clock = inner.clock;
+            let tenant = inner.resident.get_mut(name).expect("just inserted");
+            tenant.last_used = clock;
+            f(&*tenant)
+        };
+        // Dropping a Batcher drains its queue (answering anything already
+        // enqueued) and flushes its checkpoint — outside the lock, so a
+        // slow drain never stalls other tenants.
+        drop(evicted);
+        Ok(out)
+    }
+
+    fn check_schema(schema: &[String], header: &[String]) -> Result<(), RegistryError> {
+        if !schema.is_empty() && header != schema {
+            return Err(RegistryError::SchemaMismatch {
+                query: header.to_vec(),
+                model: schema.to_vec(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Imputes `rows` against model `name`, activating it if cold.
+    /// `header` is validated against the snapshot's recorded schema.
+    pub fn impute(
+        &self,
+        name: &str,
+        header: &[String],
+        rows: Vec<QueryRow>,
+    ) -> Result<Vec<RowResult>, RegistryError> {
+        let rx = self.with_tenant(name, |t| {
+            Self::check_schema(&t.schema, header)?;
+            t.batcher
+                .submit_impute(rows)
+                .ok_or(RegistryError::Unavailable)
+        })??;
+        rx.recv().map_err(|_| RegistryError::Unavailable)
+    }
+
+    /// Absorbs complete tuples into model `name`, activating it if cold.
+    /// Each tuple is checkpointed to the model's snapshot before the
+    /// reply, so a subsequent eviction or restart replays it.
+    pub fn learn(
+        &self,
+        name: &str,
+        header: &[String],
+        rows: Vec<Vec<f64>>,
+    ) -> Result<LearnReply, RegistryError> {
+        let rx = self.with_tenant(name, |t| {
+            Self::check_schema(&t.schema, header)?;
+            t.batcher
+                .submit_learn(rows)
+                .ok_or(RegistryError::Unavailable)
+        })??;
+        rx.recv().map_err(|_| RegistryError::Unavailable)
+    }
+
+    /// Stages snapshot `bytes` as model `name`: validate (full load —
+    /// checksum, bounds, delta replay), write to a temp file in the
+    /// registry directory, then move it into place. If the model is
+    /// resident, the move and the model replacement happen atomically
+    /// inside the tenant's swap barrier (zero dropped or mixed requests);
+    /// otherwise the temp file is renamed directly.
+    pub fn stage(&self, name: &str, bytes: &[u8]) -> Result<StageOutcome, RegistryError> {
+        let dst = self.path_for(name)?;
+        let (model, _info) =
+            iim_persist::load_from_slice_with_info(bytes).map_err(RegistryError::Load)?;
+        let method = model.name().to_string();
+        let tmp = self.dir.join(format!(".{name}.iim.tmp"));
+        std::fs::write(&tmp, bytes)?;
+
+        let mut inner = lock_inner(&self.inner);
+        let swapped = match inner.resident.get_mut(name) {
+            Some(tenant) => {
+                let outcome = tenant.batcher.swap(
+                    model,
+                    Some((tmp.clone(), dst.clone())),
+                    Some(CheckpointConfig {
+                        path: dst.clone(),
+                        every: 1,
+                    }),
+                );
+                match outcome {
+                    Some(Ok(_)) => {
+                        let info = iim_persist::inspect(bytes).map_err(RegistryError::Load)?;
+                        tenant.schema = info.schema.into();
+                        tenant.version = info.version;
+                        true
+                    }
+                    Some(Err(why)) => {
+                        std::fs::remove_file(&tmp).ok();
+                        return Err(RegistryError::StageFailed(why));
+                    }
+                    None => {
+                        std::fs::remove_file(&tmp).ok();
+                        return Err(RegistryError::Unavailable);
+                    }
+                }
+            }
+            None => {
+                std::fs::rename(&tmp, &dst)?;
+                false
+            }
+        };
+        Ok(StageOutcome { method, swapped })
+    }
+
+    /// Removes model `name`: its tenant (if resident) is torn down
+    /// gracefully (in-flight requests drain) and its file deleted.
+    pub fn delete(&self, name: &str) -> Result<(), RegistryError> {
+        let path = self.path_for(name)?;
+        let tenant = {
+            let mut inner = lock_inner(&self.inner);
+            inner.resident.remove(name)
+        };
+        drop(tenant); // drains outside the lock
+        match std::fs::remove_file(&path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                Err(RegistryError::UnknownModel(name.to_string()))
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Evicts model `name`'s tenant (if resident), leaving its file in
+    /// place; the next request reactivates it. Returns whether a tenant
+    /// was actually torn down.
+    pub fn evict(&self, name: &str) -> Result<bool, RegistryError> {
+        if !valid_name(name) {
+            return Err(RegistryError::BadName(name.to_string()));
+        }
+        let tenant = {
+            let mut inner = lock_inner(&self.inner);
+            inner.resident.remove(name)
+        };
+        let was = tenant.is_some();
+        drop(tenant);
+        Ok(was)
+    }
+
+    /// Signals every resident tenant's batcher to stop accepting work
+    /// (their queues still drain). Used by graceful daemon shutdown.
+    pub fn shutdown(&self) {
+        let inner = lock_inner(&self.inner);
+        for tenant in inner.resident.values() {
+            tenant.batcher.shutdown();
+        }
+    }
+}
+
+fn read_model(path: &Path, name: &str) -> Result<Vec<u8>, RegistryError> {
+    match std::fs::read(path) {
+        Ok(b) => Ok(b),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            Err(RegistryError::UnknownModel(name.to_string()))
+        }
+        Err(e) => Err(e.into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iim_data::{FittedImputer, Imputer, PerAttributeImputer};
+
+    fn fitted() -> Box<dyn FittedImputer> {
+        let (rel, _) = iim_data::paper_fig1();
+        PerAttributeImputer::new(iim_core::Iim::new(iim_core::IimConfig {
+            k: 3,
+            ..Default::default()
+        }))
+        .fit(&rel)
+        .unwrap()
+    }
+
+    fn snapshot_bytes() -> Vec<u8> {
+        iim_persist::save_to_vec_with_schema(
+            fitted().as_ref(),
+            &["A1".to_string(), "A2".to_string()],
+        )
+        .unwrap()
+    }
+
+    fn temp_registry(tag: &str, max_resident: usize) -> Arc<Registry> {
+        let dir = std::env::temp_dir().join(format!("iim-registry-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        Registry::open(RegistryConfig {
+            dir,
+            max_resident,
+            threads: 1,
+        })
+        .unwrap()
+    }
+
+    fn cleanup(reg: &Registry) {
+        std::fs::remove_dir_all(reg.dir()).ok();
+    }
+
+    #[test]
+    fn stage_list_impute_delete_round_trip() {
+        let reg = temp_registry("crud", 2);
+        assert!(reg.names().unwrap().is_empty());
+
+        let out = reg.stage("prices", &snapshot_bytes()).unwrap();
+        assert_eq!(out.method, "IIM");
+        assert!(!out.swapped);
+        assert_eq!(reg.names().unwrap(), vec!["prices"]);
+
+        let header = vec!["A1".to_string(), "A2".to_string()];
+        let fills = reg
+            .impute("prices", &header, vec![vec![Some(5.0), None]])
+            .unwrap();
+        let direct = fitted().impute_one(&[Some(5.0), None]).unwrap();
+        assert_eq!(fills[0].as_ref().unwrap()[1].to_bits(), direct[1].to_bits());
+
+        let info = reg.info("prices").unwrap();
+        assert!(info.resident);
+        assert_eq!(info.method, "IIM");
+        assert_eq!(info.snapshot_version, iim_persist::FORMAT_VERSION);
+
+        reg.delete("prices").unwrap();
+        assert!(matches!(
+            reg.impute("prices", &header, vec![vec![Some(5.0), None]]),
+            Err(RegistryError::UnknownModel(_))
+        ));
+        cleanup(&reg);
+    }
+
+    #[test]
+    fn bad_names_and_unknown_models_are_typed() {
+        let reg = temp_registry("names", 2);
+        for bad in ["", "a/b", "../up", "a b", &"x".repeat(65)] {
+            assert!(matches!(reg.info(bad), Err(RegistryError::BadName(_))));
+        }
+        assert!(matches!(
+            reg.info("ghost"),
+            Err(RegistryError::UnknownModel(_))
+        ));
+        assert!(matches!(
+            reg.delete("ghost"),
+            Err(RegistryError::UnknownModel(_))
+        ));
+        cleanup(&reg);
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected_before_serving() {
+        let reg = temp_registry("schema", 2);
+        reg.stage("m", &snapshot_bytes()).unwrap();
+        let reordered = vec!["A2".to_string(), "A1".to_string()];
+        assert!(matches!(
+            reg.impute("m", &reordered, vec![vec![None, Some(5.0)]]),
+            Err(RegistryError::SchemaMismatch { .. })
+        ));
+        cleanup(&reg);
+    }
+
+    #[test]
+    fn lru_eviction_is_transparent_and_lossless() {
+        let reg = temp_registry("lru", 1);
+        reg.stage("a", &snapshot_bytes()).unwrap();
+        reg.stage("b", &snapshot_bytes()).unwrap();
+        let header = vec!["A1".to_string(), "A2".to_string()];
+        let q = vec![vec![Some(4.5), None]];
+
+        // Touch a, learn into it, then touch b (evicting a at cap 1).
+        let before = reg.impute("a", &header, q.clone()).unwrap()[0]
+            .clone()
+            .unwrap();
+        assert_eq!(
+            reg.learn("a", &header, vec![vec![4.6, 2.0]]).unwrap(),
+            Ok(1)
+        );
+        let after_learn = reg.impute("a", &header, q.clone()).unwrap()[0]
+            .clone()
+            .unwrap();
+        assert_ne!(before[1].to_bits(), after_learn[1].to_bits());
+
+        let _ = reg.impute("b", &header, q.clone()).unwrap();
+        assert!(!reg.info("a").unwrap().resident);
+        assert!(reg.info("b").unwrap().resident);
+
+        // Reactivating a replays the checkpointed learn: same bits as the
+        // live model served before eviction.
+        let revived = reg.impute("a", &header, q).unwrap()[0].clone().unwrap();
+        assert_eq!(after_learn[1].to_bits(), revived[1].to_bits());
+        assert_eq!(reg.info("a").unwrap().absorbed, 1);
+        cleanup(&reg);
+    }
+
+    #[test]
+    fn stage_hot_swaps_a_resident_model() {
+        let reg = temp_registry("swap", 2);
+        reg.stage("m", &snapshot_bytes()).unwrap();
+        let header = vec!["A1".to_string(), "A2".to_string()];
+        let q = vec![vec![Some(4.5), None]];
+        let v1 = reg.impute("m", &header, q.clone()).unwrap()[0]
+            .clone()
+            .unwrap();
+
+        // Build a distinguishable second version (two tuples absorbed).
+        let mut next = fitted();
+        next.absorb(&[4.6, 2.0]).unwrap();
+        next.absorb(&[5.4, 1.5]).unwrap();
+        let expected = next.impute_one(&[Some(4.5), None]).unwrap();
+        let v2_bytes = iim_persist::save_to_vec_with_schema(
+            next.as_ref(),
+            &["A1".to_string(), "A2".to_string()],
+        )
+        .unwrap();
+
+        let out = reg.stage("m", &v2_bytes).unwrap();
+        assert!(out.swapped);
+        let v2 = reg.impute("m", &header, q).unwrap()[0].clone().unwrap();
+        assert_eq!(v2[1].to_bits(), expected[1].to_bits());
+        assert_ne!(v1[1].to_bits(), v2[1].to_bits());
+        // The file on disk is the new version too.
+        let disk = std::fs::read(reg.dir().join("m.iim")).unwrap();
+        assert_eq!(disk, v2_bytes);
+        cleanup(&reg);
+    }
+
+    #[test]
+    fn garbage_bytes_never_reach_the_registry() {
+        let reg = temp_registry("garbage", 2);
+        assert!(matches!(
+            reg.stage("m", b"not a snapshot"),
+            Err(RegistryError::Load(_))
+        ));
+        assert!(reg.names().unwrap().is_empty());
+        // No temp litter either.
+        let leftovers: Vec<_> = std::fs::read_dir(reg.dir()).unwrap().collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        cleanup(&reg);
+    }
+}

@@ -1,29 +1,55 @@
 //! The daemon: a TCP accept loop routing HTTP requests onto the
-//! micro-batching queue.
+//! micro-batching queue(s).
 //!
-//! # Endpoints
+//! # Endpoints — single-model mode (`iim serve MODEL.iim`)
 //!
 //! | Method | Path       | Body | Response |
 //! |---|---|---|---|
 //! | `GET`  | `/healthz` | —    | `200 ok` once the model is loaded |
-//! | `GET`  | `/info`    | —    | `200` JSON: method name, arity, worker threads, absorb support, absorbed-tuple count |
+//! | `GET`  | `/info`    | —    | `200` JSON: mode, method name, arity, worker threads, absorb support, absorbed-tuple count, snapshot format version |
 //! | `POST` | `/impute`  | CSV with header (the `iim-data` row wire format: missing cells empty/`?`/`NA`) | `200` the completed CSV — **byte-identical** to `iim impute` on the same queries with the same model |
 //! | `POST` | `/learn`   | CSV with header, every cell present | `200` JSON: tuples absorbed by this request and in total |
 //!
-//! A one-line body after the header is the single-tuple request; many
-//! lines are a batch. Per-connection parse failures return `400`; a query
-//! the model cannot serve (e.g. an attribute outside the fitted target
-//! set) returns `422` with the typed error message. Either way the daemon
-//! keeps serving — only the offending connection sees the error.
+//! # Endpoints — registry mode (`iim serve --models-dir DIR`)
+//!
+//! | Method | Path | Body | Response |
+//! |---|---|---|---|
+//! | `GET`    | `/healthz` | — | `200 ok` |
+//! | `GET`    | `/info`    | — | `200` JSON registry summary (model count, resident count, cap) |
+//! | `GET`    | `/models`  | — | `200` JSON: every model's card (name, method, snapshot version, resident, absorbed) |
+//! | `PUT`    | `/models/{name}` | raw snapshot bytes | `200` staged; a resident model is **hot-swapped atomically** (see below) |
+//! | `DELETE` | `/models/{name}` | — | `200` model removed (in-flight requests drain first) |
+//! | `GET`    | `/models/{name}/info` | — | `200` JSON card incl. schema |
+//! | `POST`   | `/models/{name}/impute` | CSV | as `/impute`, against that model (activates it if cold) |
+//! | `POST`   | `/models/{name}/learn`  | CSV | as `/learn`, against that model; each tuple is checkpointed to its snapshot before the reply |
+//!
+//! Unknown routes answer `404` and known routes with the wrong method
+//! answer `405` (with an `Allow` header), both with a structured JSON
+//! body `{"error":...,"detail":...}` so load balancers and scripts can
+//! tell a typo from a down backend.
+//!
+//! Per-connection parse failures return `400`; a query the model cannot
+//! serve (e.g. an attribute outside the fitted target set) returns `422`
+//! with the typed error message. Either way the daemon keeps serving —
+//! only the offending connection sees the error.
+//!
+//! # Atomicity
 //!
 //! `/learn` rides the same micro-batching queue as `/impute`, so learns
 //! and imputes **serialize deterministically**: a fill served after a
 //! learn's response arrived reflects that learn, and no fill ever
 //! observes a half-absorbed batch (see [`crate::batch`]). A method
 //! without incremental learning (most baselines) answers `422`.
+//!
+//! Hot swap extends the same guarantee across versions: every response is
+//! served by **exactly one model version** — the fills in one response are
+//! bitwise those of the pre-swap or the post-swap model, never a mixture —
+//! and no request is dropped by a swap, an eviction, or a graceful
+//! shutdown (see [`crate::registry`] and [`crate::shutdown`]).
 
 use crate::batch::{Batcher, CheckpointConfig, QueryRow};
-use crate::http::{read_request, respond, HttpError, Request};
+use crate::http::{read_request, respond, respond_ext, HttpError, Request};
+use crate::registry::{Registry, RegistryError};
 use iim_data::csv;
 use iim_data::FittedImputer;
 use std::io::Write as _;
@@ -33,7 +59,8 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-/// Daemon configuration.
+/// Daemon configuration (single-model mode; registry mode only reads
+/// `addr` and `threads`).
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Bind address, e.g. `127.0.0.1:7878` (port `0` picks an ephemeral
@@ -50,6 +77,10 @@ pub struct ServeConfig {
     /// restarts cheap: the next `iim serve` load replays the delta instead
     /// of relearning. `None` disables checkpointing.
     pub checkpoint: Option<CheckpointConfig>,
+    /// Snapshot container format version reported by `GET /info` (the
+    /// version the served model was loaded from; models fitted in-process
+    /// report the current write version).
+    pub snapshot_version: u16,
 }
 
 impl Default for ServeConfig {
@@ -59,20 +90,31 @@ impl Default for ServeConfig {
             threads: 0,
             schema: Vec::new(),
             checkpoint: None,
+            snapshot_version: iim_persist::FORMAT_VERSION,
         }
     }
+}
+
+/// What the accept loop routes requests onto.
+enum Backend {
+    Single {
+        batcher: Arc<Batcher>,
+        schema: Arc<[String]>,
+        snapshot_version: u16,
+    },
+    Registry(Arc<Registry>),
 }
 
 /// A bound (but not yet accepting) daemon.
 pub struct Server {
     listener: TcpListener,
-    batcher: Arc<Batcher>,
+    backend: Arc<Backend>,
     threads: usize,
-    schema: Arc<[String]>,
     stop: Arc<AtomicBool>,
 }
 
-/// Handle to a daemon running on a background thread (tests, benches).
+/// Handle to a daemon running on a background thread (tests, benches,
+/// and the signal-driven CLI shutdown path).
 pub struct ServerHandle {
     addr: std::net::SocketAddr,
     stop: Arc<AtomicBool>,
@@ -85,7 +127,9 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Stops the accept loop and joins the daemon thread.
+    /// Stops the accept loop and joins the daemon thread. In-flight
+    /// batches finish and buffered checkpoint deltas flush before this
+    /// returns (the backend drains on drop).
     pub fn shutdown(self) {
         self.stop.store(true, Ordering::SeqCst);
         // Nudge the (blocking) accept loop awake.
@@ -103,9 +147,25 @@ impl Server {
         let batcher = Arc::new(Batcher::start(model, cfg.threads, cfg.checkpoint.clone())?);
         Ok(Self {
             listener,
-            batcher,
+            backend: Arc::new(Backend::Single {
+                batcher,
+                schema: cfg.schema.clone().into(),
+                snapshot_version: cfg.snapshot_version,
+            }),
             threads: cfg.threads,
-            schema: cfg.schema.clone().into(),
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// Binds the daemon in registry mode: requests address models by name
+    /// under `/models/{name}/…` and the admin surface is live. Models
+    /// activate lazily — binding costs nothing per model.
+    pub fn bind_registry(registry: Arc<Registry>, cfg: &ServeConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        Ok(Self {
+            listener,
+            backend: Arc::new(Backend::Registry(registry)),
+            threads: cfg.threads,
             stop: Arc::new(AtomicBool::new(false)),
         })
     }
@@ -115,14 +175,38 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// The served model's method name (for startup banners).
-    pub fn model_name(&self) -> &str {
-        self.batcher.model_name()
+    /// One line describing what's being served (for startup banners).
+    pub fn describe(&self) -> String {
+        match self.backend.as_ref() {
+            Backend::Single { batcher, .. } => {
+                format!("{} (arity {})", batcher.model_name(), batcher.arity())
+            }
+            Backend::Registry(reg) => {
+                let (models, _) = reg.summary();
+                format!(
+                    "registry {} ({models} models, max {} resident)",
+                    reg.dir().display(),
+                    reg.max_resident()
+                )
+            }
+        }
     }
 
-    /// The served model's attribute count.
+    /// The served model's method name (single-model mode; registry mode
+    /// reports `"registry"`).
+    pub fn model_name(&self) -> String {
+        match self.backend.as_ref() {
+            Backend::Single { batcher, .. } => batcher.model_name(),
+            Backend::Registry(_) => "registry".into(),
+        }
+    }
+
+    /// The served model's attribute count (0 in registry mode).
     pub fn arity(&self) -> usize {
-        self.batcher.arity()
+        match self.backend.as_ref() {
+            Backend::Single { batcher, .. } => batcher.arity(),
+            Backend::Registry(_) => 0,
+        }
     }
 
     /// Runs the accept loop on the calling thread until `stop` is set
@@ -134,17 +218,21 @@ impl Server {
                 break;
             }
             let Ok(stream) = stream else { continue };
-            let batcher = Arc::clone(&self.batcher);
-            let schema = Arc::clone(&self.schema);
+            let backend = Arc::clone(&self.backend);
             let threads = self.threads;
             // Thread-per-connection: connections are short-lived (one
             // request, Connection: close) and the heavy lifting happens on
             // the shared pool, so this stays cheap and simple.
             let _ = std::thread::Builder::new()
                 .name("iim-serve-conn".into())
-                .spawn(move || handle_connection(stream, batcher, schema, threads));
+                .spawn(move || handle_connection(stream, backend, threads));
         }
-        self.batcher.shutdown();
+        match self.backend.as_ref() {
+            Backend::Single { batcher, .. } => batcher.shutdown(),
+            Backend::Registry(reg) => reg.shutdown(),
+        }
+        // Dropping `self.backend` (last ref once connections finish)
+        // joins the batcher threads: queues drain, checkpoints flush.
     }
 
     /// Runs the accept loop on a background thread, returning a handle
@@ -159,12 +247,57 @@ impl Server {
     }
 }
 
-fn handle_connection(
-    mut stream: TcpStream,
-    batcher: Arc<Batcher>,
-    schema: Arc<[String]>,
-    threads: usize,
-) {
+/// Minimal JSON string literal (quotes + escapes) for error details and
+/// schema names.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn not_found(stream: &mut TcpStream, detail: &str) {
+    let body = format!(
+        "{{\"error\":\"not_found\",\"detail\":{}}}\n",
+        json_str(detail)
+    );
+    let _ = respond(
+        stream,
+        404,
+        "Not Found",
+        "application/json",
+        body.as_bytes(),
+    );
+}
+
+fn method_not_allowed(stream: &mut TcpStream, allow: &str, detail: &str) {
+    let body = format!(
+        "{{\"error\":\"method_not_allowed\",\"detail\":{},\"allow\":{}}}\n",
+        json_str(detail),
+        json_str(allow)
+    );
+    let _ = respond_ext(
+        stream,
+        405,
+        "Method Not Allowed",
+        "application/json",
+        &[("Allow", allow)],
+        body.as_bytes(),
+    );
+}
+
+fn handle_connection(mut stream: TcpStream, backend: Arc<Backend>, threads: usize) {
     // A stalled client must not pin the thread forever.
     let _ = stream.set_read_timeout(Some(Duration::from_secs(60)));
     let request = match read_request(&mut stream) {
@@ -190,32 +323,189 @@ fn handle_connection(
             return;
         }
     };
-    match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => {
+    // Route on path segments (query strings ignored); unknown paths are
+    // 404, known paths with the wrong method are 405 + Allow.
+    let path = request.path.split('?').next().unwrap_or("");
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    let method = request.method.as_str();
+    match (method, segments.as_slice()) {
+        ("GET", ["healthz"]) => {
             let _ = respond(&mut stream, 200, "OK", "text/plain", b"ok\n");
         }
-        ("GET", "/info") => {
-            let resolved = if threads > 0 {
-                threads
-            } else {
-                iim_exec::default_threads()
-            };
-            let body = format!(
-                "{{\"method\":\"{}\",\"arity\":{},\"threads\":{},\"can_absorb\":{},\"absorbed\":{}}}\n",
-                batcher.model_name(),
-                batcher.arity(),
-                resolved,
-                batcher.can_absorb(),
-                batcher.absorbed(),
-            );
-            let _ = respond(&mut stream, 200, "OK", "application/json", body.as_bytes());
+        (_, ["healthz"]) => method_not_allowed(&mut stream, "GET", "/healthz is GET-only"),
+        ("GET", ["info"]) => handle_info(&mut stream, &backend, threads),
+        (_, ["info"]) => method_not_allowed(&mut stream, "GET", "/info is GET-only"),
+        (m, ["impute"]) | (m, ["learn"]) => {
+            let single = segments[0];
+            match backend.as_ref() {
+                Backend::Registry(_) => not_found(
+                    &mut stream,
+                    &format!(
+                        "registry mode serves per-model routes: POST /models/{{name}}/{single}"
+                    ),
+                ),
+                Backend::Single {
+                    batcher, schema, ..
+                } => {
+                    if m != "POST" {
+                        return method_not_allowed(
+                            &mut stream,
+                            "POST",
+                            &format!("/{single} is POST-only"),
+                        );
+                    }
+                    if single == "impute" {
+                        handle_impute(&mut stream, &request, batcher, schema);
+                    } else {
+                        handle_learn(&mut stream, &request, batcher, schema);
+                    }
+                }
+            }
         }
-        ("POST", "/impute") => handle_impute(&mut stream, &request, &batcher, &schema),
-        ("POST", "/learn") => handle_learn(&mut stream, &request, &batcher, &schema),
-        _ => {
-            let _ = respond(&mut stream, 404, "Not Found", "text/plain", b"not found\n");
-        }
+        (m, ["models", ..]) => match backend.as_ref() {
+            Backend::Single { .. } => not_found(
+                &mut stream,
+                "model registry routes need registry mode (iim serve --models-dir)",
+            ),
+            Backend::Registry(reg) => handle_models(&mut stream, &request, m, &segments, reg),
+        },
+        _ => not_found(&mut stream, &format!("no route for {method} {path}")),
     }
+}
+
+fn handle_info(stream: &mut TcpStream, backend: &Backend, threads: usize) {
+    let resolved = if threads > 0 {
+        threads
+    } else {
+        iim_exec::default_threads()
+    };
+    let body = match backend {
+        Backend::Single {
+            batcher,
+            snapshot_version,
+            ..
+        } => format!(
+            "{{\"mode\":\"single\",\"method\":\"{}\",\"arity\":{},\"threads\":{},\
+             \"can_absorb\":{},\"absorbed\":{},\"snapshot_version\":{}}}\n",
+            batcher.model_name(),
+            batcher.arity(),
+            resolved,
+            batcher.can_absorb(),
+            batcher.absorbed(),
+            snapshot_version,
+        ),
+        Backend::Registry(reg) => {
+            let (models, resident) = reg.summary();
+            format!(
+                "{{\"mode\":\"registry\",\"models\":{models},\"resident\":{resident},\
+                 \"max_resident\":{},\"threads\":{resolved}}}\n",
+                reg.max_resident(),
+            )
+        }
+    };
+    let _ = respond(stream, 200, "OK", "application/json", body.as_bytes());
+}
+
+/// Routes `/models…` (registry mode only).
+fn handle_models(
+    stream: &mut TcpStream,
+    request: &Request,
+    method: &str,
+    segments: &[&str],
+    reg: &Arc<Registry>,
+) {
+    match (method, segments) {
+        ("GET", ["models"]) => match reg.list() {
+            Ok(cards) => {
+                let items: Vec<String> = cards.iter().map(|c| model_card_json(c, false)).collect();
+                let body = format!("{{\"models\":[{}]}}\n", items.join(","));
+                let _ = respond(stream, 200, "OK", "application/json", body.as_bytes());
+            }
+            Err(e) => registry_error(stream, &e),
+        },
+        (_, ["models"]) => method_not_allowed(stream, "GET", "/models is GET-only"),
+        ("PUT", ["models", name]) => match reg.stage(name, &request.body) {
+            Ok(out) => {
+                let body = format!(
+                    "{{\"staged\":{},\"method\":{},\"swapped\":{}}}\n",
+                    json_str(name),
+                    json_str(&out.method),
+                    out.swapped
+                );
+                let _ = respond(stream, 200, "OK", "application/json", body.as_bytes());
+            }
+            Err(e) => registry_error(stream, &e),
+        },
+        ("DELETE", ["models", name]) => match reg.delete(name) {
+            Ok(()) => {
+                let body = format!("{{\"deleted\":{}}}\n", json_str(name));
+                let _ = respond(stream, 200, "OK", "application/json", body.as_bytes());
+            }
+            Err(e) => registry_error(stream, &e),
+        },
+        (_, ["models", _]) => method_not_allowed(
+            stream,
+            "PUT, DELETE",
+            "/models/{name} accepts PUT (stage) and DELETE",
+        ),
+        ("GET", ["models", name, "info"]) => match reg.info(name) {
+            Ok(card) => {
+                let body = format!("{}\n", model_card_json(&card, true));
+                let _ = respond(stream, 200, "OK", "application/json", body.as_bytes());
+            }
+            Err(e) => registry_error(stream, &e),
+        },
+        (_, ["models", _, "info"]) => {
+            method_not_allowed(stream, "GET", "/models/{name}/info is GET-only")
+        }
+        ("POST", ["models", name, "impute"]) => handle_registry_impute(stream, request, reg, name),
+        (_, ["models", _, "impute"]) => {
+            method_not_allowed(stream, "POST", "/models/{name}/impute is POST-only")
+        }
+        ("POST", ["models", name, "learn"]) => handle_registry_learn(stream, request, reg, name),
+        (_, ["models", _, "learn"]) => {
+            method_not_allowed(stream, "POST", "/models/{name}/learn is POST-only")
+        }
+        _ => not_found(stream, &format!("no route for {method} {}", request.path)),
+    }
+}
+
+fn model_card_json(card: &crate::registry::ModelInfo, with_schema: bool) -> String {
+    let mut out = format!(
+        "{{\"name\":{},\"method\":{},\"snapshot_version\":{},\"resident\":{},\
+         \"can_absorb\":{},\"absorbed\":{}",
+        json_str(&card.name),
+        json_str(&card.method),
+        card.snapshot_version,
+        card.resident,
+        card.can_absorb,
+        card.absorbed,
+    );
+    if with_schema {
+        let names: Vec<String> = card.schema.iter().map(|s| json_str(s)).collect();
+        out.push_str(&format!(",\"schema\":[{}]", names.join(",")));
+    }
+    out.push('}');
+    out
+}
+
+/// Maps a [`RegistryError`] to its HTTP response.
+fn registry_error(stream: &mut TcpStream, e: &RegistryError) {
+    let (status, reason, label) = match e {
+        RegistryError::BadName(_) => (400, "Bad Request", "bad_name"),
+        RegistryError::UnknownModel(_) => (404, "Not Found", "unknown_model"),
+        RegistryError::SchemaMismatch { .. } => (400, "Bad Request", "schema_mismatch"),
+        RegistryError::Load(_) => (422, "Unprocessable Entity", "snapshot_rejected"),
+        RegistryError::StageFailed(_) => (500, "Internal Server Error", "stage_failed"),
+        RegistryError::Io(_) => (500, "Internal Server Error", "io"),
+        RegistryError::Unavailable => (503, "Service Unavailable", "unavailable"),
+    };
+    let body = format!(
+        "{{\"error\":{},\"detail\":{}}}\n",
+        json_str(label),
+        json_str(&e.to_string())
+    );
+    let _ = respond(stream, status, reason, "application/json", body.as_bytes());
 }
 
 fn bad_request(stream: &mut TcpStream, msg: String) {
@@ -275,11 +565,12 @@ fn parse_csv_body<'a>(
     Some((names, header, data))
 }
 
-fn handle_impute(stream: &mut TcpStream, request: &Request, batcher: &Batcher, schema: &[String]) {
-    let Some((names, header, data)) = parse_csv_body(stream, request, schema) else {
-        return;
-    };
-
+/// Parses impute query rows; `None` means the 400 was already sent.
+fn parse_impute_rows(
+    stream: &mut TcpStream,
+    names: &[String],
+    data: Vec<(usize, &str)>,
+) -> Option<(Vec<QueryRow>, Vec<usize>)> {
     // Parse all rows up front so a syntax error rejects the request
     // before any imputation runs. Original body line numbers ride along
     // (blank lines are skipped) so errors point at the client's input.
@@ -291,17 +582,26 @@ fn handle_impute(stream: &mut TcpStream, request: &Request, batcher: &Batcher, s
                 rows.push(row);
                 linenos.push(lineno);
             }
-            Err(e) => return bad_request(stream, e.to_string()),
+            Err(e) => {
+                bad_request(stream, e.to_string());
+                return None;
+            }
         }
     }
+    Some((rows, linenos))
+}
 
-    let Some(results) = batcher.impute(rows) else {
-        return backend_unavailable(stream);
-    };
-
+/// Writes the completed CSV (or the 422 for the first failing row).
+fn respond_impute_results(
+    stream: &mut TcpStream,
+    header: &str,
+    body_capacity: usize,
+    results: &[crate::batch::RowResult],
+    linenos: &[usize],
+) {
     // One failing row fails the request (mirroring the CLI, which aborts
     // on the first impute error) — but with the row number attached.
-    let mut body = Vec::with_capacity(request.body.len());
+    let mut body = Vec::with_capacity(body_capacity);
     let _ = writeln!(body, "{header}");
     for (i, result) in results.iter().enumerate() {
         match result {
@@ -323,11 +623,47 @@ fn handle_impute(stream: &mut TcpStream, request: &Request, batcher: &Batcher, s
     let _ = respond(stream, 200, "OK", "text/csv", &body);
 }
 
-fn handle_learn(stream: &mut TcpStream, request: &Request, batcher: &Batcher, schema: &[String]) {
-    let Some((names, _, data)) = parse_csv_body(stream, request, schema) else {
+fn handle_impute(stream: &mut TcpStream, request: &Request, batcher: &Batcher, schema: &[String]) {
+    let Some((names, header, data)) = parse_csv_body(stream, request, schema) else {
         return;
     };
+    let Some((rows, linenos)) = parse_impute_rows(stream, &names, data) else {
+        return;
+    };
+    let Some(results) = batcher.impute(rows) else {
+        return backend_unavailable(stream);
+    };
+    respond_impute_results(stream, header, request.body.len(), &results, &linenos);
+}
 
+fn handle_registry_impute(
+    stream: &mut TcpStream,
+    request: &Request,
+    reg: &Arc<Registry>,
+    name: &str,
+) {
+    // Schema validation happens inside the registry (each model has its
+    // own schema), so no local check here.
+    let Some((names, header, data)) = parse_csv_body(stream, request, &[]) else {
+        return;
+    };
+    let Some((rows, linenos)) = parse_impute_rows(stream, &names, data) else {
+        return;
+    };
+    match reg.impute(name, &names, rows) {
+        Ok(results) => {
+            respond_impute_results(stream, header, request.body.len(), &results, &linenos)
+        }
+        Err(e) => registry_error(stream, &e),
+    }
+}
+
+/// Parses learn rows (complete tuples); `None` means the 400 was sent.
+fn parse_learn_rows(
+    stream: &mut TcpStream,
+    names: &[String],
+    data: Vec<(usize, &str)>,
+) -> Option<(Vec<Vec<f64>>, Vec<usize>)> {
     // Learning rows must be complete — a missing cell has no value to
     // absorb. All rows are validated before any absorb runs, so a 400
     // never leaves the model partially updated.
@@ -336,14 +672,17 @@ fn handle_learn(stream: &mut TcpStream, request: &Request, batcher: &Batcher, sc
     for (lineno, line) in data {
         let parsed = match csv::parse_row(line, names.len(), lineno) {
             Ok(row) => row,
-            Err(e) => return bad_request(stream, e.to_string()),
+            Err(e) => {
+                bad_request(stream, e.to_string());
+                return None;
+            }
         };
         let mut row = Vec::with_capacity(parsed.len());
         for (col, cell) in parsed.into_iter().enumerate() {
             match cell {
                 Some(v) => row.push(v),
                 None => {
-                    return bad_request(
+                    bad_request(
                         stream,
                         format!(
                             "line {lineno}, column {}: learning rows must be complete \
@@ -351,6 +690,7 @@ fn handle_learn(stream: &mut TcpStream, request: &Request, batcher: &Batcher, sc
                             col + 1
                         ),
                     );
+                    return None;
                 }
             }
         }
@@ -358,13 +698,18 @@ fn handle_learn(stream: &mut TcpStream, request: &Request, batcher: &Batcher, sc
         linenos.push(lineno);
     }
     if rows.is_empty() {
-        return bad_request(stream, "no learning rows in body".into());
+        bad_request(stream, "no learning rows in body".into());
+        return None;
     }
+    Some((rows, linenos))
+}
 
-    let absorbed_here = rows.len();
-    let Some(reply) = batcher.learn(rows) else {
-        return backend_unavailable(stream);
-    };
+fn respond_learn_reply(
+    stream: &mut TcpStream,
+    reply: crate::batch::LearnReply,
+    absorbed_here: usize,
+    linenos: &[usize],
+) {
     match reply {
         Ok(total) => {
             let body = format!("{{\"absorbed\":{absorbed_here},\"total_absorbed\":{total}}}\n");
@@ -383,5 +728,38 @@ fn handle_learn(stream: &mut TcpStream, request: &Request, batcher: &Batcher, sc
                 .as_bytes(),
             );
         }
+    }
+}
+
+fn handle_learn(stream: &mut TcpStream, request: &Request, batcher: &Batcher, schema: &[String]) {
+    let Some((names, _, data)) = parse_csv_body(stream, request, schema) else {
+        return;
+    };
+    let Some((rows, linenos)) = parse_learn_rows(stream, &names, data) else {
+        return;
+    };
+    let absorbed_here = rows.len();
+    let Some(reply) = batcher.learn(rows) else {
+        return backend_unavailable(stream);
+    };
+    respond_learn_reply(stream, reply, absorbed_here, &linenos);
+}
+
+fn handle_registry_learn(
+    stream: &mut TcpStream,
+    request: &Request,
+    reg: &Arc<Registry>,
+    name: &str,
+) {
+    let Some((names, _, data)) = parse_csv_body(stream, request, &[]) else {
+        return;
+    };
+    let Some((rows, linenos)) = parse_learn_rows(stream, &names, data) else {
+        return;
+    };
+    let absorbed_here = rows.len();
+    match reg.learn(name, &names, rows) {
+        Ok(reply) => respond_learn_reply(stream, reply, absorbed_here, &linenos),
+        Err(e) => registry_error(stream, &e),
     }
 }

@@ -20,6 +20,14 @@
 # restart from the checkpointed delta snapshot — against a
 # single-process `iim learn` + `iim impute` reference.
 #
+# Then the registry leg: stage two models into a `--models-dir` registry,
+# serve both from one daemon, byte-diff the per-model routes against the
+# single-model references, hot-swap a tenant under request load (every
+# response must succeed), and evict/reactivate under `--max-resident 1`.
+#
+# Every daemon is stopped with SIGTERM and must exit 0 (graceful drain),
+# never relying on default signal death.
+#
 # Artifacts (snapshots, expected/served CSVs) land in $E2E_DIR for CI to
 # upload.
 
@@ -36,6 +44,15 @@ SEED=42
 
 mkdir -p "$E2E_DIR"
 fail() { echo "FAIL: $*" >&2; exit 1; }
+
+# Graceful shutdown: SIGTERM must drain in-flight work and exit 0; a
+# non-zero status (including 143, death by unhandled SIGTERM) fails.
+stop_daemon() {
+  kill -TERM "$1"
+  local code=0
+  wait "$1" || code=$?
+  [ "$code" = 0 ] || fail "daemon pid $1 exited $code after SIGTERM (want a clean 0)"
+}
 
 METHODS=$("$BIN" methods | sed 's/ (default)//')
 echo "methods under test:" $METHODS
@@ -82,8 +99,7 @@ for m in $METHODS; do
   head -2 "$expected" | cmp - "$E2E_DIR/$m.single.csv" \
     || fail "$m: single-tuple response diverged from the batch fill"
 
-  kill $daemon
-  wait $daemon 2>/dev/null || true
+  stop_daemon $daemon
   trap - EXIT
 done
 
@@ -138,8 +154,7 @@ for m in IIM Mean GLR; do
   cmp "$E2E_DIR/$m.served_live.csv" "$expected" \
     || fail "$m: live post-learn fills diverged from the CLI reference"
 
-  kill $daemon
-  wait $daemon 2>/dev/null || true
+  stop_daemon $daemon
   trap - EXIT
 
   # Restart from the checkpointed delta snapshot: the replayed model
@@ -156,9 +171,107 @@ for m in IIM Mean GLR; do
     || fail "$m: post-restart /impute returned non-2xx"
   cmp "$E2E_DIR/$m.served_restarted.csv" "$expected" \
     || fail "$m: delta-snapshot restart diverged from the CLI reference"
-  kill $daemon
-  wait $daemon 2>/dev/null || true
+  stop_daemon $daemon
   trap - EXIT
 done
 
 echo "OK: learn -> checkpoint -> restart served byte-identical fills for every absorb-supporting method"
+
+# --- Registry leg: multi-tenant serving, hot swap under load, eviction ---
+#
+# Two tenants staged from leg-1 snapshots; the per-model routes must serve
+# byte-identical fills to the single-model daemons those snapshots backed.
+echo "=== registry ==="
+REG="$E2E_DIR/registry"
+rm -rf "$REG"
+mkdir -p "$REG"
+
+"$BIN" registry stage --models-dir "$REG" alpha "$E2E_DIR/IIM.iim" \
+  || fail "registry: CLI stage alpha failed"
+"$BIN" registry stage --models-dir "$REG" beta "$E2E_DIR/Mean.iim" \
+  || fail "registry: CLI stage beta failed"
+"$BIN" registry list --models-dir "$REG" | grep -q "alpha" \
+  || fail "registry: list does not show alpha"
+
+PORT=$((PORT + 1))
+"$BIN" serve --models-dir "$REG" --addr "127.0.0.1:$PORT" --threads 2 &
+daemon=$!
+trap 'kill $daemon 2>/dev/null || true' EXIT
+wait_healthy $PORT || fail "registry daemon never became healthy"
+
+curl -sf "http://127.0.0.1:$PORT/info" | grep -q '"mode":"registry"' \
+  || fail "registry: /info does not report registry mode"
+
+# Per-model serving, byte-diffed against the single-model references.
+curl -sf --data-binary "@$QUERIES" "http://127.0.0.1:$PORT/models/alpha/impute" \
+    > "$E2E_DIR/registry.alpha.csv" \
+  || fail "registry: /models/alpha/impute returned non-2xx"
+cmp "$E2E_DIR/registry.alpha.csv" "$E2E_DIR/IIM.expected.csv" \
+  || fail "registry: alpha diverged from the single-model IIM daemon"
+curl -sf --data-binary "@$QUERIES" "http://127.0.0.1:$PORT/models/beta/impute" \
+    > "$E2E_DIR/registry.beta.csv" \
+  || fail "registry: /models/beta/impute returned non-2xx"
+cmp "$E2E_DIR/registry.beta.csv" "$E2E_DIR/Mean.expected.csv" \
+  || fail "registry: beta diverged from the single-model Mean daemon"
+
+# Unknown models and unknown routes answer with structured JSON errors.
+curl -s "http://127.0.0.1:$PORT/models/ghost/info" | grep -q '"error":"unknown_model"' \
+  || fail "registry: ghost model is not a structured 404"
+code=$(curl -s -o /dev/null -w '%{http_code}' "http://127.0.0.1:$PORT/nope")
+[ "$code" = "404" ] || fail "registry: unknown route returned $code, want 404"
+
+# Hot swap under load: hammer alpha while PUTting the Mean snapshot over
+# it and then the IIM snapshot back. Every request must succeed (the swap
+# barrier drops nothing), and the settled tenant must serve IIM's bytes.
+rm -f "$E2E_DIR/registry.swap_errors"
+(
+  for _ in $(seq 1 40); do
+    curl -sf --data-binary "@$QUERIES" \
+        "http://127.0.0.1:$PORT/models/alpha/impute" > /dev/null \
+      || echo "request failed" >> "$E2E_DIR/registry.swap_errors"
+  done
+) &
+hammer=$!
+curl -sf -X PUT --data-binary "@$E2E_DIR/Mean.iim" \
+    "http://127.0.0.1:$PORT/models/alpha" | grep -q '"swapped":true' \
+  || fail "registry: hot swap to Mean did not report swapped:true"
+curl -sf -X PUT --data-binary "@$E2E_DIR/IIM.iim" \
+    "http://127.0.0.1:$PORT/models/alpha" | grep -q '"swapped":true' \
+  || fail "registry: hot swap back to IIM did not report swapped:true"
+wait $hammer
+[ ! -e "$E2E_DIR/registry.swap_errors" ] \
+  || fail "registry: a request failed during the hot swaps"
+curl -sf --data-binary "@$QUERIES" "http://127.0.0.1:$PORT/models/alpha/impute" \
+    > "$E2E_DIR/registry.alpha_after_swap.csv" \
+  || fail "registry: post-swap impute returned non-2xx"
+cmp "$E2E_DIR/registry.alpha_after_swap.csv" "$E2E_DIR/IIM.expected.csv" \
+  || fail "registry: post-swap alpha diverged from the IIM reference"
+
+stop_daemon $daemon
+trap - EXIT
+
+# Eviction: with one resident slot, touching beta evicts alpha; touching
+# alpha again reactivates it transparently with identical bytes.
+PORT=$((PORT + 1))
+"$BIN" serve --models-dir "$REG" --addr "127.0.0.1:$PORT" --threads 2 \
+    --max-resident 1 &
+daemon=$!
+trap 'kill $daemon 2>/dev/null || true' EXIT
+wait_healthy $PORT || fail "eviction daemon never became healthy"
+
+curl -sf --data-binary "@$QUERIES" "http://127.0.0.1:$PORT/models/alpha/impute" \
+    > /dev/null || fail "eviction: warm-up impute on alpha failed"
+curl -sf --data-binary "@$QUERIES" "http://127.0.0.1:$PORT/models/beta/impute" \
+    > /dev/null || fail "eviction: impute on beta failed"
+curl -sf "http://127.0.0.1:$PORT/models/alpha/info" | grep -q '"resident":false' \
+  || fail "eviction: alpha still resident with max-resident 1"
+curl -sf --data-binary "@$QUERIES" "http://127.0.0.1:$PORT/models/alpha/impute" \
+    > "$E2E_DIR/registry.alpha_reactivated.csv" \
+  || fail "eviction: reactivating impute on alpha failed"
+cmp "$E2E_DIR/registry.alpha_reactivated.csv" "$E2E_DIR/IIM.expected.csv" \
+  || fail "eviction: reactivated alpha diverged from the IIM reference"
+
+stop_daemon $daemon
+trap - EXIT
+
+echo "OK: registry served both tenants byte-identically, hot-swapped under load with zero failures, and survived eviction"

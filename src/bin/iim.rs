@@ -6,7 +6,10 @@
 //! iim impute --model model.iim queries.csv    # load a snapshot, stream queries
 //! iim fit --save model.iim train.csv          # offline phase → snapshot on disk
 //! iim serve model.iim --addr 127.0.0.1:7878   # HTTP daemon over a snapshot
+//! iim serve --models-dir models/              # multi-tenant registry daemon
 //! iim learn --model model.iim rows.csv        # absorb tuples, append delta records
+//! iim registry list --models-dir models/      # tenant cards (version, absorbed)
+//! iim registry stage --models-dir models/ prices model.iim  # install/replace
 //! iim profile input.csv          # R²_S / R²_H diagnostics per attribute
 //! iim methods                    # list available methods
 //! ```
@@ -23,7 +26,11 @@
 //! `fit` runs the offline phase once and persists it; `serve` turns a
 //! snapshot into a long-lived HTTP daemon (`POST /impute`, `POST /learn`,
 //! `GET /healthz`, `GET /info`) whose fills are byte-identical to
-//! `iim impute` on the same queries. `learn` absorbs complete tuples into
+//! `iim impute` on the same queries — or, with `--models-dir`, serves a
+//! whole registry of named snapshots (`/models/{name}/impute`, staged and
+//! hot-swapped via `PUT /models/{name}` with zero dropped requests; see
+//! `iim_serve::registry`). The daemon exits `0` on `SIGTERM`/ctrl-c after
+//! draining in-flight work. `learn` absorbs complete tuples into
 //! a snapshot offline — the model is updated incrementally (no refit) and
 //! the tuples are appended to the snapshot as delta records, replayed on
 //! the next load. `profile` reports how sparse / heterogeneous each
@@ -42,6 +49,9 @@ fn usage() -> String {
      [--index auto|brute|kdtree] TRAIN.csv\
      \n  iim serve MODEL.iim [--addr 127.0.0.1:7878] [--threads T] \
      [--checkpoint PATH] [--checkpoint-every N]\
+     \n  iim serve --models-dir DIR [--max-resident N] [--addr 127.0.0.1:7878] [--threads T]\
+     \n  iim registry list --models-dir DIR\
+     \n  iim registry stage --models-dir DIR NAME SNAPSHOT.iim\
      \n  iim learn --model MODEL.iim ROWS.csv\
      \n  iim profile INPUT.csv\
      \n  iim methods"
@@ -54,6 +64,7 @@ fn main() -> ExitCode {
         Some("impute") => impute(&args[1..]),
         Some("fit") => fit(&args[1..]),
         Some("serve") => serve_daemon(&args[1..]),
+        Some("registry") => registry_cmd(&args[1..]),
         Some("learn") => learn(&args[1..]),
         Some("profile") => profile(&args[1..]),
         Some("methods") => {
@@ -96,6 +107,8 @@ struct Flags {
     input: Option<String>,
     checkpoint: Option<String>,
     checkpoint_every: Option<usize>,
+    models_dir: Option<String>,
+    max_resident: usize,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -113,6 +126,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         input: None,
         checkpoint: None,
         checkpoint_every: None,
+        models_dir: None,
+        max_resident: 4,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -163,6 +178,16 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                         .filter(|&n| n > 0)
                         .ok_or("--checkpoint-every needs a positive integer")?,
                 )
+            }
+            "--models-dir" => {
+                f.models_dir = Some(it.next().ok_or("--models-dir needs a path")?.clone())
+            }
+            "--max-resident" => {
+                f.max_resident = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or("--max-resident needs a positive integer")?
             }
             "--output" | "-o" => f.output = Some(it.next().ok_or("--output needs a path")?.clone()),
             path if !path.starts_with('-') => f.input = Some(path.to_string()),
@@ -318,7 +343,10 @@ fn fit(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// `iim serve MODEL.iim`: a long-lived HTTP daemon over a snapshot.
+/// `iim serve MODEL.iim` / `iim serve --models-dir DIR`: a long-lived
+/// HTTP daemon over one snapshot or a whole model registry. Exits `0` on
+/// `SIGTERM`/ctrl-c after draining in-flight batches and flushing any
+/// buffered checkpoint deltas (see `iim_serve::shutdown`).
 fn serve_daemon(args: &[String]) -> ExitCode {
     let flags = match parse_flags(args) {
         Ok(f) => f,
@@ -327,54 +355,223 @@ fn serve_daemon(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let Some(model_path) = flags.input.clone() else {
-        eprintln!("error: missing MODEL.iim (produce one with `iim fit --save`)");
-        return ExitCode::from(2);
-    };
     let t0 = Instant::now();
-    let (fitted, info) = match load_snapshot(&model_path) {
-        Ok(pair) => pair,
-        Err(code) => return code,
+    let (server, source) = if let Some(dir) = flags.models_dir.clone() {
+        // Registry mode: models activate lazily, nothing loads up front.
+        if flags.input.is_some() {
+            eprintln!("error: --models-dir and a MODEL.iim are mutually exclusive");
+            return ExitCode::from(2);
+        }
+        let registry = match iim_serve::Registry::open(iim_serve::RegistryConfig {
+            dir: dir.clone().into(),
+            max_resident: flags.max_resident,
+            threads: flags.threads,
+        }) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error opening registry {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let cfg = iim_serve::ServeConfig {
+            addr: flags.addr.clone(),
+            threads: flags.threads,
+            ..iim_serve::ServeConfig::default()
+        };
+        match iim_serve::Server::bind_registry(registry, &cfg) {
+            Ok(s) => (s, dir),
+            Err(e) => {
+                eprintln!("error binding {}: {e}", cfg.addr);
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        let Some(model_path) = flags.input.clone() else {
+            eprintln!(
+                "error: missing MODEL.iim or --models-dir DIR \
+                 (produce snapshots with `iim fit --save`)"
+            );
+            return ExitCode::from(2);
+        };
+        let (fitted, info) = match load_snapshot(&model_path) {
+            Ok(pair) => pair,
+            Err(code) => return code,
+        };
+        // Either checkpoint flag turns delta checkpointing on; the path
+        // defaults to the snapshot being served, the cadence to every
+        // absorb.
+        let checkpoint =
+            (flags.checkpoint.is_some() || flags.checkpoint_every.is_some()).then(|| {
+                iim_serve::CheckpointConfig {
+                    path: flags
+                        .checkpoint
+                        .clone()
+                        .unwrap_or_else(|| model_path.clone())
+                        .into(),
+                    every: flags.checkpoint_every.unwrap_or(1),
+                }
+            });
+        let cfg = iim_serve::ServeConfig {
+            addr: flags.addr.clone(),
+            threads: flags.threads,
+            schema: info.schema,
+            checkpoint,
+            snapshot_version: info.version,
+        };
+        match iim_serve::Server::bind(fitted, &cfg) {
+            Ok(s) => (s, model_path),
+            Err(e) => {
+                eprintln!("error binding {}: {e}", cfg.addr);
+                return ExitCode::FAILURE;
+            }
+        }
     };
     let load_s = t0.elapsed();
-    // Either checkpoint flag turns delta checkpointing on; the path
-    // defaults to the snapshot being served, the cadence to every absorb.
-    let checkpoint = (flags.checkpoint.is_some() || flags.checkpoint_every.is_some()).then(|| {
-        iim_serve::CheckpointConfig {
-            path: flags
-                .checkpoint
-                .clone()
-                .unwrap_or_else(|| model_path.clone())
-                .into(),
-            every: flags.checkpoint_every.unwrap_or(1),
-        }
-    });
-    let cfg = iim_serve::ServeConfig {
-        addr: flags.addr.clone(),
-        threads: flags.threads,
-        schema: info.schema,
-        checkpoint,
-    };
-    let server = match iim_serve::Server::bind(fitted, &cfg) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("error binding {}: {e}", cfg.addr);
-            return ExitCode::FAILURE;
-        }
-    };
     let addr = server
         .local_addr()
         .map(|a| a.to_string())
-        .unwrap_or(cfg.addr);
+        .unwrap_or_else(|_| flags.addr.clone());
+    let routes = if flags.models_dir.is_some() {
+        "GET/PUT/DELETE /models..., POST /models/{name}/impute|learn"
+    } else {
+        "POST /impute, POST /learn"
+    };
     eprintln!(
-        "serving {} (arity {}) from {model_path} (loaded in {:.4}s) on http://{addr} — \
-         POST /impute, POST /learn, GET /healthz, GET /info",
-        server.model_name(),
-        server.arity(),
+        "serving {} from {source} (ready in {:.4}s) on http://{addr} — \
+         {routes}, GET /healthz, GET /info; SIGTERM/ctrl-c exits cleanly",
+        server.describe(),
         load_s.as_secs_f64(),
     );
-    server.run();
+    // Park until SIGTERM/SIGINT, then drain: stop accepting, join the
+    // accept thread, let batcher drops flush checkpoints — and exit 0 so
+    // supervisors (and serve_e2e.sh) can tell a clean stop from a crash.
+    iim_serve::shutdown::install();
+    let handle = match server.spawn() {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error starting accept loop: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    iim_serve::shutdown::wait();
+    eprintln!("shutdown signal received; draining");
+    handle.shutdown();
     ExitCode::SUCCESS
+}
+
+/// `iim registry list|stage`: offline admin verbs over a models
+/// directory — the same staging path the daemon's `PUT /models/{name}`
+/// uses (validate, temp file, atomic rename), minus the HTTP.
+fn registry_cmd(args: &[String]) -> ExitCode {
+    let Some(verb) = args.first().map(String::as_str) else {
+        eprintln!("error: registry needs a verb: list | stage");
+        return ExitCode::from(2);
+    };
+    let flags = match parse_flags(&args[1..]) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(dir) = flags.models_dir.clone() else {
+        eprintln!("error: registry {verb} needs --models-dir DIR");
+        return ExitCode::from(2);
+    };
+    let registry = match iim_serve::Registry::open(iim_serve::RegistryConfig {
+        dir: dir.clone().into(),
+        max_resident: flags.max_resident,
+        threads: flags.threads,
+    }) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error opening registry {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match verb {
+        "list" => {
+            let cards = match registry.list() {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("error listing {dir}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!(
+                "{:<20} {:<10} {:>3} {:>9} {:>8}   schema",
+                "name", "method", "v", "resident", "absorbed"
+            );
+            for c in cards {
+                println!(
+                    "{:<20} {:<10} {:>3} {:>9} {:>8}   {}",
+                    c.name,
+                    c.method,
+                    c.snapshot_version,
+                    if c.resident { "yes" } else { "no" },
+                    c.absorbed,
+                    c.schema.join(","),
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        "stage" => {
+            // Positional args after the verb: NAME SNAPSHOT.iim — the
+            // flag parser keeps the *last* positional as `input`, so pick
+            // both out of the raw args.
+            let positional: Vec<&String> = args[1..]
+                .iter()
+                .enumerate()
+                .filter(|(i, a)| {
+                    !a.starts_with('-')
+                        && (*i == 0 || {
+                            let prev = &args[1..][i - 1];
+                            !matches!(
+                                prev.as_str(),
+                                "--models-dir"
+                                    | "--max-resident"
+                                    | "--threads"
+                                    | "--addr"
+                                    | "--method"
+                                    | "--k"
+                                    | "--seed"
+                                    | "--index"
+                            )
+                        })
+                })
+                .map(|(_, a)| a)
+                .collect();
+            let [name, snapshot_path] = positional.as_slice() else {
+                eprintln!("error: registry stage needs NAME SNAPSHOT.iim");
+                return ExitCode::from(2);
+            };
+            let bytes = match std::fs::read(snapshot_path) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("error reading {snapshot_path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match registry.stage(name, &bytes) {
+                Ok(out) => {
+                    eprintln!(
+                        "{dir}/{name}.iim: staged {} ({} bytes)",
+                        out.method,
+                        bytes.len()
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error staging {name}: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        other => {
+            eprintln!("unknown registry verb {other:?}; try list or stage");
+            ExitCode::from(2)
+        }
+    }
 }
 
 /// `iim learn --model MODEL.iim ROWS.csv`: absorbs complete tuples into a

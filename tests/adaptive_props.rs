@@ -52,7 +52,7 @@ proptest! {
         let f = xs[0].len();
         let n = xs.len();
         let flat: Vec<f64> = xs.iter().flatten().copied().collect();
-        let fm = FeatureMatrix::from_dense(f, (0..n as u32).collect(), flat);
+        let fm = FeatureMatrix::from_dense(f, (0..n as u32).collect::<Vec<u32>>(), flat);
         let orders = NeighborOrders::build(&fm, n);
         for tuple in 0..n.min(5) {
             let prefix = orders.neighbors_of(tuple);
@@ -84,7 +84,7 @@ proptest! {
         let f = xs[0].len();
         let n = xs.len();
         let flat: Vec<f64> = xs.iter().flatten().copied().collect();
-        let fm = FeatureMatrix::from_dense(f, (0..n as u32).collect(), flat);
+        let fm = FeatureMatrix::from_dense(f, (0..n as u32).collect::<Vec<u32>>(), flat);
         let orders = NeighborOrders::build(&fm, n);
         let cfg = AdaptiveConfig::default();
         let a = iim::core::adaptive_learn(&fm, &ys, &orders, 3, &cfg, 1e-6, 1);
@@ -103,7 +103,7 @@ proptest! {
         let f = xs[0].len();
         let n = xs.len();
         let flat: Vec<f64> = xs.iter().flatten().copied().collect();
-        let fm = FeatureMatrix::from_dense(f, (0..n as u32).collect(), flat);
+        let fm = FeatureMatrix::from_dense(f, (0..n as u32).collect::<Vec<u32>>(), flat);
         let orders = NeighborOrders::build(&fm, n.min(ell.max(1)));
         let models = iim::core::learn_fixed(&fm, &ys, &orders, ell.min(n), 1e-6, 1);
         let q = vec![0.25; f];

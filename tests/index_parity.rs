@@ -34,7 +34,7 @@ fn arb_matrix_with_dups() -> impl Strategy<Value = FeatureMatrix> {
                     let src_row: Vec<f64> = data[src * m..(src + 1) * m].to_vec();
                     data[dst * m..(dst + 1) * m].copy_from_slice(&src_row);
                 }
-                FeatureMatrix::from_dense(m, (0..n as u32).collect(), data)
+                FeatureMatrix::from_dense(m, (0..n as u32).collect::<Vec<u32>>(), data)
             })
     })
 }

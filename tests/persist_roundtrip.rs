@@ -120,6 +120,50 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Version skew: the same fitted model written as format v2 (inline
+    /// numeric streams, owned parse) and v3 (banked payload,
+    /// validate-then-view) must load to models that serve **bitwise
+    /// identical** fills — a rolling upgrade can mix snapshot versions
+    /// freely without changing a single answer.
+    #[test]
+    fn v2_and_v3_snapshots_serve_identical_bits(rel in arb_workload()) {
+        let serial = Pool::serial();
+        for method in all_fourteen(4, 9) {
+            let fitted = match method.fit(&rel) {
+                Ok(f) => f,
+                Err(ImputeError::Unsupported(_)) => continue,
+                Err(e) => panic!("{} failed to fit: {e}", method.name()),
+            };
+            let v2 = iim_persist::save_to_vec_v2(fitted.as_ref()).unwrap();
+            let v3 = iim_persist::save_to_vec(fitted.as_ref()).unwrap();
+            prop_assert_eq!(iim_persist::inspect(&v2).unwrap().version, 2);
+            prop_assert_eq!(
+                iim_persist::inspect(&v3).unwrap().version,
+                iim_persist::FORMAT_VERSION
+            );
+
+            let from_v2 = iim_persist::load_from_slice(&v2)
+                .unwrap_or_else(|e| panic!("{} failed to load v2: {e}", method.name()));
+            let from_v3 = iim_persist::load_from_slice(&v3)
+                .unwrap_or_else(|e| panic!("{} failed to load v3: {e}", method.name()));
+            let a = from_v2.impute_all_on(&serial, &rel).unwrap();
+            let b = from_v3.impute_all_on(&serial, &rel).unwrap();
+            assert_bitwise_equal(&a, &b, method.name());
+
+            // And a v2-loaded model re-saves to canonical v3 bytes: the
+            // upgrade path is save(load(old)) with no special casing.
+            prop_assert_eq!(
+                &iim_persist::save_to_vec(from_v2.as_ref()).unwrap(),
+                &v3,
+                "{}: v2-loaded model did not re-save to the v3 bytes", method.name()
+            );
+        }
+    }
+}
+
 /// A tiny fitted model per shape family, for exhaustive corruption sweeps.
 fn small_snapshots() -> Vec<(String, Vec<u8>)> {
     let mut rel = Relation::with_capacity(Schema::anonymous(3), 0);
@@ -128,7 +172,7 @@ fn small_snapshots() -> Vec<(String, Vec<u8>)> {
         rel.push_row(&[x, 2.0 * x + 1.0, 10.0 - 0.5 * x]);
     }
     rel.push_row_opt(&[Some(3.5), None, Some(8.0)]);
-    ["Mean", "IIM", "SVD", "ILLS", "ERACER", "IFC"]
+    let mut out: Vec<(String, Vec<u8>)> = ["Mean", "IIM", "SVD", "ILLS", "ERACER", "IFC"]
         .iter()
         .map(|name| {
             let method = iim::methods::by_name(name, 3, 7).expect("lineup method");
@@ -136,7 +180,14 @@ fn small_snapshots() -> Vec<(String, Vec<u8>)> {
             let bytes = iim_persist::save_to_vec(fitted.as_ref()).expect("save");
             (name.to_string(), bytes)
         })
-        .collect()
+        .collect();
+    // One legacy v2 container too: the owned-parse fallback path must be
+    // exactly as total under corruption as the v3 view path.
+    let method = iim::methods::by_name("IIM", 3, 7).expect("lineup method");
+    let fitted = method.fit(&rel).expect("fit");
+    let v2 = iim_persist::save_to_vec_v2(fitted.as_ref()).expect("save v2");
+    out.push(("IIM-v2".to_string(), v2));
+    out
 }
 
 #[test]
@@ -198,11 +249,10 @@ fn snapshot_info_matches_the_model() {
         assert_eq!(info.method, fitted.name());
         assert_eq!(info.version, iim_persist::FORMAT_VERSION);
         // Container overhead: 8 magic + 2 version + 2 tag length + tag
-        // + 2 schema count (empty here) + 8 payload length + payload
-        // + 8 checksum.
-        assert_eq!(
-            info.payload_len as usize + info.method.len() + 30,
-            bytes.len()
-        );
+        // + 2 schema count (empty here) + alignment pad (v3) + 8 payload
+        // length + payload + 8 checksum.
+        let prefix = 8 + 2 + 2 + info.method.len() + 2;
+        let pad = (8 - (prefix & 7)) & 7;
+        assert_eq!(info.payload_len as usize + prefix + pad + 16, bytes.len());
     }
 }
