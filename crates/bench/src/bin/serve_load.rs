@@ -11,8 +11,10 @@
 //!
 //! * `http_batch_qps` — client threads POST CSV batches (the bulk
 //!   re-imputation shape); throughput amortizes HTTP parsing across rows.
-//! * `http_single_us` — one-row POSTs (the interactive shape); dominated
-//!   by connection setup + queue hop, the honest per-request floor.
+//! * `http_single_us` / `http_single_p50_us` — one-row POSTs over a
+//!   **persistent keep-alive connection** (the interactive shape): mean
+//!   and median request→response latency with no per-request TCP setup,
+//!   the honest floor of the daemon's hot path.
 //!
 //! ```text
 //! cargo run -p iim-bench --release --bin serve_load [-- --quick --seed 42]
@@ -73,27 +75,76 @@ fn query_batch(n_queries: usize, m: usize, seed: u64) -> (String, Vec<Vec<Option
     (csv, rows)
 }
 
-/// One blocking HTTP POST /impute; returns the response body.
-fn post_impute(addr: std::net::SocketAddr, body: &str) -> String {
-    let mut stream = TcpStream::connect(addr).expect("connect daemon");
-    write!(
-        stream,
-        "POST /impute HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
-        body.len()
-    )
-    .expect("send request");
-    let mut response = String::new();
-    stream.read_to_string(&mut response).expect("read response");
-    assert!(
-        response.starts_with("HTTP/1.1 200"),
-        "non-200 from daemon: {}",
-        response.lines().next().unwrap_or("<empty>")
-    );
-    response
-        .split_once("\r\n\r\n")
-        .expect("header/body split")
-        .1
-        .to_string()
+/// A persistent keep-alive HTTP client: one TCP connection, many
+/// requests, each response framed by its `Content-Length` (the daemon
+/// keeps the connection open by default, so relying on server-close would
+/// deadlock — and would also re-pay TCP setup per request).
+struct HttpClient {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl HttpClient {
+    fn connect(addr: std::net::SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr).expect("connect daemon");
+        stream.set_nodelay(true).expect("nodelay");
+        HttpClient {
+            stream,
+            buf: Vec::with_capacity(4096),
+        }
+    }
+
+    /// One POST /impute over the persistent connection; returns the
+    /// response body.
+    fn post_impute(&mut self, body: &str) -> String {
+        write!(
+            self.stream,
+            "POST /impute HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .expect("send request");
+        self.read_response()
+    }
+
+    /// Reads exactly one Content-Length-framed response from the stream,
+    /// carrying any over-read bytes to the next call.
+    fn read_response(&mut self) -> String {
+        let head_end = loop {
+            if let Some(pos) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos + 4;
+            }
+            let mut chunk = [0u8; 4096];
+            let got = self.stream.read(&mut chunk).expect("read response head");
+            assert!(got > 0, "daemon closed mid-response");
+            self.buf.extend_from_slice(&chunk[..got]);
+        };
+        let head = String::from_utf8_lossy(&self.buf[..head_end]).into_owned();
+        assert!(
+            head.starts_with("HTTP/1.1 200"),
+            "non-200 from daemon: {}",
+            head.lines().next().unwrap_or("<empty>")
+        );
+        let content_length: usize = head
+            .lines()
+            .find_map(|l| {
+                let (name, value) = l.split_once(':')?;
+                name.eq_ignore_ascii_case("content-length")
+                    .then(|| value.trim().parse().expect("content-length value"))
+            })
+            .expect("response missing Content-Length");
+        let mut body = self.buf.split_off(head_end);
+        self.buf.clear();
+        if body.len() > content_length {
+            self.buf = body.split_off(content_length);
+        } else {
+            let base = body.len();
+            body.resize(content_length, 0);
+            self.stream
+                .read_exact(&mut body[base..])
+                .expect("read response body");
+        }
+        String::from_utf8(body).expect("utf8 body")
+    }
 }
 
 struct Cell {
@@ -105,6 +156,7 @@ struct Cell {
     load_s: f64,
     http_batch_qps: f64,
     http_single_us: f64,
+    http_single_p50_us: f64,
 }
 
 fn main() {
@@ -181,12 +233,14 @@ fn main() {
             let addr = server.local_addr().expect("daemon addr");
             let handle = server.spawn().expect("spawn daemon");
 
-            // Batched: `clients` threads each replay the whole batch once.
+            // Batched: `clients` threads each replay the whole batch once
+            // over their own keep-alive connection.
             let t3 = Instant::now();
             std::thread::scope(|scope| {
                 for _ in 0..clients {
                     scope.spawn(|| {
-                        let body = post_impute(addr, &csv_batch);
+                        let mut client = HttpClient::connect(addr);
+                        let body = client.post_impute(&csv_batch);
                         assert!(body.lines().count() > n_queries / 2);
                     });
                 }
@@ -194,7 +248,12 @@ fn main() {
             let batch_wall = t3.elapsed().as_secs_f64();
             let http_batch_qps = (n_queries * clients) as f64 / batch_wall.max(1e-12);
 
-            // Single-tuple: sequential one-row POSTs.
+            // Single-tuple: sequential one-row POSTs down one persistent
+            // connection, per-request latency recorded for mean and p50
+            // (p50 ignores the occasional scheduler hiccup a 1-core box
+            // injects into the mean). One warm-up request pays the lazy
+            // costs (batcher thread wake, allocator warm-up) outside the
+            // timed loop.
             let header = csv_batch.lines().next().expect("header");
             let single_bodies: Vec<String> = csv_batch
                 .lines()
@@ -202,18 +261,27 @@ fn main() {
                 .take(n_single)
                 .map(|line| format!("{header}\n{line}\n"))
                 .collect();
-            let t4 = Instant::now();
-            for body in &single_bodies {
-                post_impute(addr, body);
+            let mut client = HttpClient::connect(addr);
+            if let Some(body) = single_bodies.first() {
+                client.post_impute(body);
             }
-            let single_wall = t4.elapsed().as_secs_f64();
-            let http_single_us = single_wall / single_bodies.len().max(1) as f64 * 1e6;
+            let mut lat_us: Vec<f64> = Vec::with_capacity(single_bodies.len());
+            for body in &single_bodies {
+                let t4 = Instant::now();
+                client.post_impute(body);
+                lat_us.push(t4.elapsed().as_secs_f64() * 1e6);
+            }
+            let http_single_us = lat_us.iter().sum::<f64>() / lat_us.len().max(1) as f64;
+            let mut sorted = lat_us.clone();
+            sorted.sort_by(f64::total_cmp);
+            let http_single_p50_us = sorted.get(sorted.len() / 2).copied().unwrap_or(0.0);
+            drop(client);
 
             handle.shutdown();
             eprintln!(
                 "[serve_load] {name} n={capped}: offline {offline_s:.3}s, snapshot {} B \
                  (save {save_s:.4}s, load {load_s:.4}s), {http_batch_qps:.0} qps batched, \
-                 {http_single_us:.0} us/single-request",
+                 {http_single_us:.0} us mean / {http_single_p50_us:.0} us p50 per keep-alive request",
                 bytes.len(),
             );
             cells.push(Cell {
@@ -225,6 +293,7 @@ fn main() {
                 load_s,
                 http_batch_qps,
                 http_single_us,
+                http_single_p50_us,
             });
         }
     }
@@ -239,6 +308,7 @@ fn main() {
         "load_speedup",
         "batch_qps",
         "single_us",
+        "single_p50_us",
     ]);
     let mut cells_json = String::new();
     for c in &cells {
@@ -253,12 +323,13 @@ fn main() {
             format!("{speedup:.0}x"),
             format!("{:.0}", c.http_batch_qps),
             format!("{:.0}", c.http_single_us),
+            format!("{:.0}", c.http_single_p50_us),
         ]);
         let _ = writeln!(
             cells_json,
             "    {{\"method\": \"{}\", \"n\": {}, \"offline_s\": {:.6}, \"save_s\": {:.6}, \
              \"snapshot_bytes\": {}, \"load_s\": {:.6}, \"http_batch_qps\": {:.1}, \
-             \"http_single_us\": {:.1}}},",
+             \"http_single_us\": {:.1}, \"http_single_p50_us\": {:.1}}},",
             c.method,
             c.n,
             c.offline_s,
@@ -267,6 +338,7 @@ fn main() {
             c.load_s,
             c.http_batch_qps,
             c.http_single_us,
+            c.http_single_p50_us,
         );
     }
     let cells_json = cells_json.trim_end_matches(",\n").to_string();
@@ -278,7 +350,8 @@ fn main() {
          \"available_cores\": {cores},\n  \"bitwise_identical_checked\": true,\n  \
          \"note\": \"load replaces the offline phase on restart: load_s vs offline_s is \
          the deploy-time win; qps measured against the real daemon incl. HTTP + \
-         micro-batching overhead\",\n  \"cells\": [\n{cells_json}\n  ]\n}}\n",
+         micro-batching overhead; single-tuple latencies over one persistent \
+         keep-alive connection\",\n  \"cells\": [\n{cells_json}\n  ]\n}}\n",
     );
     let dir = results_dir();
     std::fs::create_dir_all(&dir).expect("create bench_results");

@@ -14,7 +14,7 @@
 //!   so downstream numeric code is oblivious; mutation goes through a
 //!   copy-on-write [`FloatSlice::to_mut`].
 //!
-//! The *only* `unsafe` in the workspace lives in this crate's [`cast`]
+//! The *only* `unsafe` in the workspace lives in this crate's `cast`
 //! helpers: reinterpreting `&[u64]` as `&[u8]` and (alignment-checked)
 //! `&[u8]` as `&[f64]`/`&[u32]`. Every target type is valid for all bit
 //! patterns, alignment is verified at runtime, and lengths are derived

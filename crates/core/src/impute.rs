@@ -343,6 +343,7 @@ mod tests {
         for choice in [
             iim_neighbors::IndexChoice::Brute,
             iim_neighbors::IndexChoice::KdTree,
+            iim_neighbors::IndexChoice::VpTree,
         ] {
             let index = NeighborIndex::build(fm.clone(), choice);
             for q in [0.0, 2.5, 5.0, 9.1] {

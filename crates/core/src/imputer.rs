@@ -598,14 +598,18 @@ mod tests {
         };
         let brute = build(crate::IndexChoice::Brute);
         let kd = build(crate::IndexChoice::KdTree);
+        let vp = build(crate::IndexChoice::VpTree);
         assert_eq!(brute.index().kind(), "brute");
         assert_eq!(kd.index().kind(), "kdtree");
+        assert_eq!(vp.index().kind(), "vptree");
         assert_eq!(brute.chosen_ell(), kd.chosen_ell());
+        assert_eq!(brute.chosen_ell(), vp.chosen_ell());
         let mut scratch = crate::ImputeScratch::new();
         for q in [0.0, 2.5, 5.0, 7.7] {
             let a = brute.impute(&[q]);
             let b = kd.impute(&[q]);
             assert_eq!(a.to_bits(), b.to_bits(), "q={q}");
+            assert_eq!(vp.impute(&[q]).to_bits(), a.to_bits(), "q={q}");
             // Scratch-managed serving is the same function.
             assert_eq!(kd.impute_with(&[q], &mut scratch).to_bits(), a.to_bits());
         }
@@ -629,6 +633,7 @@ mod tests {
         };
         let brute = build(crate::IndexChoice::Brute);
         let kd = build(crate::IndexChoice::KdTree);
+        let vp = build(crate::IndexChoice::VpTree);
         assert_eq!(brute.n_train(), 10);
         assert_eq!(brute.absorbed(), 2);
         assert_eq!(brute.ys().len(), 10);
@@ -637,6 +642,11 @@ mod tests {
             assert_eq!(
                 brute.impute(&[q]).to_bits(),
                 kd.impute(&[q]).to_bits(),
+                "q={q}"
+            );
+            assert_eq!(
+                brute.impute(&[q]).to_bits(),
+                vp.impute(&[q]).to_bits(),
                 "q={q}"
             );
         }

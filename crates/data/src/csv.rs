@@ -63,30 +63,49 @@ pub fn parse_header(line: &str) -> Vec<String> {
 /// [`read`] and the CLI's streaming serving path.
 pub fn parse_row(line: &str, want: usize, lineno: usize) -> Result<Vec<Option<f64>>, CsvError> {
     let mut row: Vec<Option<f64>> = Vec::with_capacity(want);
+    parse_row_into(line, want, lineno, &mut row)?;
+    Ok(row)
+}
+
+/// [`parse_row`] without the per-row allocation: appends the line's
+/// `want` cells to `out` (the serving daemon parses a whole request into
+/// one flat buffer this way). On error, `out` is restored to its original
+/// length, so a failed line never leaves partial cells behind.
+pub fn parse_row_into(
+    line: &str,
+    want: usize,
+    lineno: usize,
+    out: &mut Vec<Option<f64>>,
+) -> Result<(), CsvError> {
+    let base = out.len();
     for field in line.split(',') {
         let field = field.trim();
         if is_missing_marker(field) {
-            row.push(None);
+            out.push(None);
         } else {
-            let v: f64 = field.parse().map_err(|_| CsvError::Parse {
-                line: lineno,
-                field: field.to_string(),
-            })?;
-            if !v.is_finite() {
-                row.push(None);
-            } else {
-                row.push(Some(v));
+            match field.parse::<f64>() {
+                Ok(v) if v.is_finite() => out.push(Some(v)),
+                Ok(_) => out.push(None),
+                Err(_) => {
+                    out.truncate(base);
+                    return Err(CsvError::Parse {
+                        line: lineno,
+                        field: field.to_string(),
+                    });
+                }
             }
         }
     }
-    if row.len() != want {
+    let got = out.len() - base;
+    if got != want {
+        out.truncate(base);
         return Err(CsvError::Arity {
             line: lineno,
-            got: row.len(),
+            got,
             want,
         });
     }
-    Ok(row)
+    Ok(())
 }
 
 /// Formats one value row as a CSV line (`NaN` cells become empty fields,
@@ -176,6 +195,25 @@ mod tests {
         let text = "a\n1\n\n2\n";
         let rel = read(text.as_bytes()).unwrap();
         assert_eq!(rel.n_rows(), 2);
+    }
+
+    #[test]
+    fn parse_row_into_appends_and_restores_on_error() {
+        let mut out: Vec<Option<f64>> = vec![Some(9.0)];
+        parse_row_into("1.5,?", 2, 2, &mut out).unwrap();
+        assert_eq!(out, vec![Some(9.0), Some(1.5), None]);
+        // A bad line leaves previously appended cells untouched.
+        assert!(matches!(
+            parse_row_into("xyz,1", 2, 3, &mut out),
+            Err(CsvError::Parse { line: 3, .. })
+        ));
+        assert!(matches!(
+            parse_row_into("1", 2, 4, &mut out),
+            Err(CsvError::Arity { line: 4, .. })
+        ));
+        assert_eq!(out.len(), 3);
+        // Bitwise agreement with the allocating form.
+        assert_eq!(&out[1..], parse_row("1.5,?", 2, 2).unwrap().as_slice());
     }
 
     #[test]

@@ -1,14 +1,22 @@
 //! Criterion micro-benchmarks for the neighbor-search substrate: the
-//! brute scan vs the owned KD-tree behind [`NeighborIndex`], plus the
-//! flat-buffer neighbor-orders build the offline phase runs on.
+//! brute scan vs the owned KD-tree and VP-tree behind [`NeighborIndex`],
+//! the blocked distance kernels, and the flat-buffer neighbor-orders
+//! build the offline phase runs on.
 //!
-//! Every benchmark first asserts the two search paths agree bitwise on
-//! the benched workload — the determinism contract is checked where the
-//! numbers are produced.
+//! Every search benchmark first asserts the paths agree bitwise on the
+//! benched workload — the determinism contract is checked where the
+//! numbers are produced. Two data shapes are benched: iid-uniform (no
+//! index can prune much past m≈4 — the curse of dimensionality) and a
+//! two-factor latent model (intrinsic dimension ~2, the correlated shape
+//! real relations have, where tree pruning keeps paying at higher m).
+//!
+//! CI smoke-runs this whole file with `cargo bench -- --quick`.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use iim_neighbors::brute::FeatureMatrix;
-use iim_neighbors::{IndexChoice, KnnScratch, NeighborIndex, NeighborOrders};
+use iim_neighbors::{
+    sq_dist_f, sq_dist_many, IndexChoice, KnnScratch, NeighborIndex, NeighborOrders,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -18,12 +26,30 @@ fn random_matrix(n: usize, m: usize, seed: u64) -> FeatureMatrix {
     FeatureMatrix::from_dense(m, (0..n as u32).collect::<Vec<u32>>(), data)
 }
 
-fn bench_index_knn(c: &mut Criterion) {
-    let mut group = c.benchmark_group("index_knn_k10");
-    for &(n, m) in &[(10_000usize, 2usize), (10_000, 8), (50_000, 4)] {
-        let fm = random_matrix(n, m, 7);
+/// Two shared latent factors + per-feature noise: intrinsic dimension ~2
+/// at any ambient m (same generator family as the `serving` bench bin).
+fn latent_matrix(n: usize, m: usize, seed: u64) -> FeatureMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = Vec::with_capacity(n * m);
+    for _ in 0..n {
+        let t = rng.gen_range(0.0..100.0f64);
+        let u = rng.gen_range(0.0..100.0f64);
+        for j in 0..m {
+            let a = 0.3 + 0.6 * ((j as f64 * 0.37).sin().abs());
+            let b = 1.0 - a * 0.5;
+            data.push(a * t + b * u + rng.gen_range(-2.0..2.0));
+        }
+    }
+    FeatureMatrix::from_dense(m, (0..n as u32).collect::<Vec<u32>>(), data)
+}
+
+fn bench_knn_group(c: &mut Criterion, group_name: &str, cells: &[(usize, usize, FeatureMatrix)]) {
+    let mut group = c.benchmark_group(group_name);
+    for (n, m, fm) in cells {
+        let (n, m) = (*n, *m);
         let brute = NeighborIndex::build(fm.clone(), IndexChoice::Brute);
-        let kd = NeighborIndex::build(fm, IndexChoice::KdTree);
+        let kd = NeighborIndex::build(fm.clone(), IndexChoice::KdTree);
+        let vp = NeighborIndex::build(fm.clone(), IndexChoice::VpTree);
         let mut rng = StdRng::seed_from_u64(13);
         let queries: Vec<Vec<f64>> = (0..64)
             .map(|_| (0..m).map(|_| rng.gen_range(0.0..100.0)).collect())
@@ -31,13 +57,14 @@ fn bench_index_knn(c: &mut Criterion) {
         // Bitwise parity on the benched workload before timing it.
         for q in &queries {
             let a = brute.knn(q, 10);
-            let b = kd.knn(q, 10);
-            for (x, y) in a.iter().zip(&b) {
-                assert_eq!(x.pos, y.pos);
-                assert_eq!(x.dist.to_bits(), y.dist.to_bits());
+            for other in [kd.knn(q, 10), vp.knn(q, 10)] {
+                for (x, y) in a.iter().zip(&other) {
+                    assert_eq!(x.pos, y.pos);
+                    assert_eq!(x.dist.to_bits(), y.dist.to_bits());
+                }
             }
         }
-        for (name, index) in [("brute", &brute), ("kdtree", &kd)] {
+        for (name, index) in [("brute", &brute), ("kdtree", &kd), ("vptree", &vp)] {
             group.bench_with_input(
                 BenchmarkId::new(name, format!("n{n}_m{m}")),
                 index,
@@ -53,6 +80,59 @@ fn bench_index_knn(c: &mut Criterion) {
                 },
             );
         }
+    }
+    group.finish();
+}
+
+fn bench_index_knn(c: &mut Criterion) {
+    let uniform: Vec<(usize, usize, FeatureMatrix)> =
+        [(10_000usize, 2usize), (10_000, 8), (50_000, 4)]
+            .iter()
+            .map(|&(n, m)| (n, m, random_matrix(n, m, 7)))
+            .collect();
+    bench_knn_group(c, "index_knn_k10_uniform", &uniform);
+
+    let latent: Vec<(usize, usize, FeatureMatrix)> =
+        [(10_000usize, 8usize), (50_000, 8), (10_000, 12)]
+            .iter()
+            .map(|&(n, m)| (n, m, latent_matrix(n, m, 7)))
+            .collect();
+    bench_knn_group(c, "index_knn_k10_latent", &latent);
+}
+
+fn bench_dist_kernels(c: &mut Criterion) {
+    // One query against a contiguous 1024-row block — the shape the brute
+    // scan and kd/vp leaf scans feed. `scalar` calls sq_dist_f per row;
+    // `batched` hands the whole block to sq_dist_many. Both produce
+    // bit-identical outputs (asserted); the delta is pure kernel/codegen.
+    let mut group = c.benchmark_group("dist_kernels_1024rows");
+    for &m in &[4usize, 8, 16] {
+        let mut rng = StdRng::seed_from_u64(29);
+        let query: Vec<f64> = (0..m).map(|_| rng.gen_range(0.0..100.0)).collect();
+        let block: Vec<f64> = (0..1024 * m).map(|_| rng.gen_range(0.0..100.0)).collect();
+        let mut out = vec![0.0; 1024];
+        sq_dist_many(&query, &block, &mut out);
+        for (r, &v) in out.iter().enumerate() {
+            assert_eq!(
+                v.to_bits(),
+                sq_dist_f(&query, &block[r * m..(r + 1) * m]).to_bits()
+            );
+        }
+        group.bench_function(BenchmarkId::new("scalar", format!("m{m}")), |b| {
+            b.iter(|| {
+                let mut acc = 0.0f64;
+                for row in block.chunks_exact(m) {
+                    acc += sq_dist_f(black_box(&query), row);
+                }
+                black_box(acc)
+            });
+        });
+        group.bench_function(BenchmarkId::new("batched", format!("m{m}")), |b| {
+            b.iter(|| {
+                sq_dist_many(black_box(&query), black_box(&block), &mut out);
+                black_box(&out);
+            });
+        });
     }
     group.finish();
 }
@@ -81,6 +161,6 @@ fn bench_orders_build(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_index_knn, bench_orders_build
+    targets = bench_index_knn, bench_dist_kernels, bench_orders_build
 }
 criterion_main!(benches);

@@ -1,7 +1,6 @@
 //! Exact brute-force kNN over a gathered feature matrix.
 
-use crate::dist::sq_dist_f;
-use crate::heap::{push_bounded, Entry, KnnScratch};
+use crate::heap::{scan_rows_seq, KnnScratch};
 use iim_bytes::{FloatSlice, U32Slice};
 use iim_data::Relation;
 
@@ -158,19 +157,9 @@ impl FeatureMatrix {
             return;
         }
         let k = k.min(self.len());
-        // Max-heap of the best k so far keyed by (dist, pos) descending.
-        let heap = &mut scratch.heap;
-        for pos in 0..self.len() {
-            let d = sq_dist_f(query, self.point(pos));
-            push_bounded(
-                heap,
-                k,
-                Entry {
-                    sq: d,
-                    pos: pos as u32,
-                },
-            );
-        }
+        // Batched scan over the contiguous block into a max-heap of the
+        // best k so far, keyed by (dist, pos) descending.
+        scan_rows_seq(&mut scratch.heap, k, query, &self.data, 0);
         out.extend(scratch.drain_sorted().iter().map(|e| Neighbor {
             pos: e.pos,
             dist: e.sq.sqrt(),

@@ -6,6 +6,7 @@
 //! heap buffer itself is reusable ([`KnnScratch`]) so steady-state serving
 //! performs no per-query allocation.
 
+use crate::dist::sq_dist_many;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -42,6 +43,69 @@ pub(crate) fn push_bounded(heap: &mut BinaryHeap<Entry>, k: usize, e: Entry) {
         if (e.sq, e.pos) < (worst.sq, worst.pos) {
             heap.pop();
             heap.push(e);
+        }
+    }
+}
+
+/// Rows per [`sq_dist_many`] tile in the block-scan helpers: large enough
+/// to amortize the selection pass, small enough that the distance buffer
+/// lives on the stack.
+pub(crate) const SCAN_TILE: usize = 64;
+
+/// Scans a contiguous row-major `block` (rows of `query.len()` values),
+/// pushing `(squared distance, base_pos + row)` entries into the bounded
+/// heap. Distances come from the batched kernel in tiles, so the scan
+/// autovectorizes; every pushed value is bitwise what the scalar
+/// [`sq_dist_f`](crate::dist::sq_dist_f) would produce, and heap selection
+/// under the `(sq, pos)` total order is insertion-order-independent — so
+/// tiling can never change an answer.
+#[inline]
+pub(crate) fn scan_rows_seq(
+    heap: &mut BinaryHeap<Entry>,
+    k: usize,
+    query: &[f64],
+    block: &[f64],
+    base_pos: u32,
+) {
+    let m = query.len();
+    let mut buf = [0.0f64; SCAN_TILE];
+    let mut pos = base_pos;
+    for tile in block.chunks(SCAN_TILE * m) {
+        let rows = tile.len() / m;
+        sq_dist_many(query, tile, &mut buf[..rows]);
+        for (i, &sq) in buf[..rows].iter().enumerate() {
+            push_bounded(
+                heap,
+                k,
+                Entry {
+                    sq,
+                    pos: pos + i as u32,
+                },
+            );
+        }
+        pos += rows as u32;
+    }
+}
+
+/// [`scan_rows_seq`] for permuted storage: row `i` of `block` carries the
+/// point at position `positions[i]` (the tree-leaf shape, where points are
+/// gathered into traversal order and `positions` is the permutation back).
+#[inline]
+pub(crate) fn scan_rows_perm(
+    heap: &mut BinaryHeap<Entry>,
+    k: usize,
+    query: &[f64],
+    block: &[f64],
+    positions: &[u32],
+) {
+    let m = query.len();
+    debug_assert_eq!(block.len(), positions.len() * m);
+    let mut buf = [0.0f64; SCAN_TILE];
+    for (tile, tile_pos) in block.chunks(SCAN_TILE * m).zip(positions.chunks(SCAN_TILE)) {
+        let rows = tile.len() / m;
+        sq_dist_many(query, tile, &mut buf[..rows]);
+        for (&sq, &pos) in buf[..rows].iter().zip(tile_pos) {
+            push_bounded(heap, k, Entry { sq, pos });
         }
     }
 }

@@ -5,73 +5,115 @@
 //! complexity analysis assumes the brute O(n·m) scan. This module is the
 //! workspace's answer for serving at scale: one owned, `Send + Sync`
 //! value that a fitted model stores at fit time and queries online,
-//! choosing between the exact scan and a KD-tree.
+//! choosing between the exact scan, a KD-tree, and a VP-tree.
 //!
 //! # Determinism contract
 //!
-//! Whichever variant serves a query, the result is **bit-identical**: both
-//! paths score candidates with the same [`sq_dist_f`](crate::dist) call
-//! and select the k best through the same `(squared distance, position)`
-//! bounded heap, so ties — including duplicate points and rounding-induced
+//! Whichever variant serves a query, the result is **bit-identical**: all
+//! paths score candidates with the same [`sq_dist_f`](crate::dist) kernel
+//! (batched leaf/block scans return bitwise the scalar values) and select
+//! the k best through the same `(squared distance, position)` bounded
+//! heap, so ties — including duplicate points and rounding-induced
 //! distance collisions — resolve identically. Auto-selection can therefore
 //! never change an imputation, only its latency. This is property-tested
-//! (duplicates, `k > n`, fitted-model serving) in the neighbors crate and
-//! in `tests/index_parity.rs`.
+//! (duplicates, `k > n`, fitted-model serving, m ∈ 1..16) in the
+//! neighbors crate and in `tests/index_parity.rs`.
 //!
 //! # Auto-selection heuristic
 //!
-//! [`IndexChoice::Auto`] picks the KD-tree when the candidate count
-//! clears a dimensionality-dependent floor: [`KDTREE_MIN_POINTS`] points
-//! up to 4 dimensions, [`KDTREE_MIN_POINTS_HIGH_DIM`] points up to
-//! [`KDTREE_MAX_DIM`]. Below a few hundred points the brute scan fits in
-//! cache and wins on constant factors; as dimensionality grows, KD
-//! pruning weakens (each split plane bounds only `diff²/|F|` of the
-//! normalized distance), so the tree needs more points before it pays —
-//! and past [`KDTREE_MAX_DIM`] dimensions the scan's perfect locality
-//! wins outright (the curse of dimensionality). The thresholds come from
-//! `bench_results/BENCH_serving.json`. Override with
-//! [`IndexChoice::Brute`] / [`IndexChoice::KdTree`] when profiling says
-//! otherwise — results are identical either way.
+//! [`IndexChoice::Auto`] picks by `(n, m)` using thresholds derived from
+//! the committed `bench_results/BENCH_serving.json` grid — k=10 serving
+//! over correlated (two-factor latent) candidates at
+//! n ∈ {1k, 10k, 50k} × m ∈ {1, 4, 8, 12}, all three variants per cell,
+//! re-run by `cargo run -p iim-bench --release --bin serving` whenever the
+//! kernels or trees change. Headline cells from the committed grid
+//! (µs/query, this box, 1 core):
+//!
+//! | n, m       | brute | kdtree | vptree |
+//! |------------|-------|--------|--------|
+//! | 1k,  4     | 5.7   | **1.4**| 1.9    |
+//! | 10k, 8     | 53.1  | 4.3    | **3.6**|
+//! | 50k, 8     | 300.8 | 13.7   | **9.3**|
+//! | 50k, 12    | 479.3 | 24.6   | **13.7**|
+//!
+//! The derived rule, in order:
+//!
+//! * Below [`TREE_MIN_POINTS`] points (or at m = 0) every structure loses
+//!   to the batched brute scan: the whole matrix fits in cache, the SIMD
+//!   kernel streams it faster than any traversal branches, and streaming
+//!   appends would keep paying tree rebuilds that never amortize.
+//! * At m ≤ [`KDTREE_LOW_DIM`] the KD-tree wins every measured cell:
+//!   axis-aligned splits prune hardest when each coordinate carries a
+//!   large share of the normalized distance.
+//! * For [`KDTREE_LOW_DIM`] < m ≤ [`TREE_MAX_DIM`] the two trees cross
+//!   over on *n*: each kd split plane bounds only `diff²/|F|` of the
+//!   distance, so kd pruning weakens as m grows, while the VP-tree's
+//!   triangle-inequality pruning bounds the whole metric but pays more
+//!   per visited node. Measured: kd ahead at n = 1k (m = 8: 1.8 vs 2.0;
+//!   m = 12: 2.3 vs 3.8), vp ahead from n = 10k up (rows above). The
+//!   crossover sits between; Auto switches to the VP-tree at
+//!   [`VPTREE_MIN_POINTS`].
+//! * Past [`TREE_MAX_DIM`] no cell was measured; extrapolating the kd
+//!   decay and the iid worst case (where *no exact index* prunes — every
+//!   metric ball contains almost everything), Auto stays with the scan's
+//!   perfect locality.
+//!
+//! The grid's correlated workload is deliberate: real relations have low
+//! intrinsic dimension (that's why imputation works at all), and that is
+//! what metric pruning exploits. On truly iid high-dim data trees win
+//! nothing — override with [`IndexChoice::Brute`] there, or with any
+//! other variant when profiling says otherwise; results are identical
+//! either way.
 
 use crate::brute::{FeatureMatrix, Neighbor};
 use crate::heap::KnnScratch;
 use crate::kdtree::KdTree;
+use crate::vptree::VpTree;
 use std::cell::Cell;
 
-/// Minimum candidate count for [`IndexChoice::Auto`] to pick the KD-tree
-/// at up to 4 dimensions.
-pub const KDTREE_MIN_POINTS: usize = 512;
+/// Minimum candidate count for [`IndexChoice::Auto`] to pick any tree;
+/// below this the batched brute scan wins (see the module docs for the
+/// bench-grid derivation).
+pub const TREE_MIN_POINTS: usize = 512;
 
-/// Minimum candidate count for [`IndexChoice::Auto`] to pick the KD-tree
-/// at 5 to [`KDTREE_MAX_DIM`] dimensions (pruning weakens with
-/// dimensionality, so the tree needs more points before it pays).
-pub const KDTREE_MIN_POINTS_HIGH_DIM: usize = 4096;
+/// Highest dimensionality at which the KD-tree won every measured cell;
+/// above it the kd/vp choice crosses over on `n`.
+pub const KDTREE_LOW_DIM: usize = 4;
 
-/// Maximum feature dimensionality for [`IndexChoice::Auto`] to pick the
-/// KD-tree.
-pub const KDTREE_MAX_DIM: usize = 8;
+/// Candidate count at which [`IndexChoice::Auto`] switches from the
+/// KD-tree to the VP-tree for dimensionalities in
+/// ([`KDTREE_LOW_DIM`], [`TREE_MAX_DIM`]] — between the measured kd-ahead
+/// n = 1k cells and the vp-ahead n = 10k cells.
+pub const VPTREE_MIN_POINTS: usize = 8192;
+
+/// Maximum feature dimensionality for [`IndexChoice::Auto`] to pick a
+/// tree at all; past this (unmeasured, curse-of-dimensionality regime)
+/// the batched brute scan is the safe default.
+pub const TREE_MAX_DIM: usize = 16;
 
 /// Which neighbor index to build for a candidate set.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum IndexChoice {
-    /// Pick by `(n, m)`: KD-tree iff `n >= KDTREE_MIN_POINTS` and
-    /// `m <= KDTREE_MAX_DIM` (see the module docs).
+    /// Pick by `(n, m)` — see [`auto_choice`] and the module docs.
     #[default]
     Auto,
     /// Always the exact linear scan.
     Brute,
     /// Always the KD-tree.
     KdTree,
+    /// Always the VP-tree.
+    VpTree,
 }
 
 impl IndexChoice {
-    /// Parses a CLI-style name: `auto`, `brute`, or `kdtree`
+    /// Parses a CLI-style name: `auto`, `brute`, `kdtree`, or `vptree`
     /// (case-insensitive).
     pub fn parse(s: &str) -> Option<Self> {
         match s.to_ascii_lowercase().as_str() {
             "auto" => Some(Self::Auto),
             "brute" => Some(Self::Brute),
             "kdtree" | "kd-tree" | "kd" => Some(Self::KdTree),
+            "vptree" | "vp-tree" | "vp" => Some(Self::VpTree),
             _ => None,
         }
     }
@@ -82,11 +124,12 @@ impl IndexChoice {
             Self::Auto => "auto",
             Self::Brute => "brute",
             Self::KdTree => "kdtree",
+            Self::VpTree => "vptree",
         }
     }
 }
 
-/// Pending-append count that triggers a KD-tree rebuild in
+/// Pending-append count that triggers a tree rebuild in
 /// [`NeighborIndex::push`]: 1/16th of the indexed size, floored at 32 so
 /// tiny trees don't rebuild on every append. Deterministic — a pure
 /// function of how many points have been indexed — so two processes
@@ -96,18 +139,25 @@ pub fn rebuild_threshold(indexed_len: usize) -> usize {
     (indexed_len / 16).max(32)
 }
 
+/// The concrete index [`IndexChoice::Auto`] selects for `n` points of
+/// dimensionality `m` (never returns `Auto`; see the module docs for the
+/// derivation from the committed bench grid).
+#[inline]
+pub fn auto_choice(n: usize, m: usize) -> IndexChoice {
+    if m == 0 || m > TREE_MAX_DIM || n < TREE_MIN_POINTS {
+        return IndexChoice::Brute;
+    }
+    if m > KDTREE_LOW_DIM && n >= VPTREE_MIN_POINTS {
+        return IndexChoice::VpTree;
+    }
+    IndexChoice::KdTree
+}
+
 /// Whether [`IndexChoice::Auto`] selects the KD-tree for `n` points of
-/// dimensionality `m` (see the module docs for the rationale).
+/// dimensionality `m` (see [`auto_choice`] for the full three-way rule).
 #[inline]
 pub fn auto_prefers_kdtree(n: usize, m: usize) -> bool {
-    if m == 0 || m > KDTREE_MAX_DIM {
-        return false;
-    }
-    if m <= 4 {
-        n >= KDTREE_MIN_POINTS
-    } else {
-        n >= KDTREE_MIN_POINTS_HIGH_DIM
-    }
+    auto_choice(n, m) == IndexChoice::KdTree
 }
 
 /// An owned, storable nearest-neighbor index over a gathered
@@ -122,20 +172,21 @@ pub enum NeighborIndex {
     Brute(FeatureMatrix),
     /// Balanced KD-tree owning the matrix.
     KdTree(KdTree),
+    /// Deterministic vantage-point tree owning the matrix.
+    VpTree(VpTree),
 }
 
 impl NeighborIndex {
     /// Builds the index named by `choice` over `points`.
     pub fn build(points: FeatureMatrix, choice: IndexChoice) -> Self {
-        let kd = match choice {
-            IndexChoice::Auto => auto_prefers_kdtree(points.len(), points.n_features()),
-            IndexChoice::Brute => false,
-            IndexChoice::KdTree => true,
+        let choice = match choice {
+            IndexChoice::Auto => auto_choice(points.len(), points.n_features()),
+            c => c,
         };
-        if kd {
-            Self::KdTree(KdTree::build(points))
-        } else {
-            Self::Brute(points)
+        match choice {
+            IndexChoice::KdTree => Self::KdTree(KdTree::build(points)),
+            IndexChoice::VpTree => Self::VpTree(VpTree::build(points)),
+            _ => Self::Brute(points),
         }
     }
 
@@ -149,20 +200,22 @@ impl NeighborIndex {
         match self {
             Self::Brute(fm) => fm,
             Self::KdTree(t) => t.points(),
+            Self::VpTree(t) => t.points(),
         }
     }
 
-    /// `"brute"` or `"kdtree"` — which variant was built.
+    /// `"brute"`, `"kdtree"`, or `"vptree"` — which variant was built.
     pub fn kind(&self) -> &'static str {
         match self {
             Self::Brute(_) => "brute",
             Self::KdTree(_) => "kdtree",
+            Self::VpTree(_) => "vptree",
         }
     }
 
     /// Appends one point (streaming ingestion). Brute appends are exact by
-    /// construction; the KD-tree buffers the point and queries union the
-    /// tree with a linear scan of the buffer until
+    /// construction; the trees buffer the point and queries union the
+    /// structure with a linear scan of the buffer until
     /// [`rebuild_threshold`] pending points accumulate, at which point the
     /// structure is rebuilt over everything. The policy is a pure function
     /// of the point counts — deterministic across processes — and can
@@ -171,6 +224,12 @@ impl NeighborIndex {
         match self {
             Self::Brute(fm) => fm.push(point, row_id),
             Self::KdTree(t) => {
+                t.append(point, row_id);
+                if t.pending_len() >= rebuild_threshold(t.indexed_len()) {
+                    t.rebuild();
+                }
+            }
+            Self::VpTree(t) => {
                 t.append(point, row_id);
                 if t.pending_len() >= rebuild_threshold(t.indexed_len()) {
                     t.rebuild();
@@ -218,6 +277,7 @@ impl NeighborIndex {
         match self {
             Self::Brute(fm) => fm.knn_with(query, k, scratch, out),
             Self::KdTree(t) => t.knn_with(query, k, scratch, out),
+            Self::VpTree(t) => t.knn_with(query, k, scratch, out),
         }
     }
 
@@ -261,33 +321,55 @@ mod tests {
     #[test]
     fn auto_selection_heuristic() {
         assert!(!auto_prefers_kdtree(100, 2), "small n stays brute");
-        assert!(auto_prefers_kdtree(KDTREE_MIN_POINTS, 2));
-        assert!(auto_prefers_kdtree(100_000, KDTREE_MAX_DIM));
+        assert!(auto_prefers_kdtree(TREE_MIN_POINTS, 2));
         assert!(
-            !auto_prefers_kdtree(1000, KDTREE_MAX_DIM),
-            "high dimensions need more points before the tree pays"
+            auto_prefers_kdtree(100_000, KDTREE_LOW_DIM),
+            "kd wins every measured low-dim cell"
         );
-        assert!(auto_prefers_kdtree(
-            KDTREE_MIN_POINTS_HIGH_DIM,
-            KDTREE_MAX_DIM
-        ));
         assert!(
-            !auto_prefers_kdtree(100_000, KDTREE_MAX_DIM + 1),
-            "past the dimensionality cap the scan wins outright"
+            auto_prefers_kdtree(1000, 8),
+            "kd stays ahead of vp at moderate n even past the low-dim band"
         );
+        assert_eq!(
+            auto_choice(VPTREE_MIN_POINTS, KDTREE_LOW_DIM + 1),
+            IndexChoice::VpTree,
+            "at scale past the low-dim band, metric pruning takes over"
+        );
+        assert_eq!(auto_choice(100_000, 8), IndexChoice::VpTree);
+        assert_eq!(auto_choice(100_000, TREE_MAX_DIM), IndexChoice::VpTree);
+        assert_eq!(
+            auto_choice(100_000, TREE_MAX_DIM + 1),
+            IndexChoice::Brute,
+            "past the dimensionality cap the scan is the safe default"
+        );
+        assert_eq!(
+            auto_choice(TREE_MIN_POINTS - 1, 12),
+            IndexChoice::Brute,
+            "tiny candidate sets never pay for a tree"
+        );
+        assert_eq!(auto_choice(100_000, 0), IndexChoice::Brute);
 
         let small = NeighborIndex::auto(random_matrix(64, 2, 1));
         assert_eq!(small.kind(), "brute");
         let large = NeighborIndex::auto(random_matrix(600, 2, 2));
         assert_eq!(large.kind(), "kdtree");
+        let wide = NeighborIndex::auto(random_matrix(8192, 10, 3));
+        assert_eq!(wide.kind(), "vptree");
     }
 
     #[test]
     fn choice_parse_round_trips() {
-        for c in [IndexChoice::Auto, IndexChoice::Brute, IndexChoice::KdTree] {
+        for c in [
+            IndexChoice::Auto,
+            IndexChoice::Brute,
+            IndexChoice::KdTree,
+            IndexChoice::VpTree,
+        ] {
             assert_eq!(IndexChoice::parse(c.name()), Some(c));
         }
         assert_eq!(IndexChoice::parse("KD-Tree"), Some(IndexChoice::KdTree));
+        assert_eq!(IndexChoice::parse("VP-Tree"), Some(IndexChoice::VpTree));
+        assert_eq!(IndexChoice::parse("vp"), Some(IndexChoice::VpTree));
         assert_eq!(IndexChoice::parse("annoy"), None);
         assert_eq!(IndexChoice::default(), IndexChoice::Auto);
     }
@@ -297,19 +379,24 @@ mod tests {
         let fm = random_matrix(137, 3, 9);
         let brute = NeighborIndex::build(fm.clone(), IndexChoice::Brute);
         let kd = NeighborIndex::build(fm.clone(), IndexChoice::KdTree);
+        let vp = NeighborIndex::build(fm.clone(), IndexChoice::VpTree);
         assert_eq!(brute.kind(), "brute");
         assert_eq!(kd.kind(), "kdtree");
+        assert_eq!(vp.kind(), "vptree");
         assert_eq!(brute.len(), kd.len());
+        assert_eq!(brute.len(), vp.len());
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..30 {
             let q: Vec<f64> = (0..3).map(|_| rng.gen_range(-12.0..12.0)).collect();
             for k in [1usize, 5, 137, 500] {
                 let a = brute.knn(&q, k);
-                let b = kd.knn(&q, k);
-                assert_eq!(a.len(), b.len());
-                for (x, y) in a.iter().zip(&b) {
-                    assert_eq!(x.pos, y.pos);
-                    assert_eq!(x.dist.to_bits(), y.dist.to_bits());
+                for other in [&kd, &vp] {
+                    let b = other.knn(&q, k);
+                    assert_eq!(a.len(), b.len());
+                    for (x, y) in a.iter().zip(&b) {
+                        assert_eq!(x.pos, y.pos);
+                        assert_eq!(x.dist.to_bits(), y.dist.to_bits());
+                    }
                 }
             }
         }
@@ -340,20 +427,25 @@ mod tests {
         // bit-identically to the brute scan over the same grown set.
         let fm = random_matrix(64, 2, 77);
         let mut kd = NeighborIndex::build(fm.clone(), IndexChoice::KdTree);
+        let mut vp = NeighborIndex::build(fm.clone(), IndexChoice::VpTree);
         let mut brute = NeighborIndex::build(fm, IndexChoice::Brute);
         let mut rng = StdRng::seed_from_u64(78);
         for i in 0..100u32 {
             let p: Vec<f64> = (0..2).map(|_| rng.gen_range(-10.0..10.0)).collect();
             kd.push(&p, 64 + i);
+            vp.push(&p, 64 + i);
             brute.push(&p, 64 + i);
             assert_eq!(kd.len(), brute.len());
+            assert_eq!(vp.len(), brute.len());
             let q: Vec<f64> = (0..2).map(|_| rng.gen_range(-12.0..12.0)).collect();
             let a = brute.knn(&q, 7);
-            let b = kd.knn(&q, 7);
-            assert_eq!(a.len(), b.len());
-            for (x, y) in a.iter().zip(&b) {
-                assert_eq!(x.pos, y.pos, "push {i}");
-                assert_eq!(x.dist.to_bits(), y.dist.to_bits(), "push {i}");
+            for tree in [&kd, &vp] {
+                let b = tree.knn(&q, 7);
+                assert_eq!(a.len(), b.len());
+                for (x, y) in a.iter().zip(&b) {
+                    assert_eq!(x.pos, y.pos, "push {i}");
+                    assert_eq!(x.dist.to_bits(), y.dist.to_bits(), "push {i}");
+                }
             }
         }
         assert_eq!(rebuild_threshold(0), 32);
@@ -362,7 +454,7 @@ mod tests {
 
     #[test]
     fn empty_matrix_serves_empty_answers() {
-        for choice in [IndexChoice::Brute, IndexChoice::KdTree] {
+        for choice in [IndexChoice::Brute, IndexChoice::KdTree, IndexChoice::VpTree] {
             let idx = NeighborIndex::build(FeatureMatrix::from_dense(2, vec![], vec![]), choice);
             assert!(idx.is_empty());
             assert!(idx.knn(&[0.0, 0.0], 4).is_empty());

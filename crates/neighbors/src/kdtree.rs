@@ -6,7 +6,7 @@
 //! (100k tuples) stay tractable and so online serving is sub-linear in the
 //! training size. Results are identical to [`brute`](crate::brute) —
 //! property-tested — because both paths score candidates with the *same*
-//! [`sq_dist_f`] call and select through the same
+//! [`sq_dist_f`](crate::sq_dist_f) call and select through the same
 //! `(squared distance, position)` bounded heap, so even rounding-induced
 //! ties resolve identically.
 //!
@@ -15,8 +15,7 @@
 //! the storable shape [`NeighborIndex`](crate::index::NeighborIndex) wraps.
 
 use crate::brute::{FeatureMatrix, Neighbor};
-use crate::dist::sq_dist_f;
-use crate::heap::{push_bounded, Entry, KnnScratch};
+use crate::heap::{scan_rows_perm, scan_rows_seq, Entry, KnnScratch};
 use std::collections::BinaryHeap;
 
 const LEAF: usize = 16;
@@ -43,6 +42,9 @@ struct Node {
 pub(crate) struct TreeNodes {
     nodes: Vec<Node>,
     idx: Vec<u32>,
+    /// `idx.len() × m` row-major copy of the points in `idx` order, so
+    /// leaf scans feed the batched distance kernel contiguous rows.
+    gathered: Vec<f64>,
 }
 
 impl TreeNodes {
@@ -63,7 +65,16 @@ impl TreeNodes {
         if n > 0 {
             Self::build_rec(points, &mut nodes, &mut idx, 0, n, 0);
         }
-        Self { nodes, idx }
+        let m = points.n_features();
+        let mut gathered = Vec::with_capacity(n * m);
+        for &p in &idx {
+            gathered.extend_from_slice(points.point(p as usize));
+        }
+        Self {
+            nodes,
+            idx,
+            gathered,
+        }
     }
 
     fn build_rec(
@@ -144,12 +155,18 @@ impl TreeNodes {
     ) {
         let node = &self.nodes[node_id as usize];
         if node.dim == usize::MAX {
-            for &p in &self.idx[node.start as usize..node.end as usize] {
-                // The *same* normalized squared distance the brute scan
-                // computes — scores and tie-breaks match it bitwise.
-                let sq = sq_dist_f(query, points.point(p as usize));
-                push_bounded(heap, k, Entry { sq, pos: p });
-            }
+            // Batched contiguous leaf scan: the *same* normalized squared
+            // distances the brute scan computes — scores and tie-breaks
+            // match it bitwise.
+            let m = query.len();
+            let (start, end) = (node.start as usize, node.end as usize);
+            scan_rows_perm(
+                heap,
+                k,
+                query,
+                &self.gathered[start * m..end * m],
+                &self.idx[start..end],
+            );
             return;
         }
         let diff = query[node.dim] - node.split;
@@ -288,17 +305,14 @@ impl KdTree {
             self.tree
                 .search(&self.points, 1, query, k, &mut scratch.heap);
         }
-        for pos in self.indexed_len..self.points.len() {
-            let sq = sq_dist_f(query, self.points.point(pos));
-            push_bounded(
-                &mut scratch.heap,
-                k,
-                Entry {
-                    sq,
-                    pos: pos as u32,
-                },
-            );
-        }
+        let m = self.points.n_features();
+        scan_rows_seq(
+            &mut scratch.heap,
+            k,
+            query,
+            &self.points.data()[self.indexed_len * m..],
+            self.indexed_len as u32,
+        );
         out.extend(scratch.drain_sorted().iter().map(|e| Neighbor {
             pos: e.pos,
             dist: e.sq.sqrt(),

@@ -12,16 +12,17 @@
 //! `n × depth` buffer ([`iim_exec::Pool::parallel_fill_rows`]) — no
 //! per-row `Vec`s, no concatenation — and the general path routes through
 //! the same KD-tree the serving index uses when
-//! [`auto_prefers_kdtree`] says so,
+//! [`auto_prefers_kdtree`](crate::auto_prefers_kdtree) says so,
 //! replacing the O(n²) all-pairs scan with n · O(log n + depth) queries.
 //! Every path (line sweep, brute selection, tree queries; serial or
 //! parallel) produces bitwise-identical orders.
 
 use crate::brute::FeatureMatrix;
-use crate::dist::sq_dist_f;
+use crate::dist::sq_dist_many;
 use crate::heap::KnnScratch;
-use crate::index::{auto_prefers_kdtree, NeighborIndex};
+use crate::index::{auto_choice, IndexChoice, NeighborIndex};
 use crate::kdtree::TreeNodes;
+use crate::vptree::VpNodes;
 use crate::Neighbor;
 use iim_exec::Pool;
 use std::cell::Cell;
@@ -67,11 +68,18 @@ impl NeighborOrders {
         let mut order = vec![0u32; n * depth];
         if fm.n_features() == 1 {
             fill_line(pool, fm, depth, &mut order);
-        } else if auto_prefers_kdtree(n, fm.n_features()) {
-            let tree = TreeNodes::build(fm);
-            fill_tree(pool, fm, &tree, depth, &mut order);
         } else {
-            fill_brute(pool, fm, depth, &mut order);
+            match auto_choice(n, fm.n_features()) {
+                IndexChoice::KdTree => {
+                    let tree = TreeNodes::build(fm);
+                    fill_tree(pool, fm, &tree, depth, &mut order);
+                }
+                IndexChoice::VpTree => {
+                    let tree = VpNodes::build(fm);
+                    fill_vp(pool, fm, &tree, depth, &mut order);
+                }
+                _ => fill_brute(pool, fm, depth, &mut order),
+            }
         }
         Self { n, depth, order }
     }
@@ -102,6 +110,9 @@ impl NeighborOrders {
                 NeighborIndex::Brute(fm) => fill_brute(pool, fm, depth, &mut order),
                 NeighborIndex::KdTree(tree) => {
                     fill_tree(pool, tree.points(), tree.nodes(), depth, &mut order)
+                }
+                NeighborIndex::VpTree(tree) => {
+                    fill_vp(pool, tree.points(), tree.nodes(), depth, &mut order)
                 }
             }
         }
@@ -185,13 +196,17 @@ fn fill_line(pool: &Pool, fm: &FeatureMatrix, depth: usize, order: &mut [u32]) {
 fn fill_brute(pool: &Pool, fm: &FeatureMatrix, depth: usize, order: &mut [u32]) {
     let n = fm.len();
     thread_local! {
-        static SCRATCH: Cell<Vec<(f64, u32)>> = const { Cell::new(Vec::new()) };
+        static SCRATCH: Cell<(Vec<f64>, Vec<(f64, u32)>)> = Cell::new(Default::default());
     }
     pool.parallel_fill_rows(depth, order, |i, row| {
-        iim_exec::with_tls_scratch(&SCRATCH, |scratch| {
+        iim_exec::with_tls_scratch(&SCRATCH, |(dists, scratch)| {
             let q = fm.point(i);
+            // Batched kernel over the whole contiguous block — bitwise the
+            // scalar per-pair distances, but the scan autovectorizes.
+            dists.resize(n, 0.0);
+            sq_dist_many(q, fm.data(), dists);
             scratch.clear();
-            scratch.extend((0..n).map(|p| (sq_dist_f(q, fm.point(p)), p as u32)));
+            scratch.extend(dists.iter().enumerate().map(|(p, &d)| (d, p as u32)));
             if depth < n {
                 scratch.select_nth_unstable_by(depth - 1, |a, b| {
                     a.0.total_cmp(&b.0).then(a.1.cmp(&b.1))
@@ -214,6 +229,21 @@ fn fill_tree(pool: &Pool, fm: &FeatureMatrix, tree: &TreeNodes, depth: usize, or
     pool.parallel_fill_rows(depth, order, |i, row| {
         iim_exec::with_tls_scratch(&SCRATCH, |(knn, out)| {
             tree.knn_with(fm, fm.point(i), depth, knn, out);
+            for (slot, nb) in row.iter_mut().zip(out.iter()) {
+                *slot = nb.pos;
+            }
+        });
+    });
+}
+
+/// Index path: per-point VP-tree query written straight into the row.
+fn fill_vp(pool: &Pool, fm: &FeatureMatrix, tree: &VpNodes, depth: usize, order: &mut [u32]) {
+    thread_local! {
+        static SCRATCH: Cell<(KnnScratch, Vec<Neighbor>)> = Cell::new(Default::default());
+    }
+    pool.parallel_fill_rows(depth, order, |i, row| {
+        iim_exec::with_tls_scratch(&SCRATCH, |(knn, out)| {
+            tree.knn_with(fm.point(i), depth, knn, out);
             for (slot, nb) in row.iter_mut().zip(out.iter()) {
                 *slot = nb.pos;
             }
@@ -307,7 +337,7 @@ mod tests {
         for f in [1usize, 3] {
             let fm = random_matrix(80, f, 23);
             let reference = NeighborOrders::build_on(&Pool::serial(), &fm, 9);
-            for choice in [IndexChoice::Brute, IndexChoice::KdTree] {
+            for choice in [IndexChoice::Brute, IndexChoice::KdTree, IndexChoice::VpTree] {
                 let index = NeighborIndex::build(fm.clone(), choice);
                 let via = NeighborOrders::build_from_index(&Pool::serial(), &index, 9);
                 for i in 0..80 {

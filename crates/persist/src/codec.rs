@@ -109,10 +109,12 @@ fn get_feature_matrix(r: &mut Reader<'_>) -> Result<FeatureMatrix, PersistError>
     Ok(FeatureMatrix::from_dense(f, row_ids, data))
 }
 
-/// Index kind byte: 0 = brute, 1 = kd-tree.
+/// Index kind byte: 0 = brute, 1 = kd-tree, 2 = vp-tree. Only the
+/// matrix ships; tree structures rebuild deterministically at load.
 fn put_index(w: &mut Writer, index: &NeighborIndex) {
     w.u8(match index.kind() {
         "kdtree" => 1,
+        "vptree" => 2,
         _ => 0,
     });
     put_feature_matrix(w, index.matrix());
@@ -123,6 +125,7 @@ fn get_index(r: &mut Reader<'_>) -> Result<NeighborIndex, PersistError> {
     let choice = match kind {
         0 => IndexChoice::Brute,
         1 => IndexChoice::KdTree,
+        2 => IndexChoice::VpTree,
         other => return Err(corrupt(format!("unknown index kind byte {other}"))),
     };
     Ok(NeighborIndex::build(get_feature_matrix(r)?, choice))

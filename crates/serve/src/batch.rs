@@ -14,7 +14,11 @@
 //! Coalescing concurrent requests into one `parallel_map_indexed` keeps
 //! the pool saturated under many small requests (the classic
 //! request-batching trade: latency of one queue hop for throughput), while
-//! a single in-flight request still occupies every worker. Because
+//! a single in-flight request still occupies every worker. The window is
+//! **adaptive**: a wake that finds a single queued job flushes
+//! immediately (the interactive latency path), while a multi-job backlog
+//! — the signature of a burst — lingers [`COALESCE_WINDOW`] to sweep
+//! stragglers into the same batch. Because
 //! `impute_one` is a pure function of the fitted state and the query, the
 //! batching boundaries can never change an answer — a row imputes to the
 //! same bits whether it arrived alone or sandwiched between strangers —
@@ -31,16 +35,103 @@
 //! new model — so the snapshot on disk and the live model can never
 //! disagree about which version absorbed a tuple.
 
-use iim_data::{FittedImputer, ImputeError};
+use iim_data::{FittedImputer, ImputeError, RowOpt};
 use iim_exec::Pool;
 use std::collections::VecDeque;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// One query row as parsed from the wire.
 pub type QueryRow = Vec<Option<f64>>;
+
+/// How long the batcher lingers after waking to a **multi-job** backlog,
+/// letting stragglers join the coalesced batch instead of paying their own
+/// flush. A single-job wake (the interactive latency path) never lingers.
+pub const COALESCE_WINDOW: Duration = Duration::from_micros(50);
+
+/// A request's query rows in one flat buffer: `rows × arity` cells in row
+/// order, no per-row allocation. The daemon's CSV parser appends cells
+/// straight into [`QueryBlock::cells_mut`], and the batcher serves each
+/// row as a borrowed `&RowOpt` slice — the wire-to-scratch path allocates
+/// exactly one buffer per request regardless of row count.
+#[derive(Debug, Default)]
+pub struct QueryBlock {
+    cells: Vec<Option<f64>>,
+    arity: usize,
+}
+
+impl QueryBlock {
+    /// An empty block whose rows are `arity` cells wide.
+    pub fn new(arity: usize) -> Self {
+        Self {
+            cells: Vec::new(),
+            arity,
+        }
+    }
+
+    /// An empty block with room for `rows` rows.
+    pub fn with_capacity(arity: usize, rows: usize) -> Self {
+        Self {
+            cells: Vec::with_capacity(arity * rows),
+            arity,
+        }
+    }
+
+    /// Cells per row.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Complete rows currently stored.
+    pub fn len(&self) -> usize {
+        self.cells.len().checked_div(self.arity).unwrap_or(0)
+    }
+
+    /// True when no rows are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Row `i` as a borrowed slice.
+    pub fn row(&self, i: usize) -> &RowOpt {
+        &self.cells[i * self.arity..(i + 1) * self.arity]
+    }
+
+    /// The flat cell buffer, for parsers that append whole rows in place.
+    /// The caller keeps the length a multiple of [`QueryBlock::arity`];
+    /// a partial trailing row is truncated away at submit.
+    pub fn cells_mut(&mut self) -> &mut Vec<Option<f64>> {
+        &mut self.cells
+    }
+}
+
+/// The rows of one impute job: either owned per-row vectors (library
+/// callers) or one flat block (the daemon's zero-copy wire path). Both
+/// serve through the same `&RowOpt` slices, so the answers cannot depend
+/// on which shape carried them.
+enum ImputeRows {
+    List(Vec<QueryRow>),
+    Block(QueryBlock),
+}
+
+impl ImputeRows {
+    fn len(&self) -> usize {
+        match self {
+            ImputeRows::List(rows) => rows.len(),
+            ImputeRows::Block(block) => block.len(),
+        }
+    }
+
+    fn row(&self, i: usize) -> &RowOpt {
+        match self {
+            ImputeRows::List(rows) => &rows[i],
+            ImputeRows::Block(block) => block.row(i),
+        }
+    }
+}
 
 /// Per-row outcome: the completed row or the typed impute error.
 pub type RowResult = Result<Vec<f64>, ImputeError>;
@@ -69,7 +160,7 @@ pub type SwapReply = Result<usize, String>;
 
 enum Job {
     Impute {
-        rows: Vec<QueryRow>,
+        rows: ImputeRows,
         reply: mpsc::Sender<Vec<RowResult>>,
     },
     Learn {
@@ -234,7 +325,23 @@ impl Batcher {
     /// batcher drains its queue before exiting.
     pub fn submit_impute(&self, rows: Vec<QueryRow>) -> Option<mpsc::Receiver<Vec<RowResult>>> {
         let (tx, rx) = mpsc::channel();
-        self.submit(Job::Impute { rows, reply: tx }).then_some(rx)
+        self.submit(Job::Impute {
+            rows: ImputeRows::List(rows),
+            reply: tx,
+        })
+        .then_some(rx)
+    }
+
+    /// [`Batcher::submit_impute`] for a flat [`QueryBlock`] — the daemon's
+    /// wire path. Same contract; answers are bitwise those of the
+    /// equivalent per-row submission.
+    pub fn submit_impute_block(&self, rows: QueryBlock) -> Option<mpsc::Receiver<Vec<RowResult>>> {
+        let (tx, rx) = mpsc::channel();
+        self.submit(Job::Impute {
+            rows: ImputeRows::Block(rows),
+            reply: tx,
+        })
+        .then_some(rx)
     }
 
     /// Non-blocking variant of [`Batcher::learn`]; same contract as
@@ -249,6 +356,13 @@ impl Batcher {
     /// Returns `None` only when the batcher is shutting down.
     pub fn impute(&self, rows: Vec<QueryRow>) -> Option<Vec<RowResult>> {
         self.submit_impute(rows)?.recv().ok()
+    }
+
+    /// Blocking [`Batcher::submit_impute_block`].
+    ///
+    /// Returns `None` only when the batcher is shutting down.
+    pub fn impute_block(&self, rows: QueryBlock) -> Option<Vec<RowResult>> {
+        self.submit_impute_block(rows)?.recv().ok()
     }
 
     /// Enqueues complete tuples for absorption and blocks until the model
@@ -314,7 +428,7 @@ impl Drop for Batcher {
 fn flush_imputes(
     model: &dyn FittedImputer,
     pool: &Pool,
-    jobs: &mut Vec<(Vec<QueryRow>, mpsc::Sender<Vec<RowResult>>)>,
+    jobs: &mut Vec<(ImputeRows, mpsc::Sender<Vec<RowResult>>)>,
 ) {
     if jobs.is_empty() {
         return;
@@ -322,7 +436,10 @@ fn flush_imputes(
     // Union of all rows, then one deterministic indexed map over the
     // pool. Row order within the union is job order — irrelevant to
     // the results (impute_one is pure) but kept stable anyway.
-    let flat: Vec<&QueryRow> = jobs.iter().flat_map(|(rows, _)| rows.iter()).collect();
+    let flat: Vec<&RowOpt> = jobs
+        .iter()
+        .flat_map(|(rows, _)| (0..rows.len()).map(move |i| rows.row(i)))
+        .collect();
     let results: Vec<RowResult> =
         pool.parallel_map_indexed(flat.len(), |i| model.impute_one(flat[i]));
 
@@ -394,7 +511,7 @@ fn batcher_loop(
     });
     loop {
         // Collect every job currently queued (micro-batch = the backlog).
-        let jobs: Vec<Job> = {
+        let mut jobs: Vec<Job> = {
             let mut queue = lock_queue(&shared);
             while queue.jobs.is_empty() && !queue.shutdown {
                 queue = match shared.available.wait(queue) {
@@ -413,9 +530,23 @@ fn batcher_loop(
             queue.jobs.drain(..).collect()
         };
 
+        // Adaptive coalescing: waking to more than one queued job means
+        // requests arrive faster than batches flush, so linger one short
+        // window and sweep the stragglers into this batch — they'd only
+        // queue behind it anyway, and a bigger union keeps the pool
+        // saturated. A single-job wake (the interactive path) skips the
+        // wait entirely, so idle-connection latency never pays for it.
+        // Batching boundaries cannot change answers (impute_one is pure),
+        // so the window is a pure throughput knob.
+        if jobs.len() > 1 {
+            std::thread::sleep(COALESCE_WINDOW);
+            let mut queue = lock_queue(&shared);
+            jobs.extend(queue.jobs.drain(..));
+        }
+
         // Process the backlog in arrival order: impute jobs coalesce,
         // learn jobs act as barriers between coalesced batches.
-        let mut imputes: Vec<(Vec<QueryRow>, mpsc::Sender<Vec<RowResult>>)> = Vec::new();
+        let mut imputes: Vec<(ImputeRows, mpsc::Sender<Vec<RowResult>>)> = Vec::new();
         for job in jobs {
             match job {
                 Job::Impute { rows, reply } => imputes.push((rows, reply)),
@@ -541,6 +672,29 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn block_submission_matches_per_row_submission_bitwise() {
+        // The daemon's flat wire path and the library's per-row path must
+        // be indistinguishable in the answers — same kernel, same order.
+        let batcher = start(2);
+        let rows: Vec<QueryRow> = (0..10).map(|i| vec![Some(i as f64 * 0.3), None]).collect();
+        let list = batcher.impute(rows.clone()).unwrap();
+        let mut block = QueryBlock::with_capacity(2, rows.len());
+        for r in &rows {
+            block.cells_mut().extend(r.iter().copied());
+        }
+        assert_eq!(block.len(), rows.len());
+        assert_eq!(block.arity(), 2);
+        let got = batcher.impute_block(block).unwrap();
+        assert_eq!(got.len(), list.len());
+        for (a, b) in list.iter().zip(&got) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
     }
 
     #[test]

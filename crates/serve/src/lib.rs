@@ -6,6 +6,11 @@
 //! process, and clients stream single tuples or batches over HTTP —
 //! no re-learning on restart, no framework dependencies.
 //!
+//! Connections are **persistent** (HTTP/1.1 keep-alive with request
+//! pipelining — see [`http`] for the exact contract), so an interactive
+//! client pays connection setup once, not per query; `Connection: close`
+//! and HTTP/1.0 one-shot clients keep working unchanged.
+//!
 //! Requests funnel through a **micro-batching queue** ([`batch::Batcher`]):
 //! concurrent requests coalesce into one deterministic indexed map over
 //! the shared [`iim_exec::Pool`], each worker serving through the fitted
@@ -66,7 +71,7 @@ pub mod registry;
 pub mod server;
 pub mod shutdown;
 
-pub use batch::{Batcher, CheckpointConfig, LearnReply, SwapReply};
+pub use batch::{Batcher, CheckpointConfig, LearnReply, QueryBlock, SwapReply};
 pub use registry::{ModelInfo, Registry, RegistryConfig, RegistryError, StageOutcome};
 pub use server::{ServeConfig, Server, ServerHandle};
 
@@ -108,9 +113,50 @@ mod tests {
     fn roundtrip(addr: std::net::SocketAddr, request: &str) -> String {
         let mut stream = TcpStream::connect(addr).unwrap();
         stream.write_all(request.as_bytes()).unwrap();
+        // Half-close: the daemon sees clean EOF at the next request
+        // boundary and closes its end, which terminates read_to_string
+        // (the one-shot client shape, now that connections default to
+        // keep-alive).
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
         let mut out = String::new();
         stream.read_to_string(&mut out).unwrap();
         out
+    }
+
+    /// Reads exactly one Content-Length-delimited response off a
+    /// keep-alive connection (headers + body, as one string).
+    fn read_one_response(stream: &mut TcpStream) -> String {
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 1024];
+        let (head_end, content_length) = loop {
+            if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                let head = std::str::from_utf8(&buf[..pos]).unwrap();
+                let cl = head
+                    .lines()
+                    .find_map(|l| {
+                        let (k, v) = l.split_once(':')?;
+                        k.trim()
+                            .eq_ignore_ascii_case("content-length")
+                            .then(|| v.trim().parse::<usize>().unwrap())
+                    })
+                    .unwrap_or(0);
+                break (pos + 4, cl);
+            }
+            let n = stream.read(&mut chunk).unwrap();
+            assert!(n > 0, "connection closed mid-response");
+            buf.extend_from_slice(&chunk[..n]);
+        };
+        while buf.len() < head_end + content_length {
+            let n = stream.read(&mut chunk).unwrap();
+            assert!(n > 0, "connection closed mid-body");
+            buf.extend_from_slice(&chunk[..n]);
+        }
+        assert_eq!(
+            buf.len(),
+            head_end + content_length,
+            "over-read one response"
+        );
+        String::from_utf8(buf).unwrap()
     }
 
     fn post(addr: std::net::SocketAddr, path: &str, body: &str) -> String {
@@ -156,6 +202,85 @@ mod tests {
 
         let missing = roundtrip(addr, "GET /nope HTTP/1.1\r\nHost: t\r\n\r\n");
         assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+
+        handle.shutdown();
+    }
+
+    /// The keep-alive satellite, end to end: one connection carries many
+    /// requests (pipelined, even), responses come back in order with
+    /// `Connection: keep-alive`, and the daemon's `/info` connection
+    /// counter proves no hidden reconnects happened.
+    #[test]
+    fn keep_alive_pipelining_and_connection_accounting() {
+        let handle = start();
+        let addr = handle.addr();
+        let model = fitted();
+
+        // Three requests written back-to-back on ONE connection: two
+        // pipelined imputes, then an /info with Connection: close.
+        let body = "A1,A2\n5.0,?\n";
+        let mut raw = String::new();
+        for _ in 0..2 {
+            raw.push_str(&format!(
+                "POST /impute HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            ));
+        }
+        raw.push_str("GET /info HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(raw.as_bytes()).unwrap();
+        let mut out = String::new();
+        // The server closes after the third response (Connection: close),
+        // so read_to_string terminates without a client-side shutdown.
+        stream.read_to_string(&mut out).unwrap();
+
+        assert_eq!(out.matches("HTTP/1.1 200").count(), 3, "{out}");
+        assert_eq!(out.matches("Connection: keep-alive").count(), 2, "{out}");
+        assert_eq!(out.matches("Connection: close").count(), 1, "{out}");
+        // Both pipelined fills are the model's bits.
+        let direct = model.impute_one(&[Some(5.0), None]).unwrap();
+        assert_eq!(out.matches(&format!("5,{}", direct[1])).count(), 2, "{out}");
+        // All three requests rode one accepted connection.
+        assert!(out.contains("\"connections\":1"), "{out}");
+
+        // A fresh connection bumps the counter to exactly 2.
+        let info = roundtrip(addr, "GET /info HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(info.contains("\"connections\":2"), "{info}");
+
+        handle.shutdown();
+    }
+
+    /// HTTP/1.0 conformance: close by default, keep-alive on request.
+    #[test]
+    fn http_10_defaults_to_close_and_connection_header_overrides() {
+        let handle = start();
+        let addr = handle.addr();
+
+        // Plain HTTP/1.0: the daemon must answer and close unprompted.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"GET /healthz HTTP/1.0\r\nHost: t\r\n\r\n")
+            .unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap(); // terminates only if the server closed
+        assert!(out.starts_with("HTTP/1.1 200"), "{out}");
+        assert!(out.contains("Connection: close"), "{out}");
+
+        // HTTP/1.0 + Connection: keep-alive: the connection survives a
+        // second request.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"GET /healthz HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+            .unwrap();
+        let first = read_one_response(&mut stream);
+        assert!(first.starts_with("HTTP/1.1 200"), "{first}");
+        assert!(first.contains("Connection: keep-alive"), "{first}");
+        stream
+            .write_all(b"GET /healthz HTTP/1.0\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let second = read_one_response(&mut stream);
+        assert!(second.starts_with("HTTP/1.1 200"), "{second}");
+        assert!(second.contains("Connection: close"), "{second}");
 
         handle.shutdown();
     }
@@ -433,6 +558,7 @@ mod tests {
             )
             .unwrap();
         stream.write_all(body).unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
         let mut out = String::new();
         stream.read_to_string(&mut out).unwrap();
         out
@@ -521,6 +647,7 @@ mod tests {
         stream
             .write_all(b"DELETE /models/beta HTTP/1.1\r\nHost: t\r\n\r\n")
             .unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
         let mut out = String::new();
         stream.read_to_string(&mut out).unwrap();
         assert!(out.starts_with("HTTP/1.1 200"), "{out}");

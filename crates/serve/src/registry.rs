@@ -33,7 +33,7 @@
 //! and learns enqueue under the lock and block on their reply outside it,
 //! so tenants never serialize behind each other's batches.
 
-use crate::batch::{Batcher, CheckpointConfig, LearnReply, QueryRow, RowResult};
+use crate::batch::{Batcher, CheckpointConfig, LearnReply, QueryBlock, QueryRow, RowResult};
 use iim_persist::PersistError;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -365,6 +365,23 @@ impl Registry {
             Self::check_schema(&t.schema, header)?;
             t.batcher
                 .submit_impute(rows)
+                .ok_or(RegistryError::Unavailable)
+        })??;
+        rx.recv().map_err(|_| RegistryError::Unavailable)
+    }
+
+    /// [`Registry::impute`] for a flat [`QueryBlock`] — the daemon's
+    /// zero-copy wire path. Answers are bitwise those of the per-row form.
+    pub fn impute_block(
+        &self,
+        name: &str,
+        header: &[String],
+        rows: QueryBlock,
+    ) -> Result<Vec<RowResult>, RegistryError> {
+        let rx = self.with_tenant(name, |t| {
+            Self::check_schema(&t.schema, header)?;
+            t.batcher
+                .submit_impute_block(rows)
                 .ok_or(RegistryError::Unavailable)
         })??;
         rx.recv().map_err(|_| RegistryError::Unavailable)

@@ -6,7 +6,7 @@
 //! | Method | Path       | Body | Response |
 //! |---|---|---|---|
 //! | `GET`  | `/healthz` | —    | `200 ok` once the model is loaded |
-//! | `GET`  | `/info`    | —    | `200` JSON: mode, method name, arity, worker threads, absorb support, absorbed-tuple count, snapshot format version |
+//! | `GET`  | `/info`    | —    | `200` JSON: mode, method name, arity, worker threads, absorb support, absorbed-tuple count, snapshot format version, connections accepted |
 //! | `POST` | `/impute`  | CSV with header (the `iim-data` row wire format: missing cells empty/`?`/`NA`) | `200` the completed CSV — **byte-identical** to `iim impute` on the same queries with the same model |
 //! | `POST` | `/learn`   | CSV with header, every cell present | `200` JSON: tuples absorbed by this request and in total |
 //!
@@ -15,7 +15,7 @@
 //! | Method | Path | Body | Response |
 //! |---|---|---|---|
 //! | `GET`    | `/healthz` | — | `200 ok` |
-//! | `GET`    | `/info`    | — | `200` JSON registry summary (model count, resident count, cap) |
+//! | `GET`    | `/info`    | — | `200` JSON registry summary (model count, resident count, cap, connections accepted) |
 //! | `GET`    | `/models`  | — | `200` JSON: every model's card (name, method, snapshot version, resident, absorbed) |
 //! | `PUT`    | `/models/{name}` | raw snapshot bytes | `200` staged; a resident model is **hot-swapped atomically** (see below) |
 //! | `DELETE` | `/models/{name}` | — | `200` model removed (in-flight requests drain first) |
@@ -33,6 +33,25 @@
 //! with the typed error message. Either way the daemon keeps serving —
 //! only the offending connection sees the error.
 //!
+//! # Keep-alive
+//!
+//! Connections are **persistent by default** (HTTP/1.1 semantics): each
+//! connection thread loops over [`crate::http::RequestReader`], serving
+//! requests in order — pipelined requests included — until the client
+//! sends `Connection: close`, speaks HTTP/1.0 without
+//! `Connection: keep-alive`, closes its end, or idles past the 60 s read
+//! timeout. An interactive client that holds its connection open pays the
+//! TCP + thread-spawn setup once, not per query — that setup dominated
+//! the single-tuple latency floor when every request opened a fresh
+//! connection. `GET /info` reports the number of connections accepted
+//! since startup (`"connections"`), so load tests can assert their
+//! traffic actually reused connections. Responses are assembled in a
+//! per-connection buffer and shipped with one `write_all` (plus
+//! `TCP_NODELAY`), so a pipelined burst never stalls on Nagle/delayed-ACK
+//! interactions. Requests on one connection are served strictly in order;
+//! concurrency comes from many connections, which still coalesce in the
+//! micro-batcher.
+//!
 //! # Atomicity
 //!
 //! `/learn` rides the same micro-batching queue as `/impute`, so learns
@@ -47,14 +66,14 @@
 //! and no request is dropped by a swap, an eviction, or a graceful
 //! shutdown (see [`crate::registry`] and [`crate::shutdown`]).
 
-use crate::batch::{Batcher, CheckpointConfig, QueryRow};
-use crate::http::{read_request, respond, respond_ext, HttpError, Request};
+use crate::batch::{Batcher, CheckpointConfig, QueryBlock};
+use crate::http::{write_response, HttpError, Request, RequestReader};
 use crate::registry::{Registry, RegistryError};
 use iim_data::csv;
 use iim_data::FittedImputer;
 use std::io::Write as _;
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -111,6 +130,7 @@ pub struct Server {
     backend: Arc<Backend>,
     threads: usize,
     stop: Arc<AtomicBool>,
+    connections: Arc<AtomicUsize>,
 }
 
 /// Handle to a daemon running on a background thread (tests, benches,
@@ -154,6 +174,7 @@ impl Server {
             }),
             threads: cfg.threads,
             stop: Arc::new(AtomicBool::new(false)),
+            connections: Arc::new(AtomicUsize::new(0)),
         })
     }
 
@@ -167,6 +188,7 @@ impl Server {
             backend: Arc::new(Backend::Registry(registry)),
             threads: cfg.threads,
             stop: Arc::new(AtomicBool::new(false)),
+            connections: Arc::new(AtomicUsize::new(0)),
         })
     }
 
@@ -218,14 +240,16 @@ impl Server {
                 break;
             }
             let Ok(stream) = stream else { continue };
+            self.connections.fetch_add(1, Ordering::Relaxed);
             let backend = Arc::clone(&self.backend);
+            let connections = Arc::clone(&self.connections);
             let threads = self.threads;
-            // Thread-per-connection: connections are short-lived (one
-            // request, Connection: close) and the heavy lifting happens on
+            // Thread-per-connection: with keep-alive, one thread serves a
+            // client's whole request stream; the heavy lifting happens on
             // the shared pool, so this stays cheap and simple.
             let _ = std::thread::Builder::new()
                 .name("iim-serve-conn".into())
-                .spawn(move || handle_connection(stream, backend, threads));
+                .spawn(move || handle_connection(stream, backend, threads, connections));
         }
         match self.backend.as_ref() {
             Backend::Single { batcher, .. } => batcher.shutdown(),
@@ -244,6 +268,51 @@ impl Server {
             .name("iim-serve-accept".into())
             .spawn(move || self.run())?;
         Ok(ServerHandle { addr, stop, join })
+    }
+}
+
+/// One live connection: the socket, the keep-alive disposition of the
+/// response being built, and a reusable assembly buffer so every response
+/// ships as a single `write_all` (the keep-alive hot path is one read and
+/// one write syscall per request).
+struct Conn {
+    stream: TcpStream,
+    keep_alive: bool,
+    out: Vec<u8>,
+}
+
+impl Conn {
+    fn respond(&mut self, status: u16, reason: &str, content_type: &str, body: &[u8]) {
+        self.respond_ext(status, reason, content_type, &[], body);
+    }
+
+    fn respond_ext(
+        &mut self,
+        status: u16,
+        reason: &str,
+        content_type: &str,
+        extra_headers: &[(&str, &str)],
+        body: &[u8],
+    ) {
+        self.out.clear();
+        write_response(
+            &mut self.out,
+            status,
+            reason,
+            content_type,
+            self.keep_alive,
+            extra_headers,
+            body,
+        );
+        if self
+            .stream
+            .write_all(&self.out)
+            .and_then(|()| self.stream.flush())
+            .is_err()
+        {
+            // The client is gone; make the request loop stop.
+            self.keep_alive = false;
+        }
     }
 }
 
@@ -267,28 +336,21 @@ fn json_str(s: &str) -> String {
     out
 }
 
-fn not_found(stream: &mut TcpStream, detail: &str) {
+fn not_found(conn: &mut Conn, detail: &str) {
     let body = format!(
         "{{\"error\":\"not_found\",\"detail\":{}}}\n",
         json_str(detail)
     );
-    let _ = respond(
-        stream,
-        404,
-        "Not Found",
-        "application/json",
-        body.as_bytes(),
-    );
+    conn.respond(404, "Not Found", "application/json", body.as_bytes());
 }
 
-fn method_not_allowed(stream: &mut TcpStream, allow: &str, detail: &str) {
+fn method_not_allowed(conn: &mut Conn, allow: &str, detail: &str) {
     let body = format!(
         "{{\"error\":\"method_not_allowed\",\"detail\":{},\"allow\":{}}}\n",
         json_str(detail),
         json_str(allow)
     );
-    let _ = respond_ext(
-        stream,
+    conn.respond_ext(
         405,
         "Method Not Allowed",
         "application/json",
@@ -297,32 +359,69 @@ fn method_not_allowed(stream: &mut TcpStream, allow: &str, detail: &str) {
     );
 }
 
-fn handle_connection(mut stream: TcpStream, backend: Arc<Backend>, threads: usize) {
-    // A stalled client must not pin the thread forever.
+fn handle_connection(
+    stream: TcpStream,
+    backend: Arc<Backend>,
+    threads: usize,
+    connections: Arc<AtomicUsize>,
+) {
+    // A stalled client must not pin the thread forever; an idle
+    // keep-alive connection past the timeout closes cleanly between
+    // requests.
     let _ = stream.set_read_timeout(Some(Duration::from_secs(60)));
-    let request = match read_request(&mut stream) {
-        Ok(r) => r,
-        Err(HttpError::TooLarge) => {
-            let _ = respond(
-                &mut stream,
-                413,
-                "Payload Too Large",
-                "text/plain",
-                b"request body too large\n",
-            );
-            return;
-        }
-        Err(e) => {
-            let _ = respond(
-                &mut stream,
-                400,
-                "Bad Request",
-                "text/plain",
-                format!("{e}\n").as_bytes(),
-            );
-            return;
-        }
+    // Responses are single write_all calls, so disabling Nagle cannot
+    // cause small-packet storms — it just stops pipelined responses from
+    // waiting on delayed ACKs.
+    let _ = stream.set_nodelay(true);
+    let mut conn = Conn {
+        stream,
+        keep_alive: false,
+        out: Vec::with_capacity(512),
     };
+    let mut reader = RequestReader::new();
+    loop {
+        let request = match reader.read_request(&mut conn.stream) {
+            Ok(Some(r)) => r,
+            // Clean end of stream (or idle timeout) at a request boundary.
+            Ok(None) => return,
+            Err(HttpError::TooLarge) => {
+                conn.keep_alive = false;
+                conn.respond(
+                    413,
+                    "Payload Too Large",
+                    "text/plain",
+                    b"request body too large\n",
+                );
+                return;
+            }
+            Err(e) => {
+                // A parse failure poisons the framing — any buffered
+                // pipelined bytes are untrustworthy — so answer and close.
+                conn.keep_alive = false;
+                conn.respond(
+                    400,
+                    "Bad Request",
+                    "text/plain",
+                    format!("{e}\n").as_bytes(),
+                );
+                return;
+            }
+        };
+        conn.keep_alive = request.keep_alive;
+        handle_request(&mut conn, &request, &backend, threads, &connections);
+        if !conn.keep_alive {
+            return;
+        }
+    }
+}
+
+fn handle_request(
+    conn: &mut Conn,
+    request: &Request,
+    backend: &Backend,
+    threads: usize,
+    connections: &AtomicUsize,
+) {
     // Route on path segments (query strings ignored); unknown paths are
     // 404, known paths with the wrong method are 405 + Allow.
     let path = request.path.split('?').next().unwrap_or("");
@@ -330,16 +429,16 @@ fn handle_connection(mut stream: TcpStream, backend: Arc<Backend>, threads: usiz
     let method = request.method.as_str();
     match (method, segments.as_slice()) {
         ("GET", ["healthz"]) => {
-            let _ = respond(&mut stream, 200, "OK", "text/plain", b"ok\n");
+            conn.respond(200, "OK", "text/plain", b"ok\n");
         }
-        (_, ["healthz"]) => method_not_allowed(&mut stream, "GET", "/healthz is GET-only"),
-        ("GET", ["info"]) => handle_info(&mut stream, &backend, threads),
-        (_, ["info"]) => method_not_allowed(&mut stream, "GET", "/info is GET-only"),
+        (_, ["healthz"]) => method_not_allowed(conn, "GET", "/healthz is GET-only"),
+        ("GET", ["info"]) => handle_info(conn, backend, threads, connections),
+        (_, ["info"]) => method_not_allowed(conn, "GET", "/info is GET-only"),
         (m, ["impute"]) | (m, ["learn"]) => {
             let single = segments[0];
-            match backend.as_ref() {
+            match backend {
                 Backend::Registry(_) => not_found(
-                    &mut stream,
+                    conn,
                     &format!(
                         "registry mode serves per-model routes: POST /models/{{name}}/{single}"
                     ),
@@ -349,36 +448,37 @@ fn handle_connection(mut stream: TcpStream, backend: Arc<Backend>, threads: usiz
                 } => {
                     if m != "POST" {
                         return method_not_allowed(
-                            &mut stream,
+                            conn,
                             "POST",
                             &format!("/{single} is POST-only"),
                         );
                     }
                     if single == "impute" {
-                        handle_impute(&mut stream, &request, batcher, schema);
+                        handle_impute(conn, request, batcher, schema);
                     } else {
-                        handle_learn(&mut stream, &request, batcher, schema);
+                        handle_learn(conn, request, batcher, schema);
                     }
                 }
             }
         }
-        (m, ["models", ..]) => match backend.as_ref() {
+        (m, ["models", ..]) => match backend {
             Backend::Single { .. } => not_found(
-                &mut stream,
+                conn,
                 "model registry routes need registry mode (iim serve --models-dir)",
             ),
-            Backend::Registry(reg) => handle_models(&mut stream, &request, m, &segments, reg),
+            Backend::Registry(reg) => handle_models(conn, request, m, &segments, reg),
         },
-        _ => not_found(&mut stream, &format!("no route for {method} {path}")),
+        _ => not_found(conn, &format!("no route for {method} {path}")),
     }
 }
 
-fn handle_info(stream: &mut TcpStream, backend: &Backend, threads: usize) {
+fn handle_info(conn: &mut Conn, backend: &Backend, threads: usize, connections: &AtomicUsize) {
     let resolved = if threads > 0 {
         threads
     } else {
         iim_exec::default_threads()
     };
+    let accepted = connections.load(Ordering::Relaxed);
     let body = match backend {
         Backend::Single {
             batcher,
@@ -386,29 +486,30 @@ fn handle_info(stream: &mut TcpStream, backend: &Backend, threads: usize) {
             ..
         } => format!(
             "{{\"mode\":\"single\",\"method\":\"{}\",\"arity\":{},\"threads\":{},\
-             \"can_absorb\":{},\"absorbed\":{},\"snapshot_version\":{}}}\n",
+             \"can_absorb\":{},\"absorbed\":{},\"snapshot_version\":{},\"connections\":{}}}\n",
             batcher.model_name(),
             batcher.arity(),
             resolved,
             batcher.can_absorb(),
             batcher.absorbed(),
             snapshot_version,
+            accepted,
         ),
         Backend::Registry(reg) => {
             let (models, resident) = reg.summary();
             format!(
                 "{{\"mode\":\"registry\",\"models\":{models},\"resident\":{resident},\
-                 \"max_resident\":{},\"threads\":{resolved}}}\n",
+                 \"max_resident\":{},\"threads\":{resolved},\"connections\":{accepted}}}\n",
                 reg.max_resident(),
             )
         }
     };
-    let _ = respond(stream, 200, "OK", "application/json", body.as_bytes());
+    conn.respond(200, "OK", "application/json", body.as_bytes());
 }
 
 /// Routes `/models…` (registry mode only).
 fn handle_models(
-    stream: &mut TcpStream,
+    conn: &mut Conn,
     request: &Request,
     method: &str,
     segments: &[&str],
@@ -419,11 +520,11 @@ fn handle_models(
             Ok(cards) => {
                 let items: Vec<String> = cards.iter().map(|c| model_card_json(c, false)).collect();
                 let body = format!("{{\"models\":[{}]}}\n", items.join(","));
-                let _ = respond(stream, 200, "OK", "application/json", body.as_bytes());
+                conn.respond(200, "OK", "application/json", body.as_bytes());
             }
-            Err(e) => registry_error(stream, &e),
+            Err(e) => registry_error(conn, &e),
         },
-        (_, ["models"]) => method_not_allowed(stream, "GET", "/models is GET-only"),
+        (_, ["models"]) => method_not_allowed(conn, "GET", "/models is GET-only"),
         ("PUT", ["models", name]) => match reg.stage(name, &request.body) {
             Ok(out) => {
                 let body = format!(
@@ -432,41 +533,41 @@ fn handle_models(
                     json_str(&out.method),
                     out.swapped
                 );
-                let _ = respond(stream, 200, "OK", "application/json", body.as_bytes());
+                conn.respond(200, "OK", "application/json", body.as_bytes());
             }
-            Err(e) => registry_error(stream, &e),
+            Err(e) => registry_error(conn, &e),
         },
         ("DELETE", ["models", name]) => match reg.delete(name) {
             Ok(()) => {
                 let body = format!("{{\"deleted\":{}}}\n", json_str(name));
-                let _ = respond(stream, 200, "OK", "application/json", body.as_bytes());
+                conn.respond(200, "OK", "application/json", body.as_bytes());
             }
-            Err(e) => registry_error(stream, &e),
+            Err(e) => registry_error(conn, &e),
         },
         (_, ["models", _]) => method_not_allowed(
-            stream,
+            conn,
             "PUT, DELETE",
             "/models/{name} accepts PUT (stage) and DELETE",
         ),
         ("GET", ["models", name, "info"]) => match reg.info(name) {
             Ok(card) => {
                 let body = format!("{}\n", model_card_json(&card, true));
-                let _ = respond(stream, 200, "OK", "application/json", body.as_bytes());
+                conn.respond(200, "OK", "application/json", body.as_bytes());
             }
-            Err(e) => registry_error(stream, &e),
+            Err(e) => registry_error(conn, &e),
         },
         (_, ["models", _, "info"]) => {
-            method_not_allowed(stream, "GET", "/models/{name}/info is GET-only")
+            method_not_allowed(conn, "GET", "/models/{name}/info is GET-only")
         }
-        ("POST", ["models", name, "impute"]) => handle_registry_impute(stream, request, reg, name),
+        ("POST", ["models", name, "impute"]) => handle_registry_impute(conn, request, reg, name),
         (_, ["models", _, "impute"]) => {
-            method_not_allowed(stream, "POST", "/models/{name}/impute is POST-only")
+            method_not_allowed(conn, "POST", "/models/{name}/impute is POST-only")
         }
-        ("POST", ["models", name, "learn"]) => handle_registry_learn(stream, request, reg, name),
+        ("POST", ["models", name, "learn"]) => handle_registry_learn(conn, request, reg, name),
         (_, ["models", _, "learn"]) => {
-            method_not_allowed(stream, "POST", "/models/{name}/learn is POST-only")
+            method_not_allowed(conn, "POST", "/models/{name}/learn is POST-only")
         }
-        _ => not_found(stream, &format!("no route for {method} {}", request.path)),
+        _ => not_found(conn, &format!("no route for {method} {}", request.path)),
     }
 }
 
@@ -490,7 +591,7 @@ fn model_card_json(card: &crate::registry::ModelInfo, with_schema: bool) -> Stri
 }
 
 /// Maps a [`RegistryError`] to its HTTP response.
-fn registry_error(stream: &mut TcpStream, e: &RegistryError) {
+fn registry_error(conn: &mut Conn, e: &RegistryError) {
     let (status, reason, label) = match e {
         RegistryError::BadName(_) => (400, "Bad Request", "bad_name"),
         RegistryError::UnknownModel(_) => (404, "Not Found", "unknown_model"),
@@ -505,12 +606,11 @@ fn registry_error(stream: &mut TcpStream, e: &RegistryError) {
         json_str(label),
         json_str(&e.to_string())
     );
-    let _ = respond(stream, status, reason, "application/json", body.as_bytes());
+    conn.respond(status, reason, "application/json", body.as_bytes());
 }
 
-fn bad_request(stream: &mut TcpStream, msg: String) {
-    let _ = respond(
-        stream,
+fn bad_request(conn: &mut Conn, msg: String) {
+    conn.respond(
         400,
         "Bad Request",
         "text/plain",
@@ -518,11 +618,10 @@ fn bad_request(stream: &mut TcpStream, msg: String) {
     );
 }
 
-fn backend_unavailable(stream: &mut TcpStream) {
+fn backend_unavailable(conn: &mut Conn) {
     // Shutdown in progress, or the batcher died on a panicking model
     // (its poison guard fails requests instead of wedging them).
-    let _ = respond(
-        stream,
+    conn.respond(
         503,
         "Service Unavailable",
         "text/plain",
@@ -534,17 +633,17 @@ fn backend_unavailable(stream: &mut TcpStream) {
 /// (validated against the snapshot schema when one is on board) plus the
 /// data lines with their original line numbers (blank lines skipped).
 fn parse_csv_body<'a>(
-    stream: &mut TcpStream,
+    conn: &mut Conn,
     request: &'a Request,
     schema: &[String],
 ) -> Option<(Vec<String>, &'a str, Vec<(usize, &'a str)>)> {
     let Ok(text) = std::str::from_utf8(&request.body) else {
-        bad_request(stream, "body is not UTF-8".into());
+        bad_request(conn, "body is not UTF-8".into());
         return None;
     };
     let mut lines = text.lines();
     let Some(header) = lines.next() else {
-        bad_request(stream, "empty body: missing CSV header".into());
+        bad_request(conn, "empty body: missing CSV header".into());
         return None;
     };
     let names = csv::parse_header(header);
@@ -552,7 +651,7 @@ fn parse_csv_body<'a>(
     // a hard error — imputing it would silently transpose features.
     if !schema.is_empty() && names != schema {
         bad_request(
-            stream,
+            conn,
             format!("query header {names:?} does not match the model's schema {schema:?}"),
         );
         return None;
@@ -565,35 +664,32 @@ fn parse_csv_body<'a>(
     Some((names, header, data))
 }
 
-/// Parses impute query rows; `None` means the 400 was already sent.
+/// Parses impute query rows into one flat [`QueryBlock`] — cells go
+/// straight from the wire text into the block's buffer, no per-row
+/// allocation. `None` means the 400 was already sent.
 fn parse_impute_rows(
-    stream: &mut TcpStream,
+    conn: &mut Conn,
     names: &[String],
     data: Vec<(usize, &str)>,
-) -> Option<(Vec<QueryRow>, Vec<usize>)> {
+) -> Option<(QueryBlock, Vec<usize>)> {
     // Parse all rows up front so a syntax error rejects the request
     // before any imputation runs. Original body line numbers ride along
     // (blank lines are skipped) so errors point at the client's input.
-    let mut rows: Vec<QueryRow> = Vec::new();
-    let mut linenos: Vec<usize> = Vec::new();
+    let mut rows = QueryBlock::with_capacity(names.len(), data.len());
+    let mut linenos: Vec<usize> = Vec::with_capacity(data.len());
     for (lineno, line) in data {
-        match csv::parse_row(line, names.len(), lineno) {
-            Ok(row) => {
-                rows.push(row);
-                linenos.push(lineno);
-            }
-            Err(e) => {
-                bad_request(stream, e.to_string());
-                return None;
-            }
+        if let Err(e) = csv::parse_row_into(line, names.len(), lineno, rows.cells_mut()) {
+            bad_request(conn, e.to_string());
+            return None;
         }
+        linenos.push(lineno);
     }
     Some((rows, linenos))
 }
 
 /// Writes the completed CSV (or the 422 for the first failing row).
 fn respond_impute_results(
-    stream: &mut TcpStream,
+    conn: &mut Conn,
     header: &str,
     body_capacity: usize,
     results: &[crate::batch::RowResult],
@@ -609,8 +705,7 @@ fn respond_impute_results(
                 let _ = writeln!(body, "{}", csv::format_row(values));
             }
             Err(e) => {
-                let _ = respond(
-                    stream,
+                conn.respond(
                     422,
                     "Unprocessable Entity",
                     "text/plain",
@@ -620,47 +715,40 @@ fn respond_impute_results(
             }
         }
     }
-    let _ = respond(stream, 200, "OK", "text/csv", &body);
+    conn.respond(200, "OK", "text/csv", &body);
 }
 
-fn handle_impute(stream: &mut TcpStream, request: &Request, batcher: &Batcher, schema: &[String]) {
-    let Some((names, header, data)) = parse_csv_body(stream, request, schema) else {
+fn handle_impute(conn: &mut Conn, request: &Request, batcher: &Batcher, schema: &[String]) {
+    let Some((names, header, data)) = parse_csv_body(conn, request, schema) else {
         return;
     };
-    let Some((rows, linenos)) = parse_impute_rows(stream, &names, data) else {
+    let Some((rows, linenos)) = parse_impute_rows(conn, &names, data) else {
         return;
     };
-    let Some(results) = batcher.impute(rows) else {
-        return backend_unavailable(stream);
+    let Some(results) = batcher.impute_block(rows) else {
+        return backend_unavailable(conn);
     };
-    respond_impute_results(stream, header, request.body.len(), &results, &linenos);
+    respond_impute_results(conn, header, request.body.len(), &results, &linenos);
 }
 
-fn handle_registry_impute(
-    stream: &mut TcpStream,
-    request: &Request,
-    reg: &Arc<Registry>,
-    name: &str,
-) {
+fn handle_registry_impute(conn: &mut Conn, request: &Request, reg: &Arc<Registry>, name: &str) {
     // Schema validation happens inside the registry (each model has its
     // own schema), so no local check here.
-    let Some((names, header, data)) = parse_csv_body(stream, request, &[]) else {
+    let Some((names, header, data)) = parse_csv_body(conn, request, &[]) else {
         return;
     };
-    let Some((rows, linenos)) = parse_impute_rows(stream, &names, data) else {
+    let Some((rows, linenos)) = parse_impute_rows(conn, &names, data) else {
         return;
     };
-    match reg.impute(name, &names, rows) {
-        Ok(results) => {
-            respond_impute_results(stream, header, request.body.len(), &results, &linenos)
-        }
-        Err(e) => registry_error(stream, &e),
+    match reg.impute_block(name, &names, rows) {
+        Ok(results) => respond_impute_results(conn, header, request.body.len(), &results, &linenos),
+        Err(e) => registry_error(conn, &e),
     }
 }
 
 /// Parses learn rows (complete tuples); `None` means the 400 was sent.
 fn parse_learn_rows(
-    stream: &mut TcpStream,
+    conn: &mut Conn,
     names: &[String],
     data: Vec<(usize, &str)>,
 ) -> Option<(Vec<Vec<f64>>, Vec<usize>)> {
@@ -673,7 +761,7 @@ fn parse_learn_rows(
         let parsed = match csv::parse_row(line, names.len(), lineno) {
             Ok(row) => row,
             Err(e) => {
-                bad_request(stream, e.to_string());
+                bad_request(conn, e.to_string());
                 return None;
             }
         };
@@ -683,7 +771,7 @@ fn parse_learn_rows(
                 Some(v) => row.push(v),
                 None => {
                     bad_request(
-                        stream,
+                        conn,
                         format!(
                             "line {lineno}, column {}: learning rows must be complete \
                              (missing cell)",
@@ -698,14 +786,14 @@ fn parse_learn_rows(
         linenos.push(lineno);
     }
     if rows.is_empty() {
-        bad_request(stream, "no learning rows in body".into());
+        bad_request(conn, "no learning rows in body".into());
         return None;
     }
     Some((rows, linenos))
 }
 
 fn respond_learn_reply(
-    stream: &mut TcpStream,
+    conn: &mut Conn,
     reply: crate::batch::LearnReply,
     absorbed_here: usize,
     linenos: &[usize],
@@ -713,11 +801,10 @@ fn respond_learn_reply(
     match reply {
         Ok(total) => {
             let body = format!("{{\"absorbed\":{absorbed_here},\"total_absorbed\":{total}}}\n");
-            let _ = respond(stream, 200, "OK", "application/json", body.as_bytes());
+            conn.respond(200, "OK", "application/json", body.as_bytes());
         }
         Err((i, e)) => {
-            let _ = respond(
-                stream,
+            conn.respond(
                 422,
                 "Unprocessable Entity",
                 "text/plain",
@@ -731,35 +818,30 @@ fn respond_learn_reply(
     }
 }
 
-fn handle_learn(stream: &mut TcpStream, request: &Request, batcher: &Batcher, schema: &[String]) {
-    let Some((names, _, data)) = parse_csv_body(stream, request, schema) else {
+fn handle_learn(conn: &mut Conn, request: &Request, batcher: &Batcher, schema: &[String]) {
+    let Some((names, _, data)) = parse_csv_body(conn, request, schema) else {
         return;
     };
-    let Some((rows, linenos)) = parse_learn_rows(stream, &names, data) else {
+    let Some((rows, linenos)) = parse_learn_rows(conn, &names, data) else {
         return;
     };
     let absorbed_here = rows.len();
     let Some(reply) = batcher.learn(rows) else {
-        return backend_unavailable(stream);
+        return backend_unavailable(conn);
     };
-    respond_learn_reply(stream, reply, absorbed_here, &linenos);
+    respond_learn_reply(conn, reply, absorbed_here, &linenos);
 }
 
-fn handle_registry_learn(
-    stream: &mut TcpStream,
-    request: &Request,
-    reg: &Arc<Registry>,
-    name: &str,
-) {
-    let Some((names, _, data)) = parse_csv_body(stream, request, &[]) else {
+fn handle_registry_learn(conn: &mut Conn, request: &Request, reg: &Arc<Registry>, name: &str) {
+    let Some((names, _, data)) = parse_csv_body(conn, request, &[]) else {
         return;
     };
-    let Some((rows, linenos)) = parse_learn_rows(stream, &names, data) else {
+    let Some((rows, linenos)) = parse_learn_rows(conn, &names, data) else {
         return;
     };
     let absorbed_here = rows.len();
     match reg.learn(name, &names, rows) {
-        Ok(reply) => respond_learn_reply(stream, reply, absorbed_here, &linenos),
-        Err(e) => registry_error(stream, &e),
+        Ok(reply) => respond_learn_reply(conn, reply, absorbed_here, &linenos),
+        Err(e) => registry_error(conn, &e),
     }
 }

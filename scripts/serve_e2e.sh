@@ -87,6 +87,19 @@ for m in $METHODS; do
 
   curl -sf "http://127.0.0.1:$PORT/info" | grep -q "\"method\":\"$m\"" \
     || fail "$m: /info does not report the method"
+  # Keep-alive perf sanity: one curl invocation with three URLs must reuse
+  # a single connection. The daemon counts accepted connections in /info,
+  # so the delta across the probe is exactly 2 (the probe itself plus the
+  # final /info read) — 4 would mean per-request connections are back.
+  before=$(curl -sf "http://127.0.0.1:$PORT/info" \
+    | grep -o '"connections":[0-9]*' | cut -d: -f2)
+  curl -sf "http://127.0.0.1:$PORT/healthz" "http://127.0.0.1:$PORT/healthz" \
+      "http://127.0.0.1:$PORT/healthz" > /dev/null \
+    || fail "$m: keep-alive probe returned non-2xx"
+  after=$(curl -sf "http://127.0.0.1:$PORT/info" \
+    | grep -o '"connections":[0-9]*' | cut -d: -f2)
+  [ "$((after - before))" = 2 ] \
+    || fail "$m: keep-alive probe opened $((after - before - 1)) connections for 3 requests (want 1)"
   # Batch request: the whole query file in one POST.
   curl -sf --data-binary "@$QUERIES" "http://127.0.0.1:$PORT/impute" > "$served" \
     || fail "$m: batch /impute returned non-2xx"
@@ -190,7 +203,11 @@ mkdir -p "$REG"
   || fail "registry: CLI stage alpha failed"
 "$BIN" registry stage --models-dir "$REG" beta "$E2E_DIR/Mean.iim" \
   || fail "registry: CLI stage beta failed"
-"$BIN" registry list --models-dir "$REG" | grep -q "alpha" \
+# Capture first, grep second: `list | grep -q` lets grep exit on the first
+# match and EPIPE the still-printing CLI (a pipefail failure even on success).
+listing=$("$BIN" registry list --models-dir "$REG") \
+  || fail "registry: CLI list failed"
+printf '%s\n' "$listing" | grep -q "alpha" \
   || fail "registry: list does not show alpha"
 
 PORT=$((PORT + 1))

@@ -43,10 +43,10 @@ use std::time::{Duration, Instant};
 
 fn usage() -> String {
     "usage:\
-     \n  iim impute [--method NAME] [--k N] [--seed S] [--threads T] [--index auto|brute|kdtree] \
+     \n  iim impute [--method NAME] [--k N] [--seed S] [--threads T] [--index auto|brute|kdtree|vptree] \
      [--fit-on TRAIN.csv | --model MODEL.iim] [--output FILE] INPUT.csv\
      \n  iim fit --save MODEL.iim [--method NAME] [--k N] [--seed S] [--threads T] \
-     [--index auto|brute|kdtree] TRAIN.csv\
+     [--index auto|brute|kdtree|vptree] TRAIN.csv\
      \n  iim serve MODEL.iim [--addr 127.0.0.1:7878] [--threads T] \
      [--checkpoint PATH] [--checkpoint-every N]\
      \n  iim serve --models-dir DIR [--max-resident N] [--addr 127.0.0.1:7878] [--threads T]\
@@ -162,7 +162,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 f.index = it
                     .next()
                     .and_then(|v| iim_core::IndexChoice::parse(v))
-                    .ok_or("--index needs one of: auto, brute, kdtree")?
+                    .ok_or("--index needs one of: auto, brute, kdtree, vptree")?
             }
             "--fit-on" => f.fit_on = Some(it.next().ok_or("--fit-on needs a path")?.clone()),
             "--model" => f.model = Some(it.next().ok_or("--model needs a path")?.clone()),

@@ -1,20 +1,25 @@
 //! The neighbor-index determinism contract, end to end:
 //!
-//! * the owned KD-tree equals the brute scan **bitwise** on random
-//!   matrices — including duplicated points (tie-breaks) and `k > n`;
+//! * the owned KD-tree and VP-tree equal the brute scan **bitwise** on
+//!   random matrices — including duplicated points (tie-breaks), `k > n`,
+//!   and ambient dimensions up to 16 (the VP-tree's whole raison d'être);
+//! * the blocked distance kernels (`sq_dist_many`, `sq_dist_on`) agree
+//!   bitwise with scalar `sq_dist_f` — batching is a pure latency choice;
 //! * a fitted model serving through the KD-tree index is bitwise-identical
 //!   to the same model serving through the brute index, for every
 //!   index-backed method (IIM, kNN, kNNE, LOESS, ILLS, ERACER), single
 //!   query and whole relation, on 1 and 4 worker pools (the CI matrix
 //!   additionally runs this whole suite under `IIM_THREADS=1` and `=4`);
-//! * neighbor orders built through either index variant match.
+//! * neighbor orders built through any index variant match.
 
 use iim::prelude::*;
 use iim_core::IndexChoice;
 use iim_data::inject::inject_random;
 use iim_exec::Pool;
 use iim_neighbors::brute::FeatureMatrix;
-use iim_neighbors::{KdTree, NeighborIndex, NeighborOrders};
+use iim_neighbors::{
+    sq_dist_f, sq_dist_many, sq_dist_on, KdTree, NeighborIndex, NeighborOrders, VpTree,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -24,6 +29,26 @@ use rand::SeedableRng;
 /// guaranteed and the `(distance, position)` tie-break is exercised.
 fn arb_matrix_with_dups() -> impl Strategy<Value = FeatureMatrix> {
     (1usize..40, 1usize..5).prop_flat_map(|(n, m)| {
+        (
+            proptest::collection::vec(-50.0..50.0f64, n * m),
+            proptest::collection::vec(0usize..n.max(1), 0..5),
+        )
+            .prop_map(move |(mut data, dups)| {
+                for (offset, &src) in dups.iter().enumerate() {
+                    let dst = (src + offset + 1) % n;
+                    let src_row: Vec<f64> = data[src * m..(src + 1) * m].to_vec();
+                    data[dst * m..(dst + 1) * m].copy_from_slice(&src_row);
+                }
+                FeatureMatrix::from_dense(m, (0..n as u32).collect::<Vec<u32>>(), data)
+            })
+    })
+}
+
+/// As [`arb_matrix_with_dups`], but with ambient dimension up to 16 —
+/// the range over which `IndexChoice::Auto` will ever pick a tree — so
+/// the VP-tree's pruning is exercised where the kd-tree's would go quiet.
+fn arb_wide_matrix_with_dups() -> impl Strategy<Value = FeatureMatrix> {
+    (1usize..40, 1usize..=16).prop_flat_map(|(n, m)| {
         (
             proptest::collection::vec(-50.0..50.0f64, n * m),
             proptest::collection::vec(0usize..n.max(1), 0..5),
@@ -118,10 +143,101 @@ proptest! {
     }
 
     #[test]
-    fn orders_through_either_index_variant_agree(fm in arb_matrix_with_dups()) {
+    fn vptree_equals_brute_bitwise_up_to_dimension_16(
+        fm in arb_wide_matrix_with_dups(),
+        ks in proptest::collection::vec(1usize..80, 1..4),
+    ) {
+        let tree = VpTree::build(fm.clone());
+        let vp_index = NeighborIndex::build(fm.clone(), IndexChoice::VpTree);
+        for q in queries_for(&fm, 6) {
+            for &k in &ks {
+                // k may exceed n: everything comes back, same order — and
+                // duplicated points force the (distance, position)
+                // tie-break through the metric-ball pruning path.
+                let reference = fm.knn(&q, k);
+                prop_assert_eq!(reference.len(), k.min(fm.len()));
+                for got in [tree.knn(&q, k), vp_index.knn(&q, k)] {
+                    prop_assert_eq!(got.len(), reference.len());
+                    for (g, r) in got.iter().zip(&reference) {
+                        prop_assert_eq!(g.pos, r.pos);
+                        prop_assert_eq!(g.dist.to_bits(), r.dist.to_bits());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_kernel_matches_scalar_bitwise(
+        (m, rows) in (1usize..=16, 1usize..40).prop_flat_map(|(m, n)| {
+            (Just(m), proptest::collection::vec(-1e3..1e3f64, m * (n + 1)))
+        }),
+    ) {
+        // First row is the query, the rest form the contiguous block.
+        let (query, block) = rows.split_at(m);
+        let mut out = vec![0.0; block.len() / m];
+        sq_dist_many(query, block, &mut out);
+        for (r, &got) in out.iter().enumerate() {
+            let scalar = sq_dist_f(query, &block[r * m..(r + 1) * m]);
+            prop_assert_eq!(got.to_bits(), scalar.to_bits(), "row {}", r);
+        }
+    }
+
+    #[test]
+    fn restricted_attr_kernel_matches_gathered_bitwise(
+        (_m, a, b, attrs) in (2usize..=16).prop_flat_map(|m| {
+            (
+                Just(m),
+                proptest::collection::vec(-1e3..1e3f64, m),
+                proptest::collection::vec(-1e3..1e3f64, m),
+                proptest::collection::vec(0usize..m, 1..=m),
+            )
+        }),
+    ) {
+        // `sq_dist_on` gathers through `attrs` (repeats allowed) in the
+        // same lane order as a gather-then-`sq_dist_f`; serving over a
+        // restricted feature set must not depend on which one ran.
+        let ga: Vec<f64> = attrs.iter().map(|&j| a[j]).collect();
+        let gb: Vec<f64> = attrs.iter().map(|&j| b[j]).collect();
+        prop_assert_eq!(
+            sq_dist_on(&a, &b, &attrs).to_bits(),
+            sq_dist_f(&ga, &gb).to_bits()
+        );
+    }
+
+    #[test]
+    fn restricted_attr_knn_through_vptree_matches_the_brute_gather_path(
+        (fm, attrs) in arb_wide_matrix_with_dups().prop_flat_map(|fm| {
+            let m = fm.n_features();
+            (Just(fm), proptest::collection::vec(0usize..m, 1..=m))
+        }),
+    ) {
+        // The serving layer restricts distances to the complete attributes
+        // of a query (`sq_dist_on` / gather). Whichever index scans the
+        // gathered candidates must agree with the ad-hoc brute path
+        // bitwise, row ids included.
+        let rows: Vec<Vec<f64>> = (0..fm.len()).map(|i| fm.point(i).to_vec()).collect();
+        let rel = Relation::from_rows(Schema::anonymous(fm.n_features()), &rows);
+        let candidates: Vec<u32> = (0..fm.len() as u32).collect();
+        let gathered = FeatureMatrix::gather(&rel, &attrs, &candidates);
+        let vp = VpTree::build(gathered.clone());
+        for q in queries_for(&fm, 3) {
+            let reference = iim_neighbors::knn(&rel, &attrs, &candidates, &q, 5);
+            let gq: Vec<f64> = attrs.iter().map(|&j| q[j]).collect();
+            let got = vp.knn(&gq, 5);
+            prop_assert_eq!(got.len(), reference.len());
+            for (g, r) in got.iter().zip(&reference) {
+                prop_assert_eq!(gathered.row_id(g.pos as usize), r.pos);
+                prop_assert_eq!(g.dist.to_bits(), r.dist.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn orders_through_either_index_variant_agree(fm in arb_wide_matrix_with_dups()) {
         let depth = fm.len().min(10);
         let reference = NeighborOrders::build_on(&Pool::serial(), &fm, depth);
-        for choice in [IndexChoice::Brute, IndexChoice::KdTree] {
+        for choice in [IndexChoice::Brute, IndexChoice::KdTree, IndexChoice::VpTree] {
             let index = NeighborIndex::build(fm.clone(), choice);
             for pool in [Pool::serial(), Pool::new(4).with_serial_cutoff(1)] {
                 let got = NeighborOrders::build_from_index(&pool, &index, depth);

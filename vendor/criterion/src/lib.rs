@@ -10,11 +10,26 @@
 //! plus `sample_size` timed batches per benchmark and prints
 //! median/mean wall-clock per iteration — enough to compare kernels by
 //! eye and to keep `cargo bench` runnable without the real crate.
+//!
+//! `cargo bench -- --quick` (or `IIM_BENCH_QUICK=1`) mirrors real
+//! criterion's `--quick`: 2 samples and a short warm-up, so CI can smoke
+//! every benchmark — does it run, does its in-bench parity assert hold —
+//! without paying for stable numbers.
 
 #![forbid(unsafe_code)]
 
 use std::fmt::Display;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
+
+/// True when `--quick` was passed or `IIM_BENCH_QUICK` is set: smoke-run
+/// benchmarks (2 samples, ~2ms warm-up) instead of measuring carefully.
+fn quick_mode() -> bool {
+    static QUICK: OnceLock<bool> = OnceLock::new();
+    *QUICK.get_or_init(|| {
+        std::env::args().any(|a| a == "--quick") || std::env::var_os("IIM_BENCH_QUICK").is_some()
+    })
+}
 
 pub use std::hint::black_box;
 
@@ -60,9 +75,10 @@ impl Bencher {
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
         // Warm-up: run until ~20ms of work or 3 iterations, whichever is
         // later, to get code and caches hot and to size the batches.
+        let (warm_ms, sample_target_s) = if quick_mode() { (2, 5e-4) } else { (20, 5e-3) };
         let warm_start = Instant::now();
         let mut warm_iters = 0u64;
-        while warm_iters < 3 || warm_start.elapsed() < Duration::from_millis(20) {
+        while warm_iters < 3 || warm_start.elapsed() < Duration::from_millis(warm_ms) {
             black_box(routine());
             warm_iters += 1;
             if warm_iters > 1_000_000 {
@@ -70,8 +86,9 @@ impl Bencher {
             }
         }
         let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
-        // Aim for ~5ms per sample, at least one iteration.
-        let batch = ((5e-3 / per_iter.max(1e-9)).ceil() as u64).clamp(1, 1_000_000);
+        // Aim for ~5ms per sample (0.5ms in quick mode), at least one
+        // iteration.
+        let batch = ((sample_target_s / per_iter.max(1e-9)).ceil() as u64).clamp(1, 1_000_000);
 
         self.results.clear();
         for _ in 0..self.samples {
@@ -98,7 +115,7 @@ fn fmt_secs(s: f64) -> String {
 
 fn run_one<F: FnMut(&mut Bencher)>(full_id: &str, samples: usize, mut f: F) {
     let mut b = Bencher {
-        samples,
+        samples: if quick_mode() { 2 } else { samples },
         results: Vec::new(),
     };
     f(&mut b);
