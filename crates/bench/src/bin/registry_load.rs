@@ -151,6 +151,7 @@ fn main() {
         dir: dir.clone(),
         max_resident: 2,
         threads: args.threads.unwrap_or(0),
+        ..Default::default()
     })
     .expect("open registry");
     registry

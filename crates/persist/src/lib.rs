@@ -25,8 +25,17 @@
 //! * **Deterministic bytes.** Saving the same fitted model twice produces
 //!   identical files (map iteration is sorted before encoding), so
 //!   snapshots are diffable and content-addressable.
-//! * **Total loading.** Truncated, corrupted, or wrong-version input
-//!   returns a typed [`PersistError`] — never a panic.
+//! * **Total loading, crash-aware.** Damage to the base container or to
+//!   the interior of the delta region returns a typed [`PersistError`] —
+//!   never a panic. A torn or corrupt **final** delta record (the only
+//!   damage a crash mid-append can inflict) is instead dropped: the
+//!   valid prefix loads, and [`SnapshotInfo::recovered_at`] reports the
+//!   boundary so the caller can repair the file with
+//!   [`truncate_deltas_path`].
+//! * **Durable writes.** [`save_path`] / [`save_bytes_path`] publish via
+//!   temp-file + `fsync` + rename + parent-directory `fsync`;
+//!   [`append_delta_path`] `fsync`s before acknowledging. See
+//!   [`snapshot`] for the full durability contract.
 //!
 //! # Example
 //!
@@ -56,8 +65,9 @@ pub mod wire;
 pub use error::PersistError;
 pub use snapshot::{
     append_delta_path, encode_delta, inspect, load, load_from_slice, load_from_slice_with_info,
-    load_path, save, save_path, save_to_vec, save_to_vec_v2, save_to_vec_with_schema, SnapshotInfo,
-    DELTA_MAGIC, FORMAT_VERSION, FORMAT_VERSION_V2, MAGIC, MIN_FORMAT_VERSION,
+    load_path, rename_durable, save, save_bytes_path, save_path, save_to_vec, save_to_vec_v2,
+    save_to_vec_with_schema, truncate_deltas_path, write_file_durable, SnapshotInfo, DELTA_MAGIC,
+    FORMAT_VERSION, FORMAT_VERSION_V2, MAGIC, MIN_FORMAT_VERSION,
 };
 
 #[cfg(test)]
@@ -175,26 +185,35 @@ mod tests {
     }
 
     #[test]
-    fn every_truncation_point_is_a_typed_error() {
-        // Covers the whole container — header region (magic, version,
-        // method tag, schema block, payload length) included — plus an
-        // appended delta record.
+    fn truncation_errors_in_the_base_and_recovers_in_the_tail() {
+        // Covers the whole container: cuts inside the base (magic,
+        // version, method tag, schema block, payload, checksum) stay
+        // typed errors; cuts inside the appended delta record are what a
+        // crash mid-append leaves, and recover to the base model.
         let fitted = fitted_iim();
         let mut bytes = save_to_vec(fitted.as_ref()).unwrap();
         let base_len = bytes.len();
         bytes.extend_from_slice(&encode_delta(&[vec![2.5, 3.5]]));
         for cut in 0..bytes.len() {
-            if cut == base_len {
+            if cut < base_len {
+                // Must be an Err (never a panic, never an Ok on a prefix).
+                assert!(
+                    load_from_slice(&bytes[..cut]).is_err(),
+                    "base prefix of {cut} bytes decoded successfully"
+                );
+            } else if cut == base_len {
                 // Cutting exactly at the record boundary yields a valid
-                // (delta-free) snapshot by design.
-                assert!(load_from_slice(&bytes[..cut]).is_ok());
-                continue;
+                // (delta-free) snapshot by design: nothing to recover.
+                let (_, info) = load_from_slice_with_info(&bytes[..cut]).unwrap();
+                assert_eq!(info.recovered_at, None);
+            } else {
+                // A torn final record: the base loads, the tail is
+                // dropped, and the valid boundary is reported.
+                let (loaded, info) = load_from_slice_with_info(&bytes[..cut]).unwrap();
+                assert_eq!(info.recovered_at, Some(base_len as u64));
+                assert_eq!(info.absorbed_rows, 0);
+                assert_eq!(loaded.absorbed(), 0);
             }
-            // Must be an Err (never a panic, never an Ok on a prefix).
-            assert!(
-                load_from_slice(&bytes[..cut]).is_err(),
-                "prefix of {cut} bytes decoded successfully"
-            );
         }
     }
 
@@ -228,28 +247,59 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_delta_region_is_a_typed_error() {
+    fn interior_delta_corruption_is_a_typed_error() {
         let fitted = fitted_iim();
         let base = save_to_vec(fitted.as_ref()).unwrap();
 
-        // Garbage after the base container is not silently ignored.
-        let mut garbage = base.clone();
-        garbage.extend_from_slice(b"not a delta");
-        assert!(matches!(
-            load_from_slice(&garbage),
-            Err(PersistError::Corrupt(_)) | Err(PersistError::Truncated { .. })
-        ));
-
-        // A flipped byte inside a delta payload fails its checksum.
+        // A flipped byte in a record *followed by* a complete valid
+        // record is interior corruption — no crash produces it (the
+        // region is append-only), so the load refuses rather than
+        // dropping the interior record.
         let mut flipped = base.clone();
-        let delta = snapshot::encode_delta(&[vec![1.0, 2.0]]);
         let delta_start = flipped.len();
-        flipped.extend_from_slice(&delta);
+        flipped.extend_from_slice(&encode_delta(&[vec![1.0, 2.0]]));
+        flipped.extend_from_slice(&encode_delta(&[vec![3.0, 4.0]]));
         flipped[delta_start + 20] ^= 0x01;
         assert!(matches!(
             load_from_slice(&flipped),
             Err(PersistError::ChecksumMismatch { .. })
         ));
+
+        // A checksum-clean record whose payload does not decode is
+        // writer damage, not crash damage: hard error even at the tail.
+        let mut tampered = base.clone();
+        let payload = [0xFFu8; 4];
+        tampered.extend_from_slice(&DELTA_MAGIC);
+        tampered.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        tampered.extend_from_slice(&payload);
+        tampered.extend_from_slice(&wire::fnv1a64(&payload).to_le_bytes());
+        assert!(matches!(
+            load_from_slice(&tampered),
+            Err(PersistError::Truncated { .. }) | Err(PersistError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn torn_tail_recovers_to_the_valid_prefix() {
+        let fitted = fitted_iim();
+        let mut bytes = save_to_vec(fitted.as_ref()).unwrap();
+        bytes.extend_from_slice(&encode_delta(&[vec![4.6, 2.0]]));
+        let valid_len = bytes.len() as u64;
+
+        // Trailing garbage that never completes a record is dropped with
+        // a report; the valid record before it still replays.
+        let mut garbage = bytes.clone();
+        garbage.extend_from_slice(b"not a delta");
+        let (loaded, info) = load_from_slice_with_info(&garbage).unwrap();
+        assert_eq!(info.recovered_at, Some(valid_len));
+        assert_eq!(info.absorbed_rows, 1);
+        assert_eq!(loaded.absorbed(), 1);
+        assert_eq!(inspect(&garbage).unwrap().recovered_at, Some(valid_len));
+
+        // An intact file reports no recovery.
+        let (_, info) = load_from_slice_with_info(&bytes).unwrap();
+        assert_eq!(info.recovered_at, None);
+        assert_eq!(inspect(&bytes).unwrap().recovered_at, None);
     }
 
     #[test]

@@ -69,6 +69,35 @@
 //! snapshot of a method without absorb support fails the load with a
 //! typed error.
 //!
+//! # Durability and crash recovery
+//!
+//! The `_path` writers carry an explicit durability contract:
+//!
+//! - [`save_path`] / [`save_bytes_path`] publish a snapshot by writing a
+//!   same-directory temp file, `fsync`ing it, renaming it over the
+//!   destination, and `fsync`ing the parent directory — after a crash at
+//!   any instant the destination holds either the complete old bytes or
+//!   the complete new bytes, never a torn mix.
+//! - [`append_delta_path`] `fsync`s the snapshot file after the append:
+//!   once it returns, the record survives power loss. A crash *during*
+//!   the append can leave a torn final record — which `load` recovers
+//!   from (below) rather than refusing to start.
+//! - [`write_file_durable`] and [`rename_durable`] expose the two halves
+//!   for callers that stage a temp file themselves (hot-swap protocols
+//!   that publish the rename inside a barrier).
+//!
+//! Loading classifies delta-region damage by where it sits. A torn or
+//! corrupt **final** record — the only kind of damage an interrupted
+//! append can inflict on this append-only region — is dropped: `load`
+//! replays the valid prefix and reports the prefix length in
+//! [`SnapshotInfo::recovered_at`] so the caller can repair the file with
+//! [`truncate_deltas_path`] before appending again. Damage with a
+//! complete, checksum-clean record *after* it is interior corruption —
+//! something no crash produces — and stays a hard [`PersistError`], as
+//! does any damage to the base container. The classification scan is
+//! fail-safe: payload bytes that happen to spell a valid record can only
+//! turn recovery into refusal, never silently drop interior data.
+//!
 //! # Versioning policy
 //!
 //! The version is bumped whenever the payload layout changes shape; a
@@ -125,6 +154,12 @@ pub struct SnapshotInfo {
     pub payload_len: u64,
     /// Total rows carried by the delta records after the base container.
     pub absorbed_rows: usize,
+    /// When the delta region ended in a torn or corrupt final record
+    /// (the signature of a crash mid-append), the file offset where the
+    /// valid prefix ends — everything from here on was dropped at load.
+    /// `None` when the file was intact. Pass the offset to
+    /// [`truncate_deltas_path`] to repair the file before appending.
+    pub recovered_at: Option<u64>,
 }
 
 fn push_tag(out: &mut Vec<u8>, s: &str, what: &str) -> Result<(), PersistError> {
@@ -239,6 +274,10 @@ fn encode_fitted_banked(fitted: &dyn FittedImputer) -> Result<Vec<u8>, PersistEr
 }
 
 /// Writes a fitted model's snapshot to `w`.
+///
+/// `w` is a generic sink, so this can only flush userspace buffers; for
+/// the crash-safe publish-to-disk contract use [`save_path`] (or
+/// [`save_bytes_path`] with pre-encoded bytes).
 pub fn save<W: Write>(fitted: &dyn FittedImputer, mut w: W) -> Result<(), PersistError> {
     let bytes = save_to_vec(fitted)?;
     w.write_all(&bytes)?;
@@ -246,9 +285,70 @@ pub fn save<W: Write>(fitted: &dyn FittedImputer, mut w: W) -> Result<(), Persis
     Ok(())
 }
 
-/// Writes a fitted model's snapshot to a file.
+/// `File::sync_all` behind the `persist.fsync.err` fail point.
+fn sync_file(f: &std::fs::File) -> std::io::Result<()> {
+    if iim_faults::check("persist.fsync.err").is_some() {
+        return Err(std::io::Error::other("injected fsync failure"));
+    }
+    f.sync_all()
+}
+
+/// Fsyncs the directory holding `path`, making a rename or file creation
+/// inside it durable (POSIX semantics; a no-op on non-unix targets).
+fn sync_parent_dir(path: &Path) -> std::io::Result<()> {
+    #[cfg(unix)]
+    {
+        let dir = match path.parent() {
+            Some(d) if !d.as_os_str().is_empty() => d,
+            _ => Path::new("."),
+        };
+        sync_file(&std::fs::File::open(dir)?)?;
+    }
+    #[cfg(not(unix))]
+    let _ = path;
+    Ok(())
+}
+
+/// Durably writes `bytes` to `path` in place: create/truncate, write,
+/// `fsync` the file, `fsync` the parent directory. The file itself can
+/// be torn by a crash mid-write — use this only for staging temp files
+/// that a later [`rename_durable`] publishes atomically.
+pub fn write_file_durable<P: AsRef<Path>>(path: P, bytes: &[u8]) -> Result<(), PersistError> {
+    let path = path.as_ref();
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(bytes)?;
+    sync_file(&f)?;
+    sync_parent_dir(path)?;
+    Ok(())
+}
+
+/// Durably renames `from` over `to` (same directory): the rename plus an
+/// `fsync` of the destination's parent directory. After a crash, `to` is
+/// either the old complete file or the new complete file.
+pub fn rename_durable<P: AsRef<Path>, Q: AsRef<Path>>(from: P, to: Q) -> Result<(), PersistError> {
+    std::fs::rename(from.as_ref(), to.as_ref())?;
+    sync_parent_dir(to.as_ref())?;
+    Ok(())
+}
+
+/// Durably publishes pre-encoded snapshot bytes at `path`: writes a
+/// same-directory temp file (`.{name}.tmp`), `fsync`s it, renames it
+/// over `path`, and `fsync`s the parent directory — the write-then-
+/// rename half of the durability contract (see the module docs).
+pub fn save_bytes_path<P: AsRef<Path>>(path: P, bytes: &[u8]) -> Result<(), PersistError> {
+    let path = path.as_ref();
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| PersistError::UnsupportedModel(format!("no file name in {path:?}")))?;
+    let tmp = path.with_file_name(format!(".{}.tmp", file_name.to_string_lossy()));
+    write_file_durable(&tmp, bytes)?;
+    rename_durable(&tmp, path)
+}
+
+/// Writes a fitted model's snapshot to a file, durably: temp-file write,
+/// `fsync`, rename, parent-directory `fsync` (see the module docs).
 pub fn save_path<P: AsRef<Path>>(fitted: &dyn FittedImputer, path: P) -> Result<(), PersistError> {
-    save(fitted, std::fs::File::create(path)?)
+    save_bytes_path(path, &save_to_vec(fitted)?)
 }
 
 /// Encodes one delta record holding `rows` absorbed tuples (complete
@@ -272,10 +372,45 @@ pub fn encode_delta(rows: &[Vec<f64>]) -> Vec<u8> {
 /// Appends one delta record with `rows` absorbed tuples to the snapshot
 /// file at `path` (which must already hold a base snapshot). The rows are
 /// replayed through [`FittedImputer::absorb`] at the next load.
+///
+/// The file is `fsync`ed before returning: a checkpoint this function
+/// acknowledged survives power loss. A crash *during* the append leaves
+/// at worst a torn final record, which `load` drops (reporting
+/// [`SnapshotInfo::recovered_at`]) instead of failing.
 pub fn append_delta_path<P: AsRef<Path>>(path: P, rows: &[Vec<f64>]) -> Result<(), PersistError> {
     let mut f = std::fs::OpenOptions::new().append(true).open(path)?;
-    f.write_all(&encode_delta(rows))?;
-    f.flush()?;
+    let record = encode_delta(rows);
+    if iim_faults::check("persist.append.partial_write").is_some() {
+        // Simulate a crash mid-append: persist a torn prefix of the
+        // record, then fail as the "crashed" writer would.
+        f.write_all(&record[..record.len() / 2])?;
+        let _ = f.sync_all();
+        return Err(std::io::Error::other("injected partial append").into());
+    }
+    f.write_all(&record)?;
+    sync_file(&f)?;
+    Ok(())
+}
+
+/// Truncates a snapshot file back to `len` bytes and `fsync`s it — the
+/// repair step after a load reported [`SnapshotInfo::recovered_at`].
+/// Chopping the torn tail restores the invariant that the file is a base
+/// container plus complete records, so the next [`append_delta_path`]
+/// does not bury the damage under a valid record (which would harden it
+/// into an unrecoverable interior-corruption error). Refuses to extend
+/// the file: `len` beyond the current size is a typed error.
+pub fn truncate_deltas_path<P: AsRef<Path>>(path: P, len: u64) -> Result<(), PersistError> {
+    let path = path.as_ref();
+    let f = std::fs::OpenOptions::new().write(true).open(path)?;
+    let current = f.metadata()?.len();
+    if len > current {
+        return Err(PersistError::Corrupt(format!(
+            "refusing to extend {} from {current} to {len} bytes",
+            path.display()
+        )));
+    }
+    f.set_len(len)?;
+    sync_file(&f)?;
     Ok(())
 }
 
@@ -327,6 +462,7 @@ fn parse_header(bytes: &[u8]) -> Result<Header, PersistError> {
             schema,
             payload_len,
             absorbed_rows: 0,
+            recovered_at: None,
         },
         payload_start: bytes.len() - r.remaining(),
     })
@@ -338,7 +474,11 @@ fn parse_header(bytes: &[u8]) -> Result<Header, PersistError> {
 pub fn inspect(bytes: &[u8]) -> Result<SnapshotInfo, PersistError> {
     let mut header = parse_header(bytes)?;
     let (_, base_end) = checked_payload(bytes, &header)?;
-    header.info.absorbed_rows = parse_delta_rows(&bytes[base_end..])?.len();
+    let region = parse_delta_rows(&bytes[base_end..])?;
+    header.info.absorbed_rows = region.rows.len();
+    header.info.recovered_at = region
+        .recovered
+        .then_some((base_end + region.valid_len) as u64);
     Ok(header.info)
 }
 
@@ -376,34 +516,126 @@ fn checked_payload<'a>(
     Ok((payload, base_end))
 }
 
-/// Parses the delta region (everything after the base container) into the
-/// absorbed rows, in record order. Empty input means no deltas; anything
-/// that is not a complete, checksum-clean record is a typed error.
-fn parse_delta_rows(mut rest: &[u8]) -> Result<Vec<Vec<f64>>, PersistError> {
-    let mut rows = Vec::new();
-    while !rest.is_empty() {
-        let mut r = Reader::new(rest);
-        if r.bytes(8, "delta magic")? != DELTA_MAGIC {
-            return Err(PersistError::Corrupt(
-                "bytes after the base snapshot are not a delta record".into(),
-            ));
-        }
-        let len = r.len("delta payload length")?;
-        let payload = r.bytes(len, "delta payload")?;
-        let expected = r.u64("delta checksum")?;
-        let found = fnv1a64(payload);
-        if expected != found {
-            return Err(PersistError::ChecksumMismatch { expected, found });
-        }
-        let mut pr = Reader::new(payload);
-        let n = pr.len("delta row count")?;
-        for _ in 0..n {
-            rows.push(pr.f64s("delta row")?);
-        }
-        pr.expect_exhausted()?;
-        rest = &rest[rest.len() - r.remaining()..];
+/// The parsed delta region: the absorbed rows plus torn-tail accounting.
+struct DeltaRegion {
+    /// Rows from every complete, checksum-clean record, in record order.
+    rows: Vec<Vec<f64>>,
+    /// Length of the valid record prefix within the region (== the
+    /// region length when the region was intact).
+    valid_len: usize,
+    /// Whether a torn or corrupt final record was dropped.
+    recovered: bool,
+}
+
+/// How one delta record failed to parse, by crash plausibility.
+enum RecordFailure {
+    /// Failed at or before checksum verification — the shape of damage an
+    /// interrupted append inflicts. Recoverable iff it is the tail.
+    Torn(PersistError),
+    /// Failed *after* the checksum verified: the payload holds exactly
+    /// what the writer encoded, so this is an encoder/decoder defect (or
+    /// deliberate tampering), never crash damage. Always a hard error.
+    Hard(PersistError),
+}
+
+/// Parses one delta record at the start of `rest`; returns its rows and
+/// the bytes consumed.
+fn parse_one_record(rest: &[u8]) -> Result<(Vec<Vec<f64>>, usize), RecordFailure> {
+    let mut r = Reader::new(rest);
+    if r.bytes(8, "delta magic").map_err(RecordFailure::Torn)? != DELTA_MAGIC {
+        return Err(RecordFailure::Torn(PersistError::Corrupt(
+            "bytes after the base snapshot are not a delta record".into(),
+        )));
     }
-    Ok(rows)
+    let len = r.len("delta payload length").map_err(RecordFailure::Torn)?;
+    let payload = r.bytes(len, "delta payload").map_err(RecordFailure::Torn)?;
+    let expected = r.u64("delta checksum").map_err(RecordFailure::Torn)?;
+    let found = fnv1a64(payload);
+    if expected != found {
+        return Err(RecordFailure::Torn(PersistError::ChecksumMismatch {
+            expected,
+            found,
+        }));
+    }
+    let mut pr = Reader::new(payload);
+    let n = pr.len("delta row count").map_err(RecordFailure::Hard)?;
+    let mut rows = Vec::new();
+    for _ in 0..n {
+        rows.push(pr.f64s("delta row").map_err(RecordFailure::Hard)?);
+    }
+    pr.expect_exhausted().map_err(RecordFailure::Hard)?;
+    Ok((rows, rest.len() - r.remaining()))
+}
+
+/// Is there a complete, checksum-clean record anywhere at or after
+/// `from`? This is the interior-vs-tail classifier: valid data after the
+/// damage means interior corruption (refuse), nothing but damaged bytes
+/// means a torn tail (recover). Misclassification is fail-safe — payload
+/// bytes that happen to spell a valid record can only turn recovery into
+/// refusal, never silently drop interior data.
+fn has_valid_record_after(region: &[u8], from: usize) -> bool {
+    let mut i = from;
+    while i + 8 <= region.len() {
+        if region[i..i + 8] == DELTA_MAGIC && record_is_complete(&region[i..]) {
+            return true;
+        }
+        i += 1;
+    }
+    false
+}
+
+/// Whether `bytes` opens with a complete record: magic, in-bounds
+/// length, and a payload matching its checksum.
+fn record_is_complete(bytes: &[u8]) -> bool {
+    let mut r = Reader::new(bytes);
+    match r.bytes(8, "delta magic") {
+        Ok(m) if m == DELTA_MAGIC => {}
+        _ => return false,
+    }
+    let Ok(len) = r.len("delta payload length") else {
+        return false;
+    };
+    let Ok(payload) = r.bytes(len, "delta payload") else {
+        return false;
+    };
+    let Ok(expected) = r.u64("delta checksum") else {
+        return false;
+    };
+    expected == fnv1a64(payload)
+}
+
+/// Parses the delta region (everything after the base container) into
+/// the absorbed rows, in record order. Empty input means no deltas. A
+/// torn or corrupt **final** record is dropped ([`DeltaRegion::recovered`]);
+/// damage followed by a complete valid record is interior corruption and
+/// stays a typed error (see the module docs).
+fn parse_delta_rows(region: &[u8]) -> Result<DeltaRegion, PersistError> {
+    let mut rows = Vec::new();
+    let mut offset = 0;
+    while offset < region.len() {
+        match parse_one_record(&region[offset..]) {
+            Ok((record_rows, consumed)) => {
+                rows.extend(record_rows);
+                offset += consumed;
+            }
+            Err(RecordFailure::Torn(err)) => {
+                if has_valid_record_after(region, offset + 1) {
+                    return Err(err);
+                }
+                return Ok(DeltaRegion {
+                    rows,
+                    valid_len: offset,
+                    recovered: true,
+                });
+            }
+            Err(RecordFailure::Hard(err)) => return Err(err),
+        }
+    }
+    Ok(DeltaRegion {
+        rows,
+        valid_len: region.len(),
+        recovered: false,
+    })
 }
 
 /// Deserializes a snapshot back into a serving model, replaying any delta
@@ -425,7 +657,8 @@ pub fn load_from_slice_with_info(
 ) -> Result<(Box<dyn FittedImputer>, SnapshotInfo), PersistError> {
     let mut header = parse_header(bytes)?;
     let (payload, base_end) = checked_payload(bytes, &header)?;
-    let delta_rows = parse_delta_rows(&bytes[base_end..])?;
+    let region = parse_delta_rows(&bytes[base_end..])?;
+    let delta_rows = region.rows;
     let mut fitted = if header.info.version >= 3 {
         crate::codec::decode_fitted_view(payload)?
     } else {
@@ -451,6 +684,9 @@ pub fn load_from_slice_with_info(
             .map_err(|e| PersistError::Corrupt(format!("delta row {i} failed to replay: {e}")))?;
     }
     header.info.absorbed_rows = delta_rows.len();
+    header.info.recovered_at = region
+        .recovered
+        .then_some((base_end + region.valid_len) as u64);
     Ok((fitted, header.info))
 }
 

@@ -34,6 +34,15 @@
 //! model's final checkpoint flush, before the first request against the
 //! new model — so the snapshot on disk and the live model can never
 //! disagree about which version absorbed a tuple.
+//!
+//! **Bounded admission**: the queue holds at most
+//! [`Batcher::max_queue`] jobs. A submit against a full queue returns
+//! [`SubmitRejected::Overloaded`] immediately instead of queueing —
+//! the daemon turns that into a fast `503` + `Retry-After`, which
+//! under sustained overload is strictly better than an unbounded
+//! backlog whose every entry times out. Swap jobs bypass the cap: they
+//! are one-off control-plane operations, and rejecting them under the
+//! very load they are meant to relieve would be self-defeating.
 
 use iim_data::{FittedImputer, ImputeError, RowOpt};
 use iim_exec::Pool;
@@ -51,6 +60,24 @@ pub type QueryRow = Vec<Option<f64>>;
 /// letting stragglers join the coalesced batch instead of paying their own
 /// flush. A single-job wake (the interactive latency path) never lingers.
 pub const COALESCE_WINDOW: Duration = Duration::from_micros(50);
+
+/// Default cap on queued jobs (see [`Batcher::set_max_queue`]). Each
+/// entry is one request's worth of rows; at serving throughput a backlog
+/// this deep already means seconds of latency, so deeper queues only
+/// convert overload into timeouts.
+pub const DEFAULT_MAX_QUEUE: usize = 1024;
+
+/// Why a submit was refused without enqueueing anything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitRejected {
+    /// The batcher is shutting down (or its thread died); no future
+    /// submit will succeed.
+    Shutdown,
+    /// The job queue is at [`Batcher::max_queue`]; the caller should
+    /// shed the request (`503` + `Retry-After`) and let the client
+    /// retry.
+    Overloaded,
+}
 
 /// A request's query rows in one flat buffer: `rows × arity` cells in row
 /// order, no per-row allocation. The daemon's CSV parser appends cells
@@ -151,6 +178,12 @@ pub struct CheckpointConfig {
     /// Flush after this many absorbed tuples (`1` = every learn job).
     /// Remaining buffered tuples flush once more at shutdown.
     pub every: usize,
+    /// When the snapshot loaded with a torn tail
+    /// ([`iim_persist::SnapshotInfo::recovered_at`]), the valid-prefix
+    /// length to truncate the file back to before the first append —
+    /// otherwise the next delta record would land after the damage and
+    /// harden it into an unrecoverable interior error.
+    pub truncate_to: Option<u64>,
 }
 
 /// Outcome of a swap job: the new model's absorbed-tuple count, or why
@@ -198,6 +231,8 @@ struct Queue {
 struct Shared {
     queue: Mutex<Queue>,
     available: Condvar,
+    /// Queue cap (see [`Batcher::set_max_queue`]); `0` = unbounded.
+    max_queue: AtomicUsize,
 }
 
 /// Locks the queue, recovering from poisoning: the batcher thread's
@@ -251,6 +286,7 @@ impl Batcher {
         let shared = Arc::new(Shared {
             queue: Mutex::new(Queue::default()),
             available: Condvar::new(),
+            max_queue: AtomicUsize::new(DEFAULT_MAX_QUEUE),
         });
         let absorbed = Arc::new(AtomicUsize::new(model.absorbed()));
         let meta = Arc::new(Mutex::new(Meta {
@@ -303,16 +339,35 @@ impl Batcher {
         self.absorbed.load(Ordering::SeqCst)
     }
 
-    fn submit(&self, job: Job) -> bool {
+    /// The queue cap: submits beyond this many queued jobs are refused
+    /// with [`SubmitRejected::Overloaded`]. `0` = unbounded.
+    pub fn max_queue(&self) -> usize {
+        self.shared.max_queue.load(Ordering::SeqCst)
+    }
+
+    /// Sets the queue cap (`0` = unbounded). Defaults to
+    /// [`DEFAULT_MAX_QUEUE`].
+    pub fn set_max_queue(&self, cap: usize) {
+        self.shared.max_queue.store(cap, Ordering::SeqCst);
+    }
+
+    fn submit(&self, job: Job) -> Result<(), SubmitRejected> {
+        // Swap is control-plane: it bypasses the overload cap (rejecting
+        // the operation meant to relieve load would be self-defeating).
+        let data_plane = !matches!(job, Job::Swap { .. });
         {
             let mut queue = lock_queue(&self.shared);
             if queue.shutdown {
-                return false;
+                return Err(SubmitRejected::Shutdown);
+            }
+            let cap = self.shared.max_queue.load(Ordering::SeqCst);
+            if data_plane && cap > 0 && queue.jobs.len() >= cap {
+                return Err(SubmitRejected::Overloaded);
             }
             queue.jobs.push_back(job);
         }
         self.shared.available.notify_one();
-        true
+        Ok(())
     }
 
     /// Enqueues `rows` without blocking; the receiver yields their
@@ -320,58 +375,76 @@ impl Batcher {
     /// receives outside it, so one tenant's slow batch never stalls
     /// another tenant's requests.
     ///
-    /// Returns `None` only when the batcher is shutting down. Once
-    /// enqueued, the job is always answered — even through shutdown, the
-    /// batcher drains its queue before exiting.
-    pub fn submit_impute(&self, rows: Vec<QueryRow>) -> Option<mpsc::Receiver<Vec<RowResult>>> {
+    /// Fails only when the batcher is shutting down or the queue is at
+    /// its cap. Once enqueued, the job is always answered — even through
+    /// shutdown, the batcher drains its queue before exiting.
+    pub fn submit_impute(
+        &self,
+        rows: Vec<QueryRow>,
+    ) -> Result<mpsc::Receiver<Vec<RowResult>>, SubmitRejected> {
         let (tx, rx) = mpsc::channel();
         self.submit(Job::Impute {
             rows: ImputeRows::List(rows),
             reply: tx,
         })
-        .then_some(rx)
+        .map(|()| rx)
     }
 
     /// [`Batcher::submit_impute`] for a flat [`QueryBlock`] — the daemon's
     /// wire path. Same contract; answers are bitwise those of the
     /// equivalent per-row submission.
-    pub fn submit_impute_block(&self, rows: QueryBlock) -> Option<mpsc::Receiver<Vec<RowResult>>> {
+    pub fn submit_impute_block(
+        &self,
+        rows: QueryBlock,
+    ) -> Result<mpsc::Receiver<Vec<RowResult>>, SubmitRejected> {
         let (tx, rx) = mpsc::channel();
         self.submit(Job::Impute {
             rows: ImputeRows::Block(rows),
             reply: tx,
         })
-        .then_some(rx)
+        .map(|()| rx)
     }
 
     /// Non-blocking variant of [`Batcher::learn`]; same contract as
     /// [`Batcher::submit_impute`].
-    pub fn submit_learn(&self, rows: Vec<Vec<f64>>) -> Option<mpsc::Receiver<LearnReply>> {
+    pub fn submit_learn(
+        &self,
+        rows: Vec<Vec<f64>>,
+    ) -> Result<mpsc::Receiver<LearnReply>, SubmitRejected> {
         let (tx, rx) = mpsc::channel();
-        self.submit(Job::Learn { rows, reply: tx }).then_some(rx)
+        self.submit(Job::Learn { rows, reply: tx }).map(|()| rx)
     }
 
     /// Enqueues `rows` and blocks until their results arrive, in order.
     ///
-    /// Returns `None` only when the batcher is shutting down.
-    pub fn impute(&self, rows: Vec<QueryRow>) -> Option<Vec<RowResult>> {
-        self.submit_impute(rows)?.recv().ok()
+    /// Fails only when the batcher is shutting down or the queue is at
+    /// its cap ([`SubmitRejected`]).
+    pub fn impute(&self, rows: Vec<QueryRow>) -> Result<Vec<RowResult>, SubmitRejected> {
+        self.submit_impute(rows)?
+            .recv()
+            .map_err(|_| SubmitRejected::Shutdown)
     }
 
     /// Blocking [`Batcher::submit_impute_block`].
     ///
-    /// Returns `None` only when the batcher is shutting down.
-    pub fn impute_block(&self, rows: QueryBlock) -> Option<Vec<RowResult>> {
-        self.submit_impute_block(rows)?.recv().ok()
+    /// Fails only when the batcher is shutting down or the queue is at
+    /// its cap ([`SubmitRejected`]).
+    pub fn impute_block(&self, rows: QueryBlock) -> Result<Vec<RowResult>, SubmitRejected> {
+        self.submit_impute_block(rows)?
+            .recv()
+            .map_err(|_| SubmitRejected::Shutdown)
     }
 
     /// Enqueues complete tuples for absorption and blocks until the model
     /// has applied them (in row order, serialized against every other
     /// job).
     ///
-    /// Returns `None` only when the batcher is shutting down.
-    pub fn learn(&self, rows: Vec<Vec<f64>>) -> Option<LearnReply> {
-        self.submit_learn(rows)?.recv().ok()
+    /// Fails only when the batcher is shutting down or the queue is at
+    /// its cap ([`SubmitRejected`]).
+    pub fn learn(&self, rows: Vec<Vec<f64>>) -> Result<LearnReply, SubmitRejected> {
+        self.submit_learn(rows)?
+            .recv()
+            .map_err(|_| SubmitRejected::Shutdown)
     }
 
     /// Atomically replaces the served model (and optionally its snapshot
@@ -380,28 +453,30 @@ impl Batcher {
     /// answered by the old model, every request enqueued after it returns
     /// by the new one, and no response mixes the two.
     ///
-    /// With `staged = Some((tmp, dst))`, `tmp` is renamed over `dst`
-    /// inside the barrier — after the outgoing model's last checkpoint
-    /// flush — so delta records always land in the file of the model that
-    /// absorbed them. A rename failure aborts the swap (`Err` with the OS
-    /// error; the old model, file, and checkpoint stay in service).
+    /// With `staged = Some((tmp, dst))`, `tmp` is durably renamed over
+    /// `dst` inside the barrier — after the outgoing model's last
+    /// checkpoint flush, with a parent-directory fsync so the publish
+    /// survives power loss — so delta records always land in the file of
+    /// the model that absorbed them. A rename failure aborts the swap
+    /// (`Err` with the OS error; the old model, file, and checkpoint
+    /// stay in service).
     ///
-    /// Returns `None` only when the batcher is shutting down.
+    /// Fails only when the batcher is shutting down — swaps are
+    /// control-plane jobs and bypass the queue cap.
     pub fn swap(
         &self,
         model: Box<dyn FittedImputer>,
         staged: Option<(PathBuf, PathBuf)>,
         checkpoint: Option<CheckpointConfig>,
-    ) -> Option<SwapReply> {
+    ) -> Result<SwapReply, SubmitRejected> {
         let (tx, rx) = mpsc::channel();
         self.submit(Job::Swap {
             model,
             staged,
             checkpoint,
             reply: tx,
-        })
-        .then(|| rx.recv().ok())
-        .flatten()
+        })?;
+        rx.recv().map_err(|_| SubmitRejected::Shutdown)
     }
 
     /// Signals the batcher thread to exit once the queue drains.
@@ -465,9 +540,29 @@ impl CheckpointState {
     /// An append failure keeps the rows buffered (retried on the next
     /// flush) — the live model is already ahead of the disk either way,
     /// and dropping the in-memory copy would make the gap permanent.
+    ///
+    /// When the snapshot loaded with a torn tail
+    /// ([`CheckpointConfig::truncate_to`]), the first flush truncates
+    /// the file back to the valid boundary before appending; appending
+    /// after the damage instead would harden the recoverable tail into
+    /// an unrecoverable interior error.
     fn flush(&mut self) {
         if self.pending.is_empty() {
             return;
+        }
+        if let Some(len) = self.cfg.truncate_to {
+            match iim_persist::truncate_deltas_path(&self.cfg.path, len) {
+                Ok(()) => self.cfg.truncate_to = None,
+                Err(e) => {
+                    eprintln!(
+                        "iim-serve: torn-tail repair of {} (truncate to {len}) failed ({e}); \
+                         {} tuples still buffered",
+                        self.cfg.path.display(),
+                        self.pending.len()
+                    );
+                    return;
+                }
+            }
         }
         match iim_persist::append_delta_path(&self.cfg.path, &self.pending) {
             Ok(()) => self.pending.clear(),
@@ -585,7 +680,7 @@ fn batcher_loop(
                         cp.flush();
                     }
                     if let Some((tmp, dst)) = staged {
-                        if let Err(e) = std::fs::rename(&tmp, &dst) {
+                        if let Err(e) = iim_persist::rename_durable(&tmp, &dst) {
                             // Abort: old model, file, and checkpoint stay
                             // in service; the caller sees why.
                             let _ = reply.send(Err(format!(
@@ -757,6 +852,7 @@ mod tests {
             Some(CheckpointConfig {
                 path: path.clone(),
                 every: 1,
+                truncate_to: None,
             }),
         )
         .unwrap();
@@ -789,9 +885,15 @@ mod tests {
         }
         let batcher = Batcher::start(Box::new(Panicker), 1, None).unwrap();
         // The panicking batch itself and every later request must resolve
-        // (to None → a 503 upstream), never hang.
-        assert!(batcher.impute(vec![vec![None]]).is_none());
-        assert!(batcher.impute(vec![vec![None]]).is_none());
+        // (to an error → a 503 upstream), never hang.
+        assert_eq!(
+            batcher.impute(vec![vec![None]]),
+            Err(SubmitRejected::Shutdown)
+        );
+        assert_eq!(
+            batcher.impute(vec![vec![None]]),
+            Err(SubmitRejected::Shutdown)
+        );
     }
 
     #[test]
@@ -806,7 +908,7 @@ mod tests {
         next.absorb(&[4.6, 2.0]).unwrap();
         next.absorb(&[5.4, 1.5]).unwrap();
         let expected = next.impute_one(&q[0]).unwrap();
-        assert_eq!(batcher.swap(next, None, None), Some(Ok(2)));
+        assert_eq!(batcher.swap(next, None, None), Ok(Ok(2)));
         assert_eq!(batcher.absorbed(), 2);
         assert_eq!(batcher.model_name(), "IIM");
 
@@ -857,7 +959,52 @@ mod tests {
     fn shutdown_refuses_new_work() {
         let batcher = start(1);
         batcher.shutdown();
-        assert!(batcher.impute(vec![vec![Some(1.0), None]]).is_none());
-        assert!(batcher.learn(vec![vec![1.0, 2.0]]).is_none());
+        assert_eq!(
+            batcher.impute(vec![vec![Some(1.0), None]]),
+            Err(SubmitRejected::Shutdown)
+        );
+        assert_eq!(
+            batcher.learn(vec![vec![1.0, 2.0]]),
+            Err(SubmitRejected::Shutdown)
+        );
+    }
+
+    #[test]
+    fn a_full_queue_sheds_instead_of_growing() {
+        // Cap the queue at 1 while the batcher is wedged behind a slow
+        // job; the second and third submits must be refused immediately
+        // with Overloaded, not queued.
+        struct Slow;
+        impl FittedImputer for Slow {
+            fn name(&self) -> &str {
+                "Slow"
+            }
+            fn arity(&self) -> usize {
+                1
+            }
+            fn impute_one(&self, _row: &iim_data::RowOpt) -> RowResult {
+                std::thread::sleep(Duration::from_millis(200));
+                Ok(vec![0.0])
+            }
+        }
+        let batcher = Batcher::start(Box::new(Slow), 1, None).unwrap();
+        assert_eq!(batcher.max_queue(), DEFAULT_MAX_QUEUE);
+        batcher.set_max_queue(1);
+        // First job occupies the batcher; give it time to be drained off
+        // the queue, then fill the single queue slot.
+        let first = batcher.submit_impute(vec![vec![None]]).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        let second = batcher.submit_impute(vec![vec![None]]).unwrap();
+        assert_eq!(
+            batcher.submit_impute(vec![vec![None]]).map(|_| ()),
+            Err(SubmitRejected::Overloaded)
+        );
+        assert_eq!(
+            batcher.learn(vec![vec![1.0]]).map(|_| ()),
+            Err(SubmitRejected::Overloaded)
+        );
+        // Everything actually enqueued is still answered.
+        assert_eq!(first.recv().unwrap().len(), 1);
+        assert_eq!(second.recv().unwrap().len(), 1);
     }
 }

@@ -71,7 +71,9 @@ pub mod registry;
 pub mod server;
 pub mod shutdown;
 
-pub use batch::{Batcher, CheckpointConfig, LearnReply, QueryBlock, SwapReply};
+pub use batch::{
+    Batcher, CheckpointConfig, LearnReply, QueryBlock, SubmitRejected, SwapReply, DEFAULT_MAX_QUEUE,
+};
 pub use registry::{ModelInfo, Registry, RegistryConfig, RegistryError, StageOutcome};
 pub use server::{ServeConfig, Server, ServerHandle};
 
@@ -532,6 +534,7 @@ mod tests {
             dir: dir.clone(),
             max_resident,
             threads: 2,
+            ..Default::default()
         })
         .unwrap();
         let server = Server::bind_registry(

@@ -33,10 +33,14 @@
 //! and learns enqueue under the lock and block on their reply outside it,
 //! so tenants never serialize behind each other's batches.
 
-use crate::batch::{Batcher, CheckpointConfig, LearnReply, QueryBlock, QueryRow, RowResult};
+use crate::batch::{
+    Batcher, CheckpointConfig, LearnReply, QueryBlock, QueryRow, RowResult, SubmitRejected,
+    DEFAULT_MAX_QUEUE,
+};
 use iim_persist::PersistError;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Registry configuration.
@@ -49,6 +53,10 @@ pub struct RegistryConfig {
     pub max_resident: usize,
     /// Worker threads per tenant pool (`0` = the shared process default).
     pub threads: usize,
+    /// Per-tenant micro-batch queue cap ([`Batcher::set_max_queue`]):
+    /// submits beyond it are shed as [`RegistryError::Overloaded`].
+    /// `0` = unbounded. Default [`DEFAULT_MAX_QUEUE`].
+    pub max_queue: usize,
 }
 
 impl Default for RegistryConfig {
@@ -57,6 +65,7 @@ impl Default for RegistryConfig {
             dir: PathBuf::from("models"),
             max_resident: 4,
             threads: 0,
+            max_queue: DEFAULT_MAX_QUEUE,
         }
     }
 }
@@ -84,6 +93,9 @@ pub enum RegistryError {
     },
     /// The tenant's batcher is gone (panicked model or shutdown).
     Unavailable,
+    /// The tenant's micro-batch queue is at its cap; the request was shed
+    /// without running. Retrying is always safe.
+    Overloaded,
     /// A staged swap could not be applied; the old model keeps serving.
     StageFailed(String),
 }
@@ -102,6 +114,7 @@ impl std::fmt::Display for RegistryError {
                 "query header {query:?} does not match the model's schema {model:?}"
             ),
             RegistryError::Unavailable => write!(f, "model backend unavailable"),
+            RegistryError::Overloaded => write!(f, "model queue full; retry shortly"),
             RegistryError::StageFailed(why) => write!(f, "stage failed: {why}"),
         }
     }
@@ -110,6 +123,24 @@ impl std::fmt::Display for RegistryError {
 impl From<std::io::Error> for RegistryError {
     fn from(e: std::io::Error) -> Self {
         RegistryError::Io(e)
+    }
+}
+
+impl From<SubmitRejected> for RegistryError {
+    fn from(e: SubmitRejected) -> Self {
+        match e {
+            SubmitRejected::Overloaded => RegistryError::Overloaded,
+            SubmitRejected::Shutdown => RegistryError::Unavailable,
+        }
+    }
+}
+
+/// A [`PersistError`] raised while writing registry files is filesystem
+/// trouble, not a bad snapshot.
+fn persist_io(e: PersistError) -> RegistryError {
+    match e {
+        PersistError::Io(io) => RegistryError::Io(io),
+        other => RegistryError::Load(other),
     }
 }
 
@@ -163,6 +194,10 @@ pub struct Registry {
     dir: PathBuf,
     max_resident: usize,
     threads: usize,
+    max_queue: usize,
+    /// Torn-tail snapshot recoveries observed across activations (the
+    /// daemon folds this into `GET /info`'s `"recovered"`).
+    recovered: AtomicUsize,
     inner: Mutex<Inner>,
 }
 
@@ -190,6 +225,8 @@ impl Registry {
             dir: cfg.dir,
             max_resident: cfg.max_resident.max(1),
             threads: cfg.threads,
+            max_queue: cfg.max_queue,
+            recovered: AtomicUsize::new(0),
             inner: Mutex::new(Inner {
                 resident: HashMap::new(),
                 clock: 0,
@@ -205,6 +242,13 @@ impl Registry {
     /// The resident cap.
     pub fn max_resident(&self) -> usize {
         self.max_resident
+    }
+
+    /// Torn-tail snapshot recoveries observed while activating models
+    /// (each one means a crash left a truncated delta tail that loading
+    /// dropped and the next checkpoint repaired).
+    pub fn recovered(&self) -> usize {
+        self.recovered.load(Ordering::Relaxed)
     }
 
     fn path_for(&self, name: &str) -> Result<PathBuf, RegistryError> {
@@ -293,16 +337,24 @@ impl Registry {
                 let bytes = read_model(&path, name)?;
                 let (model, info) =
                     iim_persist::load_from_slice_with_info(&bytes).map_err(RegistryError::Load)?;
+                if info.recovered_at.is_some() {
+                    self.recovered.fetch_add(1, Ordering::Relaxed);
+                }
                 let batcher = Batcher::start(
                     model,
                     self.threads,
                     // every = 1: each absorbed tuple hits disk inside the
-                    // learn barrier, making eviction lossless.
+                    // learn barrier, making eviction lossless. A torn tail
+                    // the load recovered past is truncated away before the
+                    // next delta lands, so damage never precedes a valid
+                    // record.
                     Some(CheckpointConfig {
                         path: path.clone(),
                         every: 1,
+                        truncate_to: info.recovered_at,
                     }),
                 )?;
+                batcher.set_max_queue(self.max_queue);
                 inner.resident.insert(
                     name.to_string(),
                     Tenant {
@@ -363,9 +415,7 @@ impl Registry {
     ) -> Result<Vec<RowResult>, RegistryError> {
         let rx = self.with_tenant(name, |t| {
             Self::check_schema(&t.schema, header)?;
-            t.batcher
-                .submit_impute(rows)
-                .ok_or(RegistryError::Unavailable)
+            t.batcher.submit_impute(rows).map_err(RegistryError::from)
         })??;
         rx.recv().map_err(|_| RegistryError::Unavailable)
     }
@@ -382,7 +432,7 @@ impl Registry {
             Self::check_schema(&t.schema, header)?;
             t.batcher
                 .submit_impute_block(rows)
-                .ok_or(RegistryError::Unavailable)
+                .map_err(RegistryError::from)
         })??;
         rx.recv().map_err(|_| RegistryError::Unavailable)
     }
@@ -398,9 +448,7 @@ impl Registry {
     ) -> Result<LearnReply, RegistryError> {
         let rx = self.with_tenant(name, |t| {
             Self::check_schema(&t.schema, header)?;
-            t.batcher
-                .submit_learn(rows)
-                .ok_or(RegistryError::Unavailable)
+            t.batcher.submit_learn(rows).map_err(RegistryError::from)
         })??;
         rx.recv().map_err(|_| RegistryError::Unavailable)
     }
@@ -417,7 +465,10 @@ impl Registry {
             iim_persist::load_from_slice_with_info(bytes).map_err(RegistryError::Load)?;
         let method = model.name().to_string();
         let tmp = self.dir.join(format!(".{name}.iim.tmp"));
-        std::fs::write(&tmp, bytes)?;
+        // Durable staging: the temp file is fsynced before any rename can
+        // publish it, so a crash never leaves a half-written snapshot
+        // under the model's name.
+        iim_persist::write_file_durable(&tmp, bytes).map_err(persist_io)?;
 
         let mut inner = lock_inner(&self.inner);
         let swapped = match inner.resident.get_mut(name) {
@@ -428,27 +479,28 @@ impl Registry {
                     Some(CheckpointConfig {
                         path: dst.clone(),
                         every: 1,
+                        truncate_to: None,
                     }),
                 );
                 match outcome {
-                    Some(Ok(_)) => {
+                    Ok(Ok(_)) => {
                         let info = iim_persist::inspect(bytes).map_err(RegistryError::Load)?;
                         tenant.schema = info.schema.into();
                         tenant.version = info.version;
                         true
                     }
-                    Some(Err(why)) => {
+                    Ok(Err(why)) => {
                         std::fs::remove_file(&tmp).ok();
                         return Err(RegistryError::StageFailed(why));
                     }
-                    None => {
+                    Err(_) => {
                         std::fs::remove_file(&tmp).ok();
                         return Err(RegistryError::Unavailable);
                     }
                 }
             }
             None => {
-                std::fs::rename(&tmp, &dst)?;
+                iim_persist::rename_durable(&tmp, &dst).map_err(persist_io)?;
                 false
             }
         };
@@ -539,6 +591,7 @@ mod tests {
             dir,
             max_resident,
             threads: 1,
+            ..Default::default()
         })
         .unwrap()
     }

@@ -39,8 +39,9 @@
 //! connection thread loops over [`crate::http::RequestReader`], serving
 //! requests in order — pipelined requests included — until the client
 //! sends `Connection: close`, speaks HTTP/1.0 without
-//! `Connection: keep-alive`, closes its end, or idles past the 60 s read
-//! timeout. An interactive client that holds its connection open pays the
+//! `Connection: keep-alive`, closes its end, or idles past the read
+//! timeout ([`ServeConfig::read_timeout`], 60 s by default). An
+//! interactive client that holds its connection open pays the
 //! TCP + thread-spawn setup once, not per query — that setup dominated
 //! the single-tuple latency floor when every request opened a fresh
 //! connection. `GET /info` reports the number of connections accepted
@@ -65,8 +66,30 @@
 //! bitwise those of the pre-swap or the post-swap model, never a mixture —
 //! and no request is dropped by a swap, an eviction, or a graceful
 //! shutdown (see [`crate::registry`] and [`crate::shutdown`]).
+//!
+//! # Overload protection
+//!
+//! Degradation is deliberate, fast, and visible rather than emergent:
+//!
+//! - **Connection cap** ([`ServeConfig::max_connections`]): an accept
+//!   beyond the cap is answered with a canned `503` + `Retry-After: 1`
+//!   and closed on the accept thread — no connection thread is spawned,
+//!   so saturating the daemon with connections costs it almost nothing.
+//! - **Bounded queue** ([`ServeConfig::max_queue`]): a request that
+//!   would push the micro-batch queue past its cap is shed with `503` +
+//!   `Retry-After: 1` instead of queueing unboundedly (see
+//!   [`crate::batch::SubmitRejected`]).
+//! - **Write timeouts** ([`ServeConfig::write_timeout`]): a peer that
+//!   stops draining its socket fails the response write instead of
+//!   pinning the connection thread forever, and the connection is
+//!   evicted.
+//! - Every degradation increments a counter surfaced by `GET /info`
+//!   (`"shed"`, `"evicted"`, `"recovered"`), so operators can see load
+//!   shedding and crash recovery happening instead of inferring them
+//!   from tail latencies. Shedding never corrupts an answer: a request
+//!   is either refused up front or served bitwise-correctly.
 
-use crate::batch::{Batcher, CheckpointConfig, QueryBlock};
+use crate::batch::{Batcher, CheckpointConfig, QueryBlock, SubmitRejected, DEFAULT_MAX_QUEUE};
 use crate::http::{write_response, HttpError, Request, RequestReader};
 use crate::registry::{Registry, RegistryError};
 use iim_data::csv;
@@ -78,8 +101,8 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-/// Daemon configuration (single-model mode; registry mode only reads
-/// `addr` and `threads`).
+/// Daemon configuration (single-model mode; registry mode reads `addr`,
+/// `threads`, and the overload/timeout knobs).
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Bind address, e.g. `127.0.0.1:7878` (port `0` picks an ephemeral
@@ -100,6 +123,27 @@ pub struct ServeConfig {
     /// version the served model was loaded from; models fitted in-process
     /// report the current write version).
     pub snapshot_version: u16,
+    /// Open-connection cap, enforced at accept: a connection beyond the
+    /// cap gets a canned `503` + `Retry-After` and is closed without
+    /// spawning a thread. `0` = unlimited (the default).
+    pub max_connections: usize,
+    /// Per-connection socket read timeout: an idle keep-alive connection
+    /// past it closes cleanly between requests. `0` disables. Default
+    /// 60 s.
+    pub read_timeout: Duration,
+    /// Per-connection socket write timeout: a peer that stops draining
+    /// its socket fails the response write and is evicted instead of
+    /// pinning the connection thread. `0` disables. Default 60 s.
+    pub write_timeout: Duration,
+    /// Micro-batch queue cap ([`Batcher::set_max_queue`]): submits
+    /// beyond it are shed with `503` + `Retry-After`. `0` = unbounded.
+    /// Default [`DEFAULT_MAX_QUEUE`].
+    pub max_queue: usize,
+    /// Torn-tail recoveries observed while loading the served snapshot
+    /// (0 or 1; see `iim_persist::SnapshotInfo::recovered_at`), seeded
+    /// into the `/info` `"recovered"` counter so operators see that a
+    /// crash was survived.
+    pub recovered: usize,
 }
 
 impl Default for ServeConfig {
@@ -110,8 +154,57 @@ impl Default for ServeConfig {
             schema: Vec::new(),
             checkpoint: None,
             snapshot_version: iim_persist::FORMAT_VERSION,
+            max_connections: 0,
+            read_timeout: Duration::from_secs(60),
+            write_timeout: Duration::from_secs(60),
+            max_queue: DEFAULT_MAX_QUEUE,
+            recovered: 0,
         }
     }
+}
+
+/// Operational state shared by the accept loop and every connection
+/// thread: the degradation counters surfaced by `GET /info`, plus the
+/// limits they enforce.
+struct Ops {
+    /// Connections accepted and admitted since startup.
+    accepted: AtomicUsize,
+    /// Currently open connections (the accept-time cap's gauge).
+    active: AtomicUsize,
+    /// Connections and requests shed with a fast `503` + `Retry-After`
+    /// (accept-time cap plus queue-cap rejections).
+    shed: AtomicUsize,
+    /// Connections evicted because a response write failed or timed out.
+    evicted: AtomicUsize,
+    /// Torn-tail snapshot recoveries observed (startup load plus, in
+    /// registry mode, lazy activations).
+    recovered: AtomicUsize,
+    max_connections: usize,
+    max_queue: usize,
+    read_timeout: Duration,
+    write_timeout: Duration,
+}
+
+impl Ops {
+    fn new(cfg: &ServeConfig) -> Arc<Self> {
+        Arc::new(Self {
+            accepted: AtomicUsize::new(0),
+            active: AtomicUsize::new(0),
+            shed: AtomicUsize::new(0),
+            evicted: AtomicUsize::new(0),
+            recovered: AtomicUsize::new(cfg.recovered),
+            max_connections: cfg.max_connections,
+            max_queue: cfg.max_queue,
+            read_timeout: cfg.read_timeout,
+            write_timeout: cfg.write_timeout,
+        })
+    }
+}
+
+/// `Duration` → socket-timeout option: zero means "no timeout" (passing
+/// a zero `Duration` to the socket setters is an error).
+fn timeout_opt(d: Duration) -> Option<Duration> {
+    (!d.is_zero()).then_some(d)
 }
 
 /// What the accept loop routes requests onto.
@@ -130,7 +223,7 @@ pub struct Server {
     backend: Arc<Backend>,
     threads: usize,
     stop: Arc<AtomicBool>,
-    connections: Arc<AtomicUsize>,
+    ops: Arc<Ops>,
 }
 
 /// Handle to a daemon running on a background thread (tests, benches,
@@ -165,6 +258,7 @@ impl Server {
     pub fn bind(model: Box<dyn FittedImputer>, cfg: &ServeConfig) -> std::io::Result<Self> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let batcher = Arc::new(Batcher::start(model, cfg.threads, cfg.checkpoint.clone())?);
+        batcher.set_max_queue(cfg.max_queue);
         Ok(Self {
             listener,
             backend: Arc::new(Backend::Single {
@@ -174,7 +268,7 @@ impl Server {
             }),
             threads: cfg.threads,
             stop: Arc::new(AtomicBool::new(false)),
-            connections: Arc::new(AtomicUsize::new(0)),
+            ops: Ops::new(cfg),
         })
     }
 
@@ -188,7 +282,7 @@ impl Server {
             backend: Arc::new(Backend::Registry(registry)),
             threads: cfg.threads,
             stop: Arc::new(AtomicBool::new(false)),
-            connections: Arc::new(AtomicUsize::new(0)),
+            ops: Ops::new(cfg),
         })
     }
 
@@ -240,16 +334,44 @@ impl Server {
                 break;
             }
             let Ok(stream) = stream else { continue };
-            self.connections.fetch_add(1, Ordering::Relaxed);
+            if iim_faults::check("serve.accept.err").is_some() {
+                // Injected accept failure: the accepted connection dies
+                // before a thread touches it, as a handshake error would.
+                drop(stream);
+                continue;
+            }
+            if self.ops.max_connections > 0
+                && self.ops.active.load(Ordering::SeqCst) >= self.ops.max_connections
+            {
+                shed_connection(stream, &self.ops);
+                continue;
+            }
+            self.ops.accepted.fetch_add(1, Ordering::Relaxed);
+            self.ops.active.fetch_add(1, Ordering::SeqCst);
             let backend = Arc::clone(&self.backend);
-            let connections = Arc::clone(&self.connections);
+            let ops = Arc::clone(&self.ops);
             let threads = self.threads;
             // Thread-per-connection: with keep-alive, one thread serves a
             // client's whole request stream; the heavy lifting happens on
             // the shared pool, so this stays cheap and simple.
-            let _ = std::thread::Builder::new()
+            let spawned = std::thread::Builder::new()
                 .name("iim-serve-conn".into())
-                .spawn(move || handle_connection(stream, backend, threads, connections));
+                .spawn(move || {
+                    // Decrement on every exit path, panics included — a
+                    // leaked gauge slot would eat into the connection cap
+                    // forever.
+                    struct ActiveGuard(Arc<Ops>);
+                    impl Drop for ActiveGuard {
+                        fn drop(&mut self) {
+                            self.0.active.fetch_sub(1, Ordering::SeqCst);
+                        }
+                    }
+                    let _guard = ActiveGuard(Arc::clone(&ops));
+                    handle_connection(stream, backend, threads, ops);
+                });
+            if spawned.is_err() {
+                self.ops.active.fetch_sub(1, Ordering::SeqCst);
+            }
         }
         match self.backend.as_ref() {
             Backend::Single { batcher, .. } => batcher.shutdown(),
@@ -271,6 +393,43 @@ impl Server {
     }
 }
 
+/// Answers an over-cap connection with a canned `503` + `Retry-After`
+/// and closes it on the accept thread — no connection thread is spawned,
+/// so a connection flood costs the daemon one small write (plus a
+/// time-bounded drain) per reject.
+fn shed_connection(mut stream: TcpStream, ops: &Ops) {
+    ops.shed.fetch_add(1, Ordering::Relaxed);
+    let mut out = Vec::with_capacity(160);
+    write_response(
+        &mut out,
+        503,
+        "Service Unavailable",
+        "text/plain",
+        false,
+        &[("Retry-After", "1")],
+        b"connection capacity reached; retry shortly\n",
+    );
+    let _ = stream.set_write_timeout(timeout_opt(ops.write_timeout));
+    if stream.write_all(&out).is_err() {
+        return;
+    }
+    // Closing with unread request bytes in the receive buffer would send
+    // an RST that can discard the 503 before the client reads it. Signal
+    // end-of-response, then briefly drain whatever the client already
+    // sent so the close is a clean FIN. Bounded: a slow trickler costs
+    // the accept thread at most the short read timeout.
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut sink = [0u8; 4096];
+    use std::io::Read as _;
+    for _ in 0..256 {
+        match stream.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+}
+
 /// One live connection: the socket, the keep-alive disposition of the
 /// response being built, and a reusable assembly buffer so every response
 /// ships as a single `write_all` (the keep-alive hot path is one read and
@@ -279,6 +438,7 @@ struct Conn {
     stream: TcpStream,
     keep_alive: bool,
     out: Vec<u8>,
+    ops: Arc<Ops>,
 }
 
 impl Conn {
@@ -304,13 +464,22 @@ impl Conn {
             extra_headers,
             body,
         );
+        if iim_faults::check("serve.write.stall").is_some() {
+            // Injected slow write: hold the response briefly, as a
+            // saturated peer or disk would. The bytes are already
+            // assembled, so a stall can delay an answer but never
+            // change it.
+            std::thread::sleep(Duration::from_millis(50));
+        }
         if self
             .stream
             .write_all(&self.out)
             .and_then(|()| self.stream.flush())
             .is_err()
         {
-            // The client is gone; make the request loop stop.
+            // The client is gone, or stopped draining past the write
+            // timeout: evict it by ending the request loop.
+            self.ops.evicted.fetch_add(1, Ordering::Relaxed);
             self.keep_alive = false;
         }
     }
@@ -359,16 +528,13 @@ fn method_not_allowed(conn: &mut Conn, allow: &str, detail: &str) {
     );
 }
 
-fn handle_connection(
-    stream: TcpStream,
-    backend: Arc<Backend>,
-    threads: usize,
-    connections: Arc<AtomicUsize>,
-) {
-    // A stalled client must not pin the thread forever; an idle
-    // keep-alive connection past the timeout closes cleanly between
-    // requests.
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(60)));
+fn handle_connection(stream: TcpStream, backend: Arc<Backend>, threads: usize, ops: Arc<Ops>) {
+    // A stalled client must not pin the thread forever: an idle
+    // keep-alive connection past the read timeout closes cleanly between
+    // requests, and a peer that stops draining its socket fails the
+    // response write past the write timeout (and is counted as evicted).
+    let _ = stream.set_read_timeout(timeout_opt(ops.read_timeout));
+    let _ = stream.set_write_timeout(timeout_opt(ops.write_timeout));
     // Responses are single write_all calls, so disabling Nagle cannot
     // cause small-packet storms — it just stops pipelined responses from
     // waiting on delayed ACKs.
@@ -377,6 +543,7 @@ fn handle_connection(
         stream,
         keep_alive: false,
         out: Vec::with_capacity(512),
+        ops,
     };
     let mut reader = RequestReader::new();
     loop {
@@ -408,20 +575,14 @@ fn handle_connection(
             }
         };
         conn.keep_alive = request.keep_alive;
-        handle_request(&mut conn, &request, &backend, threads, &connections);
+        handle_request(&mut conn, &request, &backend, threads);
         if !conn.keep_alive {
             return;
         }
     }
 }
 
-fn handle_request(
-    conn: &mut Conn,
-    request: &Request,
-    backend: &Backend,
-    threads: usize,
-    connections: &AtomicUsize,
-) {
+fn handle_request(conn: &mut Conn, request: &Request, backend: &Backend, threads: usize) {
     // Route on path segments (query strings ignored); unknown paths are
     // 404, known paths with the wrong method are 405 + Allow.
     let path = request.path.split('?').next().unwrap_or("");
@@ -432,7 +593,7 @@ fn handle_request(
             conn.respond(200, "OK", "text/plain", b"ok\n");
         }
         (_, ["healthz"]) => method_not_allowed(conn, "GET", "/healthz is GET-only"),
-        ("GET", ["info"]) => handle_info(conn, backend, threads, connections),
+        ("GET", ["info"]) => handle_info(conn, backend, threads),
         (_, ["info"]) => method_not_allowed(conn, "GET", "/info is GET-only"),
         (m, ["impute"]) | (m, ["learn"]) => {
             let single = segments[0];
@@ -472,13 +633,31 @@ fn handle_request(
     }
 }
 
-fn handle_info(conn: &mut Conn, backend: &Backend, threads: usize, connections: &AtomicUsize) {
+fn handle_info(conn: &mut Conn, backend: &Backend, threads: usize) {
     let resolved = if threads > 0 {
         threads
     } else {
         iim_exec::default_threads()
     };
-    let accepted = connections.load(Ordering::Relaxed);
+    let ops = &conn.ops;
+    // The operational tail every mode reports: the admission limits in
+    // force and the degradation counters they feed, so a load test can
+    // assert its traffic was shed (or wasn't) instead of guessing from
+    // latencies.
+    let ops_json = format!(
+        "\"connections\":{},\"active_connections\":{},\"max_connections\":{},\
+         \"max_queue\":{},\"read_timeout_secs\":{},\"write_timeout_secs\":{},\
+         \"shed\":{},\"evicted\":{},\"recovered\":{}",
+        ops.accepted.load(Ordering::Relaxed),
+        ops.active.load(Ordering::SeqCst),
+        ops.max_connections,
+        ops.max_queue,
+        ops.read_timeout.as_secs(),
+        ops.write_timeout.as_secs(),
+        ops.shed.load(Ordering::Relaxed),
+        ops.evicted.load(Ordering::Relaxed),
+        ops.recovered.load(Ordering::Relaxed) + recovered_extra(backend),
+    );
     let body = match backend {
         Backend::Single {
             batcher,
@@ -486,25 +665,33 @@ fn handle_info(conn: &mut Conn, backend: &Backend, threads: usize, connections: 
             ..
         } => format!(
             "{{\"mode\":\"single\",\"method\":\"{}\",\"arity\":{},\"threads\":{},\
-             \"can_absorb\":{},\"absorbed\":{},\"snapshot_version\":{},\"connections\":{}}}\n",
+             \"can_absorb\":{},\"absorbed\":{},\"snapshot_version\":{},{ops_json}}}\n",
             batcher.model_name(),
             batcher.arity(),
             resolved,
             batcher.can_absorb(),
             batcher.absorbed(),
             snapshot_version,
-            accepted,
         ),
         Backend::Registry(reg) => {
             let (models, resident) = reg.summary();
             format!(
                 "{{\"mode\":\"registry\",\"models\":{models},\"resident\":{resident},\
-                 \"max_resident\":{},\"threads\":{resolved},\"connections\":{accepted}}}\n",
+                 \"max_resident\":{},\"threads\":{resolved},{ops_json}}}\n",
                 reg.max_resident(),
             )
         }
     };
     conn.respond(200, "OK", "application/json", body.as_bytes());
+}
+
+/// Registry-mode activations can themselves recover torn snapshot tails;
+/// fold those into the `/info` `"recovered"` counter.
+fn recovered_extra(backend: &Backend) -> usize {
+    match backend {
+        Backend::Single { .. } => 0,
+        Backend::Registry(reg) => reg.recovered(),
+    }
 }
 
 /// Routes `/models…` (registry mode only).
@@ -592,6 +779,10 @@ fn model_card_json(card: &crate::registry::ModelInfo, with_schema: bool) -> Stri
 
 /// Maps a [`RegistryError`] to its HTTP response.
 fn registry_error(conn: &mut Conn, e: &RegistryError) {
+    if matches!(e, RegistryError::Overloaded) {
+        // Queue-cap shedding keeps its Retry-After hint in registry mode.
+        return overloaded(conn);
+    }
     let (status, reason, label) = match e {
         RegistryError::BadName(_) => (400, "Bad Request", "bad_name"),
         RegistryError::UnknownModel(_) => (404, "Not Found", "unknown_model"),
@@ -600,6 +791,7 @@ fn registry_error(conn: &mut Conn, e: &RegistryError) {
         RegistryError::StageFailed(_) => (500, "Internal Server Error", "stage_failed"),
         RegistryError::Io(_) => (500, "Internal Server Error", "io"),
         RegistryError::Unavailable => (503, "Service Unavailable", "unavailable"),
+        RegistryError::Overloaded => unreachable!("handled above"),
     };
     let body = format!(
         "{{\"error\":{},\"detail\":{}}}\n",
@@ -627,6 +819,28 @@ fn backend_unavailable(conn: &mut Conn) {
         "text/plain",
         b"imputation backend unavailable\n",
     );
+}
+
+/// The micro-batch queue is at its cap: shed the request with a
+/// `Retry-After` hint instead of queueing unboundedly. Nothing ran, so
+/// retrying is always safe.
+fn overloaded(conn: &mut Conn) {
+    conn.ops.shed.fetch_add(1, Ordering::Relaxed);
+    conn.respond_ext(
+        503,
+        "Service Unavailable",
+        "text/plain",
+        &[("Retry-After", "1")],
+        b"imputation queue full; retry shortly\n",
+    );
+}
+
+/// Routes a [`SubmitRejected`] to its HTTP response.
+fn submit_rejected(conn: &mut Conn, e: SubmitRejected) {
+    match e {
+        SubmitRejected::Overloaded => overloaded(conn),
+        SubmitRejected::Shutdown => backend_unavailable(conn),
+    }
 }
 
 /// Parses a request body shared by `/impute` and `/learn`: a CSV header
@@ -725,8 +939,9 @@ fn handle_impute(conn: &mut Conn, request: &Request, batcher: &Batcher, schema: 
     let Some((rows, linenos)) = parse_impute_rows(conn, &names, data) else {
         return;
     };
-    let Some(results) = batcher.impute_block(rows) else {
-        return backend_unavailable(conn);
+    let results = match batcher.impute_block(rows) {
+        Ok(results) => results,
+        Err(e) => return submit_rejected(conn, e),
     };
     respond_impute_results(conn, header, request.body.len(), &results, &linenos);
 }
@@ -826,8 +1041,9 @@ fn handle_learn(conn: &mut Conn, request: &Request, batcher: &Batcher, schema: &
         return;
     };
     let absorbed_here = rows.len();
-    let Some(reply) = batcher.learn(rows) else {
-        return backend_unavailable(conn);
+    let reply = match batcher.learn(rows) {
+        Ok(reply) => reply,
+        Err(e) => return submit_rejected(conn, e),
     };
     respond_learn_reply(conn, reply, absorbed_here, &linenos);
 }

@@ -25,8 +25,19 @@
 # single-model references, hot-swap a tenant under request load (every
 # response must succeed), and evict/reactivate under `--max-resident 1`.
 #
+# Then the crash-recovery legs: a checkpointing daemon is SIGKILLed
+# mid-learn-flood and must restart serving exactly the durably-acked
+# prefix (byte-diffed against a never-killed reference), and a snapshot
+# with a deterministically torn delta tail must load, report the recovery
+# in /info, and be repaired in place by the next checkpointed learn.
+#
+# Then the overload probe: with --max-connections 1 and a held
+# connection, further connections must shed fast with 503 + Retry-After,
+# and fills must stay bitwise-correct once the slot frees.
+#
 # Every daemon is stopped with SIGTERM and must exit 0 (graceful drain),
-# never relying on default signal death.
+# never relying on default signal death (SIGKILL legs excepted — that's
+# the crash under test).
 #
 # Artifacts (snapshots, expected/served CSVs) land in $E2E_DIR for CI to
 # upload.
@@ -292,3 +303,176 @@ stop_daemon $daemon
 trap - EXIT
 
 echo "OK: registry served both tenants byte-identically, hot-swapped under load with zero failures, and survived eviction"
+
+# --- Crash-recovery leg A: kill -9 mid-learn-flood, restart, byte-diff ---
+#
+# A daemon checkpointing every learn is SIGKILLed mid-flood. On restart it
+# must serve exactly the prefix of learns it durably acked: /info reports
+# some N <= total, and the fills are byte-identical to a never-killed
+# reference that learned the same first N rows.
+echo "=== crash recovery (kill -9 mid-learn) ==="
+CRASH="$E2E_DIR/crash.iim"
+CRASH_ROWS="$E2E_DIR/crash_rows.csv"
+cp "$E2E_DIR/IIM.iim" "$CRASH"
+printf 'a,b,c,d\n' > "$CRASH_ROWS"
+for i in $(seq 1 200); do
+  printf '0.%02d,1.%02d,0.5%02d,39.%02d\n' $((i % 90 + 1)) $((i % 90 + 1)) \
+      $((i % 90 + 1)) $((i % 90 + 1)) >> "$CRASH_ROWS"
+done
+
+PORT=$((PORT + 1))
+"$BIN" serve "$CRASH" --addr "127.0.0.1:$PORT" --threads 2 \
+    --checkpoint-every 1 &
+daemon=$!
+trap 'kill -9 $daemon 2>/dev/null || true' EXIT
+wait_healthy $PORT || fail "crash: daemon never became healthy"
+
+# Stream the rows one request at a time (strict absorb order), then pull
+# the rug out mid-flood. Requests after the kill fail; that's the point.
+(
+  tail -n +2 "$CRASH_ROWS" | while IFS= read -r row; do
+    printf 'a,b,c,d\n%s\n' "$row" \
+      | curl -sf --data-binary @- "http://127.0.0.1:$PORT/learn" > /dev/null \
+      || break
+  done
+) &
+flood=$!
+sleep 0.5
+kill -9 "$daemon"
+wait "$daemon" 2>/dev/null || true
+wait "$flood" 2>/dev/null || true
+trap - EXIT
+
+PORT=$((PORT + 1))
+"$BIN" serve "$CRASH" --addr "127.0.0.1:$PORT" --threads 2 &
+daemon=$!
+trap 'kill $daemon 2>/dev/null || true' EXIT
+wait_healthy $PORT || fail "crash: restarted daemon never became healthy"
+info=$(curl -sf "http://127.0.0.1:$PORT/info")
+printf '%s' "$info" | grep -q '"recovered":' \
+  || fail "crash: /info does not surface the recovered counter"
+N=$(printf '%s' "$info" | grep -o '"absorbed":[0-9]*' | cut -d: -f2)
+[ -n "$N" ] || fail "crash: /info does not report absorbed rows"
+echo "crash: daemon durably absorbed $N of 200 rows before SIGKILL"
+
+# Never-killed reference: learn the same first N rows offline, then
+# byte-diff the restarted daemon's fills against it.
+CRASH_REF="$E2E_DIR/crash_ref.iim"
+cp "$E2E_DIR/IIM.iim" "$CRASH_REF"
+if [ "$N" -gt 0 ]; then
+  head -n $((N + 1)) "$CRASH_ROWS" > "$E2E_DIR/crash_rows_prefix.csv"
+  "$BIN" learn --model "$CRASH_REF" "$E2E_DIR/crash_rows_prefix.csv"
+fi
+"$BIN" impute --model "$CRASH_REF" --output "$E2E_DIR/crash.expected.csv" "$QUERIES"
+curl -sf --data-binary "@$QUERIES" "http://127.0.0.1:$PORT/impute" \
+    > "$E2E_DIR/crash.served.csv" \
+  || fail "crash: post-restart /impute returned non-2xx"
+cmp "$E2E_DIR/crash.served.csv" "$E2E_DIR/crash.expected.csv" \
+  || fail "crash: post-restart fills diverged from the never-killed reference"
+stop_daemon $daemon
+trap - EXIT
+
+echo "OK: SIGKILL mid-learn lost nothing that was acked; restart served the durable prefix byte-identically"
+
+# --- Crash-recovery leg B: torn tail on disk, recover, repair ---
+#
+# A deterministic torn tail: cut bytes off the snapshot's final delta
+# record. The daemon must start anyway, report the recovery in /info,
+# serve the valid prefix byte-identically, and its next checkpointed
+# learn must repair the file so a plain CLI load succeeds afterwards.
+echo "=== crash recovery (torn tail) ==="
+TORN="$E2E_DIR/torn.iim"
+TORN_REF="$E2E_DIR/torn_ref.iim"
+ROW1="$E2E_DIR/torn_row1.csv"
+ROW2="$E2E_DIR/torn_row2.csv"
+ROW3="$E2E_DIR/torn_row3.csv"
+printf 'a,b,c,d\n0.3,1.5,0.45,39.6\n' > "$ROW1"
+printf 'a,b,c,d\n0.72,1.9,0.81,39.25\n' > "$ROW2"
+printf 'a,b,c,d\n0.55,1.7,0.6,39.4\n' > "$ROW3"
+
+cp "$E2E_DIR/IIM.iim" "$TORN"
+"$BIN" learn --model "$TORN" "$ROW1"
+"$BIN" learn --model "$TORN" "$ROW2"
+truncate -s -5 "$TORN"   # tear the final record
+
+# Reference: the valid prefix (row 1) plus the repair-time learn (row 3).
+cp "$E2E_DIR/IIM.iim" "$TORN_REF"
+"$BIN" learn --model "$TORN_REF" "$ROW1"
+"$BIN" learn --model "$TORN_REF" "$ROW3"
+"$BIN" impute --model "$TORN_REF" --output "$E2E_DIR/torn.expected.csv" "$QUERIES"
+
+PORT=$((PORT + 1))
+"$BIN" serve "$TORN" --addr "127.0.0.1:$PORT" --threads 2 \
+    --checkpoint-every 1 &
+daemon=$!
+trap 'kill $daemon 2>/dev/null || true' EXIT
+wait_healthy $PORT || fail "torn: daemon refused the recoverable snapshot"
+curl -sf "http://127.0.0.1:$PORT/info" | grep -q '"recovered":1' \
+  || fail "torn: /info does not report the recovery"
+curl -sf "http://127.0.0.1:$PORT/info" | grep -q '"absorbed":1' \
+  || fail "torn: the torn record was not dropped (want 1 absorbed row)"
+curl -sf --data-binary "@$ROW3" "http://127.0.0.1:$PORT/learn" \
+    | grep -q '"absorbed":1' \
+  || fail "torn: repair-time /learn failed"
+curl -sf --data-binary "@$QUERIES" "http://127.0.0.1:$PORT/impute" \
+    > "$E2E_DIR/torn.served.csv" \
+  || fail "torn: post-repair /impute returned non-2xx"
+cmp "$E2E_DIR/torn.served.csv" "$E2E_DIR/torn.expected.csv" \
+  || fail "torn: fills diverged from the prefix+repair reference"
+stop_daemon $daemon
+trap - EXIT
+
+# The checkpointed learn truncated the damage before appending: a plain
+# CLI load must now succeed with both rows and no recovery warning.
+"$BIN" impute --model "$TORN" --output "$E2E_DIR/torn.cli.csv" "$QUERIES" \
+  || fail "torn: repaired file does not load cleanly"
+cmp "$E2E_DIR/torn.cli.csv" "$E2E_DIR/torn.expected.csv" \
+  || fail "torn: repaired file serves different bytes than the daemon did"
+
+echo "OK: torn tail recovered to the acked prefix, was repaired in place, and never changed a fill"
+
+# --- Overload probe: connection cap sheds with 503 + Retry-After ---
+#
+# With --max-connections 1 and one held connection, further connections
+# must be shed fast with an explicit 503 + Retry-After — and once the
+# held connection closes, fills are served bitwise-correctly again.
+echo "=== overload ==="
+PORT=$((PORT + 1))
+"$BIN" serve "$E2E_DIR/IIM.iim" --addr "127.0.0.1:$PORT" --threads 2 \
+    --max-connections 1 &
+daemon=$!
+trap 'kill $daemon 2>/dev/null || true' EXIT
+wait_healthy $PORT || fail "overload: daemon never became healthy"
+
+# Hold the only admitted slot on a raw keep-alive connection.
+exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+printf 'GET /healthz HTTP/1.1\r\nHost: e2e\r\n\r\n' >&3
+read -r held_status <&3
+case "$held_status" in
+  *"200 OK"*) ;;
+  *) fail "overload: held connection was not admitted: $held_status" ;;
+esac
+
+shed_headers=$(curl -s -o /dev/null -D - --max-time 5 "http://127.0.0.1:$PORT/healthz")
+printf '%s' "$shed_headers" | grep -q "^HTTP/1.1 503" \
+  || fail "overload: over-cap connection was not shed with 503"
+printf '%s' "$shed_headers" | grep -qi "^Retry-After: 1" \
+  || fail "overload: shed response carries no Retry-After hint"
+
+# Release the slot; the daemon must recover and serve correct fills.
+exec 3>&- 3<&-
+served_ok=0
+for _ in $(seq 1 50); do
+  if curl -sf --data-binary "@$QUERIES" "http://127.0.0.1:$PORT/impute" \
+      > "$E2E_DIR/overload.served.csv" 2>/dev/null; then served_ok=1; break; fi
+  sleep 0.1
+done
+[ "$served_ok" = 1 ] || fail "overload: slot never freed after the held connection closed"
+cmp "$E2E_DIR/overload.served.csv" "$E2E_DIR/IIM.expected.csv" \
+  || fail "overload: shedding changed a fill"
+curl -sf "http://127.0.0.1:$PORT/info" | grep -qE '"shed":[1-9]' \
+  || fail "overload: /info does not count the shed connection"
+stop_daemon $daemon
+trap - EXIT
+
+echo "OK: overload shed fast with 503 + Retry-After and zero wrong fills"

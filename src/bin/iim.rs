@@ -48,8 +48,10 @@ fn usage() -> String {
      \n  iim fit --save MODEL.iim [--method NAME] [--k N] [--seed S] [--threads T] \
      [--index auto|brute|kdtree|vptree] TRAIN.csv\
      \n  iim serve MODEL.iim [--addr 127.0.0.1:7878] [--threads T] \
-     [--checkpoint PATH] [--checkpoint-every N]\
-     \n  iim serve --models-dir DIR [--max-resident N] [--addr 127.0.0.1:7878] [--threads T]\
+     [--checkpoint PATH] [--checkpoint-every N] [--max-connections N] [--max-queue N] \
+     [--read-timeout SECS] [--write-timeout SECS]\
+     \n  iim serve --models-dir DIR [--max-resident N] [--addr 127.0.0.1:7878] [--threads T] \
+     [--max-connections N] [--max-queue N] [--read-timeout SECS] [--write-timeout SECS]\
      \n  iim registry list --models-dir DIR\
      \n  iim registry stage --models-dir DIR NAME SNAPSHOT.iim\
      \n  iim learn --model MODEL.iim ROWS.csv\
@@ -109,6 +111,10 @@ struct Flags {
     checkpoint_every: Option<usize>,
     models_dir: Option<String>,
     max_resident: usize,
+    max_connections: usize,
+    max_queue: usize,
+    read_timeout: Duration,
+    write_timeout: Duration,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -128,6 +134,10 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         checkpoint_every: None,
         models_dir: None,
         max_resident: 4,
+        max_connections: 0,
+        max_queue: iim_serve::DEFAULT_MAX_QUEUE,
+        read_timeout: Duration::from_secs(60),
+        write_timeout: Duration::from_secs(60),
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -189,6 +199,34 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     .filter(|&n| n > 0)
                     .ok_or("--max-resident needs a positive integer")?
             }
+            "--max-connections" => {
+                // 0 = unlimited; past the cap, accepts get 503 + Retry-After.
+                f.max_connections = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--max-connections needs an integer (0 = unlimited)")?
+            }
+            "--max-queue" => {
+                // 0 = unbounded; past the cap, requests get 503 + Retry-After.
+                f.max_queue = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--max-queue needs an integer (0 = unbounded)")?
+            }
+            "--read-timeout" => {
+                f.read_timeout = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .map(Duration::from_secs)
+                    .ok_or("--read-timeout needs seconds (0 = no timeout)")?
+            }
+            "--write-timeout" => {
+                f.write_timeout = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .map(Duration::from_secs)
+                    .ok_or("--write-timeout needs seconds (0 = no timeout)")?
+            }
             "--output" | "-o" => f.output = Some(it.next().ok_or("--output needs a path")?.clone()),
             path if !path.starts_with('-') => f.input = Some(path.to_string()),
             other => return Err(format!("unknown flag {other:?}")),
@@ -231,6 +269,12 @@ fn impute(args: &[String]) -> ExitCode {
             Err(code) => return code,
         };
         let offline = t0.elapsed();
+        if let Some(at) = info.recovered_at {
+            eprintln!(
+                "warning: {model_path} had a torn delta tail (a crash mid-append); \
+                 serving from the valid prefix at byte {at} (run `iim learn` to repair the file)"
+            );
+        }
         let provenance = format!("loaded {} from {model_path}", fitted.name());
         // The snapshot's recorded schema (when present) guards against a
         // query file with reordered or unrelated columns.
@@ -325,7 +369,9 @@ fn fit(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if let Err(e) = std::fs::write(&save_path, &bytes) {
+    // Durable publish: temp file + fsync + rename, so a crash mid-save
+    // never leaves a torn snapshot under the target name.
+    if let Err(e) = iim_persist::save_bytes_path(&save_path, &bytes) {
         eprintln!("error writing {save_path}: {e}");
         return ExitCode::FAILURE;
     }
@@ -366,6 +412,7 @@ fn serve_daemon(args: &[String]) -> ExitCode {
             dir: dir.clone().into(),
             max_resident: flags.max_resident,
             threads: flags.threads,
+            max_queue: flags.max_queue,
         }) {
             Ok(r) => r,
             Err(e) => {
@@ -376,6 +423,10 @@ fn serve_daemon(args: &[String]) -> ExitCode {
         let cfg = iim_serve::ServeConfig {
             addr: flags.addr.clone(),
             threads: flags.threads,
+            max_connections: flags.max_connections,
+            max_queue: flags.max_queue,
+            read_timeout: flags.read_timeout,
+            write_timeout: flags.write_timeout,
             ..iim_serve::ServeConfig::default()
         };
         match iim_serve::Server::bind_registry(registry, &cfg) {
@@ -397,18 +448,31 @@ fn serve_daemon(args: &[String]) -> ExitCode {
             Ok(pair) => pair,
             Err(code) => return code,
         };
+        if let Some(at) = info.recovered_at {
+            eprintln!(
+                "warning: {model_path} had a torn delta tail (a crash mid-append); \
+                 recovered to the valid prefix at byte {at}"
+            );
+        }
         // Either checkpoint flag turns delta checkpointing on; the path
         // defaults to the snapshot being served, the cadence to every
-        // absorb.
+        // absorb. A torn tail the load recovered past is truncated away
+        // before the first new delta lands — but only when the checkpoint
+        // targets the file we recovered from.
         let checkpoint =
             (flags.checkpoint.is_some() || flags.checkpoint_every.is_some()).then(|| {
+                let path: std::path::PathBuf = flags
+                    .checkpoint
+                    .clone()
+                    .unwrap_or_else(|| model_path.clone())
+                    .into();
+                let truncate_to = info
+                    .recovered_at
+                    .filter(|_| path == std::path::Path::new(&model_path));
                 iim_serve::CheckpointConfig {
-                    path: flags
-                        .checkpoint
-                        .clone()
-                        .unwrap_or_else(|| model_path.clone())
-                        .into(),
+                    path,
                     every: flags.checkpoint_every.unwrap_or(1),
+                    truncate_to,
                 }
             });
         let cfg = iim_serve::ServeConfig {
@@ -417,6 +481,11 @@ fn serve_daemon(args: &[String]) -> ExitCode {
             schema: info.schema,
             checkpoint,
             snapshot_version: info.version,
+            max_connections: flags.max_connections,
+            max_queue: flags.max_queue,
+            read_timeout: flags.read_timeout,
+            write_timeout: flags.write_timeout,
+            recovered: usize::from(info.recovered_at.is_some()),
         };
         match iim_serve::Server::bind(fitted, &cfg) {
             Ok(s) => (s, model_path),
@@ -482,6 +551,7 @@ fn registry_cmd(args: &[String]) -> ExitCode {
         dir: dir.clone().into(),
         max_resident: flags.max_resident,
         threads: flags.threads,
+        max_queue: flags.max_queue,
     }) {
         Ok(r) => r,
         Err(e) => {
@@ -536,6 +606,10 @@ fn registry_cmd(args: &[String]) -> ExitCode {
                                     | "--k"
                                     | "--seed"
                                     | "--index"
+                                    | "--max-connections"
+                                    | "--max-queue"
+                                    | "--read-timeout"
+                                    | "--write-timeout"
                             )
                         })
                 })
@@ -640,6 +714,19 @@ fn learn(args: &[String]) -> ExitCode {
         }
     }
     let absorb_s = t0.elapsed();
+    // A torn tail the load recovered past must be cut off before a new
+    // record lands after it, or the damage would sit mid-file and turn
+    // into a hard error on the next load.
+    if let Some(at) = info.recovered_at {
+        eprintln!(
+            "warning: {model_path} had a torn delta tail (a crash mid-append); \
+             truncating to the valid prefix at byte {at}"
+        );
+        if let Err(e) = iim_persist::truncate_deltas_path(&model_path, at) {
+            eprintln!("error repairing {model_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     if let Err(e) = iim_persist::append_delta_path(&model_path, &rows) {
         eprintln!("error appending delta to {model_path}: {e}");
         return ExitCode::FAILURE;
