@@ -29,6 +29,12 @@ impl Args {
     /// [`iim_exec::set_default_threads`], so every pool the binary touches
     /// afterwards uses it.
     pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// [`Args::parse`] over an explicit argument iterator — the `paper`
+    /// dispatcher strips its subcommand first.
+    pub fn parse_from<I: Iterator<Item = String>>(args: I) -> Self {
         let mut out = Self {
             seed: 42,
             n: None,
@@ -36,7 +42,7 @@ impl Args {
             threads: None,
             index: IndexChoice::Auto,
         };
-        let mut it = std::env::args().skip(1);
+        let mut it = args;
         while let Some(flag) = it.next() {
             match flag.as_str() {
                 "--seed" => {

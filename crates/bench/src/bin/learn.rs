@@ -15,12 +15,11 @@
 //! cargo run -p iim-bench --release --bin learn [-- --quick --seed 42]
 //! ```
 
-use iim_bench::{report::results_dir, Args, Table};
+use iim_bench::{Args, BenchResult, Table};
 use iim_core::{IimConfig, IimModel, Learning};
 use iim_neighbors::brute::FeatureMatrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::fmt::Write as _;
 use std::time::Instant;
 
 /// Linear-plus-noise training data (same shape as the `serving` bin).
@@ -44,6 +43,9 @@ struct Cell {
     n: usize,
     m: usize,
     fit_s: f64,
+    /// Per-tuple absorb latencies (seconds) — raw samples go into the
+    /// envelope so the gate can use min/mean, not just a pre-baked mean.
+    absorb_s: Vec<f64>,
     absorb_mean_s: f64,
     absorb_max_s: f64,
     refit_one_s: f64,
@@ -91,16 +93,14 @@ fn main() {
                 (x, lin * 0.1 + rng.gen_range(-0.5..0.5))
             })
             .collect();
-        let mut absorb_total = 0.0f64;
-        let mut absorb_max = 0.0f64;
+        let mut absorb_s: Vec<f64> = Vec::with_capacity(n_absorbs);
         for (x, y) in &stream {
             let t = Instant::now();
             model.absorb(x, *y).expect("absorb a complete finite tuple");
-            let dt = t.elapsed().as_secs_f64();
-            absorb_total += dt;
-            absorb_max = absorb_max.max(dt);
+            absorb_s.push(t.elapsed().as_secs_f64());
         }
-        let absorb_mean_s = absorb_total / n_absorbs as f64;
+        let absorb_mean_s = absorb_s.iter().sum::<f64>() / n_absorbs as f64;
+        let absorb_max = absorb_s.iter().cloned().fold(0.0f64, f64::max);
 
         // The absorbed model still serves finite fills.
         let mut scratch = iim_core::ImputeScratch::new();
@@ -135,6 +135,7 @@ fn main() {
             n,
             m,
             fit_s,
+            absorb_s,
             absorb_mean_s,
             absorb_max_s: absorb_max,
             refit_one_s,
@@ -150,7 +151,12 @@ fn main() {
         "refit_one_s",
         "speedup",
     ]);
-    let mut cells_json = String::new();
+    let mut result = BenchResult::new("learn", 0, 1).with_note(&format!(
+        "fixed-ell IIM, uniform features, linear target; per-tuple absorb vs refit-at-n+1. \
+         absorb = Sherman-Morrison update of the k touched neighbor models + one new model + \
+         index append; {budget_s}s mean budget asserted by the bin on the full grid. absorb_us \
+         carries every per-tuple sample.",
+    ));
     for c in &cells {
         let speedup = c.refit_one_s / c.absorb_mean_s.max(1e-12);
         table.push(vec![
@@ -162,35 +168,18 @@ fn main() {
             Table::secs(c.refit_one_s),
             format!("{speedup:.0}x"),
         ]);
-        let _ = writeln!(
-            cells_json,
-            "    {{\"n\": {}, \"m\": {}, \"fit_s\": {:.6}, \"absorb_mean_us\": {:.3}, \
-             \"absorb_max_us\": {:.3}, \"refit_one_s\": {:.6}, \"speedup\": {:.1}}},",
-            c.n,
-            c.m,
-            c.fit_s,
-            c.absorb_mean_s * 1e6,
-            c.absorb_max_s * 1e6,
-            c.refit_one_s,
-            speedup,
+        result.push(
+            iim_bench::Cell::new()
+                .coord_num("n", c.n as f64)
+                .coord_num("m", c.m as f64)
+                .coord_num("k", k as f64)
+                .coord_num("ell", ell as f64)
+                .metric("fit_s", vec![c.fit_s])
+                .metric("absorb_us", c.absorb_s.iter().map(|s| s * 1e6).collect())
+                .metric("refit_one_s", vec![c.refit_one_s]),
         );
     }
-    let cells_json = cells_json.trim_end_matches(",\n").to_string();
-
-    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
-    let json = format!(
-        "{{\n  \"workload\": \"fixed-ell IIM, uniform features, linear target; \
-         per-tuple absorb vs refit-at-n+1\",\n  \
-         \"k\": {k},\n  \"ell\": {ell},\n  \"n_absorbs\": {n_absorbs},\n  \
-         \"available_cores\": {cores},\n  \"absorb_budget_s\": {budget_s},\n  \
-         \"note\": \"absorb = Sherman-Morrison update of the k touched neighbor \
-         models + one new model + index append; budget asserted by the bin\",\n  \
-         \"cells\": [\n{cells_json}\n  ]\n}}\n",
-    );
-    let dir = results_dir();
-    std::fs::create_dir_all(&dir).expect("create bench_results");
-    let path = dir.join("BENCH_learn.json");
-    std::fs::write(&path, json).expect("write BENCH_learn.json");
+    let path = result.write_named().expect("write BENCH_learn.json");
 
     table.print(&format!(
         "Incremental learning (absorb vs refit; {n_absorbs} absorbs per cell)"

@@ -6,22 +6,23 @@
 //! Every cell is run twice — workers pinned to 1, then to N (`--threads`,
 //! default 4) — and the two filled relations are asserted **bitwise
 //! identical**: the determinism invariant of `iim-exec`, checked here on
-//! real workloads on top of the property tests. The grid is then re-run
-//! with the cells themselves scheduled on the pool (`run_lineup_on`), the
-//! high-throughput mode, and its wall-clock speedup recorded too.
+//! whole relations (stronger than the spec runner's rmse check). The grid
+//! is then re-run with the cells themselves scheduled on the pool
+//! (`run_lineup_on`), the high-throughput mode, and its wall-clock
+//! recorded too. Results go out in the shared versioned envelope
+//! (`iim_bench::result`), diffable with `iim bench diff`.
 //!
 //! ```text
 //! cargo run -p iim-bench --release --bin parallel [-- --threads 4 --quick]
 //! ```
 
 use iim_bench::{
-    method_lineup, report::results_dir, run_lineup, run_lineup_on, Args, PaperData, Table,
+    method_lineup, run_lineup, run_lineup_on, Args, BenchResult, Cell, PaperData, Table,
 };
 use iim_data::inject::inject_attr;
 use iim_data::{FeatureSelection, GroundTruth, Imputer, Relation};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
 /// One cell timed through the two-phase API, keeping the filled relation
@@ -45,7 +46,7 @@ fn time_cell(
     Some((offline, t1.elapsed(), out))
 }
 
-struct Cell {
+struct Timed {
     method: String,
     rate: f64,
     offline_1: f64,
@@ -68,7 +69,7 @@ fn main() {
     };
     let k = 10;
 
-    let mut cells: Vec<Cell> = Vec::new();
+    let mut timed: Vec<Timed> = Vec::new();
     let mut workloads: Vec<(f64, Relation, GroundTruth)> = Vec::new();
     for (ri, &rate) in rates.iter().enumerate() {
         let mut rel = clean.clone();
@@ -94,7 +95,7 @@ fn main() {
                 "{}: {threads}-thread output diverged from serial at rate {rate}",
                 method.name()
             );
-            cells.push(Cell {
+            timed.push(Timed {
                 method: method.name().to_string(),
                 rate,
                 offline_1: off1.as_secs_f64(),
@@ -126,6 +127,43 @@ fn main() {
     let grid_pool = t0.elapsed().as_secs_f64();
     iim_exec::set_default_threads(0);
 
+    // --- Envelope: one cell per (method, rate, thread count), plus the
+    // cell-grid wall clocks, all in the shared versioned schema.
+    let mut result = BenchResult::new("parallel", 0, 1).with_note(
+        "per-method 1-vs-N-thread grid on the paper-profile dataset; every (method, rate) \
+         asserted bitwise-identical across thread counts before timing; cell_grid rows time \
+         the whole lineup scheduled on the pool (run_lineup_on) vs sequentially",
+    );
+    for t in &timed {
+        for (thread_count, offline, online) in [
+            (1usize, t.offline_1, t.online_1),
+            (threads, t.offline_n, t.online_n),
+        ] {
+            result.push(
+                Cell::new()
+                    .coord_str("dataset", data.name())
+                    .coord_str("method", &t.method)
+                    .coord_num("missing_rate", t.rate)
+                    .coord_num("threads", thread_count as f64)
+                    .coord_num("n", n as f64)
+                    .coord_num("k", k as f64)
+                    .metric("offline_s", vec![offline])
+                    .metric("online_s", vec![online]),
+            );
+        }
+    }
+    for (thread_count, wall) in [(1usize, grid_serial), (threads, grid_pool)] {
+        result.push(
+            Cell::new()
+                .coord_str("dataset", data.name())
+                .coord_str("workload", "cell_grid")
+                .coord_num("threads", thread_count as f64)
+                .coord_num("n", n as f64)
+                .metric("wall_s", vec![wall]),
+        );
+    }
+    let path = result.write_named().expect("write BENCH_parallel.json");
+
     // Per-method aggregate over the missing rates.
     let mut table = Table::new(vec![
         "Method",
@@ -136,17 +174,16 @@ fn main() {
         "online_nt",
         "speedup",
     ]);
-    let mut methods_json = String::new();
     let mut seen: Vec<&str> = Vec::new();
     let mut best_offline = 0.0f64;
     let mut best_online = 0.0f64;
-    for c in &cells {
+    for c in &timed {
         if seen.contains(&c.method.as_str()) {
             continue;
         }
         seen.push(&c.method);
-        let sum = |f: fn(&Cell) -> f64| -> f64 {
-            cells.iter().filter(|x| x.method == c.method).map(f).sum()
+        let sum = |f: fn(&Timed) -> f64| -> f64 {
+            timed.iter().filter(|x| x.method == c.method).map(f).sum()
         };
         let (o1, on_, n1, nn_) = (
             sum(|c| c.offline_1),
@@ -167,47 +204,7 @@ fn main() {
             Table::secs(nn_),
             format!("{on_speedup:.2}x"),
         ]);
-        let _ = writeln!(
-            methods_json,
-            "    {{\"method\": \"{}\", \"offline_s_1t\": {o1:.6}, \"offline_s_nt\": {on_:.6}, \
-             \"offline_speedup\": {off_speedup:.3}, \"online_s_1t\": {n1:.6}, \
-             \"online_s_nt\": {nn_:.6}, \"online_speedup\": {on_speedup:.3}}},",
-            c.method
-        );
     }
-    let methods_json = methods_json.trim_end_matches(",\n").to_string();
-
-    let mut cells_json = String::new();
-    for c in &cells {
-        let _ = writeln!(
-            cells_json,
-            "    {{\"method\": \"{}\", \"missing_rate\": {:.2}, \"offline_s_1t\": {:.6}, \
-             \"online_s_1t\": {:.6}, \"offline_s_nt\": {:.6}, \"online_s_nt\": {:.6}}},",
-            c.method, c.rate, c.offline_1, c.online_1, c.offline_n, c.online_n
-        );
-    }
-    let cells_json = cells_json.trim_end_matches(",\n").to_string();
-
-    // Speedups are only meaningful relative to the recording machine's
-    // core count: N threads on a single visible core measure scheduling
-    // overhead (≈1x), not scaling.
-    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
-    let json = format!(
-        "{{\n  \"dataset\": \"{}\",\n  \"n\": {n},\n  \"threads\": {threads},\n  \
-         \"available_cores\": {cores},\n  \
-         \"missing_rates\": {rates:?},\n  \"determinism_checked\": true,\n  \
-         \"best_offline_speedup\": {best_offline:.3},\n  \
-         \"best_online_speedup\": {best_online:.3},\n  \
-         \"cell_grid\": {{\"serial_wall_s\": {grid_serial:.6}, \"pool_wall_s\": {grid_pool:.6}, \
-         \"speedup\": {:.3}}},\n  \"methods\": [\n{methods_json}\n  ],\n  \
-         \"cells\": [\n{cells_json}\n  ]\n}}\n",
-        data.name(),
-        grid_serial / grid_pool.max(1e-12),
-    );
-    let dir = results_dir();
-    std::fs::create_dir_all(&dir).expect("create bench_results");
-    let path = dir.join("BENCH_parallel.json");
-    std::fs::write(&path, json).expect("write BENCH_parallel.json");
 
     table.print(&format!(
         "Parallel baseline ({}, n={n}, 1 vs {threads} threads; all outputs bitwise-identical)",
@@ -220,7 +217,9 @@ fn main() {
         grid_serial / grid_pool.max(1e-12)
     );
     println!(
-        "best speedups at {threads} threads: offline {best_offline:.2}x, online {best_online:.2}x"
+        "best speedups at {threads} threads: offline {best_offline:.2}x, online {best_online:.2}x \
+         ({} cores visible)",
+        result.machine.available_cores
     );
     println!("wrote {}", path.display());
 }

@@ -22,7 +22,7 @@
 //! cargo run -p iim-bench --release --bin registry_load [-- --quick --seed 42]
 //! ```
 
-use iim_bench::{report::results_dir, Args, Table};
+use iim_bench::{Args, BenchResult, Cell, Table};
 use iim_core::{AdaptiveConfig, Iim, IimConfig, Learning};
 use iim_data::{Imputer, PerAttributeImputer, Relation, Schema};
 use iim_serve::{Registry, RegistryConfig};
@@ -138,8 +138,10 @@ fn main() {
             })
             .collect()
     };
-    let v2_load_us = median_us(time_loads(&v2));
-    let v3_load_us = median_us(time_loads(&v3));
+    let v2_samples = time_loads(&v2);
+    let v3_samples = time_loads(&v3);
+    let v2_load_us = median_us(v2_samples.clone());
+    let v3_load_us = median_us(v3_samples.clone());
     let view_speedup = v2_load_us / v3_load_us.max(1e-9);
 
     // Hot-swap churn through the registry: clients hammer single-row
@@ -241,31 +243,37 @@ fn main() {
         format!("{swap_mean_us:.0}"),
     ]);
 
-    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
-    let json = format!(
-        "{{\n  \"workload\": \"v2 owned parse vs v3 validate-then-view activation; \
-         hot-swap churn through iim_serve::Registry\",\n  \
-         \"method\": \"IIM\",\n  \"n\": {n},\n  \"m\": {m},\n  \
-         \"load_reps\": {reps},\n  \"available_cores\": {cores},\n  \
-         \"bitwise_identical_checked\": true,\n  \
-         \"v2_snapshot_bytes\": {},\n  \"v3_snapshot_bytes\": {},\n  \
-         \"v2_load_us\": {v2_load_us:.1},\n  \"v3_load_us\": {v3_load_us:.1},\n  \
-         \"view_speedup\": {view_speedup:.3},\n  \
-         \"client_threads\": {clients},\n  \"hot_swaps\": {swaps},\n  \
-         \"impute_requests\": {impute_requests},\n  \
-         \"under_swap_p50_us\": {under_swap_p50_us:.1},\n  \
-         \"under_swap_p99_us\": {under_swap_p99_us:.1},\n  \
-         \"swap_mean_us\": {swap_mean_us:.1},\n  \
-         \"note\": \"loads are medians over load_reps; both formats gated \
-         bitwise-identical on {n_queries} queries before timing; every impute during \
-         the swap churn returned a fill (zero drops)\"\n}}\n",
-        v2.len(),
-        v3.len(),
+    let mut result = BenchResult::new("registry", 0, reps).with_note(&format!(
+        "v2 owned parse vs v3 validate-then-view activation; hot-swap churn through \
+         iim_serve::Registry. load_us carries every timed rep; both formats gated \
+         bitwise-identical on {n_queries} queries before timing; every impute during the \
+         swap churn returned a fill (zero drops).",
+    ));
+    for (format, bytes, samples) in [("v2", v2.len(), &v2_samples), ("v3", v3.len(), &v3_samples)] {
+        result.push(
+            Cell::new()
+                .coord_str("method", "IIM")
+                .coord_str("format", format)
+                .coord_num("n", n as f64)
+                .coord_num("m", m as f64)
+                .metric("load_us", samples.clone())
+                .metric("snapshot_bytes", vec![bytes as f64]),
+        );
+    }
+    result.push(
+        Cell::new()
+            .coord_str("method", "IIM")
+            .coord_str("workload", "swap_churn")
+            .coord_num("n", n as f64)
+            .coord_num("m", m as f64)
+            .coord_num("client_threads", clients as f64)
+            .coord_num("hot_swaps", swaps as f64)
+            .metric("under_swap_p50_us", vec![under_swap_p50_us])
+            .metric("under_swap_p99_us", vec![under_swap_p99_us])
+            .metric("stage_us", swap_samples.clone())
+            .metric("impute_requests", vec![impute_requests as f64]),
     );
-    let dir = results_dir();
-    std::fs::create_dir_all(&dir).expect("create bench_results");
-    let path = dir.join("BENCH_registry.json");
-    std::fs::write(&path, json).expect("write BENCH_registry.json");
+    let path = result.write_named().expect("write BENCH_registry.json");
 
     table.print(
         "Registry activation + hot swap (v2/v3 loads bitwise-identical, zero dropped requests)",

@@ -20,13 +20,12 @@
 //! cargo run -p iim-bench --release --bin serve_load [-- --quick --seed 42]
 //! ```
 
-use iim_bench::{report::results_dir, Args, Table};
+use iim_bench::{Args, BenchResult, Table};
 use iim_core::{AdaptiveConfig, Iim, IimConfig, Learning};
 use iim_data::{Imputer, PerAttributeImputer, Relation, Schema};
 use iim_serve::{ServeConfig, Server};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::fmt::Write as _;
 use std::io::{Read, Write as _};
 use std::net::TcpStream;
 use std::time::Instant;
@@ -310,7 +309,14 @@ fn main() {
         "single_us",
         "single_p50_us",
     ]);
-    let mut cells_json = String::new();
+    let mut result = BenchResult::new("serve", 0, 1).with_note(&format!(
+        "fit -> save -> load -> HTTP serve over iim-serve; loaded snapshots asserted \
+         bitwise-identical to the fitted models before timing. load replaces the offline \
+         phase on restart: load_s vs offline_s is the deploy-time win; qps measured against \
+         the real daemon ({n_queries} queries x {clients} client threads) incl. HTTP + \
+         micro-batching overhead; single-tuple latencies over one persistent keep-alive \
+         connection.",
+    ));
     for c in &cells {
         let speedup = c.offline_s / c.load_s.max(1e-12);
         table.push(vec![
@@ -325,38 +331,21 @@ fn main() {
             format!("{:.0}", c.http_single_us),
             format!("{:.0}", c.http_single_p50_us),
         ]);
-        let _ = writeln!(
-            cells_json,
-            "    {{\"method\": \"{}\", \"n\": {}, \"offline_s\": {:.6}, \"save_s\": {:.6}, \
-             \"snapshot_bytes\": {}, \"load_s\": {:.6}, \"http_batch_qps\": {:.1}, \
-             \"http_single_us\": {:.1}, \"http_single_p50_us\": {:.1}}},",
-            c.method,
-            c.n,
-            c.offline_s,
-            c.save_s,
-            c.snapshot_bytes,
-            c.load_s,
-            c.http_batch_qps,
-            c.http_single_us,
-            c.http_single_p50_us,
+        result.push(
+            iim_bench::Cell::new()
+                .coord_str("method", &c.method)
+                .coord_num("n", c.n as f64)
+                .coord_num("m", m as f64)
+                .metric("offline_s", vec![c.offline_s])
+                .metric("save_s", vec![c.save_s])
+                .metric("load_s", vec![c.load_s])
+                .metric("snapshot_bytes", vec![c.snapshot_bytes as f64])
+                .metric("http_batch_qps", vec![c.http_batch_qps])
+                .metric("http_single_us", vec![c.http_single_us])
+                .metric("http_single_p50_us", vec![c.http_single_p50_us]),
         );
     }
-    let cells_json = cells_json.trim_end_matches(",\n").to_string();
-
-    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
-    let json = format!(
-        "{{\n  \"workload\": \"fit -> save -> load -> HTTP serve over iim-serve\",\n  \
-         \"m\": {m},\n  \"n_queries\": {n_queries},\n  \"client_threads\": {clients},\n  \
-         \"available_cores\": {cores},\n  \"bitwise_identical_checked\": true,\n  \
-         \"note\": \"load replaces the offline phase on restart: load_s vs offline_s is \
-         the deploy-time win; qps measured against the real daemon incl. HTTP + \
-         micro-batching overhead; single-tuple latencies over one persistent \
-         keep-alive connection\",\n  \"cells\": [\n{cells_json}\n  ]\n}}\n",
-    );
-    let dir = results_dir();
-    std::fs::create_dir_all(&dir).expect("create bench_results");
-    let path = dir.join("BENCH_serve.json");
-    std::fs::write(&path, json).expect("write BENCH_serve.json");
+    let path = result.write_named().expect("write BENCH_serve.json");
 
     table.print("Snapshot + daemon baseline (loaded snapshots bitwise-identical to fitted models)");
     println!("wrote {}", path.display());

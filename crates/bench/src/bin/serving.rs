@@ -30,12 +30,11 @@
 //! cargo run -p iim-bench --release --bin serving [-- --quick --seed 42]
 //! ```
 
-use iim_bench::{report::results_dir, Args, Table};
+use iim_bench::{Args, BenchResult, Table};
 use iim_core::{IimConfig, IimModel, IndexChoice, Learning};
 use iim_neighbors::brute::FeatureMatrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::fmt::Write as _;
 use std::time::Instant;
 
 /// Latent two-factor features (intrinsic dimension ~2 at any ambient m)
@@ -173,7 +172,13 @@ fn main() {
         "us/query",
         "queries/s",
     ]);
-    let mut cells_json = String::new();
+    let mut result = BenchResult::new("serving", 0, 1).with_note(&format!(
+        "fixed-ell IIM, two-factor latent features (intrinsic dim ~2), linear target; all \
+         imputed values asserted bitwise-identical across indexes; online_s covers \
+         {n_queries} queries. Online loop is single-threaded; on a 1-core box the index win \
+         is algorithmic (sub-linear search), not parallel. Grid is the derivation input for \
+         IndexChoice::Auto thresholds.",
+    ));
     for c in &cells {
         let per_query = c.online_s / n_queries as f64;
         table.push(vec![
@@ -185,35 +190,19 @@ fn main() {
             format!("{:.2}", per_query * 1e6),
             format!("{:.0}", 1.0 / per_query.max(1e-12)),
         ]);
-        let _ = writeln!(
-            cells_json,
-            "    {{\"n\": {}, \"m\": {}, \"index\": \"{}\", \"offline_s\": {:.6}, \
-             \"online_s\": {:.6}, \"us_per_query\": {:.3}, \"queries_per_s\": {:.1}}},",
-            c.n,
-            c.m,
-            c.kind,
-            c.offline_s,
-            c.online_s,
-            per_query * 1e6,
-            1.0 / per_query.max(1e-12),
+        result.push(
+            iim_bench::Cell::new()
+                .coord_num("n", c.n as f64)
+                .coord_num("m", c.m as f64)
+                .coord_str("index", c.kind)
+                .coord_num("k", k as f64)
+                .coord_num("ell", ell as f64)
+                .metric("offline_s", vec![c.offline_s])
+                .metric("online_s", vec![c.online_s])
+                .metric("per_query_us", vec![per_query * 1e6]),
         );
     }
-    let cells_json = cells_json.trim_end_matches(",\n").to_string();
-
-    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
-    let json = format!(
-        "{{\n  \"workload\": \"fixed-ell IIM, two-factor latent features (intrinsic dim ~2), linear target\",\n  \
-         \"k\": {k},\n  \"ell\": {ell},\n  \"n_queries\": {n_queries},\n  \
-         \"available_cores\": {cores},\n  \"bitwise_identical_checked\": true,\n  \
-         \"note\": \"online loop is single-threaded; on a 1-core box the \
-         index win is algorithmic (sub-linear search), not parallel. Grid is \
-         the derivation input for IndexChoice::Auto thresholds.\",\n  \
-         \"cells\": [\n{cells_json}\n  ]\n}}\n",
-    );
-    let dir = results_dir();
-    std::fs::create_dir_all(&dir).expect("create bench_results");
-    let path = dir.join("BENCH_serving.json");
-    std::fs::write(&path, json).expect("write BENCH_serving.json");
+    let path = result.write_named().expect("write BENCH_serving.json");
 
     table.print(&format!(
         "Serving baseline (brute vs kd/vp; {n_queries} queries per cell; all values bitwise-identical)",

@@ -1,8 +1,8 @@
 //! Shared experiment machinery: the method lineup (IIM + Table II) and the
 //! inject → impute → score loop.
 
-use iim_baselines::all_baselines;
-use iim_core::{AdaptiveConfig, Iim, IimConfig, Learning, Weighting};
+use iim_baselines::{all_baselines, all_baselines_with};
+use iim_core::{AdaptiveConfig, Iim, IimConfig, IndexChoice, Learning, Weighting};
 use iim_data::metrics::rmse;
 use iim_data::{
     FeatureSelection, GroundTruth, Imputer, PerAttributeImputer, PhaseTimings, Relation,
@@ -32,10 +32,24 @@ pub fn iim_adaptive(
     n_hint: usize,
     features: FeatureSelection,
 ) -> PerAttributeImputer<Iim> {
+    iim_adaptive_with(k, step, ell_max, n_hint, features, IndexChoice::Auto)
+}
+
+/// [`iim_adaptive`] with an explicit neighbor-index choice (the spec
+/// runner's index sweep).
+pub fn iim_adaptive_with(
+    k: usize,
+    step: Option<usize>,
+    ell_max: Option<usize>,
+    n_hint: usize,
+    features: FeatureSelection,
+    index: IndexChoice,
+) -> PerAttributeImputer<Iim> {
     let cap = ell_max.unwrap_or_else(|| n_hint.min(1000)).max(1);
     let h = step.unwrap_or_else(|| (cap / 200).max(1));
     let cfg = IimConfig {
         k,
+        index,
         learning: Learning::Adaptive(AdaptiveConfig {
             step: h,
             ell_max: Some(cap),
@@ -75,6 +89,27 @@ pub fn method_lineup(
         features.clone(),
     ))];
     lineup.extend(all_baselines(k, seed, features));
+    lineup
+}
+
+/// [`method_lineup`] with an explicit neighbor-index choice threaded into
+/// IIM and every index-capable baseline.
+pub fn method_lineup_with(
+    k: usize,
+    seed: u64,
+    n_hint: usize,
+    features: FeatureSelection,
+    index: IndexChoice,
+) -> Vec<Box<dyn Imputer>> {
+    let mut lineup: Vec<Box<dyn Imputer>> = vec![Box::new(iim_adaptive_with(
+        k,
+        None,
+        None,
+        n_hint,
+        features.clone(),
+        index,
+    ))];
+    lineup.extend(all_baselines_with(k, seed, features, index));
     lineup
 }
 

@@ -1,27 +1,48 @@
-//! Experiment harness regenerating every table and figure of the IIM
-//! paper's evaluation section.
+//! Experiment harness regenerating the IIM paper's evaluation section,
+//! plus the spec-driven runner and perf-regression gate on top of it.
 //!
-//! One binary per artifact (`table5`, `table6`, `table7`, `fig4` …
-//! `fig13`), each printing the paper's rows/series to stdout and writing a
-//! TSV to `bench_results/`. `--bin all` runs the lot. Run them in release:
+//! Two surfaces share one core:
+//!
+//! - **The paper artifacts** — the `paper` binary dispatches every table
+//!   and figure (`paper table5`, `paper fig4` … `paper all`), printing the
+//!   paper's rows/series and writing TSVs to `bench_results/`. Sizes are
+//!   the paper's except where noted in [`datasets`]; every artifact
+//!   accepts `--seed`/`--n`/`--quick` overrides.
+//! - **The experiment runner** — `iim bench run <spec>` expands a
+//!   declarative [`spec::Spec`] (methods × datasets × missing-rates ×
+//!   threads × index × repeats) through [`runner`], and emits one
+//!   versioned machine-tagged [`result`] envelope. `iim bench diff`
+//!   ([`diff`]) is the regression gate over any two such files (legacy
+//!   pre-envelope files included). Committed spec presets live under
+//!   `crates/bench/specs/`.
+//!
+//! The bespoke executors that measure what a generic spec cannot (HTTP
+//! daemons, persistence, hot swaps) remain their own binaries —
+//! `serving`, `serve_load`, `learn`, `registry_load`, `parallel` — but
+//! all emit the same envelope. Run everything in release:
 //!
 //! ```text
-//! cargo run -p iim-bench --release --bin table5
-//! cargo run -p iim-bench --release --bin all
+//! cargo run -p iim-bench --release --bin paper -- table5
+//! cargo run --release --bin iim -- bench run crates/bench/specs/ci_quick.toml
 //! ```
-//!
-//! Sizes are the paper's except where noted in [`datasets`]: the harness
-//! scales the largest sweeps so a full `all` run finishes on a laptop.
-//! Every binary accepts `--seed <u64>` and (where meaningful) `--n <rows>`
-//! overrides.
 
 pub mod args;
+pub mod cli;
 pub mod datasets;
+pub mod diff;
 pub mod figures;
 pub mod harness;
+pub mod json;
 pub mod report;
+pub mod result;
+pub mod runner;
+pub mod spec;
 
 pub use args::Args;
 pub use datasets::PaperData;
-pub use harness::{method_lineup, run_lineup, run_lineup_on, score_cell, MethodScore};
+pub use harness::{
+    method_lineup, method_lineup_with, run_lineup, run_lineup_on, score_cell, MethodScore,
+};
 pub use report::Table;
+pub use result::{BenchResult, Cell, Machine, Metric};
+pub use spec::Spec;

@@ -1,0 +1,165 @@
+//! End-to-end proof of the regression gate: a real spec run, written to
+//! disk in the versioned envelope, read back, and diffed — green against
+//! itself, red the moment a slowdown is injected. This is the same path
+//! CI's `bench-gate` job takes (`iim bench run` + `iim bench diff`), so
+//! a green suite here means the job's failure mode is exercised, not
+//! assumed.
+
+use iim_bench::cli::bench_main;
+use iim_bench::diff::{diff, DiffConfig};
+use iim_bench::{runner, BenchResult, Spec};
+use std::path::{Path, PathBuf};
+
+/// A spec small enough for a debug-profile test run: two cheap methods,
+/// one tiny dataset, two thread counts (so the executor sweep and its
+/// determinism check both engage).
+fn tiny_spec() -> Spec {
+    Spec {
+        name: "gate_e2e".into(),
+        methods: vec!["Mean".into(), "kNN".into()],
+        missing_rates: vec![0.05],
+        threads: vec![1, 2],
+        repeats: 2,
+        warmup: 0,
+        n: Some(120),
+        ..Spec::default()
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("iim-gate-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Multiplies every sample of `metric` by `factor` — the injected
+/// regression.
+fn slow_down(result: &mut BenchResult, metric: &str, factor: f64) {
+    let mut hit = 0;
+    for cell in &mut result.cells {
+        for (name, m) in &mut cell.metrics {
+            if name == metric {
+                for s in &mut m.samples {
+                    *s *= factor;
+                }
+                hit += 1;
+            }
+        }
+    }
+    assert!(hit > 0, "no {metric} metrics to slow down");
+}
+
+#[test]
+fn a_run_diffs_green_against_itself_and_red_against_an_injected_slowdown() {
+    let dir = temp_dir("inproc");
+    let baseline = runner::run(&tiny_spec());
+    let path = dir.join("baseline.json");
+    baseline.write_to(&path).unwrap();
+    let reloaded = BenchResult::load(&path).unwrap();
+    assert_eq!(reloaded.cells.len(), baseline.cells.len());
+
+    // Identical samples: every cell passes, exit code 0.
+    let report = diff(&reloaded, &baseline, &DiffConfig::default());
+    assert_eq!(report.exit_code(), 0, "{}", report.render());
+    assert!(report.cells.iter().all(|c| c.details.is_empty()));
+
+    // A 10x offline slowdown (well past any noise band and the absolute
+    // floor): the gate must go red with a non-zero exit.
+    let mut slowed = BenchResult::load(&path).unwrap();
+    slow_down(&mut slowed, "offline_s", 10.0);
+    // Keep the injected samples above the min-effect floor so the test
+    // can't silently pass on a machine fast enough to finish a cell in
+    // nanoseconds.
+    for cell in &mut slowed.cells {
+        for (name, m) in &mut cell.metrics {
+            if name == "offline_s" {
+                for s in &mut m.samples {
+                    *s += 0.01;
+                }
+            }
+        }
+    }
+    let report = diff(&slowed, &baseline, &DiffConfig::default());
+    assert_eq!(report.exit_code(), 1, "{}", report.render());
+    assert!(report.render().contains("FAIL"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn the_cli_gate_round_trips_run_and_diff() {
+    let dir = temp_dir("cli");
+    let spec_path = dir.join("spec.toml");
+    std::fs::write(&spec_path, tiny_spec().to_toml()).unwrap();
+    let out = dir.join("new.json");
+    let argv = |args: &[&str]| -> Vec<String> { args.iter().map(|s| s.to_string()).collect() };
+
+    // run: spec file in, envelope out.
+    let code = bench_main(&argv(&[
+        "run",
+        spec_path.to_str().unwrap(),
+        "-o",
+        out.to_str().unwrap(),
+    ]));
+    assert_eq!(code, 0);
+    let result = BenchResult::load(&out).unwrap();
+    assert_eq!(result.name, "gate_e2e");
+    assert!(!result.cells.is_empty());
+
+    // diff against itself: green.
+    let code = bench_main(&argv(&[
+        "diff",
+        out.to_str().unwrap(),
+        out.to_str().unwrap(),
+        "--noise-band",
+        "10",
+    ]));
+    assert_eq!(code, 0);
+
+    // diff against a slowed copy as baseline: the new run "regressed",
+    // red with exit 1 — the exact signal the CI job keys on.
+    let mut slowed = BenchResult::load(&out).unwrap();
+    for cell in &mut slowed.cells {
+        for (name, m) in &mut cell.metrics {
+            if name == "online_s" || name == "offline_s" {
+                for s in &mut m.samples {
+                    *s /= 10.0;
+                }
+            }
+        }
+    }
+    let fast_baseline = dir.join("fast_baseline.json");
+    std::fs::write(&fast_baseline, slowed.render()).unwrap();
+    let code = bench_main(&argv(&[
+        "diff",
+        out.to_str().unwrap(),
+        fast_baseline.to_str().unwrap(),
+        "--noise-band",
+        "10",
+        "--min-effect-us",
+        "0",
+    ]));
+    assert_eq!(code, 1);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn the_committed_spec_presets_parse_and_expand() {
+    let specs = Path::new(env!("CARGO_MANIFEST_DIR")).join("specs");
+    let mut seen = 0;
+    for entry in std::fs::read_dir(&specs).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().is_none_or(|e| e != "toml") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let spec =
+            Spec::parse(&text).unwrap_or_else(|e| panic!("{} does not parse: {e}", path.display()));
+        let cells = runner::expand(&spec);
+        assert!(!cells.is_empty(), "{} expands to no work", path.display());
+        seen += 1;
+    }
+    assert!(seen >= 3, "expected the committed presets, found {seen}");
+}

@@ -32,6 +32,9 @@
 //! | `persist.fsync.err` | every snapshot fsync | `err`: the fsync reports failure |
 //! | `serve.accept.err` | daemon accept loop | `err`: drop the accepted connection |
 //! | `serve.write.stall` | response write | `stall`: sleep before writing |
+//! | `registry.stage.validate` | `Registry::stage` validation | any: the staged snapshot is rejected |
+//! | `registry.stage.temp_write` | `Registry::stage` temp-file write | any: the durable temp write fails (no litter) |
+//! | `registry.swap.rename` | batcher swap barrier | any: the publish rename fails; the old model keeps serving |
 
 /// What an armed fail point tells the instrumented site to do.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -680,7 +680,18 @@ fn batcher_loop(
                         cp.flush();
                     }
                     if let Some((tmp, dst)) = staged {
-                        if let Err(e) = iim_persist::rename_durable(&tmp, &dst) {
+                        // Fail point: the barrier rename itself (e.g. the
+                        // registry directory vanished between stage and
+                        // swap). The abort path below must leave the old
+                        // model serving.
+                        let renamed = if iim_faults::check("registry.swap.rename").is_some() {
+                            Err(iim_persist::PersistError::from(std::io::Error::other(
+                                "fault injected: registry.swap.rename",
+                            )))
+                        } else {
+                            iim_persist::rename_durable(&tmp, &dst)
+                        };
+                        if let Err(e) = renamed {
                             // Abort: old model, file, and checkpoint stay
                             // in service; the caller sees why.
                             let _ = reply.send(Err(format!(

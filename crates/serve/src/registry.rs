@@ -461,14 +461,33 @@ impl Registry {
     /// otherwise the temp file is renamed directly.
     pub fn stage(&self, name: &str, bytes: &[u8]) -> Result<StageOutcome, RegistryError> {
         let dst = self.path_for(name)?;
+        // Fail point: a snapshot that passes checksum but is rejected by
+        // validation (e.g. a format the build can't serve).
+        if iim_faults::check("registry.stage.validate").is_some() {
+            return Err(RegistryError::StageFailed(
+                "fault injected: registry.stage.validate".into(),
+            ));
+        }
         let (model, _info) =
             iim_persist::load_from_slice_with_info(bytes).map_err(RegistryError::Load)?;
         let method = model.name().to_string();
         let tmp = self.dir.join(format!(".{name}.iim.tmp"));
         // Durable staging: the temp file is fsynced before any rename can
         // publish it, so a crash never leaves a half-written snapshot
-        // under the model's name.
-        iim_persist::write_file_durable(&tmp, bytes).map_err(persist_io)?;
+        // under the model's name. A failed write must not leave the
+        // half-written temp file behind either — the next stage would
+        // still overwrite it, but a crashed one would leak it.
+        let write_outcome = if iim_faults::check("registry.stage.temp_write").is_some() {
+            Err(PersistError::from(std::io::Error::other(
+                "fault injected: registry.stage.temp_write",
+            )))
+        } else {
+            iim_persist::write_file_durable(&tmp, bytes)
+        };
+        if let Err(e) = write_outcome {
+            std::fs::remove_file(&tmp).ok();
+            return Err(persist_io(e));
+        }
 
         let mut inner = lock_inner(&self.inner);
         let swapped = match inner.resident.get_mut(name) {

@@ -12,6 +12,8 @@
 //! iim registry stage --models-dir models/ prices model.iim  # install/replace
 //! iim profile input.csv          # R²_S / R²_H diagnostics per attribute
 //! iim methods                    # list available methods
+//! iim bench run spec.toml        # spec-driven experiment runner
+//! iim bench diff new.json baseline.json --noise-band 10  # perf gate
 //! ```
 //!
 //! `impute` reads a headered numerical CSV (missing cells empty, `?`, or
@@ -56,7 +58,9 @@ fn usage() -> String {
      \n  iim registry stage --models-dir DIR NAME SNAPSHOT.iim\
      \n  iim learn --model MODEL.iim ROWS.csv\
      \n  iim profile INPUT.csv\
-     \n  iim methods"
+     \n  iim methods\
+     \n  iim bench run SPEC.toml [-o OUT.json] [overrides...]\
+     \n  iim bench diff NEW.json BASELINE.json [--noise-band PCT]"
         .to_string()
 }
 
@@ -69,6 +73,9 @@ fn main() -> ExitCode {
         Some("registry") => registry_cmd(&args[1..]),
         Some("learn") => learn(&args[1..]),
         Some("profile") => profile(&args[1..]),
+        // The experiment runner + regression gate; logic lives in
+        // iim_bench::cli so it stays unit-testable.
+        Some("bench") => ExitCode::from(iim_bench::cli::bench_main(&args[1..]) as u8),
         Some("methods") => {
             // One source of truth: the first lineup entry is the default.
             for (i, m) in iim::methods::lineup(10, 0).iter().enumerate() {

@@ -15,6 +15,10 @@
 //!   accept failures, write stalls, and overload sheds load with `503` +
 //!   `Retry-After` while every *completed* response stays bitwise
 //!   correct.
+//! * **A failed hot swap is a no-op**: killing `Registry::stage` at
+//!   validation, the durable temp write, or the barrier rename leaves the
+//!   old model serving (memory and disk) with no temp-file litter, and
+//!   the same stage succeeds once the fault clears.
 
 use iim::prelude::*;
 
@@ -372,5 +376,83 @@ mod faults {
             std::thread::sleep(std::time::Duration::from_millis(20));
         }
         handle.shutdown();
+    }
+
+    /// A hot swap that dies at any of its three stations — validation,
+    /// the durable temp write, the barrier rename — must be a no-op:
+    /// typed error to the caller, the old model still serving (memory
+    /// *and* disk), and no temp-file litter. With the fault cleared, the
+    /// very same stage succeeds and the new model takes over.
+    #[test]
+    fn a_failed_hot_swap_leaves_the_old_model_serving_and_no_litter() {
+        let _g = lock();
+        iim_faults::clear_all();
+        let dir = std::env::temp_dir().join(format!("iim-crashrec-swap-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let registry = iim_serve::Registry::open(iim_serve::RegistryConfig {
+            dir: dir.clone(),
+            ..Default::default()
+        })
+        .unwrap();
+
+        // v1 = the base model; v2 = the same model plus rec1's tuples,
+        // which changes the fill for QUERY — so "which version answered"
+        // is observable from a single impute.
+        let v1 = base_snapshot();
+        let mut v2 = base_snapshot();
+        v2.extend_from_slice(&iim_persist::encode_delta(&rec1()));
+        let v1_fill = reference_fill(&[]);
+        let v2_fill = reference_fill(&rec1());
+        assert_ne!(v1_fill, v2_fill, "fixture must distinguish versions");
+
+        registry.stage("m", &v1).unwrap();
+        let header = vec!["A1".to_string(), "A2".to_string()];
+        let fill = |registry: &iim_serve::Registry| -> u64 {
+            let rows = vec![QUERY.to_vec()];
+            registry.impute("m", &header, rows).unwrap()[0]
+                .as_ref()
+                .expect("impute must keep serving")[1]
+                .to_bits()
+        };
+        assert_eq!(fill(&registry), v1_fill);
+
+        for point in [
+            "registry.stage.validate",
+            "registry.stage.temp_write",
+            "registry.swap.rename",
+        ] {
+            iim_faults::activate(point, FaultAction::Err, Some(1));
+            let err = registry.stage("m", &v2).expect_err(point);
+            assert!(
+                matches!(
+                    err,
+                    iim_serve::RegistryError::StageFailed(_) | iim_serve::RegistryError::Io(_)
+                ),
+                "{point}: unexpected error {err}"
+            );
+            // Old model keeps serving in memory...
+            assert_eq!(fill(&registry), v1_fill, "{point}: in-memory model changed");
+            // ...and on disk (a restart would still load v1)...
+            let bytes = std::fs::read(dir.join("m.iim")).unwrap();
+            let (model, _) = iim_persist::load_from_slice_with_info(&bytes).unwrap();
+            assert_eq!(fill_of(model.as_ref()), v1_fill, "{point}: disk changed");
+            // ...and the aborted stage leaves no temp file behind.
+            assert!(
+                !dir.join(".m.iim.tmp").exists(),
+                "{point}: temp-file litter"
+            );
+        }
+
+        // Faults exhausted: the identical stage now goes through whole.
+        let outcome = registry.stage("m", &v2).unwrap();
+        assert!(outcome.swapped, "tenant should be resident");
+        assert_eq!(fill(&registry), v2_fill);
+        let bytes = std::fs::read(dir.join("m.iim")).unwrap();
+        let (model, _) = iim_persist::load_from_slice_with_info(&bytes).unwrap();
+        assert_eq!(fill_of(model.as_ref()), v2_fill);
+
+        registry.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
     }
 }
